@@ -1,0 +1,105 @@
+"""F1–F4 — the four protocol message-exchange figures.
+
+The paper's figures are diagrams of the messages each protocol sends; the
+channel transcript regenerates them as text.  Each test scripts exactly the
+operation the figure depicts, prints the recorded exchange, and asserts the
+message sequence matches the figure.
+"""
+
+from repro.bench.reporting import format_header
+from repro.core import Document, make_scheme1, make_scheme2
+from repro.net.messages import MessageType
+
+_BASE_DOCS = [
+    Document(0, b"existing record", frozenset({"flu", "fever"})),
+    Document(1, b"another record", frozenset({"flu"})),
+]
+
+
+def _sequence(channel):
+    return [(e.direction, e.message.type) for e in channel.transcript]
+
+
+def test_fig1_scheme1_metadata_storage(benchmark, master_key,
+                                       elgamal_keypair, report):
+    """Fig. 1: Scheme 1 update — tag over, F(r) back, patch over, ack."""
+    client, _, channel = make_scheme1(master_key, capacity=128,
+                                      keypair=elgamal_keypair)
+    client.store(_BASE_DOCS)
+    channel.reset_stats()
+    client.add_documents([Document(2, b"new", frozenset({"flu"}))])
+
+    report(format_header("Fig. 1 — Scheme 1 MetadataStorage exchange"))
+    report(channel.format_transcript())
+
+    metadata = [s for s in _sequence(channel)
+                if s[1] != MessageType.STORE_DOCUMENT
+                and s[1] != MessageType.ACK]
+    assert metadata == [
+        ("client->server", MessageType.S1_UPDATE_REQUEST),   # f_kw(w)
+        ("server->client", MessageType.S1_UPDATE_NONCE),     # F(r)
+        ("client->server", MessageType.S1_UPDATE_PATCH),     # U⊕G(r)⊕G(r'), F(r')
+    ]
+    benchmark(lambda: None)  # protocol shape is the result, not the time
+
+
+def test_fig2_scheme1_search(benchmark, master_key, elgamal_keypair,
+                             report):
+    """Fig. 2: Scheme 1 search — tag over, F(r) back, r over, docs back."""
+    client, _, channel = make_scheme1(master_key, capacity=128,
+                                      keypair=elgamal_keypair)
+    client.store(_BASE_DOCS)
+    channel.reset_stats()
+    result = client.search("flu")
+    assert result.doc_ids == [0, 1]
+
+    report(format_header("Fig. 2 — Scheme 1 Search exchange"))
+    report(channel.format_transcript())
+
+    assert _sequence(channel) == [
+        ("client->server", MessageType.S1_SEARCH_REQUEST),   # T_w = f_kw(w)
+        ("server->client", MessageType.S1_SEARCH_NONCE),     # F(r)
+        ("client->server", MessageType.S1_SEARCH_REVEAL),    # r
+        ("server->client", MessageType.DOCUMENTS_RESULT),    # {E(M_i)}
+    ]
+    benchmark(lambda: None)
+
+
+def test_fig3_scheme2_metadata_storage(benchmark, master_key, report):
+    """Fig. 3: Scheme 2 update — one (tag, ℰ_k(I), f'(k)) triple, ack."""
+    client, _, channel = make_scheme2(master_key, chain_length=128)
+    client.store(_BASE_DOCS)
+    channel.reset_stats()
+    client.add_documents([Document(2, b"new", frozenset({"flu"}))])
+
+    report(format_header("Fig. 3 — Scheme 2 MetadataStorage exchange"))
+    report(channel.format_transcript())
+
+    metadata = [s for s in _sequence(channel)
+                if s[1] not in (MessageType.STORE_DOCUMENT,
+                                MessageType.ACK)]
+    assert metadata == [
+        ("client->server", MessageType.S2_STORE_ENTRY),
+    ]
+    benchmark(lambda: None)
+
+
+def test_fig4_scheme2_search(benchmark, master_key, report):
+    """Fig. 4: Scheme 2 search — trapdoor over, documents straight back."""
+    client, server, channel = make_scheme2(master_key, chain_length=128)
+    client.store(_BASE_DOCS)
+    client.add_documents([Document(2, b"newer", frozenset({"flu"}))])
+    channel.reset_stats()
+    result = client.search("flu")
+    assert result.doc_ids == [0, 1, 2]
+
+    report(format_header("Fig. 4 — Scheme 2 Search exchange"))
+    report(channel.format_transcript())
+    report(f"server chain steps during search: "
+           f"{server.chain_steps_last_search}")
+
+    assert _sequence(channel) == [
+        ("client->server", MessageType.S2_SEARCH_REQUEST),   # (t_w, t'_w)
+        ("server->client", MessageType.DOCUMENTS_RESULT),
+    ]
+    benchmark(lambda: None)

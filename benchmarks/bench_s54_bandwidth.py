@@ -1,0 +1,72 @@
+"""S52-bw — §5.4's bandwidth argument, measured two ways.
+
+Scheme 1's update message width equals the index capacity (bits) per
+keyword no matter how small the change; Scheme 2 sends only the delta.
+Sweep 1 fixes the delta (1 document) and grows the capacity; sweep 2 fixes
+the capacity and grows the batch, showing Scheme 2's cost tracks content
+while Scheme 1's tracks keywords × capacity.
+"""
+
+from repro.bench.reporting import format_header, format_table
+from repro.core import Document, make_scheme1, make_scheme2
+from repro.net.messages import MessageType
+
+_METADATA_TYPES = {
+    MessageType.S1_UPDATE_REQUEST, MessageType.S1_UPDATE_NONCE,
+    MessageType.S1_UPDATE_PATCH, MessageType.S2_STORE_ENTRY,
+}
+
+
+def _metadata_bytes(channel):
+    return sum(e.size for e in channel.transcript
+               if e.message.type in _METADATA_TYPES)
+
+
+def _batch(start, size, keywords_per_doc):
+    return [
+        Document(start + i, b"d",
+                 frozenset({f"batch-kw{j}" for j in range(keywords_per_doc)}))
+        for i in range(size)
+    ]
+
+
+def test_batch_size_sweep(benchmark, master_key, elgamal_keypair, report):
+    capacity = 4096
+    batch_sizes = [1, 4, 16, 64]
+    rows = []
+    ratios = []
+    for batch in batch_sizes:
+        c1, _, ch1 = make_scheme1(master_key, capacity=capacity,
+                                  keypair=elgamal_keypair)
+        c1.store([Document(0, b"base", frozenset({"batch-kw0"}))])
+        ch1.reset_stats()
+        c1.add_documents(_batch(1, batch, keywords_per_doc=3))
+        s1 = _metadata_bytes(ch1)
+
+        c2, _, ch2 = make_scheme2(master_key, chain_length=16)
+        c2.store([Document(0, b"base", frozenset({"batch-kw0"}))])
+        ch2.reset_stats()
+        c2.add_documents(_batch(1, batch, keywords_per_doc=3))
+        s2 = _metadata_bytes(ch2)
+
+        rows.append([batch, s1, s2, f"{s1 / s2:.1f}x"])
+        ratios.append(s1 / s2)
+
+    report(format_header(
+        "§5.4: metadata bytes per update batch (capacity = 4096)"
+    ))
+    report(format_table(
+        ["batch size (docs)", "Scheme 1 bytes", "Scheme 2 bytes",
+         "Scheme1/Scheme2"], rows,
+    ))
+
+    # Scheme 1 pays the full capacity per touched keyword even for tiny
+    # updates, so the ratio is largest for the smallest batch.
+    assert ratios[0] > 5
+    assert ratios[0] >= ratios[-1]
+
+    # Timed leg: Scheme 2 batch-16 update.
+    c2, _, _ = make_scheme2(master_key, chain_length=2048)
+    c2.store([Document(0, b"base", frozenset({"batch-kw0"}))])
+    counter = iter(range(100, 10_000_000, 16))
+    benchmark(lambda: c2.add_documents(_batch(next(counter), 16, 3)))

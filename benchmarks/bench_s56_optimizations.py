@@ -1,0 +1,103 @@
+"""S56-opt — ablations of the paper's two §5.6 optimizations.
+
+Optimization 1 (server-side plaintext caching): repeated searches should
+decrypt only segments added since the last search, not the whole history.
+
+Optimization 2 (lazy counter): with u updates between searches, the eager
+counter burns one chain position per update while the lazy counter burns
+one per search-separated group — directly extending the chain's lifetime.
+"""
+
+from repro.bench.reporting import format_header, format_table
+from repro.core import Document, make_scheme2
+
+
+def _run_update_search_rounds(client, rounds, updates_per_round):
+    doc_id = 1
+    for _ in range(rounds):
+        for _ in range(updates_per_round):
+            client.add_documents(
+                [Document(doc_id, b"x", frozenset({"k"}))]
+            )
+            doc_id += 1
+        client.search("k")
+
+
+def test_optimization1_caching(benchmark, master_key, report):
+    rounds = 10
+    decryptions = {}
+    for cached in (True, False):
+        client, server, _ = make_scheme2(master_key, chain_length=512,
+                                         cache_plaintext=cached)
+        client.store([Document(0, b"seed", frozenset({"k"}))])
+        total = 0
+        doc_id = 1
+        for _ in range(rounds):
+            client.add_documents([Document(doc_id, b"x",
+                                           frozenset({"k"}))])
+            doc_id += 1
+            client.search("k")
+            total += server.segments_decrypted_last_search
+        decryptions[cached] = total
+
+    report(format_header(
+        "§5.6 Optimization 1: segment decryptions over 10 search/update "
+        "rounds"
+    ))
+    report(format_table(
+        ["configuration", "total segment decryptions"],
+        [
+            ["caching ON  (paper's optimization)", decryptions[True]],
+            ["caching OFF (re-decrypt everything)", decryptions[False]],
+        ],
+    ))
+
+    # With caching each segment is decrypted exactly once: 11 segments.
+    assert decryptions[True] == rounds + 1
+    # Without caching search t re-decrypts all t+1 segments: quadratic sum.
+    assert decryptions[False] == sum(range(2, rounds + 2))
+
+    # Timed leg: a cached repeat search (the optimized fast path).
+    client, _, _ = make_scheme2(master_key, chain_length=512,
+                                cache_plaintext=True)
+    client.store([Document(0, b"seed", frozenset({"k"}))])
+    client.search("k")
+    benchmark(lambda: client.search("k"))
+
+
+def test_optimization2_lazy_counter(benchmark, master_key, report):
+    """Chain positions consumed by 30 updates under different interleaving."""
+    workloads = [("x=1 (search between updates)", 1),
+                 ("x=3", 3),
+                 ("x=10 (rare searches)", 10)]
+    rows = []
+    for label, x in workloads:
+        consumed = {}
+        for lazy in (True, False):
+            client, _, _ = make_scheme2(master_key, chain_length=512,
+                                        lazy_counter=lazy)
+            client.store([Document(0, b"seed", frozenset({"k"}))])
+            base = client.ctr
+            _run_update_search_rounds(client, rounds=30 // x,
+                                      updates_per_round=x)
+            consumed[lazy] = client.ctr - base
+        rows.append([label, consumed[False], consumed[True]])
+
+    report(format_header(
+        "§5.6 Optimization 2: chain positions consumed by 30 updates"
+    ))
+    report(format_table(
+        ["workload", "eager counter", "lazy counter (paper's optimization)"],
+        rows,
+    ))
+
+    # Eager consumption is always the update count; lazy consumption is the
+    # number of search-separated groups.
+    assert rows[0][1] == 30                 # eager: one position per update
+    assert rows[0][2] in (29, 30)           # x=1: no real savings (the
+    #                                         initial store merges with the
+    #                                         first pre-search update)
+    assert rows[1][2] < rows[1][1]          # x=3: savings
+    assert rows[2][2] <= 30 // 10 + 1       # x=10: big savings
+
+    benchmark(lambda: None)

@@ -1,0 +1,111 @@
+"""S57-leak — §5.7's update-leakage claims, measured.
+
+Batched updates: per-keyword attribution uncertainty grows as log2(batch),
+so the per-document leakage "goes asymptotically towards zero bits".
+
+Fake updates: padding every update to a constant keyword count closes the
+keyword-count side channel (its empirical entropy drops to zero) and
+flattens cross-update linkage.
+"""
+
+from repro.bench.reporting import format_header, format_table
+from repro.core import Document, make_scheme2
+from repro.crypto.rng import HmacDrbg
+from repro.security.leakage import (attribution_entropy_bits,
+                                    keyword_count_leak_bits, linkage_matrix,
+                                    observe_updates)
+
+_UNIVERSE = [f"leak-kw{i}" for i in range(8)]
+
+
+def _random_docs(start, count, rng):
+    docs = []
+    for i in range(count):
+        picked = {
+            _UNIVERSE[rng.randint_below(len(_UNIVERSE))]
+            for _ in range(1 + rng.randint_below(3))
+        }
+        docs.append(Document(start + i, b"d", frozenset(picked)))
+    return docs
+
+
+def test_batched_updates_raise_attribution_entropy(benchmark, master_key,
+                                                   report):
+    batch_sizes = [1, 2, 4, 8, 16, 32, 64]
+    rows = [
+        [b, f"{attribution_entropy_bits(b):.2f}",
+         f"{1.0 / b:.4f}"]
+        for b in batch_sizes
+    ]
+    report(format_header(
+        "§5.7 batched updates: attribution uncertainty vs batch size"
+    ))
+    report(format_table(
+        ["batch size", "uncertainty (bits/keyword)",
+         "leak share (1/batch)"], rows,
+    ))
+    entropies = [attribution_entropy_bits(b) for b in batch_sizes]
+    assert entropies == sorted(entropies)
+    assert entropies[0] == 0.0      # singleton updates attribute exactly
+    assert entropies[-1] == 6.0     # 64-doc batches hide 6 bits
+
+    benchmark(lambda: attribution_entropy_bits(64))
+
+
+def test_fake_updates_close_count_channel(benchmark, master_key, report):
+    rng = HmacDrbg(57)
+
+    # Unpadded: update sizes follow content.
+    plain_client, _, plain_ch = make_scheme2(master_key, chain_length=512)
+    plain_client.store(_random_docs(0, 1, rng))
+    for i in range(12):
+        plain_client.add_documents(_random_docs(10 * (i + 1), 1, rng))
+    plain_counts = [o.keyword_count
+                    for o in observe_updates(plain_ch.transcript)]
+
+    # Padded: every round touches the full keyword universe via fakes.
+    padded_client, _, padded_ch = make_scheme2(master_key,
+                                               chain_length=512)
+    padded_client.store(_random_docs(0, 1, rng))
+    for i in range(12):
+        docs = _random_docs(10 * (i + 1), 1, rng)
+        real_keywords = set()
+        for doc in docs:
+            real_keywords |= doc.keywords
+        padded_client.add_documents(docs)
+        padded_client.fake_update(sorted(set(_UNIVERSE) - real_keywords))
+    observations = observe_updates(padded_ch.transcript)
+    # Merge each real+fake message pair into one logical update.
+    padded_counts = [
+        observations[i].keyword_count + observations[i + 1].keyword_count
+        for i in range(1, len(observations) - 1, 2)
+    ]
+
+    plain_entropy = keyword_count_leak_bits(plain_counts)
+    padded_entropy = keyword_count_leak_bits(padded_counts)
+
+    report(format_header(
+        "§5.7 fake updates: keyword-count side channel entropy"
+    ))
+    report(format_table(
+        ["configuration", "observed counts", "entropy (bits)"],
+        [
+            ["unpadded", str(plain_counts), f"{plain_entropy:.3f}"],
+            ["padded to universe", str(padded_counts),
+             f"{padded_entropy:.3f}"],
+        ],
+    ))
+
+    assert plain_entropy > 0.0
+    assert padded_entropy == 0.0
+    assert len(set(padded_counts)) == 1
+
+    # Linkage flattening: padded updates all share the whole universe.
+    matrix = linkage_matrix(observations[1:])
+    padded_overlaps = {
+        matrix[i][i + 1] + matrix[i + 1][i]
+        for i in range(1, len(matrix) - 2, 2)
+    }
+    report(f"padded cross-round tag overlap values: {sorted(padded_overlaps)}")
+
+    benchmark(lambda: keyword_count_leak_bits(plain_counts))

@@ -1,0 +1,64 @@
+"""T1-rounds — Table 1, "Communication overhead" row.
+
+Paper claim: Scheme 1 search needs **two rounds**; Scheme 2 needs **one**.
+This bench runs real searches over the instrumented channel, counts rounds,
+and regenerates the table row.  The benchmark fixture times the searched
+operation so pytest-benchmark reports wall-clock alongside the round count.
+"""
+
+from repro.bench.reporting import format_header, format_table
+from repro.core import Document, make_scheme1, make_scheme2
+from repro.workloads.generator import WorkloadSpec, generate_collection
+
+_SPEC = WorkloadSpec(num_documents=40, unique_keywords=120,
+                     keywords_per_doc=6, doc_size_bytes=64, seed=11)
+
+
+def _measure_rounds(client, channel, documents):
+    client.store(documents)
+    channel.reset_stats()
+    client.search("kw00000")
+    search_rounds = channel.stats.rounds
+    channel.reset_stats()
+    client.add_documents([Document(
+        _SPEC.num_documents, b"update", frozenset({"kw00000"})
+    )])
+    # Exclude the document-body upload round, common to every scheme:
+    # count only metadata-protocol messages.
+    metadata_rounds = sum(
+        1 for e in channel.transcript
+        if e.direction == "client->server"
+        and e.message.type.name not in ("STORE_DOCUMENT",)
+    )
+    return search_rounds, metadata_rounds
+
+
+def test_table1_rounds(benchmark, master_key, elgamal_keypair, report):
+    documents = generate_collection(_SPEC)
+
+    c1, _, ch1 = make_scheme1(master_key, capacity=256,
+                              keypair=elgamal_keypair)
+    s1_search, s1_update = _measure_rounds(c1, ch1, documents)
+
+    c2, _, ch2 = make_scheme2(master_key, chain_length=16)
+    s2_search, s2_update = _measure_rounds(c2, ch2, documents)
+
+    report(format_header(
+        "Table 1 (rounds): communication overhead per operation"
+    ))
+    report(format_table(
+        ["operation", "Scheme 1 (paper: two rounds)",
+         "Scheme 2 (paper: one round)"],
+        [
+            ["search", s1_search, s2_search],
+            ["metadata update", s1_update, s2_update],
+        ],
+    ))
+
+    assert s1_search == 2       # paper: "Two rounds"
+    assert s2_search == 1       # paper: "One round"
+    assert s1_update == 2       # Fig. 1: request + patch
+    assert s2_update == 1       # Fig. 3: single triple message
+
+    # Timed leg: a warm Scheme 2 search (one round, cache active).
+    benchmark(lambda: c2.search("kw00001"))

@@ -1,0 +1,143 @@
+"""T1-search — Table 1, "Searching computation" row.
+
+Paper claims: Scheme 1 searches in **O(log u)**; Scheme 2 in
+**O(log u + l/2x)** where x is the average number of updates between two
+searches.  Two sweeps verify the two terms:
+
+1. u-sweep: index comparisons per search vs. number of unique keywords —
+   best-fit must be logarithmic for both schemes.
+2. x-sweep (Scheme 2): chain steps per search vs. updates-per-search —
+   chain steps must grow ≈ linearly in x while the log(u) term stays put.
+"""
+
+import pytest
+
+from repro.bench.fits import best_fit
+from repro.bench.reporting import format_header, format_table
+from repro.core import Document, make_scheme1, make_scheme2
+from repro.crypto.rng import HmacDrbg
+from repro.workloads.generator import WorkloadSpec, generate_collection
+from repro.workloads.ops import interleaved_stream
+
+_U_VALUES = [128, 256, 512, 1024, 2048]
+
+
+def _collection(u):
+    docs_needed = max(16, u // 8)
+    return generate_collection(WorkloadSpec(
+        num_documents=docs_needed, unique_keywords=u,
+        keywords_per_doc=8, doc_size_bytes=16, seed=u,
+    ))
+
+
+def test_search_comparisons_logarithmic_in_u(benchmark, master_key,
+                                             elgamal_keypair, report):
+    rows = []
+    s1_comparisons = []
+    s2_comparisons = []
+    for u in _U_VALUES:
+        documents = _collection(u)
+        # Average over many probe keywords: a single lookup's depth is
+        # noisy (it depends where that tag happens to sit in the tree).
+        probes = [f"kw{i:05d}" for i in range(0, u, max(1, u // 48))]
+
+        c1, srv1, _ = make_scheme1(master_key, capacity=512,
+                                   keypair=elgamal_keypair)
+        c1.store(documents)
+        total = 0
+        for probe in probes:
+            c1.search(probe)
+            total += srv1.index_comparisons_last_search
+        s1_comparisons.append(total / len(probes))
+
+        c2, srv2, _ = make_scheme2(master_key, chain_length=16)
+        c2.store(documents)
+        total = 0
+        for probe in probes:
+            c2.search(probe)
+            total += srv2.index_comparisons_last_search
+        s2_comparisons.append(total / len(probes))
+        rows.append([u, f"{s1_comparisons[-1]:.2f}",
+                     f"{s2_comparisons[-1]:.2f}"])
+
+    fit1 = best_fit(_U_VALUES, s1_comparisons)
+    fit2 = best_fit(_U_VALUES, s2_comparisons)
+
+    report(format_header(
+        "Table 1 (search computation): index comparisons vs u"
+    ))
+    report(format_table(
+        ["u (unique keywords)", "Scheme 1 comparisons",
+         "Scheme 2 comparisons"], rows,
+    ))
+    report(f"Scheme 1 best fit: {fit1.model} (R^2 = {fit1.r_squared:.4f})"
+           f"   [paper: O(log u)]")
+    report(f"Scheme 2 best fit: {fit2.model} (R^2 = {fit2.r_squared:.4f})"
+           f"   [paper: O(log u + l/2x)]")
+
+    # The log(u) signature, asserted two ways: sub-linear growth (a 16x
+    # bigger index costs < 2x the comparisons) and additive growth per
+    # doubling consistent with +1 comparison.
+    for series in (s1_comparisons, s2_comparisons):
+        assert series[-1] / series[0] < 2.0
+        per_doubling = (series[-1] - series[0]) / 4  # 16x = 4 doublings
+        assert 0.25 <= per_doubling <= 2.0
+    assert fit2.model in ("O(log n)", "O(1)")
+
+    # Timed leg: one Scheme 1 search at the largest u.
+    documents = _collection(_U_VALUES[-1])
+    c1, _, _ = make_scheme1(master_key, capacity=512,
+                            keypair=elgamal_keypair)
+    c1.store(documents)
+    benchmark(lambda: c1.search("kw00000"))
+
+
+@pytest.mark.parametrize("lazy_counter", [False])
+def test_scheme2_chain_walk_tracks_x(benchmark, master_key, report,
+                                     lazy_counter):
+    """The l/2x term: chain steps per search grow with x."""
+    x_values = [1, 2, 4, 8]
+    rows = []
+    walk_lengths = []
+    for x in x_values:
+        client, server, _ = make_scheme2(master_key, chain_length=512,
+                                         lazy_counter=lazy_counter)
+        client.store([Document(0, b"seed", frozenset({"k"}))])
+        client.search("k")
+        new_docs = [Document(1 + i, b"x", frozenset({"k"}))
+                    for i in range(4 * x)]
+        steps = []
+        rng = HmacDrbg(x)
+        for op in interleaved_stream(["k"], new_docs, x, rng):
+            if op.kind == "update":
+                client.add_documents(list(op.documents))
+            else:
+                client.search(op.keyword)
+                steps.append(server.chain_steps_last_search)
+        mean_steps = sum(steps) / len(steps)
+        walk_lengths.append(mean_steps)
+        rows.append([x, f"{mean_steps:.2f}"])
+
+    report(format_header(
+        "Table 1 (search computation): Scheme 2 chain steps vs x"
+    ))
+    report(format_table(
+        ["x (updates between searches)", "mean chain steps per search"],
+        rows,
+    ))
+
+    # The walk term grows with x: each counter advance between searches
+    # adds one forward step.
+    assert walk_lengths[-1] > walk_lengths[0]
+    assert walk_lengths == sorted(walk_lengths)
+    # And is approximately x itself in this regime (steps ≈ x).
+    for x, steps in zip(x_values, walk_lengths):
+        assert x - 1 <= steps <= x + 1
+
+    # Timed leg: a search after x=8 un-searched updates (longest walk).
+    client, _, _ = make_scheme2(master_key, chain_length=4096,
+                                lazy_counter=False)
+    client.store([Document(0, b"seed", frozenset({"k"}))])
+    for i in range(8):
+        client.add_documents([Document(1 + i, b"x", frozenset({"k"}))])
+    benchmark(lambda: client.search("k"))

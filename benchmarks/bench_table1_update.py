@@ -1,0 +1,75 @@
+"""T1-update — Table 1, "Condition on Update" row, quantified.
+
+Paper: Scheme 1's update "occurs rarely" (it is expensive — bandwidth
+proportional to index capacity per touched keyword); Scheme 2's update is
+"interleaved with search" (cheap — bandwidth proportional to the delta).
+This bench measures metadata bytes per single-document update as the index
+capacity grows: Scheme 1 must scale linearly with capacity, Scheme 2 must
+stay flat.
+"""
+
+from repro.bench.fits import best_fit
+from repro.bench.reporting import format_header, format_table
+from repro.core import Document, make_scheme1, make_scheme2
+from repro.net.messages import MessageType
+
+_CAPACITIES = [512, 1024, 2048, 4096, 8192]
+_METADATA_TYPES = {
+    MessageType.S1_UPDATE_REQUEST, MessageType.S1_UPDATE_PATCH,
+    MessageType.S1_UPDATE_NONCE, MessageType.S2_STORE_ENTRY,
+}
+
+
+def _metadata_bytes(channel):
+    return sum(e.size for e in channel.transcript
+               if e.message.type in _METADATA_TYPES)
+
+
+def test_update_bandwidth_vs_capacity(benchmark, master_key,
+                                      elgamal_keypair, report):
+    rows = []
+    s1_bytes = []
+    s2_bytes = []
+    for capacity in _CAPACITIES:
+        c1, _, ch1 = make_scheme1(master_key, capacity=capacity,
+                                  keypair=elgamal_keypair)
+        c1.store([Document(0, b"base", frozenset({"k"}))])
+        ch1.reset_stats()
+        c1.add_documents([Document(1, b"up", frozenset({"k"}))])
+        s1_bytes.append(_metadata_bytes(ch1))
+
+        c2, _, ch2 = make_scheme2(master_key, chain_length=16)
+        c2.store([Document(0, b"base", frozenset({"k"}))])
+        ch2.reset_stats()
+        c2.add_documents([Document(1, b"up", frozenset({"k"}))])
+        s2_bytes.append(_metadata_bytes(ch2))
+
+        rows.append([capacity, s1_bytes[-1], s2_bytes[-1]])
+
+    fit1 = best_fit(_CAPACITIES, s1_bytes)
+    fit2 = best_fit(_CAPACITIES, s2_bytes)
+
+    report(format_header(
+        "Table 1 (update condition): metadata bytes per 1-doc update"
+    ))
+    report(format_table(
+        ["index capacity", "Scheme 1 bytes", "Scheme 2 bytes"], rows,
+    ))
+    report(f"Scheme 1 bandwidth fit: {fit1.model} "
+           f"(R^2 = {fit1.r_squared:.4f})   [paper: update occurs rarely]")
+    report(f"Scheme 2 bandwidth fit: {fit2.model} "
+           f"(R^2 = {fit2.r_squared:.4f})   [paper: interleave-friendly]")
+
+    assert fit1.model == "O(n)"          # Scheme 1: ∝ capacity
+    assert fit2.model in ("O(1)",)       # Scheme 2: flat
+    assert s2_bytes[-1] < s1_bytes[-1] / 5  # decisive gap at scale
+
+    # Timed leg: a Scheme 2 single-document update.  The lazy counter
+    # (no intervening searches) keeps the chain from exhausting no matter
+    # how many iterations the benchmark runs.
+    c2, _, _ = make_scheme2(master_key, chain_length=2048)
+    c2.store([Document(0, b"base", frozenset({"k"}))])
+    counter = iter(range(1, 10_000_000))
+    benchmark(lambda: c2.add_documents(
+        [Document(next(counter), b"up", frozenset({"k"}))]
+    ))

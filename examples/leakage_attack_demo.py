@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""What the *allowed* leakage costs: frequency analysis on a PHR corpus.
+
+Theorem 1 permits the server to learn result sets and the search pattern.
+This demo plays an adversarial server with public auxiliary knowledge
+(disease frequency statistics) and recovers queried keywords from result
+counts alone — then shows result-padding blunting the attack.  This is the
+classic leakage-abuse critique, run against our own Scheme 2.
+
+Usage::
+
+    python examples/leakage_attack_demo.py
+"""
+
+from repro import keygen, make_scheme2
+from repro.phr import CorpusSpec, generate_corpus
+from repro.security.attacks import (FrequencyAttack, QueryObservation,
+                                    recovery_rate)
+
+
+def main() -> None:
+    # A clinic's PHR corpus.  The adversary does NOT see its contents —
+    # only, per query, which (encrypted) entries were returned.
+    corpus = generate_corpus(CorpusSpec(num_patients=40,
+                                        entries_per_patient=4))
+    client, _, _ = make_scheme2(keygen(), chain_length=512)
+    client.store([e.to_document() for e in corpus])
+
+    # Public auxiliary knowledge: term frequencies (think national disease
+    # statistics).  Here the adversary's model is exact; real attacks
+    # degrade gracefully with noisy statistics.
+    frequency: dict[str, int] = {}
+    for entry in corpus:
+        for term in entry.terms:
+            frequency[term] = frequency.get(term, 0) + 1
+    attack = FrequencyAttack(frequency)
+
+    # The client queries ten clinical terms; the server observes counts.
+    targets = sorted(frequency, key=frequency.get, reverse=True)[:10]
+    observations = [
+        QueryObservation(tuple(client.search(term).doc_ids))
+        for term in targets
+    ]
+
+    guesses = [attack.guess(obs) for obs in observations]
+    print("adversary's per-query reconstruction (count -> best guess):")
+    for term, obs, guess in zip(targets, observations, guesses):
+        verdict = "RECOVERED" if guess == term else "missed"
+        print(f"  |D(w)| = {obs.result_count:>3}  ->  {guess:<28} "
+              f"[{verdict}; truth: {term}]")
+    rate = recovery_rate(guesses, targets)
+    print(f"\nrecovery rate with exact auxiliary stats: {rate:.0%}")
+
+    # Countermeasure: pad every result to a constant size (server returns
+    # dummies / client over-fetches).  The count channel flattens and the
+    # attack output becomes keyword-independent.
+    padded = QueryObservation(tuple(range(len(corpus))))
+    padded_guesses = [attack.guess(padded) for _ in targets]
+    padded_rate = recovery_rate(padded_guesses, targets)
+    print(f"recovery rate under constant-size padding:  {padded_rate:.0%}")
+    print("\nmoral: 'secure relative to the trace' (Thm 1) is exactly as "
+          "strong as the trace is boring — pad counts, batch updates "
+          "(§5.7), and keep auxiliary-correlatable keywords coarse.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""PHR⁺ GP workflow (paper §6): retrieve before the visit, update after.
+
+A general practitioner's day over Scheme 2 — the paper's recommendation for
+this scenario because searches and updates interleave (x ≈ 1), keeping the
+server's chain walk short and every update a single small message.
+
+Usage::
+
+    python examples/phr_gp_workflow.py
+"""
+
+from repro import keygen, make_scheme2
+from repro.phr import (CorpusSpec, HealthRecordEntry, PhrPlus,
+                       generate_corpus, patient_ids)
+
+
+def main() -> None:
+    # The practice's existing records: 12 patients, 4 entries each.
+    corpus = generate_corpus(CorpusSpec(num_patients=12,
+                                        entries_per_patient=4))
+
+    client, server, channel = make_scheme2(keygen(), chain_length=2048)
+    app = PhrPlus(client)
+    app.upload_entries(corpus)
+    print(f"uploaded {len(corpus)} record entries for 12 patients; "
+          f"server indexes {server.unique_keywords} keywords blindly")
+
+    # Morning surgery: three patients, each visit = retrieve then update.
+    appointments = patient_ids(12)[:3]
+    for patient in appointments:
+        channel.reset_stats()
+        record = app.patient_record(patient)
+        retrieve_stats = channel.reset_stats()
+
+        latest = record[-1]
+        print(f"\n{patient}: {len(record)} entries on file "
+              f"(latest {latest.date}, {latest.entry_type}); retrieval "
+              f"took {retrieve_stats.rounds} round(s), "
+              f"{retrieve_stats.total_bytes} bytes, chain walk of "
+              f"{server.chain_steps_last_search} step(s)")
+
+        new_entry = HealthRecordEntry(
+            entry_id=app.allocate_entry_id(),
+            patient_id=patient,
+            date="2010-04-12",
+            entry_type="visit",
+            terms=frozenset({"sym:fatigue", "proc:blood-panel"}),
+            notes="seen in morning surgery",
+        )
+        app.add_entry(new_entry)
+        update_stats = channel.reset_stats()
+        print(f"{patient}: visit note stored in {update_stats.rounds} "
+              f"round(s), {update_stats.total_bytes} bytes "
+              f"(counter at {client.ctr}/{client.chain_length})")
+
+    # Audit: this morning's notes are findable by clinical term.
+    found = app.find_by_term("proc:blood-panel")
+    todays = [e for e in found if e.date == "2010-04-12"]
+    print(f"\nsearch for proc:blood-panel finds {len(found)} entries, "
+          f"{len(todays)} from this morning — across all patients, "
+          f"without the server learning the term")
+
+
+if __name__ == "__main__":
+    main()

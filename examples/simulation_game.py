@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Theorem 1, hands on: can you tell a real server view from a simulated one?
+
+Builds a real Scheme 1 deployment view and a view produced by the proof's
+simulator — which sees only the trace (ids, lengths, counts, search
+pattern), never the documents or keywords — and prints them side by side,
+then runs the distinguisher library over independent samples.
+
+Usage::
+
+    python examples/simulation_game.py
+"""
+
+from repro import Document, keygen, make_scheme1
+from repro.crypto.rng import HmacDrbg
+from repro.security import (Distinguishers, History, ViewShape,
+                            distinguishing_advantage, real_view,
+                            simulate_view, trace_of)
+
+
+def preview(label, view):
+    print(f"\n{label}")
+    print(f"  doc ids: {view.doc_ids}")
+    print(f"  ciphertext lengths: {[len(c) for c in view.ciphertexts]}")
+    entry = view.index_entries[0]
+    print(f"  first index entry (A, B, C) hex prefixes: "
+          f"{entry[0][:6].hex()} / {entry[1][:6].hex()} / "
+          f"{entry[2][:6].hex()}")
+    print(f"  trapdoors: {[t[:6].hex() for t in view.trapdoors]}")
+
+
+def main() -> None:
+    documents = tuple(
+        Document(i, b"record body %d" % i,
+                 frozenset({"flu", "fever", "cough"}
+                           if i % 2 else {"flu", "rash"}))
+        for i in range(4)
+    )
+    history = History(documents, ("flu", "rash", "flu"))
+    trace = trace_of(history)
+    print("The simulator receives ONLY this trace:")
+    print(f"  ids={trace.doc_ids}, lengths={trace.doc_lengths}, "
+          f"|W_D|={trace.total_keywords}")
+    print(f"  result sets per query: {trace.query_results}")
+    print(f"  search pattern: {trace.search_pattern}")
+
+    client, server, _ = make_scheme1(keygen(), capacity=32)
+    rv = real_view(history, client, server)
+    shape = ViewShape(
+        capacity=32,
+        elgamal_modulus_bytes=client.keypair.public.modulus_bytes,
+    )
+    sv = simulate_view(trace, shape)
+
+    preview("REAL view (what the honest-but-curious server held):", rv)
+    preview("SIMULATED view (generated from the trace alone):", sv)
+
+    print("\nDistinguisher advantages over 5 independent samples each "
+          "(0 = indistinguishable):")
+    reals, sims = [], []
+    for i in range(5):
+        c, s, _ = make_scheme1(keygen(rng=HmacDrbg(70 + i)), capacity=32,
+                               keypair=client.keypair, rng=HmacDrbg(80 + i))
+        reals.append(real_view(history, c, s))
+        sims.append(simulate_view(trace, shape, HmacDrbg(90 + i)))
+    for name in ("total_view_bytes", "trapdoor_repeat_fraction",
+                 "masked_index_popcount", "ciphertext_entropy"):
+        fn = getattr(Distinguishers, name)
+        result = distinguishing_advantage(reals, sims, fn)
+        print(f"  {name:<28} advantage = {result.advantage:.3f} "
+              f"(mean gap {result.mean_gap:+.4f})")
+
+    print("\nEverything the server could compute from its view, the "
+          "simulator reproduced from the trace — Theorem 1's claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""§5.7 demo: what updates leak, and how batching + fake updates help.
+
+Plays an honest-but-curious server: records every update message Scheme 2
+sends, then shows the two §5.7 leaks (keyword counts per update, repeated
+tags linking updates) and how the paper's mitigations shrink them.
+
+Usage::
+
+    python examples/update_leakage_demo.py
+"""
+
+from repro import Document, keygen, make_scheme2
+from repro.security.leakage import (attribution_entropy_bits,
+                                    keyword_count_leak_bits,
+                                    observe_updates)
+
+UNIVERSE = ["cond:flu", "sym:fever", "sym:cough", "med:paracetamol"]
+
+
+def scenario(pad: bool) -> list[int]:
+    """Run a week of updates; return observed per-update keyword counts."""
+    client, _, channel = make_scheme2(keygen(), chain_length=512)
+    client.store([Document(0, b"day0", frozenset({"cond:flu"}))])
+    week = [
+        {"cond:flu", "sym:fever"},
+        {"sym:cough"},
+        {"cond:flu", "sym:fever", "med:paracetamol"},
+        {"sym:fever"},
+    ]
+    for day, keywords in enumerate(week, start=1):
+        client.add_documents([Document(day, b"note",
+                                       frozenset(keywords))])
+        if pad:
+            client.fake_update(sorted(set(UNIVERSE) - keywords))
+    observations = observe_updates(channel.transcript)[1:]  # skip store
+    if pad:
+        # Each logical update is a real+fake message pair.
+        return [
+            observations[i].keyword_count
+            + observations[i + 1].keyword_count
+            for i in range(0, len(observations), 2)
+        ]
+    return [o.keyword_count for o in observations]
+
+
+def main() -> None:
+    print("Leak 1 — keyword count per update (the server counts triples):")
+    plain = scenario(pad=False)
+    padded = scenario(pad=True)
+    print(f"  unpadded counts: {plain}  "
+          f"-> {keyword_count_leak_bits(plain):.2f} bits of signal")
+    print(f"  padded counts:   {padded}  "
+          f"-> {keyword_count_leak_bits(padded):.2f} bits "
+          f"(fake updates close the channel)")
+
+    print("\nLeak 2 — attribution within a batch "
+          "(which document carries which keyword):")
+    for batch in (1, 4, 16, 64):
+        bits = attribution_entropy_bits(batch)
+        print(f"  batch of {batch:>2} docs -> server is missing "
+              f"{bits:.1f} bits per keyword"
+              + ("  (singleton updates attribute exactly)" if batch == 1
+                 else ""))
+    print("\n§5.7: 'the information leakage goes asymptotically towards "
+          "zero bits' as batches grow — the bits above are what the "
+          "server *lacks*.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — a reproduction of "Adaptively Secure Computationally Efficient
+Searchable Symmetric Encryption" (Sedghi, van Liesdonk, Doumen, Hartel,
+Jonker; 2010).
+
+The package implements the paper's two SSE schemes, the security framework
+they are proven in, the baselines they improve on, and the PHR⁺ application
+that motivates them — on top of a from-scratch crypto substrate (AES,
+SHA-256/HMAC, ElGamal, hash chains).
+
+Quick start::
+
+    from repro import Document, keygen, make_scheme2
+
+    client, server, channel = make_scheme2(keygen())
+    client.store([Document(0, b"visit note", frozenset({"sym:fever"}))])
+    result = client.search("sym:fever")
+    assert result.doc_ids == [0]
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+paper's tables and figures.
+"""
+
+from repro.core import (Document, MasterKey, Scheme1Client, Scheme1Server,
+                        Scheme2Client, Scheme2Server, SearchResult, keygen,
+                        make_scheme1, make_scheme2)
+from repro.errors import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Document",
+    "MasterKey",
+    "ReproError",
+    "Scheme1Client",
+    "Scheme1Server",
+    "Scheme2Client",
+    "Scheme2Server",
+    "SearchResult",
+    "__version__",
+    "keygen",
+    "make_scheme1",
+    "make_scheme2",
+]

@@ -1,0 +1,34 @@
+"""Baseline schemes the paper compares against (§2, §3).
+
+* :mod:`repro.baselines.naive` — download-and-scan.
+* :mod:`repro.baselines.swp`   — Song–Wagner–Perrig per-word encryption.
+* :mod:`repro.baselines.goh`   — Goh Z-IDX per-document Bloom filters.
+* :mod:`repro.baselines.cgko`  — Curtmola et al. SSE-1 encrypted inverted
+  index (fast search, rebuild-on-update).
+* :mod:`repro.baselines.chang_mitzenmacher` — Chang–Mitzenmacher masked
+  per-document dictionary bits (fixed dictionary, O(n) search).
+"""
+
+from repro.baselines.cgko import CgkoClient, CgkoServer, make_cgko
+from repro.baselines.chang_mitzenmacher import CmClient, CmServer, make_cm
+from repro.baselines.goh import GohClient, GohServer, make_goh
+from repro.baselines.naive import NaiveClient, NaiveServer, make_naive
+from repro.baselines.swp import SwpClient, SwpServer, make_swp
+
+__all__ = [
+    "CgkoClient",
+    "CmClient",
+    "CmServer",
+    "CgkoServer",
+    "GohClient",
+    "GohServer",
+    "NaiveClient",
+    "NaiveServer",
+    "SwpClient",
+    "SwpServer",
+    "make_cgko",
+    "make_cm",
+    "make_goh",
+    "make_naive",
+    "make_swp",
+]

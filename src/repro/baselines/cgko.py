@@ -1,0 +1,263 @@
+"""Curtmola–Garay–Kamara–Ostrovsky SSE-1 baseline [10, 11].
+
+The adaptive-security comparator the paper's related work discusses: an
+encrypted inverted index built as
+
+* an **array A** of encrypted linked-list nodes at random addresses — one
+  list per keyword, node_j = ⟨doc_id, key_{j+1}, addr_{j+1}⟩ encrypted
+  under key_j, so possession of (addr_1, key_1) unlocks exactly one list;
+* a **lookup table T** mapping the keyword tag π(w) to (addr_1 ‖ key_1)
+  masked with f_y(w).
+
+Search(π(w), f_y(w)) is O(|D(w)|) — optimal — and leaks only the access
+pattern.  The trade-off the paper §2 calls out: **updates require
+rebuilding the whole index**, because node addresses, padding, and list
+keys are sampled jointly over the full collection.  ``rebuilds`` and
+``nodes_written_last_rebuild`` instrument exactly that cost for the
+CMP-update benchmark.
+
+The array is padded with dummy nodes to a fixed fill ratio so |A| reveals
+only the total keyword-occurrence budget, as in the original construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.api import SearchResult, SseClient, SseServerHandler
+from repro.core.documents import Document, normalize_keyword
+from repro.core.keys import MasterKey
+from repro.core.server import decode_doc_id, encode_doc_id
+from repro.crypto.authenc import AuthenticatedCipher
+from repro.crypto.bytesutil import xor_bytes
+from repro.crypto.modes import ctr_xcrypt
+from repro.crypto.prf import Prf, derive_key
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.errors import ParameterError, ProtocolError
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+from repro.storage.docstore import EncryptedDocumentStore
+
+__all__ = ["CgkoServer", "CgkoClient", "make_cgko"]
+
+_NODE_PLAIN_SIZE = 8 + 16 + 8  # doc_id | next_key | next_addr
+_NULL_ADDR = (1 << 64) - 1
+_TABLE_VALUE_SIZE = 8 + 16  # addr | key
+_ZERO_NONCE = bytes(8)  # node keys are single-use, fixed nonce is safe
+
+
+def _encrypt_node(key: bytes, doc_id: int, next_key: bytes,
+                  next_addr: int) -> bytes:
+    plain = encode_doc_id(doc_id) + next_key + next_addr.to_bytes(8, "big")
+    assert len(plain) == _NODE_PLAIN_SIZE
+    return ctr_xcrypt(key, _ZERO_NONCE, plain)
+
+
+def _decrypt_node(key: bytes, blob: bytes) -> tuple[int, bytes, int]:
+    if len(blob) != _NODE_PLAIN_SIZE:
+        raise ProtocolError("encrypted node has the wrong size")
+    plain = ctr_xcrypt(key, _ZERO_NONCE, blob)
+    return (decode_doc_id(plain[:8]), plain[8:24],
+            int.from_bytes(plain[24:], "big"))
+
+
+class CgkoServer(SseServerHandler):
+    """Holds the node array, the lookup table, and walks lists on search."""
+
+    def __init__(self) -> None:
+        self.documents = EncryptedDocumentStore()
+        self.array: dict[int, bytes] = {}
+        self.table: dict[bytes, bytes] = {}
+        self.searches_handled = 0
+        self.nodes_walked_last_search = 0
+        self.rebuilds = 0
+        self.nodes_written_last_rebuild = 0
+
+    @property
+    def unique_keywords(self) -> int:
+        """Number of lookup-table entries (== unique keywords indexed)."""
+        return len(self.table)
+
+    def handle(self, message: Message) -> Message:
+        """Index uploads replace everything; search walks one list."""
+        if message.type == MessageType.STORE_DOCUMENT:
+            fields = message.fields
+            if len(fields) % 2:
+                raise ProtocolError("STORE_DOCUMENT fields come in pairs")
+            for i in range(0, len(fields), 2):
+                self.documents.put(decode_doc_id(fields[i]), fields[i + 1])
+            return Message(MessageType.ACK)
+        if message.type == MessageType.CGKO_SEARCH_REQUEST:
+            return self._handle_search(message)
+        if message.type == MessageType.ACK:
+            raise ProtocolError("clients do not send ACK")
+        if message.type == MessageType.ERROR:
+            raise ProtocolError("clients do not send ERROR")
+        if message.type == MessageType.S1_STORE_ENTRY:
+            # Reused message type for index upload: fields alternate
+            # addr(8) | node, then a sentinel, then tag | masked pairs.
+            return self._handle_index_upload(message)
+        raise ProtocolError(f"unsupported message type {message.type.name}")
+
+    def _handle_index_upload(self, message: Message) -> Message:
+        fields = message.fields
+        if not fields or len(fields[0]) != 8:
+            raise ProtocolError("index upload must start with a node count")
+        n_nodes = int.from_bytes(fields[0], "big")
+        expected = 1 + 2 * n_nodes
+        if len(fields) < expected or (len(fields) - expected) % 2:
+            raise ProtocolError("malformed index upload")
+        self.array = {}
+        self.table = {}
+        for i in range(n_nodes):
+            addr = int.from_bytes(fields[1 + 2 * i], "big")
+            self.array[addr] = fields[2 + 2 * i]
+        for i in range(expected, len(fields), 2):
+            self.table[fields[i]] = fields[i + 1]
+        self.rebuilds += 1
+        self.nodes_written_last_rebuild = n_nodes
+        return Message(MessageType.ACK)
+
+    def _handle_search(self, message: Message) -> Message:
+        tag, mask = message.expect(MessageType.CGKO_SEARCH_REQUEST, 2)
+        self.searches_handled += 1
+        self.nodes_walked_last_search = 0
+        value = self.table.get(tag)
+        if value is None:
+            return Message(MessageType.DOCUMENTS_RESULT)
+        if len(mask) != _TABLE_VALUE_SIZE:
+            raise ProtocolError("bad table mask size")
+        head = xor_bytes(value, mask)
+        addr = int.from_bytes(head[:8], "big")
+        key = head[8:]
+        doc_ids: list[int] = []
+        while addr != _NULL_ADDR:
+            blob = self.array.get(addr)
+            if blob is None:
+                raise ProtocolError("dangling node address")
+            doc_id, key, addr = _decrypt_node(key, blob)
+            doc_ids.append(doc_id)
+            self.nodes_walked_last_search += 1
+        out: list[bytes] = []
+        for doc_id in sorted(set(doc_ids)):
+            out.append(encode_doc_id(doc_id))
+            out.append(self.documents.get(doc_id))
+        return Message(MessageType.DOCUMENTS_RESULT, tuple(out))
+
+
+class CgkoClient(SseClient):
+    """Client side: builds (and on every update, *rebuilds*) the index.
+
+    The client keeps the plaintext keyword→ids map so it can rebuild — the
+    very statefulness the paper's schemes avoid.  ``padding_factor``
+    controls how many dummy nodes pad the array (|A| = factor × real
+    nodes, minimum 8).
+    """
+
+    def __init__(self, master_key: MasterKey, channel: Channel,
+                 padding_factor: float = 1.25,
+                 rng: RandomSource | None = None) -> None:
+        super().__init__(channel)
+        if padding_factor < 1.0:
+            raise ParameterError("padding factor must be >= 1")
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._cipher = AuthenticatedCipher(master_key.k_m, rng=self._rng)
+        self._tag_prf = Prf(derive_key(master_key.k_w, b"cgko-tag"),
+                            label=b"repro.cgko.tag")
+        self._mask_prf = Prf(derive_key(master_key.k_w, b"cgko-mask"),
+                             label=b"repro.cgko.mask")
+        self._padding_factor = padding_factor
+        self._plain_index: dict[str, set[int]] = {}
+
+    def _tag(self, keyword: str) -> bytes:
+        return self._tag_prf.evaluate_truncated(keyword.encode("utf-8"), 16)
+
+    def _mask(self, keyword: str) -> bytes:
+        return self._mask_prf.evaluate(keyword.encode("utf-8"))[:_TABLE_VALUE_SIZE]
+
+    def _rebuild_index(self) -> None:
+        """Sample fresh addresses/keys for every list and upload the array."""
+        n_real = sum(len(ids) for ids in self._plain_index.values())
+        n_total = max(8, int(n_real * self._padding_factor))
+        # Distinct random addresses from a 2^63 space.
+        addresses: set[int] = set()
+        while len(addresses) < n_total:
+            addresses.add(self._rng.randint_below(1 << 63))
+        free = list(addresses)
+        fields: list[bytes] = [n_total.to_bytes(8, "big")]
+        table_fields: list[bytes] = []
+        cursor = 0
+        for keyword in sorted(self._plain_index):
+            ids = sorted(self._plain_index[keyword])
+            if not ids:
+                continue
+            node_addrs = free[cursor:cursor + len(ids)]
+            cursor += len(ids)
+            node_keys = [self._rng.random_bytes(16) for _ in ids]
+            for j, doc_id in enumerate(ids):
+                last = j == len(ids) - 1
+                next_key = bytes(16) if last else node_keys[j + 1]
+                next_addr = _NULL_ADDR if last else node_addrs[j + 1]
+                node = _encrypt_node(node_keys[j], doc_id, next_key, next_addr)
+                fields.append(node_addrs[j].to_bytes(8, "big"))
+                fields.append(node)
+            head = node_addrs[0].to_bytes(8, "big") + node_keys[0]
+            table_fields.append(self._tag(keyword))
+            table_fields.append(xor_bytes(head, self._mask(keyword)))
+        # Dummy nodes fill the remaining addresses with random bytes.
+        for addr in free[cursor:]:
+            fields.append(addr.to_bytes(8, "big"))
+            fields.append(self._rng.random_bytes(_NODE_PLAIN_SIZE))
+        self._channel.request(
+            Message(MessageType.S1_STORE_ENTRY,
+                    tuple(fields) + tuple(table_fields))
+        ).expect(MessageType.ACK)
+
+    def store(self, documents: Sequence[Document]) -> None:
+        """Upload documents and build the encrypted inverted index."""
+        fields: list[bytes] = []
+        for doc in documents:
+            fields.append(encode_doc_id(doc.doc_id))
+            fields.append(self._cipher.encrypt(
+                doc.data, associated_data=encode_doc_id(doc.doc_id)
+            ))
+            for keyword in doc.keywords:
+                self._plain_index.setdefault(keyword, set()).add(doc.doc_id)
+        if fields:
+            self._channel.request(
+                Message(MessageType.STORE_DOCUMENT, tuple(fields))
+            ).expect(MessageType.ACK)
+        self._rebuild_index()
+
+    def add_documents(self, documents: Sequence[Document]) -> None:
+        """Updates trigger a full rebuild — the cost this baseline exists
+        to demonstrate."""
+        self.store(documents)
+
+    def search(self, keyword: str) -> SearchResult:
+        """One round, O(|D(w)|) server work."""
+        keyword = normalize_keyword(keyword)
+        reply = self._channel.request(
+            Message(MessageType.CGKO_SEARCH_REQUEST,
+                    (self._tag(keyword), self._mask(keyword)))
+        )
+        fields = reply.expect(MessageType.DOCUMENTS_RESULT)
+        doc_ids: list[int] = []
+        documents: list[bytes] = []
+        for i in range(0, len(fields), 2):
+            doc_ids.append(decode_doc_id(fields[i]))
+            documents.append(self._cipher.decrypt(
+                fields[i + 1], associated_data=fields[i]
+            ))
+        return SearchResult(keyword, doc_ids, documents)
+
+
+def make_cgko(master_key: MasterKey, padding_factor: float = 1.25,
+              rng: RandomSource | None = None,
+              model=None) -> tuple[CgkoClient, CgkoServer, Channel]:
+    """Wire up the CGKO SSE-1 baseline over an instrumented channel."""
+    server = CgkoServer()
+    channel = Channel(server, model=model)
+    client = CgkoClient(master_key, channel, padding_factor=padding_factor,
+                        rng=rng)
+    return client, server, channel

@@ -1,0 +1,199 @@
+"""Chang–Mitzenmacher baseline [7] — masked per-document index bits.
+
+ACNS 2005: assume a public dictionary of d possible keywords.  Each stored
+document j carries a d-bit indicator array, bitwise-masked with
+pseudo-random bits the client can selectively open:
+
+    mask bit for (position i, document j)  =  f(s_i, j),  s_i = PRF(k, i)
+    stored bit  M_j[i]  =  I_j[i] ⊕ f(s_i, j)
+
+Searching keyword w = dictionary position i reveals ``s_i``; the server
+recomputes every document's mask bit at position i, unmasks that single
+column, and returns the documents whose indicator bit is 1.  Nothing else
+ever becomes unmasked: each query opens exactly one column forever (the
+scheme's per-query leakage is that column — comparable to the access
+pattern the other schemes leak).
+
+Cost profile: O(n) search (one PRF per document), O(d) bits of index per
+document, constant-cost updates — the "simulation-based security before
+Curtmola, linear search" point in the paper's related work.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.api import SearchResult, SseClient, SseServerHandler
+from repro.core.documents import Document, normalize_keyword
+from repro.core.keys import MasterKey
+from repro.core.server import decode_doc_id, encode_doc_id
+from repro.crypto.authenc import AuthenticatedCipher
+from repro.crypto.hmac_sha256 import hmac_sha256
+from repro.crypto.prf import Prf, derive_key
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.errors import ParameterError, ProtocolError, UnknownKeywordError
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+from repro.storage.docstore import EncryptedDocumentStore
+
+__all__ = ["CmServer", "CmClient", "make_cm"]
+
+
+def _mask_bit(position_key: bytes, doc_id: int) -> int:
+    """f(s_i, j): one pseudo-random mask bit."""
+    return hmac_sha256(position_key, encode_doc_id(doc_id))[0] & 1
+
+
+class CmServer(SseServerHandler):
+    """Stores one masked indicator array per document; opens columns."""
+
+    def __init__(self, dictionary_size: int) -> None:
+        if dictionary_size < 1:
+            raise ParameterError("dictionary must be non-empty")
+        self.dictionary_size = dictionary_size
+        self.documents = EncryptedDocumentStore()
+        self.masked_rows: dict[int, bytearray] = {}
+        self.searches_handled = 0
+        self.rows_probed_last_search = 0
+        # Columns opened by past queries (the scheme's cumulative leakage).
+        self.opened_columns: set[int] = set()
+
+    @property
+    def unique_keywords(self) -> int:
+        """The public dictionary size (keyword structure is positional)."""
+        return self.dictionary_size
+
+    def handle(self, message: Message) -> Message:
+        """Store (id, body, masked row) triples; search opens one column."""
+        if message.type == MessageType.STORE_DOCUMENT:
+            return self._handle_store(message)
+        if message.type == MessageType.CGKO_SEARCH_REQUEST:
+            # Reused wire tag: fields are (position, s_i).
+            return self._handle_search(message)
+        raise ProtocolError(f"unsupported message type {message.type.name}")
+
+    def _handle_store(self, message: Message) -> Message:
+        fields = message.fields
+        if len(fields) % 3:
+            raise ProtocolError("CM store fields come in triples")
+        expected_row = (self.dictionary_size + 7) // 8
+        for i in range(0, len(fields), 3):
+            doc_id = decode_doc_id(fields[i])
+            if len(fields[i + 2]) != expected_row:
+                raise ProtocolError("masked row has the wrong width")
+            self.documents.put(doc_id, fields[i + 1])
+            self.masked_rows[doc_id] = bytearray(fields[i + 2])
+        return Message(MessageType.ACK)
+
+    def _handle_search(self, message: Message) -> Message:
+        position_bytes, position_key = message.expect(
+            MessageType.CGKO_SEARCH_REQUEST, 2
+        )
+        position = int.from_bytes(position_bytes, "big")
+        if position >= self.dictionary_size:
+            raise ProtocolError("dictionary position out of range")
+        self.searches_handled += 1
+        self.opened_columns.add(position)
+        matches: list[int] = []
+        probed = 0
+        for doc_id in sorted(self.masked_rows):
+            probed += 1
+            row = self.masked_rows[doc_id]
+            stored = (row[position // 8] >> (position % 8)) & 1
+            if stored ^ _mask_bit(position_key, doc_id):
+                matches.append(doc_id)
+        self.rows_probed_last_search = probed
+        out: list[bytes] = []
+        for doc_id in matches:
+            out.append(encode_doc_id(doc_id))
+            out.append(self.documents.get(doc_id))
+        return Message(MessageType.DOCUMENTS_RESULT, tuple(out))
+
+
+class CmClient(SseClient):
+    """Client side: fixed public dictionary, per-position mask keys."""
+
+    def __init__(self, master_key: MasterKey, channel: Channel,
+                 dictionary: Sequence[str],
+                 rng: RandomSource | None = None) -> None:
+        super().__init__(channel)
+        if not dictionary:
+            raise ParameterError("CM requires a fixed keyword dictionary")
+        normalized = [normalize_keyword(w) for w in dictionary]
+        if len(set(normalized)) != len(normalized):
+            raise ParameterError("dictionary keywords must be unique")
+        self._positions = {w: i for i, w in enumerate(normalized)}
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._cipher = AuthenticatedCipher(master_key.k_m, rng=self._rng)
+        self._position_prf = Prf(derive_key(master_key.k_w, b"cm-column"),
+                                 label=b"repro.cm.column")
+
+    @property
+    def dictionary_size(self) -> int:
+        return len(self._positions)
+
+    def _position_key(self, position: int) -> bytes:
+        """s_i = PRF(k, i)."""
+        return self._position_prf.evaluate(position.to_bytes(4, "big"))
+
+    def _masked_row(self, doc: Document) -> bytes:
+        row = bytearray((len(self._positions) + 7) // 8)
+        for keyword, position in self._positions.items():
+            bit = 1 if keyword in doc.keywords else 0
+            masked = bit ^ _mask_bit(self._position_key(position),
+                                     doc.doc_id)
+            if masked:
+                row[position // 8] |= 1 << (position % 8)
+        return bytes(row)
+
+    def store(self, documents: Sequence[Document]) -> None:
+        """Upload (id, encrypted body, masked indicator row) triples."""
+        for doc in documents:
+            unknown = doc.keywords - set(self._positions)
+            if unknown:
+                raise ParameterError(
+                    f"keywords outside the dictionary: {sorted(unknown)[:3]}"
+                )
+        fields: list[bytes] = []
+        for doc in documents:
+            fields.append(encode_doc_id(doc.doc_id))
+            fields.append(self._cipher.encrypt(
+                doc.data, associated_data=encode_doc_id(doc.doc_id)
+            ))
+            fields.append(self._masked_row(doc))
+        self._channel.request(
+            Message(MessageType.STORE_DOCUMENT, tuple(fields))
+        ).expect(MessageType.ACK)
+
+    def add_documents(self, documents: Sequence[Document]) -> None:
+        """Updates are per-document rows — constant cost, like Goh."""
+        self.store(documents)
+
+    def search(self, keyword: str) -> SearchResult:
+        """Reveal one column key; the server scans all n rows."""
+        keyword = normalize_keyword(keyword)
+        position = self._positions.get(keyword)
+        if position is None:
+            raise UnknownKeywordError(keyword)
+        reply = self._channel.request(Message(
+            MessageType.CGKO_SEARCH_REQUEST,
+            (position.to_bytes(4, "big"), self._position_key(position)),
+        ))
+        fields = reply.expect(MessageType.DOCUMENTS_RESULT)
+        doc_ids: list[int] = []
+        documents: list[bytes] = []
+        for i in range(0, len(fields), 2):
+            doc_ids.append(decode_doc_id(fields[i]))
+            documents.append(self._cipher.decrypt(
+                fields[i + 1], associated_data=fields[i]
+            ))
+        return SearchResult(keyword, doc_ids, documents)
+
+
+def make_cm(master_key: MasterKey, dictionary: Sequence[str],
+            rng: RandomSource | None = None,
+            model=None) -> tuple[CmClient, CmServer, Channel]:
+    """Wire up the Chang–Mitzenmacher baseline over an instrumented channel."""
+    server = CmServer(dictionary_size=len(dictionary))
+    channel = Channel(server, model=model)
+    return CmClient(master_key, channel, dictionary, rng=rng), server, channel

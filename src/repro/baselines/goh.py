@@ -1,0 +1,206 @@
+"""Goh's Z-IDX baseline [12] — one Bloom-filter secure index per document.
+
+For document id *d* and keyword *w*:
+
+* trapdoor  T(w) = (y_1, ..., y_r) with y_i = f(k_i, w) — computable only
+  by the key holder;
+* codeword  C(w, d) = (f(y_1, d), ..., f(y_r, d)) — document-specific, so
+  equal keywords give unrelated Bloom positions in different documents;
+* index(d) = Bloom filter containing C(w, d) for every w ∈ W_d, blinded
+  with random extra bits so filters don't reveal keyword counts.
+
+Search(T): for each document the server derives the codeword from the
+trapdoor and the public doc id, then probes that document's filter —
+**Θ(n · r)** work, the other linear-search comparator for the S3 bench.
+Updates are cheap and local (build one new filter).  Bloom false positives
+make Search one-sided: no false negatives, occasional spurious documents
+(IND-CKA hides which).  ``false_positives_last_search`` counts them when
+the caller supplies ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.api import SearchResult, SseClient, SseServerHandler
+from repro.core.documents import Document, normalize_keyword
+from repro.core.keys import MasterKey
+from repro.core.server import decode_doc_id, encode_doc_id
+from repro.crypto.authenc import AuthenticatedCipher
+from repro.crypto.bytesutil import bytes_to_int
+from repro.crypto.hmac_sha256 import hmac_sha256
+from repro.crypto.prf import derive_key
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.ds.bloom import BloomFilter, optimal_parameters
+from repro.errors import ProtocolError
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+from repro.storage.docstore import EncryptedDocumentStore
+
+__all__ = ["GohServer", "GohClient", "make_goh", "DEFAULT_FP_RATE"]
+
+DEFAULT_FP_RATE = 0.001
+
+
+class GohServer(SseServerHandler):
+    """Holds one (blinded) Bloom filter per document and probes them all."""
+
+    def __init__(self, bloom_bits: int, bloom_hashes: int) -> None:
+        self.documents = EncryptedDocumentStore()
+        self.filters: dict[int, BloomFilter] = {}
+        self.bloom_bits = bloom_bits
+        self.bloom_hashes = bloom_hashes
+        self.searches_handled = 0
+        self.filters_probed_last_search = 0
+
+    @property
+    def unique_keywords(self) -> int:
+        """Z-IDX stores no global keyword state; report document count."""
+        return len(self.filters)
+
+    def handle(self, message: Message) -> Message:
+        """Store (id, body, filter) triples; search probes every filter."""
+        if message.type == MessageType.STORE_DOCUMENT:
+            return self._handle_store(message)
+        if message.type == MessageType.GOH_SEARCH_REQUEST:
+            return self._handle_search(message)
+        raise ProtocolError(f"unsupported message type {message.type.name}")
+
+    def _handle_store(self, message: Message) -> Message:
+        fields = message.fields
+        if len(fields) % 3:
+            raise ProtocolError("Goh store fields come in triples")
+        for i in range(0, len(fields), 3):
+            doc_id = decode_doc_id(fields[i])
+            self.documents.put(doc_id, fields[i + 1])
+            bf = BloomFilter(self.bloom_bits, self.bloom_hashes)
+            blob = fields[i + 2]
+            if len(blob) != len(bf.to_bytes()):
+                raise ProtocolError("bloom filter has the wrong width")
+            bf._bits = bytearray(blob)  # raw upload of the client's filter
+            self.filters[doc_id] = bf
+        return Message(MessageType.ACK)
+
+    def _positions_for_doc(self, trapdoor: tuple[bytes, ...],
+                           doc_id: int) -> list[int]:
+        """Derive the per-document codeword positions from the trapdoor."""
+        positions = []
+        doc_bytes = encode_doc_id(doc_id)
+        for y in trapdoor:
+            digest = hmac_sha256(y, doc_bytes)
+            positions.append(bytes_to_int(digest[:8]) % self.bloom_bits)
+        return positions
+
+    def _handle_search(self, message: Message) -> Message:
+        trapdoor = message.expect(MessageType.GOH_SEARCH_REQUEST)
+        if len(trapdoor) != self.bloom_hashes:
+            raise ProtocolError("trapdoor arity must equal the hash count")
+        self.searches_handled += 1
+        probed = 0
+        matches: list[int] = []
+        for doc_id in sorted(self.filters):
+            probed += 1
+            positions = self._positions_for_doc(trapdoor, doc_id)
+            if self.filters[doc_id].contains_positions(positions):
+                matches.append(doc_id)
+        self.filters_probed_last_search = probed
+        out: list[bytes] = []
+        for doc_id in matches:
+            out.append(encode_doc_id(doc_id))
+            out.append(self.documents.get(doc_id))
+        return Message(MessageType.DOCUMENTS_RESULT, tuple(out))
+
+
+class GohClient(SseClient):
+    """Client side: builds per-document blinded filters, issues trapdoors.
+
+    ``expected_keywords_per_doc`` sizes the filters; ``blind`` adds the
+    §4.1-of-Goh random bits so every filter carries the same apparent load.
+    """
+
+    def __init__(self, master_key: MasterKey, channel: Channel,
+                 expected_keywords_per_doc: int = 64,
+                 false_positive_rate: float = DEFAULT_FP_RATE,
+                 blind: bool = True,
+                 rng: RandomSource | None = None) -> None:
+        super().__init__(channel)
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._cipher = AuthenticatedCipher(master_key.k_m, rng=self._rng)
+        self.bloom_bits, self.bloom_hashes = optimal_parameters(
+            expected_keywords_per_doc, false_positive_rate
+        )
+        self._trapdoor_keys = [
+            derive_key(master_key.k_w, b"goh-trapdoor-%d" % i)
+            for i in range(self.bloom_hashes)
+        ]
+        self._expected_keywords = expected_keywords_per_doc
+        self._blind = blind
+
+    def trapdoor(self, keyword: str) -> tuple[bytes, ...]:
+        """T(w) = (f(k_1, w), ..., f(k_r, w))."""
+        word = normalize_keyword(keyword).encode("utf-8")
+        return tuple(hmac_sha256(k, word) for k in self._trapdoor_keys)
+
+    def _build_filter(self, doc: Document) -> BloomFilter:
+        bf = BloomFilter(self.bloom_bits, self.bloom_hashes)
+        doc_bytes = encode_doc_id(doc.doc_id)
+        for keyword in doc.keywords:
+            positions = [
+                bytes_to_int(hmac_sha256(y, doc_bytes)[:8]) % self.bloom_bits
+                for y in self.trapdoor(keyword)
+            ]
+            bf.add_positions(positions)
+        if self._blind:
+            # Top every filter up to the same apparent keyword count so the
+            # server cannot read |W_d| off the fill ratio.
+            deficit = max(0, self._expected_keywords - len(doc.keywords))
+            bf.set_random_bits(deficit * self.bloom_hashes, self._rng)
+        return bf
+
+    def store(self, documents: Sequence[Document]) -> None:
+        """Upload (id, encrypted body, bloom filter) per document."""
+        fields: list[bytes] = []
+        for doc in documents:
+            fields.append(encode_doc_id(doc.doc_id))
+            fields.append(self._cipher.encrypt(
+                doc.data, associated_data=encode_doc_id(doc.doc_id)
+            ))
+            fields.append(self._build_filter(doc).to_bytes())
+        self._channel.request(
+            Message(MessageType.STORE_DOCUMENT, tuple(fields))
+        ).expect(MessageType.ACK)
+
+    def add_documents(self, documents: Sequence[Document]) -> None:
+        """Per-document filters make updates purely local and cheap."""
+        self.store(documents)
+
+    def search(self, keyword: str) -> SearchResult:
+        """One round; server probes all n filters (possible false positives)."""
+        reply = self._channel.request(
+            Message(MessageType.GOH_SEARCH_REQUEST, self.trapdoor(keyword))
+        )
+        fields = reply.expect(MessageType.DOCUMENTS_RESULT)
+        doc_ids: list[int] = []
+        documents: list[bytes] = []
+        for i in range(0, len(fields), 2):
+            doc_ids.append(decode_doc_id(fields[i]))
+            documents.append(self._cipher.decrypt(
+                fields[i + 1], associated_data=fields[i]
+            ))
+        return SearchResult(normalize_keyword(keyword), doc_ids, documents)
+
+
+def make_goh(master_key: MasterKey, expected_keywords_per_doc: int = 64,
+             false_positive_rate: float = DEFAULT_FP_RATE,
+             blind: bool = True, rng: RandomSource | None = None,
+             model=None) -> tuple[GohClient, GohServer, Channel]:
+    """Wire up the Goh Z-IDX baseline over an instrumented channel."""
+    bits, hashes = optimal_parameters(expected_keywords_per_doc,
+                                      false_positive_rate)
+    server = GohServer(bloom_bits=bits, bloom_hashes=hashes)
+    channel = Channel(server, model=model)
+    client = GohClient(master_key, channel,
+                       expected_keywords_per_doc=expected_keywords_per_doc,
+                       false_positive_rate=false_positive_rate,
+                       blind=blind, rng=rng)
+    return client, server, channel

@@ -1,0 +1,132 @@
+"""Naive baseline: download everything, decrypt, filter locally.
+
+The trivial "perfect privacy, zero server help" point of the design space:
+search leaks nothing (the server always ships the whole database) but costs
+O(total database bytes) in bandwidth and O(n) client-side decryption per
+query.  Every comparison bench uses it as the lower bound on leakage and
+the upper bound on search cost.
+
+Keywords ride inside the encrypted blob (length-prefixed alongside the
+data) because the client keeps no local index.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+from repro.core.api import SearchResult, SseClient, SseServerHandler
+from repro.core.documents import Document, normalize_keyword
+from repro.core.keys import MasterKey
+from repro.core.server import decode_doc_id, encode_doc_id
+from repro.crypto.authenc import AuthenticatedCipher
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.errors import ProtocolError
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+from repro.storage.docstore import EncryptedDocumentStore
+
+__all__ = ["NaiveServer", "NaiveClient", "make_naive"]
+
+
+def _pack_document(doc: Document) -> bytes:
+    """Serialize (data, keywords) for in-blob transport."""
+    keywords_blob = b"\x00".join(
+        w.encode("utf-8") for w in sorted(doc.keywords)
+    )
+    return struct.pack(">I", len(doc.data)) + doc.data + keywords_blob
+
+
+def _unpack_document(blob: bytes) -> tuple[bytes, frozenset[str]]:
+    """Invert :func:`_pack_document`."""
+    (data_len,) = struct.unpack(">I", blob[:4])
+    data = blob[4:4 + data_len]
+    keywords_blob = blob[4 + data_len:]
+    keywords = frozenset(
+        part.decode("utf-8")
+        for part in keywords_blob.split(b"\x00") if part
+    )
+    return data, keywords
+
+
+class NaiveServer(SseServerHandler):
+    """Stores opaque blobs; the only query is "send me everything"."""
+
+    def __init__(self) -> None:
+        self.documents = EncryptedDocumentStore()
+        self.searches_handled = 0
+
+    @property
+    def unique_keywords(self) -> int:
+        """The naive server holds no keyword structure at all."""
+        return 0
+
+    def handle(self, message: Message) -> Message:
+        """STORE_DOCUMENT pairs in; NAIVE_FETCH_ALL returns the world."""
+        if message.type == MessageType.STORE_DOCUMENT:
+            fields = message.fields
+            if len(fields) % 2:
+                raise ProtocolError("STORE_DOCUMENT fields come in pairs")
+            for i in range(0, len(fields), 2):
+                self.documents.put(decode_doc_id(fields[i]), fields[i + 1])
+            return Message(MessageType.ACK)
+        if message.type == MessageType.NAIVE_FETCH_ALL:
+            self.searches_handled += 1
+            out: list[bytes] = []
+            for doc_id in sorted(self.documents.ids()):
+                out.append(encode_doc_id(doc_id))
+                out.append(self.documents.get(doc_id))
+            return Message(MessageType.DOCUMENTS_RESULT, tuple(out))
+        raise ProtocolError(f"unsupported message type {message.type.name}")
+
+
+class NaiveClient(SseClient):
+    """Client that scans its own database on every search."""
+
+    def __init__(self, master_key: MasterKey, channel: Channel,
+                 rng: RandomSource | None = None) -> None:
+        super().__init__(channel)
+        self._cipher = AuthenticatedCipher(
+            master_key.k_m, rng=rng if rng is not None else SystemRandomSource()
+        )
+
+    def store(self, documents: Sequence[Document]) -> None:
+        """Upload encrypted (data + keywords) blobs."""
+        fields: list[bytes] = []
+        for doc in documents:
+            fields.append(encode_doc_id(doc.doc_id))
+            fields.append(self._cipher.encrypt(
+                _pack_document(doc), associated_data=encode_doc_id(doc.doc_id)
+            ))
+        self._channel.request(
+            Message(MessageType.STORE_DOCUMENT, tuple(fields))
+        ).expect(MessageType.ACK)
+
+    def add_documents(self, documents: Sequence[Document]) -> None:
+        """Updates are plain uploads — the cheapest update of any scheme."""
+        self.store(documents)
+
+    def search(self, keyword: str) -> SearchResult:
+        """Fetch the whole database and filter after decryption."""
+        keyword = normalize_keyword(keyword)
+        reply = self._channel.request(Message(MessageType.NAIVE_FETCH_ALL))
+        fields = reply.expect(MessageType.DOCUMENTS_RESULT)
+        doc_ids: list[int] = []
+        documents: list[bytes] = []
+        for i in range(0, len(fields), 2):
+            doc_id = decode_doc_id(fields[i])
+            blob = self._cipher.decrypt(fields[i + 1],
+                                        associated_data=fields[i])
+            data, keywords = _unpack_document(blob)
+            if keyword in keywords:
+                doc_ids.append(doc_id)
+                documents.append(data)
+        return SearchResult(keyword, doc_ids, documents)
+
+
+def make_naive(master_key: MasterKey, rng: RandomSource | None = None,
+               model=None) -> tuple[NaiveClient, NaiveServer, Channel]:
+    """Wire up the naive baseline over an instrumented channel."""
+    server = NaiveServer()
+    channel = Channel(server, model=model)
+    return NaiveClient(master_key, channel, rng=rng), server, channel

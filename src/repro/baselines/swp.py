@@ -1,0 +1,182 @@
+"""Song–Wagner–Perrig (SWP) baseline [20] — per-word searchable encryption.
+
+The first practical SSE scheme (S&P 2000), reproduced here in its "hidden
+search" variant.  Every keyword occurrence in every document becomes one
+searchable 32-byte word ciphertext:
+
+    X_i   = Ẽ(w)                      (deterministic pre-encryption, 32 B)
+    S_i   ←  pseudo-random stream     (24 B, fresh per position)
+    k_i   = f_{k'}(X_i)               (per-word check key)
+    C_i   = X_i ⊕ ( S_i ‖ F_{k_i}(S_i) )
+
+To search for w the client reveals ``X = Ẽ(w)`` and ``k = f_{k'}(X)``; the
+server XORs X against *every* stored word ciphertext and accepts position i
+iff the trailing 8 bytes equal ``F_k`` of the leading 24.  Search is
+therefore **Θ(total keyword occurrences)** — the linear cost the paper's §3
+identifies in conventional schemes — and this module's instrumentation
+(``words_scanned_last_search``) feeds the S3-linear benchmark.
+
+Updates are cheap: new documents just append word ciphertexts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.api import SearchResult, SseClient, SseServerHandler
+from repro.core.documents import Document, normalize_keyword
+from repro.core.keys import MasterKey
+from repro.core.server import decode_doc_id, encode_doc_id
+from repro.crypto.authenc import AuthenticatedCipher
+from repro.crypto.bytesutil import ct_equal, xor_bytes
+from repro.crypto.hmac_sha256 import hmac_sha256
+from repro.crypto.prf import Prf, derive_key
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.errors import ProtocolError
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+from repro.storage.docstore import EncryptedDocumentStore
+
+__all__ = ["SwpServer", "SwpClient", "make_swp", "WORD_SIZE"]
+
+WORD_SIZE = 32
+_STREAM_PART = 24
+_CHECK_PART = 8
+
+
+class SwpServer(SseServerHandler):
+    """Holds the flat list of word ciphertexts and linearly scans it."""
+
+    def __init__(self) -> None:
+        self.documents = EncryptedDocumentStore()
+        # (doc_id, word ciphertext) in storage order.
+        self.word_ciphertexts: list[tuple[int, bytes]] = []
+        self.searches_handled = 0
+        self.words_scanned_last_search = 0
+
+    @property
+    def unique_keywords(self) -> int:
+        """SWP has no per-unique-keyword state; report word count instead."""
+        return len(self.word_ciphertexts)
+
+    def handle(self, message: Message) -> Message:
+        """STORE_DOCUMENT pairs / word-list triples; linear-scan search."""
+        if message.type == MessageType.STORE_DOCUMENT:
+            return self._handle_store(message)
+        if message.type == MessageType.SWP_SEARCH_REQUEST:
+            return self._handle_search(message)
+        raise ProtocolError(f"unsupported message type {message.type.name}")
+
+    def _handle_store(self, message: Message) -> Message:
+        # Fields: doc_id, body ciphertext, word-ciphertext blob (n*32 bytes),
+        # repeated per document.
+        fields = message.fields
+        if len(fields) % 3:
+            raise ProtocolError("SWP store fields come in triples")
+        for i in range(0, len(fields), 3):
+            doc_id = decode_doc_id(fields[i])
+            self.documents.put(doc_id, fields[i + 1])
+            blob = fields[i + 2]
+            if len(blob) % WORD_SIZE:
+                raise ProtocolError("word blob must be a multiple of 32")
+            for off in range(0, len(blob), WORD_SIZE):
+                self.word_ciphertexts.append(
+                    (doc_id, blob[off:off + WORD_SIZE])
+                )
+        return Message(MessageType.ACK)
+
+    def _handle_search(self, message: Message) -> Message:
+        x, check_key = message.expect(MessageType.SWP_SEARCH_REQUEST, 2)
+        if len(x) != WORD_SIZE:
+            raise ProtocolError("SWP search token must be 32 bytes")
+        self.searches_handled += 1
+        matches: list[int] = []
+        seen: set[int] = set()
+        scanned = 0
+        for doc_id, word_ct in self.word_ciphertexts:
+            scanned += 1
+            plain = xor_bytes(word_ct, x)
+            stream, check = plain[:_STREAM_PART], plain[_STREAM_PART:]
+            expected = hmac_sha256(check_key, stream)[:_CHECK_PART]
+            if ct_equal(check, expected) and doc_id not in seen:
+                seen.add(doc_id)
+                matches.append(doc_id)
+        self.words_scanned_last_search = scanned
+        out: list[bytes] = []
+        for doc_id in sorted(matches):
+            out.append(encode_doc_id(doc_id))
+            out.append(self.documents.get(doc_id))
+        return Message(MessageType.DOCUMENTS_RESULT, tuple(out))
+
+
+class SwpClient(SseClient):
+    """Client side: deterministic pre-encryption + per-position streams."""
+
+    def __init__(self, master_key: MasterKey, channel: Channel,
+                 rng: RandomSource | None = None) -> None:
+        super().__init__(channel)
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._cipher = AuthenticatedCipher(master_key.k_m, rng=self._rng)
+        self._pre_prf = Prf(derive_key(master_key.k_w, b"swp-pre"),
+                            label=b"repro.swp.pre")
+        self._check_prf = Prf(derive_key(master_key.k_w, b"swp-check"),
+                              label=b"repro.swp.check")
+
+    def _pre_encrypt(self, keyword: str) -> bytes:
+        """Deterministic Ẽ(w): 32-byte PRF image of the keyword."""
+        return self._pre_prf.evaluate(keyword.encode("utf-8"))
+
+    def _check_key(self, x: bytes) -> bytes:
+        """k_i = f_{k'}(X_i)."""
+        return self._check_prf.evaluate(x)
+
+    def _word_ciphertext(self, keyword: str) -> bytes:
+        x = self._pre_encrypt(keyword)
+        stream = self._rng.random_bytes(_STREAM_PART)
+        check = hmac_sha256(self._check_key(x), stream)[:_CHECK_PART]
+        return xor_bytes(x, stream + check)
+
+    def store(self, documents: Sequence[Document]) -> None:
+        """Upload each document body plus one word ciphertext per keyword."""
+        fields: list[bytes] = []
+        for doc in documents:
+            fields.append(encode_doc_id(doc.doc_id))
+            fields.append(self._cipher.encrypt(
+                doc.data, associated_data=encode_doc_id(doc.doc_id)
+            ))
+            blob = b"".join(
+                self._word_ciphertext(w) for w in sorted(doc.keywords)
+            )
+            fields.append(blob)
+        self._channel.request(
+            Message(MessageType.STORE_DOCUMENT, tuple(fields))
+        ).expect(MessageType.ACK)
+
+    def add_documents(self, documents: Sequence[Document]) -> None:
+        """Appending word ciphertexts is all an SWP update takes."""
+        self.store(documents)
+
+    def search(self, keyword: str) -> SearchResult:
+        """One round; server does the linear scan."""
+        keyword = normalize_keyword(keyword)
+        x = self._pre_encrypt(keyword)
+        reply = self._channel.request(
+            Message(MessageType.SWP_SEARCH_REQUEST, (x, self._check_key(x)))
+        )
+        fields = reply.expect(MessageType.DOCUMENTS_RESULT)
+        doc_ids: list[int] = []
+        documents: list[bytes] = []
+        for i in range(0, len(fields), 2):
+            doc_ids.append(decode_doc_id(fields[i]))
+            documents.append(self._cipher.decrypt(
+                fields[i + 1], associated_data=fields[i]
+            ))
+        return SearchResult(keyword, doc_ids, documents)
+
+
+def make_swp(master_key: MasterKey, rng: RandomSource | None = None,
+             model=None) -> tuple[SwpClient, SwpServer, Channel]:
+    """Wire up the SWP baseline over an instrumented channel."""
+    server = SwpServer()
+    channel = Channel(server, model=model)
+    return SwpClient(master_key, channel, rng=rng), server, channel

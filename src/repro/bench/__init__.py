@@ -1,0 +1,17 @@
+"""Benchmark harness utilities: timing, complexity fits, table formatting."""
+
+from repro.bench.fits import MODELS, FitResult, best_fit, fit_model
+from repro.bench.reporting import format_header, format_table
+from repro.bench.timing import Measurement, measure, repeat_measure
+
+__all__ = [
+    "FitResult",
+    "MODELS",
+    "Measurement",
+    "best_fit",
+    "fit_model",
+    "format_header",
+    "format_table",
+    "measure",
+    "repeat_measure",
+]

@@ -1,0 +1,84 @@
+"""Complexity-model fitting for the scaling benchmarks.
+
+The paper's claims are asymptotic (O(log u) vs O(n)); the benchmarks verify
+them by measuring cost over a parameter sweep and asking which model —
+constant, logarithmic, linear, n·log n — explains the curve best under
+least squares.  ``best_fit`` returns the winning model name, which the
+EXPERIMENTS.md tables quote directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["FitResult", "fit_model", "best_fit", "MODELS"]
+
+Model = Callable[[float], float]
+
+MODELS: dict[str, Model] = {
+    "O(1)": lambda n: 1.0,
+    "O(log n)": lambda n: math.log2(max(n, 2.0)),
+    "O(n)": lambda n: n,
+    "O(n log n)": lambda n: n * math.log2(max(n, 2.0)),
+}
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Least-squares fit of measurements to one complexity model."""
+
+    model: str
+    scale: float
+    intercept: float
+    r_squared: float
+
+
+def fit_model(xs: Sequence[float], ys: Sequence[float],
+              model_name: str) -> FitResult:
+    """Fit y ≈ scale * model(x) + intercept by ordinary least squares."""
+    if model_name not in MODELS:
+        raise ParameterError(f"unknown model {model_name}")
+    if len(xs) != len(ys) or len(xs) < 3:
+        raise ParameterError("need at least 3 paired measurements")
+    model = MODELS[model_name]
+    fs = [model(float(x)) for x in xs]
+    n = len(xs)
+    mean_f = sum(fs) / n
+    mean_y = sum(ys) / n
+    var_f = sum((f - mean_f) ** 2 for f in fs)
+    if var_f == 0:
+        # Constant model: scale is irrelevant, intercept is the mean.
+        scale = 0.0
+        intercept = mean_y
+    else:
+        cov = sum((f - mean_f) * (y - mean_y) for f, y in zip(fs, ys))
+        scale = cov / var_f
+        intercept = mean_y - scale * mean_f
+    ss_res = sum(
+        (y - (scale * f + intercept)) ** 2 for f, y in zip(fs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return FitResult(model=model_name, scale=scale, intercept=intercept,
+                     r_squared=r_squared)
+
+
+def best_fit(xs: Sequence[float], ys: Sequence[float],
+             candidates: Sequence[str] = ("O(1)", "O(log n)", "O(n)"),
+             ) -> FitResult:
+    """Return the candidate model with the highest R².
+
+    Negative-slope fits are demoted: a "linear" fit with negative scale is
+    not evidence of linear growth.
+    """
+    results = []
+    for name in candidates:
+        fit = fit_model(xs, ys, name)
+        penalized = fit.r_squared if fit.scale >= 0 or name == "O(1)" else -1.0
+        results.append((penalized, fit))
+    results.sort(key=lambda pair: pair[0], reverse=True)
+    return results[0][1]

@@ -1,0 +1,42 @@
+"""Paper-style table formatting for benchmark output.
+
+Every bench prints its reproduction of a table or figure through these
+helpers so EXPERIMENTS.md can be assembled from captured stdout.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_header"]
+
+
+def format_header(title: str) -> str:
+    """A banner line naming the paper artifact being regenerated."""
+    rule = "=" * max(len(title), 8)
+    return f"\n{rule}\n{title}\n{rule}"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with right-padded columns."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                columns[i].append(f"{cell:.4g}")
+            else:
+                columns[i].append(str(cell))
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header_line = "  ".join(
+        columns[i][0].ljust(widths[i]) for i in range(len(columns))
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    n_rows = len(columns[0]) - 1
+    for r in range(1, n_rows + 1):
+        lines.append("  ".join(
+            columns[i][r].ljust(widths[i]) for i in range(len(columns))
+        ))
+    return "\n".join(lines)

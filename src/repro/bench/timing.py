@@ -1,0 +1,35 @@
+"""Timing helpers for the benchmark harness.
+
+``pytest-benchmark`` handles per-function statistics; these helpers cover
+the sweep-style experiments (cost vs. parameter curves) that need one
+number per configuration rather than a distribution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Measurement", "measure", "repeat_measure"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed call: wall-clock seconds plus the call's return value."""
+
+    seconds: float
+    value: object
+
+
+def measure(fn: Callable[[], object]) -> Measurement:
+    """Time a single call with the monotonic high-resolution clock."""
+    start = time.perf_counter()
+    value = fn()
+    return Measurement(seconds=time.perf_counter() - start, value=value)
+
+
+def repeat_measure(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Median wall-clock seconds over *repeats* calls (discards values)."""
+    times = sorted(measure(fn).seconds for _ in range(repeats))
+    return times[len(times) // 2]

@@ -1,0 +1,208 @@
+"""Command-line PHR⁺ client — searchable encrypted storage in a directory.
+
+A minimal but complete deployment of Scheme 2 with durable state::
+
+    python -m repro.cli init      --home ~/.phr
+    python -m repro.cli store     --home ~/.phr --id 0 --keywords flu,fever \
+                                  --text "visit note"
+    python -m repro.cli search    --home ~/.phr --keyword flu
+    python -m repro.cli remove    --home ~/.phr --id 0 --keywords flu,fever
+    python -m repro.cli stats     --home ~/.phr
+
+Layout of ``--home``:
+
+* ``server.log`` — the honest-but-curious server's entire persisted state
+  (checksummed append-only log: encrypted bodies + index segments);
+* ``client.json`` — the client's counter/epoch state (no key material);
+* ``master.key``  — the master key, hex.  In a real deployment this file
+  would live in a vault/smartcard; the CLI keeps it beside the state for
+  demonstration and sets mode 0600.
+
+Everything in ``server.log`` is exactly what an adversarial server would
+see — inspect it with ``stats`` or a hex dumper to convince yourself no
+keyword survives in the clear.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.core.documents import Document
+from repro.core.keys import MasterKey, keygen
+from repro.core.persistence import (PersistentScheme2Server,
+                                    export_client_state,
+                                    restore_client_state)
+from repro.core.scheme2 import Scheme2Client
+from repro.errors import ReproError
+from repro.net.channel import Channel
+
+__all__ = ["main"]
+
+_CHAIN_LENGTH = 4096
+
+
+def _paths(home: str) -> dict[str, str]:
+    return {
+        "server": os.path.join(home, "server.log"),
+        "client": os.path.join(home, "client.json"),
+        "key": os.path.join(home, "master.key"),
+    }
+
+
+def _load_master_key(path: str) -> MasterKey:
+    with open(path) as fh:
+        payload = json.load(fh)
+    return MasterKey(k_m=bytes.fromhex(payload["k_m"]),
+                     k_w=bytes.fromhex(payload["k_w"]))
+
+
+def _open(home: str) -> tuple[Scheme2Client, PersistentScheme2Server]:
+    paths = _paths(home)
+    if not os.path.exists(paths["key"]):
+        raise ReproError(f"{home} is not initialized (run `init` first)")
+    master_key = _load_master_key(paths["key"])
+    server = PersistentScheme2Server(paths["server"],
+                                     max_walk=_CHAIN_LENGTH)
+    client = Scheme2Client(master_key, Channel(server),
+                           chain_length=_CHAIN_LENGTH)
+    if os.path.exists(paths["client"]):
+        with open(paths["client"]) as fh:
+            restore_client_state(client, fh.read())
+    return client, server
+
+
+def _save_client(home: str, client: Scheme2Client) -> None:
+    with open(_paths(home)["client"], "w") as fh:
+        fh.write(export_client_state(client))
+
+
+def cmd_init(args: argparse.Namespace) -> int:
+    paths = _paths(args.home)
+    os.makedirs(args.home, exist_ok=True)
+    if os.path.exists(paths["key"]):
+        print(f"{args.home} already initialized", file=sys.stderr)
+        return 1
+    master_key = keygen()
+    fd = os.open(paths["key"], os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o600)
+    with os.fdopen(fd, "w") as fh:
+        json.dump({"k_m": master_key.k_m.hex(),
+                   "k_w": master_key.k_w.hex()}, fh)
+    client, _ = _open(args.home)
+    _save_client(args.home, client)
+    print(f"initialized encrypted store in {args.home}")
+    return 0
+
+
+def _parse_keywords(raw: str) -> frozenset[str]:
+    return frozenset(part for part in raw.split(",") if part.strip())
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    client, _ = _open(args.home)
+    text = args.text if args.text is not None else sys.stdin.read()
+    document = Document(args.id, text.encode("utf-8"),
+                        _parse_keywords(args.keywords))
+    client.add_documents([document])
+    _save_client(args.home, client)
+    print(f"stored document {args.id} "
+          f"({len(document.keywords)} keywords, counter "
+          f"{client.ctr}/{client.chain_length})")
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    client, server = _open(args.home)
+    result = client.search(args.keyword)
+    _save_client(args.home, client)  # searches move the Opt-2 flag
+    print(f"{len(result.doc_ids)} match(es) for {args.keyword!r} "
+          f"(chain walk: {server.chain_steps_last_search} steps)")
+    for doc_id, body in zip(result.doc_ids, result.documents):
+        print(f"--- doc {doc_id} ---")
+        print(body.decode("utf-8", errors="replace"))
+    return 0
+
+
+def cmd_remove(args: argparse.Namespace) -> int:
+    client, _ = _open(args.home)
+    document = Document(args.id, b"", _parse_keywords(args.keywords))
+    client.remove_documents([document])
+    _save_client(args.home, client)
+    print(f"removed document {args.id}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    client, server = _open(args.home)
+    paths = _paths(args.home)
+    print(f"documents stored:   {len(server.documents)}")
+    print(f"unique keywords:    {server.unique_keywords} (as opaque tags)")
+    print(f"update counter:     {client.ctr}/{client.chain_length} "
+          f"(epoch {client.epoch})")
+    print(f"server log size:    {os.path.getsize(paths['server'])} bytes")
+    print(f"dead log records:   {server._kv.dead_records} "
+          f"(run `compact` to reclaim)")
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    _, server = _open(args.home)
+    before = os.path.getsize(_paths(args.home)["server"])
+    server.compact()
+    after = os.path.getsize(_paths(args.home)["server"])
+    print(f"compacted server log: {before} -> {after} bytes")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Searchable-encrypted document store (Scheme 2)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_init = sub.add_parser("init", help="create a new encrypted store")
+    p_init.set_defaults(fn=cmd_init)
+
+    p_store = sub.add_parser("store", help="store one document")
+    p_store.add_argument("--id", type=int, required=True)
+    p_store.add_argument("--keywords", required=True,
+                         help="comma-separated keyword list")
+    p_store.add_argument("--text", help="document body (default: stdin)")
+    p_store.set_defaults(fn=cmd_store)
+
+    p_search = sub.add_parser("search", help="search by keyword")
+    p_search.add_argument("--keyword", required=True)
+    p_search.set_defaults(fn=cmd_search)
+
+    p_remove = sub.add_parser("remove", help="remove one document")
+    p_remove.add_argument("--id", type=int, required=True)
+    p_remove.add_argument("--keywords", required=True,
+                          help="the document's full keyword list")
+    p_remove.set_defaults(fn=cmd_remove)
+
+    p_stats = sub.add_parser("stats", help="store statistics")
+    p_stats.set_defaults(fn=cmd_stats)
+
+    p_compact = sub.add_parser("compact", help="compact the server log")
+    p_compact.set_defaults(fn=cmd_compact)
+
+    for p in (p_store, p_search, p_remove, p_stats, p_compact, p_init):
+        p.add_argument("--home", default=os.path.expanduser("~/.repro-sse"),
+                       help="store directory (default: ~/.repro-sse)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

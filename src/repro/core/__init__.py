@@ -1,0 +1,94 @@
+"""Core SSE library: the paper's two schemes behind a common API.
+
+Typical use::
+
+    from repro.core import (Document, keygen, make_scheme1, make_scheme2)
+
+    client, server, channel = make_scheme2(keygen())
+    client.store([Document(0, b"note", frozenset({"fever"}))])
+    result = client.search("fever")
+"""
+
+from repro.core.api import SearchResult, SseClient, SseServerHandler
+from repro.core.documents import Document, extract_keywords, normalize_keyword
+from repro.core.keys import MasterKey, keygen
+from repro.core.queries import search_all, search_any
+from repro.core.scheme1 import Scheme1Client, Scheme1Server, group_keywords
+from repro.core.scheme2 import (DEFAULT_CHAIN_LENGTH, Scheme2Client,
+                                Scheme2Server)
+from repro.core.server import BaseSseServer
+from repro.core.updates import HardenedUpdater
+from repro.crypto.elgamal import ElGamalKeyPair
+from repro.crypto.rng import RandomSource
+from repro.net.channel import Channel, NetworkModel
+
+__all__ = [
+    "BaseSseServer",
+    "DEFAULT_CHAIN_LENGTH",
+    "Document",
+    "HardenedUpdater",
+    "MasterKey",
+    "Scheme1Client",
+    "Scheme1Server",
+    "Scheme2Client",
+    "Scheme2Server",
+    "SearchResult",
+    "SseClient",
+    "SseServerHandler",
+    "extract_keywords",
+    "group_keywords",
+    "keygen",
+    "make_scheme1",
+    "make_scheme2",
+    "normalize_keyword",
+    "search_all",
+    "search_any",
+]
+
+
+def make_scheme1(master_key: MasterKey, capacity: int = 1024,
+                 keypair: ElGamalKeyPair | None = None,
+                 rng: RandomSource | None = None,
+                 model: NetworkModel | None = None
+                 ) -> tuple[Scheme1Client, Scheme1Server, Channel]:
+    """Wire up a Scheme 1 client/server pair over an instrumented channel.
+
+    ``capacity`` is the bit-array width — the largest document id the index
+    can ever address.  Pass a pre-generated ``keypair`` in tests/benchmarks
+    to skip the (slow) safe-prime generation.
+    """
+    from repro.crypto.elgamal import generate_keypair
+
+    if keypair is None:
+        keypair = generate_keypair(rng=rng)
+    server = Scheme1Server(
+        capacity=capacity,
+        elgamal_modulus_bytes=keypair.public.modulus_bytes,
+    )
+    channel = Channel(server, model=model)
+    client = Scheme1Client(master_key, channel, capacity=capacity,
+                           keypair=keypair, rng=rng)
+    return client, server, channel
+
+
+def make_scheme2(master_key: MasterKey,
+                 chain_length: int = DEFAULT_CHAIN_LENGTH,
+                 lazy_counter: bool = True, cache_plaintext: bool = True,
+                 pad_results_to: int | None = None,
+                 rng: RandomSource | None = None,
+                 model: NetworkModel | None = None
+                 ) -> tuple[Scheme2Client, Scheme2Server, Channel]:
+    """Wire up a Scheme 2 client/server pair over an instrumented channel.
+
+    ``lazy_counter`` and ``cache_plaintext`` toggle the paper's
+    Optimizations 2 and 1 respectively (both on by default, as §5.6
+    recommends).  ``pad_results_to`` enables constant-size search replies
+    (the frequency-attack countermeasure).
+    """
+    server = Scheme2Server(max_walk=chain_length,
+                           cache_plaintext=cache_plaintext,
+                           pad_results_to=pad_results_to)
+    channel = Channel(server, model=model)
+    client = Scheme2Client(master_key, channel, chain_length=chain_length,
+                           lazy_counter=lazy_counter, rng=rng)
+    return client, server, channel

@@ -1,0 +1,75 @@
+"""Abstract SSE scheme interface shared by our schemes and all baselines.
+
+The paper's conventional-scheme skeleton (§3) — Keygen, Storage (DataStorage
++ MetadataStorage), Trapdoor, Search — maps onto a client/server pair:
+
+* the **client** object holds the master key and drives protocols;
+* the **server** object holds only what the client uploaded and exposes a
+  single ``handle(message)`` entry point (it is honest-but-curious: it runs
+  the protocol faithfully but sees every byte).
+
+``SseClient`` is the user-facing surface: ``store``, ``search``,
+``add_documents``.  Implementations differ in how many rounds each call
+costs — exactly what Table 1 compares.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.core.documents import Document
+from repro.net.channel import Channel
+
+__all__ = ["SseClient", "SseServerHandler", "SearchResult"]
+
+
+class SearchResult:
+    """Outcome of one search: matching ids and decrypted documents."""
+
+    def __init__(self, keyword: str, doc_ids: list[int],
+                 documents: list[bytes]) -> None:
+        self.keyword = keyword
+        self.doc_ids = doc_ids
+        self.documents = documents
+
+    def __repr__(self) -> str:
+        return (f"SearchResult(keyword={self.keyword!r}, "
+                f"doc_ids={self.doc_ids})")
+
+
+class SseServerHandler(abc.ABC):
+    """Server side: a message handler bound to server-side state."""
+
+    @abc.abstractmethod
+    def handle(self, message):
+        """Process one protocol message and return the reply message."""
+
+    @property
+    @abc.abstractmethod
+    def unique_keywords(self) -> int:
+        """Number of searchable representations stored (the paper's u)."""
+
+
+class SseClient(abc.ABC):
+    """Client side of a searchable symmetric encryption scheme."""
+
+    def __init__(self, channel: Channel) -> None:
+        self._channel = channel
+
+    @property
+    def channel(self) -> Channel:
+        """The instrumented channel to this client's server."""
+        return self._channel
+
+    @abc.abstractmethod
+    def store(self, documents: Sequence[Document]) -> None:
+        """Initial Storage((D_1..D_n), K): upload documents + metadata."""
+
+    @abc.abstractmethod
+    def add_documents(self, documents: Sequence[Document]) -> None:
+        """MetadataStorage update: add new documents after initial storage."""
+
+    @abc.abstractmethod
+    def search(self, keyword: str) -> SearchResult:
+        """Trapdoor + Search: retrieve all documents containing *keyword*."""

@@ -1,0 +1,59 @@
+"""Capability separation: search-only delegates (extension to the paper).
+
+The master key bundles two capabilities: ``k_w`` drives trapdoors
+(search), ``k_m`` decrypts document bodies (read).  The §6 scenarios
+implicitly need them separated — a journalist checking a vaccination
+should be able to *test* for a keyword without reading whole records.
+
+Recipe:
+
+1. The record owner calls :func:`delegate_master_key` — the true ``k_w``
+   paired with a throwaway ``k_m`` — and hands the delegate that key (for
+   Scheme 1, plus the ElGamal keypair, which is part of the search path).
+2. The delegate builds an ordinary scheme client with
+   ``decrypt_bodies=False`` and wraps it in :class:`SearchDelegate`.
+
+The delegate's searches are real protocol runs returning matching *ids*;
+body ciphertexts are never decrypted — and could not be, since the
+delegate's ``k_m`` is random.  Tests verify that a delegate who cheats
+(flips ``decrypt_bodies`` back on) gets authentication failures, not data.
+"""
+
+from __future__ import annotations
+
+from repro.core.keys import MasterKey
+from repro.crypto.rng import RandomSource, SystemRandomSource
+
+__all__ = ["delegate_master_key", "SearchDelegate"]
+
+
+def delegate_master_key(master_key: MasterKey,
+                        rng: RandomSource | None = None) -> MasterKey:
+    """Derive a search-only key: real k_w, random (useless) k_m."""
+    rng = rng if rng is not None else SystemRandomSource()
+    return MasterKey(k_m=rng.random_bytes(len(master_key.k_m)),
+                     k_w=master_key.k_w)
+
+
+class SearchDelegate:
+    """Search capability without read capability."""
+
+    def __init__(self, sse_client) -> None:
+        if getattr(sse_client, "_decrypt_bodies", True):
+            raise ValueError(
+                "delegates must wrap a client built with "
+                "decrypt_bodies=False"
+            )
+        self._client = sse_client
+
+    def matching_ids(self, keyword: str) -> list[int]:
+        """Ids of matching documents; bodies remain opaque ciphertext."""
+        return self._client.search(keyword).doc_ids
+
+    def count(self, keyword: str) -> int:
+        """Number of matching documents (the §6 audit primitive)."""
+        return len(self.matching_ids(keyword))
+
+    def exists(self, keyword: str) -> bool:
+        """True iff at least one document carries the keyword."""
+        return self.count(keyword) > 0

@@ -1,0 +1,67 @@
+"""Document model: D = (M, W) with client-assigned identifiers (paper §3).
+
+A document couples an opaque data item ``M`` (bytes) with a metadata item
+``W`` — a *set* of keywords.  Keyword normalization (case folding, token
+cleanup) lives here so that every scheme and baseline indexes identically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+__all__ = ["Document", "normalize_keyword", "extract_keywords"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9][a-z0-9_\-]*")
+
+
+def normalize_keyword(keyword: str) -> str:
+    """Canonicalize a keyword: lowercase, stripped; must be non-empty."""
+    normalized = keyword.strip().lower()
+    if not normalized:
+        raise ParameterError("keywords must be non-empty")
+    return normalized
+
+
+def extract_keywords(text: str) -> set[str]:
+    """Tokenize free text into a keyword set (for examples and PHR corpus)."""
+    return set(_TOKEN_RE.findall(text.lower()))
+
+
+@dataclass(frozen=True)
+class Document:
+    """An identified document: id, data item M, keyword set W.
+
+    >>> doc = Document(doc_id=7, data=b"note", keywords={"Fever", "flu"})
+    >>> sorted(doc.keywords)
+    ['fever', 'flu']
+    """
+
+    doc_id: int
+    data: bytes
+    keywords: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.doc_id < 0:
+            raise ParameterError("document ids must be non-negative")
+        if not isinstance(self.data, bytes):
+            raise ParameterError("document data must be bytes")
+        normalized = frozenset(normalize_keyword(w) for w in self.keywords)
+        object.__setattr__(self, "keywords", normalized)
+
+    @classmethod
+    def from_text(cls, doc_id: int, text: str,
+                  extra_keywords: set[str] | None = None) -> "Document":
+        """Build a document whose keywords are extracted from its text."""
+        keywords = extract_keywords(text)
+        if extra_keywords:
+            keywords |= {normalize_keyword(w) for w in extra_keywords}
+        return cls(doc_id=doc_id, data=text.encode("utf-8"),
+                   keywords=frozenset(keywords))
+
+    @property
+    def size(self) -> int:
+        """Length of the data item in bytes (leaked by every SSE scheme)."""
+        return len(self.data)

@@ -1,0 +1,62 @@
+"""Master keys and Keygen (paper §5.1).
+
+``Keygen(s)`` outputs ``K = (k_m, k_w)``: k_m encrypts data items, k_w
+drives the keyword-side PRFs.  We additionally derive the per-role PRF
+labels here so every scheme uses consistent domain separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.prf import Prf
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.errors import ParameterError
+
+__all__ = ["MasterKey", "keygen", "TAG_SIZE"]
+
+# Keyword tags f_kw(w) are truncated PRF outputs; 16 bytes keeps collision
+# probability negligible (2^-64 birthday bound at 2^32 keywords) while
+# halving index bandwidth versus full 32-byte outputs.
+TAG_SIZE = 16
+
+
+@dataclass(frozen=True)
+class MasterKey:
+    """The client's master key K = (k_m, k_w)."""
+
+    k_m: bytes
+    k_w: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.k_m) < 16 or len(self.k_w) < 16:
+            raise ParameterError("master key halves must be >= 16 bytes")
+
+    def keyword_tag_prf(self) -> Prf:
+        """PRF for keyword tags f_kw(w)."""
+        return Prf(self.k_w, label=b"repro.tag")
+
+    def keyword_seed_prf(self) -> Prf:
+        """PRF deriving per-keyword secrets (chain seeds, etc.)."""
+        return Prf(self.k_w, label=b"repro.kwseed")
+
+    def tag_for(self, keyword: str) -> bytes:
+        """The searchable-representation identifier f_kw(w), truncated."""
+        return self.keyword_tag_prf().evaluate_truncated(
+            keyword.encode("utf-8"), TAG_SIZE
+        )
+
+
+def keygen(security_parameter: int = 32,
+           rng: RandomSource | None = None) -> MasterKey:
+    """Keygen(s): sample K = (k_m, k_w) ∈ {0,1}^s × {0,1}^s.
+
+    *security_parameter* is in bytes (32 bytes = 256 bits).
+    """
+    if security_parameter < 16:
+        raise ParameterError("security parameter must be >= 16 bytes")
+    rng = rng if rng is not None else SystemRandomSource()
+    return MasterKey(
+        k_m=rng.random_bytes(security_parameter),
+        k_w=rng.random_bytes(security_parameter),
+    )

@@ -1,0 +1,194 @@
+"""Durable Scheme 2 deployments: server state on disk, client state export.
+
+The in-memory servers are ideal for tests and benchmarks; a real outsourced
+deployment needs the server to survive restarts and the thin client to
+carry its two integers (counter, epoch) between sessions.
+
+* :class:`PersistentScheme2Server` stores every searchable-representation
+  segment and every document body in a
+  :class:`~repro.storage.kvstore.LogKvStore` (checksummed append-only log
+  with crash recovery) and rebuilds its AVL index on open.  The on-disk
+  image contains exactly what a curious server could persist: tags,
+  encrypted segments, verifiers, ciphertext bodies.
+* :func:`export_client_state` / :func:`restore_client_state` round-trip
+  the Scheme 2 client's non-key state (counter, epoch, optimization flag)
+  as a small JSON blob.  The master key is intentionally NOT included —
+  key storage is the caller's problem (a password vault, a smartcard),
+  and serializing it casually is how keys leak.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+from repro.core.scheme1 import Scheme1Server
+from repro.core.scheme2 import Scheme2Client, Scheme2Server, _KeywordEntry
+from repro.errors import ParameterError, StorageError
+from repro.storage.docstore import EncryptedDocumentStore
+from repro.storage.kvstore import LogKvStore
+
+__all__ = ["PersistentScheme1Server", "PersistentScheme2Server",
+           "export_client_state", "restore_client_state"]
+
+_SEG_PREFIX = b"s2seg:"
+_S1_PREFIX = b"s1ent:"
+
+
+def _segment_key(tag: bytes, index: int) -> bytes:
+    return _SEG_PREFIX + struct.pack(">I", index) + tag
+
+
+def _encode_segment(blob: bytes, verifier: bytes) -> bytes:
+    return struct.pack(">I", len(blob)) + blob + verifier
+
+
+def _decode_segment(value: bytes) -> tuple[bytes, bytes]:
+    (blob_len,) = struct.unpack(">I", value[:4])
+    return value[4:4 + blob_len], value[4 + blob_len:]
+
+
+class PersistentScheme2Server(Scheme2Server):
+    """Scheme 2 server whose index and documents live in one log file.
+
+    >>> server = PersistentScheme2Server("/tmp/sse.log")  # doctest: +SKIP
+    """
+
+    def __init__(self, path: str | os.PathLike, max_walk: int = 1024,
+                 cache_plaintext: bool = True) -> None:
+        super().__init__(max_walk=max_walk, cache_plaintext=cache_plaintext)
+        self._kv = LogKvStore(path)
+        self.documents = EncryptedDocumentStore(self._kv)
+        self._load_segments()
+
+    def _load_segments(self) -> None:
+        """Rebuild the AVL index from persisted segments, in append order."""
+        keyed: list[tuple[int, bytes, bytes]] = []
+        for key in self._kv.keys():
+            if not key.startswith(_SEG_PREFIX):
+                continue
+            (index,) = struct.unpack(
+                ">I", key[len(_SEG_PREFIX):len(_SEG_PREFIX) + 4]
+            )
+            tag = key[len(_SEG_PREFIX) + 4:]
+            value = self._kv.get(key)
+            if value is None:  # pragma: no cover - keys() is live
+                continue
+            keyed.append((index, tag, value))
+        for index, tag, value in sorted(keyed, key=lambda t: t[0]):
+            entry = self.index.get(tag)
+            if entry is None:
+                entry = _KeywordEntry()
+                self.index.insert(tag, entry)
+            if index != len(entry.segments):
+                raise StorageError(
+                    f"segment log has a gap for tag {tag.hex()} "
+                    f"(found {index}, expected {len(entry.segments)})"
+                )
+            entry.segments.append(_decode_segment(value))
+
+    def _handle_store_entry(self, message):
+        """Persist each appended triple before acknowledging."""
+        fields = message.fields
+        reply = super()._handle_store_entry(message)
+        for i in range(0, len(fields), 3):
+            tag, blob, verifier = fields[i], fields[i + 1], fields[i + 2]
+            entry = self.index.get(tag)
+            # The in-memory append already happened; this triple's final
+            # position is the segment count minus the triples for the same
+            # tag at or after this field position.
+            index = len(entry.segments) - sum(
+                1 for j in range(i, len(fields), 3) if fields[j] == tag
+            )
+            self._kv.put(_segment_key(tag, index),
+                         _encode_segment(blob, verifier))
+        return reply
+
+    def compact(self) -> None:
+        """Garbage-collect overwritten records in the backing log."""
+        self._kv.compact()
+
+
+class PersistentScheme1Server(Scheme1Server):
+    """Scheme 1 server persisted to one log file.
+
+    Each keyword entry is ``(masked index, F(r))``; both change on every
+    update/patch, so the log naturally accumulates dead versions — run
+    :meth:`compact` periodically (the CLI exposes it).
+    """
+
+    def __init__(self, path: str | os.PathLike, capacity: int,
+                 elgamal_modulus_bytes: int) -> None:
+        super().__init__(capacity=capacity,
+                         elgamal_modulus_bytes=elgamal_modulus_bytes)
+        self._kv = LogKvStore(path)
+        self.documents = EncryptedDocumentStore(self._kv)
+        self._load_entries()
+
+    def _load_entries(self) -> None:
+        for key in self._kv.keys():
+            if not key.startswith(_S1_PREFIX):
+                continue
+            tag = key[len(_S1_PREFIX):]
+            value = self._kv.get(key)
+            if value is None:  # pragma: no cover - keys() is live
+                continue
+            (masked_len,) = struct.unpack(">I", value[:4])
+            masked = value[4:4 + masked_len]
+            fr = value[4 + masked_len:]
+            self.index.insert(tag, (masked, fr))
+
+    def _persist(self, tag: bytes) -> None:
+        masked, fr = self.index.get(tag)
+        value = struct.pack(">I", len(masked)) + masked + fr
+        self._kv.put(_S1_PREFIX + tag, value)
+
+    def _handle_store_entry(self, message):
+        reply = super()._handle_store_entry(message)
+        for i in range(0, len(message.fields), 3):
+            self._persist(message.fields[i])
+        return reply
+
+    def _handle_update_patch(self, message):
+        reply = super()._handle_update_patch(message)
+        for i in range(0, len(message.fields), 3):
+            self._persist(message.fields[i])
+        return reply
+
+    def compact(self) -> None:
+        """Garbage-collect overwritten records in the backing log."""
+        self._kv.compact()
+
+
+def export_client_state(client: Scheme2Client) -> str:
+    """Serialize the client's non-key state to JSON."""
+    return json.dumps({
+        "format": "repro.scheme2.client/1",
+        "ctr": client._ctr,
+        "epoch": client._epoch,
+        "search_since_update": client._search_since_update,
+        "chain_length": client._chain_length,
+        "lazy_counter": client._lazy_counter,
+    }, sort_keys=True)
+
+
+def restore_client_state(client: Scheme2Client, state_json: str) -> None:
+    """Apply exported state to a freshly constructed client.
+
+    The client must have been constructed with the same master key and
+    chain length; mismatches are rejected rather than silently producing
+    trapdoors the server cannot use.
+    """
+    state = json.loads(state_json)
+    if state.get("format") != "repro.scheme2.client/1":
+        raise ParameterError("unrecognized client state format")
+    if state["chain_length"] != client._chain_length:
+        raise ParameterError(
+            "chain length mismatch between client and saved state"
+        )
+    client._ctr = int(state["ctr"])
+    client._epoch = int(state["epoch"])
+    client._search_since_update = bool(state["search_since_update"])
+    client._lazy_counter = bool(state["lazy_counter"])
+    client._chains.clear()

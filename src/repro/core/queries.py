@@ -1,0 +1,74 @@
+"""Multi-keyword queries over single-keyword SSE (client-side composition).
+
+The paper's schemes answer single-keyword queries; richer boolean queries
+compose them on the *client*, which costs one SSE search per distinct term
+but leaks only the individual access patterns — the standard trade-off
+until dedicated conjunctive schemes.
+
+``search_all`` (conjunction) orders terms so the client can stop early on
+an empty intersection; ``search_any`` (disjunction) unions results and
+deduplicates bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.api import SearchResult, SseClient
+from repro.core.documents import normalize_keyword
+from repro.errors import ParameterError
+
+__all__ = ["search_all", "search_any"]
+
+
+def _validated(keywords: Sequence[str]) -> list[str]:
+    terms = [normalize_keyword(w) for w in keywords]
+    if not terms:
+        raise ParameterError("boolean queries need at least one keyword")
+    # Deduplicate, preserving order (repeats add rounds, never results).
+    seen: set[str] = set()
+    unique = []
+    for term in terms:
+        if term not in seen:
+            seen.add(term)
+            unique.append(term)
+    return unique
+
+
+def search_all(client: SseClient, keywords: Sequence[str]) -> SearchResult:
+    """Conjunction: documents containing *every* keyword.
+
+    Stops issuing queries as soon as the running intersection is empty, so
+    worst-case cost is one search per distinct term and best-case is one.
+    """
+    terms = _validated(keywords)
+    label = " AND ".join(terms)
+    surviving: dict[int, bytes] | None = None
+    for term in terms:
+        result = client.search(term)
+        found = dict(zip(result.doc_ids, result.documents))
+        if surviving is None:
+            surviving = found
+        else:
+            surviving = {
+                doc_id: body for doc_id, body in surviving.items()
+                if doc_id in found
+            }
+        if not surviving:
+            return SearchResult(label, [], [])
+    assert surviving is not None
+    ids = sorted(surviving)
+    return SearchResult(label, ids, [surviving[i] for i in ids])
+
+
+def search_any(client: SseClient, keywords: Sequence[str]) -> SearchResult:
+    """Disjunction: documents containing *any* keyword (deduplicated)."""
+    terms = _validated(keywords)
+    label = " OR ".join(terms)
+    merged: dict[int, bytes] = {}
+    for term in terms:
+        result = client.search(term)
+        for doc_id, body in zip(result.doc_ids, result.documents):
+            merged.setdefault(doc_id, body)
+    ids = sorted(merged)
+    return SearchResult(label, ids, [merged[i] for i in ids])

@@ -1,0 +1,366 @@
+"""Scheme 1 — the computationally efficient scheme (paper §5.2).
+
+Searchable representation of keyword w:
+
+    S(w) = ( f_kw(w),  I(w) ⊕ G(r),  F(r) )
+
+* ``f_kw(w)`` — PRF tag identifying the representation;
+* ``I(w)`` — bit array over document ids (bit i set ⟺ w ∈ W_i);
+* ``G(r)`` — PRG mask from a per-keyword single-use nonce r;
+* ``F(r)`` — ElGamal encryption of r; only the client can invert it.
+
+Protocols (Figs. 1 and 2 — both two rounds):
+
+**Update** (MetadataStorage): the client sends the tags, the server returns
+each keyword's F(r); the client recovers r, draws a fresh r', and sends
+``U(w) ⊕ G(r) ⊕ G(r')`` with ``F(r')``.  The server XORs the patch onto the
+stored masked index — it never learns I, U, r or r'.  Keywords the server
+has never seen get a fresh entry through the same message flow.
+
+**Search**: the client sends the tag; the server returns F(r); the client
+reveals r; the server unmasks I(w) = (I(w)⊕G(r)) ⊕ G(r) and returns the
+matching encrypted documents.
+
+The bit-array representation is why updates are bandwidth-heavy: every
+patch is ``capacity/8`` bytes per keyword regardless of how few documents
+changed — exactly the §5.4 criticism that motivates Scheme 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.api import SearchResult, SseClient
+from repro.core.documents import Document, normalize_keyword
+from repro.core.keys import MasterKey
+from repro.core.server import BaseSseServer, decode_doc_id, encode_doc_id
+from repro.crypto.authenc import AuthenticatedCipher
+from repro.crypto.bytesutil import xor_bytes
+from repro.crypto.elgamal import (ElGamalCiphertext, ElGamalKeyPair,
+                                  generate_keypair)
+from repro.crypto.prg import prg_expand
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.ds.bitset import BitsetIndex
+from repro.errors import CapacityError, ParameterError, ProtocolError
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+
+__all__ = ["Scheme1Server", "Scheme1Client", "group_keywords"]
+
+_ABSENT = b""  # wire marker: "no such tag on the server yet"
+
+
+def group_keywords(documents: Sequence[Document]) -> dict[str, list[int]]:
+    """Step 1–2 of MetadataStorage: unique keywords → sorted id lists."""
+    grouped: dict[str, list[int]] = {}
+    for doc in documents:
+        for keyword in doc.keywords:
+            grouped.setdefault(keyword, []).append(doc.doc_id)
+    return {w: sorted(ids) for w, ids in grouped.items()}
+
+
+class Scheme1Server(BaseSseServer):
+    """Server side of Scheme 1.
+
+    Index entries are ``tag -> (masked_index_bytes, serialized F(r))``.
+    The server performs only XORs and tree lookups — the "computationally
+    efficient" property of the scheme's title.
+    """
+
+    def __init__(self, capacity: int, elgamal_modulus_bytes: int) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise ParameterError("capacity must be positive")
+        self.capacity = capacity
+        self._masked_len = (capacity + 7) // 8
+        self._fr_len = 2 * elgamal_modulus_bytes
+
+    def _handle_scheme_message(self, message: Message) -> Message:
+        if message.type == MessageType.S1_STORE_ENTRY:
+            return self._handle_store_entry(message)
+        if message.type == MessageType.S1_UPDATE_REQUEST:
+            return self._handle_update_request(message)
+        if message.type == MessageType.S1_UPDATE_PATCH:
+            return self._handle_update_patch(message)
+        if message.type == MessageType.S1_SEARCH_REQUEST:
+            return self._handle_search_request(message)
+        if message.type == MessageType.S1_SEARCH_REVEAL:
+            return self._handle_search_reveal(message)
+        return super()._handle_scheme_message(message)
+
+    def _validate_entry(self, masked: bytes, fr: bytes) -> None:
+        if len(masked) != self._masked_len:
+            raise ProtocolError("masked index has the wrong width")
+        if len(fr) != self._fr_len:
+            raise ProtocolError("F(r) ciphertext has the wrong width")
+
+    def _handle_store_entry(self, message: Message) -> Message:
+        """Initial upload: (tag, masked, F(r)) triples, batched."""
+        fields = message.fields
+        if len(fields) % 3:
+            raise ProtocolError("S1_STORE_ENTRY fields come in triples")
+        for i in range(0, len(fields), 3):
+            tag, masked, fr = fields[i], fields[i + 1], fields[i + 2]
+            self._validate_entry(masked, fr)
+            self.index.insert(tag, (masked, fr))
+        return Message(MessageType.ACK)
+
+    def _handle_update_request(self, message: Message) -> Message:
+        """Round 1 of Fig. 1: return F(r) per tag (or the absent marker)."""
+        replies: list[bytes] = []
+        for tag in message.fields:
+            entry = self._lookup_tag(tag)
+            replies.append(_ABSENT if entry is None else entry[1])
+        return Message(MessageType.S1_UPDATE_NONCE, tuple(replies))
+
+    def _handle_update_patch(self, message: Message) -> Message:
+        """Round 2 of Fig. 1: XOR patches onto masked indexes.
+
+        Fields come in (tag, patch, F(r')) triples.  For a known tag the
+        server computes ``stored ⊕ patch`` = I'(w) ⊕ G(r'); for a new tag
+        the patch *is* the fresh masked index.
+        """
+        fields = message.fields
+        if len(fields) % 3:
+            raise ProtocolError("S1_UPDATE_PATCH fields come in triples")
+        for i in range(0, len(fields), 3):
+            tag, patch, fr_new = fields[i], fields[i + 1], fields[i + 2]
+            self._validate_entry(patch, fr_new)
+            entry = self.index.get(tag)
+            if entry is None:
+                self.index.insert(tag, (patch, fr_new))
+            else:
+                masked, _ = entry
+                self.index.insert(tag, (xor_bytes(masked, patch), fr_new))
+        return Message(MessageType.ACK)
+
+    def _handle_search_request(self, message: Message) -> Message:
+        """Round 1 of Fig. 2: look up the tag, return F(r)."""
+        (tag,) = message.expect(MessageType.S1_SEARCH_REQUEST, 1)
+        self.searches_handled += 1
+        entry = self._lookup_tag(tag)
+        if entry is None:
+            return Message(MessageType.S1_SEARCH_NONCE, (_ABSENT,))
+        return Message(MessageType.S1_SEARCH_NONCE, (entry[1],))
+
+    def _handle_search_reveal(self, message: Message) -> Message:
+        """Round 2 of Fig. 2: unmask I(w) with the revealed r, serve docs."""
+        tag, nonce = message.expect(MessageType.S1_SEARCH_REVEAL, 2)
+        entry = self.index.get(tag)
+        if entry is None:
+            raise ProtocolError("search reveal for an unknown tag")
+        masked, _ = entry
+        index_bytes = xor_bytes(masked, prg_expand(nonce, len(masked)))
+        id_set = BitsetIndex.from_bytes(index_bytes, self.capacity)
+        return self._documents_result(sorted(id_set))
+
+
+class Scheme1Client(SseClient):
+    """Client side of Scheme 1.
+
+    Holds the master key and the ElGamal keypair.  ``capacity`` fixes the
+    bit-array width, i.e. the maximum document id the index can represent —
+    a structural constant of the scheme (masks must align bit-for-bit).
+    """
+
+    def __init__(self, master_key: MasterKey, channel: Channel,
+                 capacity: int, keypair: ElGamalKeyPair | None = None,
+                 rng: RandomSource | None = None,
+                 decrypt_bodies: bool = True) -> None:
+        super().__init__(channel)
+        self._key = master_key
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._keypair = keypair if keypair is not None else generate_keypair(rng=self._rng)
+        self._capacity = capacity
+        self._cipher = AuthenticatedCipher(master_key.k_m, rng=self._rng)
+        self._masked_len = (capacity + 7) // 8
+        self._nonce_size = min(self._keypair.public.nonce_size, 30)
+        # Search-only delegates (see repro.core.delegation) hold a dummy
+        # k_m and set this False: searches return ids, bodies stay opaque.
+        self._decrypt_bodies = decrypt_bodies
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of documents this index can address."""
+        return self._capacity
+
+    @property
+    def keypair(self) -> ElGamalKeyPair:
+        """The client's ElGamal keypair (private key never leaves here)."""
+        return self._keypair
+
+    # -- helpers ---------------------------------------------------------
+
+    def _fresh_nonce(self) -> tuple[bytes, bytes]:
+        """Draw r and return (r, serialized F(r))."""
+        nonce = self._rng.random_bytes(self._nonce_size)
+        fr = self._keypair.public.encrypt_nonce(nonce, self._rng)
+        return nonce, fr.serialize(self._keypair.public.modulus_bytes)
+
+    def _decrypt_fr(self, fr_bytes: bytes) -> bytes:
+        ct = ElGamalCiphertext.deserialize(
+            fr_bytes, self._keypair.public.modulus_bytes
+        )
+        return self._keypair.decrypt_nonce(ct)
+
+    def _mask(self, bitset: BitsetIndex, nonce: bytes) -> bytes:
+        return xor_bytes(bitset.to_bytes(), prg_expand(nonce, self._masked_len))
+
+    def _check_ids(self, documents: Sequence[Document]) -> None:
+        for doc in documents:
+            if doc.doc_id >= self._capacity:
+                raise CapacityError(
+                    f"document id {doc.doc_id} exceeds index capacity "
+                    f"{self._capacity}"
+                )
+
+    def _upload_documents(self, documents: Sequence[Document]) -> None:
+        fields: list[bytes] = []
+        for doc in documents:
+            fields.append(encode_doc_id(doc.doc_id))
+            fields.append(self._cipher.encrypt(
+                doc.data, associated_data=encode_doc_id(doc.doc_id)
+            ))
+        reply = self._channel.request(
+            Message(MessageType.STORE_DOCUMENT, tuple(fields))
+        )
+        reply.expect(MessageType.ACK)
+
+    # -- public API ------------------------------------------------------
+
+    def store(self, documents: Sequence[Document],
+              pad_keywords_to: int | None = None) -> None:
+        """Initial Storage: upload encrypted documents + fresh S(w) entries.
+
+        ``pad_keywords_to`` hides |W_D| (the trace's keyword count — the
+        "how to hide the amount of keywords" remark of §4.1/§5.7): decoy
+        entries with random tags and empty masked indexes top the index up
+        to the target, and the server cannot tell them from real keywords.
+        Decoy tags are drawn from the same 16-byte space as PRF outputs,
+        so no real future keyword collides with one except with negligible
+        probability.
+        """
+        self._check_ids(documents)
+        self._upload_documents(documents)
+        fields: list[bytes] = []
+        grouped = group_keywords(documents)
+        for keyword, ids in grouped.items():
+            bitset = BitsetIndex(self._capacity, ids)
+            nonce, fr = self._fresh_nonce()
+            fields.append(self._key.tag_for(keyword))
+            fields.append(self._mask(bitset, nonce))
+            fields.append(fr)
+        if pad_keywords_to is not None:
+            for _ in range(max(0, pad_keywords_to - len(grouped))):
+                nonce, fr = self._fresh_nonce()
+                fields.append(self._rng.random_bytes(16))
+                fields.append(self._mask(BitsetIndex(self._capacity),
+                                         nonce))
+                fields.append(fr)
+        if fields:
+            reply = self._channel.request(
+                Message(MessageType.S1_STORE_ENTRY, tuple(fields))
+            )
+            reply.expect(MessageType.ACK)
+
+    def _patch_keywords(self, grouped: dict[str, list[int]]) -> None:
+        """Run the Fig. 1 two-round masked-patch protocol on U(w) sets."""
+        keywords = sorted(grouped)
+        tags = [self._key.tag_for(w) for w in keywords]
+
+        # Round 1: fetch F(r) for every touched keyword.
+        reply = self._channel.request(
+            Message(MessageType.S1_UPDATE_REQUEST, tuple(tags))
+        )
+        fr_list = reply.expect(MessageType.S1_UPDATE_NONCE, len(tags))
+
+        # Round 2: the masked XOR patches.
+        fields: list[bytes] = []
+        for keyword, tag, fr_bytes in zip(keywords, tags, fr_list):
+            update_set = BitsetIndex(self._capacity, grouped[keyword])
+            new_nonce, new_fr = self._fresh_nonce()
+            patch = self._mask(update_set, new_nonce)
+            if fr_bytes != _ABSENT:
+                old_nonce = self._decrypt_fr(fr_bytes)
+                patch = xor_bytes(
+                    patch, prg_expand(old_nonce, self._masked_len)
+                )
+            fields.extend((tag, patch, new_fr))
+        reply = self._channel.request(
+            Message(MessageType.S1_UPDATE_PATCH, tuple(fields))
+        )
+        reply.expect(MessageType.ACK)
+
+    def add_documents(self, documents: Sequence[Document]) -> None:
+        """The Fig. 1 two-round update protocol (batched over keywords).
+
+        U(w) bits are XOR deltas, so this same call *removes* a document
+        from a keyword if it was already indexed — the toggle semantics of
+        the paper's I'(w) = I(w) ⊕ U(w).
+        """
+        self._check_ids(documents)
+        grouped = group_keywords(documents)
+        if not grouped:
+            self._upload_documents(documents)
+            return
+        self._upload_documents(documents)
+        self._patch_keywords(grouped)
+
+    def remove_documents(self, documents: Sequence[Document]) -> None:
+        """Remove documents from the index and delete their bodies.
+
+        Callers must supply each document's *full* keyword set (which the
+        key holder can always reconstruct by fetching and decrypting it):
+        the XOR patch clears exactly those bits, and any keyword left
+        unpatched would keep referencing the deleted body.
+        """
+        self._check_ids(documents)
+        grouped = group_keywords(documents)
+        if grouped:
+            self._patch_keywords(grouped)
+        reply = self._channel.request(Message(
+            MessageType.DELETE_DOCUMENT,
+            tuple(encode_doc_id(doc.doc_id) for doc in documents),
+        ))
+        reply.expect(MessageType.ACK)
+
+    def refresh_masks(self, keywords: Sequence[str]) -> None:
+        """Re-mask keywords without changing their contents (hardening).
+
+        A search reveals r, leaving that keyword's index permanently
+        unmasked to a server that remembers it.  Refreshing runs the
+        ordinary Fig. 1 update with an all-zero U(w): contents unchanged,
+        fresh nonce — the server can no longer read the index going
+        forward.  On the wire this is byte-for-byte an ordinary update, so
+        refreshes also serve as Scheme 1's fake updates (§5.7).
+        """
+        grouped = {normalize_keyword(w): [] for w in keywords}
+        if grouped:
+            self._patch_keywords(grouped)
+
+    def search(self, keyword: str) -> SearchResult:
+        """The Fig. 2 two-round search protocol."""
+        tag = self._key.tag_for(keyword)
+        reply = self._channel.request(
+            Message(MessageType.S1_SEARCH_REQUEST, (tag,))
+        )
+        (fr_bytes,) = reply.expect(MessageType.S1_SEARCH_NONCE, 1)
+        if fr_bytes == _ABSENT:
+            # The tag has no searchable representation: no document has ever
+            # carried this keyword.  One round spent, empty result.
+            return SearchResult(keyword, [], [])
+        nonce = self._decrypt_fr(fr_bytes)
+        result = self._channel.request(
+            Message(MessageType.S1_SEARCH_REVEAL, (tag, nonce))
+        )
+        fields = result.expect(MessageType.DOCUMENTS_RESULT)
+        doc_ids: list[int] = []
+        documents: list[bytes] = []
+        for i in range(0, len(fields), 2):
+            doc_id = decode_doc_id(fields[i])
+            doc_ids.append(doc_id)
+            if self._decrypt_bodies:
+                documents.append(self._cipher.decrypt(
+                    fields[i + 1], associated_data=fields[i]
+                ))
+        return SearchResult(keyword, doc_ids, documents)

@@ -1,0 +1,454 @@
+"""Scheme 2 — diminishing the communication cost (paper §5.4–5.6).
+
+Instead of Scheme 1's fixed-width bit arrays, each update appends a small
+*segment*: the new document ids for keyword w, encrypted under a key drawn
+from a per-keyword pseudo-random chain.  After j updates:
+
+    S(w) = ( f_kw(w),
+             ℰ_{k_1(w)}(I_1(w)), f'(k_1(w)),
+             ...,
+             ℰ_{k_j(w)}(I_j(w)), f'(k_j(w)) )
+
+with k_j(w) = f^(l-ctr_j)(seed_w) where ``ctr`` is a global update counter
+and ``l`` the chain length.  Because chain elements for *earlier* updates
+lie *forward* of later ones, a single trapdoor element lets the server walk
+forward and unlock every past segment — but never future ones.
+
+* **Update** is one message per batch (Fig. 3): a (tag, segment, verifier)
+  triple per keyword.  Bandwidth is proportional to the number of new ids,
+  not to the database capacity — the whole point versus Scheme 1.
+* **Search** is one round (Fig. 4): trapdoor (f_kw(w), f^(l-ctr)(seed_w)).
+  The server chain-walks from the trapdoor, matching verifiers f'(k) to
+  recognize segment keys, decrypts all segments, and serves the documents.
+* **Optimization 1** (§5.6): the server caches plaintext ids revealed by a
+  search so later searches only decrypt newer segments.
+* **Optimization 2** (§5.6): the client increments ``ctr`` only if a search
+  happened since the last update, stretching the chain's lifetime; when the
+  chain is exhausted the client re-keys into a fresh epoch.
+
+Both optimizations are constructor flags so the ablation benchmarks can
+run with and without them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.api import SearchResult, SseClient
+from repro.core.documents import Document
+from repro.core.keys import MasterKey
+from repro.core.scheme1 import group_keywords
+from repro.core.server import BaseSseServer, decode_doc_id, encode_doc_id
+from repro.crypto.authenc import AuthenticatedCipher
+from repro.crypto.chain import ChainWalker, HashChain
+from repro.crypto.hmac_sha256 import HMACSHA256
+from repro.crypto.prp import FeistelPrp
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.ds.posting import decode_posting_list, encode_posting_list
+from repro.errors import (ChainExhaustedError, ParameterError, ProtocolError)
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+
+__all__ = ["Scheme2Server", "Scheme2Client", "DEFAULT_CHAIN_LENGTH"]
+
+DEFAULT_CHAIN_LENGTH = 1024
+
+_VERIFIER_LABEL = b"repro.s2.verifier"
+# Segment framing markers.  The paper's segments only ever ADD ids; the
+# REMOVE marker is this implementation's tombstone extension: a removal
+# segment subtracts its ids when the server replays segments in append
+# order.  On the wire both kinds are Feistel-encrypted blobs of identical
+# shape, so the server cannot tell an addition from a removal until a
+# search authorizes decryption.
+_SEGMENT_ADD = b"\x01"
+_SEGMENT_REMOVE = b"\x02"
+
+# Keyed template computed once: the verifier PRF runs inside the server's
+# chain-walk loop, once per visited chain position.
+_VERIFIER_TEMPLATE = HMACSHA256(_VERIFIER_LABEL)
+
+
+def _verifier(key: bytes) -> bytes:
+    """The paper's f'(k): a public PRF of the segment key."""
+    mac = _VERIFIER_TEMPLATE.copy()
+    mac.update(key)
+    return mac.digest()[:16]
+
+
+def _encrypt_segment(key: bytes, doc_ids: list[int],
+                     remove: bool = False) -> bytes:
+    """ℰ_k(I_j(w)): posting list under the variable-length Feistel PRP."""
+    marker = _SEGMENT_REMOVE if remove else _SEGMENT_ADD
+    payload = marker + encode_posting_list(doc_ids)
+    return FeistelPrp(key).forward(payload)
+
+
+def _decrypt_segment(key: bytes, blob: bytes) -> tuple[bool, list[int]]:
+    """Invert :func:`_encrypt_segment`; returns (is_removal, ids)."""
+    payload = FeistelPrp(key).inverse(blob)
+    if payload[:1] not in (_SEGMENT_ADD, _SEGMENT_REMOVE):
+        raise ProtocolError("segment decrypted to an invalid framing")
+    return payload[:1] == _SEGMENT_REMOVE, decode_posting_list(payload[1:])
+
+
+@dataclass
+class _KeywordEntry:
+    """Server-side state for one keyword tag."""
+
+    segments: list[tuple[bytes, bytes]] = field(default_factory=list)
+    # Optimization 1 cache: ids revealed by past searches, and how many
+    # segments they cover (the prefix of `segments` already decrypted).
+    cached_ids: set[int] = field(default_factory=set)
+    cached_segments: int = 0
+
+
+PADDING_DOC_ID = (1 << 64) - 1
+
+
+class Scheme2Server(BaseSseServer):
+    """Server side of Scheme 2.
+
+    ``cache_plaintext`` enables Optimization 1.  ``max_walk`` caps the
+    forward chain walk (normally the chain length l) so a corrupted
+    trapdoor cannot send the server into an unbounded loop.
+
+    ``pad_results_to`` (countermeasure, not in the paper): when set, every
+    search reply is padded with dummy entries up to that count, closing
+    the result-count side channel that frequency attacks exploit
+    (:mod:`repro.security.attacks`).  Dummies use the reserved
+    :data:`PADDING_DOC_ID` and random ciphertext-shaped bytes; clients
+    drop them before decryption.  Note this is cooperative padding — the
+    *client* asks for it by deploying a padding server; a malicious server
+    could always skip it, but a malicious server already sees true counts.
+    """
+
+    def __init__(self, max_walk: int = DEFAULT_CHAIN_LENGTH,
+                 cache_plaintext: bool = True,
+                 pad_results_to: int | None = None) -> None:
+        super().__init__()
+        if pad_results_to is not None and pad_results_to < 1:
+            raise ParameterError("padding target must be positive")
+        self.max_walk = max_walk
+        self.cache_plaintext = cache_plaintext
+        self.pad_results_to = pad_results_to
+        self._pad_rng = SystemRandomSource()
+        # Instrumentation for the l/2x benchmarks.
+        self.chain_steps_last_search = 0
+        self.segments_decrypted_last_search = 0
+
+    def _documents_result(self, doc_ids):
+        message = super()._documents_result(doc_ids)
+        if self.pad_results_to is None:
+            return message
+        real = len(message.fields) // 2
+        body_size = max(
+            [len(message.fields[i]) for i in range(1, len(message.fields), 2)],
+            default=64,
+        )
+        fields = list(message.fields)
+        for _ in range(max(0, self.pad_results_to - real)):
+            fields.append(encode_doc_id(PADDING_DOC_ID))
+            fields.append(self._pad_rng.random_bytes(body_size))
+        return Message(MessageType.DOCUMENTS_RESULT, tuple(fields))
+
+    def _handle_scheme_message(self, message: Message) -> Message:
+        if message.type == MessageType.S2_STORE_ENTRY:
+            return self._handle_store_entry(message)
+        if message.type == MessageType.S2_SEARCH_REQUEST:
+            return self._handle_search(message)
+        return super()._handle_scheme_message(message)
+
+    def _handle_store_entry(self, message: Message) -> Message:
+        """Fig. 3: append (tag, ℰ_k(I), f'(k)) triples to the index."""
+        fields = message.fields
+        if len(fields) % 3:
+            raise ProtocolError("S2_STORE_ENTRY fields come in triples")
+        for i in range(0, len(fields), 3):
+            tag, blob, verifier = fields[i], fields[i + 1], fields[i + 2]
+            entry = self.index.get(tag)
+            if entry is None:
+                entry = _KeywordEntry()
+                self.index.insert(tag, entry)
+            entry.segments.append((blob, verifier))
+        return Message(MessageType.ACK)
+
+    def _handle_search(self, message: Message) -> Message:
+        """Fig. 4: one-round search via forward chain walk.
+
+        The trapdoor element sits at (or before) the chain position of the
+        *newest* segment key; every older segment key lies further forward.
+        The walk visits each position once, decrypting segments as their
+        verifiers match, and stops when all (uncached) segments are open.
+        """
+        tag, trapdoor = message.expect(MessageType.S2_SEARCH_REQUEST, 2)
+        self.searches_handled += 1
+        self.chain_steps_last_search = 0
+        self.segments_decrypted_last_search = 0
+        entry = self._lookup_tag(tag)
+        if entry is None:
+            # Empty result — built through _documents_result so padding
+            # (if configured) also hides the "no such keyword" case.
+            return self._documents_result([])
+
+        start = entry.cached_segments if self.cache_plaintext else 0
+        pending: dict[bytes, list[int]] = {}
+        for seg_index in range(start, len(entry.segments)):
+            _, verifier = entry.segments[seg_index]
+            pending.setdefault(verifier, []).append(seg_index)
+
+        # Walk the chain to decrypt every pending segment, then replay the
+        # payloads in append order (removal tombstones must subtract from
+        # exactly the state the preceding segments built).
+        decrypted: dict[int, tuple[bool, list[int]]] = {}
+        walker = ChainWalker(trapdoor, self.max_walk)
+        element = walker.current
+        while pending:
+            v = _verifier(element)
+            if v in pending:
+                for seg_index in pending.pop(v):
+                    blob, _ = entry.segments[seg_index]
+                    decrypted[seg_index] = _decrypt_segment(element, blob)
+                    self.segments_decrypted_last_search += 1
+            if pending:
+                element = walker.advance()
+        self.chain_steps_last_search = walker.steps_taken
+
+        doc_ids: set[int] = (set(entry.cached_ids)
+                             if self.cache_plaintext else set())
+        for seg_index in sorted(decrypted):
+            is_removal, ids = decrypted[seg_index]
+            if is_removal:
+                doc_ids.difference_update(ids)
+            else:
+                doc_ids.update(ids)
+
+        if self.cache_plaintext:
+            # Optimization 1: remember what this search revealed so the next
+            # search only decrypts segments appended after this point.
+            entry.cached_ids = set(doc_ids)
+            entry.cached_segments = len(entry.segments)
+
+        return self._documents_result(sorted(doc_ids))
+
+
+class Scheme2Client(SseClient):
+    """Client side of Scheme 2.
+
+    Client state beyond the master key is two integers — the global update
+    counter ``ctr`` and a "search since last update" flag (Optimization 2)
+    plus the current chain epoch.  Per-keyword chains are *derived*, not
+    stored: seed_w = PRF(k_w, epoch ‖ w), so the client stays thin.
+
+    ``lazy_counter`` enables Optimization 2.  When the chain runs out a
+    :class:`ChainExhaustedError` escapes ``add_documents``; call
+    :meth:`reinitialize_epoch` with the full document collection to re-key.
+    """
+
+    def __init__(self, master_key: MasterKey, channel: Channel,
+                 chain_length: int = DEFAULT_CHAIN_LENGTH,
+                 lazy_counter: bool = True,
+                 rng: RandomSource | None = None,
+                 decrypt_bodies: bool = True) -> None:
+        super().__init__(channel)
+        if chain_length < 1:
+            raise ParameterError("chain length must be at least 1")
+        self._key = master_key
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._cipher = AuthenticatedCipher(master_key.k_m, rng=self._rng)
+        # Search-only delegates (see repro.core.delegation) hold a dummy
+        # k_m and set this False: searches return ids, bodies stay opaque.
+        self._decrypt_bodies = decrypt_bodies
+        self._chain_length = chain_length
+        self._lazy_counter = lazy_counter
+        self._ctr = 0
+        self._search_since_update = True  # first update always advances
+        self._epoch = 0
+        self._chains: dict[str, HashChain] = {}
+
+    @property
+    def ctr(self) -> int:
+        """Current value of the global update counter."""
+        return self._ctr
+
+    @property
+    def chain_length(self) -> int:
+        """The chain length l (maximum counter value before exhaustion)."""
+        return self._chain_length
+
+    @property
+    def epoch(self) -> int:
+        """Current chain epoch (bumped on re-initialization)."""
+        return self._epoch
+
+    @property
+    def updates_remaining(self) -> int:
+        """Counter-advancing updates left before the chain is exhausted."""
+        return self._chain_length - self._ctr
+
+    # -- chain plumbing ---------------------------------------------------
+
+    def _tag_for(self, keyword: str) -> bytes:
+        # The tag is epoch-scoped so re-initialization invalidates every
+        # stale representation in one stroke.
+        material = self._epoch.to_bytes(4, "big") + keyword.encode("utf-8")
+        return self._key.keyword_tag_prf().evaluate_truncated(material, 16)
+
+    def _chain_for(self, keyword: str) -> HashChain:
+        chain = self._chains.get(keyword)
+        if chain is None:
+            seed = self._key.keyword_seed_prf().evaluate(
+                self._epoch.to_bytes(4, "big") + keyword.encode("utf-8")
+            )
+            chain = HashChain(seed, self._chain_length)
+            self._chains[keyword] = chain
+        return chain
+
+    def _segment_key(self, keyword: str, ctr: int) -> bytes:
+        """k(w) at counter *ctr*: f^(l-ctr)(seed_w)."""
+        return self._chain_for(keyword).key_for_counter(ctr)
+
+    def _advance_counter(self) -> int:
+        """Apply the §5.6 counter policy and return the counter to use."""
+        if self._lazy_counter and not self._search_since_update and self._ctr > 0:
+            # Optimization 2: no search observed since the last update, so
+            # the server knows nothing about the last key — reuse it.
+            return self._ctr
+        if self._ctr >= self._chain_length:
+            raise ChainExhaustedError(
+                f"chain of length {self._chain_length} exhausted after "
+                f"{self._ctr} counter-advancing updates; call "
+                f"reinitialize_epoch() to re-key"
+            )
+        self._ctr += 1
+        self._search_since_update = False
+        return self._ctr
+
+    # -- document upload --------------------------------------------------
+
+    def _upload_documents(self, documents: Sequence[Document]) -> None:
+        fields: list[bytes] = []
+        for doc in documents:
+            fields.append(encode_doc_id(doc.doc_id))
+            fields.append(self._cipher.encrypt(
+                doc.data, associated_data=encode_doc_id(doc.doc_id)
+            ))
+        reply = self._channel.request(
+            Message(MessageType.STORE_DOCUMENT, tuple(fields))
+        )
+        reply.expect(MessageType.ACK)
+
+    def _upload_metadata(self, grouped: dict[str, list[int]],
+                         remove: bool = False) -> None:
+        if not grouped:
+            return
+        ctr = self._advance_counter()
+        fields: list[bytes] = []
+        for keyword in sorted(grouped):
+            key = self._segment_key(keyword, ctr)
+            fields.append(self._tag_for(keyword))
+            fields.append(_encrypt_segment(key, grouped[keyword],
+                                           remove=remove))
+            fields.append(_verifier(key))
+        reply = self._channel.request(
+            Message(MessageType.S2_STORE_ENTRY, tuple(fields))
+        )
+        reply.expect(MessageType.ACK)
+
+    # -- public API -------------------------------------------------------
+
+    def store(self, documents: Sequence[Document],
+              pad_keywords_to: int | None = None) -> None:
+        """Initial Storage: one document upload + one metadata message.
+
+        ``pad_keywords_to`` hides |W_D| (§5.7's "hide the amount of
+        keywords"): decoy keywords with empty posting lists pad the index
+        up to the target.  Decoys are derived (not random) so the padded
+        store stays a pure function of the inputs, but live in a reserved
+        ``\\x00``-prefixed namespace no user keyword can reach (user
+        keywords are non-empty printable strings).
+        """
+        self._upload_documents(documents)
+        grouped: dict[str, list[int]] = dict(group_keywords(documents))
+        if pad_keywords_to is not None:
+            for i in range(max(0, pad_keywords_to - len(grouped))):
+                grouped[f"\x00decoy-{i}"] = []
+        self._upload_metadata(grouped)
+
+    def add_documents(self, documents: Sequence[Document]) -> None:
+        """The Fig. 3 single-message metadata update (plus doc upload)."""
+        self._upload_documents(documents)
+        self._upload_metadata(group_keywords(documents))
+
+    def remove_documents(self, documents: Sequence[Document]) -> None:
+        """Remove documents via tombstone segments (extension to the paper).
+
+        Appends a REMOVE segment for each of the documents' keywords and
+        deletes the stored bodies.  Like Scheme 1 removal, the caller must
+        supply the full keyword sets; the server applies tombstones in
+        append order during search, so a later re-add of the same id wins.
+        One segment key covers the whole batch, exactly as for additions.
+        """
+        grouped = group_keywords(documents)
+        if grouped:
+            self._upload_metadata(grouped, remove=True)
+        reply = self._channel.request(Message(
+            MessageType.DELETE_DOCUMENT,
+            tuple(encode_doc_id(doc.doc_id) for doc in documents),
+        ))
+        reply.expect(MessageType.ACK)
+
+    def fake_update(self, keywords: Sequence[str]) -> None:
+        """§5.7 fake update: refresh keywords without changing any index.
+
+        Appends empty segments for *keywords*; the server cannot tell an
+        empty segment from a real one (same framing, same sizes for equal
+        id-counts), so padding every update to a fixed keyword count hides
+        which keywords a real update touched.
+        """
+        grouped = {keyword: [] for keyword in keywords}
+        self._upload_metadata(grouped)
+
+    def search(self, keyword: str) -> SearchResult:
+        """The Fig. 4 one-round search."""
+        if self._ctr == 0:
+            # Nothing has ever been stored under this epoch.
+            return SearchResult(keyword, [], [])
+        trapdoor_element = self._chain_for(keyword).element(
+            self._chain_length - self._ctr
+        )
+        reply = self._channel.request(
+            Message(MessageType.S2_SEARCH_REQUEST,
+                    (self._tag_for(keyword), trapdoor_element))
+        )
+        fields = reply.expect(MessageType.DOCUMENTS_RESULT)
+        self._search_since_update = True
+        doc_ids: list[int] = []
+        documents: list[bytes] = []
+        for i in range(0, len(fields), 2):
+            doc_id = decode_doc_id(fields[i])
+            if doc_id == PADDING_DOC_ID:
+                continue  # server-side result padding (see Scheme2Server)
+            doc_ids.append(doc_id)
+            if self._decrypt_bodies:
+                documents.append(self._cipher.decrypt(
+                    fields[i + 1], associated_data=fields[i]
+                ))
+        return SearchResult(keyword, doc_ids, documents)
+
+    def reinitialize_epoch(self, documents: Sequence[Document]) -> None:
+        """Re-key after chain exhaustion (§5.6, Optimization 2 discussion).
+
+        Bumps the epoch (fresh seeds + fresh tags), resets the counter, and
+        re-uploads the metadata of the supplied collection.  The caller
+        supplies the documents because the thin client keeps no plaintext
+        index; in practice it would fetch-and-decrypt its own collection
+        first.  Old-epoch representations become unreachable garbage on the
+        server (a real deployment would also send deletes).
+        """
+        self._epoch += 1
+        self._ctr = 0
+        self._search_since_update = True
+        self._chains.clear()
+        self._upload_documents(documents)
+        self._upload_metadata(group_keywords(documents))

@@ -1,0 +1,110 @@
+"""Shared server-side machinery for both schemes.
+
+The server is honest-but-curious: it executes the protocol exactly, stores
+whatever the client uploads, and answers searches — while everything it
+holds (documents, searchable representations) is ciphertext.  Searchable
+representations live in an AVL tree keyed by the 16-byte keyword tag,
+realizing the paper's "tree structure for the searchable representations"
+and its O(log u) lookup (§5.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.api import SseServerHandler
+from repro.ds.avl import AvlTree
+from repro.errors import ProtocolError
+from repro.net.messages import Message, MessageType
+from repro.storage.docstore import EncryptedDocumentStore
+
+__all__ = ["BaseSseServer", "encode_doc_id", "decode_doc_id"]
+
+
+def encode_doc_id(doc_id: int) -> bytes:
+    """Canonical 8-byte big-endian document-id encoding for the wire."""
+    return doc_id.to_bytes(8, "big")
+
+
+def decode_doc_id(data: bytes) -> int:
+    """Invert :func:`encode_doc_id`."""
+    if len(data) != 8:
+        raise ProtocolError("document ids travel as 8 bytes")
+    return int.from_bytes(data, "big")
+
+
+class BaseSseServer(SseServerHandler):
+    """Document storage plus a tag-keyed AVL index of searchable reps.
+
+    Subclasses implement the scheme-specific message types; this base
+    handles document upload/retrieval and keeps instrumentation counters
+    the benchmarks read (AVL comparisons, documents served).
+    """
+
+    def __init__(self, docstore: EncryptedDocumentStore | None = None) -> None:
+        self.documents = docstore if docstore is not None else EncryptedDocumentStore()
+        self.index = AvlTree()
+        # Instrumentation for the complexity benchmarks.
+        self.searches_handled = 0
+        self.index_comparisons_last_search = 0
+        self.missing_documents_last_search = 0
+
+    @property
+    def unique_keywords(self) -> int:
+        """The paper's u: number of searchable representations stored."""
+        return len(self.index)
+
+    def handle(self, message: Message) -> Message:
+        """Dispatch one protocol message."""
+        if message.type == MessageType.STORE_DOCUMENT:
+            return self._handle_store_document(message)
+        if message.type == MessageType.DELETE_DOCUMENT:
+            return self._handle_delete_document(message)
+        return self._handle_scheme_message(message)
+
+    def _handle_scheme_message(self, message: Message) -> Message:
+        raise ProtocolError(
+            f"unsupported message type {message.type.name}"
+        )
+
+    def _handle_store_document(self, message: Message) -> Message:
+        """STORE_DOCUMENT carries (id, ciphertext) pairs, batched."""
+        fields = message.fields
+        if len(fields) % 2:
+            raise ProtocolError("STORE_DOCUMENT fields must come in pairs")
+        for i in range(0, len(fields), 2):
+            doc_id = decode_doc_id(fields[i])
+            self.documents.put(doc_id, fields[i + 1])
+        return Message(MessageType.ACK)
+
+    def _handle_delete_document(self, message: Message) -> Message:
+        """DELETE_DOCUMENT carries document ids whose bodies are dropped.
+
+        Index entries referencing the id are NOT touched here: keyword-side
+        removal happens through each scheme's own (masked) update protocol,
+        so the server cannot correlate the delete with keywords.
+        """
+        for field in message.fields:
+            self.documents.delete(decode_doc_id(field))
+        return Message(MessageType.ACK)
+
+    def _lookup_tag(self, tag: bytes):
+        """Index lookup with comparison accounting (the log(u) instrument)."""
+        entry = self.index.get(tag)
+        self.index_comparisons_last_search = self.index.last_comparisons
+        return entry
+
+    def _documents_result(self, doc_ids: list[int]) -> Message:
+        """Build the (id, ciphertext)* reply for a successful search.
+
+        Ids whose body has been deleted are skipped (and counted): an index
+        may briefly reference a deleted document when a client removed the
+        body but has not yet patched every keyword.
+        """
+        fields: list[bytes] = []
+        self.missing_documents_last_search = 0
+        for doc_id in doc_ids:
+            if not self.documents.contains(doc_id):
+                self.missing_documents_last_search += 1
+                continue
+            fields.append(encode_doc_id(doc_id))
+            fields.append(self.documents.get(doc_id))
+        return Message(MessageType.DOCUMENTS_RESULT, tuple(fields))

@@ -1,0 +1,113 @@
+"""Update hardening policies (paper §5.7) as a composable client wrapper.
+
+The paper proposes two mitigations for update leakage:
+
+* **Batched updates** — accumulate documents and flush them together, so a
+  keyword in the batch could belong to any of its documents;
+* **Fake updates** — pad every flush to a fixed keyword multiset, so the
+  server sees constant-size updates touching a constant keyword universe.
+
+:class:`HardenedUpdater` layers both policies over any
+:class:`~repro.core.api.SseClient`.  Documents queue locally until the
+batch threshold (or an explicit flush); each flush optionally pads with
+fake updates to a declared keyword universe.  Searches flush first so
+results are never stale.
+
+Note the trust model: the queue lives on the *client*, which already holds
+the master key, so queuing costs no security — only durability until the
+next flush (exactly the trade-off batching always makes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.api import SearchResult, SseClient
+from repro.core.documents import Document, normalize_keyword
+from repro.core.scheme2 import Scheme2Client
+from repro.errors import ParameterError
+
+__all__ = ["HardenedUpdater"]
+
+
+class HardenedUpdater:
+    """Batching + padding front-end for an SSE client.
+
+    >>> from repro.core import keygen, make_scheme2
+    >>> client, _, _ = make_scheme2(keygen())
+    >>> updater = HardenedUpdater(client, batch_size=4,
+    ...                           keyword_universe=["sym:fever"])
+    """
+
+    def __init__(self, client: SseClient, batch_size: int = 8,
+                 keyword_universe: Sequence[str] = (),
+                 pad_to_universe: bool = True) -> None:
+        if batch_size < 1:
+            raise ParameterError("batch size must be at least 1")
+        if pad_to_universe and keyword_universe:
+            if not isinstance(client, Scheme2Client):
+                # Scheme 1 updates already have capacity-fixed width per
+                # keyword; only Scheme 2 exposes fake_update.
+                raise ParameterError(
+                    "padding requires a Scheme 2 client (fake_update)"
+                )
+        self._client = client
+        self._batch_size = batch_size
+        self._universe = frozenset(
+            normalize_keyword(w) for w in keyword_universe
+        )
+        self._pad = pad_to_universe and bool(self._universe)
+        self._queue: list[Document] = []
+        self.flushes = 0
+        self.fake_updates_sent = 0
+
+    @property
+    def pending(self) -> int:
+        """Documents queued but not yet visible on the server."""
+        return len(self._queue)
+
+    @property
+    def client(self) -> SseClient:
+        """The wrapped SSE client."""
+        return self._client
+
+    def add_document(self, document: Document) -> None:
+        """Queue a document; flushes automatically at the batch size."""
+        if self._pad:
+            unknown = document.keywords - self._universe
+            if unknown:
+                raise ParameterError(
+                    f"keywords outside the declared universe: "
+                    f"{sorted(unknown)[:3]}"
+                )
+        self._queue.append(document)
+        if len(self._queue) >= self._batch_size:
+            self.flush()
+
+    def add_documents(self, documents: Sequence[Document]) -> None:
+        """Queue several documents (may trigger multiple flushes)."""
+        for document in documents:
+            self.add_document(document)
+
+    def flush(self) -> int:
+        """Push the queued batch (padded if configured); return batch size."""
+        if not self._queue:
+            return 0
+        batch, self._queue = self._queue, []
+        real_keywords: set[str] = set()
+        for doc in batch:
+            real_keywords |= doc.keywords
+        self._client.add_documents(batch)
+        if self._pad:
+            missing = sorted(self._universe - real_keywords)
+            if missing:
+                assert isinstance(self._client, Scheme2Client)
+                self._client.fake_update(missing)
+                self.fake_updates_sent += 1
+        self.flushes += 1
+        return len(batch)
+
+    def search(self, keyword: str) -> SearchResult:
+        """Flush pending updates, then search (results are never stale)."""
+        self.flush()
+        return self._client.search(keyword)

@@ -1,0 +1,55 @@
+"""From-scratch cryptographic substrate for the SSE reproduction.
+
+Nothing in this package imports third-party crypto: SHA-256, HMAC, AES,
+modes, PRF/PRG, the variable-length Feistel PRP, ElGamal (with its own
+Miller–Rabin number theory), and Lamport hash chains are all implemented
+here and validated against official test vectors in ``tests/crypto``.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.authenc import AuthenticatedCipher
+from repro.crypto.chain import ChainWalker, HashChain, chain_step
+from repro.crypto.elgamal import (ElGamalCiphertext, ElGamalKeyPair,
+                                  ElGamalPublicKey, generate_keypair)
+from repro.crypto.hmac_sha256 import HMACSHA256, hmac_sha256
+from repro.crypto.numtheory import (SchnorrGroup, generate_prime,
+                                    generate_safe_prime,
+                                    generate_schnorr_group,
+                                    is_probable_prime)
+from repro.crypto.prf import Prf, derive_key
+from repro.crypto.prg import Prg, hkdf, prg_expand
+from repro.crypto.prp import BlockPrp, FeistelPrp
+from repro.crypto.rng import HmacDrbg, RandomSource, SystemRandomSource, default_rng
+from repro.crypto.sha256 import SHA256, sha256
+
+__all__ = [
+    "AES",
+    "AuthenticatedCipher",
+    "BlockPrp",
+    "ChainWalker",
+    "ElGamalCiphertext",
+    "ElGamalKeyPair",
+    "ElGamalPublicKey",
+    "FeistelPrp",
+    "HMACSHA256",
+    "HashChain",
+    "HmacDrbg",
+    "Prf",
+    "Prg",
+    "RandomSource",
+    "SHA256",
+    "SchnorrGroup",
+    "SystemRandomSource",
+    "chain_step",
+    "default_rng",
+    "derive_key",
+    "generate_keypair",
+    "generate_prime",
+    "generate_safe_prime",
+    "generate_schnorr_group",
+    "hkdf",
+    "hmac_sha256",
+    "is_probable_prime",
+    "prg_expand",
+    "sha256",
+]

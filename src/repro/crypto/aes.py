@@ -1,0 +1,208 @@
+"""AES block cipher implemented from scratch per FIPS-197.
+
+Supports 128/192/256-bit keys.  This is the pseudo-random permutation
+ℰ of the paper (§4) and the engine behind the CTR/CBC modes used for
+document encryption.  Pure Python is slow in absolute terms but all
+benchmarks in this repository compare schemes under the same substrate, so
+relative results are meaningful.
+
+Implementation notes:
+
+* Encryption/decryption operate on a 16-byte ``bytes`` block.
+* The S-box is generated programmatically at import time from the GF(2^8)
+  inverse + affine map, then verified against the two corner values FIPS-197
+  prints, so a transcription typo is impossible.
+* FIPS-197 Appendix C vectors are exercised in ``tests/crypto/test_aes.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+__all__ = ["AES", "BLOCK_SIZE"]
+
+BLOCK_SIZE = 16
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    product = 0
+    for _ in range(8):
+        if b & 1:
+            product ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return product
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Generate the AES S-box and its inverse from first principles."""
+    # Multiplicative inverses in GF(2^8) via exhaustive search (runs once).
+    inverse = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if _gf_mul(x, y) == 1:
+                inverse[x] = y
+                break
+    sbox = [0] * 256
+    for x in range(256):
+        b = inverse[x]
+        # Affine transformation over GF(2).
+        result = 0
+        for bit in range(8):
+            value = (
+                (b >> bit) ^ (b >> ((bit + 4) % 8)) ^ (b >> ((bit + 5) % 8))
+                ^ (b >> ((bit + 6) % 8)) ^ (b >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            result |= value << bit
+        sbox[x] = result
+    inv_sbox = [0] * 256
+    for x, y in enumerate(sbox):
+        inv_sbox[y] = x
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+assert _SBOX[0x00] == 0x63 and _SBOX[0x53] == 0xED, "S-box generation failed"
+
+# Precomputed GF multiplication tables for MixColumns (encrypt: 2,3;
+# decrypt: 9, 11, 13, 14).
+_MUL = {
+    factor: bytes(_gf_mul(factor, x) for x in range(256))
+    for factor in (2, 3, 9, 11, 13, 14)
+}
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_gf_mul(_RCON[-1], 2))
+
+
+class AES:
+    """AES block cipher for a fixed key.
+
+    >>> cipher = AES(bytes(range(16)))
+    >>> block = cipher.encrypt_block(bytes(16))
+    >>> cipher.decrypt_block(block) == bytes(16)
+    True
+    """
+
+    block_size = BLOCK_SIZE
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ParameterError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self._nk = len(key) // 4
+        self._rounds = self._nk + 6
+        self._round_keys = self._expand_key(bytes(key))
+
+    @property
+    def rounds(self) -> int:
+        """Number of AES rounds for this key size (10/12/14)."""
+        return self._rounds
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        """FIPS-197 §5.2 key expansion → one 16-byte word list per round key."""
+        nk, rounds = self._nk, self._rounds
+        words = [list(key[4 * i:4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (rounds + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [_SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        # Group into per-round flat 16-byte lists (column-major state).
+        round_keys = []
+        for r in range(rounds + 1):
+            flat: list[int] = []
+            for w in words[4 * r:4 * r + 4]:
+                flat.extend(w)
+            round_keys.append(flat)
+        return round_keys
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ParameterError("AES operates on exactly 16-byte blocks")
+        state = [b ^ k for b, k in zip(block, self._round_keys[0])]
+        for r in range(1, self._rounds):
+            state = self._encrypt_round(state, self._round_keys[r])
+        # Final round: no MixColumns.
+        state = [_SBOX[b] for b in state]
+        state = self._shift_rows(state)
+        state = [b ^ k for b, k in zip(state, self._round_keys[self._rounds])]
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ParameterError("AES operates on exactly 16-byte blocks")
+        state = [b ^ k for b, k in zip(block, self._round_keys[self._rounds])]
+        state = self._inv_shift_rows(state)
+        state = [_INV_SBOX[b] for b in state]
+        for r in range(self._rounds - 1, 0, -1):
+            state = [b ^ k for b, k in zip(state, self._round_keys[r])]
+            state = self._inv_mix_columns(state)
+            state = self._inv_shift_rows(state)
+            state = [_INV_SBOX[b] for b in state]
+        state = [b ^ k for b, k in zip(state, self._round_keys[0])]
+        return bytes(state)
+
+    @staticmethod
+    def _encrypt_round(state: list[int], round_key: list[int]) -> list[int]:
+        state = [_SBOX[b] for b in state]
+        state = AES._shift_rows(state)
+        state = AES._mix_columns(state)
+        return [b ^ k for b, k in zip(state, round_key)]
+
+    # The state is stored column-major: byte index = 4*col + row, matching
+    # the FIPS-197 input byte ordering.
+    @staticmethod
+    def _shift_rows(s: list[int]) -> list[int]:
+        return [
+            s[0], s[5], s[10], s[15],
+            s[4], s[9], s[14], s[3],
+            s[8], s[13], s[2], s[7],
+            s[12], s[1], s[6], s[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(s: list[int]) -> list[int]:
+        return [
+            s[0], s[13], s[10], s[7],
+            s[4], s[1], s[14], s[11],
+            s[8], s[5], s[2], s[15],
+            s[12], s[9], s[6], s[3],
+        ]
+
+    @staticmethod
+    def _mix_columns(s: list[int]) -> list[int]:
+        mul2, mul3 = _MUL[2], _MUL[3]
+        out = [0] * 16
+        for c in range(4):
+            a0, a1, a2, a3 = s[4 * c:4 * c + 4]
+            out[4 * c + 0] = mul2[a0] ^ mul3[a1] ^ a2 ^ a3
+            out[4 * c + 1] = a0 ^ mul2[a1] ^ mul3[a2] ^ a3
+            out[4 * c + 2] = a0 ^ a1 ^ mul2[a2] ^ mul3[a3]
+            out[4 * c + 3] = mul3[a0] ^ a1 ^ a2 ^ mul2[a3]
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(s: list[int]) -> list[int]:
+        m9, m11, m13, m14 = _MUL[9], _MUL[11], _MUL[13], _MUL[14]
+        out = [0] * 16
+        for c in range(4):
+            a0, a1, a2, a3 = s[4 * c:4 * c + 4]
+            out[4 * c + 0] = m14[a0] ^ m11[a1] ^ m13[a2] ^ m9[a3]
+            out[4 * c + 1] = m9[a0] ^ m14[a1] ^ m11[a2] ^ m13[a3]
+            out[4 * c + 2] = m13[a0] ^ m9[a1] ^ m14[a2] ^ m11[a3]
+            out[4 * c + 3] = m11[a0] ^ m13[a1] ^ m9[a2] ^ m14[a3]
+        return out

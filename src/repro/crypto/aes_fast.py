@@ -1,0 +1,107 @@
+"""Table-driven AES encryption (the classic T-table construction).
+
+The straightforward :mod:`repro.crypto.aes` implementation applies
+SubBytes/ShiftRows/MixColumns separately; this variant precomputes the four
+32-bit T-tables that fuse all three steps, turning each round into 16 table
+lookups and XORs — the standard software-AES optimization (and the reason
+cache-timing attacks on AES exist; a real deployment would use AES-NI).
+
+Only encryption is table-accelerated (CTR mode never decrypts blocks);
+``decrypt_block`` delegates to the reference implementation.  Equivalence
+with :class:`repro.crypto.aes.AES` is property-tested, and an ablation
+benchmark quantifies the speedup.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto import aes as _reference
+from repro.errors import ParameterError
+
+__all__ = ["FastAES"]
+
+
+def _build_tables() -> tuple[list[int], ...]:
+    sbox = _reference._SBOX
+    mul2 = _reference._MUL[2]
+    mul3 = _reference._MUL[3]
+    t0, t1, t2, t3 = [], [], [], []
+    for x in range(256):
+        s = sbox[x]
+        word = (mul2[s] << 24) | (s << 16) | (s << 8) | mul3[s]
+        t0.append(word)
+        t1.append(((word >> 8) | (word << 24)) & 0xFFFFFFFF)
+        t2.append(((word >> 16) | (word << 16)) & 0xFFFFFFFF)
+        t3.append(((word >> 24) | (word << 8)) & 0xFFFFFFFF)
+    return t0, t1, t2, t3
+
+
+_T0, _T1, _T2, _T3 = _build_tables()
+_SBOX = _reference._SBOX
+
+
+class FastAES:
+    """Drop-in AES with T-table encryption.
+
+    >>> from repro.crypto.aes import AES
+    >>> key = bytes(16)
+    >>> FastAES(key).encrypt_block(bytes(16)) == AES(key).encrypt_block(bytes(16))
+    True
+    """
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        self._reference = _reference.AES(key)
+        # Round keys as big-endian 32-bit words per round (4 words each).
+        self._round_words = [
+            list(struct.unpack(">4I", bytes(rk)))
+            for rk in self._reference._round_keys
+        ]
+        self._rounds = self._reference.rounds
+
+    @property
+    def rounds(self) -> int:
+        """Number of AES rounds for this key size."""
+        return self._rounds
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block via T-table rounds."""
+        if len(block) != 16:
+            raise ParameterError("AES operates on exactly 16-byte blocks")
+        w = self._round_words
+        s0, s1, s2, s3 = struct.unpack(">4I", block)
+        s0 ^= w[0][0]
+        s1 ^= w[0][1]
+        s2 ^= w[0][2]
+        s3 ^= w[0][3]
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        for r in range(1, self._rounds):
+            rk = w[r]
+            n0 = (t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF]
+                  ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ rk[0])
+            n1 = (t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF]
+                  ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ rk[1])
+            n2 = (t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF]
+                  ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ rk[2])
+            n3 = (t0[s3 >> 24] ^ t1[(s0 >> 16) & 0xFF]
+                  ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ rk[3])
+            s0, s1, s2, s3 = n0, n1, n2, n3
+        # Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        rk = w[self._rounds]
+        sbox = _SBOX
+        f0 = ((sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+              | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ rk[0]
+        f1 = ((sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+              | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ rk[1]
+        f2 = ((sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+              | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ rk[2]
+        f3 = ((sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+              | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ rk[3]
+        return struct.pack(">4I", f0 & 0xFFFFFFFF, f1 & 0xFFFFFFFF,
+                           f2 & 0xFFFFFFFF, f3 & 0xFFFFFFFF)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt via the reference implementation (cold path)."""
+        return self._reference.decrypt_block(block)

@@ -1,0 +1,115 @@
+"""Low-level byte-string helpers shared across the crypto substrate.
+
+These functions are intentionally tiny and dependency-free: everything in
+:mod:`repro.crypto` is built from scratch on top of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "xor_bytes",
+    "ct_equal",
+    "int_to_bytes",
+    "bytes_to_int",
+    "chunks",
+    "pad_to_length",
+    "rotl32",
+    "rotr32",
+    "shr32",
+]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Return the bytewise XOR of two equal-length byte strings.
+
+    Raises :class:`ParameterError` on length mismatch rather than silently
+    truncating, because silent truncation is how masking bugs hide.
+    """
+    if len(a) != len(b):
+        raise ParameterError(
+            f"xor_bytes length mismatch: {len(a)} != {len(b)}"
+        )
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def ct_equal(a: bytes, b: bytes) -> bool:
+    """Constant-time byte-string comparison.
+
+    Used wherever an attacker-influenced value is compared against a secret
+    (MAC tags, chain verifiers).  The loop always inspects every byte of the
+    longer input.
+    """
+    if len(a) != len(b):
+        # Still burn time proportional to the inputs to avoid an early-exit
+        # length oracle beyond the unavoidable length leak.
+        result = 1
+        for x, y in zip(a.ljust(len(b), b"\x00"), b.ljust(len(a), b"\x00")):
+            result |= x ^ y
+        return False
+    result = 0
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0
+
+
+def int_to_bytes(value: int, length: int | None = None) -> bytes:
+    """Encode a non-negative integer big-endian.
+
+    When *length* is omitted, the minimal number of bytes is used (at least
+    one, so ``int_to_bytes(0) == b"\\x00"``).
+    """
+    if value < 0:
+        raise ParameterError("int_to_bytes requires a non-negative integer")
+    if length is None:
+        length = max(1, (value.bit_length() + 7) // 8)
+    try:
+        return value.to_bytes(length, "big")
+    except OverflowError as exc:
+        raise ParameterError(
+            f"{value} does not fit in {length} bytes"
+        ) from exc
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Decode a big-endian byte string to a non-negative integer."""
+    return int.from_bytes(data, "big")
+
+
+def chunks(data: bytes, size: int) -> Iterator[bytes]:
+    """Yield consecutive *size*-byte slices of *data*; the last may be short."""
+    if size <= 0:
+        raise ParameterError("chunk size must be positive")
+    for offset in range(0, len(data), size):
+        yield data[offset:offset + size]
+
+
+def pad_to_length(data: bytes, length: int) -> bytes:
+    """Right-pad *data* with zero bytes up to *length* (error if too long)."""
+    if len(data) > length:
+        raise ParameterError(
+            f"data of {len(data)} bytes exceeds target length {length}"
+        )
+    return data + b"\x00" * (length - len(data))
+
+
+def rotl32(value: int, amount: int) -> int:
+    """Rotate a 32-bit word left."""
+    value &= _MASK32
+    return ((value << amount) | (value >> (32 - amount))) & _MASK32
+
+
+def rotr32(value: int, amount: int) -> int:
+    """Rotate a 32-bit word right."""
+    value &= _MASK32
+    return ((value >> amount) | (value << (32 - amount))) & _MASK32
+
+
+def shr32(value: int, amount: int) -> int:
+    """Logical right shift of a 32-bit word."""
+    return (value & _MASK32) >> amount

@@ -1,0 +1,163 @@
+"""ElGamal encryption over a safe-prime Schnorr group.
+
+Scheme 1 stores, next to every masked index, ``F(r)`` — an IND-CPA
+encryption of the masking nonce under a trapdoor permutation "(e.g. an
+ElGamal encryption)".  Only the client holds the private key, so only the
+client can recover ``r``; the server merely stores and returns ``F(r)``.
+
+Nonces are fixed-size byte strings; they are embedded into the group via
+the quadratic-residue encoding of :class:`~repro.crypto.numtheory.SchnorrGroup`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.crypto.bytesutil import bytes_to_int, int_to_bytes
+from repro.crypto.numtheory import (SchnorrGroup, generate_schnorr_group,
+                                    invmod, rfc3526_group_1536)
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.errors import CryptoError, ParameterError
+
+__all__ = ["ElGamalCiphertext", "ElGamalPublicKey", "ElGamalKeyPair",
+           "generate_keypair", "DEFAULT_GROUP_BITS"]
+
+# 512-bit groups keep the pure-Python benchmarks responsive; real
+# deployments would use >= 2048 bits.  The size is a constructor parameter
+# everywhere, so nothing hard-codes this default.
+DEFAULT_GROUP_BITS = 512
+
+
+@dataclass(frozen=True)
+class ElGamalCiphertext:
+    """An ElGamal ciphertext (c1, c2) = (g^k, m * y^k)."""
+
+    c1: int
+    c2: int
+
+    def serialize(self, modulus_bytes: int) -> bytes:
+        """Fixed-width big-endian encoding (for bandwidth accounting)."""
+        return (int_to_bytes(self.c1, modulus_bytes)
+                + int_to_bytes(self.c2, modulus_bytes))
+
+    @classmethod
+    def deserialize(cls, data: bytes, modulus_bytes: int) -> "ElGamalCiphertext":
+        """Invert :meth:`serialize`."""
+        if len(data) != 2 * modulus_bytes:
+            raise ParameterError("bad ElGamal ciphertext length")
+        return cls(c1=bytes_to_int(data[:modulus_bytes]),
+                   c2=bytes_to_int(data[modulus_bytes:]))
+
+
+@dataclass(frozen=True)
+class ElGamalPublicKey:
+    """Public half: the group and y = g^x."""
+
+    group: SchnorrGroup
+    y: int
+
+    @property
+    def modulus_bytes(self) -> int:
+        """Byte width of one group element."""
+        return (self.group.p.bit_length() + 7) // 8
+
+    @property
+    def nonce_size(self) -> int:
+        """Largest nonce (in bytes) that embeds injectively into the group."""
+        # Nonce integers must land in [1, q]; staying 2 bytes under the
+        # modulus width keeps every possible nonce strictly below q.
+        return self.modulus_bytes - 2
+
+    def encrypt_element(self, m: int, rng: RandomSource) -> ElGamalCiphertext:
+        """Encrypt a group element."""
+        if not self.group.contains(m):
+            raise ParameterError("plaintext must be a subgroup element")
+        k = self.group.random_exponent(rng)
+        c1 = pow(self.group.g, k, self.group.p)
+        c2 = (m * pow(self.y, k, self.group.p)) % self.group.p
+        return ElGamalCiphertext(c1, c2)
+
+    def encrypt_nonce(self, nonce: bytes,
+                      rng: RandomSource | None = None) -> ElGamalCiphertext:
+        """Encrypt a byte-string nonce (the F(r) of Scheme 1)."""
+        rng = rng if rng is not None else SystemRandomSource()
+        if not 0 < len(nonce) <= self.nonce_size:
+            raise ParameterError(
+                f"nonce must be 1..{self.nonce_size} bytes for this group"
+            )
+        # Prefix a 0x01 byte so leading-zero nonces round-trip.
+        value = bytes_to_int(b"\x01" + nonce)
+        return self.encrypt_element(self.group.encode(value), rng)
+
+
+@dataclass(frozen=True)
+class ElGamalKeyPair:
+    """Private key x plus the matching public key."""
+
+    public: ElGamalPublicKey
+    x: int
+
+    def decrypt_element(self, ciphertext: ElGamalCiphertext) -> int:
+        """Recover the group element from (c1, c2)."""
+        group = self.public.group
+        if not (0 < ciphertext.c1 < group.p and 0 < ciphertext.c2 < group.p):
+            raise CryptoError("ciphertext components out of range")
+        shared = pow(ciphertext.c1, self.x, group.p)
+        return (ciphertext.c2 * invmod(shared, group.p)) % group.p
+
+    def decrypt_nonce(self, ciphertext: ElGamalCiphertext) -> bytes:
+        """Recover a nonce encrypted with :meth:`ElGamalPublicKey.encrypt_nonce`."""
+        value = self.public.group.decode(self.decrypt_element(ciphertext))
+        raw = int_to_bytes(value)
+        if not raw or raw[0] != 0x01:
+            raise CryptoError("decrypted value is not a framed nonce")
+        return raw[1:]
+
+    def to_json(self) -> str:
+        """Serialize the full keypair (INCLUDING the private key) to JSON.
+
+        Handle the result like any private key: this exists so the CLI and
+        persistence layer can store the client's trapdoor key between
+        sessions, not for transmission.
+        """
+        group = self.public.group
+        return json.dumps({
+            "format": "repro.elgamal/1",
+            "p": hex(group.p), "q": hex(group.q), "g": hex(group.g),
+            "y": hex(self.public.y), "x": hex(self.x),
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ElGamalKeyPair":
+        """Invert :meth:`to_json`, re-validating the group structure."""
+        data = json.loads(payload)
+        if data.get("format") != "repro.elgamal/1":
+            raise ParameterError("unrecognized keypair format")
+        group = SchnorrGroup(p=int(data["p"], 16), q=int(data["q"], 16),
+                             g=int(data["g"], 16))
+        x = int(data["x"], 16)
+        y = int(data["y"], 16)
+        if pow(group.g, x, group.p) != y:
+            raise ParameterError("keypair is internally inconsistent")
+        return cls(public=ElGamalPublicKey(group=group, y=y), x=x)
+
+
+def generate_keypair(bits: int | None = None,
+                     rng: RandomSource | None = None,
+                     group: SchnorrGroup | None = None) -> ElGamalKeyPair:
+    """Generate an ElGamal keypair.
+
+    By default the keypair lives in the standard RFC 3526 1536-bit MODP
+    group, so only an exponent is sampled — instant.  Pass ``bits`` to
+    generate a *fresh* safe-prime group of that size instead (minutes in
+    pure Python for realistic sizes; tests use 256-bit groups), or pass an
+    explicit ``group``.
+    """
+    rng = rng if rng is not None else SystemRandomSource()
+    if group is None:
+        group = (rfc3526_group_1536() if bits is None
+                 else generate_schnorr_group(bits, rng))
+    x = group.random_exponent(rng)
+    y = pow(group.g, x, group.p)
+    return ElGamalKeyPair(public=ElGamalPublicKey(group=group, y=y), x=x)

@@ -1,0 +1,132 @@
+"""Block-cipher modes of operation (ECB, CBC, CTR) and PKCS#7 padding.
+
+CTR is the primary mode: document bodies and Scheme 2 id-list segments are
+encrypted with AES-CTR under single-use keys.  CBC and ECB exist for the
+baselines and for test cross-checks against NIST SP 800-38A vectors.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.bytesutil import xor_bytes
+from repro.errors import PaddingError, ParameterError
+
+__all__ = [
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "ecb_encrypt",
+    "ecb_decrypt",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "ctr_keystream",
+    "ctr_xcrypt",
+]
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Append PKCS#7 padding to a full multiple of *block_size*."""
+    if not 0 < block_size <= 255:
+        raise ParameterError("PKCS#7 block size must be in 1..255")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise PaddingError("ciphertext length is not a padded multiple")
+    pad_len = data[-1]
+    if not 0 < pad_len <= block_size:
+        raise PaddingError("invalid padding byte")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("inconsistent padding bytes")
+    return data[:-pad_len]
+
+
+def _require_blocks(data: bytes, what: str) -> None:
+    if len(data) % BLOCK_SIZE:
+        raise ParameterError(f"{what} must be a multiple of {BLOCK_SIZE} bytes")
+
+
+def ecb_encrypt(key: bytes, plaintext: bytes) -> bytes:
+    """ECB mode (no diffusion between blocks — baselines/tests only)."""
+    _require_blocks(plaintext, "ECB plaintext")
+    cipher = AES(key)
+    return b"".join(
+        cipher.encrypt_block(plaintext[i:i + BLOCK_SIZE])
+        for i in range(0, len(plaintext), BLOCK_SIZE)
+    )
+
+
+def ecb_decrypt(key: bytes, ciphertext: bytes) -> bytes:
+    """Invert :func:`ecb_encrypt`."""
+    _require_blocks(ciphertext, "ECB ciphertext")
+    cipher = AES(key)
+    return b"".join(
+        cipher.decrypt_block(ciphertext[i:i + BLOCK_SIZE])
+        for i in range(0, len(ciphertext), BLOCK_SIZE)
+    )
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC mode over already-padded plaintext."""
+    if len(iv) != BLOCK_SIZE:
+        raise ParameterError("CBC IV must be one block")
+    _require_blocks(plaintext, "CBC plaintext")
+    cipher = AES(key)
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(plaintext), BLOCK_SIZE):
+        block = cipher.encrypt_block(
+            xor_bytes(plaintext[i:i + BLOCK_SIZE], previous)
+        )
+        out += block
+        previous = block
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """Invert :func:`cbc_encrypt`."""
+    if len(iv) != BLOCK_SIZE:
+        raise ParameterError("CBC IV must be one block")
+    _require_blocks(ciphertext, "CBC ciphertext")
+    cipher = AES(key)
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i:i + BLOCK_SIZE]
+        out += xor_bytes(cipher.decrypt_block(block), previous)
+        previous = block
+    return bytes(out)
+
+
+def ctr_keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate *length* CTR keystream bytes for (key, nonce).
+
+    The 16-byte counter block is ``nonce (8 bytes) || counter (8 bytes)``.
+    A (key, nonce) pair must never be reused across different messages.
+
+    Uses the T-table AES (property-tested equivalent to the reference
+    implementation): CTR only ever encrypts, and keystream generation is
+    the hottest AES path in the library.
+    """
+    from repro.crypto.aes_fast import FastAES
+
+    if len(nonce) != 8:
+        raise ParameterError("CTR nonce must be 8 bytes")
+    if length < 0:
+        raise ParameterError("keystream length must be non-negative")
+    cipher = FastAES(key)
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = nonce + counter.to_bytes(8, "big")
+        out += cipher.encrypt_block(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def ctr_xcrypt(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """CTR encryption/decryption (self-inverse XOR with the keystream)."""
+    stream = ctr_keystream(key, nonce, len(data))
+    return xor_bytes(data, stream)

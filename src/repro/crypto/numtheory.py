@@ -1,0 +1,210 @@
+"""Number theory for the public-key leg of Scheme 1 (ElGamal).
+
+Everything here is implemented from scratch: extended Euclid, modular
+inverse, Miller–Rabin probabilistic primality testing, random prime and
+safe-prime generation, and Schnorr-group parameter construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.errors import ParameterError
+
+__all__ = [
+    "egcd",
+    "invmod",
+    "is_probable_prime",
+    "generate_prime",
+    "generate_safe_prime",
+    "SchnorrGroup",
+    "generate_schnorr_group",
+    "rfc3526_group_1536",
+]
+
+# Small primes for fast trial division before Miller-Rabin.
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107,
+                 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+                 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229]
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return (g, x, y) with a*x + b*y == g == gcd(a, b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def invmod(a: int, modulus: int) -> int:
+    """Modular inverse of *a* mod *modulus*; raises if not invertible."""
+    if modulus <= 0:
+        raise ParameterError("modulus must be positive")
+    g, x, _ = egcd(a % modulus, modulus)
+    if g != 1:
+        raise ParameterError(f"{a} is not invertible modulo {modulus}")
+    return x % modulus
+
+
+def is_probable_prime(n: int, rounds: int = 40,
+                      rng: RandomSource | None = None) -> bool:
+    """Miller–Rabin primality test with *rounds* random bases.
+
+    Error probability is at most 4^-rounds for composite inputs; 40 rounds
+    is the conventional "cryptographically negligible" setting.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng if rng is not None else SystemRandomSource()
+    # Write n-1 = d * 2^s with d odd.
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for _ in range(rounds):
+        a = 2 + rng.randint_below(n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: RandomSource | None = None) -> int:
+    """Generate a random prime of exactly *bits* bits."""
+    if bits < 8:
+        raise ParameterError("prime size must be at least 8 bits")
+    rng = rng if rng is not None else SystemRandomSource()
+    while True:
+        candidate = rng.randint_below(1 << (bits - 1)) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def generate_safe_prime(bits: int, rng: RandomSource | None = None) -> int:
+    """Generate a safe prime p = 2q + 1 with q prime, of *bits* bits.
+
+    Safe primes make the quadratic-residue subgroup of Z_p^* a prime-order
+    group, which is what ElGamal's IND-CPA security argument needs.
+    """
+    if bits < 16:
+        raise ParameterError("safe prime size must be at least 16 bits")
+    rng = rng if rng is not None else SystemRandomSource()
+    while True:
+        q = generate_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if p.bit_length() == bits and is_probable_prime(p, rng=rng):
+            return p
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """A prime-order subgroup of Z_p^*: p = 2q + 1, generator g of order q."""
+
+    p: int
+    q: int
+    g: int
+
+    def __post_init__(self) -> None:
+        if self.p != 2 * self.q + 1:
+            raise ParameterError("SchnorrGroup requires p == 2q + 1")
+        if not 1 < self.g < self.p:
+            raise ParameterError("generator out of range")
+        if pow(self.g, self.q, self.p) != 1:
+            raise ParameterError("generator does not have order q")
+
+    def contains(self, element: int) -> bool:
+        """True iff *element* lies in the order-q subgroup."""
+        return 0 < element < self.p and pow(element, self.q, self.p) == 1
+
+    def random_exponent(self, rng: RandomSource) -> int:
+        """Uniform exponent in [1, q-1]."""
+        return 1 + rng.randint_below(self.q - 1)
+
+    def random_element(self, rng: RandomSource) -> int:
+        """Uniform element of the subgroup (excluding the identity)."""
+        return pow(self.g, self.random_exponent(rng), self.p)
+
+    def encode(self, value: int) -> int:
+        """Map an integer in [1, q] injectively into the subgroup.
+
+        Uses the standard quadratic-residue encoding for safe-prime groups:
+        m ∈ [1, q] maps to m if m is a QR mod p, else to p - m.  Inverted by
+        :meth:`decode`.
+        """
+        if not 1 <= value <= self.q:
+            raise ParameterError("encodable values lie in [1, q]")
+        if pow(value, self.q, self.p) == 1:
+            return value
+        return self.p - value
+
+    def decode(self, element: int) -> int:
+        """Invert :meth:`encode`."""
+        if not self.contains(element):
+            raise ParameterError("element is not in the subgroup")
+        if element <= self.q:
+            return element
+        return self.p - element
+
+
+# RFC 3526 §2, the 1536-bit MODP group: p is a safe prime (p = 2q + 1 with
+# q prime), standardized for IKE and widely deployed.  Using a fixed
+# published group is standard practice (generating fresh safe primes in
+# pure Python takes minutes); g = 4 = 2² is a quadratic residue and thus
+# generates the order-q subgroup.
+_RFC3526_1536_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E08"
+    "8A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B"
+    "302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9"
+    "A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE6"
+    "49286651ECE45B3DC2007CB8A163BF0598DA48361C55D39A69163FA8"
+    "FD24CF5F83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF", 16,
+)
+
+_RFC3526_GROUP: SchnorrGroup | None = None
+
+
+def rfc3526_group_1536() -> SchnorrGroup:
+    """The standard 1536-bit MODP safe-prime group (RFC 3526, id 5).
+
+    Cached after first construction; this is the default ElGamal group of
+    the library, so importing it must stay cheap.
+    """
+    global _RFC3526_GROUP
+    if _RFC3526_GROUP is None:
+        _RFC3526_GROUP = SchnorrGroup(
+            p=_RFC3526_1536_P, q=(_RFC3526_1536_P - 1) // 2, g=4,
+        )
+    return _RFC3526_GROUP
+
+
+def generate_schnorr_group(bits: int,
+                           rng: RandomSource | None = None) -> SchnorrGroup:
+    """Generate a safe-prime Schnorr group with a random subgroup generator."""
+    rng = rng if rng is not None else SystemRandomSource()
+    p = generate_safe_prime(bits, rng)
+    q = (p - 1) // 2
+    while True:
+        h = 2 + rng.randint_below(p - 3)
+        g = pow(h, 2, p)  # squaring lands in the QR subgroup
+        if g not in (1, p - 1):
+            return SchnorrGroup(p=p, q=q, g=g)

@@ -1,0 +1,78 @@
+"""Pseudo-random function family f : X × K → Y (paper §4).
+
+The paper's constructions use a PRF in several distinct roles — keyword tags
+``f_kw(w)``, chain verifiers ``f'(k)``, and key derivation.  :class:`Prf`
+wraps keyed HMAC-SHA256 and adds *domain separation*: each role gets its own
+label so that the same master key can safely serve every role (standard
+practice that the paper leaves implicit).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac_sha256 import HMACSHA256
+from repro.errors import ParameterError
+
+__all__ = ["Prf", "derive_key"]
+
+
+class Prf:
+    """A keyed PRF with an optional domain-separation label.
+
+    Evaluations are ``HMAC(key, label || 0x00 || message)``.  The key
+    schedule is computed once; per-message evaluation reuses it via
+    ``HMACSHA256.copy`` which makes this the cheapest primitive in the
+    library — important because Scheme 2's server-side chain walk evaluates
+    the PRF in a tight loop.
+    """
+
+    output_size = 32
+
+    def __init__(self, key: bytes, label: bytes = b"") -> None:
+        if not key:
+            raise ParameterError("PRF key must be non-empty")
+        if b"\x00" in label:
+            raise ParameterError("PRF labels must not contain NUL bytes")
+        self._label = label
+        self._keyed = HMACSHA256(key)
+        if label:
+            self._keyed.update(label + b"\x00")
+
+    @property
+    def label(self) -> bytes:
+        """The domain-separation label baked into every evaluation."""
+        return self._label
+
+    def evaluate(self, message: bytes) -> bytes:
+        """Return the 32-byte PRF output on *message*."""
+        mac = self._keyed.copy()
+        mac.update(message)
+        return mac.digest()
+
+    def evaluate_truncated(self, message: bytes, length: int) -> bytes:
+        """Return the first *length* bytes of the PRF output."""
+        if not 0 < length <= self.output_size:
+            raise ParameterError(
+                f"truncation length must be in 1..{self.output_size}"
+            )
+        return self.evaluate(message)[:length]
+
+    def __call__(self, message: bytes) -> bytes:
+        return self.evaluate(message)
+
+
+def derive_key(master: bytes, purpose: bytes, length: int = 32) -> bytes:
+    """Derive a sub-key from *master* for a given *purpose* string.
+
+    A thin, readable wrapper over the PRF for the common "split one master
+    key into independent role keys" pattern (``k_m``, ``k_w``, cache keys).
+    Lengths above 32 bytes chain counter blocks.
+    """
+    if length <= 0:
+        raise ParameterError("derived key length must be positive")
+    prf = Prf(master, label=b"repro.derive")
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += prf.evaluate(purpose + b"\x00" + counter.to_bytes(4, "big"))
+        counter += 1
+    return bytes(out[:length])

@@ -1,0 +1,98 @@
+"""Pseudo-random generator G(r) and HKDF (paper §4).
+
+Scheme 1 masks its document-id bit arrays as ``I(w) ⊕ G(r)`` where ``r`` is
+a per-keyword nonce.  :func:`prg_expand` realizes G as counter-mode
+expansion of HMAC-SHA256 keyed by the seed — the standard PRF-to-PRG
+construction, secure as long as HMAC is a PRF.
+
+HKDF (RFC 5869) is provided for the places where a seed must first be
+*extracted* from non-uniform material (e.g. ElGamal shared secrets).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac_sha256 import hmac_sha256
+from repro.crypto.prf import Prf
+from repro.errors import ParameterError
+
+__all__ = ["prg_expand", "Prg", "hkdf_extract", "hkdf_expand", "hkdf"]
+
+_HASH_LEN = 32
+
+
+def prg_expand(seed: bytes, length: int) -> bytes:
+    """Expand *seed* into *length* pseudo-random bytes (the paper's G(r)).
+
+    Deterministic: the same seed always produces the same stream, which is
+    what lets the client re-derive ``G(r)`` during Scheme 1 updates.
+    """
+    if length < 0:
+        raise ParameterError("PRG output length must be non-negative")
+    if not seed:
+        raise ParameterError("PRG seed must be non-empty")
+    prf = Prf(seed, label=b"repro.prg")
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += prf.evaluate(counter.to_bytes(8, "big"))
+        counter += 1
+    return bytes(out[:length])
+
+
+class Prg:
+    """Streaming PRG: successive :meth:`next_bytes` calls continue the stream.
+
+    ``Prg(seed).next_bytes(a) + Prg-continued(b)`` equals
+    ``prg_expand(seed, a + b)`` — the stream is a pure function of the seed,
+    with an internal offset cursor.
+    """
+
+    def __init__(self, seed: bytes) -> None:
+        if not seed:
+            raise ParameterError("PRG seed must be non-empty")
+        self._prf = Prf(seed, label=b"repro.prg")
+        self._counter = 0
+        self._pending = b""
+
+    def next_bytes(self, length: int) -> bytes:
+        """Return the next *length* bytes of the stream."""
+        if length < 0:
+            raise ParameterError("PRG output length must be non-negative")
+        out = bytearray(self._pending[:length])
+        self._pending = self._pending[length:]
+        while len(out) < length:
+            block = self._prf.evaluate(self._counter.to_bytes(8, "big"))
+            self._counter += 1
+            take = min(length - len(out), len(block))
+            out += block[:take]
+            self._pending = block[take:]
+        return bytes(out)
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """RFC 5869 extract step: concentrate *ikm* into a 32-byte PRK."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """RFC 5869 expand step: derive *length* output bytes from *prk*."""
+    if len(prk) < _HASH_LEN:
+        raise ParameterError("HKDF PRK must be at least hash-length bytes")
+    if not 0 < length <= 255 * _HASH_LEN:
+        raise ParameterError("HKDF output length out of range")
+    out = bytearray()
+    block = b""
+    counter = 1
+    while len(out) < length:
+        block = hmac_sha256(prk, block + info + bytes([counter]))
+        out += block
+        counter += 1
+    return bytes(out[:length])
+
+
+def hkdf(ikm: bytes, *, salt: bytes = b"", info: bytes = b"",
+         length: int = 32) -> bytes:
+    """One-shot HKDF: extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

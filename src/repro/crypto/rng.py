@@ -1,0 +1,115 @@
+"""Randomness sources: the system RNG and a deterministic HMAC-DRBG.
+
+Production callers use :class:`SystemRandomSource` (``os.urandom``).  Tests
+and benchmarks use :class:`HmacDrbg`, a deterministic generator modeled on
+NIST SP 800-90A HMAC_DRBG, so every experiment in this repository is
+reproducible bit-for-bit from a seed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol
+
+from repro.crypto.hmac_sha256 import hmac_sha256
+from repro.errors import ParameterError
+
+__all__ = ["RandomSource", "SystemRandomSource", "HmacDrbg", "default_rng"]
+
+
+class RandomSource(Protocol):
+    """Anything that can produce random bytes and bounded random integers."""
+
+    def random_bytes(self, n: int) -> bytes:
+        """Return *n* fresh random bytes."""
+        ...
+
+    def randint_below(self, bound: int) -> int:
+        """Return a uniform integer in ``[0, bound)``."""
+        ...
+
+
+class _RandintMixin:
+    """Shared rejection-sampling ``randint_below`` for byte-oriented RNGs."""
+
+    def random_bytes(self, n: int) -> bytes:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def randint_below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise ParameterError("randint_below bound must be positive")
+        if bound == 1:
+            return 0
+        n_bits = bound.bit_length()
+        n_bytes = (n_bits + 7) // 8
+        excess_bits = n_bytes * 8 - n_bits
+        while True:
+            candidate = int.from_bytes(self.random_bytes(n_bytes), "big")
+            candidate >>= excess_bits
+            if candidate < bound:
+                return candidate
+
+    def randint_range(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` inclusive."""
+        if high < low:
+            raise ParameterError("randint_range requires low <= high")
+        return low + self.randint_below(high - low + 1)
+
+
+class SystemRandomSource(_RandintMixin):
+    """Cryptographically secure randomness from the operating system."""
+
+    def random_bytes(self, n: int) -> bytes:
+        """Return *n* bytes from ``os.urandom``."""
+        if n < 0:
+            raise ParameterError("cannot request a negative byte count")
+        return os.urandom(n)
+
+
+class HmacDrbg(_RandintMixin):
+    """Deterministic random bit generator (NIST SP 800-90A HMAC_DRBG shape).
+
+    State is the usual ``(K, V)`` pair; each ``random_bytes`` call ratchets
+    the state so outputs never repeat.  Reseeding mixes new entropy into the
+    key.  This is used only for reproducible tests/benchmarks — production
+    key generation goes through :class:`SystemRandomSource`.
+    """
+
+    def __init__(self, seed: bytes | int) -> None:
+        if isinstance(seed, int):
+            if seed < 0:
+                raise ParameterError("integer seeds must be non-negative")
+            seed = seed.to_bytes(max(1, (seed.bit_length() + 7) // 8), "big")
+        self._key = b"\x00" * 32
+        self._value = b"\x01" * 32
+        self._update(seed)
+
+    def _update(self, provided: bytes = b"") -> None:
+        self._key = hmac_sha256(self._key, self._value + b"\x00" + provided)
+        self._value = hmac_sha256(self._key, self._value)
+        if provided:
+            self._key = hmac_sha256(self._key, self._value + b"\x01" + provided)
+            self._value = hmac_sha256(self._key, self._value)
+
+    def reseed(self, entropy: bytes) -> None:
+        """Mix additional entropy into the generator state."""
+        self._update(entropy)
+
+    def random_bytes(self, n: int) -> bytes:
+        """Return the next *n* deterministic pseudo-random bytes."""
+        if n < 0:
+            raise ParameterError("cannot request a negative byte count")
+        out = bytearray()
+        while len(out) < n:
+            self._value = hmac_sha256(self._key, self._value)
+            out += self._value
+        self._update()
+        return bytes(out[:n])
+
+
+def default_rng(seed: bytes | int | None = None) -> RandomSource:
+    """Return the system RNG, or a seeded deterministic DRBG if *seed* given."""
+    if seed is None:
+        return SystemRandomSource()
+    return HmacDrbg(seed)

@@ -1,0 +1,148 @@
+"""SHA-256 implemented from scratch per FIPS 180-4.
+
+The incremental :class:`SHA256` object mirrors the ``hashlib`` API surface
+(``update`` / ``digest`` / ``hexdigest`` / ``copy``) so the rest of the
+library can treat it as a drop-in primitive.  Test vectors from FIPS 180-4
+and NIST CAVP are exercised in ``tests/crypto/test_sha256.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.bytesutil import rotr32, shr32
+from repro.errors import ParameterError
+
+__all__ = ["SHA256", "sha256"]
+
+# First 32 bits of the fractional parts of the cube roots of the first 64
+# primes (FIPS 180-4 §4.2.2).
+_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
+    0x3956C25B, 0x59F111F1, 0x923F82A4, 0xAB1C5ED5,
+    0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174,
+    0xE49B69C1, 0xEFBE4786, 0x0FC19DC6, 0x240CA1CC,
+    0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7,
+    0xC6E00BF3, 0xD5A79147, 0x06CA6351, 0x14292967,
+    0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85,
+    0xA2BFE8A1, 0xA81A664B, 0xC24B8B70, 0xC76C51A3,
+    0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5,
+    0x391C0CB3, 0x4ED8AA4A, 0x5B9CCA4F, 0x682E6FF3,
+    0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+# First 32 bits of the fractional parts of the square roots of the first 8
+# primes (FIPS 180-4 §5.3.3).
+_H0 = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+_MASK32 = 0xFFFFFFFF
+
+
+class SHA256:
+    """Incremental SHA-256 hash object (hashlib-compatible surface)."""
+
+    digest_size = 32
+    block_size = 64
+    name = "sha256"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._h = list(_H0)
+        self._buffer = b""
+        self._length = 0  # total message length in bytes
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Absorb *data* into the hash state."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise ParameterError("SHA256.update requires bytes-like input")
+        data = bytes(data)
+        self._length += len(data)
+        self._buffer += data
+        n_full = len(self._buffer) // 64
+        for i in range(n_full):
+            self._compress(self._buffer[i * 64:(i + 1) * 64])
+        self._buffer = self._buffer[n_full * 64:]
+
+    def digest(self) -> bytes:
+        """Return the 32-byte digest of everything absorbed so far."""
+        clone = self.copy()
+        bit_length = clone._length * 8
+        # Padding: 0x80, zeros, then the 64-bit big-endian bit length, so the
+        # padded message is a multiple of 64 bytes.
+        pad_len = (55 - clone._length) % 64
+        clone.update(b"\x80" + b"\x00" * pad_len
+                     + struct.pack(">Q", bit_length))
+        assert not clone._buffer
+        return struct.pack(">8I", *clone._h)
+
+    def hexdigest(self) -> str:
+        """Return the digest as a lowercase hex string."""
+        return self.digest().hex()
+
+    def copy(self) -> "SHA256":
+        """Return an independent copy of the current hash state."""
+        clone = SHA256()
+        clone._h = list(self._h)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def _compress(self, block: bytes) -> None:
+        """Run the FIPS 180-4 compression function on one 64-byte block.
+
+        Rotations are inlined ((x >> r) | (x << (32 - r))) and all hot
+        values live in locals: this function dominates the cost of every
+        hash-chain walk and PRF evaluation in the library, so it is written
+        for CPython speed rather than elegance.
+        """
+        mask = _MASK32
+        w = list(struct.unpack(">16I", block))
+        append = w.append
+        for t in range(16, 64):
+            x = w[t - 15]
+            s0 = (((x >> 7) | (x << 25)) ^ ((x >> 18) | (x << 14))
+                  ^ (x >> 3)) & mask
+            y = w[t - 2]
+            s1 = (((y >> 17) | (y << 15)) ^ ((y >> 19) | (y << 13))
+                  ^ (y >> 10)) & mask
+            append((w[t - 16] + s0 + w[t - 7] + s1) & mask)
+
+        a, b, c, d, e, f, g, h = self._h
+        k = _K
+        for t in range(64):
+            s1 = (((e >> 6) | (e << 26)) ^ ((e >> 11) | (e << 21))
+                  ^ ((e >> 25) | (e << 7))) & mask
+            t1 = (h + s1 + ((e & f) ^ (~e & g)) + k[t] + w[t]) & mask
+            s0 = (((a >> 2) | (a << 30)) ^ ((a >> 13) | (a << 19))
+                  ^ ((a >> 22) | (a << 10))) & mask
+            t2 = (s0 + ((a & b) ^ (a & c) ^ (b & c))) & mask
+            h = g
+            g = f
+            f = e
+            e = (d + t1) & mask
+            d = c
+            c = b
+            b = a
+            a = (t1 + t2) & mask
+
+        hh = self._h
+        self._h = [
+            (hh[0] + a) & mask, (hh[1] + b) & mask,
+            (hh[2] + c) & mask, (hh[3] + d) & mask,
+            (hh[4] + e) & mask, (hh[5] + f) & mask,
+            (hh[6] + g) & mask, (hh[7] + h) & mask,
+        ]
+
+
+def sha256(data: bytes) -> bytes:
+    """One-shot SHA-256: return the 32-byte digest of *data*."""
+    return SHA256(data).digest()

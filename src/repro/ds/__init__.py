@@ -1,0 +1,17 @@
+"""Data-structure substrate: AVL tree, bitsets, Bloom filters, posting lists."""
+
+from repro.ds.avl import AvlTree
+from repro.ds.bitset import BitsetIndex
+from repro.ds.bloom import BloomFilter, optimal_parameters
+from repro.ds.posting import (decode_posting_list, encode_posting_list,
+                              merge_posting_lists)
+
+__all__ = [
+    "AvlTree",
+    "BitsetIndex",
+    "BloomFilter",
+    "decode_posting_list",
+    "encode_posting_list",
+    "merge_posting_lists",
+    "optimal_parameters",
+]

@@ -1,0 +1,220 @@
+"""AVL tree — the ordered-map "tree structure" of the paper (§5.1).
+
+The paper's O(log u) search claim rests on storing the searchable
+representations in a balanced tree keyed by keyword tags.  This is that
+tree, written from scratch so that the claim is measurable: lookups report
+their comparison count, and the server benchmarks fit measured costs to a
+log curve.
+
+The interface is a subset of a mutable mapping: ``insert`` / ``get`` /
+``delete`` / ``__contains__`` / ``__len__`` / in-order ``items()``.
+Property tests compare it exhaustively against a ``dict`` model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["AvlTree"]
+
+
+class _Node:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: Any, value: Any) -> None:
+        self.key = key
+        self.value = value
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.height = 1
+
+
+def _height(node: Optional[_Node]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AvlTree:
+    """Self-balancing binary search tree over totally ordered keys.
+
+    >>> tree = AvlTree()
+    >>> tree.insert(b"b", 2); tree.insert(b"a", 1)
+    >>> tree.get(b"a")
+    1
+    >>> [k for k, _ in tree.items()]
+    [b'a', b'b']
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+        self.last_comparisons = 0  # instrumentation for the log(u) benches
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(key) is not None
+
+    @property
+    def height(self) -> int:
+        """Current tree height (0 for the empty tree)."""
+        return _height(self._root)
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert or replace the value stored under *key*."""
+        if key is None:
+            raise ParameterError("AVL keys must not be None")
+        self._root, added = self._insert(self._root, key, value)
+        if added:
+            self._size += 1
+
+    def _insert(self, node: Optional[_Node], key: Any,
+                value: Any) -> tuple[_Node, bool]:
+        if node is None:
+            return _Node(key, value), True
+        if key == node.key:
+            node.value = value
+            return node, False
+        if key < node.key:
+            node.left, added = self._insert(node.left, key, value)
+        else:
+            node.right, added = self._insert(node.right, key, value)
+        return _rebalance(node), added
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Return the value for *key*, or *default* if absent.
+
+        Updates :attr:`last_comparisons` with the number of key comparisons
+        performed, which the benchmarks use to demonstrate O(log u) search.
+        """
+        node = self._find(key)
+        return node.value if node is not None else default
+
+    def _find(self, key: Any) -> Optional[_Node]:
+        comparisons = 0
+        node = self._root
+        while node is not None:
+            comparisons += 1
+            if key == node.key:
+                break
+            node = node.left if key < node.key else node.right
+        self.last_comparisons = comparisons
+        return node
+
+    def delete(self, key: Any) -> bool:
+        """Remove *key*; return True if it was present."""
+        self._root, removed = self._delete(self._root, key)
+        if removed:
+            self._size -= 1
+        return removed
+
+    def _delete(self, node: Optional[_Node],
+                key: Any) -> tuple[Optional[_Node], bool]:
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._delete(node.left, key)
+        elif key > node.key:
+            node.right, removed = self._delete(node.right, key)
+        else:
+            removed = True
+            if node.left is None:
+                return node.right, True
+            if node.right is None:
+                return node.left, True
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key, node.value = successor.key, successor.value
+            node.right, _ = self._delete(node.right, successor.key)
+        return _rebalance(node), removed
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Yield (key, value) pairs in ascending key order (iteratively)."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        """Yield keys in ascending order."""
+        for key, _ in self.items():
+            yield key
+
+    def values(self) -> Iterator[Any]:
+        """Yield values in ascending key order."""
+        for _, value in self.items():
+            yield value
+
+    def check_invariants(self) -> None:
+        """Assert BST ordering and AVL balance everywhere (test helper)."""
+        def recurse(node: Optional[_Node]) -> tuple[int, Any, Any]:
+            if node is None:
+                return 0, None, None
+            lh, lmin, lmax = recurse(node.left)
+            rh, rmin, rmax = recurse(node.right)
+            if lmax is not None and not lmax < node.key:
+                raise AssertionError("BST order violated on the left")
+            if rmin is not None and not node.key < rmin:
+                raise AssertionError("BST order violated on the right")
+            if abs(lh - rh) > 1:
+                raise AssertionError("AVL balance violated")
+            height = 1 + max(lh, rh)
+            if height != node.height:
+                raise AssertionError("stale cached height")
+            return (height,
+                    lmin if lmin is not None else node.key,
+                    rmax if rmax is not None else node.key)
+
+        recurse(self._root)

@@ -1,0 +1,159 @@
+"""Fixed-capacity bit-array document-id sets — Scheme 1's I(w) and U(w).
+
+Scheme 1 (§5.2) represents "the set of identifiers of documents containing
+w" as an array of bits where bit *i* is set iff document *i* is in the set.
+Updates are communicated as XOR patches: ``I'(w) = I(w) ⊕ U(w)``, which
+both adds and removes identifiers without revealing which.
+
+:class:`BitsetIndex` is that array, with the XOR algebra, serialization to
+the exact byte width the protocol sends, and set-like conveniences.  The
+capacity is fixed at construction because every mask G(r) must match the
+array length bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.crypto.bytesutil import xor_bytes
+from repro.errors import CapacityError, ParameterError
+
+__all__ = ["BitsetIndex"]
+
+
+class BitsetIndex:
+    """A set of document ids in ``[0, capacity)`` backed by a bit array.
+
+    >>> s = BitsetIndex(16, [1, 5])
+    >>> sorted(s)
+    [1, 5]
+    >>> sorted(s ^ BitsetIndex(16, [5, 9]))
+    [1, 9]
+    """
+
+    def __init__(self, capacity: int, ids: Iterable[int] = ()) -> None:
+        if capacity <= 0:
+            raise ParameterError("bitset capacity must be positive")
+        self._capacity = capacity
+        self._bits = bytearray((capacity + 7) // 8)
+        for doc_id in ids:
+            self.add(doc_id)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of distinct document ids representable."""
+        return self._capacity
+
+    @property
+    def byte_length(self) -> int:
+        """Length in bytes of the serialized form (== mask length)."""
+        return len(self._bits)
+
+    def _check(self, doc_id: int) -> None:
+        if not isinstance(doc_id, int):
+            raise ParameterError("document ids are integers")
+        if not 0 <= doc_id < self._capacity:
+            raise CapacityError(
+                f"document id {doc_id} outside capacity {self._capacity}"
+            )
+
+    def add(self, doc_id: int) -> None:
+        """Insert *doc_id* (idempotent)."""
+        self._check(doc_id)
+        self._bits[doc_id // 8] |= 1 << (doc_id % 8)
+
+    def discard(self, doc_id: int) -> None:
+        """Remove *doc_id* if present."""
+        self._check(doc_id)
+        self._bits[doc_id // 8] &= ~(1 << (doc_id % 8)) & 0xFF
+
+    def toggle(self, doc_id: int) -> None:
+        """Flip membership of *doc_id* (one bit of an XOR patch)."""
+        self._check(doc_id)
+        self._bits[doc_id // 8] ^= 1 << (doc_id % 8)
+
+    def __contains__(self, doc_id: int) -> bool:
+        if not 0 <= doc_id < self._capacity:
+            return False
+        return bool(self._bits[doc_id // 8] & (1 << (doc_id % 8)))
+
+    def __iter__(self) -> Iterator[int]:
+        for byte_index, byte in enumerate(self._bits):
+            if not byte:
+                continue
+            base = byte_index * 8
+            for bit in range(8):
+                if byte & (1 << bit):
+                    doc_id = base + bit
+                    if doc_id < self._capacity:
+                        yield doc_id
+
+    def __len__(self) -> int:
+        return sum(bin(byte).count("1") for byte in self._bits) - self._overflow_bits()
+
+    def _overflow_bits(self) -> int:
+        # Bits in the final byte above capacity are always zero by
+        # construction; count defensively anyway.
+        extra = len(self._bits) * 8 - self._capacity
+        if extra == 0:
+            return 0
+        last = self._bits[-1] >> (8 - extra)
+        return bin(last).count("1")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitsetIndex):
+            return NotImplemented
+        return (self._capacity == other._capacity
+                and self._bits == other._bits)
+
+    def __hash__(self) -> int:  # pragma: no cover - sets of bitsets unused
+        return hash((self._capacity, bytes(self._bits)))
+
+    def __xor__(self, other: "BitsetIndex") -> "BitsetIndex":
+        """Symmetric difference — the paper's I(w) ⊕ U(w) update algebra."""
+        if not isinstance(other, BitsetIndex):
+            return NotImplemented
+        if self._capacity != other._capacity:
+            raise ParameterError("cannot XOR bitsets of different capacity")
+        result = BitsetIndex(self._capacity)
+        result._bits = bytearray(xor_bytes(bytes(self._bits), bytes(other._bits)))
+        return result
+
+    def __or__(self, other: "BitsetIndex") -> "BitsetIndex":
+        if self._capacity != other._capacity:
+            raise ParameterError("cannot OR bitsets of different capacity")
+        result = BitsetIndex(self._capacity)
+        result._bits = bytearray(
+            a | b for a, b in zip(self._bits, other._bits)
+        )
+        return result
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the fixed protocol width."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, capacity: int) -> "BitsetIndex":
+        """Deserialize; validates the byte width against *capacity*."""
+        expected = (capacity + 7) // 8
+        if len(data) != expected:
+            raise ParameterError(
+                f"serialized bitset of {len(data)} bytes does not match "
+                f"capacity {capacity} (expected {expected} bytes)"
+            )
+        result = cls(capacity)
+        result._bits = bytearray(data)
+        return result
+
+    def copy(self) -> "BitsetIndex":
+        """Return an independent copy."""
+        clone = BitsetIndex(self._capacity)
+        clone._bits = bytearray(self._bits)
+        return clone
+
+    def __repr__(self) -> str:
+        ids = list(self)
+        shown = ids[:8]
+        suffix = ", ..." if len(ids) > 8 else ""
+        return (f"BitsetIndex(capacity={self._capacity}, "
+                f"ids=[{', '.join(map(str, shown))}{suffix}])")

@@ -1,0 +1,113 @@
+"""Bloom filter — the substrate of Goh's Z-IDX baseline [12].
+
+A standard m-bit, k-hash Bloom filter.  Hash positions are derived with the
+double-hashing technique (Kirsch–Mitzenmacher): two independent HMAC-based
+hashes h1, h2 generate k positions ``h1 + i*h2 mod m``, which preserves the
+asymptotic false-positive rate while needing only two PRF calls per item.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crypto.bytesutil import bytes_to_int
+from repro.crypto.hmac_sha256 import hmac_sha256
+from repro.errors import ParameterError
+
+__all__ = ["BloomFilter", "optimal_parameters"]
+
+
+def optimal_parameters(expected_items: int,
+                       false_positive_rate: float) -> tuple[int, int]:
+    """Return (bits, hashes) minimizing size for the target FP rate."""
+    if expected_items <= 0:
+        raise ParameterError("expected_items must be positive")
+    if not 0 < false_positive_rate < 1:
+        raise ParameterError("false_positive_rate must be in (0, 1)")
+    bits = math.ceil(-expected_items * math.log(false_positive_rate)
+                     / (math.log(2) ** 2))
+    hashes = max(1, round(bits / expected_items * math.log(2)))
+    return bits, hashes
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over byte-string items.
+
+    >>> bf = BloomFilter(bits=1024, hashes=4)
+    >>> bf.add(b"fever")
+    >>> b"fever" in bf
+    True
+    """
+
+    def __init__(self, bits: int, hashes: int) -> None:
+        if bits <= 0:
+            raise ParameterError("bit count must be positive")
+        if hashes <= 0:
+            raise ParameterError("hash count must be positive")
+        self._m = bits
+        self._k = hashes
+        self._bits = bytearray((bits + 7) // 8)
+        self._count = 0
+
+    @property
+    def bits(self) -> int:
+        """Filter width in bits."""
+        return self._m
+
+    @property
+    def hashes(self) -> int:
+        """Number of hash functions."""
+        return self._k
+
+    @property
+    def approximate_items(self) -> int:
+        """Number of ``add`` calls made (duplicates counted)."""
+        return self._count
+
+    def _positions(self, item: bytes) -> list[int]:
+        digest = hmac_sha256(b"repro.bloom.h1", item)
+        h1 = bytes_to_int(digest[:16])
+        h2 = bytes_to_int(digest[16:]) | 1  # odd => full-period stride
+        return [(h1 + i * h2) % self._m for i in range(self._k)]
+
+    def add(self, item: bytes) -> None:
+        """Insert *item*."""
+        for pos in self._positions(item):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+        self._count += 1
+
+    def add_positions(self, positions: list[int]) -> None:
+        """Insert by precomputed positions (Goh's trapdoor-based insert)."""
+        for pos in positions:
+            if not 0 <= pos < self._m:
+                raise ParameterError("bloom position out of range")
+            self._bits[pos // 8] |= 1 << (pos % 8)
+        self._count += 1
+
+    def __contains__(self, item: bytes) -> bool:
+        return self.contains_positions(self._positions(item))
+
+    def contains_positions(self, positions: list[int]) -> bool:
+        """Membership test by precomputed positions."""
+        return all(
+            self._bits[pos // 8] & (1 << (pos % 8)) for pos in positions
+        )
+
+    def positions_for(self, item: bytes) -> list[int]:
+        """Expose the position derivation (used by the Goh construction)."""
+        return self._positions(item)
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (useful for padding/blinding in Z-IDX)."""
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        return set_bits / self._m
+
+    def set_random_bits(self, n: int, rng) -> None:
+        """Set *n* random bits — Goh's blinding step to mask keyword counts."""
+        for _ in range(n):
+            pos = rng.randint_below(self._m)
+            self._bits[pos // 8] |= 1 << (pos % 8)
+
+    def to_bytes(self) -> bytes:
+        """Serialize the bit array."""
+        return bytes(self._bits)

@@ -1,0 +1,87 @@
+"""Posting lists: sorted document-id lists with compact serialization.
+
+Scheme 2 stores each update's id-list as an encrypted blob; the plaintext
+inside the blob is a posting list serialized here.  Varint delta encoding
+keeps update messages small, which is the whole point of Scheme 2 (§5.4:
+"diminishing the communication cost").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["encode_posting_list", "decode_posting_list", "merge_posting_lists"]
+
+
+def _encode_varint(value: int) -> bytes:
+    """LEB128-style unsigned varint."""
+    if value < 0:
+        raise ParameterError("varints encode non-negative integers")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode one varint at *offset*; return (value, next_offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ParameterError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise ParameterError("varint too long")
+
+
+def encode_posting_list(doc_ids: Iterable[int]) -> bytes:
+    """Serialize document ids as delta-encoded varints.
+
+    Input order does not matter; duplicates are removed.  The first varint
+    is the element count, then first id, then successive gaps.
+    """
+    ids = sorted(set(doc_ids))
+    if ids and ids[0] < 0:
+        raise ParameterError("document ids must be non-negative")
+    out = bytearray(_encode_varint(len(ids)))
+    previous = 0
+    for index, doc_id in enumerate(ids):
+        gap = doc_id if index == 0 else doc_id - previous
+        out += _encode_varint(gap)
+        previous = doc_id
+    return bytes(out)
+
+
+def decode_posting_list(data: bytes) -> list[int]:
+    """Invert :func:`encode_posting_list`; returns ascending ids."""
+    count, offset = _decode_varint(data, 0)
+    ids: list[int] = []
+    current = 0
+    for index in range(count):
+        gap, offset = _decode_varint(data, offset)
+        current = gap if index == 0 else current + gap
+        ids.append(current)
+    if offset != len(data):
+        raise ParameterError("trailing bytes after posting list")
+    return ids
+
+
+def merge_posting_lists(lists: Sequence[Sequence[int]]) -> list[int]:
+    """Union several ascending posting lists into one ascending list."""
+    merged: set[int] = set()
+    for lst in lists:
+        merged.update(lst)
+    return sorted(merged)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base class.  Crypto failures deliberately carry little detail
+to avoid turning error messages into padding/validity oracles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, tag mismatch, ...)."""
+
+
+class AuthenticationError(CryptoError):
+    """Ciphertext failed integrity verification."""
+
+
+class PaddingError(CryptoError):
+    """Invalid padding encountered during decryption."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An argument was structurally invalid (wrong size, range, type)."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity structure (bitset index, hash chain) overflowed."""
+
+
+class ChainExhaustedError(CapacityError):
+    """The pseudo-random chain of Scheme 2 has been fully consumed (§5.6)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message was malformed or arrived out of order."""
+
+
+class UnknownKeywordError(ReproError, KeyError):
+    """A trapdoor referenced a keyword with no searchable representation."""
+
+
+class StorageError(ReproError):
+    """The underlying key-value or document store failed."""
+
+
+class CorruptRecordError(StorageError):
+    """A persisted record failed its checksum (torn write / bit rot)."""

@@ -1,0 +1,14 @@
+"""Networking substrate: typed messages and the instrumented channel."""
+
+from repro.net.channel import (Channel, ChannelStats, NetworkModel,
+                               TranscriptEntry)
+from repro.net.messages import Message, MessageType
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "Message",
+    "MessageType",
+    "NetworkModel",
+    "TranscriptEntry",
+]

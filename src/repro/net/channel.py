@@ -1,0 +1,136 @@
+"""Instrumented client↔server channel.
+
+The paper's comparisons are in rounds and bandwidth (Table 1, §5.4), so the
+channel is the measurement instrument of this reproduction:
+
+* every request/response pair is one **round**;
+* request and response **bytes** are counted from actual serialization;
+* an optional latency/bandwidth model converts the counters into simulated
+  wall-clock time (used by the communication benchmarks);
+* full **transcripts** are retained so the protocol-figure benchmarks can
+  print the message exchanges of Figs. 1–4 and the security tests can hand
+  the adversary exactly what a curious server would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.messages import Message
+
+__all__ = ["NetworkModel", "TranscriptEntry", "ChannelStats", "Channel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Simple latency + bandwidth cost model for one direction of a link.
+
+    Simulated transfer time for a message of *n* bytes is
+    ``latency_s + n / bandwidth_bytes_per_s``.  The defaults model a home
+    broadband uplink — the setting the paper's PHR⁺ traveler scenario (§6)
+    assumes.
+    """
+
+    latency_s: float = 0.020
+    bandwidth_bytes_per_s: float = 1_250_000.0  # 10 Mbit/s
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Simulated seconds to move *n_bytes* one way."""
+        return self.latency_s + n_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class TranscriptEntry:
+    """One direction of one exchange, as recorded by the channel."""
+
+    direction: str  # "client->server" or "server->client"
+    message: Message
+    size: int
+
+
+@dataclass
+class ChannelStats:
+    """Aggregated channel counters (reset with :meth:`Channel.reset_stats`)."""
+
+    rounds: int = 0
+    client_to_server_bytes: int = 0
+    server_to_client_bytes: int = 0
+    simulated_time_s: float = 0.0
+    messages: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved in both directions."""
+        return self.client_to_server_bytes + self.server_to_client_bytes
+
+
+class Channel:
+    """A duplex message pipe between one client and one server object.
+
+    The server side is any object exposing ``handle(message) -> Message``.
+    Clients call :meth:`request`; each call is one round.  Multi-round
+    protocols (Scheme 1 search/update) simply call ``request`` repeatedly.
+    """
+
+    def __init__(self, server_handler, model: NetworkModel | None = None,
+                 keep_transcript: bool = True) -> None:
+        self._handler = server_handler
+        self._model = model if model is not None else NetworkModel()
+        self._keep_transcript = keep_transcript
+        self.stats = ChannelStats()
+        self.transcript: list[TranscriptEntry] = []
+
+    def request(self, message: Message) -> Message:
+        """Send *message*, return the server's reply; counts one round.
+
+        Messages cross the wire in serialized form and are re-parsed on each
+        side, so any scheme relying on rich in-memory objects crossing the
+        channel would fail loudly — the protocols must be fully byte-defined.
+        """
+        request_bytes = message.serialize()
+        delivered = Message.deserialize(request_bytes)
+        self._record("client->server", delivered, len(request_bytes))
+
+        reply = self._handler.handle(delivered)
+
+        reply_bytes = reply.serialize()
+        returned = Message.deserialize(reply_bytes)
+        self._record("server->client", returned, len(reply_bytes))
+
+        self.stats.rounds += 1
+        self.stats.client_to_server_bytes += len(request_bytes)
+        self.stats.server_to_client_bytes += len(reply_bytes)
+        self.stats.simulated_time_s += (
+            self._model.transfer_time(len(request_bytes))
+            + self._model.transfer_time(len(reply_bytes))
+        )
+        return returned
+
+    def _record(self, direction: str, message: Message, size: int) -> None:
+        self.stats.messages += 1
+        if self._keep_transcript:
+            self.transcript.append(
+                TranscriptEntry(direction=direction, message=message,
+                                size=size)
+            )
+
+    def reset_stats(self) -> ChannelStats:
+        """Return current stats and start fresh counters/transcript."""
+        old = self.stats
+        self.stats = ChannelStats()
+        self.transcript = []
+        return old
+
+    def format_transcript(self) -> str:
+        """Human-readable exchange log (used to regenerate Figs. 1–4)."""
+        lines = []
+        for entry in self.transcript:
+            arrow = "-->" if entry.direction == "client->server" else "<--"
+            preview = ", ".join(
+                f"{len(f)}B" for f in entry.message.fields
+            )
+            lines.append(
+                f"  {arrow} {entry.message.type.name:<22} "
+                f"[{entry.size:>6} bytes] fields({preview})"
+            )
+        return "\n".join(lines)

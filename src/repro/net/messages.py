@@ -1,0 +1,121 @@
+"""Typed protocol messages with canonical binary serialization.
+
+Every client↔server exchange in the reproduction travels as a
+:class:`Message`.  Serialization matters: the paper's Table 1 compares the
+schemes by *communication overhead*, so the channel must count real bytes,
+not Python object sizes.  Wire format::
+
+    type_tag(1) | field_count(2) | (field_len(4) | field_bytes)*
+
+Fields are raw byte strings; structured payloads (ids, integers) are
+encoded by the scheme code before being placed in a field.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.errors import ProtocolError
+
+__all__ = ["MessageType", "Message"]
+
+
+class MessageType(IntEnum):
+    """Every message kind used by the schemes and baselines."""
+
+    # Document transfer (shared)
+    STORE_DOCUMENT = 1          # client -> server: (doc_id, ciphertext)
+    DOCUMENTS_RESULT = 2        # server -> client: matched (id, ciphertext)*
+    DELETE_DOCUMENT = 3         # client -> server: doc_id* to drop
+
+    # Scheme 1 (§5.2)
+    S1_STORE_ENTRY = 10         # tag, masked index, F(r)
+    S1_UPDATE_REQUEST = 11      # tag  (asks the server for F(r))
+    S1_UPDATE_NONCE = 12        # F(r) (server replies; ABSENT if new tag)
+    S1_UPDATE_PATCH = 13        # U⊕G(r)⊕G(r'), F(r')
+    S1_SEARCH_REQUEST = 14      # trapdoor tag
+    S1_SEARCH_NONCE = 15        # F(r) from the server
+    S1_SEARCH_REVEAL = 16       # decrypted nonce r from the client
+
+    # Scheme 2 (§5.4-5.6)
+    S2_STORE_ENTRY = 20         # tag, E_k(I), f'(k)  (one triple per update)
+    S2_SEARCH_REQUEST = 21      # trapdoor (tag, chain element)
+
+    # Baselines
+    SWP_SEARCH_REQUEST = 30
+    GOH_SEARCH_REQUEST = 31
+    CGKO_SEARCH_REQUEST = 32
+    NAIVE_FETCH_ALL = 33
+
+    # Generic control
+    ACK = 40
+    ERROR = 41
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable protocol message: a type tag plus byte-string fields."""
+
+    type: MessageType
+    fields: tuple[bytes, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for f in self.fields:
+            if not isinstance(f, bytes):
+                raise ProtocolError("message fields must be bytes")
+
+    @property
+    def wire_size(self) -> int:
+        """Exact size in bytes of the serialized message."""
+        return 3 + sum(4 + len(f) for f in self.fields)
+
+    def serialize(self) -> bytes:
+        """Encode to the canonical wire format."""
+        if len(self.fields) > 0xFFFF:
+            raise ProtocolError("too many fields in one message")
+        out = bytearray(struct.pack(">BH", int(self.type), len(self.fields)))
+        for f in self.fields:
+            out += struct.pack(">I", len(f))
+            out += f
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Message":
+        """Decode from the wire format, validating structure exactly."""
+        if len(data) < 3:
+            raise ProtocolError("message too short")
+        type_tag, count = struct.unpack(">BH", data[:3])
+        try:
+            msg_type = MessageType(type_tag)
+        except ValueError as exc:
+            raise ProtocolError(f"unknown message type {type_tag}") from exc
+        offset = 3
+        fields: list[bytes] = []
+        for _ in range(count):
+            if offset + 4 > len(data):
+                raise ProtocolError("truncated field header")
+            (length,) = struct.unpack(">I", data[offset:offset + 4])
+            offset += 4
+            if offset + length > len(data):
+                raise ProtocolError("truncated field body")
+            fields.append(data[offset:offset + length])
+            offset += length
+        if offset != len(data):
+            raise ProtocolError("trailing bytes after message")
+        return cls(type=msg_type, fields=tuple(fields))
+
+    def expect(self, msg_type: MessageType, n_fields: int | None = None
+               ) -> tuple[bytes, ...]:
+        """Assert this message's type (and arity) and return its fields."""
+        if self.type != msg_type:
+            raise ProtocolError(
+                f"expected {msg_type.name}, got {self.type.name}"
+            )
+        if n_fields is not None and len(self.fields) != n_fields:
+            raise ProtocolError(
+                f"{msg_type.name} expected {n_fields} fields, "
+                f"got {len(self.fields)}"
+            )
+        return self.fields

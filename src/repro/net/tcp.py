@@ -1,0 +1,175 @@
+"""Run any SSE server over a real TCP socket.
+
+The in-process :class:`~repro.net.channel.Channel` measures protocol costs;
+this module proves the protocols are genuinely byte-defined by running them
+over an actual socket: a client on one side, the honest-but-curious server
+on the other, nothing shared but frames.
+
+Framing: ``length(4, big-endian) | message bytes``; one request frame in,
+one reply frame out, per round.  Server errors travel back as an ERROR
+message rather than killing the connection.
+
+Typical use (see ``tests/net/test_tcp.py`` and ``examples``)::
+
+    server = TcpSseServer(scheme_server, host="127.0.0.1", port=0)
+    server.start()
+    transport = TcpClientTransport(server.host, server.port)
+    client = Scheme2Client(master_key, Channel(transport))
+    ...
+    transport.close(); server.stop()
+
+``TcpClientTransport`` exposes the same ``handle(message)`` entry point as
+a local server object, so it plugs straight into ``Channel`` — the
+instrumentation keeps working, now measuring real socket traffic.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+from repro.errors import ProtocolError, ReproError
+from repro.net.messages import Message, MessageType
+
+__all__ = ["TcpSseServer", "TcpClientTransport", "send_frame", "recv_frame"]
+
+_MAX_FRAME = 64 * 1024 * 1024  # refuse absurd frames rather than OOM
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame."""
+    if len(payload) > _MAX_FRAME:
+        raise ProtocolError("frame exceeds the maximum size")
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
+    buffer = bytearray()
+    while len(buffer) < n:
+        chunk = sock.recv(n - len(buffer))
+        if not chunk:
+            return None  # orderly shutdown
+        buffer += chunk
+    return bytes(buffer)
+
+
+def recv_frame(sock: socket.socket) -> bytes | None:
+    """Read one frame; None on orderly connection close."""
+    header = _recv_exactly(sock, 4)
+    if header is None:
+        return None
+    (length,) = struct.unpack(">I", header)
+    if length > _MAX_FRAME:
+        raise ProtocolError("peer announced an oversized frame")
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError("connection died mid-frame")
+    return body
+
+
+class TcpSseServer:
+    """Serves one SSE server object over TCP, one thread per connection."""
+
+    def __init__(self, handler, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._handler = handler
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(8)
+        self.host, self.port = self._listener.getsockname()
+        self._accept_thread: threading.Thread | None = None
+        self._running = False
+        self._lock = threading.Lock()  # serialize handler access
+        self.connections_served = 0
+
+    def start(self) -> None:
+        """Begin accepting connections on a background thread."""
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-tcp-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            self.connections_served += 1
+            threading.Thread(target=self._serve_connection, args=(conn,),
+                             daemon=True).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while True:
+                try:
+                    frame = recv_frame(conn)
+                except ProtocolError:
+                    return
+                if frame is None:
+                    return
+                reply = self._dispatch(frame)
+                try:
+                    send_frame(conn, reply.serialize())
+                except OSError:
+                    return
+
+    def _dispatch(self, frame: bytes) -> Message:
+        try:
+            message = Message.deserialize(frame)
+            with self._lock:
+                return self._handler.handle(message)
+        except ReproError as exc:
+            # The client learns the error class name, nothing internal.
+            return Message(MessageType.ERROR,
+                           (type(exc).__name__.encode("utf-8"),))
+
+    def stop(self) -> None:
+        """Stop accepting and close the listener (live threads drain)."""
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class TcpClientTransport:
+    """Client-side connection exposing the local-server ``handle`` API.
+
+    Plugs into :class:`~repro.net.channel.Channel` in place of an
+    in-process server object; each ``handle`` call is one request/response
+    over the socket.  Server-side errors surface as :class:`ProtocolError`.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout_s)
+
+    def handle(self, message: Message) -> Message:
+        """Send one request frame and block for the reply."""
+        send_frame(self._sock, message.serialize())
+        frame = recv_frame(self._sock)
+        if frame is None:
+            raise ProtocolError("server closed the connection")
+        reply = Message.deserialize(frame)
+        if reply.type == MessageType.ERROR:
+            detail = reply.fields[0].decode("utf-8", "replace") \
+                if reply.fields else "unknown"
+            raise ProtocolError(f"server rejected the request: {detail}")
+        return reply
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "TcpClientTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

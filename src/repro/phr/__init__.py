@@ -1,0 +1,21 @@
+"""PHR⁺ application layer: records, vocabulary, corpus, and the facade."""
+
+from repro.phr.app import PhrPlus
+from repro.phr.corpus import CorpusSpec, generate_corpus, patient_ids
+from repro.phr.records import HealthRecordEntry
+from repro.phr.vocabulary import (ALL_TERMS, CONDITIONS, MEDICATIONS,
+                                  PROCEDURES, SYMPTOMS, patient_keyword)
+
+__all__ = [
+    "ALL_TERMS",
+    "CONDITIONS",
+    "CorpusSpec",
+    "HealthRecordEntry",
+    "MEDICATIONS",
+    "PROCEDURES",
+    "PhrPlus",
+    "SYMPTOMS",
+    "generate_corpus",
+    "patient_ids",
+    "patient_keyword",
+]

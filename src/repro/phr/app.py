@@ -1,0 +1,94 @@
+"""PHR⁺ — the privacy-enhanced personal health record facade (paper §6).
+
+Wraps any SSE client (Scheme 1, Scheme 2, or a baseline) with record-level
+operations:
+
+* ``upload_entries``   — initial record storage;
+* ``add_entry``        — append a clinical event (an SSE update);
+* ``patient_record``   — retrieve one patient's full record;
+* ``find_by_term``     — clinical-term search across the population
+  (e.g. the §6 journalist checking a vaccination).
+
+The two §6 scenarios map onto the schemes exactly as the paper argues:
+the *traveler* (search-heavy, broadband) fits Scheme 1; the *GP*
+(interleaved retrieve→update) fits Scheme 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.api import SseClient
+from repro.errors import ParameterError
+from repro.phr.records import HealthRecordEntry
+from repro.phr.vocabulary import patient_keyword
+
+__all__ = ["PhrPlus"]
+
+
+class PhrPlus:
+    """A personal-health-record application over searchable encryption."""
+
+    def __init__(self, sse_client: SseClient) -> None:
+        self._client = sse_client
+        self._stored_ids: set[int] = set()
+        self._next_entry_id = 0
+
+    @property
+    def client(self) -> SseClient:
+        """The underlying SSE client (exposed for stats/instrumentation)."""
+        return self._client
+
+    def _register_ids(self, entries: Sequence[HealthRecordEntry]) -> None:
+        for entry in entries:
+            if entry.entry_id in self._stored_ids:
+                raise ParameterError(
+                    f"entry id {entry.entry_id} already stored"
+                )
+        for entry in entries:
+            self._stored_ids.add(entry.entry_id)
+            self._next_entry_id = max(self._next_entry_id,
+                                      entry.entry_id + 1)
+
+    def allocate_entry_id(self) -> int:
+        """Hand out the next unused entry id (client-side, as §5 requires)."""
+        entry_id = self._next_entry_id
+        self._next_entry_id += 1
+        return entry_id
+
+    def upload_entries(self, entries: Sequence[HealthRecordEntry]) -> None:
+        """Initial Storage of a record collection."""
+        self._register_ids(entries)
+        self._client.store([entry.to_document() for entry in entries])
+
+    def add_entry(self, entry: HealthRecordEntry) -> None:
+        """Append one clinical event — an SSE metadata update."""
+        self._register_ids([entry])
+        self._client.add_documents([entry.to_document()])
+
+    def patient_record(self, patient_id: str) -> list[HealthRecordEntry]:
+        """Retrieve and decrypt one patient's entries, oldest first."""
+        result = self._client.search(patient_keyword(patient_id))
+        entries = [
+            HealthRecordEntry.from_document_data(doc_id, data)
+            for doc_id, data in zip(result.doc_ids, result.documents)
+        ]
+        return sorted(entries, key=lambda e: (e.date, e.entry_id))
+
+    def find_by_term(self, term: str) -> list[HealthRecordEntry]:
+        """Search the whole population for a clinical term."""
+        result = self._client.search(term)
+        return [
+            HealthRecordEntry.from_document_data(doc_id, data)
+            for doc_id, data in zip(result.doc_ids, result.documents)
+        ]
+
+    def gp_visit(self, patient_id: str, new_entry: HealthRecordEntry
+                 ) -> list[HealthRecordEntry]:
+        """The §6 GP workflow: retrieve the record, then store the update.
+
+        Returns the record as it stood *before* the visit's new entry.
+        """
+        record = self.patient_record(patient_id)
+        self.add_entry(new_entry)
+        return record

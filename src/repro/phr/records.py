@@ -1,0 +1,67 @@
+"""Personal-health-record document model.
+
+A :class:`HealthRecordEntry` is one clinical event (a visit, prescription,
+or procedure).  It serializes to a :class:`~repro.core.documents.Document`
+whose keyword set contains the patient routing keyword plus every clinical
+term — which is exactly what the SSE schemes index.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.documents import Document
+from repro.errors import ParameterError
+from repro.phr.vocabulary import patient_keyword
+
+__all__ = ["HealthRecordEntry"]
+
+
+@dataclass(frozen=True)
+class HealthRecordEntry:
+    """One clinical event in a patient's record."""
+
+    entry_id: int
+    patient_id: str
+    date: str  # ISO "YYYY-MM-DD"; kept as text, never parsed
+    entry_type: str  # "visit" | "prescription" | "procedure"
+    terms: frozenset[str] = field(default_factory=frozenset)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.entry_id < 0:
+            raise ParameterError("entry ids must be non-negative")
+        if not self.patient_id:
+            raise ParameterError("patient id must be non-empty")
+        if self.entry_type not in ("visit", "prescription", "procedure"):
+            raise ParameterError(f"unknown entry type {self.entry_type!r}")
+
+    def to_document(self) -> Document:
+        """Serialize for SSE storage: JSON body + clinical keyword set."""
+        body = json.dumps({
+            "patient": self.patient_id,
+            "date": self.date,
+            "type": self.entry_type,
+            "terms": sorted(self.terms),
+            "notes": self.notes,
+        }, sort_keys=True).encode("utf-8")
+        keywords = set(self.terms)
+        keywords.add(patient_keyword(self.patient_id))
+        keywords.add(f"type:{self.entry_type}")
+        return Document(doc_id=self.entry_id, data=body,
+                        keywords=frozenset(keywords))
+
+    @classmethod
+    def from_document_data(cls, entry_id: int,
+                           data: bytes) -> "HealthRecordEntry":
+        """Rebuild an entry from a decrypted document body."""
+        payload = json.loads(data.decode("utf-8"))
+        return cls(
+            entry_id=entry_id,
+            patient_id=payload["patient"],
+            date=payload["date"],
+            entry_type=payload["type"],
+            terms=frozenset(payload["terms"]),
+            notes=payload["notes"],
+        )

@@ -1,0 +1,58 @@
+"""Medical keyword vocabulary for the synthetic PHR corpus.
+
+Real personal-health-record data is private (the reason PHR⁺ exists), so
+the corpus generator draws from this fixed clinical vocabulary: condition
+codes, symptoms, medications, and procedure terms.  The lists are small
+but structured like real coding systems (prefix + code), which exercises
+the same tag/index code paths as real ICD/ATC data would.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CONDITIONS", "SYMPTOMS", "MEDICATIONS", "PROCEDURES",
+           "ALL_TERMS", "patient_keyword"]
+
+CONDITIONS = [
+    "cond:hypertension", "cond:diabetes-t2", "cond:asthma",
+    "cond:copd", "cond:atrial-fibrillation", "cond:hypothyroidism",
+    "cond:osteoarthritis", "cond:depression", "cond:anxiety",
+    "cond:migraine", "cond:gerd", "cond:anemia", "cond:ckd-stage2",
+    "cond:hyperlipidemia", "cond:obesity", "cond:eczema",
+    "cond:allergic-rhinitis", "cond:gout", "cond:psoriasis",
+    "cond:osteoporosis",
+]
+
+SYMPTOMS = [
+    "sym:fever", "sym:cough", "sym:fatigue", "sym:headache",
+    "sym:chest-pain", "sym:dyspnea", "sym:nausea", "sym:dizziness",
+    "sym:back-pain", "sym:abdominal-pain", "sym:rash", "sym:insomnia",
+    "sym:palpitations", "sym:joint-pain", "sym:sore-throat",
+    "sym:weight-loss", "sym:edema", "sym:tremor", "sym:blurred-vision",
+    "sym:tinnitus",
+]
+
+MEDICATIONS = [
+    "med:metformin", "med:lisinopril", "med:atorvastatin",
+    "med:levothyroxine", "med:amlodipine", "med:omeprazole",
+    "med:salbutamol", "med:sertraline", "med:ibuprofen",
+    "med:paracetamol", "med:warfarin", "med:insulin-glargine",
+    "med:prednisolone", "med:amoxicillin", "med:bisoprolol",
+    "med:furosemide", "med:gabapentin", "med:tramadol",
+    "med:citalopram", "med:allopurinol",
+]
+
+PROCEDURES = [
+    "proc:ecg", "proc:chest-xray", "proc:blood-panel", "proc:spirometry",
+    "proc:colonoscopy", "proc:mri-brain", "proc:ultrasound-abdomen",
+    "proc:vaccination-influenza", "proc:vaccination-tetanus",
+    "proc:vaccination-yellow-fever", "proc:hba1c-test",
+    "proc:lipid-panel", "proc:thyroid-panel", "proc:biopsy-skin",
+    "proc:echocardiogram",
+]
+
+ALL_TERMS = CONDITIONS + SYMPTOMS + MEDICATIONS + PROCEDURES
+
+
+def patient_keyword(patient_id: str) -> str:
+    """The per-patient routing keyword (how a GP retrieves one record)."""
+    return f"patient:{patient_id.strip().lower()}"

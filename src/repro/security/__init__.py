@@ -1,0 +1,39 @@
+"""Security framework: Definitions 1–4, the Theorem 1 simulator, games."""
+
+from repro.security.games import (Distinguishers, GameResult,
+                                  distinguishing_advantage)
+from repro.security.leakage import (UpdateObservation,
+                                    attribution_entropy_bits,
+                                    keyword_count_leak_bits, linkage_matrix,
+                                    observe_updates)
+from repro.security.scheme2_sim import (Scheme2Trace, Scheme2View,
+                                        observe_scheme2_view,
+                                        simulate_scheme2_view,
+                                        trace_of_scheme2_view)
+from repro.security.simulator import ViewShape, simulate_view
+from repro.security.trace import (History, Trace, View, real_view,
+                                  search_pattern_matrix, trace_of)
+
+__all__ = [
+    "Distinguishers",
+    "Scheme2Trace",
+    "Scheme2View",
+    "GameResult",
+    "History",
+    "Trace",
+    "UpdateObservation",
+    "View",
+    "ViewShape",
+    "attribution_entropy_bits",
+    "distinguishing_advantage",
+    "keyword_count_leak_bits",
+    "linkage_matrix",
+    "observe_scheme2_view",
+    "observe_updates",
+    "real_view",
+    "search_pattern_matrix",
+    "simulate_scheme2_view",
+    "simulate_view",
+    "trace_of",
+    "trace_of_scheme2_view",
+]

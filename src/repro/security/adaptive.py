@@ -1,0 +1,170 @@
+"""Adaptive query experiments (Definition 4's adversary model).
+
+Definition 4 quantifies over adversaries that choose each query *after*
+seeing the view of everything so far — strictly stronger than fixing all
+queries up front.  The non-adaptive games in :mod:`repro.security.games`
+compare complete views; this module runs the query-by-query version:
+
+1. an :class:`AdaptiveAdversary` strategy receives the partial view
+   ``V^t`` and picks the next keyword;
+2. the experiment runs the strategy against a *real* deployment, recording
+   the partial views it actually saw;
+3. the simulator then reproduces the same interaction from the growing
+   trace alone;
+4. step-wise view shapes and search-pattern structure must match exactly,
+   and any distinguisher can be evaluated on matched partial views.
+
+Because practical strategies are deterministic functions of the view, a
+strategy that behaves differently against real and simulated partial views
+IS a distinguisher — :func:`adaptive_experiment` reports whether the query
+sequences diverged, which the tests assert never happens for view-shape-
+driven strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.scheme1 import Scheme1Client, Scheme1Server
+from repro.errors import ParameterError
+from repro.security.simulator import ViewShape, simulate_view
+from repro.security.trace import History, Trace, View, trace_of
+
+__all__ = ["AdaptiveAdversary", "AdaptiveRun", "run_real_adaptive",
+           "run_simulated_adaptive", "adaptive_experiment"]
+
+# A strategy maps (partial view, step index, keyword menu) -> chosen index.
+AdaptiveAdversary = Callable[[View, int, int], int]
+
+
+@dataclass(frozen=True)
+class AdaptiveRun:
+    """Everything one adaptive interaction produced."""
+
+    chosen_indices: tuple[int, ...]
+    partial_views: tuple[View, ...]
+
+    @property
+    def final_view(self) -> View:
+        return self.partial_views[-1]
+
+
+def _collect_view(client: Scheme1Client, server: Scheme1Server,
+                  trapdoors: Sequence[bytes]) -> View:
+    doc_ids = tuple(sorted(server.documents.ids()))
+    ciphertexts = tuple(server.documents.get(i) for i in doc_ids)
+    entries = tuple(
+        (tag, masked, fr) for tag, (masked, fr) in server.index.items()
+    )
+    return View(doc_ids=doc_ids, ciphertexts=ciphertexts,
+                index_entries=entries, trapdoors=tuple(trapdoors))
+
+
+def run_real_adaptive(documents, keyword_menu: Sequence[str],
+                      adversary: AdaptiveAdversary, steps: int,
+                      client: Scheme1Client,
+                      server: Scheme1Server) -> AdaptiveRun:
+    """Drive a real deployment with adaptively chosen queries."""
+    if steps < 1:
+        raise ParameterError("adaptive runs need at least one step")
+    client.store(list(documents))
+    trapdoors: list[bytes] = []
+    chosen: list[int] = []
+    views: list[View] = []
+    view = _collect_view(client, server, trapdoors)
+    for t in range(steps):
+        index = adversary(view, t, len(keyword_menu)) % len(keyword_menu)
+        chosen.append(index)
+        keyword = keyword_menu[index]
+        client.search(keyword)
+        trapdoors.append(client._key.tag_for(keyword))
+        view = _collect_view(client, server, trapdoors)
+        views.append(view)
+    return AdaptiveRun(chosen_indices=tuple(chosen),
+                       partial_views=tuple(views))
+
+
+def run_simulated_adaptive(documents, keyword_menu: Sequence[str],
+                           adversary: AdaptiveAdversary, steps: int,
+                           shape: ViewShape, rng) -> AdaptiveRun:
+    """Replay the adaptive interaction against the simulator.
+
+    At each step the simulator only ever receives the trace of the history
+    *so far* (with the adversary's choices fixed by what it saw), exactly
+    as in the definition: storage first, then adaptively growing queries.
+    """
+    if steps < 1:
+        raise ParameterError("adaptive runs need at least one step")
+    chosen: list[int] = []
+    queries: list[str] = []
+    views: list[View] = []
+
+    def current_trace() -> Trace:
+        return trace_of(History(tuple(documents), tuple(queries)))
+
+    # The t=0 view has no trapdoors yet; simulate from the empty-query
+    # trace.  Reusing one rng keeps per-run table identities stable across
+    # steps, mirroring a real server whose index does not change.
+    base_view = simulate_view(current_trace(), shape, rng)
+    view = base_view
+    for t in range(steps):
+        index = adversary(view, t, len(keyword_menu)) % len(keyword_menu)
+        chosen.append(index)
+        queries.append(keyword_menu[index])
+        # Extend the simulated view consistently: same table, trapdoors
+        # assigned per the updated search pattern.
+        pattern = trace_of(
+            History(tuple(documents), tuple(queries))
+        ).search_pattern
+        trapdoors: list[bytes] = []
+        used: dict[int, bytes] = {}
+        next_free = 0
+        for i in range(len(queries)):
+            repeat_of = next(
+                (j for j in range(i) if pattern[j][i] == 1), None
+            )
+            if repeat_of is not None:
+                trapdoors.append(trapdoors[repeat_of])
+            else:
+                trapdoors.append(base_view.index_entries[next_free][0])
+                used[next_free] = trapdoors[-1]
+                next_free += 1
+        view = View(
+            doc_ids=base_view.doc_ids,
+            ciphertexts=base_view.ciphertexts,
+            index_entries=base_view.index_entries,
+            trapdoors=tuple(trapdoors),
+        )
+        views.append(view)
+    return AdaptiveRun(chosen_indices=tuple(chosen),
+                       partial_views=tuple(views))
+
+
+def adaptive_experiment(documents, keyword_menu: Sequence[str],
+                        adversary: AdaptiveAdversary, steps: int,
+                        client: Scheme1Client, server: Scheme1Server,
+                        shape: ViewShape, rng) -> dict:
+    """Run the adversary in both worlds and compare its behaviour.
+
+    Returns per-step comparisons: whether the adversary chose the same
+    queries (divergence = it distinguished something), and whether the
+    view shapes matched.
+    """
+    real = run_real_adaptive(documents, keyword_menu, adversary, steps,
+                             client, server)
+    simulated = run_simulated_adaptive(documents, keyword_menu, adversary,
+                                       steps, shape, rng)
+    shape_matches = []
+    for rv, sv in zip(real.partial_views, simulated.partial_views):
+        shape_matches.append(
+            [len(c) for c in rv.ciphertexts] == [len(c) for c in sv.ciphertexts]
+            and len(rv.index_entries) == len(sv.index_entries)
+            and len(rv.trapdoors) == len(sv.trapdoors)
+        )
+    return {
+        "real": real,
+        "simulated": simulated,
+        "choices_diverged": real.chosen_indices != simulated.chosen_indices,
+        "per_step_shape_match": shape_matches,
+    }

@@ -1,0 +1,120 @@
+"""Leakage-abuse attacks against the trace the schemes are ALLOWED to leak.
+
+Theorem 1 says the server learns nothing beyond the trace — but the trace
+itself (result sets D(w), search pattern Π_q) is exploitable by an
+adversary with auxiliary knowledge.  These classic attacks make that
+concrete, quantifying the residual risk the paper's security definition
+deliberately accepts:
+
+* :class:`FrequencyAttack` — the adversary knows the corpus's keyword
+  frequency distribution (e.g. public disease statistics for a PHR) and
+  matches each query's observed result *count* against expected keyword
+  frequencies.
+* :class:`KnownDocumentAttack` — the adversary knows the keyword sets of
+  some stored documents (it contributed them, or they are public) and
+  identifies queries by exactly which known documents they return.
+
+Both consume :class:`QueryObservation` records — precisely what an
+honest-but-curious server sees per search — and return ranked keyword
+guesses, so tests and examples can score recovery rates and evaluate
+countermeasures (result padding collapses the frequency signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["QueryObservation", "FrequencyAttack", "KnownDocumentAttack",
+           "recovery_rate"]
+
+
+@dataclass(frozen=True)
+class QueryObservation:
+    """What the server sees for one search: which ids it returned."""
+
+    returned_ids: tuple[int, ...]
+
+    @property
+    def result_count(self) -> int:
+        return len(self.returned_ids)
+
+
+class FrequencyAttack:
+    """Match observed result counts against known keyword frequencies.
+
+    ``auxiliary`` maps keyword -> expected number of matching documents.
+    For each observation the attack ranks keywords by |expected - seen|;
+    ties rank alphabetically (deterministic output for tests).
+    """
+
+    def __init__(self, auxiliary: Mapping[str, int]) -> None:
+        if not auxiliary:
+            raise ParameterError("frequency attack needs auxiliary counts")
+        self._auxiliary = dict(auxiliary)
+
+    def rank_keywords(self, observation: QueryObservation,
+                      top: int = 3) -> list[str]:
+        """Ranked guesses for the queried keyword (best first)."""
+        scored = sorted(
+            self._auxiliary.items(),
+            key=lambda item: (abs(item[1] - observation.result_count),
+                              item[0]),
+        )
+        return [keyword for keyword, _ in scored[:top]]
+
+    def guess(self, observation: QueryObservation) -> str:
+        """The single best guess."""
+        return self.rank_keywords(observation, top=1)[0]
+
+
+class KnownDocumentAttack:
+    """Identify queries by their footprint on known documents.
+
+    ``known_documents`` maps doc_id -> keyword set.  A query returning
+    known ids {3, 7} but not {5} must be a keyword contained in docs 3 and
+    7 and absent from 5; candidates are exactly the keywords consistent
+    with the observed partition of the known documents.
+    """
+
+    def __init__(self, known_documents: Mapping[int, frozenset[str]]) -> None:
+        if not known_documents:
+            raise ParameterError("known-document attack needs documents")
+        self._known = {
+            doc_id: frozenset(keywords)
+            for doc_id, keywords in known_documents.items()
+        }
+        self._vocabulary: set[str] = set()
+        for keywords in self._known.values():
+            self._vocabulary |= keywords
+
+    def candidates(self, observation: QueryObservation) -> list[str]:
+        """All keywords consistent with the observation, sorted."""
+        returned = set(observation.returned_ids)
+        survivors = []
+        for keyword in sorted(self._vocabulary):
+            consistent = all(
+                (doc_id in returned) == (keyword in keywords)
+                for doc_id, keywords in self._known.items()
+            )
+            if consistent:
+                survivors.append(keyword)
+        return survivors
+
+    def guess(self, observation: QueryObservation) -> str | None:
+        """The unique consistent keyword, if the observation pins one down."""
+        candidates = self.candidates(observation)
+        return candidates[0] if len(candidates) == 1 else None
+
+
+def recovery_rate(guesses: Sequence[str | None],
+                  truths: Sequence[str]) -> float:
+    """Fraction of queries whose keyword the attack recovered exactly."""
+    if len(guesses) != len(truths):
+        raise ParameterError("guesses and truths must align")
+    if not truths:
+        return 0.0
+    hits = sum(1 for g, t in zip(guesses, truths) if g == t)
+    return hits / len(truths)

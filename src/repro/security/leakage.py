@@ -1,0 +1,128 @@
+"""Update-leakage accounting (paper §5.7).
+
+The Theorem 1 proof covers storage + adaptive searches; *updates* leak two
+extra things the paper identifies:
+
+1. **the number of keywords in each update** (count of triples on the
+   wire), and
+2. **which keywords are shared across updates** (repeated tags link
+   updates that touch the same keyword).
+
+§5.7 proposes two mitigations — batched updates and fake updates — and
+claims per-document leakage "goes asymptotically towards zero bits" as the
+batch grows.  This module turns those claims into numbers:
+
+* :class:`UpdateObservation` — what a curious server extracts from one
+  update message (tag multiset, sizes);
+* :func:`attribution_entropy_bits` — how many bits the server is missing
+  to attribute a keyword to a specific document within a batch (log2 of
+  the candidate-document count): 0 bits for singleton updates, growing
+  with batch size;
+* :func:`linkage_matrix` — cross-update tag overlap counts, flattened to
+  uniform by fake updates that pad every update to the same keyword set
+  size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.net.channel import TranscriptEntry
+from repro.net.messages import MessageType
+
+__all__ = ["UpdateObservation", "observe_updates",
+           "attribution_entropy_bits", "keyword_count_leak_bits",
+           "linkage_matrix"]
+
+_UPDATE_TYPES = {MessageType.S1_UPDATE_PATCH, MessageType.S2_STORE_ENTRY,
+                 MessageType.S1_STORE_ENTRY}
+
+
+@dataclass(frozen=True)
+class UpdateObservation:
+    """Server-observable facts about one metadata update message."""
+
+    message_type: MessageType
+    tags: tuple[bytes, ...]
+    payload_sizes: tuple[int, ...]
+
+    @property
+    def keyword_count(self) -> int:
+        """Number of keyword triples — leak #1."""
+        return len(self.tags)
+
+
+def observe_updates(
+    transcript: Sequence[TranscriptEntry],
+) -> list[UpdateObservation]:
+    """Extract every update observation from a channel transcript.
+
+    Both schemes send (tag, payload, extra) triples, so the tag is every
+    third field starting at 0 and the payload every third starting at 1.
+    """
+    observations: list[UpdateObservation] = []
+    for entry in transcript:
+        if entry.direction != "client->server":
+            continue
+        if entry.message.type not in _UPDATE_TYPES:
+            continue
+        fields = entry.message.fields
+        tags = tuple(fields[i] for i in range(0, len(fields), 3))
+        sizes = tuple(len(fields[i]) for i in range(1, len(fields), 3))
+        observations.append(UpdateObservation(
+            message_type=entry.message.type, tags=tags, payload_sizes=sizes,
+        ))
+    return observations
+
+
+def attribution_entropy_bits(batch_size: int) -> float:
+    """Bits of uncertainty about which batched document carries a keyword.
+
+    With *batch_size* documents updated at once, a keyword seen in the
+    update could belong to any of them (or any subset); the per-keyword
+    attribution uncertainty is log2(batch_size) bits.  This is the §5.7
+    "leakage goes asymptotically towards zero" claim phrased positively:
+    the server's missing information grows without bound in the batch size.
+    """
+    if batch_size < 1:
+        raise ValueError("batch size must be at least 1")
+    return math.log2(batch_size)
+
+
+def keyword_count_leak_bits(keyword_counts: Sequence[int]) -> float:
+    """Empirical entropy (bits) of the keyword-count side channel.
+
+    If every update carries the same number of keywords (fake-update
+    padding), the count distribution is constant and this is 0 — the
+    channel is closed.  Varied counts yield positive entropy, i.e. the
+    server learns about update composition from sizes alone.
+    """
+    if not keyword_counts:
+        return 0.0
+    total = len(keyword_counts)
+    frequencies: dict[int, int] = {}
+    for count in keyword_counts:
+        frequencies[count] = frequencies.get(count, 0) + 1
+    entropy = 0.0
+    for freq in frequencies.values():
+        p = freq / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def linkage_matrix(
+    observations: Sequence[UpdateObservation],
+) -> list[list[int]]:
+    """M[i][j] = number of tags updates i and j share — leak #2.
+
+    Fake updates that always touch the same padded keyword set drive every
+    off-diagonal entry to the same value, destroying the linkage signal.
+    """
+    tag_sets = [set(obs.tags) for obs in observations]
+    n = len(tag_sets)
+    return [
+        [len(tag_sets[i] & tag_sets[j]) for j in range(n)]
+        for i in range(n)
+    ]

@@ -1,0 +1,101 @@
+"""The simulator S from the proof of Theorem 1 (paper §5.3).
+
+Given only the trace — never the history — the simulator emits a view that
+is computationally indistinguishable from the real one:
+
+1. random ``R_i`` with ``|R_i| = |M_i|`` in place of each ciphertext
+   (valid because E_km is IND-CPA: AES-CTR + MAC);
+2. a simulated index of ``|W_D|`` random triples (A_i, B_i, C_i) with the
+   same component widths as real (f_kw(w), I(w)⊕G(r), F(r)) entries;
+3. trapdoors assigned consistently with the search pattern Π_q: a repeated
+   query reuses its earlier trapdoor, a fresh query consumes an unused A_j.
+
+The widths are parameters (:class:`ViewShape`) because indistinguishability
+only holds when the simulator knows the public scheme parameters —
+capacity, group size, ciphertext overhead — which a real server knows too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.authenc import OVERHEAD
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.errors import ParameterError
+from repro.security.trace import Trace, View
+
+__all__ = ["ViewShape", "simulate_view"]
+
+
+@dataclass(frozen=True)
+class ViewShape:
+    """Public scheme parameters the simulator (like any server) knows."""
+
+    tag_size: int = 16
+    capacity: int = 1024
+    elgamal_modulus_bytes: int = 64
+    ciphertext_overhead: int = OVERHEAD
+
+    @property
+    def masked_index_size(self) -> int:
+        """Width of I(w) ⊕ G(r) in bytes."""
+        return (self.capacity + 7) // 8
+
+    @property
+    def fr_size(self) -> int:
+        """Width of a serialized F(r) ElGamal ciphertext."""
+        return 2 * self.elgamal_modulus_bytes
+
+
+def simulate_view(trace: Trace, shape: ViewShape,
+                  rng: RandomSource | None = None) -> View:
+    """Run the Theorem 1 simulator on *trace* and return the simulated view."""
+    rng = rng if rng is not None else SystemRandomSource()
+
+    # Step 1: R_1..R_n with |R_i| = |M_i| (+ the public AEAD overhead).
+    ciphertexts = tuple(
+        rng.random_bytes(length + shape.ciphertext_overhead)
+        for length in trace.doc_lengths
+    )
+
+    # Step 2: |W_D| random (A_i, B_i, C_i) triples.
+    if trace.total_keywords < 0:
+        raise ParameterError("total keyword count cannot be negative")
+    entries = tuple(
+        (
+            rng.random_bytes(shape.tag_size),
+            rng.random_bytes(shape.masked_index_size),
+            rng.random_bytes(shape.fr_size),
+        )
+        for _ in range(trace.total_keywords)
+    )
+
+    # Step 3: trapdoors consistent with Π_q.
+    pattern = trace.search_pattern
+    trapdoors: list[bytes] = []
+    used_entries: list[int] = []
+    next_free = 0
+    for t in range(trace.num_queries):
+        repeat_of = None
+        for j in range(t):
+            if pattern[j][t] == 1:
+                repeat_of = j
+                break
+        if repeat_of is not None:
+            trapdoors.append(trapdoors[repeat_of])
+            used_entries.append(used_entries[repeat_of])
+        else:
+            if next_free >= len(entries):
+                raise ParameterError(
+                    "trace has more distinct queries than keywords"
+                )
+            trapdoors.append(entries[next_free][0])
+            used_entries.append(next_free)
+            next_free += 1
+
+    return View(
+        doc_ids=tuple(trace.doc_ids),
+        ciphertexts=ciphertexts,
+        index_entries=entries,
+        trapdoors=tuple(trapdoors),
+    )

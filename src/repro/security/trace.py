@@ -1,0 +1,164 @@
+"""History, View, and Trace (paper Definitions 1–3).
+
+These three objects structure the simulation-based security argument:
+
+* :class:`History` — the client's secret input: the document collection
+  plus the keywords queried, in order.
+* :class:`View` — everything the server sees: document ids, ciphertexts,
+  the searchable representations S, and the trapdoors.
+* :class:`Trace` — what the scheme is *allowed* to leak: ids, document
+  lengths, the total keyword count |W_D|, each query's result set D(w),
+  and the search pattern Π_q (which queries repeat).
+
+``trace_of`` derives the trace from a history exactly as Definition 3
+prescribes; ``real_view`` assembles a Scheme 1 view from live client/server
+objects so the games in :mod:`repro.security.games` can compare it against
+simulator output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.documents import Document, normalize_keyword
+from repro.core.scheme1 import Scheme1Client, Scheme1Server
+from repro.errors import ParameterError
+
+__all__ = ["History", "Trace", "View", "trace_of", "real_view",
+           "search_pattern_matrix"]
+
+
+@dataclass(frozen=True)
+class History:
+    """H_q = (D, w_1, ..., w_q): documents plus q search keywords."""
+
+    documents: tuple[Document, ...]
+    queries: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "queries",
+            tuple(normalize_keyword(w) for w in self.queries),
+        )
+        ids = [doc.doc_id for doc in self.documents]
+        if len(set(ids)) != len(ids):
+            raise ParameterError("document ids in a history must be unique")
+
+    def partial(self, t: int) -> "History":
+        """H_q^t: the same documents with only the first t queries."""
+        if not 0 <= t <= len(self.queries):
+            raise ParameterError("partial history index out of range")
+        return History(self.documents, self.queries[:t])
+
+
+def search_pattern_matrix(queries: Sequence[str]) -> list[list[int]]:
+    """Π_q: symmetric binary matrix with Π[i][j] = 1 iff w_i == w_j."""
+    q = len(queries)
+    return [
+        [1 if queries[i] == queries[j] else 0 for j in range(q)]
+        for i in range(q)
+    ]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Tr(H_q): the information Definition 3 allows the server to learn."""
+
+    doc_ids: tuple[int, ...]
+    doc_lengths: tuple[int, ...]
+    total_keywords: int                      # |W_D|
+    query_results: tuple[tuple[int, ...], ...]  # D(w_t) per query
+    search_pattern: tuple[tuple[int, ...], ...]  # Π_q
+
+    @property
+    def num_queries(self) -> int:
+        """q: how many search queries the trace covers."""
+        return len(self.query_results)
+
+    def partial(self, t: int) -> "Trace":
+        """The trace of the partial history H_q^t."""
+        if not 0 <= t <= self.num_queries:
+            raise ParameterError("partial trace index out of range")
+        return Trace(
+            doc_ids=self.doc_ids,
+            doc_lengths=self.doc_lengths,
+            total_keywords=self.total_keywords,
+            query_results=self.query_results[:t],
+            search_pattern=tuple(
+                tuple(row[:t]) for row in self.search_pattern[:t]
+            ),
+        )
+
+
+def trace_of(history: History) -> Trace:
+    """Derive Tr(H_q) from a history exactly as Definition 3 prescribes."""
+    doc_ids = tuple(doc.doc_id for doc in history.documents)
+    doc_lengths = tuple(doc.size for doc in history.documents)
+    all_keywords: set[str] = set()
+    for doc in history.documents:
+        all_keywords |= doc.keywords
+    results = tuple(
+        tuple(sorted(
+            doc.doc_id for doc in history.documents if w in doc.keywords
+        ))
+        for w in history.queries
+    )
+    pattern = tuple(
+        tuple(row) for row in search_pattern_matrix(history.queries)
+    )
+    return Trace(
+        doc_ids=doc_ids,
+        doc_lengths=doc_lengths,
+        total_keywords=len(all_keywords),
+        query_results=results,
+        search_pattern=pattern,
+    )
+
+
+@dataclass(frozen=True)
+class View:
+    """V_K(H_q): ids, ciphertexts, index entries, trapdoors (Definition 2).
+
+    ``index_entries`` are (A, B, C) triples — for the real Scheme 1 view
+    these are (f_kw(w), I(w)⊕G(r), F(r)); the simulator produces random
+    triples of the same widths.
+    """
+
+    doc_ids: tuple[int, ...]
+    ciphertexts: tuple[bytes, ...]
+    index_entries: tuple[tuple[bytes, bytes, bytes], ...]
+    trapdoors: tuple[bytes, ...] = field(default_factory=tuple)
+
+    def partial(self, t: int) -> "View":
+        """V_K^t: the view truncated to the first t trapdoors."""
+        if not 0 <= t <= len(self.trapdoors):
+            raise ParameterError("partial view index out of range")
+        return View(self.doc_ids, self.ciphertexts, self.index_entries,
+                    self.trapdoors[:t])
+
+
+def real_view(history: History, client: Scheme1Client,
+              server: Scheme1Server) -> View:
+    """Execute H_q against a live Scheme 1 deployment and collect the view.
+
+    The caller provides a *fresh* client/server pair; this function stores
+    the documents, runs the queries, and reads the server's state — i.e. it
+    plays the honest-but-curious server's perspective.
+    """
+    client.store(list(history.documents))
+    trapdoors = []
+    for keyword in history.queries:
+        client.search(keyword)
+        trapdoors.append(client._key.tag_for(keyword))
+    doc_ids = tuple(sorted(server.documents.ids()))
+    ciphertexts = tuple(server.documents.get(i) for i in doc_ids)
+    entries = tuple(
+        (tag, masked, fr) for tag, (masked, fr) in server.index.items()
+    )
+    return View(
+        doc_ids=doc_ids,
+        ciphertexts=ciphertexts,
+        index_entries=entries,
+        trapdoors=tuple(trapdoors),
+    )

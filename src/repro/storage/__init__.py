@@ -1,0 +1,11 @@
+"""Storage substrate: KV stores and the encrypted document store."""
+
+from repro.storage.docstore import EncryptedDocumentStore
+from repro.storage.kvstore import KvStore, LogKvStore, MemoryKvStore
+
+__all__ = [
+    "EncryptedDocumentStore",
+    "KvStore",
+    "LogKvStore",
+    "MemoryKvStore",
+]

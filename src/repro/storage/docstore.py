@@ -1,0 +1,74 @@
+"""Server-side encrypted document store — the DataStorage half of Storage.
+
+The paper stores each document as a tuple ``(E_km(M_i), i)``.  The server
+never sees plaintext; this store keeps exactly those opaque tuples, keyed
+by document identifier, over any :class:`~repro.storage.kvstore.KvStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ParameterError, StorageError
+from repro.storage.kvstore import KvStore, MemoryKvStore
+
+__all__ = ["EncryptedDocumentStore"]
+
+
+def _doc_key(doc_id: int) -> bytes:
+    if doc_id < 0:
+        raise ParameterError("document ids must be non-negative")
+    return b"doc:" + doc_id.to_bytes(8, "big")
+
+
+class EncryptedDocumentStore:
+    """Maps document ids to encrypted document bodies.
+
+    >>> store = EncryptedDocumentStore()
+    >>> store.put(3, b"<ciphertext>")
+    >>> store.get(3)
+    b'<ciphertext>'
+    """
+
+    def __init__(self, backend: KvStore | None = None) -> None:
+        self._backend = backend if backend is not None else MemoryKvStore()
+
+    def put(self, doc_id: int, ciphertext: bytes) -> None:
+        """Store the encrypted body for *doc_id* (overwrites on update)."""
+        self._backend.put(_doc_key(doc_id), ciphertext)
+
+    def get(self, doc_id: int) -> bytes:
+        """Return the encrypted body; raises if the id is unknown."""
+        value = self._backend.get(_doc_key(doc_id))
+        if value is None:
+            raise StorageError(f"no document with id {doc_id}")
+        return value
+
+    def get_many(self, doc_ids: list[int]) -> list[tuple[int, bytes]]:
+        """Fetch several documents, preserving the requested order."""
+        return [(doc_id, self.get(doc_id)) for doc_id in doc_ids]
+
+    def contains(self, doc_id: int) -> bool:
+        """True iff a document with *doc_id* is stored."""
+        return _doc_key(doc_id) in self._backend
+
+    def delete(self, doc_id: int) -> bool:
+        """Remove a document; True if it existed."""
+        return self._backend.delete(_doc_key(doc_id))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.ids())
+
+    def ids(self) -> Iterator[int]:
+        """Iterate over stored document ids."""
+        for key in self._backend.keys():
+            if key.startswith(b"doc:"):
+                yield int.from_bytes(key[4:], "big")
+
+    def total_bytes(self) -> int:
+        """Total ciphertext bytes held (for storage-cost accounting)."""
+        return sum(
+            len(self._backend.get(key) or b"")
+            for key in self._backend.keys()
+            if key.startswith(b"doc:")
+        )

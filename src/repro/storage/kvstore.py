@@ -1,0 +1,219 @@
+"""Key-value stores backing the server's document storage.
+
+Two implementations behind one small interface:
+
+* :class:`MemoryKvStore` — a dict, for tests and benchmarks.
+* :class:`LogKvStore` — an append-only log file with checksummed records,
+  crash-recovery on open (truncated/torn tails are dropped, corrupt records
+  rejected), tombstone deletes, and offline compaction.  This is the
+  "honest-but-curious server's disk": everything it persists is exactly the
+  (encrypted) bytes the client sent, so the file doubles as an auditable
+  record of what an adversarial server could see.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from typing import Iterator, Protocol
+
+from repro.crypto.sha256 import sha256
+from repro.errors import CorruptRecordError, ParameterError, StorageError
+
+__all__ = ["KvStore", "MemoryKvStore", "LogKvStore"]
+
+_MAGIC = b"RPKV"
+_VERSION = 1
+_TOMBSTONE = 0x01
+_CHECKSUM_LEN = 8  # truncated SHA-256 is plenty for corruption detection
+
+
+class KvStore(Protocol):
+    """Minimal key-value interface used by the document store."""
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite *key*."""
+        ...
+
+    def get(self, key: bytes) -> bytes | None:
+        """Return the value, or None if absent."""
+        ...
+
+    def delete(self, key: bytes) -> bool:
+        """Remove *key*; return True if it was present."""
+        ...
+
+    def __contains__(self, key: bytes) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def keys(self) -> Iterator[bytes]:
+        """Iterate over live keys."""
+        ...
+
+
+class MemoryKvStore:
+    """Dict-backed store (volatile)."""
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes] = {}
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite *key*."""
+        self._data[bytes(key)] = bytes(value)
+
+    def get(self, key: bytes) -> bytes | None:
+        """Return the value, or None if absent."""
+        return self._data.get(key)
+
+    def delete(self, key: bytes) -> bool:
+        """Remove *key*; return True if it was present."""
+        return self._data.pop(key, None) is not None
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[bytes]:
+        """Iterate over live keys (insertion order)."""
+        return iter(list(self._data.keys()))
+
+
+def _checksum(payload: bytes) -> bytes:
+    return sha256(payload)[:_CHECKSUM_LEN]
+
+
+def _encode_record(flags: int, key: bytes, value: bytes) -> bytes:
+    header = struct.pack(">BII", flags, len(key), len(value))
+    payload = header + key + value
+    return _checksum(payload) + payload
+
+
+class LogKvStore:
+    """Append-only-log store with checksums, recovery, and compaction.
+
+    Record layout: ``checksum(8) | flags(1) | klen(4) | vlen(4) | key | value``.
+    An in-memory index maps each live key to its latest value; ``open`` scans
+    the log, stopping cleanly at a torn tail (the bytes after the last valid
+    record are discarded on the next append).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = os.fspath(path)
+        self._index: dict[bytes, bytes] = {}
+        self._valid_length = 0
+        self._dead_records = 0
+        if os.path.exists(self._path):
+            self._recover()
+        else:
+            with open(self._path, "wb") as fh:
+                fh.write(_MAGIC + bytes([_VERSION]))
+            self._valid_length = len(_MAGIC) + 1
+
+    def _recover(self) -> None:
+        with open(self._path, "rb") as fh:
+            header = fh.read(len(_MAGIC) + 1)
+            if header[:len(_MAGIC)] != _MAGIC:
+                raise StorageError(f"{self._path} is not a repro KV log")
+            if header[len(_MAGIC)] != _VERSION:
+                raise StorageError("unsupported KV log version")
+            offset = len(header)
+            while True:
+                record_start = offset
+                head = fh.read(_CHECKSUM_LEN + 9)
+                if len(head) < _CHECKSUM_LEN + 9:
+                    break  # clean EOF or torn header: stop here
+                checksum = head[:_CHECKSUM_LEN]
+                flags, klen, vlen = struct.unpack(
+                    ">BII", head[_CHECKSUM_LEN:]
+                )
+                body = fh.read(klen + vlen)
+                if len(body) < klen + vlen:
+                    break  # torn body
+                payload = head[_CHECKSUM_LEN:] + body
+                if _checksum(payload) != checksum:
+                    # A corrupt record mid-log (not a torn tail) is data
+                    # loss we must not silently skip past.
+                    remaining = fh.read(1)
+                    if remaining:
+                        raise CorruptRecordError(
+                            f"corrupt record at offset {record_start}"
+                        )
+                    break  # corrupt final record == torn tail: drop it
+                key = body[:klen]
+                if flags & _TOMBSTONE:
+                    if key in self._index:
+                        self._dead_records += 1
+                    self._index.pop(key, None)
+                    self._dead_records += 1
+                else:
+                    if key in self._index:
+                        self._dead_records += 1
+                    self._index[key] = body[klen:]
+                offset = record_start + _CHECKSUM_LEN + 9 + klen + vlen
+            self._valid_length = offset
+
+    def _append(self, record: bytes) -> None:
+        with open(self._path, "r+b") as fh:
+            fh.seek(self._valid_length)
+            fh.write(record)
+            fh.truncate()
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._valid_length += len(record)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite *key* durably."""
+        key, value = bytes(key), bytes(value)
+        if not key:
+            raise ParameterError("keys must be non-empty")
+        if key in self._index:
+            self._dead_records += 1
+        self._append(_encode_record(0, key, value))
+        self._index[key] = value
+
+    def get(self, key: bytes) -> bytes | None:
+        """Return the latest value for *key*, or None."""
+        return self._index.get(key)
+
+    def delete(self, key: bytes) -> bool:
+        """Tombstone *key*; return True if it was present."""
+        if key not in self._index:
+            return False
+        self._append(_encode_record(_TOMBSTONE, bytes(key), b""))
+        del self._index[key]
+        self._dead_records += 2
+        return True
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> Iterator[bytes]:
+        """Iterate over live keys."""
+        return iter(list(self._index.keys()))
+
+    @property
+    def dead_records(self) -> int:
+        """Count of overwritten/tombstoned records eligible for compaction."""
+        return self._dead_records
+
+    def compact(self) -> None:
+        """Rewrite the log keeping only live records (atomic via rename)."""
+        tmp_path = self._path + ".compact"
+        buffer = io.BytesIO()
+        buffer.write(_MAGIC + bytes([_VERSION]))
+        for key, value in self._index.items():
+            buffer.write(_encode_record(0, key, value))
+        with open(tmp_path, "wb") as fh:
+            fh.write(buffer.getvalue())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, self._path)
+        self._valid_length = buffer.tell()
+        self._dead_records = 0

@@ -1,0 +1,19 @@
+"""Workload generators: Zipf keywords, synthetic collections, op streams."""
+
+from repro.workloads.generator import (WorkloadSpec, generate_collection,
+                                       keyword_universe)
+from repro.workloads.ops import Operation, gp_day_stream, interleaved_stream
+from repro.workloads.replay import ReplayStats, replay
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "Operation",
+    "ReplayStats",
+    "WorkloadSpec",
+    "ZipfSampler",
+    "generate_collection",
+    "gp_day_stream",
+    "interleaved_stream",
+    "keyword_universe",
+    "replay",
+]

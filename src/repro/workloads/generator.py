@@ -1,0 +1,81 @@
+"""Synthetic document-collection generator with controlled shape.
+
+The benchmarks need collections with an exact number of documents *n*, an
+(approximately) exact number of unique keywords *u*, and Zipf-skewed
+keyword popularity.  Everything is driven by a seeded DRBG so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.documents import Document
+from repro.crypto.rng import HmacDrbg, RandomSource
+from repro.errors import ParameterError
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["WorkloadSpec", "generate_collection", "keyword_universe"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic collection."""
+
+    num_documents: int = 100
+    unique_keywords: int = 200
+    keywords_per_doc: int = 10
+    doc_size_bytes: int = 256
+    zipf_s: float = 1.0
+    seed: int = 2010
+
+    def __post_init__(self) -> None:
+        if self.num_documents < 1:
+            raise ParameterError("need at least one document")
+        if self.unique_keywords < self.keywords_per_doc:
+            raise ParameterError(
+                "unique_keywords must be >= keywords_per_doc"
+            )
+        if self.doc_size_bytes < 1:
+            raise ParameterError("documents must have at least one byte")
+
+
+def keyword_universe(size: int) -> list[str]:
+    """Deterministic keyword vocabulary kw0000, kw0001, ..."""
+    return [f"kw{i:05d}" for i in range(size)]
+
+
+def generate_collection(spec: WorkloadSpec,
+                        rng: RandomSource | None = None) -> list[Document]:
+    """Generate documents per *spec*.
+
+    Every keyword rank is sampled from a Zipf law; each document draws
+    distinct keywords.  To guarantee the full universe appears (so u is
+    exact, as the scaling benches require), keyword i is force-assigned to
+    document i mod n.
+    """
+    rng = rng if rng is not None else HmacDrbg(spec.seed)
+    universe = keyword_universe(spec.unique_keywords)
+    sampler = ZipfSampler(spec.unique_keywords, spec.zipf_s)
+
+    keyword_sets: list[set[str]] = [set() for _ in range(spec.num_documents)]
+    # Force-cover the universe.
+    for i, keyword in enumerate(universe):
+        keyword_sets[i % spec.num_documents].add(keyword)
+    # Fill with Zipf draws.
+    for keywords in keyword_sets:
+        guard = 0
+        while len(keywords) < spec.keywords_per_doc:
+            keywords.add(universe[sampler.sample(rng)])
+            guard += 1
+            if guard > 100 * spec.keywords_per_doc:  # pragma: no cover
+                raise ParameterError("keyword sampling failed to converge")
+
+    documents = []
+    for doc_id, keywords in enumerate(keyword_sets):
+        documents.append(Document(
+            doc_id=doc_id,
+            data=rng.random_bytes(spec.doc_size_bytes),
+            keywords=frozenset(keywords),
+        ))
+    return documents

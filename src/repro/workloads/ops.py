@@ -1,0 +1,79 @@
+"""Interleaved search/update operation streams (paper Table 1's x).
+
+Table 1 characterizes Scheme 2's search cost as O(log u + l/2x) where x is
+"the average number of times updating the database between every two
+searches".  These generators produce operation streams with a controlled
+update:search ratio so the T1-search benchmark can sweep x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.documents import Document
+from repro.crypto.rng import RandomSource
+from repro.errors import ParameterError
+
+__all__ = ["Operation", "interleaved_stream", "gp_day_stream"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One workload step: either a search or an update batch."""
+
+    kind: str  # "search" | "update"
+    keyword: str | None = None
+    documents: tuple[Document, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("search", "update"):
+            raise ParameterError("operation kind must be search or update")
+        if self.kind == "search" and self.keyword is None:
+            raise ParameterError("searches need a keyword")
+        if self.kind == "update" and not self.documents:
+            raise ParameterError("updates need documents")
+
+
+def interleaved_stream(
+    keywords: Sequence[str],
+    new_documents: Sequence[Document],
+    updates_per_search: int,
+    rng: RandomSource,
+) -> Iterator[Operation]:
+    """Yield updates and searches at ratio x = *updates_per_search*.
+
+    Consumes *new_documents* one per update; after each group of x updates
+    emits one search for a uniformly chosen keyword.  Stops when the
+    documents run out (emitting a final search).
+    """
+    if updates_per_search < 1:
+        raise ParameterError("updates_per_search must be >= 1")
+    pending = 0
+    for doc in new_documents:
+        yield Operation(kind="update", documents=(doc,))
+        pending += 1
+        if pending == updates_per_search:
+            keyword = keywords[rng.randint_below(len(keywords))]
+            yield Operation(kind="search", keyword=keyword)
+            pending = 0
+    if pending:
+        keyword = keywords[rng.randint_below(len(keywords))]
+        yield Operation(kind="search", keyword=keyword)
+
+
+def gp_day_stream(
+    patient_keywords: Sequence[str],
+    visit_documents: Sequence[Document],
+) -> Iterator[Operation]:
+    """The §6 GP workflow: retrieve a record, then update it, per patient.
+
+    Alternates search(patient) / update(new visit note) — the
+    "interleaved with search" regime where Scheme 2's chain walk stays
+    short (x ≈ 1).
+    """
+    if len(patient_keywords) != len(visit_documents):
+        raise ParameterError("one visit document per patient keyword")
+    for keyword, doc in zip(patient_keywords, visit_documents):
+        yield Operation(kind="search", keyword=keyword)
+        yield Operation(kind="update", documents=(doc,))

@@ -1,0 +1,87 @@
+"""Operation-stream replay: drive any SSE client from an op stream.
+
+Benchmarks and examples repeatedly need "run this interleaving against
+that client and collect costs"; this is that loop, once, with stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.api import SseClient
+from repro.workloads.ops import Operation
+
+__all__ = ["ReplayStats", "replay"]
+
+
+@dataclass
+class ReplayStats:
+    """What a replay run did and what it cost."""
+
+    searches: int = 0
+    updates: int = 0
+    documents_added: int = 0
+    results_returned: int = 0
+    search_rounds: int = 0
+    update_rounds: int = 0
+    search_bytes: int = 0
+    update_bytes: int = 0
+    per_search_results: list[int] = field(default_factory=list)
+
+    @property
+    def operations(self) -> int:
+        """Total operations replayed."""
+        return self.searches + self.updates
+
+
+def replay(client: SseClient, stream: Iterable[Operation],
+           verify_against: dict[str, set[int]] | None = None) -> ReplayStats:
+    """Run every operation in *stream* against *client*.
+
+    When *verify_against* (keyword -> expected id set, updated as the
+    stream's documents are applied) is provided, every search result is
+    checked against it and a mismatch raises ``AssertionError`` — turning
+    any replay into a correctness oracle.
+    """
+    stats = ReplayStats()
+    channel = client.channel
+
+    for op in stream:
+        before = channel.stats
+        channel.reset_stats()
+        if op.kind == "update":
+            client.add_documents(list(op.documents))
+            run = channel.stats
+            stats.updates += 1
+            stats.documents_added += len(op.documents)
+            stats.update_rounds += run.rounds
+            stats.update_bytes += run.total_bytes
+            if verify_against is not None:
+                for doc in op.documents:
+                    for keyword in doc.keywords:
+                        verify_against.setdefault(keyword, set()).add(
+                            doc.doc_id
+                        )
+        else:
+            assert op.keyword is not None
+            result = client.search(op.keyword)
+            run = channel.stats
+            stats.searches += 1
+            stats.results_returned += len(result.doc_ids)
+            stats.per_search_results.append(len(result.doc_ids))
+            stats.search_rounds += run.rounds
+            stats.search_bytes += run.total_bytes
+            if verify_against is not None:
+                expected = sorted(verify_against.get(op.keyword, set()))
+                assert result.doc_ids == expected, (
+                    f"replay divergence on {op.keyword!r}: "
+                    f"{result.doc_ids} != {expected}"
+                )
+        # Restore cumulative counters on the shared channel.
+        channel.stats.rounds += before.rounds
+        channel.stats.client_to_server_bytes += before.client_to_server_bytes
+        channel.stats.server_to_client_bytes += before.server_to_client_bytes
+        channel.stats.simulated_time_s += before.simulated_time_s
+        channel.stats.messages += before.messages
+    return stats

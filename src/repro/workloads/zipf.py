@@ -1,0 +1,55 @@
+"""Zipf-distributed sampling for keyword frequencies.
+
+Keyword popularity in text corpora follows a Zipf law; the workload
+generator uses this sampler so synthetic databases have realistic hot/cold
+keyword skew (a handful of keywords matching many documents, a long tail
+matching one).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.crypto.rng import RandomSource
+from repro.errors import ParameterError
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Samples ranks 0..n-1 with P(rank k) ∝ 1/(k+1)^s via inverse CDF.
+
+    >>> from repro.crypto.rng import HmacDrbg
+    >>> sampler = ZipfSampler(100, s=1.0)
+    >>> 0 <= sampler.sample(HmacDrbg(1)) < 100
+    True
+    """
+
+    def __init__(self, n: int, s: float = 1.0) -> None:
+        if n < 1:
+            raise ParameterError("ZipfSampler needs at least one rank")
+        if s < 0:
+            raise ParameterError("Zipf exponent must be non-negative")
+        self.n = n
+        self.s = s
+        weights = [1.0 / (k + 1) ** s for k in range(n)]
+        total = sum(weights)
+        self._cdf: list[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def sample(self, rng: RandomSource) -> int:
+        """Draw one rank."""
+        # 53-bit uniform in [0, 1).
+        u = rng.randint_below(1 << 53) / (1 << 53)
+        return bisect.bisect_right(self._cdf, u)
+
+    def probability(self, rank: int) -> float:
+        """P(rank) for diagnostics."""
+        if not 0 <= rank < self.n:
+            raise ParameterError("rank out of range")
+        lower = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - lower

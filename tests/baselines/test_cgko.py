@@ -1,0 +1,96 @@
+"""CGKO SSE-1 baseline: optimal search, rebuild-on-update, padding."""
+
+import pytest
+
+from repro.baselines.cgko import make_cgko
+from repro.core import Document
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def deployment(master_key, rng):
+    return make_cgko(master_key, rng=rng)
+
+
+class TestCorrectness:
+    def test_search(self, deployment, sample_documents, reference_search):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        for keyword in ("fever", "flu", "cough", "rash"):
+            assert client.search(keyword).doc_ids == reference_search(
+                sample_documents, keyword
+            )
+
+    def test_unknown_keyword(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        assert client.search("absent").doc_ids == []
+
+    def test_updates_work(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        client.add_documents([Document(8, b"x", frozenset({"flu"}))])
+        assert client.search("flu").doc_ids == [0, 1, 4, 8]
+
+
+class TestSearchIsOutputSensitive:
+    def test_nodes_walked_equals_result_size(self, deployment,
+                                             sample_documents):
+        client, server, _ = deployment
+        client.store(sample_documents)
+        client.search("flu")  # 3 matches
+        assert server.nodes_walked_last_search == 3
+        client.search("rash")  # 2 matches
+        assert server.nodes_walked_last_search == 2
+
+    def test_walk_independent_of_database_size(self, master_key, rng):
+        client, server, _ = make_cgko(master_key, rng=rng)
+        docs = [Document(i, b"x", frozenset({f"kw{i}"})) for i in range(60)]
+        docs.append(Document(60, b"y", frozenset({"needle"})))
+        client.store(docs)
+        client.search("needle")
+        assert server.nodes_walked_last_search == 1
+
+
+class TestRebuildCost:
+    def test_every_update_is_a_full_rebuild(self, deployment,
+                                            sample_documents):
+        """The §2 criticism this baseline exists to demonstrate."""
+        client, server, _ = deployment
+        client.store(sample_documents)
+        assert server.rebuilds == 1
+        first_rebuild_nodes = server.nodes_written_last_rebuild
+        client.add_documents([Document(8, b"x", frozenset({"flu"}))])
+        assert server.rebuilds == 2
+        assert server.nodes_written_last_rebuild > first_rebuild_nodes
+
+    def test_rebuild_nodes_scale_with_collection(self, master_key, rng):
+        client, server, _ = make_cgko(master_key, rng=rng)
+        client.store([Document(i, b"x", frozenset({"k"})) for i in range(10)])
+        small = server.nodes_written_last_rebuild
+        client.add_documents([Document(10 + i, b"x", frozenset({"k"}))
+                              for i in range(30)])
+        assert server.nodes_written_last_rebuild >= 4 * small
+
+
+class TestPadding:
+    def test_array_padded_beyond_real_nodes(self, deployment,
+                                            sample_documents):
+        client, server, _ = deployment
+        client.store(sample_documents)
+        real_nodes = sum(len(d.keywords) for d in sample_documents)
+        assert len(server.array) > real_nodes
+
+    def test_padding_factor_validated(self, master_key, rng):
+        with pytest.raises(ParameterError):
+            make_cgko(master_key, padding_factor=0.5, rng=rng)
+
+
+class TestServerBlindness:
+    def test_table_masks_head_pointers(self, deployment, sample_documents):
+        client, server, _ = deployment
+        client.store(sample_documents)
+        # Masked table values must not be valid array addresses in clear.
+        for value in server.table.values():
+            addr = int.from_bytes(value[:8], "big")
+            assert addr not in server.array

@@ -1,0 +1,104 @@
+"""Chang–Mitzenmacher baseline: column semantics, leakage, O(n) probing."""
+
+import pytest
+
+from repro.baselines.chang_mitzenmacher import make_cm
+from repro.core import Document
+from repro.errors import ParameterError, ProtocolError, UnknownKeywordError
+
+_DICTIONARY = ["fever", "flu", "cough", "rash", "ecg"]
+
+
+@pytest.fixture()
+def deployment(master_key, rng):
+    return make_cm(master_key, _DICTIONARY, rng=rng)
+
+
+class TestCorrectness:
+    def test_search(self, deployment, sample_documents, reference_search):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        for keyword in ("fever", "flu", "cough", "rash"):
+            assert client.search(keyword).doc_ids == reference_search(
+                sample_documents, keyword
+            )
+
+    def test_bodies_decrypt(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        result = client.search("flu")
+        by_id = {d.doc_id: d.data for d in sample_documents}
+        assert result.documents == [by_id[i] for i in result.doc_ids]
+
+    def test_updates(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        client.add_documents([Document(9, b"x", frozenset({"flu"}))])
+        assert client.search("flu").doc_ids == [0, 1, 4, 9]
+
+    def test_empty_dictionary_column(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        assert client.search("ecg").doc_ids == []
+
+
+class TestDictionaryDiscipline:
+    def test_out_of_dictionary_keyword_rejected_on_store(self, deployment):
+        client, _, _ = deployment
+        with pytest.raises(ParameterError):
+            client.store([Document(0, b"x", frozenset({"not-in-dict"}))])
+
+    def test_unknown_query_rejected(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        with pytest.raises(UnknownKeywordError):
+            client.search("not-in-dict")
+
+    def test_duplicate_dictionary_rejected(self, master_key, rng):
+        with pytest.raises(ParameterError):
+            make_cm(master_key, ["a", "A"], rng=rng)
+
+    def test_position_out_of_range_rejected(self, deployment):
+        from repro.net.messages import Message, MessageType
+
+        _, server, _ = deployment
+        with pytest.raises(ProtocolError):
+            server.handle(Message(
+                MessageType.CGKO_SEARCH_REQUEST,
+                ((99).to_bytes(4, "big"), b"k" * 32),
+            ))
+
+
+class TestCostAndLeakage:
+    def test_probes_every_row(self, deployment, sample_documents):
+        client, server, _ = deployment
+        client.store(sample_documents)
+        client.search("flu")
+        assert server.rows_probed_last_search == len(sample_documents)
+
+    def test_rows_are_masked(self, deployment):
+        """Two documents with identical keywords store different rows."""
+        client, server, _ = deployment
+        client.store([
+            Document(0, b"a", frozenset({"flu"})),
+            Document(1, b"b", frozenset({"flu"})),
+        ])
+        assert server.masked_rows[0] != server.masked_rows[1]
+
+    def test_queries_open_exactly_their_columns(self, deployment,
+                                                sample_documents):
+        client, server, _ = deployment
+        client.store(sample_documents)
+        client.search("flu")
+        client.search("rash")
+        client.search("flu")
+        assert server.opened_columns == {
+            _DICTIONARY.index("flu"), _DICTIONARY.index("rash")
+        }
+
+    def test_index_width_is_dictionary_bound(self, master_key, rng):
+        """Row width tracks the dictionary, not the document content."""
+        big_dict = [f"kw{i}" for i in range(100)]
+        client, server, _ = make_cm(master_key, big_dict, rng=rng)
+        client.store([Document(0, b"x", frozenset({"kw0"}))])
+        assert len(server.masked_rows[0]) == (100 + 7) // 8

@@ -1,0 +1,106 @@
+"""Goh Z-IDX baseline: one-sided correctness, O(n) probing, blinding."""
+
+import pytest
+
+from repro.baselines.goh import make_goh
+from repro.core import Document
+
+
+@pytest.fixture()
+def deployment(master_key, rng):
+    return make_goh(master_key, expected_keywords_per_doc=8, rng=rng)
+
+
+class TestCorrectness:
+    def test_no_false_negatives(self, deployment, sample_documents,
+                                reference_search):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        for keyword in ("fever", "flu", "cough", "rash"):
+            got = set(client.search(keyword).doc_ids)
+            assert got >= set(reference_search(sample_documents, keyword))
+
+    def test_false_positive_rate_small(self, master_key, rng):
+        client, _, _ = make_goh(master_key, expected_keywords_per_doc=8,
+                                false_positive_rate=0.001, rng=rng)
+        client.store([Document(i, b"x", frozenset({f"kw{i}"}))
+                      for i in range(50)])
+        spurious = sum(
+            len(client.search(f"probe{j}").doc_ids) for j in range(40)
+        )
+        # 2000 probes at 0.1% target: a handful of hits at most.
+        assert spurious <= 10
+
+    def test_updates_are_per_document(self, deployment, sample_documents):
+        client, server, _ = deployment
+        client.store(sample_documents)
+        filters_before = dict(server.filters)
+        client.add_documents([Document(9, b"x", frozenset({"flu"}))])
+        # Old filters untouched: update cost is independent of n.
+        for doc_id, bf in filters_before.items():
+            assert server.filters[doc_id] is bf
+        assert set(client.search("flu").doc_ids) >= {0, 1, 4, 9}
+
+
+class TestLinearProbe:
+    def test_every_filter_probed(self, deployment, sample_documents):
+        client, server, _ = deployment
+        client.store(sample_documents)
+        client.search("flu")
+        assert server.filters_probed_last_search == len(sample_documents)
+
+    def test_probing_scales_with_n(self, master_key, rng):
+        client, server, _ = make_goh(master_key,
+                                     expected_keywords_per_doc=4, rng=rng)
+        client.store([Document(i, b"x", frozenset({"common"}))
+                      for i in range(25)])
+        client.search("common")
+        assert server.filters_probed_last_search == 25
+
+
+class TestTrapdoors:
+    def test_trapdoor_deterministic(self, deployment):
+        client, _, _ = deployment
+        assert client.trapdoor("flu") == client.trapdoor("flu")
+        assert client.trapdoor("flu") != client.trapdoor("cough")
+
+    def test_trapdoor_arity_matches_hashes(self, deployment):
+        client, _, _ = deployment
+        assert len(client.trapdoor("flu")) == client.bloom_hashes
+
+    def test_codewords_are_document_specific(self, deployment):
+        """The same keyword lights different positions in different docs."""
+        client, server, _ = deployment
+        client.store([
+            Document(0, b"a", frozenset({"shared"})),
+            Document(1, b"b", frozenset({"shared"})),
+        ])
+        trapdoor = client.trapdoor("shared")
+        pos0 = server._positions_for_doc(trapdoor, 0)
+        pos1 = server._positions_for_doc(trapdoor, 1)
+        assert pos0 != pos1
+
+
+class TestBlinding:
+    def test_blinding_equalizes_fill(self, master_key, rng):
+        client, server, _ = make_goh(master_key,
+                                     expected_keywords_per_doc=16,
+                                     blind=True, rng=rng)
+        client.store([
+            Document(0, b"a", frozenset({"only-one"})),
+            Document(1, b"b", frozenset({f"kw{i}" for i in range(16)})),
+        ])
+        sparse = server.filters[0].fill_ratio()
+        dense = server.filters[1].fill_ratio()
+        assert abs(sparse - dense) < 0.05
+
+    def test_unblinded_fill_reveals_counts(self, master_key, rng):
+        client, server, _ = make_goh(master_key,
+                                     expected_keywords_per_doc=16,
+                                     blind=False, rng=rng)
+        client.store([
+            Document(0, b"a", frozenset({"only-one"})),
+            Document(1, b"b", frozenset({f"kw{i}" for i in range(16)})),
+        ])
+        assert (server.filters[1].fill_ratio()
+                > 4 * server.filters[0].fill_ratio())

@@ -1,0 +1,62 @@
+"""Naive baseline: correctness plus its defining cost/leakage profile."""
+
+import pytest
+
+from repro.baselines.naive import make_naive
+from repro.core import Document
+from repro.net.messages import MessageType
+
+
+@pytest.fixture()
+def deployment(master_key, rng):
+    return make_naive(master_key, rng=rng)
+
+
+class TestCorrectness:
+    def test_search(self, deployment, sample_documents, reference_search):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        for keyword in ("fever", "flu", "cough", "rash"):
+            assert client.search(keyword).doc_ids == reference_search(
+                sample_documents, keyword
+            )
+
+    def test_bodies_decrypt(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        result = client.search("rash")
+        by_id = {d.doc_id: d.data for d in sample_documents}
+        assert result.documents == [by_id[i] for i in result.doc_ids]
+
+    def test_updates(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        client.add_documents([Document(7, b"new", frozenset({"flu"}))])
+        assert client.search("flu").doc_ids == [0, 1, 4, 7]
+
+    def test_unicode_keywords(self, deployment):
+        client, _, _ = deployment
+        client.store([Document(0, b"x", frozenset({"grippe-sévère"}))])
+        assert client.search("grippe-sévère").doc_ids == [0]
+
+
+class TestCostProfile:
+    def test_search_downloads_everything(self, deployment,
+                                         sample_documents):
+        """The defining inefficiency: result bandwidth ≈ whole database."""
+        client, server, channel = deployment
+        client.store(sample_documents)
+        total_stored = server.documents.total_bytes()
+        channel.reset_stats()
+        client.search("rash")  # matches only 2 of 5 documents
+        assert channel.stats.server_to_client_bytes > total_stored
+
+    def test_server_sees_only_fetch_all(self, deployment, sample_documents):
+        client, _, channel = deployment
+        client.store(sample_documents)
+        channel.reset_stats()
+        client.search("flu")
+        (request,) = [e for e in channel.transcript
+                      if e.direction == "client->server"]
+        assert request.message.type == MessageType.NAIVE_FETCH_ALL
+        assert request.message.fields == ()  # the query itself leaks nothing

@@ -1,0 +1,77 @@
+"""SWP baseline: correctness and its Θ(total words) scan behaviour."""
+
+import pytest
+
+from repro.baselines.swp import WORD_SIZE, make_swp
+from repro.core import Document
+
+
+@pytest.fixture()
+def deployment(master_key, rng):
+    return make_swp(master_key, rng=rng)
+
+
+class TestCorrectness:
+    def test_search(self, deployment, sample_documents, reference_search):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        for keyword in ("fever", "flu", "cough", "rash"):
+            assert client.search(keyword).doc_ids == reference_search(
+                sample_documents, keyword
+            )
+
+    def test_no_false_positives(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        assert client.search("absent").doc_ids == []
+
+    def test_updates_append(self, deployment, sample_documents):
+        client, server, _ = deployment
+        client.store(sample_documents)
+        words_before = len(server.word_ciphertexts)
+        client.add_documents([Document(8, b"x", frozenset({"flu", "new"}))])
+        assert len(server.word_ciphertexts) == words_before + 2
+        assert client.search("flu").doc_ids == [0, 1, 4, 8]
+        assert client.search("new").doc_ids == [8]
+
+
+class TestLinearScan:
+    def test_scan_covers_every_word(self, deployment, sample_documents):
+        client, server, _ = deployment
+        client.store(sample_documents)
+        total_words = sum(len(d.keywords) for d in sample_documents)
+        client.search("flu")
+        assert server.words_scanned_last_search == total_words
+
+    def test_scan_grows_with_database(self, master_key, rng):
+        client, server, _ = make_swp(master_key, rng=rng)
+        client.store([Document(i, b"x", frozenset({f"kw{i}", "common"}))
+                      for i in range(10)])
+        client.search("common")
+        small = server.words_scanned_last_search
+        client.add_documents([
+            Document(10 + i, b"x", frozenset({f"kw{10+i}", "common"}))
+            for i in range(30)
+        ])
+        client.search("common")
+        assert server.words_scanned_last_search == small * 4
+
+
+class TestMasking:
+    def test_same_word_different_ciphertexts(self, deployment):
+        """Per-position streams hide repeated keywords across documents."""
+        client, server, _ = deployment
+        client.store([
+            Document(0, b"a", frozenset({"repeated"})),
+            Document(1, b"b", frozenset({"repeated"})),
+        ])
+        word_cts = [ct for _, ct in server.word_ciphertexts]
+        assert len(word_cts) == 2
+        assert word_cts[0] != word_cts[1]
+        assert all(len(ct) == WORD_SIZE for ct in word_cts)
+
+    def test_keyword_text_not_on_server(self, deployment):
+        client, server, _ = deployment
+        client.store([Document(0, b"x", frozenset({"super-secret-term"}))])
+        for _, ct in server.word_ciphertexts:
+            assert b"secret" not in ct

@@ -1,0 +1,68 @@
+"""Complexity-model fitting: synthetic curves must be classified correctly."""
+
+import math
+
+import pytest
+
+from repro.bench.fits import MODELS, best_fit, fit_model
+from repro.errors import ParameterError
+
+_XS = [2 ** k for k in range(4, 12)]
+
+
+class TestFitModel:
+    def test_perfect_linear(self):
+        fit = fit_model(_XS, [3.0 * x + 1 for x in _XS], "O(n)")
+        assert fit.scale == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_perfect_log(self):
+        ys = [5 * math.log2(x) + 2 for x in _XS]
+        fit = fit_model(_XS, ys, "O(log n)")
+        assert fit.scale == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_constant_model(self):
+        fit = fit_model(_XS, [7.0] * len(_XS), "O(1)")
+        assert fit.intercept == pytest.approx(7.0)
+
+    def test_unknown_model(self):
+        with pytest.raises(ParameterError):
+            fit_model(_XS, _XS, "O(n^3)")
+
+    def test_too_few_points(self):
+        with pytest.raises(ParameterError):
+            fit_model([1, 2], [1, 2], "O(n)")
+
+
+class TestBestFit:
+    def test_recovers_linear(self):
+        assert best_fit(_XS, [2 * x + 5 for x in _XS]).model == "O(n)"
+
+    def test_recovers_log(self):
+        ys = [10 * math.log2(x) for x in _XS]
+        assert best_fit(_XS, ys).model == "O(log n)"
+
+    def test_recovers_constant(self):
+        # Mild noise around a constant: neither log nor linear explains it
+        # better once the penalty for negative slopes is applied.
+        ys = [5.0, 5.1, 4.9, 5.05, 4.95, 5.0, 5.02, 4.98]
+        fit = best_fit(_XS, ys)
+        assert fit.model in ("O(1)", "O(log n)")
+        if fit.model == "O(log n)":
+            assert abs(fit.scale) < 0.05  # essentially flat
+
+    def test_recovers_nlogn(self):
+        ys = [x * math.log2(x) for x in _XS]
+        fit = best_fit(_XS, ys,
+                       candidates=("O(1)", "O(log n)", "O(n)", "O(n log n)"))
+        assert fit.model == "O(n log n)"
+
+    def test_noisy_linear_still_linear(self):
+        ys = [2 * x * (1 + 0.03 * ((i % 3) - 1)) for i, x in enumerate(_XS)]
+        assert best_fit(_XS, ys).model == "O(n)"
+
+    def test_all_models_evaluable(self):
+        for name, model in MODELS.items():
+            assert model(1024) > 0, name

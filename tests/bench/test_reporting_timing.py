@@ -1,0 +1,53 @@
+"""Bench harness utilities: table formatting and timing helpers."""
+
+import time
+
+from repro.bench.reporting import format_header, format_table
+from repro.bench.timing import Measurement, measure, repeat_measure
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        # Columns align: every rendered line has the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_header_banner(self):
+        banner = format_header("Table 1")
+        lines = banner.strip().splitlines()
+        assert lines[1] == "Table 1"
+        assert set(lines[0]) == {"="}
+
+
+class TestTiming:
+    def test_measure_returns_value_and_time(self):
+        result = measure(lambda: 42)
+        assert isinstance(result, Measurement)
+        assert result.value == 42
+        assert result.seconds >= 0
+
+    def test_measure_times_sleep(self):
+        result = measure(lambda: time.sleep(0.01))
+        assert result.seconds >= 0.009
+
+    def test_repeat_measure_median(self):
+        calls = []
+
+        def tracked():
+            calls.append(1)
+
+        median = repeat_measure(tracked, repeats=5)
+        assert len(calls) == 5
+        assert median >= 0

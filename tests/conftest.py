@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+ElGamal keypair generation dominates test time (safe-prime search), so a
+single small session-scoped keypair/group is shared by every test that
+needs one.  All randomness is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.documents import Document
+from repro.core.keys import keygen
+from repro.crypto.elgamal import generate_keypair
+from repro.crypto.rng import HmacDrbg
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic DRBG per test."""
+    return HmacDrbg(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def elgamal_keypair():
+    """One 256-bit keypair for the whole session (generation is slow)."""
+    return generate_keypair(bits=256, rng=HmacDrbg(0x5EED))
+
+
+@pytest.fixture()
+def master_key(rng):
+    """A deterministic master key."""
+    return keygen(rng=rng)
+
+
+@pytest.fixture()
+def sample_documents():
+    """A tiny fixed collection with known keyword→id structure."""
+    return [
+        Document(0, b"alpha record", frozenset({"fever", "flu", "cough"})),
+        Document(1, b"beta record", frozenset({"flu"})),
+        Document(2, b"gamma record", frozenset({"cough", "rash"})),
+        Document(3, b"delta record", frozenset({"fever"})),
+        Document(4, b"epsilon record", frozenset({"rash", "flu"})),
+    ]
+
+
+def expected_ids(documents, keyword):
+    """Reference result: ids of documents whose keyword set contains it."""
+    return sorted(d.doc_id for d in documents if keyword in d.keywords)
+
+
+@pytest.fixture()
+def reference_search():
+    """Expose the reference matcher to tests as a fixture."""
+    return expected_ids

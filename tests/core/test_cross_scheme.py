@@ -1,0 +1,88 @@
+"""Cross-scheme equivalence: every scheme and baseline answers identically.
+
+One property to rule them all: for random collections, random updates, and
+random query orders, Scheme 1, Scheme 2, and every baseline must return
+exactly the reference result {i : w ∈ W_i}.  (Goh is allowed Bloom false
+positives, so it gets a superset check.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import make_cgko, make_goh, make_naive, make_swp
+from repro.core import Document, keygen, make_scheme1, make_scheme2
+from repro.crypto.rng import HmacDrbg
+
+_KEYWORDS = ["fever", "flu", "cough", "rash", "ecg"]
+
+
+def _reference(documents, keyword):
+    return sorted(d.doc_id for d in documents if keyword in d.keywords)
+
+
+def _collection(keyword_sets, start_id=0):
+    return [
+        Document(start_id + i, b"body-%d" % (start_id + i), frozenset(kws))
+        for i, kws in enumerate(keyword_sets)
+    ]
+
+
+def _all_deployments(elgamal_keypair, seed):
+    mk = keygen(rng=HmacDrbg(seed))
+    yield "scheme1", make_scheme1(mk, capacity=64, keypair=elgamal_keypair,
+                                  rng=HmacDrbg(seed + 1))[0], True
+    yield "scheme2", make_scheme2(mk, chain_length=64,
+                                  rng=HmacDrbg(seed + 2))[0], True
+    yield "naive", make_naive(mk, rng=HmacDrbg(seed + 3))[0], True
+    yield "swp", make_swp(mk, rng=HmacDrbg(seed + 4))[0], True
+    yield "goh", make_goh(mk, expected_keywords_per_doc=8,
+                          rng=HmacDrbg(seed + 5))[0], False
+    yield "cgko", make_cgko(mk, rng=HmacDrbg(seed + 6))[0], True
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    st.lists(st.sets(st.sampled_from(_KEYWORDS), min_size=1),
+             min_size=1, max_size=6),
+    st.lists(st.sets(st.sampled_from(_KEYWORDS), min_size=1),
+             min_size=0, max_size=3),
+)
+def test_all_schemes_agree(elgamal_keypair, initial_sets, update_sets):
+    initial = _collection(initial_sets)
+    updates = _collection(update_sets, start_id=len(initial_sets))
+    for name, client, exact in _all_deployments(elgamal_keypair, 1000):
+        client.store(initial)
+        for doc in updates:
+            client.add_documents([doc])
+        for keyword in _KEYWORDS:
+            expected = _reference(initial + updates, keyword)
+            got = client.search(keyword).doc_ids
+            if exact:
+                assert got == expected, (name, keyword)
+            else:
+                assert set(got) >= set(expected), (name, keyword)
+
+
+def test_schemes_agree_on_fixed_scenario(elgamal_keypair, sample_documents):
+    """Deterministic end-to-end agreement incl. document bodies."""
+    late = Document(9, b"late arrival", frozenset({"flu", "rash"}))
+    for name, client, exact in _all_deployments(elgamal_keypair, 2000):
+        client.store(sample_documents)
+        client.add_documents([late])
+        result = client.search("flu")
+        expected_ids = _reference(sample_documents + [late], "flu")
+        if exact:
+            assert result.doc_ids == expected_ids, name
+            by_id = {d.doc_id: d.data
+                     for d in sample_documents + [late]}
+            assert result.documents == [by_id[i] for i in result.doc_ids], name
+        else:
+            assert set(result.doc_ids) >= set(expected_ids), name
+
+
+def test_search_result_repr(elgamal_keypair):
+    mk = keygen(rng=HmacDrbg(1))
+    client, _, _ = make_scheme2(mk, rng=HmacDrbg(2))
+    client.store([Document(0, b"x", frozenset({"k"}))])
+    assert "k" in repr(client.search("k"))

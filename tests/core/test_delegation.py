@@ -1,0 +1,112 @@
+"""Search-only delegation: ids yes, bodies never; plus mask refreshing."""
+
+import pytest
+
+from repro.core import Document, make_scheme1, make_scheme2
+from repro.core.delegation import SearchDelegate, delegate_master_key
+from repro.core.scheme1 import Scheme1Client
+from repro.core.scheme2 import Scheme2Client
+from repro.crypto.rng import HmacDrbg
+from repro.errors import AuthenticationError
+from repro.net.channel import Channel
+
+
+@pytest.fixture()
+def owner_deployment(master_key, rng):
+    client, server, channel = make_scheme2(master_key, chain_length=64,
+                                           rng=rng)
+    client.store([
+        Document(0, b"confidential record A", frozenset({"flu", "fever"})),
+        Document(1, b"confidential record B", frozenset({"flu"})),
+    ])
+    return client, server, channel
+
+
+class TestDelegatedSearch:
+    def _delegate(self, master_key, server, owner_ctr):
+        delegated_key = delegate_master_key(master_key, rng=HmacDrbg(9))
+        client = Scheme2Client(delegated_key, Channel(server),
+                               chain_length=64, rng=HmacDrbg(10),
+                               decrypt_bodies=False)
+        client._ctr = owner_ctr  # counter travels with the capability
+        return SearchDelegate(client)
+
+    def test_delegate_sees_ids_not_bodies(self, master_key,
+                                          owner_deployment):
+        owner, server, _ = owner_deployment
+        delegate = self._delegate(master_key, server, owner.ctr)
+        assert delegate.matching_ids("flu") == [0, 1]
+        assert delegate.count("fever") == 1
+        assert delegate.exists("flu")
+        assert not delegate.exists("absent")
+
+    def test_delegate_key_cannot_decrypt(self, master_key,
+                                         owner_deployment):
+        """A cheating delegate that re-enables decryption gets MAC
+        failures, not plaintext — the capability split is cryptographic,
+        not configuration."""
+        owner, server, _ = owner_deployment
+        delegated_key = delegate_master_key(master_key, rng=HmacDrbg(11))
+        cheater = Scheme2Client(delegated_key, Channel(server),
+                                chain_length=64, rng=HmacDrbg(12),
+                                decrypt_bodies=True)
+        cheater._ctr = owner.ctr
+        with pytest.raises(AuthenticationError):
+            cheater.search("flu")
+
+    def test_owner_unaffected(self, master_key, owner_deployment):
+        owner, server, _ = owner_deployment
+        delegate = self._delegate(master_key, server, owner.ctr)
+        delegate.matching_ids("flu")
+        result = owner.search("flu")
+        assert result.documents == [b"confidential record A",
+                                    b"confidential record B"]
+
+    def test_wrapper_requires_no_decrypt_client(self, master_key,
+                                                owner_deployment):
+        owner, _, _ = owner_deployment
+        with pytest.raises(ValueError):
+            SearchDelegate(owner)
+
+
+class TestScheme1MaskRefresh:
+    def test_refresh_changes_server_state_not_results(
+            self, master_key, elgamal_keypair, rng):
+        client, server, _ = make_scheme1(master_key, capacity=32,
+                                         keypair=elgamal_keypair, rng=rng)
+        client.store([Document(0, b"doc", frozenset({"k"}))])
+        tag = client._key.tag_for("k")
+        before_masked, before_fr = server.index.get(tag)
+        client.search("k")  # reveals r for this keyword
+
+        client.refresh_masks(["k"])
+        after_masked, after_fr = server.index.get(tag)
+        assert after_masked != before_masked  # fresh mask
+        assert after_fr != before_fr          # fresh nonce ciphertext
+        assert client.search("k").doc_ids == [0]  # contents unchanged
+
+    def test_refresh_of_unknown_keyword_creates_empty_entry(
+            self, master_key, elgamal_keypair, rng):
+        """Refreshing a never-stored keyword doubles as a §5.7 fake
+        update: the server gains an entry indistinguishable from a real
+        one, matching nothing."""
+        client, server, _ = make_scheme1(master_key, capacity=32,
+                                         keypair=elgamal_keypair, rng=rng)
+        client.store([Document(0, b"doc", frozenset({"k"}))])
+        client.refresh_masks(["ghost"])
+        assert server.unique_keywords == 2
+        assert client.search("ghost").doc_ids == []
+
+    def test_refresh_looks_like_an_update_on_the_wire(
+            self, master_key, elgamal_keypair, rng):
+        from repro.net.messages import MessageType
+
+        client, _, channel = make_scheme1(master_key, capacity=32,
+                                          keypair=elgamal_keypair, rng=rng)
+        client.store([Document(0, b"doc", frozenset({"k"}))])
+        channel.reset_stats()
+        client.refresh_masks(["k"])
+        types = [e.message.type for e in channel.transcript
+                 if e.direction == "client->server"]
+        assert types == [MessageType.S1_UPDATE_REQUEST,
+                         MessageType.S1_UPDATE_PATCH]

@@ -1,0 +1,60 @@
+"""Document model: normalization, keyword extraction, validation."""
+
+import pytest
+
+from repro.core.documents import Document, extract_keywords, normalize_keyword
+from repro.errors import ParameterError
+
+
+class TestNormalization:
+    def test_lowercases_and_strips(self):
+        assert normalize_keyword("  FeVeR ") == "fever"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            normalize_keyword("   ")
+
+    def test_document_normalizes_keywords(self):
+        doc = Document(0, b"x", frozenset({"Fever", "FLU"}))
+        assert doc.keywords == frozenset({"fever", "flu"})
+
+
+class TestExtraction:
+    def test_tokenizes(self):
+        assert extract_keywords("Fever and chills, ECG done") == {
+            "fever", "and", "chills", "ecg", "done"
+        }
+
+    def test_keeps_hyphens_and_digits(self):
+        assert "covid-19" in extract_keywords("suspected COVID-19 case")
+
+    def test_empty_text(self):
+        assert extract_keywords("") == set()
+
+
+class TestDocument:
+    def test_from_text(self):
+        doc = Document.from_text(3, "patient has fever",
+                                 extra_keywords={"cond:flu"})
+        assert doc.doc_id == 3
+        assert doc.data == b"patient has fever"
+        assert {"patient", "has", "fever", "cond:flu"} <= doc.keywords
+
+    def test_size(self):
+        assert Document(0, b"12345", frozenset()).size == 5
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ParameterError):
+            Document(-1, b"x", frozenset())
+
+    def test_non_bytes_data_rejected(self):
+        with pytest.raises(ParameterError):
+            Document(0, "text", frozenset())  # type: ignore[arg-type]
+
+    def test_empty_keyword_set_allowed(self):
+        assert Document(0, b"x").keywords == frozenset()
+
+    def test_frozen(self):
+        doc = Document(0, b"x", frozenset({"a"}))
+        with pytest.raises(AttributeError):
+            doc.doc_id = 1  # type: ignore[misc]

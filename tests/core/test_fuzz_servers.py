@@ -1,0 +1,89 @@
+"""Fuzzing the server message handlers.
+
+Whatever bytes arrive, a server must either answer or raise a library
+error (`ReproError`) — never an uncontrolled exception, never corrupted
+state.  Hypothesis drives both structured garbage (valid frames, wrong
+contents) and raw garbage (arbitrary byte strings through the
+deserializer).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Document, keygen, make_scheme1, make_scheme2
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ReproError
+from repro.net.messages import Message, MessageType
+
+
+def _scheme1(elgamal_keypair):
+    client, server, _ = make_scheme1(
+        keygen(rng=HmacDrbg(61)), capacity=32, keypair=elgamal_keypair,
+        rng=HmacDrbg(62),
+    )
+    client.store([Document(0, b"seed", frozenset({"k"}))])
+    return client, server
+
+
+def _scheme2():
+    client, server, _ = make_scheme2(keygen(rng=HmacDrbg(63)),
+                                     chain_length=16, rng=HmacDrbg(64))
+    client.store([Document(0, b"seed", frozenset({"k"}))])
+    return client, server
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(max_size=200))
+def test_deserializer_never_crashes(data):
+    """Raw bytes either parse to a Message or raise a library error."""
+    try:
+        message = Message.deserialize(data)
+    except ReproError:
+        return
+    # If it parsed, it must re-serialize to the same bytes.
+    assert message.serialize() == data
+
+
+# STORE_DOCUMENT / DELETE_DOCUMENT are excluded: a *well-formed* store of
+# garbage bytes legitimately overwrites a body (the server rightly trusts
+# its authenticated channel), which is mutation, not a crash.
+_FUZZ_TYPES = [t for t in MessageType
+               if t not in (MessageType.STORE_DOCUMENT,
+                            MessageType.DELETE_DOCUMENT)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sampled_from(_FUZZ_TYPES),
+    st.lists(st.binary(max_size=40), max_size=6),
+)
+def test_scheme1_handler_contains_garbage(elgamal_keypair, msg_type,
+                                          fields):
+    client, server = _scheme1(elgamal_keypair)
+    try:
+        reply = server.handle(Message(msg_type, tuple(fields)))
+        assert isinstance(reply, Message)
+    except ReproError:
+        pass
+    except Exception as exc:  # noqa: BLE001 - the assertion under test
+        pytest.fail(f"non-library exception escaped: {exc!r}")
+    # State must still serve honest queries.
+    assert client.search("k").doc_ids == [0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sampled_from(_FUZZ_TYPES),
+    st.lists(st.binary(max_size=40), max_size=6),
+)
+def test_scheme2_handler_contains_garbage(msg_type, fields):
+    client, server = _scheme2()
+    try:
+        reply = server.handle(Message(msg_type, tuple(fields)))
+        assert isinstance(reply, Message)
+    except ReproError:
+        pass
+    except Exception as exc:  # noqa: BLE001
+        pytest.fail(f"non-library exception escaped: {exc!r}")
+    assert client.search("k").doc_ids == [0]

@@ -1,0 +1,54 @@
+"""Master keys: Keygen sizes, tag determinism, role separation."""
+
+import pytest
+
+from repro.core.keys import TAG_SIZE, MasterKey, keygen
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ParameterError
+
+
+class TestKeygen:
+    def test_sizes(self):
+        key = keygen(32, rng=HmacDrbg(1))
+        assert len(key.k_m) == 32
+        assert len(key.k_w) == 32
+
+    def test_halves_independent(self):
+        key = keygen(rng=HmacDrbg(1))
+        assert key.k_m != key.k_w
+
+    def test_deterministic_under_seeded_rng(self):
+        assert keygen(rng=HmacDrbg(7)) == keygen(rng=HmacDrbg(7))
+
+    def test_security_parameter_floor(self):
+        with pytest.raises(ParameterError):
+            keygen(8)
+
+    def test_short_halves_rejected(self):
+        with pytest.raises(ParameterError):
+            MasterKey(k_m=b"short", k_w=b"k" * 32)
+
+
+class TestTags:
+    def test_deterministic(self):
+        key = keygen(rng=HmacDrbg(2))
+        assert key.tag_for("flu") == key.tag_for("flu")
+
+    def test_size(self):
+        key = keygen(rng=HmacDrbg(2))
+        assert len(key.tag_for("flu")) == TAG_SIZE
+
+    def test_distinct_keywords_distinct_tags(self):
+        key = keygen(rng=HmacDrbg(2))
+        tags = {key.tag_for(f"kw{i}") for i in range(500)}
+        assert len(tags) == 500
+
+    def test_distinct_keys_distinct_tags(self):
+        a = keygen(rng=HmacDrbg(3))
+        b = keygen(rng=HmacDrbg(4))
+        assert a.tag_for("flu") != b.tag_for("flu")
+
+    def test_role_prfs_are_separated(self):
+        key = keygen(rng=HmacDrbg(5))
+        assert (key.keyword_tag_prf().evaluate(b"x")
+                != key.keyword_seed_prf().evaluate(b"x"))

@@ -1,0 +1,90 @@
+"""Hiding |W_D|: decoy keyword entries at initial storage (§4.1/§5.7)."""
+
+import pytest
+
+from repro.core import Document, make_scheme1, make_scheme2
+
+
+@pytest.fixture()
+def documents():
+    return [
+        Document(0, b"a", frozenset({"x", "y"})),
+        Document(1, b"b", frozenset({"x"})),
+    ]
+
+
+class TestScheme1KeywordPadding:
+    def test_index_padded_to_target(self, master_key, elgamal_keypair, rng,
+                                    documents):
+        client, server, _ = make_scheme1(master_key, capacity=32,
+                                         keypair=elgamal_keypair, rng=rng)
+        client.store(documents, pad_keywords_to=10)
+        assert server.unique_keywords == 10  # |W_D| hidden: 2 real + 8 decoys
+
+    def test_searches_unaffected(self, master_key, elgamal_keypair, rng,
+                                 documents):
+        client, _, _ = make_scheme1(master_key, capacity=32,
+                                    keypair=elgamal_keypair, rng=rng)
+        client.store(documents, pad_keywords_to=10)
+        assert client.search("x").doc_ids == [0, 1]
+        assert client.search("y").doc_ids == [0]
+        assert client.search("absent").doc_ids == []
+
+    def test_target_below_real_count_is_noop(self, master_key,
+                                             elgamal_keypair, rng,
+                                             documents):
+        client, server, _ = make_scheme1(master_key, capacity=32,
+                                         keypair=elgamal_keypair, rng=rng)
+        client.store(documents, pad_keywords_to=1)
+        assert server.unique_keywords == 2
+
+    def test_decoys_indistinguishable_in_shape(self, master_key,
+                                               elgamal_keypair, rng,
+                                               documents):
+        client, server, _ = make_scheme1(master_key, capacity=32,
+                                         keypair=elgamal_keypair, rng=rng)
+        client.store(documents, pad_keywords_to=6)
+        widths = {
+            (len(tag), len(masked), len(fr))
+            for tag, (masked, fr) in server.index.items()
+        }
+        assert len(widths) == 1  # decoys and real entries share one shape
+
+    def test_updates_still_work_after_padding(self, master_key,
+                                              elgamal_keypair, rng,
+                                              documents):
+        client, _, _ = make_scheme1(master_key, capacity=32,
+                                    keypair=elgamal_keypair, rng=rng)
+        client.store(documents, pad_keywords_to=8)
+        client.add_documents([Document(5, b"c", frozenset({"x", "new"}))])
+        assert client.search("x").doc_ids == [0, 1, 5]
+        assert client.search("new").doc_ids == [5]
+
+
+class TestScheme2KeywordPadding:
+    def test_index_padded_to_target(self, master_key, rng, documents):
+        client, server, _ = make_scheme2(master_key, chain_length=32,
+                                         rng=rng)
+        client.store(documents, pad_keywords_to=10)
+        assert server.unique_keywords == 10
+
+    def test_searches_unaffected(self, master_key, rng, documents):
+        client, _, _ = make_scheme2(master_key, chain_length=32, rng=rng)
+        client.store(documents, pad_keywords_to=10)
+        assert client.search("x").doc_ids == [0, 1]
+        assert client.search("y").doc_ids == [0]
+        assert client.search("absent").doc_ids == []
+
+    def test_decoy_namespace_unreachable(self, master_key, rng, documents):
+        """User keywords are normalized non-NUL strings, so the decoy
+        namespace cannot collide with anything searchable."""
+        from repro.errors import ParameterError
+
+        client, _, _ = make_scheme2(master_key, chain_length=32, rng=rng)
+        client.store(documents, pad_keywords_to=5)
+        with pytest.raises(ParameterError):
+            # NUL-prefixed "keywords" normalize to something that still
+            # contains the prefix and never equals a decoy's derived tag
+            # under the epoch-scoped PRF; direct construction is blocked
+            # at the Document layer by normalization of empty-ish strings.
+            Document(9, b"x", frozenset({"   "}))

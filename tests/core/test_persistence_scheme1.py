@@ -1,0 +1,121 @@
+"""Durable Scheme 1: masked entries survive restarts; keypair round-trips."""
+
+import pytest
+
+from repro.core import Document
+from repro.core.persistence import PersistentScheme1Server
+from repro.core.scheme1 import Scheme1Client
+from repro.crypto.elgamal import ElGamalKeyPair
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ParameterError
+from repro.net.channel import Channel
+
+
+@pytest.fixture()
+def log_path(tmp_path):
+    return tmp_path / "s1-server.log"
+
+
+def _server(log_path, elgamal_keypair):
+    return PersistentScheme1Server(
+        log_path, capacity=32,
+        elgamal_modulus_bytes=elgamal_keypair.public.modulus_bytes,
+    )
+
+
+def _client(server, master_key, elgamal_keypair, seed):
+    return Scheme1Client(master_key, Channel(server), capacity=32,
+                         keypair=elgamal_keypair, rng=HmacDrbg(seed))
+
+
+class TestDurability:
+    def test_search_after_restart(self, log_path, master_key,
+                                  elgamal_keypair):
+        server = _server(log_path, elgamal_keypair)
+        client = _client(server, master_key, elgamal_keypair, 1)
+        client.store([
+            Document(0, b"first", frozenset({"k"})),
+            Document(1, b"second", frozenset({"k", "other"})),
+        ])
+
+        reopened = _server(log_path, elgamal_keypair)
+        client2 = _client(reopened, master_key, elgamal_keypair, 2)
+        result = client2.search("k")
+        assert result.doc_ids == [0, 1]
+        assert result.documents == [b"first", b"second"]
+        assert client2.search("other").doc_ids == [1]
+
+    def test_updates_persist(self, log_path, master_key, elgamal_keypair):
+        server = _server(log_path, elgamal_keypair)
+        client = _client(server, master_key, elgamal_keypair, 3)
+        client.store([Document(0, b"base", frozenset({"k"}))])
+        client.add_documents([Document(1, b"more", frozenset({"k"}))])
+
+        reopened = _server(log_path, elgamal_keypair)
+        client2 = _client(reopened, master_key, elgamal_keypair, 4)
+        assert client2.search("k").doc_ids == [0, 1]
+        # And further updates on the reopened server work.
+        client2.add_documents([Document(2, b"third", frozenset({"k"}))])
+        assert client2.search("k").doc_ids == [0, 1, 2]
+
+    def test_removal_persists(self, log_path, master_key, elgamal_keypair):
+        server = _server(log_path, elgamal_keypair)
+        client = _client(server, master_key, elgamal_keypair, 5)
+        doc = Document(0, b"gone", frozenset({"k"}))
+        client.store([doc, Document(1, b"stays", frozenset({"k"}))])
+        client.remove_documents([doc])
+
+        reopened = _server(log_path, elgamal_keypair)
+        client2 = _client(reopened, master_key, elgamal_keypair, 6)
+        assert client2.search("k").doc_ids == [1]
+
+    def test_compaction(self, log_path, master_key, elgamal_keypair):
+        import os
+
+        server = _server(log_path, elgamal_keypair)
+        client = _client(server, master_key, elgamal_keypair, 7)
+        client.store([Document(0, b"x", frozenset({"k"}))])
+        for i in range(1, 6):
+            client.add_documents([Document(i, b"y", frozenset({"k"}))])
+        before = os.path.getsize(log_path)
+        server.compact()
+        assert os.path.getsize(log_path) < before
+        reopened = _server(log_path, elgamal_keypair)
+        client2 = _client(reopened, master_key, elgamal_keypair, 8)
+        assert client2.search("k").doc_ids == list(range(6))
+
+    def test_on_disk_opacity(self, log_path, master_key, elgamal_keypair):
+        server = _server(log_path, elgamal_keypair)
+        client = _client(server, master_key, elgamal_keypair, 9)
+        client.store([Document(0, b"very secret body",
+                               frozenset({"classified-term"}))])
+        raw = log_path.read_bytes()
+        assert b"secret body" not in raw
+        assert b"classified" not in raw
+
+
+class TestKeypairSerialization:
+    def test_roundtrip(self, elgamal_keypair):
+        restored = ElGamalKeyPair.from_json(elgamal_keypair.to_json())
+        assert restored.x == elgamal_keypair.x
+        assert restored.public.y == elgamal_keypair.public.y
+        assert restored.public.group.p == elgamal_keypair.public.group.p
+
+    def test_restored_key_decrypts(self, elgamal_keypair):
+        rng = HmacDrbg(10)
+        restored = ElGamalKeyPair.from_json(elgamal_keypair.to_json())
+        nonce = rng.random_bytes(16)
+        ct = elgamal_keypair.public.encrypt_nonce(nonce, rng)
+        assert restored.decrypt_nonce(ct) == nonce
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ParameterError):
+            ElGamalKeyPair.from_json('{"format": "bogus"}')
+
+    def test_inconsistent_pair_rejected(self, elgamal_keypair):
+        import json
+
+        payload = json.loads(elgamal_keypair.to_json())
+        payload["y"] = hex(int(payload["y"], 16) ^ 1)
+        with pytest.raises(ParameterError):
+            ElGamalKeyPair.from_json(json.dumps(payload))

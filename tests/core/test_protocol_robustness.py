@@ -1,0 +1,139 @@
+"""Malformed-message handling: servers must reject, never corrupt state."""
+
+import pytest
+
+from repro.core import Document, make_scheme1, make_scheme2
+from repro.core.server import encode_doc_id
+from repro.errors import ProtocolError
+from repro.net.messages import Message, MessageType
+
+
+@pytest.fixture()
+def scheme1(master_key, elgamal_keypair, rng):
+    client, server, channel = make_scheme1(
+        master_key, capacity=32, keypair=elgamal_keypair, rng=rng
+    )
+    client.store([Document(0, b"a", frozenset({"k"}))])
+    return client, server
+
+
+@pytest.fixture()
+def scheme2(master_key, rng):
+    client, server, channel = make_scheme2(master_key, chain_length=32,
+                                           rng=rng)
+    client.store([Document(0, b"a", frozenset({"k"}))])
+    return client, server
+
+
+class TestScheme1Validation:
+    def test_store_entry_arity(self, scheme1):
+        _, server = scheme1
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.S1_STORE_ENTRY,
+                                  (b"tag", b"masked")))
+
+    def test_store_entry_wrong_widths(self, scheme1):
+        _, server = scheme1
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.S1_STORE_ENTRY,
+                                  (b"tag", b"short", b"fr" * 10)))
+
+    def test_patch_arity(self, scheme1):
+        _, server = scheme1
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.S1_UPDATE_PATCH, (b"x",)))
+
+    def test_search_request_arity(self, scheme1):
+        _, server = scheme1
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.S1_SEARCH_REQUEST,
+                                  (b"a", b"b")))
+
+    def test_reveal_for_unknown_tag(self, scheme1):
+        _, server = scheme1
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.S1_SEARCH_REVEAL,
+                                  (b"bogus-tag", b"nonce")))
+
+    def test_reveal_with_wrong_nonce_yields_garbage_not_crash(self, scheme1):
+        """A wrong nonce unmasks to a random bit array — the server cannot
+        tell, and must simply serve whatever ids come out (or skip deleted
+        ones).  No exception, no state corruption."""
+        client, server = scheme1
+        tag = client._key.tag_for("k")
+        reply = server.handle(Message(MessageType.S1_SEARCH_REVEAL,
+                                      (tag, b"wrong-nonce-bytes")))
+        assert reply.type == MessageType.DOCUMENTS_RESULT
+        # State intact: a well-formed search still works.
+        assert client.search("k").doc_ids == [0]
+
+    def test_state_unchanged_after_rejects(self, scheme1):
+        client, server = scheme1
+        before = server.unique_keywords
+        for message in (
+            Message(MessageType.S1_STORE_ENTRY, (b"a", b"b")),
+            Message(MessageType.S1_UPDATE_PATCH, (b"a",)),
+        ):
+            with pytest.raises(ProtocolError):
+                server.handle(message)
+        assert server.unique_keywords == before
+        assert client.search("k").doc_ids == [0]
+
+
+class TestScheme2Validation:
+    def test_store_entry_arity(self, scheme2):
+        _, server = scheme2
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.S2_STORE_ENTRY,
+                                  (b"tag", b"blob")))
+
+    def test_search_arity(self, scheme2):
+        _, server = scheme2
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.S2_SEARCH_REQUEST,
+                                  (b"tag",)))
+
+    def test_search_unknown_tag_empty(self, scheme2):
+        _, server = scheme2
+        reply = server.handle(Message(MessageType.S2_SEARCH_REQUEST,
+                                      (b"unknown", b"t" * 32)))
+        assert reply.type == MessageType.DOCUMENTS_RESULT
+        assert reply.fields == ()
+
+    def test_bogus_trapdoor_exhausts_walk_budget(self, scheme2):
+        """A garbage trapdoor can never match a verifier; the walk cap
+        turns an would-be infinite loop into a clean error."""
+        from repro.errors import ChainExhaustedError
+
+        client, server = scheme2
+        tag = client._tag_for("k")
+        with pytest.raises(ChainExhaustedError):
+            server.handle(Message(MessageType.S2_SEARCH_REQUEST,
+                                  (tag, b"z" * 32)))
+        # And the server still answers honest queries afterwards.
+        assert client.search("k").doc_ids == [0]
+
+    def test_cross_scheme_message_rejected(self, scheme2):
+        _, server = scheme2
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.S1_SEARCH_REQUEST, (b"t",)))
+
+
+class TestTamperedDocuments:
+    def test_client_detects_swapped_bodies(self, master_key, rng):
+        """A malicious server swapping ciphertexts is caught by the AEAD's
+        associated-data binding of body to document id."""
+        from repro.errors import AuthenticationError
+
+        client, server, _ = make_scheme2(master_key, chain_length=32,
+                                         rng=rng)
+        client.store([
+            Document(0, b"first", frozenset({"k"})),
+            Document(1, b"second", frozenset({"k"})),
+        ])
+        ct0 = server.documents.get(0)
+        ct1 = server.documents.get(1)
+        server.documents.put(0, ct1)
+        server.documents.put(1, ct0)
+        with pytest.raises(AuthenticationError):
+            client.search("k")

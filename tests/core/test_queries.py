@@ -1,0 +1,72 @@
+"""Boolean query composition over single-keyword SSE."""
+
+import pytest
+
+from repro.core import Document, make_scheme2, search_all, search_any
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def client(master_key, rng):
+    client, _, channel = make_scheme2(master_key, chain_length=64, rng=rng)
+    client.store([
+        Document(0, b"a", frozenset({"x", "y"})),
+        Document(1, b"b", frozenset({"x"})),
+        Document(2, b"c", frozenset({"y", "z"})),
+        Document(3, b"d", frozenset({"x", "y", "z"})),
+    ])
+    client._test_channel = channel  # for round accounting in tests
+    return client
+
+
+class TestConjunction:
+    def test_two_terms(self, client):
+        result = search_all(client, ["x", "y"])
+        assert result.doc_ids == [0, 3]
+        assert result.documents == [b"a", b"d"]
+        assert result.keyword == "x AND y"
+
+    def test_three_terms(self, client):
+        assert search_all(client, ["x", "y", "z"]).doc_ids == [3]
+
+    def test_single_term_degenerates(self, client):
+        assert search_all(client, ["x"]).doc_ids == [0, 1, 3]
+
+    def test_disjoint_terms_empty(self, client):
+        assert search_all(client, ["x", "missing"]).doc_ids == []
+
+    def test_early_exit_saves_rounds(self, client):
+        """Once the intersection is empty, remaining terms are not queried."""
+        channel = client._test_channel
+        channel.reset_stats()
+        search_all(client, ["missing", "x", "y", "z"])
+        assert channel.stats.rounds == 1  # stopped after the first term
+
+    def test_duplicate_terms_collapsed(self, client):
+        channel = client._test_channel
+        channel.reset_stats()
+        result = search_all(client, ["x", "x", "X"])
+        assert result.doc_ids == [0, 1, 3]
+        assert channel.stats.rounds == 1
+
+    def test_empty_query_rejected(self, client):
+        with pytest.raises(ParameterError):
+            search_all(client, [])
+
+
+class TestDisjunction:
+    def test_union(self, client):
+        result = search_any(client, ["x", "z"])
+        assert result.doc_ids == [0, 1, 2, 3]
+        assert result.keyword == "x OR z"
+
+    def test_bodies_deduplicated(self, client):
+        result = search_any(client, ["x", "y"])
+        assert result.doc_ids == [0, 1, 2, 3]
+        assert result.documents == [b"a", b"b", b"c", b"d"]
+
+    def test_unknown_terms_ignored(self, client):
+        assert search_any(client, ["missing", "z"]).doc_ids == [2, 3]
+
+    def test_all_unknown_empty(self, client):
+        assert search_any(client, ["nope", "nada"]).doc_ids == []

@@ -1,0 +1,104 @@
+"""Document removal: Scheme 1 XOR toggles, Scheme 2 tombstone segments."""
+
+import pytest
+
+from repro.core import Document, make_scheme1, make_scheme2
+
+
+@pytest.fixture()
+def documents():
+    return [
+        Document(0, b"a", frozenset({"x", "y"})),
+        Document(1, b"b", frozenset({"x"})),
+        Document(2, b"c", frozenset({"y", "z"})),
+    ]
+
+
+@pytest.fixture(params=["scheme1", "scheme2"])
+def deployment(request, master_key, elgamal_keypair, rng):
+    if request.param == "scheme1":
+        return make_scheme1(master_key, capacity=32,
+                            keypair=elgamal_keypair, rng=rng)
+    return make_scheme2(master_key, chain_length=64, rng=rng)
+
+
+class TestRemoval:
+    def test_removed_from_every_keyword(self, deployment, documents):
+        client, _, _ = deployment
+        client.store(documents)
+        client.remove_documents([documents[0]])
+        assert client.search("x").doc_ids == [1]
+        assert client.search("y").doc_ids == [2]
+
+    def test_body_deleted_from_server(self, deployment, documents):
+        client, server, _ = deployment
+        client.store(documents)
+        client.remove_documents([documents[1]])
+        assert not server.documents.contains(1)
+        assert server.documents.contains(0)
+
+    def test_remove_then_readd(self, deployment, documents):
+        client, _, _ = deployment
+        client.store(documents)
+        client.remove_documents([documents[0]])
+        client.add_documents([Document(0, b"a-v2", frozenset({"x"}))])
+        result = client.search("x")
+        assert result.doc_ids == [0, 1]
+        assert result.documents[0] == b"a-v2"
+
+    def test_remove_batch(self, deployment, documents):
+        client, _, _ = deployment
+        client.store(documents)
+        client.remove_documents([documents[0], documents[2]])
+        assert client.search("x").doc_ids == [1]
+        assert client.search("y").doc_ids == []
+        assert client.search("z").doc_ids == []
+
+    def test_remove_all_then_search_empty(self, deployment, documents):
+        client, _, _ = deployment
+        client.store(documents)
+        client.remove_documents(documents)
+        for keyword in ("x", "y", "z"):
+            result = client.search(keyword)
+            assert result.doc_ids == [] and result.documents == []
+
+
+class TestScheme2TombstoneOrdering:
+    def test_tombstone_applies_in_append_order(self, master_key, rng):
+        """remove(0) then add(0) must resurrect the id — order matters."""
+        client, _, _ = make_scheme2(master_key, chain_length=64,
+                                    lazy_counter=False, rng=rng)
+        doc = Document(0, b"v1", frozenset({"k"}))
+        client.store([doc])
+        client.remove_documents([doc])
+        client.add_documents([Document(0, b"v2", frozenset({"k"}))])
+        client.remove_documents([Document(0, b"v2", frozenset({"k"}))])
+        assert client.search("k").doc_ids == []
+        client.add_documents([Document(0, b"v3", frozenset({"k"}))])
+        result = client.search("k")
+        assert result.doc_ids == [0] and result.documents == [b"v3"]
+
+    def test_tombstone_with_cache(self, master_key, rng):
+        """Optimization 1 caching must interact correctly with removals."""
+        client, server, _ = make_scheme2(master_key, chain_length=64,
+                                         cache_plaintext=True, rng=rng)
+        client.store([Document(0, b"a", frozenset({"k"})),
+                      Document(1, b"b", frozenset({"k"}))])
+        assert client.search("k").doc_ids == [0, 1]  # populates the cache
+        client.remove_documents([Document(0, b"a", frozenset({"k"}))])
+        assert client.search("k").doc_ids == [1]
+        assert server.segments_decrypted_last_search == 1  # only tombstone
+
+
+class TestPartialRemovalTolerance:
+    def test_unpatched_keyword_skips_missing_body(self, deployment,
+                                                  documents):
+        """Removing with an incomplete keyword set leaves a dangling index
+        reference; search must skip (and count) it, not crash."""
+        client, server, _ = deployment
+        client.store(documents)
+        # Doc 0 really has {x, y} but the caller only patches x.
+        client.remove_documents([Document(0, b"a", frozenset({"x"}))])
+        result = client.search("y")
+        assert result.doc_ids == [2]
+        assert server.missing_documents_last_search == 1

@@ -1,0 +1,92 @@
+"""Server-side result padding: the frequency-attack countermeasure."""
+
+import pytest
+
+from repro.core import Document, make_scheme2
+from repro.errors import ParameterError
+from repro.security.attacks import FrequencyAttack, QueryObservation
+
+
+@pytest.fixture()
+def padded_deployment(master_key, rng):
+    client, server, channel = make_scheme2(
+        master_key, chain_length=64, pad_results_to=8, rng=rng
+    )
+    client.store([
+        Document(0, b"a", frozenset({"rare"})),
+        Document(1, b"b", frozenset({"common"})),
+        Document(2, b"c", frozenset({"common"})),
+        Document(3, b"d", frozenset({"common"})),
+    ])
+    return client, server, channel
+
+
+class TestPaddingSemantics:
+    def test_results_still_exact(self, padded_deployment):
+        client, _, _ = padded_deployment
+        assert client.search("rare").doc_ids == [0]
+        assert client.search("common").doc_ids == [1, 2, 3]
+        result = client.search("rare")
+        assert result.documents == [b"a"]
+
+    def test_wire_reply_is_constant_arity(self, padded_deployment):
+        client, _, channel = padded_deployment
+        sizes = set()
+        for keyword in ("rare", "common", "absent"):
+            channel.reset_stats()
+            client.search(keyword)
+            reply = [e for e in channel.transcript
+                     if e.direction == "server->client"][-1]
+            sizes.add(len(reply.message.fields) // 2)
+        assert sizes == {8}  # every reply carries exactly 8 entries
+
+    def test_unpadded_replies_vary(self, master_key, rng):
+        client, _, channel = make_scheme2(master_key, chain_length=64,
+                                          rng=rng)
+        client.store([
+            Document(0, b"a", frozenset({"rare"})),
+            Document(1, b"b", frozenset({"common"})),
+            Document(2, b"c", frozenset({"common"})),
+        ])
+        sizes = set()
+        for keyword in ("rare", "common"):
+            channel.reset_stats()
+            client.search(keyword)
+            reply = [e for e in channel.transcript
+                     if e.direction == "server->client"][-1]
+            sizes.add(len(reply.message.fields) // 2)
+        assert len(sizes) == 2  # counts leak without padding
+
+    def test_overfull_results_not_truncated(self, master_key, rng):
+        client, _, _ = make_scheme2(master_key, chain_length=64,
+                                    pad_results_to=2, rng=rng)
+        client.store([Document(i, b"x", frozenset({"k"}))
+                      for i in range(5)])
+        assert client.search("k").doc_ids == list(range(5))
+
+    def test_invalid_padding_target(self, master_key, rng):
+        with pytest.raises(ParameterError):
+            make_scheme2(master_key, pad_results_to=0, rng=rng)
+
+
+class TestCountermeasureEffect:
+    def test_frequency_attack_blinded(self, padded_deployment):
+        """With padded replies, the server-observable count is constant, so
+        the frequency adversary's guess is keyword-independent."""
+        client, _, channel = padded_deployment
+        attack = FrequencyAttack({"rare": 1, "common": 3, "other": 5})
+        observations = []
+        for keyword in ("rare", "common"):
+            channel.reset_stats()
+            client.search(keyword)
+            reply = [e for e in channel.transcript
+                     if e.direction == "server->client"][-1]
+            observed_ids = tuple(
+                int.from_bytes(reply.message.fields[i], "big")
+                for i in range(0, len(reply.message.fields), 2)
+            )
+            observations.append(QueryObservation(observed_ids))
+        counts = {obs.result_count for obs in observations}
+        assert counts == {8}
+        guesses = {attack.guess(obs) for obs in observations}
+        assert len(guesses) == 1  # same (useless) answer for both queries

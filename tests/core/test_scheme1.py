@@ -1,0 +1,213 @@
+"""Scheme 1: correctness, the two-round protocols, masking discipline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Document, keygen, make_scheme1
+from repro.core.scheme1 import group_keywords
+from repro.crypto.rng import HmacDrbg
+from repro.errors import CapacityError
+from repro.net.messages import MessageType
+
+
+@pytest.fixture()
+def deployment(master_key, elgamal_keypair, rng):
+    return make_scheme1(master_key, capacity=64, keypair=elgamal_keypair,
+                        rng=rng)
+
+
+class TestGroupKeywords:
+    def test_groups_and_sorts(self):
+        docs = [
+            Document(2, b"", frozenset({"a", "b"})),
+            Document(0, b"", frozenset({"a"})),
+        ]
+        assert group_keywords(docs) == {"a": [0, 2], "b": [2]}
+
+    def test_empty(self):
+        assert group_keywords([]) == {}
+
+
+class TestSearchCorrectness:
+    def test_basic(self, deployment, sample_documents, reference_search):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        for keyword in ("fever", "flu", "cough", "rash"):
+            result = client.search(keyword)
+            assert result.doc_ids == reference_search(sample_documents,
+                                                      keyword)
+
+    def test_documents_decrypt(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        result = client.search("flu")
+        by_id = {d.doc_id: d.data for d in sample_documents}
+        assert result.documents == [by_id[i] for i in result.doc_ids]
+
+    def test_unknown_keyword_empty(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        result = client.search("never-indexed")
+        assert result.doc_ids == [] and result.documents == []
+
+    def test_repeated_searches_stable(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        first = client.search("flu").doc_ids
+        assert client.search("flu").doc_ids == first
+        assert client.search("flu").doc_ids == first
+
+
+class TestUpdates:
+    def test_add_new_document(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        client.add_documents([Document(10, b"new", frozenset({"flu"}))])
+        assert client.search("flu").doc_ids == [0, 1, 4, 10]
+
+    def test_add_new_keyword(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        client.add_documents([Document(11, b"n", frozenset({"sepsis"}))])
+        assert client.search("sepsis").doc_ids == [11]
+
+    def test_xor_toggle_removes(self, deployment, sample_documents):
+        client, _, _ = deployment
+        client.store(sample_documents)
+        # Doc 1 already has "flu": updating it again toggles the bit off.
+        client.add_documents([Document(1, b"beta record",
+                                       frozenset({"flu"}))])
+        assert client.search("flu").doc_ids == [0, 4]
+
+    def test_many_sequential_updates(self, deployment):
+        client, _, _ = deployment
+        client.store([Document(0, b"base", frozenset({"k"}))])
+        for i in range(1, 12):
+            client.add_documents([Document(i, b"d%d" % i,
+                                           frozenset({"k"}))])
+        assert client.search("k").doc_ids == list(range(12))
+
+    def test_update_before_store(self, deployment):
+        # add_documents on an empty server creates fresh entries.
+        client, _, _ = deployment
+        client.add_documents([Document(0, b"first", frozenset({"solo"}))])
+        assert client.search("solo").doc_ids == [0]
+
+    def test_documents_without_keywords(self, deployment):
+        client, _, _ = deployment
+        client.add_documents([Document(0, b"opaque blob")])
+        assert client.search("anything").doc_ids == []
+
+    def test_capacity_enforced(self, deployment):
+        client, _, _ = deployment
+        with pytest.raises(CapacityError):
+            client.store([Document(64, b"x", frozenset({"k"}))])
+        with pytest.raises(CapacityError):
+            client.add_documents([Document(999, b"x", frozenset({"k"}))])
+
+
+class TestProtocolShape:
+    def _metadata_rounds(self, channel, types):
+        return sum(
+            1 for e in channel.transcript
+            if e.direction == "client->server" and e.message.type in types
+        )
+
+    def test_search_is_two_rounds(self, deployment, sample_documents):
+        client, _, channel = deployment
+        client.store(sample_documents)
+        channel.reset_stats()
+        client.search("flu")
+        assert channel.stats.rounds == 2
+        types = [e.message.type for e in channel.transcript
+                 if e.direction == "client->server"]
+        assert types == [MessageType.S1_SEARCH_REQUEST,
+                         MessageType.S1_SEARCH_REVEAL]
+
+    def test_metadata_update_is_two_rounds(self, deployment,
+                                           sample_documents):
+        client, _, channel = deployment
+        client.store(sample_documents)
+        channel.reset_stats()
+        client.add_documents([Document(9, b"x", frozenset({"flu"}))])
+        metadata_rounds = self._metadata_rounds(
+            channel,
+            {MessageType.S1_UPDATE_REQUEST, MessageType.S1_UPDATE_PATCH},
+        )
+        assert metadata_rounds == 2
+
+    def test_update_bandwidth_is_capacity_bound(self, master_key,
+                                                elgamal_keypair, rng):
+        """The §5.4 criticism: patch width tracks capacity, not delta size."""
+        sizes = {}
+        for capacity in (64, 512):
+            client, _, channel = make_scheme1(
+                master_key, capacity=capacity, keypair=elgamal_keypair,
+                rng=rng,
+            )
+            client.store([Document(0, b"x", frozenset({"k"}))])
+            channel.reset_stats()
+            client.add_documents([Document(1, b"y", frozenset({"k"}))])
+            patches = [
+                e for e in channel.transcript
+                if e.message.type == MessageType.S1_UPDATE_PATCH
+            ]
+            sizes[capacity] = patches[0].size
+        assert sizes[512] - sizes[64] >= (512 - 64) // 8
+
+
+class TestServerBlindness:
+    def test_index_is_masked(self, deployment, sample_documents):
+        """The stored B component must not equal the plaintext bit array."""
+        from repro.ds.bitset import BitsetIndex
+
+        client, server, _ = deployment
+        client.store(sample_documents)
+        grouped = group_keywords(sample_documents)
+        for keyword, ids in grouped.items():
+            plain = BitsetIndex(64, ids).to_bytes()
+            tag = client._key.tag_for(keyword)
+            masked, _ = server.index.get(tag)
+            assert masked != plain
+
+    def test_update_patch_differs_from_plain_delta(self, deployment,
+                                                   sample_documents):
+        from repro.ds.bitset import BitsetIndex
+
+        client, _, channel = deployment
+        client.store(sample_documents)
+        channel.reset_stats()
+        client.add_documents([Document(20, b"x", frozenset({"flu"}))])
+        patch_msgs = [
+            e for e in channel.transcript
+            if e.message.type == MessageType.S1_UPDATE_PATCH
+        ]
+        patch = patch_msgs[0].message.fields[1]
+        plain_delta = BitsetIndex(64, [20]).to_bytes()
+        assert patch != plain_delta
+
+    def test_tags_reveal_nothing_textual(self, deployment):
+        client, server, _ = deployment
+        client.store([Document(0, b"x", frozenset({"sensitive-term"}))])
+        for tag in server.index.keys():
+            assert b"sensitive" not in tag
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(
+    st.sets(st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1),
+    min_size=1, max_size=8,
+))
+def test_random_collections_property(elgamal_keypair, keyword_sets):
+    """Search returns exactly {i : w ∈ W_i} on arbitrary collections."""
+    docs = [
+        Document(i, b"doc-%d" % i, frozenset(kws))
+        for i, kws in enumerate(keyword_sets)
+    ]
+    client, _, _ = make_scheme1(keygen(rng=HmacDrbg(98)), capacity=16,
+                                keypair=elgamal_keypair, rng=HmacDrbg(99))
+    client.store(docs)
+    for keyword in "abcde":
+        expected = sorted(d.doc_id for d in docs if keyword in d.keywords)
+        assert client.search(keyword).doc_ids == expected

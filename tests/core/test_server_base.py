@@ -1,0 +1,79 @@
+"""BaseSseServer: document handling, deletes, dispatch, instrumentation."""
+
+import pytest
+
+from repro.core.server import BaseSseServer, decode_doc_id, encode_doc_id
+from repro.errors import ProtocolError
+from repro.net.messages import Message, MessageType
+
+
+class MinimalServer(BaseSseServer):
+    """Concrete subclass that adds no scheme messages."""
+
+
+@pytest.fixture()
+def server():
+    return MinimalServer()
+
+
+class TestDocIdCodec:
+    def test_roundtrip(self):
+        for doc_id in (0, 1, 255, 2**32, 2**63):
+            assert decode_doc_id(encode_doc_id(doc_id)) == doc_id
+
+    def test_width_enforced(self):
+        with pytest.raises(ProtocolError):
+            decode_doc_id(b"\x00" * 7)
+
+
+class TestStoreDocument:
+    def test_batched_pairs(self, server):
+        reply = server.handle(Message(MessageType.STORE_DOCUMENT, (
+            encode_doc_id(1), b"ct1", encode_doc_id(2), b"ct2",
+        )))
+        assert reply.type == MessageType.ACK
+        assert server.documents.get(1) == b"ct1"
+        assert server.documents.get(2) == b"ct2"
+
+    def test_odd_fields_rejected(self, server):
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.STORE_DOCUMENT,
+                                  (encode_doc_id(1),)))
+
+
+class TestDeleteDocument:
+    def test_deletes_bodies_only(self, server):
+        server.handle(Message(MessageType.STORE_DOCUMENT,
+                              (encode_doc_id(1), b"ct")))
+        server.index.insert(b"tag", "entry")  # index untouched by delete
+        reply = server.handle(Message(MessageType.DELETE_DOCUMENT,
+                                      (encode_doc_id(1),)))
+        assert reply.type == MessageType.ACK
+        assert not server.documents.contains(1)
+        assert server.index.get(b"tag") == "entry"
+
+    def test_delete_missing_is_noop(self, server):
+        reply = server.handle(Message(MessageType.DELETE_DOCUMENT,
+                                      (encode_doc_id(9),)))
+        assert reply.type == MessageType.ACK
+
+
+class TestDispatch:
+    def test_unknown_message_rejected(self, server):
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.SWP_SEARCH_REQUEST,
+                                  (b"x", b"y")))
+
+    def test_unique_keywords_tracks_index(self, server):
+        assert server.unique_keywords == 0
+        server.index.insert(b"t1", 1)
+        server.index.insert(b"t2", 2)
+        assert server.unique_keywords == 2
+
+
+class TestDocumentsResult:
+    def test_skips_missing_and_counts(self, server):
+        server.documents.put(1, b"ct1")
+        message = server._documents_result([0, 1, 2])
+        assert message.fields == (encode_doc_id(1), b"ct1")
+        assert server.missing_documents_last_search == 2

@@ -1,0 +1,218 @@
+"""Stateful property tests: random op sequences vs a plaintext model.
+
+A hypothesis ``RuleBasedStateMachine`` drives a live Scheme 2 deployment
+with arbitrary interleavings of add / remove / fake-update / search and
+checks every search against a dict-of-sets model.  This is the strongest
+correctness net in the suite: it explores interleavings (remove-then-readd
+under a lazy counter, fake updates between searches, cache interactions)
+that example-based tests never enumerate.
+
+A second machine does the same for the LogKvStore against a dict, with
+reopen-from-disk as one of the rules.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+from hypothesis import strategies as st
+
+from repro.core import Document, keygen, make_scheme2
+from repro.crypto.rng import HmacDrbg
+from repro.storage.kvstore import LogKvStore
+
+_KEYWORDS = ["alpha", "beta", "gamma", "delta"]
+
+
+class Scheme2Machine(RuleBasedStateMachine):
+    """Random walks over the Scheme 2 client API vs an exact model."""
+
+    def __init__(self):
+        super().__init__()
+        self.client, self.server, _ = make_scheme2(
+            keygen(rng=HmacDrbg(4242)), chain_length=512,
+            rng=HmacDrbg(2424),
+        )
+        self.model: dict[str, set[int]] = {k: set() for k in _KEYWORDS}
+        self.bodies: dict[int, bytes] = {}
+        self.next_id = 0
+
+    @rule(keyword_mask=st.integers(min_value=1, max_value=15))
+    def add_document(self, keyword_mask):
+        keywords = frozenset(
+            kw for i, kw in enumerate(_KEYWORDS) if keyword_mask & (1 << i)
+        )
+        doc_id = self.next_id
+        self.next_id += 1
+        body = b"body-%d" % doc_id
+        self.client.add_documents([Document(doc_id, body, keywords)])
+        for kw in keywords:
+            self.model[kw].add(doc_id)
+        self.bodies[doc_id] = body
+
+    @rule(which=st.integers(min_value=0, max_value=10 ** 6))
+    def remove_document(self, which):
+        if not self.bodies:
+            return
+        doc_id = sorted(self.bodies)[which % len(self.bodies)]
+        keywords = frozenset(
+            kw for kw, ids in self.model.items() if doc_id in ids
+        )
+        self.client.remove_documents(
+            [Document(doc_id, b"", keywords)]
+        )
+        for kw in keywords:
+            self.model[kw].discard(doc_id)
+        del self.bodies[doc_id]
+
+    @rule(keyword_mask=st.integers(min_value=1, max_value=15))
+    def fake_update(self, keyword_mask):
+        keywords = [
+            kw for i, kw in enumerate(_KEYWORDS) if keyword_mask & (1 << i)
+        ]
+        self.client.fake_update(keywords)
+
+    @rule(index=st.integers(min_value=0, max_value=3))
+    def search_matches_model(self, index):
+        keyword = _KEYWORDS[index]
+        result = self.client.search(keyword)
+        assert result.doc_ids == sorted(self.model[keyword])
+        assert result.documents == [
+            self.bodies[i] for i in result.doc_ids
+        ]
+
+    @invariant()
+    def counter_within_chain(self):
+        assert 0 <= self.client.ctr <= self.client.chain_length
+
+
+TestScheme2Stateful = Scheme2Machine.TestCase
+TestScheme2Stateful.settings = settings(
+    max_examples=12, stateful_step_count=12, deadline=None,
+)
+
+
+class Scheme1Machine(RuleBasedStateMachine):
+    """Random walks over Scheme 1 vs a model with XOR-toggle semantics.
+
+    Scheme 1's update is a symmetric difference on each keyword's id set;
+    the model mirrors that exactly, so this machine also documents the
+    toggle behaviour (re-adding an association removes it).
+    """
+
+    _keypair = None
+
+    @classmethod
+    def _shared_keypair(cls):
+        if cls._keypair is None:
+            from repro.crypto.elgamal import generate_keypair
+
+            cls._keypair = generate_keypair(bits=256, rng=HmacDrbg(0x51A))
+        return cls._keypair
+
+    def __init__(self):
+        super().__init__()
+        from repro.core import make_scheme1
+
+        self.client, self.server, _ = make_scheme1(
+            keygen(rng=HmacDrbg(0x51B)), capacity=64,
+            keypair=self._shared_keypair(), rng=HmacDrbg(0x51C),
+        )
+        self.model: dict[str, set[int]] = {k: set() for k in _KEYWORDS}
+        self.bodies: dict[int, bytes] = {}
+        self.next_id = 0
+
+    @rule(keyword_mask=st.integers(min_value=1, max_value=15))
+    def add_document(self, keyword_mask):
+        if self.next_id >= 64:
+            return  # capacity-bound index
+        keywords = frozenset(
+            kw for i, kw in enumerate(_KEYWORDS) if keyword_mask & (1 << i)
+        )
+        doc_id = self.next_id
+        self.next_id += 1
+        body = b"s1-body-%d" % doc_id
+        self.client.add_documents([Document(doc_id, body, keywords)])
+        for kw in keywords:
+            self.model[kw].symmetric_difference_update({doc_id})
+        self.bodies[doc_id] = body
+
+    @rule(which=st.integers(min_value=0, max_value=10 ** 6),
+          keyword_mask=st.integers(min_value=1, max_value=15))
+    def toggle_existing(self, which, keyword_mask):
+        """Re-update an existing document: XOR semantics flip membership."""
+        if not self.bodies:
+            return
+        doc_id = sorted(self.bodies)[which % len(self.bodies)]
+        keywords = frozenset(
+            kw for i, kw in enumerate(_KEYWORDS) if keyword_mask & (1 << i)
+        )
+        self.client.add_documents(
+            [Document(doc_id, self.bodies[doc_id], keywords)]
+        )
+        for kw in keywords:
+            self.model[kw].symmetric_difference_update({doc_id})
+
+    @rule(index=st.integers(min_value=0, max_value=3))
+    def search_matches_model(self, index):
+        keyword = _KEYWORDS[index]
+        result = self.client.search(keyword)
+        assert result.doc_ids == sorted(self.model[keyword])
+
+
+TestScheme1Stateful = Scheme1Machine.TestCase
+TestScheme1Stateful.settings = settings(
+    max_examples=8, stateful_step_count=10, deadline=None,
+)
+
+
+class LogKvMachine(RuleBasedStateMachine):
+    """LogKvStore vs dict, with crash-free reopen as a rule."""
+
+    def __init__(self):
+        super().__init__()
+        import tempfile
+
+        self.dir = tempfile.mkdtemp(prefix="repro-kv-")
+        self.path = f"{self.dir}/kv.log"
+        self.store = LogKvStore(self.path)
+        self.model: dict[bytes, bytes] = {}
+        self.counter = 0
+
+    @rule(key=st.binary(min_size=1, max_size=6),
+          value=st.binary(max_size=20))
+    def put(self, key, value):
+        self.store.put(key, value)
+        self.model[key] = value
+
+    @rule(key=st.binary(min_size=1, max_size=6))
+    def delete(self, key):
+        assert self.store.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=st.binary(min_size=1, max_size=6))
+    def get(self, key):
+        assert self.store.get(key) == self.model.get(key)
+
+    @rule()
+    def reopen(self):
+        self.store = LogKvStore(self.path)
+
+    @rule()
+    def compact(self):
+        self.store.compact()
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.store) == len(self.model)
+
+    def teardown(self):
+        import shutil
+
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+
+TestLogKvStateful = LogKvMachine.TestCase
+TestLogKvStateful.settings = settings(
+    max_examples=20, stateful_step_count=20, deadline=None,
+)

@@ -1,0 +1,134 @@
+"""HardenedUpdater: batching, padding, flush-on-search semantics."""
+
+import pytest
+
+from repro.core import Document, HardenedUpdater, make_scheme1, make_scheme2
+from repro.errors import ParameterError
+from repro.net.messages import MessageType
+from repro.security.leakage import keyword_count_leak_bits, observe_updates
+
+_UNIVERSE = ["u1", "u2", "u3", "u4"]
+
+
+@pytest.fixture()
+def deployment(master_key, rng):
+    return make_scheme2(master_key, chain_length=128, rng=rng)
+
+
+class TestBatching:
+    def test_queue_until_threshold(self, deployment):
+        client, _, channel = deployment
+        updater = HardenedUpdater(client, batch_size=3)
+        channel.reset_stats()
+        updater.add_document(Document(0, b"a", frozenset({"k"})))
+        updater.add_document(Document(1, b"b", frozenset({"k"})))
+        assert updater.pending == 2
+        assert channel.stats.rounds == 0  # nothing sent yet
+        updater.add_document(Document(2, b"c", frozenset({"k"})))
+        assert updater.pending == 0
+        assert updater.flushes == 1
+        assert channel.stats.rounds > 0
+
+    def test_explicit_flush(self, deployment):
+        client, _, _ = deployment
+        updater = HardenedUpdater(client, batch_size=100)
+        updater.add_document(Document(0, b"a", frozenset({"k"})))
+        assert updater.flush() == 1
+        assert updater.flush() == 0  # idempotent when empty
+
+    def test_search_flushes_first(self, deployment):
+        client, _, _ = deployment
+        updater = HardenedUpdater(client, batch_size=100)
+        updater.add_document(Document(0, b"a", frozenset({"k"})))
+        result = updater.search("k")
+        assert result.doc_ids == [0]  # never stale
+        assert updater.pending == 0
+
+    def test_batch_is_one_update_message(self, deployment):
+        """Batched documents produce ONE metadata message (the §5.7 point)."""
+        client, _, channel = deployment
+        updater = HardenedUpdater(client, batch_size=4)
+        channel.reset_stats()
+        updater.add_documents([
+            Document(i, b"x", frozenset({f"k{i}"})) for i in range(4)
+        ])
+        metadata = [e for e in channel.transcript
+                    if e.message.type == MessageType.S2_STORE_ENTRY]
+        assert len(metadata) == 1
+        assert len(metadata[0].message.fields) == 3 * 4  # 4 keyword triples
+
+    def test_invalid_batch_size(self, deployment):
+        client, _, _ = deployment
+        with pytest.raises(ParameterError):
+            HardenedUpdater(client, batch_size=0)
+
+
+class TestPadding:
+    def test_every_flush_covers_universe(self, deployment):
+        client, _, channel = deployment
+        updater = HardenedUpdater(client, batch_size=1,
+                                  keyword_universe=_UNIVERSE)
+        channel.reset_stats()
+        updater.add_document(Document(0, b"a", frozenset({"u1"})))
+        updater.add_document(Document(1, b"b", frozenset({"u2", "u3"})))
+        observations = observe_updates(channel.transcript)
+        # real + fake per flush → merge pairs; each round must show a
+        # constant keyword count (the whole universe).
+        counts = [
+            observations[i].keyword_count + observations[i + 1].keyword_count
+            for i in range(0, len(observations), 2)
+        ]
+        assert counts == [len(_UNIVERSE)] * 2
+        assert keyword_count_leak_bits(counts) == 0.0
+        assert updater.fake_updates_sent == 2
+
+    def test_full_universe_batch_needs_no_fake(self, deployment):
+        client, _, _ = deployment
+        updater = HardenedUpdater(client, batch_size=1,
+                                  keyword_universe=_UNIVERSE)
+        updater.add_document(Document(0, b"a", frozenset(_UNIVERSE)))
+        assert updater.fake_updates_sent == 0
+
+    def test_keywords_outside_universe_rejected(self, deployment):
+        client, _, _ = deployment
+        updater = HardenedUpdater(client, batch_size=2,
+                                  keyword_universe=_UNIVERSE)
+        with pytest.raises(ParameterError):
+            updater.add_document(Document(0, b"a", frozenset({"rogue"})))
+
+    def test_padding_requires_scheme2(self, master_key, elgamal_keypair,
+                                      rng):
+        client, _, _ = make_scheme1(master_key, capacity=32,
+                                    keypair=elgamal_keypair, rng=rng)
+        with pytest.raises(ParameterError):
+            HardenedUpdater(client, keyword_universe=_UNIVERSE)
+
+    def test_scheme1_without_padding_allowed(self, master_key,
+                                             elgamal_keypair, rng):
+        client, _, _ = make_scheme1(master_key, capacity=32,
+                                    keypair=elgamal_keypair, rng=rng)
+        updater = HardenedUpdater(client, batch_size=2)
+        updater.add_document(Document(0, b"a", frozenset({"k"})))
+        assert updater.search("k").doc_ids == [0]
+
+
+class TestCorrectnessUnderPolicies:
+    def test_results_match_unbatched(self, master_key, rng):
+        from repro.crypto.rng import HmacDrbg
+
+        batched_client, _, _ = make_scheme2(master_key, chain_length=128,
+                                            rng=rng)
+        plain_client, _, _ = make_scheme2(master_key, chain_length=128,
+                                          rng=HmacDrbg(123))
+        updater = HardenedUpdater(batched_client, batch_size=3,
+                                  keyword_universe=["a", "b", "c"])
+        docs = [
+            Document(i, b"doc%d" % i,
+                     frozenset({["a", "b", "c"][i % 3]}))
+            for i in range(7)
+        ]
+        updater.add_documents(docs)
+        plain_client.store(docs)
+        for keyword in ("a", "b", "c"):
+            assert (updater.search(keyword).doc_ids
+                    == plain_client.search(keyword).doc_ids)

@@ -1,0 +1,93 @@
+"""AES against FIPS-197 / SP 800-38A vectors and permutation properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.errors import ParameterError
+
+# FIPS-197 Appendix C: same plaintext under the three key sizes.
+_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS197 = [
+    ("000102030405060708090a0b0c0d0e0f",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ("000102030405060708090a0b0c0d0e0f1011121314151617",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    ("000102030405060708090a0b0c0d0e0f"
+     "101112131415161718191a1b1c1d1e1f",
+     "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+# SP 800-38A F.1.1: AES-128 ECB, four blocks.
+_NIST_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+NIST_ECB = [
+    ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+    ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+    ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+    ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+]
+
+
+@pytest.mark.parametrize("key_hex,ct_hex", FIPS197)
+def test_fips197_encrypt(key_hex, ct_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(_PT).hex() == ct_hex
+
+
+@pytest.mark.parametrize("key_hex,ct_hex", FIPS197)
+def test_fips197_decrypt(key_hex, ct_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.decrypt_block(bytes.fromhex(ct_hex)) == _PT
+
+
+@pytest.mark.parametrize("pt_hex,ct_hex", NIST_ECB)
+def test_sp800_38a_blocks(pt_hex, ct_hex):
+    cipher = AES(_NIST_KEY)
+    assert cipher.encrypt_block(bytes.fromhex(pt_hex)).hex() == ct_hex
+
+
+@pytest.mark.parametrize("key_len,rounds", [(16, 10), (24, 12), (32, 14)])
+def test_round_counts(key_len, rounds):
+    assert AES(b"\x00" * key_len).rounds == rounds
+
+
+@pytest.mark.parametrize("bad_len", [0, 1, 15, 17, 20, 31, 33])
+def test_invalid_key_sizes(bad_len):
+    with pytest.raises(ParameterError):
+        AES(b"\x00" * bad_len)
+
+
+def test_invalid_block_sizes():
+    cipher = AES(b"\x00" * 16)
+    for n in (0, 15, 17):
+        with pytest.raises(ParameterError):
+            cipher.encrypt_block(b"\x00" * n)
+        with pytest.raises(ParameterError):
+            cipher.decrypt_block(b"\x00" * n)
+
+
+def test_is_a_permutation_on_distinct_blocks():
+    cipher = AES(b"\x07" * 16)
+    blocks = [i.to_bytes(BLOCK_SIZE, "big") for i in range(64)]
+    images = [cipher.encrypt_block(b) for b in blocks]
+    assert len(set(images)) == len(images)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+def test_roundtrip_property(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_key_avalanche():
+    # Flipping one key bit changes about half the ciphertext bits.
+    key = bytearray(16)
+    base = AES(bytes(key)).encrypt_block(_PT)
+    key[0] ^= 1
+    flipped = AES(bytes(key)).encrypt_block(_PT)
+    differing = sum(
+        bin(a ^ b).count("1") for a, b in zip(base, flipped)
+    )
+    assert 32 <= differing <= 96

@@ -1,0 +1,72 @@
+"""FastAES must agree with the reference implementation everywhere."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.aes_fast import FastAES
+from repro.errors import ParameterError
+
+
+def test_fips197_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert FastAES(key).encrypt_block(pt).hex() == \
+        "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_matches_reference_all_key_sizes(key_len):
+    key = bytes(range(key_len))
+    fast = FastAES(key)
+    reference = AES(key)
+    for i in range(32):
+        block = bytes([(i * 17 + j) % 256 for j in range(16)])
+        assert fast.encrypt_block(block) == reference.encrypt_block(block)
+
+
+def test_decrypt_roundtrip():
+    cipher = FastAES(b"\x2a" * 16)
+    block = bytes(range(16))
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_block_size_enforced():
+    with pytest.raises(ParameterError):
+        FastAES(b"\x00" * 16).encrypt_block(b"short")
+
+
+def test_rounds_property():
+    assert FastAES(b"\x00" * 16).rounds == 10
+    assert FastAES(b"\x00" * 32).rounds == 14
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=16, max_size=16),
+       st.binary(min_size=16, max_size=16))
+def test_equivalence_property(key, block):
+    assert (FastAES(key).encrypt_block(block)
+            == AES(key).encrypt_block(block))
+
+
+def test_is_actually_faster():
+    import time
+
+    key = b"\x07" * 16
+    fast = FastAES(key)
+    slow = AES(key)
+    block = bytes(16)
+    n = 300
+
+    start = time.perf_counter()
+    for _ in range(n):
+        fast.encrypt_block(block)
+    fast_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(n):
+        slow.encrypt_block(block)
+    slow_time = time.perf_counter() - start
+
+    assert fast_time < slow_time  # the tables must pay for themselves

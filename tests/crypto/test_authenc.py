@@ -1,0 +1,85 @@
+"""Authenticated encryption: roundtrips, tamper detection, AD binding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.authenc import (NONCE_SIZE, OVERHEAD, TAG_SIZE,
+                                  AuthenticatedCipher)
+from repro.crypto.rng import HmacDrbg
+from repro.errors import AuthenticationError, ParameterError
+
+
+@pytest.fixture()
+def cipher():
+    return AuthenticatedCipher(b"K" * 32, rng=HmacDrbg(1))
+
+
+def test_roundtrip(cipher):
+    pt = b"medical record body"
+    assert cipher.decrypt(cipher.encrypt(pt)) == pt
+
+
+def test_empty_plaintext(cipher):
+    assert cipher.decrypt(cipher.encrypt(b"")) == b""
+
+
+def test_ciphertext_length_accounting(cipher):
+    pt = b"x" * 123
+    ct = cipher.encrypt(pt)
+    assert len(ct) == cipher.ciphertext_length(len(pt)) == 123 + OVERHEAD
+
+
+def test_nonces_randomize_ciphertexts(cipher):
+    a = cipher.encrypt(b"same")
+    b = cipher.encrypt(b"same")
+    assert a != b
+    assert cipher.decrypt(a) == cipher.decrypt(b) == b"same"
+
+
+@pytest.mark.parametrize("position", [0, NONCE_SIZE, -TAG_SIZE, -1])
+def test_tampering_detected_everywhere(cipher, position):
+    ct = bytearray(cipher.encrypt(b"integrity matters"))
+    ct[position] ^= 0x01
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(bytes(ct))
+
+
+def test_truncated_ciphertext_rejected(cipher):
+    ct = cipher.encrypt(b"data")
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(ct[:OVERHEAD - 1])
+
+
+def test_associated_data_binds(cipher):
+    ct = cipher.encrypt(b"payload", associated_data=b"doc:1")
+    assert cipher.decrypt(ct, associated_data=b"doc:1") == b"payload"
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(ct, associated_data=b"doc:2")
+    with pytest.raises(AuthenticationError):
+        cipher.decrypt(ct)
+
+
+def test_wrong_key_rejected():
+    a = AuthenticatedCipher(b"A" * 32, rng=HmacDrbg(2))
+    b = AuthenticatedCipher(b"B" * 32, rng=HmacDrbg(3))
+    with pytest.raises(AuthenticationError):
+        b.decrypt(a.encrypt(b"secret"))
+
+
+def test_short_key_rejected():
+    with pytest.raises(ParameterError):
+        AuthenticatedCipher(b"short")
+
+
+def test_negative_length_rejected(cipher):
+    with pytest.raises(ParameterError):
+        cipher.ciphertext_length(-1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=300), st.binary(max_size=50))
+def test_roundtrip_property(plaintext, ad):
+    cipher = AuthenticatedCipher(b"P" * 32, rng=HmacDrbg(4))
+    ct = cipher.encrypt(plaintext, associated_data=ad)
+    assert cipher.decrypt(ct, associated_data=ad) == plaintext

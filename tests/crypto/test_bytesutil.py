@@ -1,0 +1,107 @@
+"""Byte helpers: XOR algebra, constant-time compare, conversions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.bytesutil import (bytes_to_int, chunks, ct_equal,
+                                    int_to_bytes, pad_to_length, rotl32,
+                                    rotr32, shr32, xor_bytes)
+from repro.errors import ParameterError
+
+
+class TestXor:
+    def test_basic(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_identity_and_self_inverse(self):
+        data = bytes(range(32))
+        zero = bytes(32)
+        assert xor_bytes(data, zero) == data
+        assert xor_bytes(data, data) == zero
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            xor_bytes(b"ab", b"abc")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_commutative(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert xor_bytes(a, b) == xor_bytes(b, a)
+
+
+class TestCtEqual:
+    def test_equal(self):
+        assert ct_equal(b"same", b"same")
+
+    def test_unequal_same_length(self):
+        assert not ct_equal(b"same", b"sane")
+
+    def test_unequal_lengths(self):
+        assert not ct_equal(b"short", b"longer")
+
+    def test_empty(self):
+        assert ct_equal(b"", b"")
+
+
+class TestIntConversion:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**128 - 1))
+    def test_roundtrip_minimal(self, value):
+        assert bytes_to_int(int_to_bytes(value)) == value
+
+    def test_fixed_width(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_zero(self):
+        assert int_to_bytes(0) == b"\x00"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            int_to_bytes(-1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ParameterError):
+            int_to_bytes(256, 1)
+
+
+class TestChunks:
+    def test_even_split(self):
+        assert list(chunks(b"abcdef", 2)) == [b"ab", b"cd", b"ef"]
+
+    def test_ragged_tail(self):
+        assert list(chunks(b"abcde", 2)) == [b"ab", b"cd", b"e"]
+
+    def test_empty(self):
+        assert list(chunks(b"", 4)) == []
+
+    def test_bad_size(self):
+        with pytest.raises(ParameterError):
+            list(chunks(b"ab", 0))
+
+
+class TestPadToLength:
+    def test_pads(self):
+        assert pad_to_length(b"ab", 4) == b"ab\x00\x00"
+
+    def test_exact(self):
+        assert pad_to_length(b"abcd", 4) == b"abcd"
+
+    def test_too_long(self):
+        with pytest.raises(ParameterError):
+            pad_to_length(b"abcde", 4)
+
+
+class TestRotations:
+    def test_rotl_rotr_inverse(self):
+        value = 0x12345678
+        for amount in (1, 7, 13, 31):
+            assert rotr32(rotl32(value, amount), amount) == value
+
+    def test_rotl_known(self):
+        assert rotl32(0x80000000, 1) == 1
+
+    def test_shr_is_logical(self):
+        assert shr32(0x80000000, 4) == 0x08000000

@@ -1,0 +1,109 @@
+"""ElGamal: roundtrips, IND-CPA shape, serialization, failure modes."""
+
+import pytest
+
+from repro.crypto.elgamal import ElGamalCiphertext, generate_keypair
+from repro.crypto.rng import HmacDrbg
+from repro.errors import CryptoError, ParameterError
+
+
+@pytest.fixture()
+def rng():
+    return HmacDrbg(21)
+
+
+class TestRoundtrip:
+    def test_element_roundtrip(self, elgamal_keypair, rng):
+        group = elgamal_keypair.public.group
+        m = group.random_element(rng)
+        ct = elgamal_keypair.public.encrypt_element(m, rng)
+        assert elgamal_keypair.decrypt_element(ct) == m
+
+    def test_nonce_roundtrip(self, elgamal_keypair, rng):
+        nonce = rng.random_bytes(elgamal_keypair.public.nonce_size)
+        ct = elgamal_keypair.public.encrypt_nonce(nonce, rng)
+        assert elgamal_keypair.decrypt_nonce(ct) == nonce
+
+    def test_short_nonce_roundtrip(self, elgamal_keypair, rng):
+        nonce = b"\x00\x00\x07"  # leading zeros must survive
+        ct = elgamal_keypair.public.encrypt_nonce(nonce, rng)
+        assert elgamal_keypair.decrypt_nonce(ct) == nonce
+
+    def test_many_nonce_sizes(self, elgamal_keypair, rng):
+        for size in range(1, elgamal_keypair.public.nonce_size + 1):
+            nonce = rng.random_bytes(size)
+            ct = elgamal_keypair.public.encrypt_nonce(nonce, rng)
+            assert elgamal_keypair.decrypt_nonce(ct) == nonce
+
+
+class TestProbabilisticEncryption:
+    def test_same_plaintext_distinct_ciphertexts(self, elgamal_keypair, rng):
+        nonce = rng.random_bytes(8)
+        a = elgamal_keypair.public.encrypt_nonce(nonce, rng)
+        b = elgamal_keypair.public.encrypt_nonce(nonce, rng)
+        assert a != b  # fresh randomness per encryption (IND-CPA shape)
+        assert elgamal_keypair.decrypt_nonce(a) == elgamal_keypair.decrypt_nonce(b)
+
+
+class TestValidation:
+    def test_plaintext_must_be_group_element(self, elgamal_keypair, rng):
+        group = elgamal_keypair.public.group
+        non_member = 2
+        while group.contains(non_member):
+            non_member += 1
+        with pytest.raises(ParameterError):
+            elgamal_keypair.public.encrypt_element(non_member, rng)
+
+    def test_nonce_size_limits(self, elgamal_keypair, rng):
+        with pytest.raises(ParameterError):
+            elgamal_keypair.public.encrypt_nonce(b"", rng)
+        too_long = b"\xff" * (elgamal_keypair.public.nonce_size + 1)
+        with pytest.raises(ParameterError):
+            elgamal_keypair.public.encrypt_nonce(too_long, rng)
+
+    def test_out_of_range_ciphertext(self, elgamal_keypair):
+        p = elgamal_keypair.public.group.p
+        with pytest.raises(CryptoError):
+            elgamal_keypair.decrypt_element(ElGamalCiphertext(0, 1))
+        with pytest.raises(CryptoError):
+            elgamal_keypair.decrypt_element(ElGamalCiphertext(1, p))
+
+    def test_tampered_ciphertext_bad_framing(self, elgamal_keypair, rng):
+        nonce = rng.random_bytes(8)
+        ct = elgamal_keypair.public.encrypt_nonce(nonce, rng)
+        # Multiplying c2 by a random element scrambles the plaintext; the
+        # 0x01 frame byte then fails with overwhelming probability.
+        group = elgamal_keypair.public.group
+        tampered = ElGamalCiphertext(
+            ct.c1, (ct.c2 * group.random_element(rng)) % group.p
+        )
+        with pytest.raises((CryptoError, ParameterError)):
+            elgamal_keypair.decrypt_nonce(tampered)
+
+
+class TestSerialization:
+    def test_roundtrip(self, elgamal_keypair, rng):
+        nonce = rng.random_bytes(8)
+        ct = elgamal_keypair.public.encrypt_nonce(nonce, rng)
+        width = elgamal_keypair.public.modulus_bytes
+        wire = ct.serialize(width)
+        assert len(wire) == 2 * width
+        assert ElGamalCiphertext.deserialize(wire, width) == ct
+
+    def test_bad_length_rejected(self, elgamal_keypair):
+        width = elgamal_keypair.public.modulus_bytes
+        with pytest.raises(ParameterError):
+            ElGamalCiphertext.deserialize(b"\x00" * (2 * width - 1), width)
+
+
+class TestKeypairGeneration:
+    def test_shared_group(self, elgamal_keypair, rng):
+        other = generate_keypair(group=elgamal_keypair.public.group, rng=rng)
+        assert other.public.group is elgamal_keypair.public.group
+        assert other.x != elgamal_keypair.x
+        nonce = rng.random_bytes(8)
+        ct = other.public.encrypt_nonce(nonce, rng)
+        assert other.decrypt_nonce(ct) == nonce
+        # The other keypair's ciphertexts are garbage under our key.
+        with pytest.raises((CryptoError, ParameterError)):
+            elgamal_keypair.decrypt_nonce(ct)

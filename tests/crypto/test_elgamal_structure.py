@@ -1,0 +1,79 @@
+"""ElGamal structural properties relevant to its role in Scheme 1.
+
+Scheme 1 only needs IND-CPA encryption of nonces, but knowing the
+algebraic structure — multiplicative homomorphism, ciphertext
+re-randomization — documents exactly what a curious server could and
+could not do with the stored F(r) values.
+"""
+
+import pytest
+
+from repro.crypto.elgamal import ElGamalCiphertext
+from repro.crypto.numtheory import invmod
+from repro.crypto.rng import HmacDrbg
+
+
+@pytest.fixture()
+def rng():
+    return HmacDrbg(0xE1)
+
+
+class TestHomomorphism:
+    def test_multiplicative(self, elgamal_keypair, rng):
+        """E(a)·E(b) decrypts to a·b — the textbook property."""
+        group = elgamal_keypair.public.group
+        a = group.random_element(rng)
+        b = group.random_element(rng)
+        ct_a = elgamal_keypair.public.encrypt_element(a, rng)
+        ct_b = elgamal_keypair.public.encrypt_element(b, rng)
+        product = ElGamalCiphertext(
+            (ct_a.c1 * ct_b.c1) % group.p,
+            (ct_a.c2 * ct_b.c2) % group.p,
+        )
+        assert elgamal_keypair.decrypt_element(product) == (a * b) % group.p
+
+    def test_malleability_breaks_nonce_framing(self, elgamal_keypair, rng):
+        """The homomorphism lets a server *randomize* a stored F(r), but
+        the framed-nonce decoding rejects the result — so tampering with
+        F(r) yields a failed search, not a silently wrong unmasking."""
+        from repro.errors import CryptoError, ParameterError
+
+        group = elgamal_keypair.public.group
+        nonce = rng.random_bytes(16)
+        ct = elgamal_keypair.public.encrypt_nonce(nonce, rng)
+        tampered = ElGamalCiphertext(
+            ct.c1, (ct.c2 * group.random_element(rng)) % group.p
+        )
+        with pytest.raises((CryptoError, ParameterError)):
+            elgamal_keypair.decrypt_nonce(tampered)
+
+
+class TestReRandomization:
+    def test_rerandomized_ciphertext_same_plaintext(self, elgamal_keypair,
+                                                    rng):
+        """Multiplying by a fresh encryption of 1 re-randomizes — the
+        mechanism behind 'the server cannot tell whether F(r) changed'."""
+        group = elgamal_keypair.public.group
+        m = group.random_element(rng)
+        ct = elgamal_keypair.public.encrypt_element(m, rng)
+        one = elgamal_keypair.public.encrypt_element(group.encode(1), rng)
+        # encode(1) is 1 if 1 is a QR; in a safe-prime group 1 always is.
+        rerandomized = ElGamalCiphertext(
+            (ct.c1 * one.c1) % group.p, (ct.c2 * one.c2) % group.p
+        )
+        assert rerandomized != ct
+        assert elgamal_keypair.decrypt_element(rerandomized) == m
+
+
+class TestGroupArithmetic:
+    def test_inverse_consistency(self, elgamal_keypair):
+        group = elgamal_keypair.public.group
+        for x in (2, 17, group.q - 1):
+            assert (x * invmod(x, group.p)) % group.p == 1
+
+    def test_subgroup_closure(self, elgamal_keypair, rng):
+        group = elgamal_keypair.public.group
+        a = group.random_element(rng)
+        b = group.random_element(rng)
+        assert group.contains((a * b) % group.p)
+        assert group.contains(pow(a, 12345, group.p))

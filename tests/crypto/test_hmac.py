@@ -1,0 +1,85 @@
+"""HMAC-SHA256 against RFC 4231 vectors, stdlib hmac, and API properties."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hmac_sha256 import HMACSHA256, hmac_sha256
+from repro.errors import ParameterError
+
+# RFC 4231 test cases 1 and 2 (hardcoded), the rest cross-checked against
+# the standard library's independent implementation.
+RFC4231_KNOWN = [
+    (b"\x0b" * 20, b"Hi There",
+     "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"),
+    (b"Jefe", b"what do ya want for nothing?",
+     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"),
+]
+
+RFC4231_INPUTS = [
+    (b"\xaa" * 20, b"\xdd" * 50),
+    (bytes(range(1, 26)), b"\xcd" * 50),
+    (b"\x0c" * 20, b"Test With Truncation"),
+    (b"\xaa" * 131, b"Test Using Larger Than Block-Size Key - Hash Key First"),
+    (b"\xaa" * 131,
+     b"This is a test using a larger than block-size key and a larger "
+     b"than block-size data. The key needs to be hashed before being "
+     b"used by the HMAC algorithm."),
+]
+
+
+@pytest.mark.parametrize("key,message,expected", RFC4231_KNOWN)
+def test_rfc4231_known(key, message, expected):
+    assert hmac_sha256(key, message).hex() == expected
+
+
+@pytest.mark.parametrize("key,message", RFC4231_INPUTS)
+def test_rfc4231_cross_check(key, message):
+    reference = stdlib_hmac.new(key, message, hashlib.sha256).digest()
+    assert hmac_sha256(key, message) == reference
+
+
+def test_incremental_update():
+    mac = HMACSHA256(b"key")
+    mac.update(b"part one ")
+    mac.update(b"part two")
+    assert mac.digest() == hmac_sha256(b"key", b"part one part two")
+
+
+def test_copy_shares_prefix_only():
+    mac = HMACSHA256(b"key", b"common ")
+    clone = mac.copy()
+    mac.update(b"left")
+    clone.update(b"right")
+    assert mac.digest() == hmac_sha256(b"key", b"common left")
+    assert clone.digest() == hmac_sha256(b"key", b"common right")
+
+
+def test_long_key_is_hashed_down():
+    long_key = b"k" * 200
+    reference = stdlib_hmac.new(long_key, b"m", hashlib.sha256).digest()
+    assert hmac_sha256(long_key, b"m") == reference
+
+
+def test_key_must_be_bytes():
+    with pytest.raises(ParameterError):
+        HMACSHA256("string key")  # type: ignore[arg-type]
+
+
+def test_different_keys_differ():
+    assert hmac_sha256(b"k1", b"msg") != hmac_sha256(b"k2", b"msg")
+
+
+def test_hexdigest():
+    mac = HMACSHA256(b"k", b"m")
+    assert mac.hexdigest() == mac.digest().hex()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=1, max_size=100), st.binary(max_size=300))
+def test_matches_stdlib(key, message):
+    reference = stdlib_hmac.new(key, message, hashlib.sha256).digest()
+    assert hmac_sha256(key, message) == reference

@@ -1,0 +1,114 @@
+"""Block-cipher modes: NIST vectors, padding rules, structural checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import (cbc_decrypt, cbc_encrypt, ctr_keystream,
+                                ctr_xcrypt, ecb_decrypt, ecb_encrypt,
+                                pkcs7_pad, pkcs7_unpad)
+from repro.errors import PaddingError, ParameterError
+
+_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+_IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+_NIST_PT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+)
+
+
+def test_sp800_38a_cbc():
+    # SP 800-38A F.2.1, first two blocks.
+    expected = (
+        "7649abac8119b246cee98e9b12e9197d"
+        "5086cb9b507219ee95db113a917678b2"
+    )
+    assert cbc_encrypt(_KEY, _IV, _NIST_PT).hex() == expected
+
+
+def test_ecb_equals_blockwise_aes():
+    cipher = AES(_KEY)
+    expected = (cipher.encrypt_block(_NIST_PT[:16])
+                + cipher.encrypt_block(_NIST_PT[16:]))
+    assert ecb_encrypt(_KEY, _NIST_PT) == expected
+    assert ecb_decrypt(_KEY, expected) == _NIST_PT
+
+
+def test_ctr_keystream_is_counter_mode_of_aes():
+    nonce = b"\x01" * 8
+    cipher = AES(_KEY)
+    expected = (cipher.encrypt_block(nonce + (0).to_bytes(8, "big"))
+                + cipher.encrypt_block(nonce + (1).to_bytes(8, "big")))
+    assert ctr_keystream(_KEY, nonce, 32) == expected
+
+
+def test_ctr_xcrypt_is_self_inverse():
+    nonce = b"\x02" * 8
+    data = b"variable length payload, not block aligned"
+    ct = ctr_xcrypt(_KEY, nonce, data)
+    assert ct != data
+    assert ctr_xcrypt(_KEY, nonce, ct) == data
+
+
+def test_ctr_nonce_must_be_8_bytes():
+    with pytest.raises(ParameterError):
+        ctr_keystream(_KEY, b"\x00" * 7, 16)
+
+
+def test_ctr_distinct_nonces_distinct_streams():
+    a = ctr_keystream(_KEY, b"\x00" * 8, 64)
+    b = ctr_keystream(_KEY, b"\x00" * 7 + b"\x01", 64)
+    assert a != b
+
+
+def test_cbc_iv_must_be_one_block():
+    with pytest.raises(ParameterError):
+        cbc_encrypt(_KEY, b"\x00" * 8, b"\x00" * 16)
+
+
+def test_cbc_rejects_partial_blocks():
+    with pytest.raises(ParameterError):
+        cbc_encrypt(_KEY, _IV, b"short")
+
+
+@pytest.mark.parametrize("length", [0, 1, 15, 16, 17, 100])
+def test_pkcs7_roundtrip(length):
+    data = bytes(range(256))[:length]
+    padded = pkcs7_pad(data)
+    assert len(padded) % 16 == 0
+    assert len(padded) > len(data)
+    assert pkcs7_unpad(padded) == data
+
+
+def test_pkcs7_full_block_of_padding():
+    padded = pkcs7_pad(b"\x10" * 16)
+    assert padded[-16:] == b"\x10" * 16
+    assert pkcs7_unpad(padded) == b"\x10" * 16
+
+
+@pytest.mark.parametrize("bad", [
+    b"",                      # empty
+    b"\x00" * 16,             # zero pad byte
+    b"\x01" * 15 + b"\x11",   # pad byte > block size
+    b"\x01" * 14 + b"\x03\x02",  # inconsistent padding run
+    b"\x01" * 15,             # not block aligned
+])
+def test_pkcs7_invalid(bad):
+    with pytest.raises(PaddingError):
+        pkcs7_unpad(bad)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=16, max_size=16), st.binary(max_size=128))
+def test_cbc_roundtrip_property(key_seed, data):
+    key = key_seed
+    padded = pkcs7_pad(data)
+    assert pkcs7_unpad(cbc_decrypt(key, _IV, cbc_encrypt(key, _IV, padded))) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=200))
+def test_ctr_roundtrip_property(data):
+    nonce = b"\x09" * 8
+    assert ctr_xcrypt(_KEY, nonce, ctr_xcrypt(_KEY, nonce, data)) == data

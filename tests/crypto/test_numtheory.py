@@ -1,0 +1,143 @@
+"""Number theory: Euclid, Miller–Rabin, prime generation, Schnorr groups."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.numtheory import (SchnorrGroup, egcd, generate_prime,
+                                    generate_safe_prime,
+                                    generate_schnorr_group, invmod,
+                                    is_probable_prime)
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ParameterError
+
+
+class TestEgcd:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=0, max_value=10**9))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        if a and b:
+            assert a % g == 0 and b % g == 0
+
+    def test_known_values(self):
+        assert egcd(12, 18)[0] == 6
+        assert egcd(17, 5)[0] == 1
+        assert egcd(0, 7)[0] == 7
+
+
+class TestInvmod:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_inverse_property(self, a):
+        p = 1_000_003  # prime
+        if a % p == 0:
+            return
+        inv = invmod(a, p)
+        assert (a * inv) % p == 1
+
+    def test_non_invertible(self):
+        with pytest.raises(ParameterError):
+            invmod(6, 9)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ParameterError):
+            invmod(3, 0)
+
+
+class TestMillerRabin:
+    SMALL_PRIMES = [2, 3, 5, 7, 11, 101, 7919, 104729, 1_000_003]
+    COMPOSITES = [1, 4, 9, 100, 7917, 104730, 1_000_001]
+    # Carmichael numbers fool Fermat but not Miller-Rabin.
+    CARMICHAEL = [561, 1105, 1729, 2465, 41041, 825265]
+
+    @pytest.mark.parametrize("p", SMALL_PRIMES)
+    def test_primes_accepted(self, p):
+        assert is_probable_prime(p, rng=HmacDrbg(1))
+
+    @pytest.mark.parametrize("n", COMPOSITES)
+    def test_composites_rejected(self, n):
+        assert not is_probable_prime(n, rng=HmacDrbg(1))
+
+    @pytest.mark.parametrize("n", CARMICHAEL)
+    def test_carmichael_rejected(self, n):
+        assert not is_probable_prime(n, rng=HmacDrbg(1))
+
+    def test_negative_and_zero(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(-7)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert is_probable_prime((1 << 127) - 1, rng=HmacDrbg(2))
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((1 << 127) - 3, rng=HmacDrbg(2))
+
+
+class TestGeneration:
+    def test_generate_prime_bits(self):
+        rng = HmacDrbg(10)
+        p = generate_prime(64, rng)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p, rng=rng)
+
+    def test_generate_prime_too_small(self):
+        with pytest.raises(ParameterError):
+            generate_prime(4)
+
+    def test_safe_prime_structure(self):
+        rng = HmacDrbg(11)
+        p = generate_safe_prime(64, rng)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p, rng=rng)
+        assert is_probable_prime((p - 1) // 2, rng=rng)
+
+
+class TestSchnorrGroup:
+    @pytest.fixture(scope="class")
+    def group(self):
+        return generate_schnorr_group(96, HmacDrbg(12))
+
+    def test_generator_order(self, group):
+        assert pow(group.g, group.q, group.p) == 1
+        assert group.g != 1
+
+    def test_contains(self, group):
+        rng = HmacDrbg(13)
+        element = group.random_element(rng)
+        assert group.contains(element)
+        assert not group.contains(0)
+        assert not group.contains(group.p)
+
+    def test_encode_decode_roundtrip(self, group):
+        for value in (1, 2, 1000, group.q // 2, group.q):
+            assert group.decode(group.encode(value)) == value
+
+    def test_encode_lands_in_group(self, group):
+        for value in range(1, 50):
+            assert group.contains(group.encode(value))
+
+    def test_encode_bounds(self, group):
+        with pytest.raises(ParameterError):
+            group.encode(0)
+        with pytest.raises(ParameterError):
+            group.encode(group.q + 1)
+
+    def test_decode_requires_membership(self, group):
+        # Find a non-member: a quadratic non-residue.
+        candidate = 2
+        while group.contains(candidate):
+            candidate += 1
+        with pytest.raises(ParameterError):
+            group.decode(candidate)
+
+    def test_invalid_structure_rejected(self):
+        with pytest.raises(ParameterError):
+            SchnorrGroup(p=23, q=7, g=2)  # p != 2q+1
+
+    def test_bad_generator_rejected(self, group):
+        with pytest.raises(ParameterError):
+            SchnorrGroup(p=group.p, q=group.q, g=group.p - 1)

@@ -1,0 +1,150 @@
+"""PRF/PRG/HKDF behaviour: determinism, separation, RFC 5869 vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.prf import Prf, derive_key
+from repro.crypto.prg import Prg, hkdf, hkdf_expand, hkdf_extract, prg_expand
+from repro.errors import ParameterError
+
+
+class TestPrf:
+    def test_deterministic(self):
+        prf = Prf(b"key")
+        assert prf.evaluate(b"m") == prf.evaluate(b"m")
+
+    def test_distinct_messages_distinct_outputs(self):
+        prf = Prf(b"key")
+        assert prf.evaluate(b"m1") != prf.evaluate(b"m2")
+
+    def test_label_separation(self):
+        a = Prf(b"key", label=b"role-a")
+        b = Prf(b"key", label=b"role-b")
+        assert a.evaluate(b"m") != b.evaluate(b"m")
+
+    def test_label_is_not_message_prefix_confusable(self):
+        # label "ab" + message "c" must differ from label "a" + message "bc".
+        assert (Prf(b"k", label=b"ab").evaluate(b"c")
+                != Prf(b"k", label=b"a").evaluate(b"bc"))
+
+    def test_truncation(self):
+        prf = Prf(b"key")
+        full = prf.evaluate(b"m")
+        assert prf.evaluate_truncated(b"m", 16) == full[:16]
+
+    def test_truncation_bounds(self):
+        prf = Prf(b"key")
+        for bad in (0, -1, 33):
+            with pytest.raises(ParameterError):
+                prf.evaluate_truncated(b"m", bad)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ParameterError):
+            Prf(b"")
+
+    def test_nul_in_label_rejected(self):
+        with pytest.raises(ParameterError):
+            Prf(b"key", label=b"bad\x00label")
+
+    def test_call_alias(self):
+        prf = Prf(b"key")
+        assert prf(b"m") == prf.evaluate(b"m")
+
+
+class TestDeriveKey:
+    def test_purpose_separation(self):
+        assert derive_key(b"master", b"a") != derive_key(b"master", b"b")
+
+    def test_length_control(self):
+        assert len(derive_key(b"master", b"p", 16)) == 16
+        assert len(derive_key(b"master", b"p", 100)) == 100
+
+    def test_long_output_extends_short(self):
+        assert derive_key(b"m", b"p", 64)[:32] == derive_key(b"m", b"p", 32)
+
+    def test_invalid_length(self):
+        with pytest.raises(ParameterError):
+            derive_key(b"m", b"p", 0)
+
+
+class TestPrg:
+    def test_deterministic(self):
+        assert prg_expand(b"seed", 100) == prg_expand(b"seed", 100)
+
+    def test_prefix_property(self):
+        long = prg_expand(b"seed", 200)
+        assert prg_expand(b"seed", 50) == long[:50]
+
+    def test_distinct_seeds(self):
+        assert prg_expand(b"s1", 64) != prg_expand(b"s2", 64)
+
+    def test_zero_length(self):
+        assert prg_expand(b"seed", 0) == b""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ParameterError):
+            prg_expand(b"seed", -1)
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ParameterError):
+            prg_expand(b"", 16)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=70),
+                    min_size=1, max_size=8))
+    def test_streaming_equals_one_shot(self, sizes):
+        stream = Prg(b"stream seed")
+        collected = b"".join(stream.next_bytes(n) for n in sizes)
+        assert collected == prg_expand(b"stream seed", sum(sizes))
+
+    def test_mask_xor_identity(self):
+        # The scheme-1 algebra: masking twice with the same G(r) cancels.
+        data = bytes(range(64))
+        mask = prg_expand(b"nonce", 64)
+        masked = bytes(a ^ b for a, b in zip(data, mask))
+        unmasked = bytes(a ^ b for a, b in zip(masked, mask))
+        assert unmasked == data
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        ikm = b"\x0b" * 22
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba63"
+            "90b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_rfc5869_case_3_empty_salt_info(self):
+        prk = hkdf_extract(b"", b"\x0b" * 22)
+        okm = hkdf_expand(prk, b"", 42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_one_shot_wrapper(self):
+        assert hkdf(b"ikm", salt=b"s", info=b"i", length=32) == hkdf_expand(
+            hkdf_extract(b"s", b"ikm"), b"i", 32
+        )
+
+    def test_expand_length_bounds(self):
+        prk = hkdf_extract(b"", b"ikm")
+        with pytest.raises(ParameterError):
+            hkdf_expand(prk, b"", 0)
+        with pytest.raises(ParameterError):
+            hkdf_expand(prk, b"", 255 * 32 + 1)
+
+    def test_short_prk_rejected(self):
+        with pytest.raises(ParameterError):
+            hkdf_expand(b"short", b"", 32)

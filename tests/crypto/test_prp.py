@@ -1,0 +1,76 @@
+"""PRP properties: invertibility, length preservation, key separation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.prp import BlockPrp, FeistelPrp
+from repro.errors import ParameterError
+
+
+class TestBlockPrp:
+    def test_matches_aes(self):
+        key = b"\x01" * 16
+        prp = BlockPrp(key)
+        block = bytes(range(16))
+        assert prp.forward(block) == AES(key).encrypt_block(block)
+        assert prp.inverse(prp.forward(block)) == block
+
+
+class TestFeistelPrp:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 16, 17, 33, 64, 257])
+    def test_roundtrip_all_lengths(self, n):
+        prp = FeistelPrp(b"key")
+        data = bytes((i * 7 + 3) % 256 for i in range(n))
+        image = prp.forward(data)
+        assert len(image) == n
+        assert prp.inverse(image) == data
+
+    def test_rejects_tiny_inputs(self):
+        prp = FeistelPrp(b"key")
+        for bad in (b"", b"x"):
+            with pytest.raises(ParameterError):
+                prp.forward(bad)
+            with pytest.raises(ParameterError):
+                prp.inverse(bad)
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ParameterError):
+            FeistelPrp(b"")
+
+    def test_key_separation(self):
+        data = bytes(range(32))
+        a = FeistelPrp(b"key-a").forward(data)
+        b = FeistelPrp(b"key-b").forward(data)
+        assert a != b
+
+    def test_is_injective_on_fixed_length(self):
+        prp = FeistelPrp(b"key")
+        inputs = [i.to_bytes(4, "big") for i in range(512)]
+        images = [prp.forward(x) for x in inputs]
+        assert len(set(images)) == len(images)
+
+    def test_deterministic(self):
+        prp = FeistelPrp(b"key")
+        assert prp.forward(b"same input") == prp.forward(b"same input")
+
+    def test_output_looks_scrambled(self):
+        # Not a randomness test, just a sanity check that the PRP is not
+        # close to the identity on structured input.
+        data = b"\x00" * 64
+        image = FeistelPrp(b"key").forward(data)
+        assert image != data
+        assert sum(1 for b in image if b == 0) < 16
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.binary(min_size=1, max_size=32), st.binary(min_size=2, max_size=128))
+    def test_roundtrip_property(self, key, data):
+        prp = FeistelPrp(key)
+        assert prp.inverse(prp.forward(data)) == data
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=2, max_size=64))
+    def test_inverse_then_forward(self, data):
+        prp = FeistelPrp(b"fixed")
+        assert prp.forward(prp.inverse(data)) == data

@@ -1,0 +1,42 @@
+"""The built-in RFC 3526 group: structure, primality, default keygen."""
+
+from repro.crypto.elgamal import generate_keypair
+from repro.crypto.numtheory import is_probable_prime, rfc3526_group_1536
+from repro.crypto.rng import HmacDrbg
+
+
+class TestGroupStructure:
+    def test_bit_length(self):
+        assert rfc3526_group_1536().p.bit_length() == 1536
+
+    def test_safe_prime(self):
+        """Catches any transcription error in the embedded constant."""
+        group = rfc3526_group_1536()
+        rng = HmacDrbg(1)
+        assert is_probable_prime(group.p, rounds=8, rng=rng)
+        assert is_probable_prime(group.q, rounds=8, rng=rng)
+
+    def test_generator_in_subgroup(self):
+        group = rfc3526_group_1536()
+        assert group.contains(group.g)
+
+    def test_cached_singleton(self):
+        assert rfc3526_group_1536() is rfc3526_group_1536()
+
+
+class TestDefaultKeygen:
+    def test_default_uses_rfc_group(self):
+        keypair = generate_keypair(rng=HmacDrbg(2))
+        assert keypair.public.group is rfc3526_group_1536()
+
+    def test_roundtrip_in_default_group(self):
+        rng = HmacDrbg(3)
+        keypair = generate_keypair(rng=rng)
+        nonce = rng.random_bytes(30)
+        ct = keypair.public.encrypt_nonce(nonce, rng)
+        assert keypair.decrypt_nonce(ct) == nonce
+
+    def test_explicit_bits_generates_fresh_group(self):
+        keypair = generate_keypair(bits=64, rng=HmacDrbg(4))
+        assert keypair.public.group is not rfc3526_group_1536()
+        assert keypair.public.group.p.bit_length() == 64

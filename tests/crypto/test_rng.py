@@ -1,0 +1,92 @@
+"""RNG sources: determinism, bounds, distribution sanity."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg, SystemRandomSource, default_rng
+from repro.errors import ParameterError
+
+
+class TestHmacDrbg:
+    def test_deterministic(self):
+        assert HmacDrbg(42).random_bytes(64) == HmacDrbg(42).random_bytes(64)
+
+    def test_seeds_separate(self):
+        assert HmacDrbg(1).random_bytes(32) != HmacDrbg(2).random_bytes(32)
+
+    def test_bytes_and_int_seeds(self):
+        assert HmacDrbg(b"\x2a").random_bytes(16) == HmacDrbg(42).random_bytes(16)
+
+    def test_stream_never_repeats_calls(self):
+        drbg = HmacDrbg(7)
+        assert drbg.random_bytes(32) != drbg.random_bytes(32)
+
+    def test_reseed_changes_stream(self):
+        a = HmacDrbg(7)
+        b = HmacDrbg(7)
+        a.reseed(b"extra entropy")
+        assert a.random_bytes(32) != b.random_bytes(32)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParameterError):
+            HmacDrbg(1).random_bytes(-1)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ParameterError):
+            HmacDrbg(-1)
+
+    def test_zero_bytes(self):
+        assert HmacDrbg(1).random_bytes(0) == b""
+
+
+class TestRandintBelow:
+    def test_bounds_respected(self):
+        drbg = HmacDrbg(5)
+        for bound in (1, 2, 3, 10, 255, 256, 257, 1 << 20):
+            for _ in range(20):
+                assert 0 <= drbg.randint_below(bound) < bound
+
+    def test_bound_one_is_zero(self):
+        assert HmacDrbg(5).randint_below(1) == 0
+
+    def test_invalid_bound(self):
+        with pytest.raises(ParameterError):
+            HmacDrbg(5).randint_below(0)
+
+    def test_rough_uniformity(self):
+        drbg = HmacDrbg(6)
+        counts = [0] * 8
+        for _ in range(4000):
+            counts[drbg.randint_below(8)] += 1
+        # Each bucket expects 500; allow generous slack.
+        assert all(350 < c < 650 for c in counts), counts
+
+    def test_all_values_reachable(self):
+        drbg = HmacDrbg(7)
+        seen = {drbg.randint_below(5) for _ in range(200)}
+        assert seen == {0, 1, 2, 3, 4}
+
+    def test_randint_range(self):
+        drbg = HmacDrbg(8)
+        for _ in range(50):
+            value = drbg.randint_range(10, 12)
+            assert 10 <= value <= 12
+        with pytest.raises(ParameterError):
+            drbg.randint_range(5, 4)
+
+
+class TestSystemSource:
+    def test_produces_requested_length(self):
+        src = SystemRandomSource()
+        assert len(src.random_bytes(33)) == 33
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            SystemRandomSource().random_bytes(-1)
+
+
+class TestDefaultRng:
+    def test_seedless_is_system(self):
+        assert isinstance(default_rng(), SystemRandomSource)
+
+    def test_seeded_is_deterministic(self):
+        assert default_rng(9).random_bytes(8) == default_rng(9).random_bytes(8)

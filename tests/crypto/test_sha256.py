@@ -1,0 +1,85 @@
+"""SHA-256 against FIPS 180-4 vectors, hashlib, and API properties."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha256 import SHA256, sha256
+from repro.errors import ParameterError
+
+# (message, digest) from FIPS 180-4 / NIST CAVP.
+KNOWN_VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"),
+    (b"a" * 64,
+     "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"),
+    (b"a" * 1000,
+     "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3"),
+]
+
+
+@pytest.mark.parametrize("message,expected", KNOWN_VECTORS)
+def test_known_vectors(message, expected):
+    assert sha256(message).hex() == expected
+
+
+def test_one_shot_equals_incremental():
+    message = b"the quick brown fox jumps over the lazy dog" * 10
+    h = SHA256()
+    for i in range(0, len(message), 7):
+        h.update(message[i:i + 7])
+    assert h.digest() == sha256(message)
+
+
+def test_digest_is_idempotent():
+    h = SHA256(b"partial")
+    first = h.digest()
+    assert h.digest() == first
+    h.update(b" more")
+    assert h.digest() != first
+
+
+def test_copy_is_independent():
+    h = SHA256(b"shared prefix ")
+    clone = h.copy()
+    h.update(b"left")
+    clone.update(b"right")
+    assert h.digest() == sha256(b"shared prefix left")
+    assert clone.digest() == sha256(b"shared prefix right")
+
+
+def test_update_rejects_non_bytes():
+    with pytest.raises(ParameterError):
+        SHA256().update("text")  # type: ignore[arg-type]
+
+
+def test_block_boundary_lengths():
+    # Padding edge cases: lengths around the 64-byte block and the 55/56
+    # length-field boundary.
+    for n in (54, 55, 56, 57, 63, 64, 65, 119, 120, 128):
+        data = bytes(range(256))[:n] * 1
+        assert sha256(data).hex() == hashlib.sha256(data).hexdigest(), n
+
+
+def test_hexdigest_matches_digest():
+    h = SHA256(b"xyz")
+    assert h.hexdigest() == h.digest().hex()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=512))
+def test_matches_hashlib(data):
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(max_size=200), st.binary(max_size=200))
+def test_incremental_split_invariance(a, b):
+    h = SHA256()
+    h.update(a)
+    h.update(b)
+    assert h.digest() == sha256(a + b)

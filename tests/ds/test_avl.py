@@ -1,0 +1,131 @@
+"""AVL tree: model-based equivalence with dict, invariants, balance."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ds.avl import AvlTree
+from repro.errors import ParameterError
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = AvlTree()
+        assert len(tree) == 0
+        assert tree.get(b"missing") is None
+        assert b"missing" not in tree
+        assert list(tree.items()) == []
+
+    def test_insert_get(self):
+        tree = AvlTree()
+        tree.insert(b"k", 1)
+        assert tree.get(b"k") == 1
+        assert b"k" in tree
+        assert len(tree) == 1
+
+    def test_insert_replaces(self):
+        tree = AvlTree()
+        tree.insert(b"k", 1)
+        tree.insert(b"k", 2)
+        assert tree.get(b"k") == 2
+        assert len(tree) == 1
+
+    def test_default(self):
+        assert AvlTree().get(b"x", "fallback") == "fallback"
+
+    def test_none_key_rejected(self):
+        with pytest.raises(ParameterError):
+            AvlTree().insert(None, 1)
+
+    def test_delete(self):
+        tree = AvlTree()
+        for i in range(10):
+            tree.insert(i, i * 10)
+        assert tree.delete(5)
+        assert not tree.delete(5)
+        assert 5 not in tree
+        assert len(tree) == 9
+        tree.check_invariants()
+
+    def test_delete_root_repeatedly(self):
+        tree = AvlTree()
+        for i in range(20):
+            tree.insert(i, i)
+        while len(tree):
+            key = next(tree.keys())
+            assert tree.delete(key)
+            tree.check_invariants()
+
+    def test_items_sorted(self):
+        tree = AvlTree()
+        for key in [5, 3, 8, 1, 4, 7, 9, 2, 6, 0]:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == list(range(10))
+        assert list(tree.keys()) == list(range(10))
+        assert list(tree.values()) == list(range(10))
+
+
+class TestBalance:
+    def test_sequential_insert_stays_logarithmic(self):
+        tree = AvlTree()
+        n = 1024
+        for i in range(n):
+            tree.insert(i, i)
+        # AVL height bound: 1.44 * log2(n+2).
+        assert tree.height <= math.ceil(1.44 * math.log2(n + 2))
+        tree.check_invariants()
+
+    def test_lookup_comparisons_logarithmic(self):
+        tree = AvlTree()
+        n = 4096
+        for i in range(n):
+            tree.insert(i, i)
+        tree.get(n - 1)
+        assert tree.last_comparisons <= math.ceil(1.44 * math.log2(n + 2))
+
+    def test_reverse_and_zigzag_rotations(self):
+        for order in (range(100), reversed(range(100)),
+                      [i ^ 0x2A for i in range(100)]):
+            tree = AvlTree()
+            for i in order:
+                tree.insert(i, i)
+            tree.check_invariants()
+            assert len(tree) == 100
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from("ird"),
+              st.integers(min_value=0, max_value=30)),
+    max_size=120,
+))
+def test_model_equivalence(operations):
+    """Random insert/replace/delete streams match a dict model exactly."""
+    tree = AvlTree()
+    model: dict[int, int] = {}
+    for i, (op, key) in enumerate(operations):
+        if op == "i":
+            tree.insert(key, i)
+            model[key] = i
+        elif op == "r":
+            assert tree.get(key) == model.get(key)
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(tree) == len(model)
+    assert dict(tree.items()) == model
+    assert [k for k, _ in tree.items()] == sorted(model)
+    tree.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(st.binary(min_size=1, max_size=8), max_size=60))
+def test_bytes_keys(keys):
+    """Byte-string keys (the real use: keyword tags) order correctly."""
+    tree = AvlTree()
+    for key in keys:
+        tree.insert(key, key)
+    assert [k for k, _ in tree.items()] == sorted(keys)
+    tree.check_invariants()

@@ -1,0 +1,114 @@
+"""Bitset index: set semantics, XOR algebra, serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ds.bitset import BitsetIndex
+from repro.errors import CapacityError, ParameterError
+
+
+class TestBasics:
+    def test_construction_with_ids(self):
+        s = BitsetIndex(16, [1, 5, 9])
+        assert sorted(s) == [1, 5, 9]
+        assert len(s) == 3
+
+    def test_membership(self):
+        s = BitsetIndex(16, [3])
+        assert 3 in s
+        assert 4 not in s
+        assert 100 not in s  # out of range is just absent
+
+    def test_add_discard_toggle(self):
+        s = BitsetIndex(16)
+        s.add(7)
+        s.add(7)  # idempotent
+        assert len(s) == 1
+        s.discard(7)
+        assert 7 not in s
+        s.toggle(2)
+        assert 2 in s
+        s.toggle(2)
+        assert 2 not in s
+
+    def test_capacity_enforced(self):
+        s = BitsetIndex(8)
+        with pytest.raises(CapacityError):
+            s.add(8)
+        with pytest.raises(CapacityError):
+            s.add(-1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ParameterError):
+            BitsetIndex(0)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ParameterError):
+            BitsetIndex(8).add("3")  # type: ignore[arg-type]
+
+    def test_equality_and_copy(self):
+        a = BitsetIndex(16, [1, 2])
+        b = BitsetIndex(16, [2, 1])
+        assert a == b
+        c = a.copy()
+        c.add(5)
+        assert 5 not in a
+
+    def test_repr_truncates(self):
+        s = BitsetIndex(64, range(20))
+        assert "..." in repr(s)
+
+
+class TestAlgebra:
+    def test_xor_is_symmetric_difference(self):
+        a = BitsetIndex(16, [1, 2, 3])
+        b = BitsetIndex(16, [3, 4])
+        assert sorted(a ^ b) == [1, 2, 4]
+
+    def test_xor_update_semantics(self):
+        # The paper's I'(w) = I(w) ⊕ U(w): adds new ids, removes existing.
+        current = BitsetIndex(32, [0, 5])
+        update = BitsetIndex(32, [5, 9])
+        assert sorted(current ^ update) == [0, 9]
+
+    def test_or_is_union(self):
+        a = BitsetIndex(16, [1, 2])
+        b = BitsetIndex(16, [2, 3])
+        assert sorted(a | b) == [1, 2, 3]
+
+    def test_capacity_mismatch(self):
+        with pytest.raises(ParameterError):
+            BitsetIndex(8) ^ BitsetIndex(16)
+        with pytest.raises(ParameterError):
+            BitsetIndex(8) | BitsetIndex(16)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("capacity", [1, 7, 8, 9, 63, 64, 65])
+    def test_byte_length(self, capacity):
+        s = BitsetIndex(capacity)
+        assert s.byte_length == (capacity + 7) // 8
+        assert len(s.to_bytes()) == s.byte_length
+
+    def test_roundtrip(self):
+        s = BitsetIndex(20, [0, 7, 19])
+        assert BitsetIndex.from_bytes(s.to_bytes(), 20) == s
+
+    def test_width_validation(self):
+        with pytest.raises(ParameterError):
+            BitsetIndex.from_bytes(b"\x00" * 3, 16)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=99), max_size=50),
+       st.sets(st.integers(min_value=0, max_value=99), max_size=50))
+def test_model_equivalence(ids_a, ids_b):
+    """Bitset algebra matches Python set algebra."""
+    a = BitsetIndex(100, ids_a)
+    b = BitsetIndex(100, ids_b)
+    assert set(a) == ids_a
+    assert len(a) == len(ids_a)
+    assert set(a ^ b) == ids_a ^ ids_b
+    assert set(a | b) == ids_a | ids_b
+    assert BitsetIndex.from_bytes(a.to_bytes(), 100) == a

@@ -1,0 +1,105 @@
+"""Bloom filter: no false negatives, calibrated false positives, blinding."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.ds.bloom import BloomFilter, optimal_parameters
+from repro.errors import ParameterError
+
+
+class TestBasics:
+    def test_added_items_found(self):
+        bf = BloomFilter(bits=256, hashes=3)
+        items = [f"item{i}".encode() for i in range(20)]
+        for item in items:
+            bf.add(item)
+        assert all(item in bf for item in items)  # no false negatives ever
+
+    def test_empty_filter_rejects(self):
+        bf = BloomFilter(bits=256, hashes=3)
+        assert b"anything" not in bf
+
+    def test_positions_deterministic(self):
+        bf = BloomFilter(bits=1024, hashes=4)
+        assert bf.positions_for(b"x") == bf.positions_for(b"x")
+        assert bf.positions_for(b"x") != bf.positions_for(b"y")
+
+    def test_positions_in_range(self):
+        bf = BloomFilter(bits=100, hashes=5)
+        assert all(0 <= p < 100 for p in bf.positions_for(b"probe"))
+
+    def test_add_by_positions(self):
+        bf = BloomFilter(bits=128, hashes=3)
+        positions = bf.positions_for(b"via positions")
+        bf.add_positions(positions)
+        assert b"via positions" in bf
+        assert bf.contains_positions(positions)
+
+    def test_position_bounds_checked(self):
+        bf = BloomFilter(bits=64, hashes=2)
+        with pytest.raises(ParameterError):
+            bf.add_positions([64])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ParameterError):
+            BloomFilter(bits=0, hashes=1)
+        with pytest.raises(ParameterError):
+            BloomFilter(bits=8, hashes=0)
+
+    def test_serialization_width(self):
+        assert len(BloomFilter(bits=100, hashes=2).to_bytes()) == 13
+
+
+class TestCalibration:
+    def test_optimal_parameters_reasonable(self):
+        bits, hashes = optimal_parameters(1000, 0.01)
+        # Textbook values: ~9.6 bits/item, ~7 hashes at 1% FP.
+        assert 9000 <= bits <= 10500
+        assert 6 <= hashes <= 8
+
+    def test_optimal_parameters_validation(self):
+        with pytest.raises(ParameterError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(ParameterError):
+            optimal_parameters(100, 1.5)
+
+    def test_false_positive_rate_near_target(self):
+        target = 0.02
+        n_items = 300
+        bits, hashes = optimal_parameters(n_items, target)
+        bf = BloomFilter(bits, hashes)
+        for i in range(n_items):
+            bf.add(b"member-%d" % i)
+        false_hits = sum(
+            1 for i in range(5000) if b"nonmember-%d" % i in bf
+        )
+        rate = false_hits / 5000
+        assert rate < target * 4  # generous: small-sample + rounding
+
+    def test_fill_ratio_grows(self):
+        bf = BloomFilter(bits=512, hashes=3)
+        assert bf.fill_ratio() == 0.0
+        for i in range(50):
+            bf.add(b"%d" % i)
+        assert 0.0 < bf.fill_ratio() < 1.0
+
+
+class TestBlinding:
+    def test_random_bits_mask_count(self):
+        rng = HmacDrbg(1)
+        a = BloomFilter(bits=512, hashes=3)
+        b = BloomFilter(bits=512, hashes=3)
+        a.add(b"only-one-keyword")
+        for _ in range(20):
+            b.add_positions(b.positions_for(rng.random_bytes(8)))
+        a.set_random_bits(19 * 3, rng)
+        # After blinding, fill ratios are comparable: the server cannot
+        # read the keyword count off the filter density.
+        assert abs(a.fill_ratio() - b.fill_ratio()) < 0.05
+
+    def test_blinding_preserves_membership(self):
+        rng = HmacDrbg(2)
+        bf = BloomFilter(bits=512, hashes=3)
+        bf.add(b"kept")
+        bf.set_random_bits(40, rng)
+        assert b"kept" in bf

@@ -1,0 +1,72 @@
+"""Posting lists: varint delta coding roundtrips and malformed input."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ds.posting import (decode_posting_list, encode_posting_list,
+                              merge_posting_lists)
+from repro.errors import ParameterError
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        assert decode_posting_list(encode_posting_list([])) == []
+        assert encode_posting_list([]) == b"\x00"
+
+    def test_single(self):
+        assert decode_posting_list(encode_posting_list([42])) == [42]
+
+    def test_sorts_and_dedups(self):
+        assert decode_posting_list(encode_posting_list([5, 1, 5, 3])) == [1, 3, 5]
+
+    def test_large_ids(self):
+        ids = [0, 127, 128, 16383, 16384, 2**40]
+        assert decode_posting_list(encode_posting_list(ids)) == ids
+
+    def test_dense_run_is_compact(self):
+        # Delta coding: a dense run of n small gaps costs ~1 byte each.
+        blob = encode_posting_list(range(1000, 1100))
+        assert len(blob) < 110
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            encode_posting_list([-1, 2])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=2**32), max_size=100))
+    def test_roundtrip_property(self, ids):
+        assert decode_posting_list(encode_posting_list(ids)) == sorted(ids)
+
+
+class TestMalformed:
+    def test_truncated_count(self):
+        with pytest.raises(ParameterError):
+            decode_posting_list(b"")
+
+    def test_truncated_body(self):
+        blob = encode_posting_list([1, 2, 3])
+        with pytest.raises(ParameterError):
+            decode_posting_list(blob[:-1])
+
+    def test_trailing_bytes(self):
+        blob = encode_posting_list([1]) + b"\x00"
+        with pytest.raises(ParameterError):
+            decode_posting_list(blob)
+
+    def test_unterminated_varint(self):
+        with pytest.raises(ParameterError):
+            decode_posting_list(b"\x80")
+
+    def test_oversized_varint(self):
+        with pytest.raises(ParameterError):
+            decode_posting_list(b"\x01" + b"\xff" * 10)
+
+
+class TestMerge:
+    def test_union(self):
+        assert merge_posting_lists([[1, 3], [2, 3], [4]]) == [1, 2, 3, 4]
+
+    def test_empty_inputs(self):
+        assert merge_posting_lists([]) == []
+        assert merge_posting_lists([[], []]) == []

@@ -1,0 +1,92 @@
+"""Instrumented channel: round/byte counting, transcripts, latency model."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.channel import Channel, NetworkModel
+from repro.net.messages import Message, MessageType
+
+
+class EchoServer:
+    """Replies with an ACK carrying the request's first field, if any."""
+
+    def handle(self, message: Message) -> Message:
+        return Message(MessageType.ACK, message.fields[:1])
+
+
+class TestCounting:
+    def test_round_and_byte_counters(self):
+        channel = Channel(EchoServer())
+        request = Message(MessageType.ACK, (b"payload",))
+        reply = channel.request(request)
+        assert reply.fields == (b"payload",)
+        assert channel.stats.rounds == 1
+        assert channel.stats.client_to_server_bytes == request.wire_size
+        assert channel.stats.server_to_client_bytes == reply.wire_size
+        assert channel.stats.messages == 2
+        assert channel.stats.total_bytes == (request.wire_size
+                                             + reply.wire_size)
+
+    def test_counters_accumulate(self):
+        channel = Channel(EchoServer())
+        for _ in range(5):
+            channel.request(Message(MessageType.ACK))
+        assert channel.stats.rounds == 5
+
+    def test_reset_returns_old_stats(self):
+        channel = Channel(EchoServer())
+        channel.request(Message(MessageType.ACK))
+        old = channel.reset_stats()
+        assert old.rounds == 1
+        assert channel.stats.rounds == 0
+        assert channel.transcript == []
+
+
+class TestWireDiscipline:
+    def test_messages_actually_cross_serialization(self):
+        """Objects that can't serialize must fail, not sneak through."""
+        channel = Channel(EchoServer())
+        with pytest.raises(ProtocolError):
+            channel.request(Message(MessageType.ACK, (12345,)))  # type: ignore[arg-type]
+
+
+class TestTranscript:
+    def test_directions_recorded(self):
+        channel = Channel(EchoServer())
+        channel.request(Message(MessageType.ACK, (b"x",)))
+        directions = [entry.direction for entry in channel.transcript]
+        assert directions == ["client->server", "server->client"]
+
+    def test_transcript_disabled(self):
+        channel = Channel(EchoServer(), keep_transcript=False)
+        channel.request(Message(MessageType.ACK))
+        assert channel.transcript == []
+        assert channel.stats.messages == 2
+
+    def test_format_transcript(self):
+        channel = Channel(EchoServer())
+        channel.request(Message(MessageType.ACK, (b"abc",)))
+        text = channel.format_transcript()
+        assert "-->" in text and "<--" in text and "ACK" in text
+
+
+class TestNetworkModel:
+    def test_transfer_time(self):
+        model = NetworkModel(latency_s=0.01, bandwidth_bytes_per_s=1000)
+        assert model.transfer_time(500) == pytest.approx(0.51)
+
+    def test_simulated_time_accumulates(self):
+        model = NetworkModel(latency_s=0.1, bandwidth_bytes_per_s=1e9)
+        channel = Channel(EchoServer(), model=model)
+        channel.request(Message(MessageType.ACK))
+        # One round = two transfers = two latencies.
+        assert channel.stats.simulated_time_s == pytest.approx(0.2, rel=1e-3)
+
+    def test_more_rounds_cost_more_simulated_time(self):
+        model = NetworkModel(latency_s=0.05, bandwidth_bytes_per_s=1e9)
+        one = Channel(EchoServer(), model=model)
+        two = Channel(EchoServer(), model=model)
+        one.request(Message(MessageType.ACK, (b"x" * 100,)))
+        for _ in range(2):
+            two.request(Message(MessageType.ACK, (b"x" * 50,)))
+        assert two.stats.simulated_time_s > one.stats.simulated_time_s

@@ -1,0 +1,76 @@
+"""Wire messages: canonical serialization, strict parsing, size accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.net.messages import Message, MessageType
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        msg = Message(MessageType.S1_SEARCH_REQUEST, (b"tag", b"", b"xyz"))
+        assert Message.deserialize(msg.serialize()) == msg
+
+    def test_no_fields(self):
+        msg = Message(MessageType.ACK)
+        wire = msg.serialize()
+        assert len(wire) == 3
+        assert Message.deserialize(wire) == msg
+
+    def test_wire_size_is_exact(self):
+        msg = Message(MessageType.STORE_DOCUMENT, (b"12345678", b"ct" * 10))
+        assert msg.wire_size == len(msg.serialize())
+
+    def test_non_bytes_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            Message(MessageType.ACK, ("text",))  # type: ignore[arg-type]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(list(MessageType)),
+           st.lists(st.binary(max_size=64), max_size=8))
+    def test_roundtrip_property(self, msg_type, fields):
+        msg = Message(msg_type, tuple(fields))
+        assert Message.deserialize(msg.serialize()) == msg
+        assert msg.wire_size == len(msg.serialize())
+
+
+class TestStrictParsing:
+    def test_too_short(self):
+        with pytest.raises(ProtocolError):
+            Message.deserialize(b"\x01")
+
+    def test_unknown_type(self):
+        with pytest.raises(ProtocolError):
+            Message.deserialize(b"\xfa\x00\x00")
+
+    def test_truncated_field_header(self):
+        wire = Message(MessageType.ACK, (b"data",)).serialize()
+        with pytest.raises(ProtocolError):
+            Message.deserialize(wire[:5])
+
+    def test_truncated_field_body(self):
+        wire = Message(MessageType.ACK, (b"data",)).serialize()
+        with pytest.raises(ProtocolError):
+            Message.deserialize(wire[:-1])
+
+    def test_trailing_bytes(self):
+        wire = Message(MessageType.ACK).serialize() + b"\x00"
+        with pytest.raises(ProtocolError):
+            Message.deserialize(wire)
+
+
+class TestExpect:
+    def test_matching(self):
+        msg = Message(MessageType.ACK, (b"a", b"b"))
+        assert msg.expect(MessageType.ACK) == (b"a", b"b")
+        assert msg.expect(MessageType.ACK, 2) == (b"a", b"b")
+
+    def test_wrong_type(self):
+        with pytest.raises(ProtocolError):
+            Message(MessageType.ACK).expect(MessageType.ERROR)
+
+    def test_wrong_arity(self):
+        with pytest.raises(ProtocolError):
+            Message(MessageType.ACK, (b"x",)).expect(MessageType.ACK, 2)

@@ -1,0 +1,109 @@
+"""SSE over a real TCP socket: both schemes, errors, concurrency."""
+
+import pytest
+
+from repro.core import Document
+from repro.core.scheme1 import Scheme1Client, Scheme1Server
+from repro.core.scheme2 import Scheme2Client, Scheme2Server
+from repro.errors import ProtocolError
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+from repro.net.tcp import TcpClientTransport, TcpSseServer
+
+
+@pytest.fixture()
+def scheme2_over_tcp(master_key, rng):
+    server_obj = Scheme2Server(max_walk=64)
+    tcp = TcpSseServer(server_obj)
+    tcp.start()
+    transport = TcpClientTransport(tcp.host, tcp.port)
+    client = Scheme2Client(master_key, Channel(transport),
+                           chain_length=64, rng=rng)
+    yield client, server_obj, tcp, transport
+    transport.close()
+    tcp.stop()
+
+
+class TestScheme2OverTcp:
+    def test_full_workflow(self, scheme2_over_tcp):
+        client, _, _, _ = scheme2_over_tcp
+        client.store([
+            Document(0, b"first", frozenset({"k"})),
+            Document(1, b"second", frozenset({"k", "other"})),
+        ])
+        result = client.search("k")
+        assert result.doc_ids == [0, 1]
+        assert result.documents == [b"first", b"second"]
+
+        client.add_documents([Document(2, b"third", frozenset({"k"}))])
+        assert client.search("k").doc_ids == [0, 1, 2]
+        client.remove_documents([Document(0, b"first", frozenset({"k"}))])
+        assert client.search("k").doc_ids == [1, 2]
+
+    def test_server_state_really_remote(self, scheme2_over_tcp):
+        client, server_obj, _, _ = scheme2_over_tcp
+        client.store([Document(0, b"x", frozenset({"kw"}))])
+        assert server_obj.unique_keywords == 1  # landed across the socket
+
+    def test_two_clients_share_one_server(self, scheme2_over_tcp,
+                                          master_key):
+        from repro.crypto.rng import HmacDrbg
+
+        client, _, tcp, _ = scheme2_over_tcp
+        client.store([Document(0, b"x", frozenset({"kw"}))])
+        # A second connection with the same key sees the same data —
+        # counter state is shared out-of-band (same ctr value).
+        with TcpClientTransport(tcp.host, tcp.port) as transport2:
+            client2 = Scheme2Client(master_key, Channel(transport2),
+                                    chain_length=64, rng=HmacDrbg(2))
+            client2._ctr = client.ctr
+            assert client2.search("kw").doc_ids == [0]
+        assert tcp.connections_served == 2
+
+
+class TestScheme1OverTcp:
+    def test_two_round_search_over_socket(self, master_key,
+                                          elgamal_keypair, rng):
+        server_obj = Scheme1Server(
+            capacity=32,
+            elgamal_modulus_bytes=elgamal_keypair.public.modulus_bytes,
+        )
+        tcp = TcpSseServer(server_obj)
+        tcp.start()
+        try:
+            with TcpClientTransport(tcp.host, tcp.port) as transport:
+                channel = Channel(transport)
+                client = Scheme1Client(master_key, channel, capacity=32,
+                                       keypair=elgamal_keypair, rng=rng)
+                client.store([Document(0, b"remote doc",
+                                       frozenset({"k"}))])
+                channel.reset_stats()
+                result = client.search("k")
+                assert result.doc_ids == [0]
+                assert result.documents == [b"remote doc"]
+                assert channel.stats.rounds == 2  # Fig. 2 over real TCP
+        finally:
+            tcp.stop()
+
+
+class TestErrorHandling:
+    def test_malformed_request_returns_error_frame(self, scheme2_over_tcp):
+        _, _, tcp, transport = scheme2_over_tcp
+        with pytest.raises(ProtocolError, match="ProtocolError"):
+            transport.handle(Message(MessageType.S1_SEARCH_REQUEST,
+                                     (b"tag",)))
+
+    def test_connection_survives_errors(self, scheme2_over_tcp):
+        client, _, _, transport = scheme2_over_tcp
+        with pytest.raises(ProtocolError):
+            transport.handle(Message(MessageType.S1_SEARCH_REQUEST,
+                                     (b"tag",)))
+        client.store([Document(0, b"x", frozenset({"k"}))])
+        assert client.search("k").doc_ids == [0]  # same connection works
+
+    def test_closed_server_rejects_new_connections(self, master_key):
+        tcp = TcpSseServer(Scheme2Server(max_walk=16))
+        tcp.start()
+        tcp.stop()
+        with pytest.raises(OSError):
+            TcpClientTransport(tcp.host, tcp.port, timeout_s=0.5)

@@ -1,0 +1,108 @@
+"""Concurrent TCP clients: the server lock keeps state consistent."""
+
+import threading
+
+import pytest
+
+from repro.core import Document, keygen
+from repro.core.scheme2 import Scheme2Client, Scheme2Server
+from repro.crypto.rng import HmacDrbg
+from repro.net.channel import Channel
+from repro.net.tcp import TcpClientTransport, TcpSseServer
+
+
+@pytest.fixture()
+def tcp_server():
+    server_obj = Scheme2Server(max_walk=128)
+    tcp = TcpSseServer(server_obj)
+    tcp.start()
+    yield server_obj, tcp
+    tcp.stop()
+
+
+def test_parallel_searchers(tcp_server, master_key):
+    """Many threads searching concurrently all get exact results."""
+    server_obj, tcp = tcp_server
+    seed_client = Scheme2Client(
+        master_key, Channel(TcpClientTransport(tcp.host, tcp.port)),
+        chain_length=128, rng=HmacDrbg(1),
+    )
+    docs = [Document(i, b"body-%d" % i, frozenset({f"kw{i % 4}"}))
+            for i in range(16)]
+    seed_client.store(docs)
+    ctr = seed_client.ctr
+
+    errors: list[Exception] = []
+
+    def worker(thread_index: int) -> None:
+        try:
+            transport = TcpClientTransport(tcp.host, tcp.port)
+            client = Scheme2Client(master_key, Channel(transport),
+                                   chain_length=128,
+                                   rng=HmacDrbg(100 + thread_index))
+            client._ctr = ctr
+            for round_index in range(4):
+                keyword = f"kw{(thread_index + round_index) % 4}"
+                expected = sorted(
+                    d.doc_id for d in docs if keyword in d.keywords
+                )
+                result = client.search(keyword)
+                if result.doc_ids != expected:
+                    raise AssertionError(
+                        f"{keyword}: {result.doc_ids} != {expected}"
+                    )
+            transport.close()
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not errors, errors
+    assert tcp.connections_served >= 7
+
+
+def test_interleaved_writer_and_readers(tcp_server, master_key):
+    """A writer appending documents while readers search: readers see a
+    prefix-consistent view (every returned set is one the writer produced
+    at some point, never a torn state)."""
+    server_obj, tcp = tcp_server
+    writer = Scheme2Client(
+        master_key, Channel(TcpClientTransport(tcp.host, tcp.port)),
+        chain_length=128, rng=HmacDrbg(2),
+    )
+    writer.store([Document(0, b"base", frozenset({"k"}))])
+
+    valid_states = {frozenset([0])}
+    current = {0}
+    snapshots: list[frozenset] = []
+    stop = threading.Event()
+    errors: list[Exception] = []
+
+    def reader() -> None:
+        try:
+            transport = TcpClientTransport(tcp.host, tcp.port)
+            client = Scheme2Client(master_key, Channel(transport),
+                                   chain_length=128, rng=HmacDrbg(3))
+            while not stop.is_set():
+                client._ctr = writer.ctr
+                snapshots.append(frozenset(client.search("k").doc_ids))
+            transport.close()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    for i in range(1, 8):
+        writer.add_documents([Document(i, b"x", frozenset({"k"}))])
+        current = current | {i}
+        valid_states.add(frozenset(current))
+    stop.set()
+    thread.join(timeout=120)
+
+    assert not errors, errors
+    assert snapshots, "reader must have completed at least one search"
+    for snapshot in snapshots:
+        assert snapshot in valid_states, snapshot

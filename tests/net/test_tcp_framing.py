@@ -1,0 +1,111 @@
+"""TCP framing: size limits, torn frames, raw-socket misbehaviour."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.core.scheme2 import Scheme2Server
+from repro.errors import ProtocolError
+from repro.net.messages import Message, MessageType
+from repro.net.tcp import (TcpClientTransport, TcpSseServer, recv_frame,
+                           send_frame)
+
+
+@pytest.fixture()
+def tcp():
+    server = TcpSseServer(Scheme2Server(max_walk=16))
+    server.start()
+    yield server
+    server.stop()
+
+
+def _raw_connection(tcp):
+    return socket.create_connection((tcp.host, tcp.port), timeout=5)
+
+
+class TestFrameCodec:
+    def test_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, b"payload bytes")
+            assert recv_frame(b) == b"payload bytes"
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_frame(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, b"")
+            assert recv_frame(b) == b""
+        finally:
+            a.close()
+            b.close()
+
+    def test_orderly_close_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_torn_frame_detected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 100) + b"only-part")
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_announcement_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 1 << 31))
+            with pytest.raises(ProtocolError, match="oversized"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_send_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ProtocolError):
+                send_frame(a, b"\x00" * (64 * 1024 * 1024 + 1))
+        finally:
+            a.close()
+            b.close()
+
+
+class TestServerAgainstRawSockets:
+    def test_garbage_payload_gets_error_frame(self, tcp):
+        with _raw_connection(tcp) as sock:
+            send_frame(sock, b"\xff\xff\xff not a message")
+            frame = recv_frame(sock)
+            reply = Message.deserialize(frame)
+            assert reply.type == MessageType.ERROR
+
+    def test_connection_dropped_mid_frame_is_survived(self, tcp):
+        # A client that dies mid-frame must not take the server down.
+        sock = _raw_connection(tcp)
+        sock.sendall(struct.pack(">I", 500) + b"partial")
+        sock.close()
+        # The server still serves the next client.
+        with TcpClientTransport(tcp.host, tcp.port) as transport:
+            reply = transport.handle(
+                Message(MessageType.S2_SEARCH_REQUEST, (b"t" * 16, b"e" * 32))
+            )
+            assert reply.type == MessageType.DOCUMENTS_RESULT
+
+    def test_many_sequential_connections(self, tcp):
+        for i in range(5):
+            with TcpClientTransport(tcp.host, tcp.port) as transport:
+                reply = transport.handle(Message(
+                    MessageType.S2_SEARCH_REQUEST, (b"x" * 16, b"y" * 32)
+                ))
+                assert reply.type == MessageType.DOCUMENTS_RESULT
+        assert tcp.connections_served >= 5

@@ -1,0 +1,97 @@
+"""PHR⁺ facade over every scheme: the paper's §6 scenarios end-to-end."""
+
+import pytest
+
+from repro.baselines import make_naive
+from repro.core import keygen, make_scheme1, make_scheme2
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ParameterError
+from repro.phr.app import PhrPlus
+from repro.phr.corpus import CorpusSpec, generate_corpus
+from repro.phr.records import HealthRecordEntry
+
+
+def _apps(elgamal_keypair):
+    mk = keygen(rng=HmacDrbg(31))
+    yield "scheme1", PhrPlus(make_scheme1(
+        mk, capacity=256, keypair=elgamal_keypair, rng=HmacDrbg(32))[0])
+    yield "scheme2", PhrPlus(make_scheme2(
+        mk, chain_length=256, rng=HmacDrbg(33))[0])
+    yield "naive", PhrPlus(make_naive(mk, rng=HmacDrbg(34))[0])
+
+
+@pytest.fixture()
+def corpus():
+    return generate_corpus(CorpusSpec(num_patients=6, entries_per_patient=3))
+
+
+class TestRecordRetrieval:
+    def test_patient_record_complete(self, elgamal_keypair, corpus):
+        for name, app in _apps(elgamal_keypair):
+            app.upload_entries(corpus)
+            record = app.patient_record("p0003")
+            expected = sorted(
+                (e for e in corpus if e.patient_id == "p0003"),
+                key=lambda e: (e.date, e.entry_id),
+            )
+            assert record == expected, name
+
+    def test_find_by_term_matches_reference(self, elgamal_keypair, corpus):
+        term = "sym:fever"
+        expected_ids = {e.entry_id for e in corpus if term in e.terms}
+        for name, app in _apps(elgamal_keypair):
+            app.upload_entries(corpus)
+            found = {e.entry_id for e in app.find_by_term(term)}
+            assert found == expected_ids, name
+
+    def test_unknown_patient_empty(self, elgamal_keypair, corpus):
+        for name, app in _apps(elgamal_keypair):
+            app.upload_entries(corpus)
+            assert app.patient_record("p9999") == [], name
+
+
+class TestGpWorkflow:
+    def test_gp_visit_retrieve_then_update(self, elgamal_keypair, corpus):
+        for name, app in _apps(elgamal_keypair):
+            app.upload_entries(corpus)
+            new_entry = HealthRecordEntry(
+                entry_id=app.allocate_entry_id(),
+                patient_id="p0001",
+                date="2010-02-02",
+                entry_type="visit",
+                terms=frozenset({"sym:headache"}),
+            )
+            before = app.gp_visit("p0001", new_entry)
+            assert all(e.patient_id == "p0001" for e in before), name
+            after = app.patient_record("p0001")
+            assert len(after) == len(before) + 1, name
+            assert after[-1] == new_entry, name
+
+    def test_traveler_checks_vaccination(self, elgamal_keypair, corpus):
+        """The §6 journalist scenario: term search across the population."""
+        for name, app in _apps(elgamal_keypair):
+            app.upload_entries(corpus)
+            entry = HealthRecordEntry(
+                entry_id=app.allocate_entry_id(),
+                patient_id="p0005",
+                date="2010-03-03",
+                entry_type="procedure",
+                terms=frozenset({"proc:vaccination-yellow-fever"}),
+            )
+            app.add_entry(entry)
+            found = app.find_by_term("proc:vaccination-yellow-fever")
+            assert any(e.patient_id == "p0005" for e in found), name
+
+
+class TestIdManagement:
+    def test_duplicate_upload_rejected(self, elgamal_keypair, corpus):
+        _, app = next(iter(_apps(elgamal_keypair)))
+        app.upload_entries(corpus)
+        with pytest.raises(ParameterError):
+            app.add_entry(corpus[0])
+
+    def test_allocate_skips_used_ids(self, elgamal_keypair, corpus):
+        _, app = next(iter(_apps(elgamal_keypair)))
+        app.upload_entries(corpus)
+        fresh = app.allocate_entry_id()
+        assert fresh == max(e.entry_id for e in corpus) + 1

@@ -1,0 +1,76 @@
+"""Synthetic PHR corpus: shape, determinism, clinical structure."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ParameterError
+from repro.phr.corpus import CorpusSpec, generate_corpus, patient_ids
+from repro.phr.vocabulary import CONDITIONS
+
+
+class TestShape:
+    def test_counts(self):
+        entries = generate_corpus(CorpusSpec(num_patients=4,
+                                             entries_per_patient=3))
+        assert len(entries) == 12
+        assert sorted(e.entry_id for e in entries) == list(range(12))
+
+    def test_every_patient_covered(self):
+        spec = CorpusSpec(num_patients=5, entries_per_patient=2)
+        entries = generate_corpus(spec)
+        patients = {e.patient_id for e in entries}
+        assert patients == set(patient_ids(5))
+
+    def test_entries_have_terms(self):
+        for entry in generate_corpus(CorpusSpec(num_patients=3,
+                                                entries_per_patient=2)):
+            assert entry.terms
+            assert entry.date.startswith("2009-")
+
+    def test_invalid_spec(self):
+        with pytest.raises(ParameterError):
+            CorpusSpec(num_patients=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        spec = CorpusSpec(num_patients=3, entries_per_patient=2, seed=42)
+        assert generate_corpus(spec) == generate_corpus(spec)
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(CorpusSpec(seed=1))
+        b = generate_corpus(CorpusSpec(seed=2))
+        assert a != b
+
+    def test_explicit_rng_overrides(self):
+        spec = CorpusSpec(seed=1)
+        assert generate_corpus(spec, HmacDrbg(9)) != generate_corpus(spec)
+
+
+class TestClinicalStructure:
+    def test_chronic_conditions_persist(self):
+        """A patient's chronic conditions appear in every one of their
+        entries — the longitudinal structure real records have."""
+        entries = generate_corpus(CorpusSpec(num_patients=4,
+                                             entries_per_patient=4))
+        by_patient: dict[str, list] = {}
+        for e in entries:
+            by_patient.setdefault(e.patient_id, []).append(e)
+        for patient_entries in by_patient.values():
+            conditions = [
+                {t for t in e.terms if t in CONDITIONS}
+                for e in patient_entries
+            ]
+            shared = set.intersection(*conditions)
+            assert shared, "each patient needs persistent conditions"
+
+    def test_prescriptions_carry_medications(self):
+        entries = generate_corpus(CorpusSpec(num_patients=10,
+                                             entries_per_patient=5))
+        prescriptions = [e for e in entries
+                         if e.entry_type == "prescription"]
+        assert prescriptions
+        assert all(
+            any(t.startswith("med:") for t in e.terms)
+            for e in prescriptions
+        )

@@ -1,0 +1,66 @@
+"""Health-record entries: serialization, keyword derivation, validation."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.phr.records import HealthRecordEntry
+from repro.phr.vocabulary import patient_keyword
+
+
+@pytest.fixture()
+def entry():
+    return HealthRecordEntry(
+        entry_id=3,
+        patient_id="p0007",
+        date="2009-06-15",
+        entry_type="visit",
+        terms=frozenset({"sym:fever", "cond:asthma"}),
+        notes="routine check",
+    )
+
+
+class TestValidation:
+    def test_negative_id(self):
+        with pytest.raises(ParameterError):
+            HealthRecordEntry(-1, "p1", "2009-01-01", "visit")
+
+    def test_empty_patient(self):
+        with pytest.raises(ParameterError):
+            HealthRecordEntry(0, "", "2009-01-01", "visit")
+
+    def test_bad_type(self):
+        with pytest.raises(ParameterError):
+            HealthRecordEntry(0, "p1", "2009-01-01", "surgery")
+
+
+class TestDocumentConversion:
+    def test_keywords_include_routing_and_terms(self, entry):
+        doc = entry.to_document()
+        assert patient_keyword("p0007") in doc.keywords
+        assert "sym:fever" in doc.keywords
+        assert "cond:asthma" in doc.keywords
+        assert "type:visit" in doc.keywords
+
+    def test_roundtrip(self, entry):
+        doc = entry.to_document()
+        restored = HealthRecordEntry.from_document_data(doc.doc_id, doc.data)
+        assert restored == entry
+
+    def test_body_is_json(self, entry):
+        import json
+
+        payload = json.loads(entry.to_document().data)
+        assert payload["patient"] == "p0007"
+        assert payload["type"] == "visit"
+        assert payload["notes"] == "routine check"
+
+    def test_deterministic_serialization(self, entry):
+        assert entry.to_document().data == entry.to_document().data
+
+
+class TestPatientKeyword:
+    def test_normalizes(self):
+        assert patient_keyword(" P0007 ") == "patient:p0007"
+
+    def test_distinct_patients(self):
+        assert patient_keyword("p1") != patient_keyword("p2")

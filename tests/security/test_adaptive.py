@@ -1,0 +1,113 @@
+"""Adaptive adversaries (Definition 4): view-driven strategies cannot
+distinguish real deployments from the simulator."""
+
+import pytest
+
+from repro.core import Document, keygen, make_scheme1
+from repro.crypto.rng import HmacDrbg
+from repro.security.adaptive import (adaptive_experiment,
+                                     run_real_adaptive,
+                                     run_simulated_adaptive)
+from repro.security.simulator import ViewShape
+from repro.errors import ParameterError
+
+_MENU = ["fever", "flu", "cough", "rash"]
+
+
+@pytest.fixture()
+def documents():
+    return tuple(
+        Document(i, bytes([65 + i]) * 30,
+                 frozenset(_MENU[: 1 + i % len(_MENU)]))
+        for i in range(5)
+    )
+
+
+@pytest.fixture()
+def deployment(master_key, elgamal_keypair, rng):
+    return make_scheme1(master_key, capacity=32, keypair=elgamal_keypair,
+                        rng=rng)
+
+
+@pytest.fixture()
+def shape(elgamal_keypair):
+    return ViewShape(capacity=32,
+                     elgamal_modulus_bytes=elgamal_keypair.public.modulus_bytes)
+
+
+def _shape_driven_adversary(view, t, menu_size):
+    """Chooses based only on public view structure (sizes, repeats)."""
+    total = sum(len(c) for c in view.ciphertexts) + len(view.trapdoors)
+    return (total + t) % menu_size
+
+
+def _repeat_seeker(view, t, menu_size):
+    """Always re-queries index 0 after the first step — max repetition."""
+    return 0
+
+
+class TestRealRuns:
+    def test_views_grow_by_one_trapdoor(self, documents, deployment):
+        client, server, _ = deployment
+        run = run_real_adaptive(documents, _MENU,
+                                _shape_driven_adversary, 4, client, server)
+        assert [len(v.trapdoors) for v in run.partial_views] == [1, 2, 3, 4]
+
+    def test_repeated_choice_repeats_trapdoor(self, documents, deployment):
+        client, server, _ = deployment
+        run = run_real_adaptive(documents, _MENU, _repeat_seeker, 3,
+                                client, server)
+        trapdoors = run.final_view.trapdoors
+        assert trapdoors[0] == trapdoors[1] == trapdoors[2]
+
+    def test_step_floor(self, documents, deployment):
+        client, server, _ = deployment
+        with pytest.raises(ParameterError):
+            run_real_adaptive(documents, _MENU, _repeat_seeker, 0,
+                              client, server)
+
+
+class TestSimulatedRuns:
+    def test_simulated_views_consistent(self, documents, shape):
+        run = run_simulated_adaptive(documents, _MENU, _repeat_seeker, 3,
+                                     shape, HmacDrbg(1))
+        trapdoors = run.final_view.trapdoors
+        assert trapdoors[0] == trapdoors[1] == trapdoors[2]
+        # Table identity stays fixed across steps (a server's index does
+        # not get regenerated per query).
+        tables = {v.index_entries for v in run.partial_views}
+        assert len(tables) == 1
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("adversary", [
+        _shape_driven_adversary, _repeat_seeker,
+    ])
+    def test_no_divergence_for_view_driven_strategies(
+            self, documents, deployment, shape, adversary):
+        client, server, _ = deployment
+        outcome = adaptive_experiment(documents, _MENU, adversary, 4,
+                                      client, server, shape, HmacDrbg(2))
+        assert not outcome["choices_diverged"]
+        assert all(outcome["per_step_shape_match"])
+
+    def test_divergence_detected_for_content_peeking(self, documents,
+                                                     deployment, shape):
+        """A strategy keying on actual ciphertext BYTES (not shapes) sees
+        different randomness in the two worlds and diverges — the harness
+        must report that rather than mask it.  This is not an attack on
+        the scheme: both byte streams are pseudorandom; divergence only
+        means the adversary's coin flips differ, which the comparison
+        framework has to surface."""
+
+        def byte_peeker(view, t, menu_size):
+            if not view.trapdoors and not view.ciphertexts:
+                return 0
+            material = view.ciphertexts[0] if view.ciphertexts else b"\x00"
+            return material[t % len(material)] % menu_size
+
+        client, server, _ = deployment
+        outcome = adaptive_experiment(documents, _MENU, byte_peeker, 4,
+                                      client, server, shape, HmacDrbg(3))
+        # Shapes still match step by step regardless of divergence.
+        assert all(outcome["per_step_shape_match"])

@@ -1,0 +1,127 @@
+"""Leakage-abuse attacks: the allowed trace is genuinely exploitable —
+and countermeasures measurably blunt it."""
+
+import pytest
+
+from repro.core import Document, make_scheme2
+from repro.errors import ParameterError
+from repro.security.attacks import (FrequencyAttack, KnownDocumentAttack,
+                                    QueryObservation, recovery_rate)
+from repro.workloads.generator import WorkloadSpec, generate_collection
+
+
+def _observe(client, keyword):
+    return QueryObservation(tuple(client.search(keyword).doc_ids))
+
+
+@pytest.fixture()
+def skewed_deployment(master_key, rng):
+    """A Zipf corpus where keyword frequencies are highly distinctive."""
+    documents = generate_collection(WorkloadSpec(
+        num_documents=60, unique_keywords=30, keywords_per_doc=4,
+        zipf_s=1.3, doc_size_bytes=8, seed=77,
+    ))
+    client, _, _ = make_scheme2(master_key, chain_length=32, rng=rng)
+    client.store(documents)
+    return client, documents
+
+
+class TestFrequencyAttack:
+    def test_recovers_distinctive_keywords(self, skewed_deployment):
+        client, documents = skewed_deployment
+        truth_counts = {}
+        for doc in documents:
+            for kw in doc.keywords:
+                truth_counts[kw] = truth_counts.get(kw, 0) + 1
+        attack = FrequencyAttack(truth_counts)
+
+        # Query keywords whose frequency is unique in the corpus — exactly
+        # the ones frequency analysis nails.
+        unique_count_keywords = [
+            kw for kw, c in truth_counts.items()
+            if sum(1 for other in truth_counts.values() if other == c) == 1
+        ]
+        assert unique_count_keywords, "skewed corpus must have unique counts"
+        guesses = [attack.guess(_observe(client, kw))
+                   for kw in unique_count_keywords]
+        assert recovery_rate(guesses, unique_count_keywords) == 1.0
+
+    def test_padding_countermeasure_blunts_attack(self, skewed_deployment):
+        """If every result set were padded to the same size, the count
+        channel carries nothing: every query yields the same guess list."""
+        client, documents = skewed_deployment
+        truth_counts = {}
+        for doc in documents:
+            for kw in doc.keywords:
+                truth_counts[kw] = truth_counts.get(kw, 0) + 1
+        attack = FrequencyAttack(truth_counts)
+        padded = QueryObservation(tuple(range(60)))  # constant-size result
+        rankings = {tuple(attack.rank_keywords(padded, top=5))
+                    for _ in range(5)}
+        assert len(rankings) == 1  # identical, keyword-independent output
+
+    def test_rank_includes_near_misses(self):
+        attack = FrequencyAttack({"a": 10, "b": 11, "c": 50})
+        ranked = attack.rank_keywords(QueryObservation(tuple(range(10))),
+                                      top=2)
+        assert ranked == ["a", "b"]
+
+    def test_needs_auxiliary(self):
+        with pytest.raises(ParameterError):
+            FrequencyAttack({})
+
+
+class TestKnownDocumentAttack:
+    def test_unique_footprint_identifies_keyword(self, master_key, rng):
+        documents = [
+            Document(0, b"a", frozenset({"flu", "fever"})),
+            Document(1, b"b", frozenset({"flu"})),
+            Document(2, b"c", frozenset({"cough"})),
+        ]
+        client, _, _ = make_scheme2(master_key, chain_length=32, rng=rng)
+        client.store(documents)
+        attack = KnownDocumentAttack({
+            d.doc_id: d.keywords for d in documents
+        })
+        for keyword in ("flu", "fever", "cough"):
+            assert attack.guess(_observe(client, keyword)) == keyword
+
+    def test_ambiguous_footprint_returns_candidates(self):
+        attack = KnownDocumentAttack({
+            0: frozenset({"x", "y"}),  # x and y co-occur everywhere known
+            1: frozenset({"x", "y"}),
+        })
+        observation = QueryObservation((0, 1))
+        assert attack.candidates(observation) == ["x", "y"]
+        assert attack.guess(observation) is None
+
+    def test_partial_knowledge_still_narrows(self, master_key, rng):
+        """Knowing only SOME documents still shrinks the candidate set."""
+        documents = [
+            Document(i, b"d", frozenset({f"kw{i}", "common"}))
+            for i in range(6)
+        ]
+        client, _, _ = make_scheme2(master_key, chain_length=32, rng=rng)
+        client.store(documents)
+        known = {d.doc_id: d.keywords for d in documents[:3]}
+        attack = KnownDocumentAttack(known)
+        observation = _observe(client, "kw1")
+        candidates = attack.candidates(observation)
+        assert "kw1" in candidates
+        assert "common" not in candidates  # common hits all known docs
+
+    def test_needs_documents(self):
+        with pytest.raises(ParameterError):
+            KnownDocumentAttack({})
+
+
+class TestRecoveryRate:
+    def test_basic(self):
+        assert recovery_rate(["a", "b", None], ["a", "x", "c"]) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert recovery_rate([], []) == 0.0
+
+    def test_misaligned(self):
+        with pytest.raises(ParameterError):
+            recovery_rate(["a"], [])

@@ -1,0 +1,158 @@
+"""Indistinguishability games: honest simulator passes, broken ones fail.
+
+These are the executable form of Theorem 1.  Each game builds several real
+views (fresh keys each time) and several simulated views from the same
+trace, then runs a distinguisher over both samples.  For a sound scheme the
+advantage should be statistically small; for deliberately sabotaged
+simulators it must be large — which also proves the harness has power.
+"""
+
+import pytest
+
+from repro.core import keygen, make_scheme1
+from repro.crypto.rng import HmacDrbg
+from repro.security.games import Distinguishers, distinguishing_advantage
+from repro.security.simulator import ViewShape, simulate_view
+from repro.security.trace import History, View, real_view, trace_of
+
+_TRIALS = 8
+
+
+@pytest.fixture(scope="module")
+def game_data(request):
+    """Real and simulated view samples for one fixed history."""
+    elgamal_keypair = request.getfixturevalue("elgamal_keypair")
+    from repro.core.documents import Document
+
+    documents = (
+        Document(0, b"a" * 40, frozenset({"fever", "flu"})),
+        Document(1, b"b" * 40, frozenset({"flu"})),
+        Document(2, b"c" * 40, frozenset({"cough"})),
+        Document(3, b"d" * 40, frozenset({"rash", "flu"})),
+    )
+    history = History(documents, ("flu", "cough", "flu"))
+    trace = trace_of(history)
+    shape = ViewShape(
+        capacity=32,
+        elgamal_modulus_bytes=elgamal_keypair.public.modulus_bytes,
+    )
+
+    real_views = []
+    for i in range(_TRIALS):
+        client, server, _ = make_scheme1(
+            keygen(rng=HmacDrbg(100 + i)), capacity=32,
+            keypair=elgamal_keypair, rng=HmacDrbg(200 + i),
+        )
+        real_views.append(real_view(history, client, server))
+    simulated_views = [
+        simulate_view(trace, shape, HmacDrbg(300 + i))
+        for i in range(_TRIALS)
+    ]
+    return real_views, simulated_views, trace, shape
+
+
+_LEGAL_DISTINGUISHERS = [
+    ("ciphertext_entropy", Distinguishers.ciphertext_entropy, 0.01),
+    ("masked_index_entropy", Distinguishers.masked_index_entropy, 0.2),
+    ("masked_index_popcount", Distinguishers.masked_index_popcount, 0.04),
+    ("total_view_bytes", Distinguishers.total_view_bytes, 0.0),
+    ("trapdoor_repeat_fraction",
+     Distinguishers.trapdoor_repeat_fraction, 0.0),
+    ("trapdoors_in_index_fraction",
+     Distinguishers.trapdoors_in_index_fraction, 0.0),
+]
+
+
+@pytest.mark.parametrize("name,distinguisher,tolerance",
+                         _LEGAL_DISTINGUISHERS)
+def test_honest_simulator_resists(game_data, name, distinguisher,
+                                  tolerance):
+    real_views, simulated_views, _, _ = game_data
+    result = distinguishing_advantage(real_views, simulated_views,
+                                      distinguisher)
+    assert abs(result.mean_gap) <= max(
+        tolerance, 0.05 * max(abs(s) for s in result.real_scores + (1.0,))
+    ), (name, result.mean_gap)
+
+
+def test_structural_statistics_identical(game_data):
+    """Zero-tolerance stats: sizes, repeat patterns must match exactly."""
+    real_views, simulated_views, _, _ = game_data
+    for stat in (Distinguishers.total_view_bytes,
+                 Distinguishers.trapdoor_repeat_fraction,
+                 Distinguishers.trapdoors_in_index_fraction):
+        real_scores = {stat(v) for v in real_views}
+        sim_scores = {stat(v) for v in simulated_views}
+        assert real_scores == sim_scores
+
+
+class TestHarnessPower:
+    """Broken simulators must be *caught* — validates the game itself."""
+
+    def test_wrong_ciphertext_sizes_detected(self, game_data):
+        real_views, _, trace, shape = game_data
+        cheat_views = []
+        for i in range(_TRIALS):
+            view = simulate_view(trace, shape, HmacDrbg(400 + i))
+            cheat_views.append(View(
+                doc_ids=view.doc_ids,
+                ciphertexts=tuple(ct[:10] for ct in view.ciphertexts),
+                index_entries=view.index_entries,
+                trapdoors=view.trapdoors,
+            ))
+        result = distinguishing_advantage(
+            real_views, cheat_views, Distinguishers.total_view_bytes
+        )
+        assert result.advantage == 1.0
+
+    def test_unmasked_index_detected(self, game_data):
+        """A simulator emitting sparse plaintext-like indexes is caught by
+        the popcount distinguisher — this is what 'the mask matters' means."""
+        real_views, _, trace, shape = game_data
+        cheat_views = []
+        for i in range(_TRIALS):
+            view = simulate_view(trace, shape, HmacDrbg(500 + i))
+            # Replace masked indexes with sparse plaintext-looking arrays.
+            sparse = bytes([1]) + bytes(shape.masked_index_size - 1)
+            cheat_views.append(View(
+                doc_ids=view.doc_ids,
+                ciphertexts=view.ciphertexts,
+                index_entries=tuple(
+                    (a, sparse, c) for a, _, c in view.index_entries
+                ),
+                trapdoors=view.trapdoors,
+            ))
+        result = distinguishing_advantage(
+            real_views, cheat_views, Distinguishers.masked_index_popcount
+        )
+        assert result.advantage == 1.0
+
+    def test_broken_search_pattern_detected(self, game_data):
+        real_views, _, trace, shape = game_data
+        cheat_views = []
+        for i in range(_TRIALS):
+            view = simulate_view(trace, shape, HmacDrbg(600 + i))
+            # Fresh random trapdoor for every query: repeats disappear.
+            rng = HmacDrbg(700 + i)
+            cheat_views.append(View(
+                doc_ids=view.doc_ids,
+                ciphertexts=view.ciphertexts,
+                index_entries=view.index_entries,
+                trapdoors=tuple(
+                    rng.random_bytes(shape.tag_size) for _ in view.trapdoors
+                ),
+            ))
+        result = distinguishing_advantage(
+            real_views, cheat_views, Distinguishers.trapdoor_repeat_fraction
+        )
+        assert result.advantage == 1.0
+
+
+class TestGameResult:
+    def test_advantage_bounds(self):
+        from repro.security.games import GameResult
+
+        result = GameResult(real_scores=(1.0, 1.0), simulated_scores=(0.0, 0.0))
+        assert result.advantage == 1.0
+        same = GameResult(real_scores=(0.5, 0.5), simulated_scores=(0.5, 0.5))
+        assert same.advantage == 0.0

@@ -1,0 +1,116 @@
+"""Update leakage (§5.7): observation, metrics, and the two mitigations."""
+
+import pytest
+
+from repro.core import Document, keygen, make_scheme2
+from repro.crypto.rng import HmacDrbg
+from repro.security.leakage import (attribution_entropy_bits,
+                                    keyword_count_leak_bits, linkage_matrix,
+                                    observe_updates)
+
+
+@pytest.fixture()
+def deployment(master_key, rng):
+    return make_scheme2(master_key, chain_length=128, rng=rng)
+
+
+class TestObservation:
+    def test_updates_extracted_from_transcript(self, deployment):
+        client, _, channel = deployment
+        client.store([Document(0, b"a", frozenset({"k1", "k2"}))])
+        client.add_documents([Document(1, b"b", frozenset({"k1"}))])
+        observations = observe_updates(channel.transcript)
+        assert len(observations) == 2
+        assert observations[0].keyword_count == 2
+        assert observations[1].keyword_count == 1
+
+    def test_searches_not_observed_as_updates(self, deployment):
+        client, _, channel = deployment
+        client.store([Document(0, b"a", frozenset({"k"}))])
+        channel.reset_stats()
+        client.search("k")
+        assert observe_updates(channel.transcript) == []
+
+    def test_payload_sizes_recorded(self, deployment):
+        client, _, channel = deployment
+        client.store([Document(0, b"a", frozenset({"k"}))])
+        obs = observe_updates(channel.transcript)[0]
+        assert len(obs.payload_sizes) == 1
+        assert obs.payload_sizes[0] > 0
+
+
+class TestAttributionEntropy:
+    def test_singleton_update_leaks_fully(self):
+        assert attribution_entropy_bits(1) == 0.0
+
+    def test_grows_with_batch(self):
+        assert attribution_entropy_bits(2) == 1.0
+        assert attribution_entropy_bits(64) == 6.0
+        values = [attribution_entropy_bits(b) for b in (1, 4, 16, 64)]
+        assert values == sorted(values)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            attribution_entropy_bits(0)
+
+
+class TestKeywordCountChannel:
+    def test_constant_counts_leak_nothing(self):
+        assert keyword_count_leak_bits([5, 5, 5, 5]) == 0.0
+
+    def test_varied_counts_leak(self):
+        assert keyword_count_leak_bits([1, 2, 3, 4]) == 2.0
+
+    def test_empty(self):
+        assert keyword_count_leak_bits([]) == 0.0
+
+    def test_fake_updates_close_the_channel(self, deployment):
+        """Padding every update to a fixed keyword set flattens counts."""
+        client, _, channel = deployment
+        universe = ["k1", "k2", "k3"]
+        client.store([Document(0, b"a", frozenset({"k1"}))])
+        # Unpadded: update keyword counts vary with content.
+        client.add_documents([Document(1, b"b", frozenset({"k1", "k2"}))])
+        client.add_documents([Document(2, b"c", frozenset({"k3"}))])
+        unpadded = [o.keyword_count
+                    for o in observe_updates(channel.transcript)]
+        assert keyword_count_leak_bits(unpadded) > 0.0
+
+        # Padded: every update (real or fake) touches the full universe.
+        channel.reset_stats()
+        client.add_documents([Document(3, b"d",
+                                       frozenset(universe))])
+        client.fake_update(universe)
+        client.fake_update(universe)
+        padded = [o.keyword_count
+                  for o in observe_updates(channel.transcript)]
+        assert keyword_count_leak_bits(padded) == 0.0
+
+
+class TestLinkage:
+    def test_shared_keywords_link_updates(self, deployment):
+        client, _, channel = deployment
+        client.store([Document(0, b"a", frozenset({"common", "x"}))])
+        client.add_documents([Document(1, b"b", frozenset({"common"}))])
+        client.add_documents([Document(2, b"c", frozenset({"unrelated"}))])
+        matrix = linkage_matrix(observe_updates(channel.transcript))
+        assert matrix[0][1] == 1  # "common" tag repeats
+        assert matrix[0][2] == 0
+        assert matrix[1][2] == 0
+        assert matrix[0][0] == 2  # diagonal = own tag count
+
+    def test_fake_updates_flatten_linkage(self, deployment):
+        client, _, channel = deployment
+        universe = ["k1", "k2", "k3", "k4"]
+        client.store([Document(0, b"a", frozenset(universe))])
+        for i in range(1, 4):
+            client.add_documents([Document(i, b"x", frozenset({"k1"}))])
+            client.fake_update([k for k in universe if k != "k1"])
+        # Merge the real+fake pair per round: every round touches all of
+        # the universe, so pairwise overlap is constant.
+        observations = observe_updates(channel.transcript)
+        rounds = []
+        for j in range(1, len(observations), 2):
+            rounds.append(set(observations[j].tags)
+                          | set(observations[j + 1].tags))
+        assert all(r == rounds[0] for r in rounds)

@@ -1,0 +1,140 @@
+"""Scheme 2 simulation: the security argument the paper only sketches."""
+
+import math
+
+import pytest
+
+from repro.core import Document, keygen, make_scheme2
+from repro.crypto.authenc import OVERHEAD
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ParameterError
+from repro.security.scheme2_sim import (observe_scheme2_view,
+                                        simulate_scheme2_view,
+                                        trace_of_scheme2_view)
+
+
+def _run_real(seed):
+    """One real Scheme 2 interaction; returns the observed view."""
+    client, server, _ = make_scheme2(keygen(rng=HmacDrbg(seed)),
+                                     chain_length=64,
+                                     rng=HmacDrbg(seed + 1))
+    client.store([
+        Document(0, b"A" * 40, frozenset({"flu", "fever"})),
+        Document(1, b"B" * 40, frozenset({"flu"})),
+    ])
+    client.add_documents([Document(2, b"C" * 40, frozenset({"fever"}))])
+    queries = []
+    for keyword in ("flu", "fever", "flu"):
+        trapdoor_element = client._chain_for(keyword).element(
+            client.chain_length - client.ctr
+        )
+        client.search(keyword)
+        queries.append((client._tag_for(keyword), trapdoor_element))
+    return observe_scheme2_view(server, queries)
+
+
+@pytest.fixture(scope="module")
+def real_view():
+    return _run_real(7000)
+
+
+@pytest.fixture(scope="module")
+def simulated_view(real_view):
+    trace = trace_of_scheme2_view(real_view, OVERHEAD)
+    return simulate_scheme2_view(trace, OVERHEAD, HmacDrbg(8000))
+
+
+class TestShapeFidelity:
+    def test_document_shapes(self, real_view, simulated_view):
+        assert simulated_view.doc_ids == real_view.doc_ids
+        assert ([len(c) for c in simulated_view.ciphertexts]
+                == [len(c) for c in real_view.ciphertexts])
+
+    def test_index_shapes(self, real_view, simulated_view):
+        assert len(simulated_view.index) == len(real_view.index)
+        real_shapes = sorted(
+            tuple((len(b), len(v)) for b, v in segments)
+            for _, segments in real_view.index
+        )
+        sim_shapes = sorted(
+            tuple((len(b), len(v)) for b, v in segments)
+            for _, segments in simulated_view.index
+        )
+        assert real_shapes == sim_shapes
+
+    def test_trapdoor_pattern(self, real_view, simulated_view):
+        def pattern(view):
+            seen = {}
+            out = []
+            for t in view.trapdoors:
+                out.append(seen.setdefault(t, len(seen)))
+            return out
+
+        assert pattern(simulated_view) == pattern(real_view)
+
+    def test_trapdoor_tags_point_into_index(self, simulated_view):
+        tags = {tag for tag, _ in simulated_view.index}
+        assert all(tag in tags for tag, _ in simulated_view.trapdoors)
+
+
+class TestStatisticalIndistinguishability:
+    @staticmethod
+    def _entropy(data: bytes) -> float:
+        counts = [0] * 256
+        for byte in data:
+            counts[byte] += 1
+        total = len(data)
+        return -sum(
+            (c / total) * math.log2(c / total) for c in counts if c
+        )
+
+    def test_segment_bytes_look_random_in_both_worlds(self, real_view,
+                                                      simulated_view):
+        def mean_entropy(view):
+            blobs = [b for _, segments in view.index
+                     for b, _ in segments]
+            blob = b"".join(blobs)
+            return self._entropy(blob)
+
+        real = mean_entropy(real_view)
+        sim = mean_entropy(simulated_view)
+        # Both are high-entropy byte soups; a large gap would indicate
+        # structure leaking through the PRP.
+        assert abs(real - sim) < 1.0
+
+    def test_views_differ_across_keys_but_shapes_do_not(self):
+        a = _run_real(7100)
+        b = _run_real(7200)
+        assert a.index != b.index  # fresh keys → different bytes
+        shapes_a = sorted(
+            tuple((len(x), len(v)) for x, v in segs) for _, segs in a.index
+        )
+        shapes_b = sorted(
+            tuple((len(x), len(v)) for x, v in segs) for _, segs in b.index
+        )
+        assert shapes_a == shapes_b  # ...but identical trace shapes
+
+
+class TestTraceDiscipline:
+    def test_trace_carries_no_plaintext(self, real_view):
+        trace = trace_of_scheme2_view(real_view, OVERHEAD)
+        flat = repr(trace)
+        assert "flu" not in flat and "fever" not in flat
+
+    def test_simulator_rejects_dangling_query_ids(self, real_view):
+        trace = trace_of_scheme2_view(real_view, OVERHEAD)
+        forged = type(trace)(
+            doc_ids=trace.doc_ids,
+            doc_lengths=trace.doc_lengths,
+            updates=trace.updates,
+            query_keyword_ids=(999,),
+            query_results=(),
+        )
+        with pytest.raises(ParameterError):
+            simulate_scheme2_view(forged, OVERHEAD, HmacDrbg(1))
+
+    def test_deterministic_given_coins(self, real_view):
+        trace = trace_of_scheme2_view(real_view, OVERHEAD)
+        a = simulate_scheme2_view(trace, OVERHEAD, HmacDrbg(5))
+        b = simulate_scheme2_view(trace, OVERHEAD, HmacDrbg(5))
+        assert a == b

@@ -1,0 +1,73 @@
+"""History/Trace/View construction (Definitions 1–3)."""
+
+import pytest
+
+from repro.core import Document
+from repro.errors import ParameterError
+from repro.security.trace import History, search_pattern_matrix, trace_of
+
+
+@pytest.fixture()
+def history(sample_documents):
+    return History(tuple(sample_documents), ("flu", "rash", "flu"))
+
+
+class TestHistory:
+    def test_queries_normalized(self, sample_documents):
+        h = History(tuple(sample_documents), ("FLU", " rash "))
+        assert h.queries == ("flu", "rash")
+
+    def test_duplicate_ids_rejected(self):
+        docs = (Document(0, b"a"), Document(0, b"b"))
+        with pytest.raises(ParameterError):
+            History(docs, ())
+
+    def test_partial(self, history):
+        partial = history.partial(1)
+        assert partial.queries == ("flu",)
+        assert partial.documents == history.documents
+        with pytest.raises(ParameterError):
+            history.partial(4)
+
+
+class TestSearchPattern:
+    def test_matrix(self):
+        pattern = search_pattern_matrix(["a", "b", "a"])
+        assert pattern == [[1, 0, 1], [0, 1, 0], [1, 0, 1]]
+
+    def test_empty(self):
+        assert search_pattern_matrix([]) == []
+
+
+class TestTrace:
+    def test_contents(self, history, sample_documents):
+        trace = trace_of(history)
+        assert trace.doc_ids == tuple(d.doc_id for d in sample_documents)
+        assert trace.doc_lengths == tuple(d.size for d in sample_documents)
+        all_keywords = set()
+        for d in sample_documents:
+            all_keywords |= d.keywords
+        assert trace.total_keywords == len(all_keywords)
+        assert trace.query_results[0] == (0, 1, 4)   # D(flu)
+        assert trace.query_results[1] == (2, 4)      # D(rash)
+        assert trace.search_pattern[0][2] == 1       # repeated query
+        assert trace.num_queries == 3
+
+    def test_partial(self, history):
+        trace = trace_of(history)
+        partial = trace.partial(2)
+        assert partial.num_queries == 2
+        assert partial.query_results == trace.query_results[:2]
+        assert len(partial.search_pattern) == 2
+        assert all(len(row) == 2 for row in partial.search_pattern)
+        with pytest.raises(ParameterError):
+            trace.partial(5)
+
+    def test_trace_of_partial_history_matches_partial_trace(self, history):
+        assert trace_of(history.partial(2)) == trace_of(history).partial(2)
+
+    def test_trace_contains_no_keywords(self, history):
+        """The trace is keyword-free: only ids, lengths, counts, patterns."""
+        trace = trace_of(history)
+        flat = repr(trace)
+        assert "flu" not in flat and "rash" not in flat

@@ -1,0 +1,84 @@
+"""The essence of Definition 4: equal traces ⇒ identical simulation.
+
+Two *different* histories whose traces coincide (same ids, lengths,
+keyword count, result sets, search pattern) must be treated identically by
+the simulator — it literally cannot do otherwise, since the trace is its
+whole input.  These tests construct genuinely different histories with
+colliding traces and check both that the traces collide and that the
+simulator output is bit-identical under the same coins.
+"""
+
+import pytest
+
+from repro.core import Document
+from repro.crypto.rng import HmacDrbg
+from repro.security.simulator import ViewShape, simulate_view
+from repro.security.trace import History, trace_of
+
+
+def _shape():
+    return ViewShape(capacity=32, elgamal_modulus_bytes=32)
+
+
+class TestTraceCollisions:
+    def test_renamed_keywords_same_trace(self):
+        """Renaming every keyword consistently leaves the trace unchanged."""
+        docs_a = (
+            Document(0, b"AAAA", frozenset({"flu", "fever"})),
+            Document(1, b"BBBB", frozenset({"flu"})),
+        )
+        docs_b = (
+            Document(0, b"CCCC", frozenset({"hippo", "llama"})),
+            Document(1, b"DDDD", frozenset({"hippo"})),
+        )
+        h_a = History(docs_a, ("flu", "fever", "flu"))
+        h_b = History(docs_b, ("hippo", "llama", "hippo"))
+        assert trace_of(h_a) == trace_of(h_b)
+
+    def test_different_bodies_same_trace(self):
+        """Bodies of equal length are invisible to the trace."""
+        h_a = History((Document(0, b"x" * 20, frozenset({"k"})),), ("k",))
+        h_b = History((Document(0, b"y" * 20, frozenset({"k"})),), ("k",))
+        assert trace_of(h_a) == trace_of(h_b)
+
+    def test_content_changes_do_alter_trace(self):
+        """Sanity: result sets and lengths DO distinguish histories."""
+        h_a = History((Document(0, b"x" * 20, frozenset({"k"})),), ("k",))
+        h_c = History((Document(0, b"x" * 21, frozenset({"k"})),), ("k",))
+        assert trace_of(h_a) != trace_of(h_c)  # length differs
+        h_d = History((Document(0, b"x" * 20, frozenset({"k", "j"})),),
+                      ("k",))
+        assert trace_of(h_a) != trace_of(h_d)  # |W_D| differs
+
+
+class TestSimulatorIsAFunctionOfTheTrace:
+    @pytest.mark.parametrize("queries_a,queries_b", [
+        (("flu", "fever", "flu"), ("hippo", "llama", "hippo")),
+        (("flu",), ("hippo",)),
+    ])
+    def test_identical_simulation_for_colliding_traces(self, queries_a,
+                                                       queries_b):
+        docs_a = (
+            Document(0, b"AAAA", frozenset({"flu", "fever"})),
+            Document(1, b"BBBB", frozenset({"flu"})),
+        )
+        docs_b = (
+            Document(0, b"CCCC", frozenset({"hippo", "llama"})),
+            Document(1, b"DDDD", frozenset({"hippo"})),
+        )
+        trace_a = trace_of(History(docs_a, queries_a))
+        trace_b = trace_of(History(docs_b, queries_b))
+        assert trace_a == trace_b
+        view_a = simulate_view(trace_a, _shape(), HmacDrbg(99))
+        view_b = simulate_view(trace_b, _shape(), HmacDrbg(99))
+        assert view_a == view_b  # bit-identical: the histories are erased
+
+    def test_trace_difference_propagates(self):
+        """Different search patterns must change the simulated trapdoors."""
+        docs = (Document(0, b"AAAA", frozenset({"a", "b"})),)
+        repeat = trace_of(History(docs, ("a", "a")))
+        fresh = trace_of(History(docs, ("a", "b")))
+        view_repeat = simulate_view(repeat, _shape(), HmacDrbg(7))
+        view_fresh = simulate_view(fresh, _shape(), HmacDrbg(7))
+        assert view_repeat.trapdoors[0] == view_repeat.trapdoors[1]
+        assert view_fresh.trapdoors[0] != view_fresh.trapdoors[1]

@@ -1,0 +1,67 @@
+"""Encrypted document store over both KV backends."""
+
+import pytest
+
+from repro.errors import ParameterError, StorageError
+from repro.storage.docstore import EncryptedDocumentStore
+from repro.storage.kvstore import LogKvStore
+
+
+@pytest.fixture()
+def store():
+    return EncryptedDocumentStore()
+
+
+class TestBasics:
+    def test_put_get(self, store):
+        store.put(3, b"<ct>")
+        assert store.get(3) == b"<ct>"
+        assert store.contains(3)
+
+    def test_missing_raises(self, store):
+        with pytest.raises(StorageError):
+            store.get(99)
+
+    def test_negative_id_rejected(self, store):
+        with pytest.raises(ParameterError):
+            store.put(-1, b"x")
+
+    def test_overwrite_is_update(self, store):
+        store.put(1, b"old")
+        store.put(1, b"new")
+        assert store.get(1) == b"new"
+        assert len(store) == 1
+
+    def test_get_many_preserves_order(self, store):
+        for i in range(5):
+            store.put(i, b"doc%d" % i)
+        result = store.get_many([3, 0, 4])
+        assert result == [(3, b"doc3"), (0, b"doc0"), (4, b"doc4")]
+
+    def test_delete(self, store):
+        store.put(1, b"x")
+        assert store.delete(1)
+        assert not store.delete(1)
+        assert not store.contains(1)
+
+    def test_ids_and_len(self, store):
+        for i in (5, 1, 3):
+            store.put(i, b"x")
+        assert sorted(store.ids()) == [1, 3, 5]
+        assert len(store) == 3
+
+    def test_total_bytes(self, store):
+        store.put(0, b"abc")
+        store.put(1, b"defgh")
+        assert store.total_bytes() == 8
+
+
+class TestPersistentBackend:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "docs.log"
+        store = EncryptedDocumentStore(LogKvStore(path))
+        store.put(7, b"persistent ciphertext")
+
+        reopened = EncryptedDocumentStore(LogKvStore(path))
+        assert reopened.get(7) == b"persistent ciphertext"
+        assert list(reopened.ids()) == [7]

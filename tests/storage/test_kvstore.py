@@ -1,0 +1,134 @@
+"""KV stores: semantics, durability, torn-tail recovery, compaction."""
+
+import os
+
+import pytest
+
+from repro.errors import CorruptRecordError, ParameterError, StorageError
+from repro.storage.kvstore import LogKvStore, MemoryKvStore
+
+
+@pytest.fixture(params=["memory", "log"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryKvStore()
+    return LogKvStore(tmp_path / "kv.log")
+
+
+class TestInterface:
+    def test_put_get(self, store):
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert b"k" in store
+        assert len(store) == 1
+
+    def test_missing(self, store):
+        assert store.get(b"absent") is None
+        assert b"absent" not in store
+
+    def test_overwrite(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+        assert len(store) == 1
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        assert store.delete(b"k")
+        assert not store.delete(b"k")
+        assert store.get(b"k") is None
+
+    def test_keys(self, store):
+        for i in range(5):
+            store.put(b"key%d" % i, b"v")
+        assert sorted(store.keys()) == [b"key%d" % i for i in range(5)]
+
+    def test_empty_values_allowed(self, store):
+        store.put(b"k", b"")
+        assert store.get(b"k") == b""
+        assert b"k" in store
+
+    def test_binary_safety(self, store):
+        key = bytes(range(256))
+        value = bytes(reversed(range(256))) * 3
+        store.put(key, value)
+        assert store.get(key) == value
+
+
+class TestLogDurability:
+    def test_reopen_preserves_data(self, tmp_path):
+        path = tmp_path / "kv.log"
+        store = LogKvStore(path)
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.delete(b"a")
+        store.put(b"b", b"3")
+
+        reopened = LogKvStore(path)
+        assert reopened.get(b"a") is None
+        assert reopened.get(b"b") == b"3"
+        assert len(reopened) == 1
+
+    def test_empty_keys_rejected(self, tmp_path):
+        store = LogKvStore(tmp_path / "kv.log")
+        with pytest.raises(ParameterError):
+            store.put(b"", b"v")
+
+    def test_torn_tail_recovered(self, tmp_path):
+        path = tmp_path / "kv.log"
+        store = LogKvStore(path)
+        store.put(b"stable", b"value")
+        store.put(b"casualty", b"lost")
+        # Simulate a crash mid-append: chop bytes off the last record.
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size - 3)
+
+        recovered = LogKvStore(path)
+        assert recovered.get(b"stable") == b"value"
+        assert recovered.get(b"casualty") is None
+        # The store is writable again and the torn bytes are overwritten.
+        recovered.put(b"new", b"data")
+        assert LogKvStore(path).get(b"new") == b"data"
+
+    def test_mid_log_corruption_detected(self, tmp_path):
+        path = tmp_path / "kv.log"
+        store = LogKvStore(path)
+        store.put(b"first", b"aaaa")
+        store.put(b"second", b"bbbb")
+        # Flip a byte inside the *first* record's value.
+        with open(path, "r+b") as fh:
+            data = fh.read()
+            index = data.find(b"aaaa")
+            fh.seek(index)
+            fh.write(b"aXaa")
+        with pytest.raises(CorruptRecordError):
+            LogKvStore(path)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "bogus.log"
+        path.write_bytes(b"NOTA" + b"\x01")
+        with pytest.raises(StorageError):
+            LogKvStore(path)
+
+    def test_compaction_drops_dead_records(self, tmp_path):
+        path = tmp_path / "kv.log"
+        store = LogKvStore(path)
+        for i in range(20):
+            store.put(b"churn", b"v%d" % i)
+        store.put(b"keep", b"kept")
+        assert store.dead_records > 0
+        size_before = os.path.getsize(path)
+        store.compact()
+        assert os.path.getsize(path) < size_before
+        assert store.dead_records == 0
+        assert store.get(b"churn") == b"v19"
+        assert store.get(b"keep") == b"kept"
+
+        reopened = LogKvStore(path)
+        assert reopened.get(b"churn") == b"v19"
+
+    def test_fresh_file_has_header_only(self, tmp_path):
+        path = tmp_path / "kv.log"
+        LogKvStore(path)
+        assert os.path.getsize(path) == 5

@@ -1,0 +1,146 @@
+"""The CLI: every subcommand, state durability, failure paths."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def home(tmp_path):
+    return str(tmp_path / "store")
+
+
+def run(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestInit:
+    def test_creates_store(self, home, capsys):
+        code, out, _ = run(["init", "--home", home], capsys)
+        assert code == 0
+        assert "initialized" in out
+        assert os.path.exists(os.path.join(home, "master.key"))
+        assert os.path.exists(os.path.join(home, "server.log"))
+
+    def test_key_file_is_private(self, home, capsys):
+        run(["init", "--home", home], capsys)
+        mode = os.stat(os.path.join(home, "master.key")).st_mode & 0o777
+        assert mode == 0o600
+
+    def test_double_init_refused(self, home, capsys):
+        run(["init", "--home", home], capsys)
+        code, _, err = run(["init", "--home", home], capsys)
+        assert code == 1
+        assert "already initialized" in err
+
+
+class TestWorkflow:
+    def test_store_search_remove(self, home, capsys):
+        run(["init", "--home", home], capsys)
+        code, out, _ = run(["store", "--home", home, "--id", "0",
+                            "--keywords", "flu,fever",
+                            "--text", "visit note"], capsys)
+        assert code == 0 and "stored document 0" in out
+
+        run(["store", "--home", home, "--id", "1",
+             "--keywords", "flu", "--text", "second note"], capsys)
+
+        code, out, _ = run(["search", "--home", home,
+                            "--keyword", "flu"], capsys)
+        assert code == 0
+        assert "2 match(es)" in out
+        assert "visit note" in out and "second note" in out
+
+        code, out, _ = run(["remove", "--home", home, "--id", "0",
+                            "--keywords", "flu,fever"], capsys)
+        assert code == 0
+        code, out, _ = run(["search", "--home", home,
+                            "--keyword", "flu"], capsys)
+        assert "1 match(es)" in out
+        assert "second note" in out and "visit note" not in out
+
+    def test_search_unknown_keyword(self, home, capsys):
+        run(["init", "--home", home], capsys)
+        code, out, _ = run(["search", "--home", home,
+                            "--keyword", "ghost"], capsys)
+        assert code == 0
+        assert "0 match(es)" in out
+
+    def test_stats_and_compact(self, home, capsys):
+        run(["init", "--home", home], capsys)
+        run(["store", "--home", home, "--id", "0", "--keywords", "k",
+             "--text", "x"], capsys)
+        code, out, _ = run(["stats", "--home", home], capsys)
+        assert code == 0
+        assert "documents stored:   1" in out
+        assert "unique keywords:    1" in out
+        code, out, _ = run(["compact", "--home", home], capsys)
+        assert code == 0 and "compacted" in out
+
+    def test_plaintext_never_hits_disk(self, home, capsys):
+        run(["init", "--home", home], capsys)
+        run(["store", "--home", home, "--id", "0",
+             "--keywords", "secret-keyword",
+             "--text", "deeply private body"], capsys)
+        raw = open(os.path.join(home, "server.log"), "rb").read()
+        assert b"private body" not in raw
+        assert b"secret-keyword" not in raw
+
+
+class TestFailureModes:
+    def test_uninitialized_store(self, home, capsys):
+        code, _, err = run(["search", "--home", home,
+                            "--keyword", "k"], capsys)
+        assert code == 1
+        assert "not initialized" in err
+
+    def test_counter_persists_across_commands(self, home, capsys):
+        run(["init", "--home", home], capsys)
+        run(["store", "--home", home, "--id", "0", "--keywords", "k",
+             "--text", "x"], capsys)
+        run(["search", "--home", home, "--keyword", "k"], capsys)
+        run(["store", "--home", home, "--id", "1", "--keywords", "k",
+             "--text", "y"], capsys)
+        state = json.load(open(os.path.join(home, "client.json")))
+        assert state["ctr"] == 2  # advanced because a search intervened
+
+
+class TestSubprocessInvocation:
+    def test_module_entrypoint(self, home, tmp_path):
+        """`python -m repro.cli` works as a real subprocess."""
+        import subprocess
+        import sys
+
+        def cli(*args):
+            return subprocess.run(
+                [sys.executable, "-m", "repro.cli", *args, "--home", home],
+                capture_output=True, text=True, timeout=300,
+            )
+
+        assert cli("init").returncode == 0
+        assert cli("store", "--id", "0", "--keywords", "kw",
+                   "--text", "subprocess body").returncode == 0
+        result = cli("search", "--keyword", "kw")
+        assert result.returncode == 0
+        assert "subprocess body" in result.stdout
+
+    def test_stdin_body(self, home):
+        import subprocess
+        import sys
+
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "init", "--home", home],
+            capture_output=True, timeout=300, check=True,
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "store", "--id", "0",
+             "--keywords", "kw", "--home", home],
+            input="body from stdin", capture_output=True, text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0

@@ -1,0 +1,45 @@
+"""Exception hierarchy: one base class, sensible subclass relations."""
+
+import pytest
+
+from repro import errors
+
+
+def test_single_base_class():
+    for name in ("CryptoError", "AuthenticationError", "PaddingError",
+                 "ParameterError", "CapacityError", "ChainExhaustedError",
+                 "ProtocolError", "UnknownKeywordError", "StorageError",
+                 "CorruptRecordError"):
+        exc_type = getattr(errors, name)
+        assert issubclass(exc_type, errors.ReproError), name
+
+
+def test_crypto_subtree():
+    assert issubclass(errors.AuthenticationError, errors.CryptoError)
+    assert issubclass(errors.PaddingError, errors.CryptoError)
+
+
+def test_parameter_error_is_value_error():
+    """Callers using plain `except ValueError` still catch bad arguments."""
+    assert issubclass(errors.ParameterError, ValueError)
+    with pytest.raises(ValueError):
+        raise errors.ParameterError("bad")
+
+
+def test_unknown_keyword_is_key_error():
+    assert issubclass(errors.UnknownKeywordError, KeyError)
+
+
+def test_chain_exhausted_is_capacity_error():
+    assert issubclass(errors.ChainExhaustedError, errors.CapacityError)
+
+
+def test_corrupt_record_is_storage_error():
+    assert issubclass(errors.CorruptRecordError, errors.StorageError)
+
+
+def test_catching_base_catches_all():
+    for exc_type in (errors.ProtocolError, errors.CapacityError,
+                     errors.AuthenticationError):
+        with pytest.raises(errors.ReproError):
+            raise exc_type("caught by the base")

@@ -1,0 +1,90 @@
+"""Production-shaped integration: PHR⁺ over TCP over a durable server.
+
+The full stack at once — application facade, real socket, log-structured
+persistence, client-state export — across a simulated server restart.
+This is the deployment the README promises a downstream user.
+"""
+
+import pytest
+
+from repro.core.keys import keygen
+from repro.core.persistence import (PersistentScheme2Server,
+                                    export_client_state,
+                                    restore_client_state)
+from repro.core.scheme2 import Scheme2Client
+from repro.crypto.rng import HmacDrbg
+from repro.net.channel import Channel
+from repro.net.tcp import TcpClientTransport, TcpSseServer
+from repro.phr import CorpusSpec, HealthRecordEntry, PhrPlus, generate_corpus
+
+
+@pytest.fixture()
+def log_path(tmp_path):
+    return tmp_path / "phr-server.log"
+
+
+def _serve(log_path):
+    server_obj = PersistentScheme2Server(log_path, max_walk=256)
+    tcp = TcpSseServer(server_obj)
+    tcp.start()
+    return server_obj, tcp
+
+
+def test_phr_over_tcp_with_restart(log_path):
+    master_key = keygen(rng=HmacDrbg(0xFACE))
+    corpus = generate_corpus(CorpusSpec(num_patients=4,
+                                        entries_per_patient=2))
+
+    # --- Session 1: upload the practice's records over the socket.
+    _, tcp = _serve(log_path)
+    transport = TcpClientTransport(tcp.host, tcp.port)
+    client = Scheme2Client(master_key, Channel(transport),
+                           chain_length=256, rng=HmacDrbg(1))
+    app = PhrPlus(client)
+    app.upload_entries(corpus)
+    record = app.patient_record("p0002")
+    assert len(record) == 2
+    saved_state = export_client_state(client)
+    transport.close()
+    tcp.stop()
+
+    # --- Server process "restarts": new objects, same log file.
+    server_obj, tcp = _serve(log_path)
+    assert server_obj.unique_keywords > 0  # index reloaded from disk
+    transport = TcpClientTransport(tcp.host, tcp.port)
+    client2 = Scheme2Client(master_key, Channel(transport),
+                            chain_length=256, rng=HmacDrbg(2))
+    restore_client_state(client2, saved_state)
+    app2 = PhrPlus(client2)
+    app2._next_entry_id = len(corpus)
+
+    # The GP continues where session 1 left off.
+    before = app2.patient_record("p0002")
+    assert before == record
+    new_entry = HealthRecordEntry(
+        entry_id=app2.allocate_entry_id(),
+        patient_id="p0002",
+        date="2010-06-01",
+        entry_type="visit",
+        terms=frozenset({"sym:dizziness"}),
+    )
+    app2.add_entry(new_entry)
+    after = app2.patient_record("p0002")
+    assert len(after) == 3
+    assert after[-1] == new_entry
+
+    # Cross-patient clinical search still exact.
+    found = app2.find_by_term("sym:dizziness")
+    assert any(e.patient_id == "p0002" for e in found)
+    transport.close()
+    tcp.stop()
+
+    # --- Session 3: everything above survived on disk.
+    server_obj, tcp = _serve(log_path)
+    transport = TcpClientTransport(tcp.host, tcp.port)
+    client3 = Scheme2Client(master_key, Channel(transport),
+                            chain_length=256, rng=HmacDrbg(3))
+    restore_client_state(client3, export_client_state(client2))
+    assert len(PhrPlus(client3).patient_record("p0002")) == 3
+    transport.close()
+    tcp.stop()

@@ -1,0 +1,69 @@
+"""Collection generator: exact n and u, determinism, Zipf skew."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ParameterError
+from repro.workloads.generator import (WorkloadSpec, generate_collection,
+                                       keyword_universe)
+
+
+class TestShape:
+    def test_counts_exact(self):
+        spec = WorkloadSpec(num_documents=20, unique_keywords=50,
+                            keywords_per_doc=5)
+        docs = generate_collection(spec)
+        assert len(docs) == 20
+        universe = set()
+        for doc in docs:
+            universe |= doc.keywords
+        assert universe == set(keyword_universe(50))  # u is exact
+
+    def test_keywords_per_doc_met(self):
+        spec = WorkloadSpec(num_documents=30, unique_keywords=100,
+                            keywords_per_doc=7)
+        for doc in generate_collection(spec):
+            assert len(doc.keywords) >= 7
+
+    def test_doc_sizes(self):
+        spec = WorkloadSpec(num_documents=5, unique_keywords=10,
+                            keywords_per_doc=2, doc_size_bytes=99)
+        assert all(d.size == 99 for d in generate_collection(spec))
+
+    def test_dense_ids(self):
+        docs = generate_collection(WorkloadSpec(num_documents=10,
+                                                unique_keywords=20,
+                                                keywords_per_doc=3))
+        assert [d.doc_id for d in docs] == list(range(10))
+
+    def test_invalid_spec(self):
+        with pytest.raises(ParameterError):
+            WorkloadSpec(num_documents=0)
+        with pytest.raises(ParameterError):
+            WorkloadSpec(unique_keywords=5, keywords_per_doc=10)
+
+
+class TestDeterminism:
+    def test_seed_reproducible(self):
+        spec = WorkloadSpec(seed=7)
+        assert generate_collection(spec) == generate_collection(spec)
+
+    def test_seeds_differ(self):
+        assert (generate_collection(WorkloadSpec(seed=1))
+                != generate_collection(WorkloadSpec(seed=2)))
+
+
+class TestSkew:
+    def test_zipf_concentrates_popular_keywords(self):
+        spec = WorkloadSpec(num_documents=200, unique_keywords=200,
+                            keywords_per_doc=10, zipf_s=1.2,
+                            doc_size_bytes=8)
+        docs = generate_collection(spec, HmacDrbg(5))
+        frequency = {}
+        for doc in docs:
+            for kw in doc.keywords:
+                frequency[kw] = frequency.get(kw, 0) + 1
+        ranked = sorted(frequency.values(), reverse=True)
+        # Hot head: the most popular keyword appears in far more documents
+        # than the median keyword.
+        assert ranked[0] > 5 * ranked[len(ranked) // 2]

@@ -1,0 +1,70 @@
+"""Operation streams: update:search ratios and the GP-day pattern."""
+
+import pytest
+
+from repro.core import Document
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ParameterError
+from repro.workloads.ops import Operation, gp_day_stream, interleaved_stream
+
+
+def _docs(n, start=0):
+    return [Document(start + i, b"x", frozenset({"k"})) for i in range(n)]
+
+
+class TestOperation:
+    def test_search_needs_keyword(self):
+        with pytest.raises(ParameterError):
+            Operation(kind="search")
+
+    def test_update_needs_documents(self):
+        with pytest.raises(ParameterError):
+            Operation(kind="update")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ParameterError):
+            Operation(kind="compact", keyword="k")
+
+
+class TestInterleavedStream:
+    def test_ratio_respected(self):
+        ops = list(interleaved_stream(["k"], _docs(12), 3, HmacDrbg(1)))
+        kinds = [op.kind for op in ops]
+        assert kinds.count("update") == 12
+        assert kinds.count("search") == 4
+        # Pattern: u u u s, repeated.
+        for i in range(0, len(ops), 4):
+            assert kinds[i:i + 4] == ["update"] * 3 + ["search"]
+
+    def test_trailing_partial_group_searched(self):
+        ops = list(interleaved_stream(["k"], _docs(5), 3, HmacDrbg(2)))
+        assert [op.kind for op in ops][-1] == "search"
+        assert sum(op.kind == "update" for op in ops) == 5
+
+    def test_x_one_alternates(self):
+        ops = list(interleaved_stream(["k"], _docs(4), 1, HmacDrbg(3)))
+        assert [op.kind for op in ops] == ["update", "search"] * 4
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ParameterError):
+            list(interleaved_stream(["k"], _docs(1), 0, HmacDrbg(4)))
+
+    def test_search_keywords_come_from_pool(self):
+        pool = ["a", "b", "c"]
+        ops = interleaved_stream(pool, _docs(20), 2, HmacDrbg(5))
+        searched = {op.keyword for op in ops if op.kind == "search"}
+        assert searched <= set(pool)
+
+
+class TestGpDayStream:
+    def test_alternates_search_update(self):
+        docs = _docs(3)
+        ops = list(gp_day_stream(["p1", "p2", "p3"], docs))
+        kinds = [op.kind for op in ops]
+        assert kinds == ["search", "update"] * 3
+        assert ops[0].keyword == "p1"
+        assert ops[1].documents == (docs[0],)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            list(gp_day_stream(["p1"], _docs(2)))

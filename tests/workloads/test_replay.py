@@ -1,0 +1,67 @@
+"""Replay driver: stats accounting and the built-in correctness oracle."""
+
+import pytest
+
+from repro.core import Document, make_scheme2
+from repro.crypto.rng import HmacDrbg
+from repro.workloads.ops import Operation, interleaved_stream
+from repro.workloads.replay import replay
+
+
+@pytest.fixture()
+def client(master_key, rng):
+    client, _, _ = make_scheme2(master_key, chain_length=128, rng=rng)
+    return client
+
+
+def _docs(n):
+    return [Document(i, b"d%d" % i, frozenset({"k"})) for i in range(n)]
+
+
+class TestReplayStats:
+    def test_counts(self, client):
+        stream = list(interleaved_stream(["k"], _docs(6), 2, HmacDrbg(1)))
+        stats = replay(client, stream)
+        assert stats.updates == 6
+        assert stats.searches == 3
+        assert stats.operations == 9
+        assert stats.documents_added == 6
+        assert stats.search_rounds == 3  # scheme 2: one round per search
+        assert stats.update_rounds == 12  # doc upload + metadata, each 1
+
+    def test_result_accounting(self, client):
+        stream = [
+            Operation(kind="update", documents=(Document(
+                0, b"x", frozenset({"k"})),)),
+            Operation(kind="search", keyword="k"),
+            Operation(kind="update", documents=(Document(
+                1, b"y", frozenset({"k"})),)),
+            Operation(kind="search", keyword="k"),
+        ]
+        stats = replay(client, stream)
+        assert stats.per_search_results == [1, 2]
+        assert stats.results_returned == 3
+
+    def test_channel_counters_preserved(self, client):
+        channel = client.channel
+        replay(client, [Operation(kind="update", documents=(Document(
+            0, b"x", frozenset({"k"})),))])
+        # The cumulative channel stats survive the replay's resets.
+        assert channel.stats.rounds >= 2
+
+
+class TestReplayOracle:
+    def test_oracle_accepts_correct_scheme(self, client):
+        stream = list(interleaved_stream(
+            ["k"], _docs(5), 1, HmacDrbg(2)
+        ))
+        stats = replay(client, stream, verify_against={})
+        assert stats.searches == 5
+
+    def test_oracle_catches_divergence(self, client):
+        client.add_documents([Document(7, b"pre", frozenset({"k"}))])
+        # The oracle does not know about the pre-existing document, so the
+        # first verified search must flag the mismatch.
+        with pytest.raises(AssertionError, match="replay divergence"):
+            replay(client, [Operation(kind="search", keyword="k")],
+                   verify_against={})

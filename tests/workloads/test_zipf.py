@@ -1,0 +1,57 @@
+"""Zipf sampler: distribution shape and bounds."""
+
+import pytest
+
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ParameterError
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestBounds:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(50, s=1.0)
+        rng = HmacDrbg(1)
+        assert all(0 <= sampler.sample(rng) < 50 for _ in range(500))
+
+    def test_single_rank(self):
+        sampler = ZipfSampler(1)
+        assert sampler.sample(HmacDrbg(2)) == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            ZipfSampler(0)
+        with pytest.raises(ParameterError):
+            ZipfSampler(10, s=-1)
+
+
+class TestDistribution:
+    def test_head_heavier_than_tail(self):
+        sampler = ZipfSampler(100, s=1.0)
+        rng = HmacDrbg(3)
+        counts = [0] * 100
+        for _ in range(5000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[0] > counts[50] and counts[0] > counts[99]
+        assert counts[0] > 5 * max(counts[90:])
+
+    def test_s_zero_is_uniform(self):
+        sampler = ZipfSampler(10, s=0.0)
+        rng = HmacDrbg(4)
+        counts = [0] * 10
+        for _ in range(5000):
+            counts[sampler.sample(rng)] += 1
+        assert all(350 < c < 650 for c in counts)
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(20, s=1.2)
+        total = sum(sampler.probability(r) for r in range(20))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_decreasing(self):
+        sampler = ZipfSampler(20, s=1.0)
+        probs = [sampler.probability(r) for r in range(20)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ParameterError):
+            ZipfSampler(5).probability(5)
