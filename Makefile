@@ -2,16 +2,21 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples results clean
+.PHONY: install lint test test-fast bench examples results clean
 
 install:
 	pip install -e . --no-build-isolation
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples tools
+	$(PYTHON) tools/check_all.py
 
 test:
 	$(PYTHON) -m pytest tests/
 
 test-fast:
-	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
+	$(PYTHON) -m pytest tests/ -x -q -m "not slow" \
+		--ignore=tests/security --ignore=tests/bench
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -21,8 +21,9 @@ paper's tables and figures.
 """
 
 from repro.core import (Document, MasterKey, Scheme1Client, Scheme1Server,
-                        Scheme2Client, Scheme2Server, SearchResult, keygen,
-                        make_scheme1, make_scheme2)
+                        Scheme2Client, Scheme2Server, SearchResult,
+                        available_schemes, keygen, make_scheme, make_scheme1,
+                        make_scheme2, make_server)
 from repro.errors import ReproError
 
 __version__ = "0.1.0"
@@ -37,7 +38,10 @@ __all__ = [
     "Scheme2Server",
     "SearchResult",
     "__version__",
+    "available_schemes",
     "keygen",
+    "make_scheme",
     "make_scheme1",
     "make_scheme2",
+    "make_server",
 ]

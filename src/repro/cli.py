@@ -29,17 +29,23 @@ import argparse
 import json
 import os
 import sys
+import time
 
 from repro.core.documents import Document
 from repro.core.keys import MasterKey, keygen
 from repro.core.persistence import (PersistentScheme2Server,
                                     export_client_state,
                                     restore_client_state)
+from repro.core.registry import (available_schemes, make_scheme,
+                                 scheme_description)
 from repro.core.scheme2 import Scheme2Client
 from repro.errors import ReproError
 from repro.net.channel import Channel
+from repro.obs.metrics import Metrics
 
-__all__ = ["main"]
+__all__ = ["build_parser", "cmd_compact", "cmd_init", "cmd_remove",
+           "cmd_schemes", "cmd_search", "cmd_serve", "cmd_stats",
+           "cmd_store", "main"]
 
 _CHAIN_LENGTH = 4096
 
@@ -59,15 +65,19 @@ def _load_master_key(path: str) -> MasterKey:
                      k_w=bytes.fromhex(payload["k_w"]))
 
 
-def _open(home: str) -> tuple[Scheme2Client, PersistentScheme2Server]:
+def _open(home: str, metrics: Metrics | None = None
+          ) -> tuple[Scheme2Client, PersistentScheme2Server]:
     paths = _paths(home)
     if not os.path.exists(paths["key"]):
         raise ReproError(f"{home} is not initialized (run `init` first)")
     master_key = _load_master_key(paths["key"])
     server = PersistentScheme2Server(paths["server"],
                                      max_walk=_CHAIN_LENGTH)
-    client = Scheme2Client(master_key, Channel(server),
-                           chain_length=_CHAIN_LENGTH)
+    # The client is built through the scheme registry: swapping the CLI to
+    # another registered scheme is a name change plus a persistence story.
+    client, _ = make_scheme("scheme2", master_key,
+                            channel=Channel(server, metrics=metrics),
+                            chain_length=_CHAIN_LENGTH)
     if os.path.exists(paths["client"]):
         with open(paths["client"]) as fh:
             restore_client_state(client, fh.read())
@@ -147,6 +157,36 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_schemes(args: argparse.Namespace) -> int:
+    for name in available_schemes():
+        print(f"{name:<10} {scheme_description(name)}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the encrypted store over TCP until interrupted."""
+    from repro.net.tcp import TcpSseServer
+
+    _, server = _open(args.home)
+    metrics = Metrics()
+    tcp = TcpSseServer(server, host=args.host, port=args.port,
+                       max_workers=args.workers, metrics=metrics)
+    tcp.start()
+    print(f"serving {args.home} on {tcp.host}:{tcp.port} "
+          f"({tcp._pool.size} workers; ctrl-C to stop)")
+    try:
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("\ndraining...", file=sys.stderr)
+    finally:
+        tcp.stop(timeout=args.drain_timeout)
+    if args.metrics:
+        snapshot = metrics.render_text()
+        print(snapshot if snapshot else "(no requests served)")
+    return 0
+
+
 def cmd_compact(args: argparse.Namespace) -> int:
     _, server = _open(args.home)
     before = os.path.getsize(_paths(args.home)["server"])
@@ -189,7 +229,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_compact = sub.add_parser("compact", help="compact the server log")
     p_compact.set_defaults(fn=cmd_compact)
 
-    for p in (p_store, p_search, p_remove, p_stats, p_compact, p_init):
+    p_schemes = sub.add_parser("schemes",
+                               help="list registered SSE schemes")
+    p_schemes.set_defaults(fn=cmd_schemes)
+
+    p_serve = sub.add_parser("serve",
+                             help="serve the store over TCP (ctrl-C stops)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (default: ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="worker pool size (default: min(8, cpu))")
+    p_serve.add_argument("--drain-timeout", type=float, default=5.0,
+                         help="seconds to wait for in-flight requests")
+    p_serve.add_argument("--metrics", action="store_true",
+                         help="print a metrics snapshot on shutdown")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    for p in (p_store, p_search, p_remove, p_stats, p_compact, p_init,
+              p_serve):
         p.add_argument("--home", default=os.path.expanduser("~/.repro-sse"),
                        help="store directory (default: ~/.repro-sse)")
     return parser

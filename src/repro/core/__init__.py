@@ -13,6 +13,8 @@ from repro.core.api import SearchResult, SseClient, SseServerHandler
 from repro.core.documents import Document, extract_keywords, normalize_keyword
 from repro.core.keys import MasterKey, keygen
 from repro.core.queries import search_all, search_any
+from repro.core.registry import (available_schemes, make_scheme, make_server,
+                                 register_scheme, scheme_description)
 from repro.core.scheme1 import Scheme1Client, Scheme1Server, group_keywords
 from repro.core.scheme2 import (DEFAULT_CHAIN_LENGTH, Scheme2Client,
                                 Scheme2Server)
@@ -35,12 +37,17 @@ __all__ = [
     "SearchResult",
     "SseClient",
     "SseServerHandler",
+    "available_schemes",
     "extract_keywords",
     "group_keywords",
     "keygen",
+    "make_scheme",
     "make_scheme1",
     "make_scheme2",
+    "make_server",
     "normalize_keyword",
+    "register_scheme",
+    "scheme_description",
     "search_all",
     "search_any",
 ]

@@ -16,22 +16,52 @@ costs — exactly what Table 1 compares.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from repro.core.documents import Document
+from repro.errors import ParameterError
 from repro.net.channel import Channel
 
 __all__ = ["SseClient", "SseServerHandler", "SearchResult"]
 
 
+@dataclass(frozen=True)
 class SearchResult:
-    """Outcome of one search: matching ids and decrypted documents."""
+    """Outcome of one search: matching ids and decrypted documents.
 
-    def __init__(self, keyword: str, doc_ids: list[int],
-                 documents: list[bytes]) -> None:
-        self.keyword = keyword
-        self.doc_ids = doc_ids
-        self.documents = documents
+    Behaves like a small read-only collection::
+
+        result = client.search("flu")
+        if not result.empty:
+            for doc_id, plaintext in result:
+                ...
+        assert len(result) == len(result.doc_ids)
+
+    ``documents`` aligns index-for-index with ``doc_ids``; a search-only
+    delegate (``decrypt_bodies=False``) yields ciphertext bodies here.
+    """
+
+    keyword: str
+    doc_ids: list[int]
+    documents: list[bytes]
+
+    def __post_init__(self) -> None:
+        if len(self.doc_ids) != len(self.documents):
+            raise ParameterError(
+                "doc_ids and documents must align index-for-index"
+            )
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    def __iter__(self) -> Iterator[tuple[int, bytes]]:
+        return iter(zip(self.doc_ids, self.documents))
+
+    @property
+    def empty(self) -> bool:
+        """True when the search matched nothing."""
+        return not self.doc_ids
 
     def __repr__(self) -> str:
         return (f"SearchResult(keyword={self.keyword!r}, "
@@ -73,3 +103,13 @@ class SseClient(abc.ABC):
     @abc.abstractmethod
     def search(self, keyword: str) -> SearchResult:
         """Trapdoor + Search: retrieve all documents containing *keyword*."""
+
+    def close(self) -> None:
+        """Release the client's transport (no-op for in-process channels)."""
+        self._channel.close()
+
+    def __enter__(self) -> "SseClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

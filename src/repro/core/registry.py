@@ -1,0 +1,257 @@
+"""Unified scheme registry: one constructor signature for every scheme.
+
+Before this module each scheme had its own ``make_*`` helper with its own
+signature, so every consumer (CLI, benchmarks, examples) hard-coded the
+wiring.  Now::
+
+    from repro.core.registry import available_schemes, make_scheme
+
+    client, server = make_scheme("scheme2", seed=7)          # in-process
+    client, _ = make_scheme("scheme2", master_key=key,       # remote
+                            channel=Channel(transport))
+
+* ``seed`` makes every random choice (keygen, nonces, ElGamal primes)
+  deterministic — the same seed on both ends of a socket reconstructs the
+  same key material.
+* ``channel=None`` builds the server too and wires an in-process
+  :class:`~repro.net.channel.Channel`; a provided channel (e.g. over a
+  :class:`~repro.net.tcp.TcpClientTransport`) builds only the client and
+  returns ``None`` for the server, which lives elsewhere.
+* scheme-specific knobs (``capacity``, ``chain_length``,
+  ``pad_results_to``, ``dictionary`` …) pass through as keyword options;
+  unknown options are rejected loudly.
+
+Adding a scheme is one :func:`register_scheme` call at the bottom of this
+module — the CLI (``--scheme``), ``benchmarks/conftest.py``, and any test
+parametrizing over :func:`available_schemes` pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple
+
+from repro.core.keys import MasterKey, keygen
+from repro.crypto.rng import RandomSource, default_rng
+from repro.errors import ParameterError
+from repro.net.channel import Channel
+
+__all__ = ["available_schemes", "make_scheme", "make_server",
+           "register_scheme", "scheme_description"]
+
+# A small fixed vocabulary so the CM baseline (which structurally needs a
+# public dictionary) works out of the box; pass ``dictionary=`` for real use.
+_DEMO_DICTIONARY = tuple(
+    f"{prefix}:{word}"
+    for prefix in ("sym", "cond", "med", "proc")
+    for word in ("fever", "flu", "cough", "rash", "aspirin", "checkup",
+                 "xray", "vaccination")
+)
+
+
+class _SchemeSpec(NamedTuple):
+    build: Callable
+    description: str
+
+
+_REGISTRY: dict[str, _SchemeSpec] = {}
+
+
+def register_scheme(name: str, build: Callable, description: str) -> None:
+    """Register *build(master_key, channel, rng, options) -> (client, server)*.
+
+    ``channel`` is ``None`` when the builder must create the server and an
+    in-process channel itself; otherwise the builder constructs only the
+    client against the given channel and returns ``None`` for the server.
+    Builders must ``pop`` the options they understand and raise
+    :class:`ParameterError` on leftovers (use :func:`_reject_unknown`).
+    """
+    _REGISTRY[name] = _SchemeSpec(build, description)
+
+
+def available_schemes() -> tuple[str, ...]:
+    """Registered scheme names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def scheme_description(name: str) -> str:
+    """One-line description of a registered scheme."""
+    return _lookup(name).description
+
+
+def _lookup(name: str) -> _SchemeSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        known = ", ".join(available_schemes())
+        raise ParameterError(f"unknown scheme {name!r} (known: {known})")
+    return spec
+
+
+def _reject_unknown(name: str, options: dict) -> None:
+    if options:
+        raise ParameterError(
+            f"scheme {name!r} does not accept option(s): "
+            + ", ".join(sorted(options))
+        )
+
+
+def make_scheme(name: str, master_key: MasterKey | None = None, *,
+                channel: Channel | None = None,
+                seed: int | bytes | None = None,
+                rng: RandomSource | None = None,
+                **options):
+    """Build ``(client, server)`` for any registered scheme.
+
+    With ``channel=None`` the server is in-process and reachable through
+    ``client.channel``; with a caller-supplied channel (wrapping a TCP
+    transport, usually) the returned server is ``None``.  ``seed`` derives
+    both the RNG and, if absent, the master key deterministically.
+    """
+    spec = _lookup(name)
+    if rng is None:
+        rng = default_rng(seed)
+    elif seed is not None:
+        raise ParameterError("pass either seed or rng, not both")
+    if master_key is None:
+        master_key = keygen(rng=rng)
+    return spec.build(master_key, channel, rng, dict(options))
+
+
+def make_server(name: str, *, seed: int | bytes | None = None, **options):
+    """Build only the server handler (for serving over TCP).
+
+    The client connecting to it must be built with the same structural
+    options (and, for scheme 1, the same seed/keypair).
+    """
+    _, server = make_scheme(name, channel=None, seed=seed, **options)
+    return server
+
+
+# -- builders ---------------------------------------------------------------
+
+
+def _build_scheme1(master_key, channel, rng, options):
+    from repro.core.scheme1 import Scheme1Client, Scheme1Server
+    from repro.crypto.elgamal import generate_keypair
+
+    capacity = options.pop("capacity", 1024)
+    keypair = options.pop("keypair", None)
+    decrypt_bodies = options.pop("decrypt_bodies", True)
+    _reject_unknown("scheme1", options)
+    if keypair is None:
+        keypair = generate_keypair(rng=rng)
+    server = None
+    if channel is None:
+        server = Scheme1Server(
+            capacity=capacity,
+            elgamal_modulus_bytes=keypair.public.modulus_bytes,
+        )
+        channel = Channel(server)
+    client = Scheme1Client(master_key, channel, capacity=capacity,
+                           keypair=keypair, rng=rng,
+                           decrypt_bodies=decrypt_bodies)
+    return client, server
+
+
+def _build_scheme2(master_key, channel, rng, options):
+    from repro.core.scheme2 import (DEFAULT_CHAIN_LENGTH, Scheme2Client,
+                                    Scheme2Server)
+
+    chain_length = options.pop("chain_length", DEFAULT_CHAIN_LENGTH)
+    lazy_counter = options.pop("lazy_counter", True)
+    cache_plaintext = options.pop("cache_plaintext", True)
+    pad_results_to = options.pop("pad_results_to", None)
+    decrypt_bodies = options.pop("decrypt_bodies", True)
+    _reject_unknown("scheme2", options)
+    server = None
+    if channel is None:
+        server = Scheme2Server(max_walk=chain_length,
+                               cache_plaintext=cache_plaintext,
+                               pad_results_to=pad_results_to)
+        channel = Channel(server)
+    client = Scheme2Client(master_key, channel, chain_length=chain_length,
+                           lazy_counter=lazy_counter, rng=rng,
+                           decrypt_bodies=decrypt_bodies)
+    return client, server
+
+
+def _build_swp(master_key, channel, rng, options):
+    from repro.baselines.swp import SwpClient, SwpServer
+
+    _reject_unknown("swp", options)
+    server = None
+    if channel is None:
+        server = SwpServer()
+        channel = Channel(server)
+    return SwpClient(master_key, channel, rng=rng), server
+
+
+def _build_goh(master_key, channel, rng, options):
+    from repro.baselines.goh import DEFAULT_FP_RATE, GohClient, GohServer
+    from repro.ds.bloom import optimal_parameters
+
+    expected = options.pop("expected_keywords_per_doc", 64)
+    fp_rate = options.pop("false_positive_rate", DEFAULT_FP_RATE)
+    blind = options.pop("blind", True)
+    _reject_unknown("goh", options)
+    server = None
+    if channel is None:
+        bits, hashes = optimal_parameters(expected, fp_rate)
+        server = GohServer(bloom_bits=bits, bloom_hashes=hashes)
+        channel = Channel(server)
+    client = GohClient(master_key, channel,
+                       expected_keywords_per_doc=expected,
+                       false_positive_rate=fp_rate, blind=blind, rng=rng)
+    return client, server
+
+
+def _build_cgko(master_key, channel, rng, options):
+    from repro.baselines.cgko import CgkoClient, CgkoServer
+
+    padding_factor = options.pop("padding_factor", 1.25)
+    _reject_unknown("cgko", options)
+    server = None
+    if channel is None:
+        server = CgkoServer()
+        channel = Channel(server)
+    client = CgkoClient(master_key, channel,
+                        padding_factor=padding_factor, rng=rng)
+    return client, server
+
+
+def _build_cm(master_key, channel, rng, options):
+    from repro.baselines.chang_mitzenmacher import CmClient, CmServer
+
+    dictionary = options.pop("dictionary", _DEMO_DICTIONARY)
+    _reject_unknown("cm", options)
+    server = None
+    if channel is None:
+        server = CmServer(dictionary_size=len(dictionary))
+        channel = Channel(server)
+    return CmClient(master_key, channel, dictionary, rng=rng), server
+
+
+def _build_naive(master_key, channel, rng, options):
+    from repro.baselines.naive import NaiveClient, NaiveServer
+
+    _reject_unknown("naive", options)
+    server = None
+    if channel is None:
+        server = NaiveServer()
+        channel = Channel(server)
+    return NaiveClient(master_key, channel, rng=rng), server
+
+
+register_scheme("scheme1", _build_scheme1,
+                "paper §5.2: O(log u) search, 2 rounds, XOR-patch updates")
+register_scheme("scheme2", _build_scheme2,
+                "paper §5.4: 1-round search, delta-sized chain updates")
+register_scheme("swp", _build_swp,
+                "Song–Wagner–Perrig sequential scan baseline")
+register_scheme("goh", _build_goh,
+                "Goh Z-IDX per-document Bloom filter baseline")
+register_scheme("cgko", _build_cgko,
+                "Curtmola et al. inverted-index baseline")
+register_scheme("cm", _build_cm,
+                "Chang–Mitzenmacher fixed-dictionary baseline")
+register_scheme("naive", _build_naive,
+                "download-everything strawman baseline")

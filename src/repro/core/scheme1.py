@@ -363,4 +363,6 @@ class Scheme1Client(SseClient):
                 documents.append(self._cipher.decrypt(
                     fields[i + 1], associated_data=fields[i]
                 ))
+            else:
+                documents.append(fields[i + 1])  # opaque ciphertext
         return SearchResult(keyword, doc_ids, documents)

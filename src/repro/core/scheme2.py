@@ -434,6 +434,8 @@ class Scheme2Client(SseClient):
                 documents.append(self._cipher.decrypt(
                     fields[i + 1], associated_data=fields[i]
                 ))
+            else:
+                documents.append(fields[i + 1])  # opaque ciphertext
         return SearchResult(keyword, doc_ids, documents)
 
     def reinitialize_epoch(self, documents: Sequence[Document]) -> None:

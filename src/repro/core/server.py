@@ -14,6 +14,7 @@ from repro.core.api import SseServerHandler
 from repro.ds.avl import AvlTree
 from repro.errors import ProtocolError
 from repro.net.messages import Message, MessageType
+from repro.obs.metrics import NULL_METRICS
 from repro.storage.docstore import EncryptedDocumentStore
 
 __all__ = ["BaseSseServer", "encode_doc_id", "decode_doc_id"]
@@ -39,9 +40,14 @@ class BaseSseServer(SseServerHandler):
     the benchmarks read (AVL comparisons, documents served).
     """
 
-    def __init__(self, docstore: EncryptedDocumentStore | None = None) -> None:
+    def __init__(self, docstore: EncryptedDocumentStore | None = None,
+                 metrics=None) -> None:
         self.documents = docstore if docstore is not None else EncryptedDocumentStore()
         self.index = AvlTree()
+        # Observability registry.  Defaults to the shared no-op; a service
+        # wrapper (TcpSseServer) that sees the default swaps in its own so
+        # handler counters land beside the wire metrics.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         # Instrumentation for the complexity benchmarks.
         self.searches_handled = 0
         self.index_comparisons_last_search = 0
@@ -54,6 +60,7 @@ class BaseSseServer(SseServerHandler):
 
     def handle(self, message: Message) -> Message:
         """Dispatch one protocol message."""
+        self.metrics.counter("handled_total", type=message.type.name).inc()
         if message.type == MessageType.STORE_DOCUMENT:
             return self._handle_store_document(message)
         if message.type == MessageType.DELETE_DOCUMENT:

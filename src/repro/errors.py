@@ -40,6 +40,14 @@ class ProtocolError(ReproError):
     """A protocol message was malformed or arrived out of order."""
 
 
+class ServiceStoppedError(ReproError):
+    """An operation was attempted on a stopped or draining service."""
+
+
+class RetryExhaustedError(ProtocolError):
+    """A retryable request failed on every attempt the policy allowed."""
+
+
 class UnknownKeywordError(ReproError, KeyError):
     """A trapdoor referenced a keyword with no searchable representation."""
 

@@ -1,14 +1,29 @@
-"""Networking substrate: typed messages and the instrumented channel."""
+"""Networking substrate: messages, channel, TCP service, retry, sessions."""
 
 from repro.net.channel import (Channel, ChannelStats, NetworkModel,
                                TranscriptEntry)
 from repro.net.messages import Message, MessageType
+from repro.net.retry import IDEMPOTENT_TYPES, RetryingTransport, RetryPolicy
+from repro.net.session import (READ_MESSAGE_TYPES, ReadWriteLock, Session,
+                               SessionManager, WorkerPool, is_read_message)
+from repro.net.tcp import TcpClientTransport, TcpSseServer
 
 __all__ = [
     "Channel",
     "ChannelStats",
+    "IDEMPOTENT_TYPES",
     "Message",
     "MessageType",
     "NetworkModel",
+    "READ_MESSAGE_TYPES",
+    "ReadWriteLock",
+    "RetryPolicy",
+    "RetryingTransport",
+    "Session",
+    "SessionManager",
+    "TcpClientTransport",
+    "TcpSseServer",
     "TranscriptEntry",
+    "WorkerPool",
+    "is_read_message",
 ]

@@ -14,9 +14,11 @@ channel is the measurement instrument of this reproduction:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.net.messages import Message
+from repro.obs.metrics import NULL_METRICS
 
 __all__ = ["NetworkModel", "TranscriptEntry", "ChannelStats", "Channel"]
 
@@ -73,10 +75,11 @@ class Channel:
     """
 
     def __init__(self, server_handler, model: NetworkModel | None = None,
-                 keep_transcript: bool = True) -> None:
+                 keep_transcript: bool = True, metrics=None) -> None:
         self._handler = server_handler
         self._model = model if model is not None else NetworkModel()
         self._keep_transcript = keep_transcript
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.stats = ChannelStats()
         self.transcript: list[TranscriptEntry] = []
 
@@ -91,7 +94,19 @@ class Channel:
         delivered = Message.deserialize(request_bytes)
         self._record("client->server", delivered, len(request_bytes))
 
-        reply = self._handler.handle(delivered)
+        started = time.perf_counter()
+        try:
+            reply = self._handler.handle(delivered)
+        except Exception:
+            self.metrics.counter("errors_total",
+                                 type=delivered.type.name).inc()
+            raise
+        finally:
+            self.metrics.counter("requests_total",
+                                 type=delivered.type.name).inc()
+            self.metrics.histogram(
+                "request_seconds", type=delivered.type.name,
+            ).observe(time.perf_counter() - started)
 
         reply_bytes = reply.serialize()
         returned = Message.deserialize(reply_bytes)
@@ -113,6 +128,18 @@ class Channel:
                 TranscriptEntry(direction=direction, message=message,
                                 size=size)
             )
+
+    def close(self) -> None:
+        """Close the underlying handler/transport if it is closeable.
+
+        A channel over an in-process server object is a no-op close; a
+        channel over a :class:`~repro.net.tcp.TcpClientTransport` (or a
+        retrying wrapper) closes the socket.  This is what gives
+        :class:`~repro.core.api.SseClient` its context-manager exit.
+        """
+        close = getattr(self._handler, "close", None)
+        if callable(close):
+            close()
 
     def reset_stats(self) -> ChannelStats:
         """Return current stats and start fresh counters/transcript."""

@@ -1,0 +1,165 @@
+"""Client-side retry with exponential backoff and idempotency guards.
+
+A dropped frame on a plain :class:`~repro.net.tcp.TcpClientTransport`
+kills the whole protocol run.  :class:`RetryingTransport` wraps any
+transport factory and adds the service-layer behaviour a long-lived
+client needs:
+
+* **timeouts** — each request is bounded by the transport's own socket
+  timeout; a quiet server is an error, not a hang;
+* **exponential backoff with jitter** — deterministic when seeded,
+  because ``repro`` owns its RNG (:class:`~repro.crypto.rng.HmacDrbg`);
+* **idempotency guards** — only messages the scheme marks safe are ever
+  retried.  Searches and reads are idempotent: replaying one can at most
+  leak the same access pattern twice.  An *unacknowledged update is never
+  replayed*: if STORE/UPDATE dies after the request frame left, the
+  server may or may not have applied it, and replaying a Scheme 2 segment
+  would append it twice.  Those failures surface to the caller, who owns
+  the counter state needed to re-issue safely.
+
+The retryable set is :data:`IDEMPOTENT_TYPES`; it is the client-side twin
+of the server's read/write classification in ``repro.net.session``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError, RetryExhaustedError
+from repro.net.messages import Message, MessageType
+from repro.net.session import READ_MESSAGE_TYPES
+from repro.obs.metrics import NULL_METRICS
+
+__all__ = ["RetryPolicy", "RetryingTransport", "IDEMPOTENT_TYPES"]
+
+# Messages that may be re-sent after a transport failure.  Identical to
+# the server's read set: a request that cannot mutate server state cannot
+# be applied twice.
+IDEMPOTENT_TYPES = frozenset(READ_MESSAGE_TYPES)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try: attempts, backoff curve, jitter.
+
+    Delay before retry *k* (1-based) is
+    ``min(max_delay_s, base_delay_s * multiplier**(k-1))`` plus up to
+    ``jitter_fraction`` of itself in random jitter.  With a seeded RNG the
+    jitter — and therefore the whole retry schedule — is reproducible.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter_fraction: float = 0.25
+
+    def delay_for(self, attempt: int, rng=None) -> float:
+        """Backoff delay after failed attempt number *attempt* (1-based)."""
+        delay = min(self.max_delay_s,
+                    self.base_delay_s * self.multiplier ** (attempt - 1))
+        if rng is not None and self.jitter_fraction > 0:
+            # 16 bits of RNG → jitter in [0, jitter_fraction) of the delay.
+            unit = rng.randint_below(1 << 16) / float(1 << 16)
+            delay += delay * self.jitter_fraction * unit
+        return delay
+
+
+class RetryingTransport:
+    """Wraps a transport factory with reconnect + retry + backoff.
+
+    ``connect`` is a zero-argument callable returning a fresh transport
+    (anything with ``handle(message)`` and ``close()``), typically::
+
+        transport = RetryingTransport(
+            lambda: TcpClientTransport(host, port, timeout_s=1.0),
+            policy=RetryPolicy(max_attempts=4), rng=HmacDrbg(7))
+        client = Scheme2Client(master_key, Channel(transport))
+
+    On a transport failure (socket error, closed connection, timeout) the
+    wrapper reconnects and — for idempotent messages only — re-sends after
+    backoff.  Server-side ERROR replies are *protocol* failures, not
+    transport failures: they raise immediately and are never retried.
+    ``sleep`` is injectable so tests can assert the schedule without
+    waiting it out.
+    """
+
+    def __init__(self, connect, policy: RetryPolicy | None = None,
+                 rng=None, metrics=None, sleep=time.sleep) -> None:
+        self._connect = connect
+        self._policy = policy if policy is not None else RetryPolicy()
+        self._rng = rng
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._sleep = sleep
+        self._transport = None
+        self.attempts_last_request = 0
+
+    def _current(self):
+        if self._transport is None:
+            self._transport = self._connect()
+        return self._transport
+
+    def _drop_connection(self) -> None:
+        if self._transport is not None:
+            try:
+                self._transport.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._transport = None
+
+    @staticmethod
+    def _is_transport_failure(exc: Exception) -> bool:
+        # Server ERROR replies arrive as ProtocolError with the server's
+        # exception name; those are deterministic rejections, not flakes.
+        if isinstance(exc, ProtocolError):
+            return "server closed the connection" in str(exc) \
+                or "died mid-frame" in str(exc)
+        return isinstance(exc, OSError)
+
+    def handle(self, message: Message) -> Message:
+        """Send one request; reconnect/retry per policy if it is safe."""
+        retryable = message.type in IDEMPOTENT_TYPES
+        attempts = self._policy.max_attempts if retryable else 1
+        last_exc: Exception | None = None
+        for attempt in range(1, attempts + 1):
+            self.attempts_last_request = attempt
+            try:
+                transport = self._current()
+            except OSError as exc:
+                last_exc = exc
+            else:
+                try:
+                    return transport.handle(message)
+                except Exception as exc:  # noqa: BLE001 - classified below
+                    if not self._is_transport_failure(exc):
+                        raise
+                    last_exc = exc
+            self._drop_connection()
+            self._metrics.counter(
+                "transport_failures_total", type=message.type.name).inc()
+            if not retryable:
+                break
+            if attempt < attempts:
+                self._metrics.counter(
+                    "retries_total", type=message.type.name).inc()
+                self._sleep(self._policy.delay_for(attempt, self._rng))
+        if not retryable:
+            raise ProtocolError(
+                f"{message.type.name} failed and is not safe to retry "
+                f"(unacknowledged update): {last_exc}"
+            ) from last_exc
+        raise RetryExhaustedError(
+            f"{message.type.name} failed after {attempts} attempt(s): "
+            f"{last_exc}"
+        ) from last_exc
+
+    def close(self) -> None:
+        """Close the underlying transport, if connected."""
+        self._drop_connection()
+
+    def __enter__(self) -> "RetryingTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,322 @@
+"""Session bookkeeping and concurrency primitives for the TCP service.
+
+Three pieces, each independently testable:
+
+* :class:`ReadWriteLock` — many concurrent readers *or* one writer.  SSE
+  searches only read the index (Scheme 2's Optimization-1 cache write is
+  idempotent between updates, see ``docs/observability.md``), so searches
+  proceed in parallel while updates take the exclusive side.
+* :class:`WorkerPool` — a bounded pool of daemon threads with a FIFO queue,
+  graceful drain, and a queue-depth gauge.  It bounds how many handler
+  dispatches run at once no matter how many connections are open.
+* :class:`SessionManager` / :class:`Session` — binds each accepted TCP
+  connection to a session id so the server can enumerate, count, and
+  close live connections on shutdown (no leaked threads between test
+  cases, no orphaned sockets).
+
+The message-type classification lives here too: :func:`is_read_message`
+is the single source of truth for which protocol messages may share the
+read lock and which require exclusivity.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket as socket_module
+import threading
+import time
+
+from repro.errors import ParameterError, ServiceStoppedError
+from repro.net.messages import MessageType
+from repro.obs.metrics import NULL_METRICS
+
+__all__ = ["ReadWriteLock", "WorkerPool", "Session", "SessionManager",
+           "is_read_message", "READ_MESSAGE_TYPES"]
+
+# Read-only protocol messages: searches and fetches.  Everything else
+# (document upload/delete, index updates) mutates server state and takes
+# the write lock.  S1's two search rounds are both reads — round 2 only
+# XOR-unmasks a stored entry.  ERROR/ACK never arrive as requests but are
+# classified as reads so a misbehaving client cannot grab the write lock
+# with a nonsense frame.
+READ_MESSAGE_TYPES = frozenset({
+    MessageType.S1_SEARCH_REQUEST,
+    MessageType.S1_SEARCH_REVEAL,
+    MessageType.S2_SEARCH_REQUEST,
+    MessageType.SWP_SEARCH_REQUEST,
+    MessageType.GOH_SEARCH_REQUEST,
+    MessageType.CGKO_SEARCH_REQUEST,
+    MessageType.NAIVE_FETCH_ALL,
+    MessageType.ACK,
+    MessageType.ERROR,
+})
+
+
+def is_read_message(message_type: MessageType) -> bool:
+    """True if *message_type* may run under the shared read lock."""
+    return message_type in READ_MESSAGE_TYPES
+
+
+class ReadWriteLock:
+    """Readers-writer lock, writer-preferring.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Once a writer is waiting, new readers queue behind it so a
+    steady stream of searches cannot starve updates.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        """Take the shared side (blocks while a writer holds or waits)."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Drop the shared side."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Take the exclusive side (blocks until all readers drain)."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        """Drop the exclusive side."""
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    class _Guard:
+        def __init__(self, acquire, release) -> None:
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self):
+            self._acquire()
+            return self
+
+        def __exit__(self, *exc_info) -> None:
+            self._release()
+
+    def read_locked(self) -> "ReadWriteLock._Guard":
+        """``with lock.read_locked(): ...``"""
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def write_locked(self) -> "ReadWriteLock._Guard":
+        """``with lock.write_locked(): ...``"""
+        return self._Guard(self.acquire_write, self.release_write)
+
+
+class _Job:
+    """Handle for one submitted callable: blocks for result or exception."""
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._result = None
+        self._exception: BaseException | None = None
+
+    def _finish(self, result=None, exception: BaseException | None = None
+                ) -> None:
+        self._result = result
+        self._exception = exception
+        self._done.set()
+
+    def result(self, timeout: float | None = None):
+        """Wait for completion; re-raise the job's exception if it failed."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("job did not complete in time")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+class WorkerPool:
+    """Fixed-size thread pool with graceful drain.
+
+    ``submit`` enqueues a callable and returns a :class:`_Job`; *size*
+    worker threads execute jobs FIFO.  :meth:`drain` waits for in-flight
+    and queued work to finish without accepting more; :meth:`shutdown`
+    drains and stops the workers.
+    """
+
+    def __init__(self, size: int, metrics=None, name: str = "repro-pool"
+                 ) -> None:
+        if size < 1:
+            raise ParameterError("worker pool needs at least one worker")
+        self.size = size
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._queue: queue.Queue = queue.Queue()
+        self._open = True
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._active = 0
+        self._queued = 0
+        self._workers = [
+            threading.Thread(target=self._work, name=f"{name}-{i}",
+                             daemon=True)
+            for i in range(size)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs submitted but not yet started."""
+        return self._queued
+
+    @property
+    def active_jobs(self) -> int:
+        """Jobs currently executing on a worker."""
+        return self._active
+
+    def submit(self, fn, *args) -> _Job:
+        """Queue *fn(*args)* for execution; rejects after shutdown."""
+        job = _Job()
+        with self._lock:
+            if not self._open:
+                raise ServiceStoppedError("worker pool is shut down")
+            self._queued += 1
+        self._metrics.gauge("queue_depth").set(self._queued)
+        self._queue.put((job, fn, args))
+        return job
+
+    def _work(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            job, fn, args = item
+            with self._lock:
+                self._queued -= 1
+                self._active += 1
+            self._metrics.gauge("queue_depth").set(self._queued)
+            try:
+                job._finish(result=fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - handed to waiter
+                job._finish(exception=exc)
+            finally:
+                with self._lock:
+                    self._active -= 1
+                    if not self._active and not self._queued:
+                        self._idle.notify_all()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no job is queued or running; True if fully drained."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._active or self._queued:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown(self, timeout: float | None = None) -> bool:
+        """Drain, then stop all workers.  True if everything finished."""
+        with self._lock:
+            if not self._open:
+                return True
+            self._open = False
+        drained = self.drain(timeout)
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+        return drained and not any(w.is_alive() for w in self._workers)
+
+
+class Session:
+    """One live client connection, as the server sees it."""
+
+    def __init__(self, session_id: int, sock: socket_module.socket,
+                 peer: str) -> None:
+        self.session_id = session_id
+        self.socket = sock
+        self.peer = peer
+        self.requests_handled = 0
+        self.errors = 0
+        self.thread: threading.Thread | None = None
+
+    def close_socket(self) -> None:
+        """Force-close the session's socket (idempotent)."""
+        try:
+            self.socket.shutdown(socket_module.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.socket.close()
+        except OSError:  # pragma: no cover - close never fails on Linux
+            pass
+
+    def __repr__(self) -> str:
+        return (f"Session(id={self.session_id}, peer={self.peer!r}, "
+                f"requests={self.requests_handled})")
+
+
+class SessionManager:
+    """Tracks every live connection so shutdown can be exhaustive."""
+
+    def __init__(self, metrics=None) -> None:
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._lock = threading.Lock()
+        self._sessions: dict[int, Session] = {}
+        self._ids = itertools.count(1)
+        self.sessions_opened = 0
+
+    def open(self, sock: socket_module.socket, addr) -> Session:
+        """Register a freshly accepted connection as a session."""
+        peer = f"{addr[0]}:{addr[1]}" if isinstance(addr, tuple) else str(addr)
+        session = Session(next(self._ids), sock, peer)
+        with self._lock:
+            self._sessions[session.session_id] = session
+            self.sessions_opened += 1
+        self._metrics.counter("sessions_total").inc()
+        self._metrics.gauge("active_sessions").set(len(self._sessions))
+        return session
+
+    def close(self, session: Session) -> None:
+        """Drop a session and close its socket."""
+        with self._lock:
+            self._sessions.pop(session.session_id, None)
+        session.close_socket()
+        self._metrics.gauge("active_sessions").set(len(self._sessions))
+
+    @property
+    def active_count(self) -> int:
+        """Number of currently registered sessions."""
+        return len(self._sessions)
+
+    def active_sessions(self) -> list[Session]:
+        """Snapshot of the live sessions."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    def close_all(self, join_timeout: float | None = None) -> None:
+        """Close every live socket and join the serving threads."""
+        for session in self.active_sessions():
+            session.close_socket()
+        for session in self.active_sessions():
+            thread = session.thread
+            if thread is not None and thread is not threading.current_thread():
+                thread.join(timeout=join_timeout)
+        with self._lock:
+            self._sessions.clear()
+        self._metrics.gauge("active_sessions").set(0)

@@ -1,4 +1,4 @@
-"""Run any SSE server over a real TCP socket.
+"""Run any SSE server over a real TCP socket, concurrently.
 
 The in-process :class:`~repro.net.channel.Channel` measures protocol costs;
 this module proves the protocols are genuinely byte-defined by running them
@@ -9,32 +9,54 @@ Framing: ``length(4, big-endian) | message bytes``; one request frame in,
 one reply frame out, per round.  Server errors travel back as an ERROR
 message rather than killing the connection.
 
+Service layer (this is what makes the PHR⁺ multi-reader scenario of §6
+sustainable):
+
+* every accepted connection becomes a :class:`~repro.net.session.Session`;
+* requests are dispatched on a bounded :class:`~repro.net.session.WorkerPool`
+  (default ``min(8, cpu)`` workers), so a thousand idle connections cost a
+  thousand parked reader threads but never more than *pool-size* handler
+  executions;
+* searches share a read lock and run in parallel; updates take the write
+  lock and run alone — the global per-request mutex is gone;
+* :meth:`TcpSseServer.stop` drains in-flight requests, joins the accept
+  thread, and closes every live connection, so nothing leaks;
+* a :class:`~repro.obs.metrics.Metrics` registry counts requests, errors,
+  and latency per message type (see ``docs/observability.md``).
+
 Typical use (see ``tests/net/test_tcp.py`` and ``examples``)::
 
-    server = TcpSseServer(scheme_server, host="127.0.0.1", port=0)
-    server.start()
-    transport = TcpClientTransport(server.host, server.port)
-    client = Scheme2Client(master_key, Channel(transport))
-    ...
-    transport.close(); server.stop()
+    with TcpSseServer(scheme_server, host="127.0.0.1", port=0) as server:
+        with TcpClientTransport(server.host, server.port) as transport:
+            client = Scheme2Client(master_key, Channel(transport))
+            ...
 
 ``TcpClientTransport`` exposes the same ``handle(message)`` entry point as
 a local server object, so it plugs straight into ``Channel`` — the
-instrumentation keeps working, now measuring real socket traffic.
+instrumentation keeps working, now measuring real socket traffic.  Wrap it
+in :class:`~repro.net.retry.RetryingTransport` for timeouts and backoff.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import struct
 import threading
+import time
 
 from repro.errors import ProtocolError, ReproError
 from repro.net.messages import Message, MessageType
+from repro.net.session import (ReadWriteLock, SessionManager, WorkerPool,
+                               is_read_message)
+from repro.obs.metrics import Metrics, NULL_METRICS
 
-__all__ = ["TcpSseServer", "TcpClientTransport", "send_frame", "recv_frame"]
+__all__ = ["TcpSseServer", "TcpClientTransport", "send_frame", "recv_frame",
+           "DEFAULT_MAX_WORKERS"]
 
 _MAX_FRAME = 64 * 1024 * 1024  # refuse absurd frames rather than OOM
+
+DEFAULT_MAX_WORKERS = min(8, os.cpu_count() or 1)
 
 
 def send_frame(sock: socket.socket, payload: bytes) -> None:
@@ -69,23 +91,51 @@ def recv_frame(sock: socket.socket) -> bytes | None:
 
 
 class TcpSseServer:
-    """Serves one SSE server object over TCP, one thread per connection."""
+    """Serves one SSE server object over TCP with session-aware dispatch.
 
-    def __init__(self, handler, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+    One parked reader thread per connection feeds a bounded worker pool;
+    read requests (searches) execute concurrently under a shared lock,
+    write requests (uploads, updates, deletes) exclusively.  The handler
+    object therefore needs no locking of its own as long as its searches
+    only mutate idempotent caches — which is true of every scheme here.
+    """
+
+    def __init__(self, handler, host: str = "127.0.0.1", port: int = 0,
+                 *, max_workers: int | None = None,
+                 metrics: Metrics | None = None,
+                 drain_timeout_s: float = 5.0) -> None:
         self._handler = handler
+        self.metrics = metrics if metrics is not None else Metrics()
+        # Share the registry with the handler when it carries the default
+        # no-op one, so scheme-level counters land beside the wire metrics.
+        if getattr(handler, "metrics", None) is NULL_METRICS:
+            handler.metrics = self.metrics
+        self.sessions = SessionManager(metrics=self.metrics)
+        self._pool = WorkerPool(
+            DEFAULT_MAX_WORKERS if max_workers is None else max_workers,
+            metrics=self.metrics)
+        self._state_lock = ReadWriteLock()
+        self._drain_timeout_s = drain_timeout_s
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(8)
+        self._listener.listen(64)
         self.host, self.port = self._listener.getsockname()
         self._accept_thread: threading.Thread | None = None
         self._running = False
-        self._lock = threading.Lock()  # serialize handler access
-        self.connections_served = 0
+        self._stopped = False
+
+    @property
+    def connections_served(self) -> int:
+        """Total connections ever accepted (live sessions included)."""
+        return self.sessions.sessions_opened
 
     def start(self) -> None:
         """Begin accepting connections on a background thread."""
+        if self._stopped:
+            raise ProtocolError("server already stopped; create a new one")
+        if self._running:
+            return
         self._running = True
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-tcp-accept", daemon=True
@@ -95,45 +145,109 @@ class TcpSseServer:
     def _accept_loop(self) -> None:
         while self._running:
             try:
-                conn, _ = self._listener.accept()
+                conn, addr = self._listener.accept()
             except OSError:
                 return  # listener closed
-            self.connections_served += 1
-            threading.Thread(target=self._serve_connection, args=(conn,),
-                             daemon=True).start()
+            if not self._running:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                return
+            session = self.sessions.open(conn, addr)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(session,),
+                name=f"repro-tcp-session-{session.session_id}", daemon=True,
+            )
+            session.thread = thread
+            thread.start()
 
-    def _serve_connection(self, conn: socket.socket) -> None:
-        with conn:
+    def _serve_connection(self, session) -> None:
+        try:
             while True:
                 try:
-                    frame = recv_frame(conn)
-                except ProtocolError:
+                    frame = recv_frame(session.socket)
+                except (ProtocolError, OSError):
                     return
                 if frame is None:
                     return
-                reply = self._dispatch(frame)
                 try:
-                    send_frame(conn, reply.serialize())
+                    reply = self._pool.submit(self._dispatch, frame,
+                                              session).result()
+                except ReproError:
+                    return  # pool shut down mid-request: drop the session
+                try:
+                    send_frame(session.socket, reply.serialize())
                 except OSError:
                     return
+        finally:
+            self.sessions.close(session)
 
-    def _dispatch(self, frame: bytes) -> Message:
+    def _dispatch(self, frame: bytes, session) -> Message:
+        started = time.perf_counter()
+        type_name = "MALFORMED"
         try:
             message = Message.deserialize(frame)
-            with self._lock:
-                return self._handler.handle(message)
+            type_name = message.type.name
+            if is_read_message(message.type):
+                guard = self._state_lock.read_locked()
+            else:
+                guard = self._state_lock.write_locked()
+            with guard:
+                reply = self._handler.handle(message)
+            session.requests_handled += 1
+            return reply
         except ReproError as exc:
             # The client learns the error class name, nothing internal.
+            session.errors += 1
+            self.metrics.counter("errors_total", type=type_name).inc()
             return Message(MessageType.ERROR,
                            (type(exc).__name__.encode("utf-8"),))
+        finally:
+            elapsed = time.perf_counter() - started
+            self.metrics.counter("requests_total", type=type_name).inc()
+            self.metrics.histogram("request_seconds",
+                                   type=type_name).observe(elapsed)
 
-    def stop(self) -> None:
-        """Stop accepting and close the listener (live threads drain)."""
+    def stop(self, timeout: float | None = None) -> None:
+        """Gracefully stop: refuse new connections, drain, close, join.
+
+        1. stop the accept loop and close the listener (new connects are
+           refused immediately);
+        2. drain the worker pool so in-flight requests finish;
+        3. close every live session socket and join the serving threads.
+
+        *timeout* bounds each joining step (default: the server's
+        ``drain_timeout_s``).  Idempotent.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
         self._running = False
+        timeout = self._drain_timeout_s if timeout is None else timeout
+        # shutdown() wakes a thread blocked in accept(); close() frees the
+        # port.  Joining the accept thread is the leak fix: a dead listener
+        # fd left with a blocked accept() could be reused by a *later*
+        # listener and steal its connections.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:  # pragma: no cover
             pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+        self._pool.shutdown(timeout=timeout)
+        self.sessions.close_all(join_timeout=timeout)
+
+    def __enter__(self) -> "TcpSseServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
 
 
 class TcpClientTransport:
@@ -142,9 +256,14 @@ class TcpClientTransport:
     Plugs into :class:`~repro.net.channel.Channel` in place of an
     in-process server object; each ``handle`` call is one request/response
     over the socket.  Server-side errors surface as :class:`ProtocolError`.
+    ``timeout_s`` bounds both the connect and each request's reply wait
+    (a quiet server raises ``socket.timeout``, an ``OSError`` subclass).
     """
 
     def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout_s)
 

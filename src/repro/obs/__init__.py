@@ -1,0 +1,20 @@
+"""Observability: wire-level metrics for the SSE service layer.
+
+The paper measures protocols in rounds and bytes; a *deployment* of those
+protocols needs a second instrument — what the service is doing right now
+and how long requests take.  :mod:`repro.obs.metrics` provides the minimal
+registry the TCP layer, channel, and CLI share: counters, gauges, and
+latency histograms with a text snapshot formatter.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, Metrics,
+                               NULL_METRICS, NullMetrics)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NULL_METRICS",
+    "NullMetrics",
+]

@@ -1,0 +1,285 @@
+"""A small, thread-safe metrics registry (counters, gauges, histograms).
+
+The service layer (``repro.net.tcp``), the instrumented channel, and the
+CLI all share one :class:`Metrics` registry.  The design goals, in order:
+
+* **zero dependencies** — stdlib only, like everything else in ``repro``;
+* **thread safety** — instruments are updated from worker-pool threads;
+* **determinism** — nothing here consumes randomness or wall-clock time on
+  its own; callers pass in the durations they measured;
+* **cheap no-op** — :data:`NULL_METRICS` lets hot paths record
+  unconditionally without an ``if`` at every site.
+
+Naming follows the Prometheus conventions loosely (``requests_total``,
+``request_seconds``) and labels are plain keyword arguments::
+
+    metrics = Metrics()
+    metrics.counter("requests_total", type="S2_SEARCH_REQUEST").inc()
+    metrics.histogram("request_seconds", type="S2_SEARCH_REQUEST").observe(dt)
+    print(metrics.render_text())
+
+See ``docs/observability.md`` for the metric names the service layer
+emits and what each one means.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.errors import ParameterError
+
+__all__ = ["Counter", "Gauge", "Histogram", "Metrics", "NullMetrics",
+           "NULL_METRICS"]
+
+# Histograms keep a bounded window of raw samples for quantiles.  Past the
+# cap, new observations overwrite the window round-robin: quantiles then
+# reflect the most recent _SAMPLE_CAP observations, which is what a live
+# dashboard wants anyway.  Count/sum/min/max always cover every sample.
+_SAMPLE_CAP = 4096
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ParameterError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, active sessions)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to *value*."""
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract *amount* from the gauge."""
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        return self._value
+
+
+class Histogram:
+    """Sampled distribution with exact count/sum and windowed quantiles."""
+
+    def __init__(self, sample_cap: int = _SAMPLE_CAP) -> None:
+        if sample_cap < 1:
+            raise ParameterError("histogram sample cap must be positive")
+        self._lock = threading.Lock()
+        self._cap = sample_cap
+        self._samples: list[float] = []
+        self._next_slot = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if len(self._samples) < self._cap:
+                self._samples.append(value)
+            else:
+                self._samples[self._next_slot] = value
+                self._next_slot = (self._next_slot + 1) % self._cap
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean over *all* observations (not just the window)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Quantile ``q`` in [0, 1] over the retained sample window.
+
+        Nearest-rank on the sorted window; 0.0 when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError("quantile must be within [0, 1]")
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        """Median of the sample window."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile of the sample window."""
+        return self.quantile(0.95)
+
+
+class Metrics:
+    """Registry of named, labeled instruments.
+
+    Instruments are created on first use and live for the registry's
+    lifetime.  A (name, labels) pair always maps to the same instrument, so
+    concurrent callers share state; asking for the same name with a
+    different instrument kind is an error.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, tuple[tuple[str, str], ...]],
+                                Counter | Gauge | Histogram] = {}
+
+    def _get(self, kind, name: str, labels: dict[str, str]):
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = kind()
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, kind):
+                raise ParameterError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create the counter (name, labels)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get or create the gauge (name, labels)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """Get or create the histogram (name, labels)."""
+        return self._get(Histogram, name, labels)
+
+    def collect(self) -> Iterable[tuple[str, tuple[tuple[str, str], ...],
+                                        Counter | Gauge | Histogram]]:
+        """Snapshot of (name, label-key, instrument), sorted by name."""
+        with self._lock:
+            items = list(self._instruments.items())
+        return sorted(((name, key, inst) for (name, key), inst in items),
+                      key=lambda row: (row[0], row[1]))
+
+    def snapshot(self) -> dict[str, float | dict[str, float]]:
+        """Flat dict of current values (histograms expand to sub-keys)."""
+        out: dict[str, float | dict[str, float]] = {}
+        for name, key, inst in self.collect():
+            full = name + _format_labels(key)
+            if isinstance(inst, Histogram):
+                out[full] = {"count": inst.count, "sum": inst.sum,
+                             "mean": inst.mean, "p50": inst.p50,
+                             "p95": inst.p95}
+            else:
+                out[full] = inst.value
+        return out
+
+    def render_text(self) -> str:
+        """Human/scrape-friendly one-line-per-instrument snapshot."""
+        lines: list[str] = []
+        for name, key, inst in self.collect():
+            full = name + _format_labels(key)
+            if isinstance(inst, Counter):
+                lines.append(f"{full} {inst.value}")
+            elif isinstance(inst, Gauge):
+                value = inst.value
+                text = f"{value:g}" if value != int(value) else str(int(value))
+                lines.append(f"{full} {text}")
+            else:
+                lines.append(
+                    f"{full} count={inst.count} mean={inst.mean:.6f} "
+                    f"p50={inst.p50:.6f} p95={inst.p95:.6f}"
+                )
+        return "\n".join(lines)
+
+
+class _NullInstrument:
+    """Accepts every instrument method and does nothing."""
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+    def set(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def observe(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    value = 0.0
+    count = 0
+
+
+class NullMetrics:
+    """Drop-in no-op registry so hot paths never branch on 'metrics on?'."""
+
+    _instrument = _NullInstrument()
+
+    def counter(self, name: str, **labels: str) -> _NullInstrument:
+        """Return the shared no-op instrument."""
+        return self._instrument
+
+    gauge = counter
+    histogram = counter
+
+    def collect(self):
+        """No instruments, ever."""
+        return ()
+
+    def snapshot(self) -> dict:
+        """Empty snapshot."""
+        return {}
+
+    def render_text(self) -> str:
+        """Empty snapshot text."""
+        return ""
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,88 @@
+"""Scheme registry: one factory covering every scheme and baseline."""
+
+import pytest
+
+from repro.core import Document
+from repro.core.registry import (available_schemes, make_scheme, make_server,
+                                 scheme_description)
+from repro.errors import ParameterError
+from repro.net.channel import Channel
+
+EXPECTED_SCHEMES = {"cgko", "cm", "goh", "naive", "scheme1", "scheme2", "swp"}
+
+
+class TestCatalogue:
+    def test_all_schemes_registered(self):
+        assert set(available_schemes()) == EXPECTED_SCHEMES
+
+    def test_catalogue_is_sorted(self):
+        names = available_schemes()
+        assert list(names) == sorted(names)
+
+    def test_every_scheme_has_a_description(self):
+        for name in available_schemes():
+            assert scheme_description(name)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ParameterError, match="unknown scheme"):
+            make_scheme("nope")
+        with pytest.raises(ParameterError, match="unknown scheme"):
+            scheme_description("nope")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ParameterError, match="frobnicate"):
+            make_scheme("scheme2", frobnicate=True)
+
+
+class TestFactory:
+    # scheme1 is exercised separately below (needs the shared keypair);
+    # cm needs dictionary keywords, handled in its own test.
+    @pytest.mark.parametrize("name",
+                             ["scheme2", "swp", "goh", "cgko", "naive"])
+    def test_pair_round_trips_a_search(self, name, sample_documents,
+                                       reference_search):
+        client, server = make_scheme(name, seed=0xBEEF)
+        assert server is not None
+        client.store(sample_documents)
+        result = client.search("flu")
+        assert sorted(result.doc_ids) == reference_search(
+            sample_documents, "flu")
+
+    def test_scheme1_accepts_injected_keypair(self, master_key,
+                                              elgamal_keypair, rng):
+        client, server = make_scheme("scheme1", master_key, seed=1,
+                                     keypair=elgamal_keypair, capacity=32)
+        client.store([Document(0, b"x", frozenset({"kw"}))])
+        assert client.search("kw").doc_ids == [0]
+
+    def test_cm_searches_its_dictionary(self):
+        client, server = make_scheme("cm", seed=2)
+        # Keywords must come from the (demo) public dictionary.
+        client.store([Document(0, b"x", frozenset({"sym:fever"}))])
+        assert client.search("sym:fever").doc_ids == [0]
+
+    def test_channel_injection_returns_no_server(self, master_key):
+        from repro.core.scheme2 import Scheme2Server
+
+        server = Scheme2Server(max_walk=64)
+        client, returned = make_scheme("scheme2", master_key,
+                                       channel=Channel(server),
+                                       chain_length=64, seed=3)
+        assert returned is None
+        client.store([Document(0, b"x", frozenset({"kw"}))])
+        assert server.unique_keywords == 1  # traffic reached our server
+
+    def test_seed_makes_keys_deterministic(self):
+        client_a, _ = make_scheme("scheme2", seed=42)
+        client_b, _ = make_scheme("scheme2", seed=42)
+        client_c, _ = make_scheme("scheme2", seed=43)
+        assert client_a._key == client_b._key
+        assert client_a._key != client_c._key
+
+    def test_make_server_builds_standalone_handler(self):
+        server = make_server("scheme2")
+        assert hasattr(server, "handle")
+
+    def test_make_server_rejects_unknown(self):
+        with pytest.raises(ParameterError, match="unknown scheme"):
+            make_server("nope")

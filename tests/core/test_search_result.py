@@ -1,0 +1,73 @@
+"""SearchResult value semantics and client/server context managers."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import Document, SearchResult, make_scheme
+from repro.errors import ParameterError
+
+
+class TestSearchResult:
+    def _result(self):
+        return SearchResult("flu", [1, 4], [b"beta", b"epsilon"])
+
+    def test_len_counts_matches(self):
+        assert len(self._result()) == 2
+        assert len(SearchResult("x", [], [])) == 0
+
+    def test_iterates_id_plaintext_pairs(self):
+        assert list(self._result()) == [(1, b"beta"), (4, b"epsilon")]
+
+    def test_empty_property(self):
+        assert SearchResult("x", [], []).empty
+        assert not self._result().empty
+
+    def test_frozen(self):
+        result = self._result()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.keyword = "other"
+
+    def test_equality_is_by_value(self):
+        assert self._result() == self._result()
+        assert self._result() != SearchResult("flu", [1], [b"beta"])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ParameterError):
+            SearchResult("x", [1, 2], [b"only-one"])
+
+    def test_scheme_search_returns_iterable_result(self, sample_documents,
+                                                   reference_search):
+        client, _ = make_scheme("scheme2", seed=9)
+        client.store(sample_documents)
+        result = client.search("flu")
+        assert len(result) == len(reference_search(sample_documents, "flu"))
+        for doc_id, plaintext in result:
+            assert isinstance(doc_id, int)
+            assert isinstance(plaintext, bytes)
+
+
+class TestContextManagers:
+    def test_client_with_statement_closes_channel(self):
+        client, _ = make_scheme("scheme2", seed=10)
+        closed = []
+        client._channel.close = lambda: closed.append(True)  # noqa: SLF001
+        with client as entered:
+            assert entered is client
+            entered.store([Document(0, b"x", frozenset({"kw"}))])
+        assert closed == [True]
+
+    def test_tcp_round_trip_with_statements(self, master_key, rng):
+        from repro.core.scheme2 import Scheme2Client, Scheme2Server
+        from repro.net.channel import Channel
+        from repro.net.tcp import TcpClientTransport, TcpSseServer
+
+        with TcpSseServer(Scheme2Server(max_walk=32)) as tcp:
+            transport = TcpClientTransport(tcp.host, tcp.port)
+            with Scheme2Client(master_key, Channel(transport),
+                               chain_length=32, rng=rng) as client:
+                client.store([Document(0, b"x", frozenset({"kw"}))])
+                assert client.search("kw").doc_ids == [0]
+        # Both sides are torn down: new connections are refused.
+        with pytest.raises(OSError):
+            TcpClientTransport(tcp.host, tcp.port, timeout_s=0.5)

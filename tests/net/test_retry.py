@@ -1,0 +1,175 @@
+"""Retry transport: backoff schedule, idempotency guards, recovery."""
+
+import pytest
+
+from repro.core import Document
+from repro.core.registry import make_scheme
+from repro.crypto.rng import HmacDrbg
+from repro.errors import (ProtocolError, RetryExhaustedError)
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+from repro.net.retry import (IDEMPOTENT_TYPES, RetryPolicy, RetryingTransport)
+from repro.net.session import READ_MESSAGE_TYPES
+
+
+class _CountingHandler:
+    """In-process 'server' that counts what it applied."""
+
+    def __init__(self):
+        self.handled: list[MessageType] = []
+
+    def handle(self, message):
+        self.handled.append(message.type)
+        if message.type == MessageType.S2_SEARCH_REQUEST:
+            return Message(MessageType.DOCUMENTS_RESULT)
+        return Message(MessageType.ACK)
+
+
+class _FlakyTransport:
+    """Delivers to a handler but drops replies for scripted calls."""
+
+    def __init__(self, handler, drop_calls: set[int]):
+        self._handler = handler
+        self._drop_calls = drop_calls
+        self.calls = 0
+        self.closed = False
+
+    def handle(self, message):
+        self.calls += 1
+        reply = self._handler.handle(message)  # request reached the server
+        if self.calls in self._drop_calls:
+            raise ProtocolError("server closed the connection")
+        return reply
+
+    def close(self):
+        self.closed = True
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=2.0,
+                             max_delay_s=0.5, jitter_fraction=0.0)
+        delays = [policy.delay_for(k) for k in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_deterministic_when_seeded(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter_fraction=0.5)
+        a = [policy.delay_for(k, rng=HmacDrbg(7)) for k in range(1, 4)]
+        b = [policy.delay_for(k, rng=HmacDrbg(7)) for k in range(1, 4)]
+        assert a == b
+        assert a != [policy.delay_for(k) for k in range(1, 4)]  # jittered
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0,
+                             max_delay_s=1.0, jitter_fraction=0.25)
+        for seed in range(20):
+            delay = policy.delay_for(1, rng=HmacDrbg(seed))
+            assert 1.0 <= delay < 1.25
+
+
+class TestIdempotencyClassification:
+    def test_idempotent_set_is_the_read_set(self):
+        assert IDEMPOTENT_TYPES == READ_MESSAGE_TYPES
+
+    def test_updates_are_not_idempotent(self):
+        assert MessageType.S2_STORE_ENTRY not in IDEMPOTENT_TYPES
+        assert MessageType.STORE_DOCUMENT not in IDEMPOTENT_TYPES
+        assert MessageType.S1_UPDATE_PATCH not in IDEMPOTENT_TYPES
+
+
+class TestRetryingTransport:
+    def _transport(self, handler, drop_calls, **kwargs):
+        flaky = _FlakyTransport(handler, drop_calls)
+        sleeps: list[float] = []
+        transport = RetryingTransport(
+            lambda: flaky,
+            policy=kwargs.pop("policy", RetryPolicy(max_attempts=3,
+                                                    base_delay_s=0.01)),
+            rng=kwargs.pop("rng", HmacDrbg(3)),
+            sleep=sleeps.append,
+            **kwargs,
+        )
+        return transport, flaky, sleeps
+
+    def test_dropped_search_reply_recovered_by_backoff(self):
+        handler = _CountingHandler()
+        transport, flaky, sleeps = self._transport(handler, drop_calls={1})
+        reply = transport.handle(Message(MessageType.S2_SEARCH_REQUEST,
+                                         (b"tag", b"trapdoor")))
+        assert reply.type == MessageType.DOCUMENTS_RESULT
+        assert transport.attempts_last_request == 2
+        assert len(sleeps) == 1 and sleeps[0] > 0
+        # The search reached the server twice — harmless for a read.
+        assert handler.handled.count(MessageType.S2_SEARCH_REQUEST) == 2
+
+    def test_unacknowledged_update_never_replayed(self):
+        handler = _CountingHandler()
+        transport, flaky, sleeps = self._transport(handler, drop_calls={1})
+        with pytest.raises(ProtocolError, match="not safe to retry"):
+            transport.handle(Message(MessageType.S2_STORE_ENTRY,
+                                     (b"t", b"blob", b"v")))
+        # Applied exactly once server-side, never re-sent, no backoff.
+        assert handler.handled.count(MessageType.S2_STORE_ENTRY) == 1
+        assert sleeps == []
+
+    def test_exhaustion_raises_after_policy_attempts(self):
+        handler = _CountingHandler()
+        transport, flaky, sleeps = self._transport(
+            handler, drop_calls={1, 2, 3, 4, 5})
+        with pytest.raises(RetryExhaustedError, match="after 3 attempt"):
+            transport.handle(Message(MessageType.S2_SEARCH_REQUEST,
+                                     (b"tag", b"trapdoor")))
+        assert transport.attempts_last_request == 3
+        assert len(sleeps) == 2  # no sleep after the final failure
+
+    def test_backoff_schedule_is_seeded_deterministic(self):
+        def schedule(seed):
+            handler = _CountingHandler()
+            transport, _, sleeps = self._transport(
+                handler, drop_calls={1, 2, 3}, rng=HmacDrbg(seed))
+            with pytest.raises(RetryExhaustedError):
+                transport.handle(Message(MessageType.S2_SEARCH_REQUEST,
+                                         (b"t", b"d")))
+            return sleeps
+
+        assert schedule(11) == schedule(11)
+        assert schedule(11) != schedule(12)
+
+    def test_server_rejection_is_not_retried(self):
+        class _Rejecting:
+            def handle(self, message):
+                raise ProtocolError("server rejected the request: nope")
+
+            def close(self):
+                pass
+
+        sleeps: list[float] = []
+        transport = RetryingTransport(_Rejecting, sleep=sleeps.append)
+        with pytest.raises(ProtocolError, match="rejected"):
+            transport.handle(Message(MessageType.S2_SEARCH_REQUEST,
+                                     (b"t", b"d")))
+        assert sleeps == []  # deterministic rejection, no backoff
+
+    def test_scheme_search_recovers_through_retrying_channel(self, rng,
+                                                             master_key):
+        """End to end: a scheme2 search survives one dropped reply."""
+        from repro.core.scheme2 import Scheme2Server
+
+        server = Scheme2Server(max_walk=32)
+        flaky = _FlakyTransport(server, drop_calls=set())
+        sleeps: list[float] = []
+        transport = RetryingTransport(
+            lambda: flaky, policy=RetryPolicy(max_attempts=3),
+            rng=HmacDrbg(5), sleep=sleeps.append)
+        client, _ = make_scheme("scheme2", master_key,
+                                channel=Channel(transport),
+                                chain_length=32, rng=rng)
+        client.store([Document(0, b"x", frozenset({"kw"}))])
+        updates_applied = server.unique_keywords
+        # Drop the reply of the *next* call (the search).
+        flaky._drop_calls = {flaky.calls + 1}
+        result = client.search("kw")
+        assert result.doc_ids == [0]
+        assert len(sleeps) == 1
+        # The flake did not duplicate any update state.
+        assert server.unique_keywords == updates_applied

@@ -1,0 +1,228 @@
+"""Session-layer primitives: RW lock, worker pool, session manager."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ParameterError, ServiceStoppedError
+from repro.net.messages import MessageType
+from repro.net.session import (ReadWriteLock, SessionManager, WorkerPool,
+                               is_read_message)
+from repro.obs.metrics import Metrics
+
+
+class TestMessageClassification:
+    def test_searches_are_reads(self):
+        assert is_read_message(MessageType.S2_SEARCH_REQUEST)
+        assert is_read_message(MessageType.S1_SEARCH_REQUEST)
+        assert is_read_message(MessageType.S1_SEARCH_REVEAL)
+        assert is_read_message(MessageType.NAIVE_FETCH_ALL)
+
+    def test_mutations_are_writes(self):
+        assert not is_read_message(MessageType.STORE_DOCUMENT)
+        assert not is_read_message(MessageType.DELETE_DOCUMENT)
+        assert not is_read_message(MessageType.S1_UPDATE_PATCH)
+        assert not is_read_message(MessageType.S2_STORE_ENTRY)
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(2, timeout=10)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # both readers inside at once, or timeout
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order: list[str] = []
+        writer_in = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_in.set()
+                time.sleep(0.05)
+                order.append("writer-done")
+
+        def reader():
+            writer_in.wait(timeout=10)
+            with lock.read_locked():
+                order.append("reader-in")
+
+        tw = threading.Thread(target=writer)
+        tr = threading.Thread(target=reader)
+        tw.start()
+        tr.start()
+        tw.join(timeout=10)
+        tr.join(timeout=10)
+        assert order == ["writer-done", "reader-in"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_started = threading.Event()
+        writer_got_it = threading.Event()
+
+        def writer():
+            writer_started.set()
+            lock.acquire_write()
+            writer_got_it.set()
+            lock.release_write()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        writer_started.wait(timeout=10)
+        time.sleep(0.02)  # writer is now queued on the lock
+
+        late_reader_done = threading.Event()
+
+        def late_reader():
+            with lock.read_locked():
+                late_reader_done.set()
+
+        tr = threading.Thread(target=late_reader)
+        tr.start()
+        time.sleep(0.02)
+        # Writer waiting -> the late reader must queue behind it.
+        assert not late_reader_done.is_set()
+        lock.release_read()
+        t.join(timeout=10)
+        tr.join(timeout=10)
+        assert writer_got_it.is_set()
+        assert late_reader_done.is_set()
+
+
+class TestWorkerPool:
+    def test_submit_returns_result(self):
+        pool = WorkerPool(2)
+        try:
+            assert pool.submit(lambda: 40 + 2).result(timeout=10) == 42
+        finally:
+            pool.shutdown(timeout=10)
+
+    def test_exceptions_propagate_to_waiter(self):
+        pool = WorkerPool(1)
+        try:
+            def boom():
+                raise ValueError("expected")
+            with pytest.raises(ValueError, match="expected"):
+                pool.submit(boom).result(timeout=10)
+        finally:
+            pool.shutdown(timeout=10)
+
+    def test_pool_bounds_concurrency(self):
+        pool = WorkerPool(2)
+        active = []
+        peak = []
+        gate = threading.Semaphore(0)
+        lock = threading.Lock()
+
+        def job():
+            with lock:
+                active.append(1)
+                peak.append(len(active))
+            gate.acquire()
+            with lock:
+                active.pop()
+
+        try:
+            jobs = [pool.submit(job) for _ in range(6)]
+            time.sleep(0.1)
+            assert max(peak) <= 2
+            for _ in range(6):
+                gate.release()
+            for j in jobs:
+                j.result(timeout=10)
+            assert max(peak) == 2
+        finally:
+            pool.shutdown(timeout=10)
+
+    def test_queue_depth_reported(self):
+        metrics = Metrics()
+        pool = WorkerPool(1, metrics=metrics)
+        gate = threading.Event()
+        try:
+            jobs = [pool.submit(gate.wait, 10) for _ in range(3)]
+            time.sleep(0.05)
+            assert pool.queue_depth == 2
+            assert metrics.gauge("queue_depth").value == 2
+            gate.set()
+            for j in jobs:
+                j.result(timeout=10)
+        finally:
+            pool.shutdown(timeout=10)
+        assert metrics.gauge("queue_depth").value == 0
+
+    def test_shutdown_rejects_new_work(self):
+        pool = WorkerPool(1)
+        assert pool.shutdown(timeout=10)
+        with pytest.raises(ServiceStoppedError):
+            pool.submit(lambda: None)
+
+    def test_shutdown_drains_queued_jobs(self):
+        pool = WorkerPool(1)
+        results = []
+        for i in range(5):
+            pool.submit(results.append, i)
+        assert pool.shutdown(timeout=10)
+        assert results == [0, 1, 2, 3, 4]
+
+    def test_size_validated(self):
+        with pytest.raises(ParameterError):
+            WorkerPool(0)
+
+
+class TestSessionManager:
+    def _pair(self):
+        a, b = socket.socketpair()
+        return a, b
+
+    def test_open_close_lifecycle(self):
+        manager = SessionManager()
+        a, b = self._pair()
+        try:
+            session = manager.open(a, ("127.0.0.1", 1234))
+            assert manager.active_count == 1
+            assert session.peer == "127.0.0.1:1234"
+            assert manager.sessions_opened == 1
+            manager.close(session)
+            assert manager.active_count == 0
+            assert manager.sessions_opened == 1  # total is monotonic
+        finally:
+            a.close()
+            b.close()
+
+    def test_metrics_track_active_sessions(self):
+        metrics = Metrics()
+        manager = SessionManager(metrics=metrics)
+        a, b = self._pair()
+        try:
+            session = manager.open(a, ("127.0.0.1", 1))
+            assert metrics.gauge("active_sessions").value == 1
+            assert metrics.counter("sessions_total").value == 1
+            manager.close(session)
+            assert metrics.gauge("active_sessions").value == 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_close_all_closes_sockets(self):
+        manager = SessionManager()
+        a, b = self._pair()
+        manager.open(a, ("127.0.0.1", 1))
+        manager.close_all(join_timeout=1)
+        assert manager.active_count == 0
+        # The peer observes EOF: the socket really was closed.
+        b.settimeout(5)
+        assert b.recv(1) == b""
+        b.close()

@@ -107,3 +107,90 @@ class TestErrorHandling:
         tcp.stop()
         with pytest.raises(OSError):
             TcpClientTransport(tcp.host, tcp.port, timeout_s=0.5)
+
+
+class TestGracefulShutdown:
+    def test_stop_joins_accept_thread(self, master_key):
+        """Regression: a leaked accept thread on a closed fd could steal
+        connections from a later test's listener when the fd is reused."""
+        tcp = TcpSseServer(Scheme2Server(max_walk=16))
+        tcp.start()
+        accept_thread = tcp._accept_thread
+        tcp.stop()
+        assert accept_thread is not None
+        assert not accept_thread.is_alive()
+
+    def test_stop_closes_live_connections_and_joins_threads(self,
+                                                            master_key):
+        import threading
+
+        before = set(threading.enumerate())
+        tcp = TcpSseServer(Scheme2Server(max_walk=16))
+        tcp.start()
+        transport = TcpClientTransport(tcp.host, tcp.port, timeout_s=5.0)
+        # Let the server register the session before stopping.
+        deadline = 50
+        while tcp.sessions.active_count == 0 and deadline:
+            import time
+            time.sleep(0.01)
+            deadline -= 1
+        assert tcp.sessions.active_count == 1
+        tcp.stop()
+        assert tcp.sessions.active_count == 0
+        leaked = [t for t in threading.enumerate()
+                  if t not in before and t.name.startswith("repro-")]
+        assert not leaked, leaked
+        # The client observes the close.
+        from repro.errors import ProtocolError
+        with pytest.raises((ProtocolError, OSError)):
+            transport.handle(Message(MessageType.S2_SEARCH_REQUEST,
+                                     (b"t", b"e")))
+        transport.close()
+
+    def test_stop_is_idempotent(self, master_key):
+        tcp = TcpSseServer(Scheme2Server(max_walk=16))
+        tcp.start()
+        tcp.stop()
+        tcp.stop()  # second stop is a no-op, not an error
+
+    def test_in_flight_request_drains_before_stop_returns(self, master_key):
+        """stop() waits for the worker pool: a request inside the handler
+        completes and its reply is delivered before sockets close."""
+        import time
+
+        class SlowServer(Scheme2Server):
+            def handle(self, message):
+                time.sleep(0.2)
+                return super().handle(message)
+
+        tcp = TcpSseServer(SlowServer(max_walk=16))
+        tcp.start()
+        transport = TcpClientTransport(tcp.host, tcp.port, timeout_s=5.0)
+        try:
+            import threading
+
+            reply_holder = {}
+
+            def request():
+                reply_holder["reply"] = transport.handle(
+                    Message(MessageType.STORE_DOCUMENT,
+                            (b"\x00" * 8, b"body")))
+
+            thread = threading.Thread(target=request)
+            thread.start()
+            time.sleep(0.05)  # request is now inside the slow handler
+            tcp.stop(timeout=5.0)
+            thread.join(timeout=10)
+            assert reply_holder["reply"].type == MessageType.ACK
+        finally:
+            transport.close()
+
+    def test_context_manager_starts_and_stops(self, master_key):
+        with TcpSseServer(Scheme2Server(max_walk=16)) as tcp:
+            with TcpClientTransport(tcp.host, tcp.port) as transport:
+                reply = transport.handle(
+                    Message(MessageType.STORE_DOCUMENT,
+                            (b"\x00" * 8, b"x")))
+                assert reply.type == MessageType.ACK
+        with pytest.raises(OSError):
+            TcpClientTransport(tcp.host, tcp.port, timeout_s=0.5)

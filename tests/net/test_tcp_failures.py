@@ -1,0 +1,274 @@
+"""Net-layer failure paths: oversized frames, dead connections, drain."""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core import Document
+from repro.core.scheme2 import Scheme2Client, Scheme2Server
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ProtocolError
+from repro.net import tcp as tcp_module
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+from repro.net.tcp import (TcpClientTransport, TcpSseServer, recv_frame,
+                           send_frame)
+
+
+class TestFrameLimits:
+    def test_send_refuses_oversized_frame(self, monkeypatch):
+        monkeypatch.setattr(tcp_module, "_MAX_FRAME", 64)
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ProtocolError, match="maximum size"):
+                send_frame(a, b"x" * 65)
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_refuses_announced_oversized_frame(self, monkeypatch):
+        monkeypatch.setattr(tcp_module, "_MAX_FRAME", 64)
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 65))
+            with pytest.raises(ProtocolError, match="oversized"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_server_drops_connection_announcing_huge_frame(self, master_key):
+        server = TcpSseServer(Scheme2Server(max_walk=16))
+        server.start()
+        try:
+            raw = socket.create_connection((server.host, server.port),
+                                           timeout=5)
+            # Announce a frame over the 64 MiB cap; the server must refuse
+            # and hang up rather than try to buffer it.
+            raw.sendall(struct.pack(">I", 65 * 1024 * 1024))
+            raw.settimeout(5)
+            assert raw.recv(1) == b""  # EOF: server closed on us
+            raw.close()
+        finally:
+            server.stop()
+
+    def test_connection_death_mid_frame(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 10) + b"only5")
+            a.close()
+            with pytest.raises(ProtocolError, match="died mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_client_sees_error_when_server_dies_mid_frame(self, master_key):
+        server = TcpSseServer(Scheme2Server(max_walk=16))
+        server.start()
+        transport = TcpClientTransport(server.host, server.port,
+                                       timeout_s=5.0)
+        try:
+            # Kill the server (closing every session socket) while the
+            # client is waiting for a reply.
+            def reaper():
+                time.sleep(0.1)
+                server.stop(timeout=0.1)
+
+            thread = threading.Thread(target=reaper)
+            thread.start()
+            with pytest.raises((ProtocolError, OSError)):
+                while True:  # at some point the socket dies under us
+                    transport.handle(
+                        Message(MessageType.S2_SEARCH_REQUEST,
+                                (b"t" * 16, b"e" * 32)))
+                    time.sleep(0.01)
+            thread.join(timeout=10)
+        finally:
+            transport.close()
+            server.stop()
+
+
+class TestServerErrorSurfacing:
+    def test_error_reply_raises_protocol_error_with_class_name(self,
+                                                               master_key):
+        with TcpSseServer(Scheme2Server(max_walk=16)) as server:
+            with TcpClientTransport(server.host, server.port) as transport:
+                with pytest.raises(ProtocolError, match="ProtocolError"):
+                    transport.handle(
+                        Message(MessageType.S1_SEARCH_REQUEST, (b"tag",)))
+
+    def test_malformed_store_surfaces_not_kills_connection(self, master_key):
+        with TcpSseServer(Scheme2Server(max_walk=16)) as server:
+            with TcpClientTransport(server.host, server.port) as transport:
+                with pytest.raises(ProtocolError):
+                    transport.handle(
+                        Message(MessageType.S2_STORE_ENTRY, (b"odd",)))
+                # Same connection still serves valid requests.
+                reply = transport.handle(
+                    Message(MessageType.STORE_DOCUMENT,
+                            (b"\x00" * 8, b"body")))
+                assert reply.type == MessageType.ACK
+
+
+class TestConcurrentClients:
+    def test_two_clients_search_without_interleaving_corruption(
+            self, master_key):
+        server_obj = Scheme2Server(max_walk=64)
+        with TcpSseServer(server_obj) as server:
+            seeder = Scheme2Client(
+                master_key,
+                Channel(TcpClientTransport(server.host, server.port)),
+                chain_length=64, rng=HmacDrbg(1))
+            docs = [Document(i, b"d%d" % i, frozenset({f"kw{i % 2}"}))
+                    for i in range(10)]
+            seeder.store(docs)
+            ctr = seeder.ctr
+
+            results: dict[int, list[list[int]]] = {0: [], 1: []}
+            errors: list[Exception] = []
+
+            def worker(idx: int) -> None:
+                try:
+                    transport = TcpClientTransport(server.host, server.port)
+                    client = Scheme2Client(master_key, Channel(transport),
+                                           chain_length=64,
+                                           rng=HmacDrbg(50 + idx))
+                    client._ctr = ctr
+                    for _ in range(8):
+                        result = client.search(f"kw{idx}")
+                        results[idx].append(result.doc_ids)
+                    transport.close()
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors, errors
+            for idx in (0, 1):
+                expected = sorted(d.doc_id for d in docs
+                                  if f"kw{idx}" in d.keywords)
+                for got in results[idx]:
+                    assert got == expected
+
+    def test_concurrent_searches_overlap(self, master_key):
+        """Reads share the lock: two searches run inside the handler at
+        the same time (the old global mutex made this impossible)."""
+        inner = Scheme2Server(max_walk=64)
+        sync = {"active": 0, "peak": 0}
+        lock = threading.Lock()
+
+        class SlowSearchProxy:
+            metrics = None
+
+            @property
+            def unique_keywords(self):
+                return inner.unique_keywords
+
+            def handle(self, message):
+                if message.type == MessageType.S2_SEARCH_REQUEST:
+                    with lock:
+                        sync["active"] += 1
+                        sync["peak"] = max(sync["peak"], sync["active"])
+                    time.sleep(0.15)
+                    try:
+                        return inner.handle(message)
+                    finally:
+                        with lock:
+                            sync["active"] -= 1
+                return inner.handle(message)
+
+        with TcpSseServer(SlowSearchProxy(), max_workers=4) as server:
+            seeder = Scheme2Client(
+                master_key,
+                Channel(TcpClientTransport(server.host, server.port)),
+                chain_length=64, rng=HmacDrbg(2))
+            seeder.store([Document(0, b"x", frozenset({"kw"}))])
+            ctr = seeder.ctr
+
+            def searcher(idx):
+                transport = TcpClientTransport(server.host, server.port)
+                client = Scheme2Client(master_key, Channel(transport),
+                                       chain_length=64,
+                                       rng=HmacDrbg(80 + idx))
+                client._ctr = ctr
+                client.search("kw")
+                transport.close()
+
+            threads = [threading.Thread(target=searcher, args=(i,))
+                       for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert sync["peak"] >= 2, "searches were serialized"
+
+    def test_update_takes_exclusive_lock(self, master_key):
+        """A write excludes reads: while an update is inside the handler no
+        search runs concurrently."""
+        inner = Scheme2Server(max_walk=64)
+        sync = {"active_write": 0, "overlap": False}
+        lock = threading.Lock()
+
+        class Proxy:
+            metrics = None
+
+            @property
+            def unique_keywords(self):
+                return inner.unique_keywords
+
+            def handle(self, message):
+                is_write = message.type in (MessageType.S2_STORE_ENTRY,
+                                            MessageType.STORE_DOCUMENT)
+                if is_write:
+                    with lock:
+                        sync["active_write"] += 1
+                    time.sleep(0.1)
+                else:
+                    with lock:
+                        if sync["active_write"]:
+                            sync["overlap"] = True
+                try:
+                    return inner.handle(message)
+                finally:
+                    if is_write:
+                        with lock:
+                            sync["active_write"] -= 1
+
+        with TcpSseServer(Proxy(), max_workers=4) as server:
+            writer = Scheme2Client(
+                master_key,
+                Channel(TcpClientTransport(server.host, server.port)),
+                chain_length=64, rng=HmacDrbg(3))
+            writer.store([Document(0, b"x", frozenset({"kw"}))])
+
+            stop = threading.Event()
+
+            def searcher():
+                transport = TcpClientTransport(server.host, server.port)
+                client = Scheme2Client(master_key, Channel(transport),
+                                       chain_length=64, rng=HmacDrbg(90))
+                while not stop.is_set():
+                    client._ctr = writer.ctr
+                    try:
+                        client.search("kw")
+                    except ProtocolError:
+                        # Benign race: the counter snapshot went stale
+                        # between pinning and the server walking the chain.
+                        continue
+                transport.close()
+
+            thread = threading.Thread(target=searcher)
+            thread.start()
+            for i in range(1, 4):
+                writer.add_documents(
+                    [Document(i, b"y", frozenset({"kw"}))])
+            stop.set()
+            thread.join(timeout=60)
+        assert not sync["overlap"], "a search ran inside an update"

@@ -1,0 +1,129 @@
+"""Metrics registry: counters, gauges, histograms, snapshot formatting."""
+
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.metrics import (Counter, Gauge, Histogram, Metrics,
+                               NULL_METRICS, NullMetrics)
+
+
+class TestInstruments:
+    def test_counter_counts(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(10)
+        g.dec(3)
+        g.inc()
+        assert g.value == 8
+
+    def test_histogram_moments(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+
+    def test_histogram_quantiles(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.p50 == pytest.approx(50.0, abs=2)
+        assert h.p95 == pytest.approx(95.0, abs=2)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_histogram_empty_quantile_is_zero(self):
+        assert Histogram().p95 == 0.0
+
+    def test_histogram_window_overwrites_oldest(self):
+        h = Histogram(sample_cap=4)
+        for v in [100.0, 100.0, 100.0, 100.0, 1.0, 1.0, 1.0, 1.0]:
+            h.observe(v)
+        # The window now holds only the recent 1.0s; count covers all 8.
+        assert h.count == 8
+        assert h.p95 == 1.0
+        assert h.max == 100.0
+
+    def test_quantile_bounds_validated(self):
+        with pytest.raises(ParameterError):
+            Histogram().quantile(1.5)
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_state(self):
+        m = Metrics()
+        m.counter("requests_total", type="ACK").inc()
+        m.counter("requests_total", type="ACK").inc()
+        assert m.counter("requests_total", type="ACK").value == 2
+
+    def test_distinct_labels_are_distinct_instruments(self):
+        m = Metrics()
+        m.counter("requests_total", type="ACK").inc()
+        assert m.counter("requests_total", type="ERROR").value == 0
+
+    def test_kind_conflict_rejected(self):
+        m = Metrics()
+        m.counter("x")
+        with pytest.raises(ParameterError):
+            m.gauge("x")
+
+    def test_render_text_lists_everything_sorted(self):
+        m = Metrics()
+        m.counter("b_total").inc(2)
+        m.gauge("a_depth").set(3)
+        m.histogram("c_seconds", type="ACK").observe(0.5)
+        text = m.render_text()
+        lines = text.splitlines()
+        assert lines[0] == "a_depth 3"
+        assert lines[1] == "b_total 2"
+        assert lines[2].startswith('c_seconds{type="ACK"} count=1')
+
+    def test_snapshot_expands_histograms(self):
+        m = Metrics()
+        m.histogram("h").observe(2.0)
+        snap = m.snapshot()
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["p50"] == 2.0
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        m = Metrics()
+        counter = m.counter("n")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestNullMetrics:
+    def test_all_operations_are_noops(self):
+        n = NullMetrics()
+        n.counter("x", type="y").inc()
+        n.gauge("z").set(5)
+        n.histogram("h").observe(1.0)
+        assert n.render_text() == ""
+        assert n.snapshot() == {}
+        assert list(n.collect()) == []
+
+    def test_shared_singleton_exists(self):
+        assert isinstance(NULL_METRICS, NullMetrics)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Lint check: ``__all__`` must match what each module actually defines.
+
+Two failure modes are caught across every module in ``src/repro``:
+
+* a name listed in ``__all__`` that the module does not define
+  (stale export — import * would raise AttributeError);
+* a public top-level class or function missing from ``__all__`` in a
+  module that declares one (silent API drift).
+
+Exit status is the number of offending modules, so ``make lint`` fails
+loudly.  No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def module_name(path: Path) -> str:
+    rel = path.relative_to(SRC).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def declared_all(tree: ast.Module) -> list[str] | None:
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    return [elt.value for elt in value.elts
+                            if isinstance(elt, ast.Constant)]
+    return None
+
+
+def public_definitions(tree: ast.Module) -> set[str]:
+    """Top-level def/class names that do not start with an underscore."""
+    names = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            if not node.name.startswith("_"):
+                names.add(node.name)
+    return names
+
+
+def defined_names(tree: ast.Module) -> set[str]:
+    """Every top-level binding: defs, classes, assignments, imports."""
+    names = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+def check(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    exported = declared_all(tree)
+    if exported is None:
+        return []
+    problems = []
+    available = defined_names(tree)
+    star_imports = any(
+        isinstance(node, ast.ImportFrom)
+        and any(alias.name == "*" for alias in node.names)
+        for node in tree.body)
+    for name in exported:
+        if name not in available and not star_imports:
+            problems.append(f"exports {name!r} which is never defined")
+    for name in sorted(public_definitions(tree) - set(exported)):
+        problems.append(f"defines public {name!r} missing from __all__")
+    return problems
+
+
+def main() -> int:
+    bad = 0
+    for path in sorted(SRC.rglob("*.py")):
+        problems = check(path)
+        if problems:
+            bad += 1
+            rel = path.relative_to(SRC.parent)
+            for problem in problems:
+                print(f"{rel}: {problem}")
+    if bad:
+        print(f"check_all: {bad} module(s) with __all__ drift")
+    else:
+        print("check_all: __all__ exports are consistent")
+    return bad
+
+
+if __name__ == "__main__":
+    sys.exit(main())
