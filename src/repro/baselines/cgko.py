@@ -28,12 +28,13 @@ from repro.core.api import SearchResult, SseClient, SseServerHandler
 from repro.core.documents import Document, normalize_keyword
 from repro.core.keys import MasterKey
 from repro.core.server import decode_doc_id, encode_doc_id
+from repro.core.state import SnapshotStateMixin, StateJournal
 from repro.crypto.authenc import AuthenticatedCipher
 from repro.crypto.bytesutil import xor_bytes
 from repro.crypto.modes import ctr_xcrypt
 from repro.crypto.prf import Prf, derive_key
 from repro.crypto.rng import RandomSource, SystemRandomSource
-from repro.errors import ParameterError, ProtocolError
+from repro.errors import ParameterError, ProtocolError, StorageError
 from repro.net.channel import Channel
 from repro.net.messages import Message, MessageType
 from repro.storage.docstore import EncryptedDocumentStore
@@ -44,6 +45,10 @@ _NODE_PLAIN_SIZE = 8 + 16 + 8  # doc_id | next_key | next_addr
 _NULL_ADDR = (1 << 64) - 1
 _TABLE_VALUE_SIZE = 8 + 16  # addr | key
 _ZERO_NONCE = bytes(8)  # node keys are single-use, fixed nonce is safe
+
+# Durable-state namespaces: node array and lookup table.
+_ARRAY_PREFIX = b"cgko.a:"  # address(8) -> encrypted node
+_TABLE_PREFIX = b"cgko.t:"  # tag -> masked head pointer
 
 
 def _encrypt_node(key: bytes, doc_id: int, next_key: bytes,
@@ -61,11 +66,12 @@ def _decrypt_node(key: bytes, blob: bytes) -> tuple[int, bytes, int]:
             int.from_bytes(plain[24:], "big"))
 
 
-class CgkoServer(SseServerHandler):
+class CgkoServer(SnapshotStateMixin, SseServerHandler):
     """Holds the node array, the lookup table, and walks lists on search."""
 
     def __init__(self) -> None:
-        self.documents = EncryptedDocumentStore()
+        self.state_journal = StateJournal()
+        self.documents = EncryptedDocumentStore(journal=self.state_journal)
         self.array: dict[int, bytes] = {}
         self.table: dict[bytes, bytes] = {}
         self.searches_handled = 0
@@ -107,13 +113,23 @@ class CgkoServer(SseServerHandler):
         expected = 1 + 2 * n_nodes
         if len(fields) < expected or (len(fields) - expected) % 2:
             raise ProtocolError("malformed index upload")
+        # The upload REPLACES the whole index: journal the removal of
+        # every old entry, then the new ones (the journal nets these out,
+        # so an address reused across rebuilds is a single overwrite).
+        for addr in self.array:
+            self.state_journal.delete(_ARRAY_PREFIX + addr.to_bytes(8, "big"))
+        for tag in self.table:
+            self.state_journal.delete(_TABLE_PREFIX + tag)
         self.array = {}
         self.table = {}
         for i in range(n_nodes):
             addr = int.from_bytes(fields[1 + 2 * i], "big")
             self.array[addr] = fields[2 + 2 * i]
+            self.state_journal.put(_ARRAY_PREFIX + addr.to_bytes(8, "big"),
+                                   fields[2 + 2 * i])
         for i in range(expected, len(fields), 2):
             self.table[fields[i]] = fields[i + 1]
+            self.state_journal.put(_TABLE_PREFIX + fields[i], fields[i + 1])
         self.rebuilds += 1
         self.nodes_written_last_rebuild = n_nodes
         return Message(MessageType.ACK)
@@ -144,6 +160,33 @@ class CgkoServer(SseServerHandler):
             out.append(self.documents.get(doc_id))
         return Message(MessageType.DOCUMENTS_RESULT, tuple(out))
 
+    # -- snapshot protocol (see repro.core.state) --------------------------
+
+    def _index_state_records(self):
+        for addr in sorted(self.array):
+            yield _ARRAY_PREFIX + addr.to_bytes(8, "big"), self.array[addr]
+        for tag in sorted(self.table):
+            yield _TABLE_PREFIX + tag, self.table[tag]
+
+    def _state_loaders(self):
+        loaders = super()._state_loaders()
+        loaders[_ARRAY_PREFIX] = self._load_array_record
+        loaders[_TABLE_PREFIX] = self._load_table_record
+        return loaders
+
+    def _load_array_record(self, key: bytes, value: bytes) -> None:
+        if len(key) != len(_ARRAY_PREFIX) + 8:
+            raise StorageError("malformed CGKO array record key")
+        self.array[int.from_bytes(key[len(_ARRAY_PREFIX):], "big")] = value
+
+    def _load_table_record(self, key: bytes, value: bytes) -> None:
+        self.table[key[len(_TABLE_PREFIX):]] = value
+
+    def _clear_state(self) -> None:
+        super()._clear_state()
+        self.array = {}
+        self.table = {}
+
 
 class CgkoClient(SseClient):
     """Client side: builds (and on every update, *rebuilds*) the index.
@@ -153,6 +196,8 @@ class CgkoClient(SseClient):
     controls how many dummy nodes pad the array (|A| = factor × real
     nodes, minimum 8).
     """
+
+    STATE_FORMAT = "repro.cgko.client/1"
 
     def __init__(self, master_key: MasterKey, channel: Channel,
                  padding_factor: float = 1.25,
@@ -168,6 +213,26 @@ class CgkoClient(SseClient):
                              label=b"repro.cgko.mask")
         self._padding_factor = padding_factor
         self._plain_index: dict[str, set[int]] = {}
+
+    def export_state(self) -> dict:
+        """The rebuild index — the statefulness this baseline demonstrates."""
+        state = super().export_state()
+        state["index"] = {
+            keyword: sorted(ids)
+            for keyword, ids in self._plain_index.items()
+        }
+        return state
+
+    def import_state(self, state: dict) -> None:
+        """Restore the plaintext rebuild index (no re-upload happens)."""
+        super().import_state(state)
+        index = state.get("index")
+        if not isinstance(index, dict):
+            raise ParameterError("CGKO client state is missing its index")
+        self._plain_index = {
+            keyword: set(int(i) for i in ids)
+            for keyword, ids in index.items()
+        }
 
     def _tag(self, keyword: str) -> bytes:
         return self._tag_prf.evaluate_truncated(keyword.encode("utf-8"), 16)

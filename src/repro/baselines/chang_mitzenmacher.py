@@ -27,11 +27,13 @@ from repro.core.api import SearchResult, SseClient, SseServerHandler
 from repro.core.documents import Document, normalize_keyword
 from repro.core.keys import MasterKey
 from repro.core.server import decode_doc_id, encode_doc_id
+from repro.core.state import SnapshotStateMixin, StateJournal
 from repro.crypto.authenc import AuthenticatedCipher
 from repro.crypto.hmac_sha256 import hmac_sha256
 from repro.crypto.prf import Prf, derive_key
 from repro.crypto.rng import RandomSource, SystemRandomSource
-from repro.errors import ParameterError, ProtocolError, UnknownKeywordError
+from repro.errors import (ParameterError, ProtocolError, StorageError,
+                          UnknownKeywordError)
 from repro.net.channel import Channel
 from repro.net.messages import Message, MessageType
 from repro.storage.docstore import EncryptedDocumentStore
@@ -44,14 +46,19 @@ def _mask_bit(position_key: bytes, doc_id: int) -> int:
     return hmac_sha256(position_key, encode_doc_id(doc_id))[0] & 1
 
 
-class CmServer(SseServerHandler):
+# Durable-state namespace: doc id(8) -> masked indicator row.
+_CM_PREFIX = b"cm:"
+
+
+class CmServer(SnapshotStateMixin, SseServerHandler):
     """Stores one masked indicator array per document; opens columns."""
 
     def __init__(self, dictionary_size: int) -> None:
         if dictionary_size < 1:
             raise ParameterError("dictionary must be non-empty")
         self.dictionary_size = dictionary_size
-        self.documents = EncryptedDocumentStore()
+        self.state_journal = StateJournal()
+        self.documents = EncryptedDocumentStore(journal=self.state_journal)
         self.masked_rows: dict[int, bytearray] = {}
         self.searches_handled = 0
         self.rows_probed_last_search = 0
@@ -83,6 +90,8 @@ class CmServer(SseServerHandler):
                 raise ProtocolError("masked row has the wrong width")
             self.documents.put(doc_id, fields[i + 1])
             self.masked_rows[doc_id] = bytearray(fields[i + 2])
+            self.state_journal.put(_CM_PREFIX + encode_doc_id(doc_id),
+                                   fields[i + 2])
         return Message(MessageType.ACK)
 
     def _handle_search(self, message: Message) -> Message:
@@ -109,9 +118,40 @@ class CmServer(SseServerHandler):
             out.append(self.documents.get(doc_id))
         return Message(MessageType.DOCUMENTS_RESULT, tuple(out))
 
+    # -- snapshot protocol (see repro.core.state) --------------------------
+    # ``opened_columns`` is leakage bookkeeping about past queries, not
+    # index state, so it stays out of the snapshot.
+
+    def _index_state_records(self):
+        for doc_id in sorted(self.masked_rows):
+            yield (_CM_PREFIX + encode_doc_id(doc_id),
+                   bytes(self.masked_rows[doc_id]))
+
+    def _state_loaders(self):
+        loaders = super()._state_loaders()
+        loaders[_CM_PREFIX] = self._load_row_record
+        return loaders
+
+    def _load_row_record(self, key: bytes, value: bytes) -> None:
+        if len(key) != len(_CM_PREFIX) + 8:
+            raise StorageError("malformed CM row record key")
+        if len(value) != (self.dictionary_size + 7) // 8:
+            raise StorageError(
+                "stored indicator row width does not match this server's "
+                "dictionary size"
+            )
+        self.masked_rows[decode_doc_id(key[len(_CM_PREFIX):])] = \
+            bytearray(value)
+
+    def _clear_state(self) -> None:
+        super()._clear_state()
+        self.masked_rows = {}
+
 
 class CmClient(SseClient):
     """Client side: fixed public dictionary, per-position mask keys."""
+
+    STATE_FORMAT = "repro.cm.client/1"
 
     def __init__(self, master_key: MasterKey, channel: Channel,
                  dictionary: Sequence[str],

@@ -26,13 +26,14 @@ from repro.core.api import SearchResult, SseClient, SseServerHandler
 from repro.core.documents import Document, normalize_keyword
 from repro.core.keys import MasterKey
 from repro.core.server import decode_doc_id, encode_doc_id
+from repro.core.state import SnapshotStateMixin, StateJournal
 from repro.crypto.authenc import AuthenticatedCipher
 from repro.crypto.bytesutil import bytes_to_int
 from repro.crypto.hmac_sha256 import hmac_sha256
 from repro.crypto.prf import derive_key
 from repro.crypto.rng import RandomSource, SystemRandomSource
 from repro.ds.bloom import BloomFilter, optimal_parameters
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, StorageError
 from repro.net.channel import Channel
 from repro.net.messages import Message, MessageType
 from repro.storage.docstore import EncryptedDocumentStore
@@ -41,12 +42,16 @@ __all__ = ["GohServer", "GohClient", "make_goh", "DEFAULT_FP_RATE"]
 
 DEFAULT_FP_RATE = 0.001
 
+# Durable-state namespace: doc id(8) -> raw filter bits.
+_GOH_PREFIX = b"goh:"
 
-class GohServer(SseServerHandler):
+
+class GohServer(SnapshotStateMixin, SseServerHandler):
     """Holds one (blinded) Bloom filter per document and probes them all."""
 
     def __init__(self, bloom_bits: int, bloom_hashes: int) -> None:
-        self.documents = EncryptedDocumentStore()
+        self.state_journal = StateJournal()
+        self.documents = EncryptedDocumentStore(journal=self.state_journal)
         self.filters: dict[int, BloomFilter] = {}
         self.bloom_bits = bloom_bits
         self.bloom_hashes = bloom_hashes
@@ -79,6 +84,7 @@ class GohServer(SseServerHandler):
                 raise ProtocolError("bloom filter has the wrong width")
             bf._bits = bytearray(blob)  # raw upload of the client's filter
             self.filters[doc_id] = bf
+            self.state_journal.put(_GOH_PREFIX + encode_doc_id(doc_id), blob)
         return Message(MessageType.ACK)
 
     def _positions_for_doc(self, trapdoor: tuple[bytes, ...],
@@ -110,6 +116,34 @@ class GohServer(SseServerHandler):
             out.append(self.documents.get(doc_id))
         return Message(MessageType.DOCUMENTS_RESULT, tuple(out))
 
+    # -- snapshot protocol (see repro.core.state) --------------------------
+
+    def _index_state_records(self):
+        for doc_id in sorted(self.filters):
+            yield (_GOH_PREFIX + encode_doc_id(doc_id),
+                   self.filters[doc_id].to_bytes())
+
+    def _state_loaders(self):
+        loaders = super()._state_loaders()
+        loaders[_GOH_PREFIX] = self._load_filter_record
+        return loaders
+
+    def _load_filter_record(self, key: bytes, value: bytes) -> None:
+        if len(key) != len(_GOH_PREFIX) + 8:
+            raise StorageError("malformed Goh filter record key")
+        bf = BloomFilter(self.bloom_bits, self.bloom_hashes)
+        if len(value) != len(bf.to_bytes()):
+            raise StorageError(
+                "stored bloom filter width does not match this server's "
+                "bloom parameters"
+            )
+        bf._bits = bytearray(value)
+        self.filters[decode_doc_id(key[len(_GOH_PREFIX):])] = bf
+
+    def _clear_state(self) -> None:
+        super()._clear_state()
+        self.filters = {}
+
 
 class GohClient(SseClient):
     """Client side: builds per-document blinded filters, issues trapdoors.
@@ -117,6 +151,8 @@ class GohClient(SseClient):
     ``expected_keywords_per_doc`` sizes the filters; ``blind`` adds the
     §4.1-of-Goh random bits so every filter carries the same apparent load.
     """
+
+    STATE_FORMAT = "repro.goh.client/1"
 
     def __init__(self, master_key: MasterKey, channel: Channel,
                  expected_keywords_per_doc: int = 64,

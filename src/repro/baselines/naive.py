@@ -19,6 +19,7 @@ from repro.core.api import SearchResult, SseClient, SseServerHandler
 from repro.core.documents import Document, normalize_keyword
 from repro.core.keys import MasterKey
 from repro.core.server import decode_doc_id, encode_doc_id
+from repro.core.state import SnapshotStateMixin, StateJournal
 from repro.crypto.authenc import AuthenticatedCipher
 from repro.crypto.rng import RandomSource, SystemRandomSource
 from repro.errors import ProtocolError
@@ -49,11 +50,12 @@ def _unpack_document(blob: bytes) -> tuple[bytes, frozenset[str]]:
     return data, keywords
 
 
-class NaiveServer(SseServerHandler):
+class NaiveServer(SnapshotStateMixin, SseServerHandler):
     """Stores opaque blobs; the only query is "send me everything"."""
 
     def __init__(self) -> None:
-        self.documents = EncryptedDocumentStore()
+        self.state_journal = StateJournal()
+        self.documents = EncryptedDocumentStore(journal=self.state_journal)
         self.searches_handled = 0
 
     @property
@@ -82,6 +84,8 @@ class NaiveServer(SseServerHandler):
 
 class NaiveClient(SseClient):
     """Client that scans its own database on every search."""
+
+    STATE_FORMAT = "repro.naive.client/1"
 
     def __init__(self, master_key: MasterKey, channel: Channel,
                  rng: RandomSource | None = None) -> None:

@@ -21,18 +21,20 @@ Updates are cheap: new documents just append word ciphertexts.
 
 from __future__ import annotations
 
+import struct
 from typing import Sequence
 
 from repro.core.api import SearchResult, SseClient, SseServerHandler
 from repro.core.documents import Document, normalize_keyword
 from repro.core.keys import MasterKey
 from repro.core.server import decode_doc_id, encode_doc_id
+from repro.core.state import SnapshotStateMixin, StateJournal
 from repro.crypto.authenc import AuthenticatedCipher
 from repro.crypto.bytesutil import ct_equal, xor_bytes
 from repro.crypto.hmac_sha256 import hmac_sha256
 from repro.crypto.prf import Prf, derive_key
 from repro.crypto.rng import RandomSource, SystemRandomSource
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, StorageError
 from repro.net.channel import Channel
 from repro.net.messages import Message, MessageType
 from repro.storage.docstore import EncryptedDocumentStore
@@ -43,12 +45,16 @@ WORD_SIZE = 32
 _STREAM_PART = 24
 _CHECK_PART = 8
 
+# Durable-state namespace: sequence(8) -> doc id(8) ‖ word ciphertext.
+_SWP_PREFIX = b"swp:"
 
-class SwpServer(SseServerHandler):
+
+class SwpServer(SnapshotStateMixin, SseServerHandler):
     """Holds the flat list of word ciphertexts and linearly scans it."""
 
     def __init__(self) -> None:
-        self.documents = EncryptedDocumentStore()
+        self.state_journal = StateJournal()
+        self.documents = EncryptedDocumentStore(journal=self.state_journal)
         # (doc_id, word ciphertext) in storage order.
         self.word_ciphertexts: list[tuple[int, bytes]] = []
         self.searches_handled = 0
@@ -80,8 +86,12 @@ class SwpServer(SseServerHandler):
             if len(blob) % WORD_SIZE:
                 raise ProtocolError("word blob must be a multiple of 32")
             for off in range(0, len(blob), WORD_SIZE):
-                self.word_ciphertexts.append(
-                    (doc_id, blob[off:off + WORD_SIZE])
+                word_ct = blob[off:off + WORD_SIZE]
+                sequence = len(self.word_ciphertexts)
+                self.word_ciphertexts.append((doc_id, word_ct))
+                self.state_journal.put(
+                    _SWP_PREFIX + struct.pack(">Q", sequence),
+                    encode_doc_id(doc_id) + word_ct,
                 )
         return Message(MessageType.ACK)
 
@@ -108,9 +118,45 @@ class SwpServer(SseServerHandler):
             out.append(self.documents.get(doc_id))
         return Message(MessageType.DOCUMENTS_RESULT, tuple(out))
 
+    # -- snapshot protocol (see repro.core.state) --------------------------
+
+    def _index_state_records(self):
+        for sequence, (doc_id, word_ct) in enumerate(self.word_ciphertexts):
+            yield (_SWP_PREFIX + struct.pack(">Q", sequence),
+                   encode_doc_id(doc_id) + word_ct)
+
+    def _state_loaders(self):
+        loaders = super()._state_loaders()
+        loaders[_SWP_PREFIX] = self._load_word_record
+        return loaders
+
+    def _load_word_record(self, key: bytes, value: bytes) -> None:
+        if len(key) != len(_SWP_PREFIX) + 8 or len(value) != 8 + WORD_SIZE:
+            raise StorageError("malformed SWP word record")
+        (sequence,) = struct.unpack(">Q", key[len(_SWP_PREFIX):])
+        self._loaded_words[sequence] = (decode_doc_id(value[:8]), value[8:])
+
+    def _clear_state(self) -> None:
+        super()._clear_state()
+        self.word_ciphertexts = []
+        self._loaded_words: dict[int, tuple[int, bytes]] = {}
+
+    def _finish_load_state(self) -> None:
+        # Storage order is observable (it is the scan order), so restore
+        # it exactly and refuse gapped sequences.
+        for expected, sequence in enumerate(sorted(self._loaded_words)):
+            if sequence != expected:
+                raise StorageError(
+                    f"SWP word list has a gap at sequence {expected}"
+                )
+            self.word_ciphertexts.append(self._loaded_words[sequence])
+        self._loaded_words = {}
+
 
 class SwpClient(SseClient):
     """Client side: deterministic pre-encryption + per-position streams."""
+
+    STATE_FORMAT = "repro.swp.client/1"
 
     def __init__(self, master_key: MasterKey, channel: Channel,
                  rng: RandomSource | None = None) -> None:

@@ -1,8 +1,8 @@
 """Command-line PHR⁺ client — searchable encrypted storage in a directory.
 
-A minimal but complete deployment of Scheme 2 with durable state::
+A minimal but complete durable deployment of ANY registered scheme::
 
-    python -m repro.cli init      --home ~/.phr
+    python -m repro.cli init      --home ~/.phr --scheme scheme2
     python -m repro.cli store     --home ~/.phr --id 0 --keywords flu,fever \
                                   --text "visit note"
     python -m repro.cli search    --home ~/.phr --keyword flu
@@ -11,12 +11,21 @@ A minimal but complete deployment of Scheme 2 with durable state::
 
 Layout of ``--home``:
 
+* ``config.json`` — which scheme this store runs and its structural
+  options (chain length, capacity, …) so later commands reconstruct the
+  exact same client/server pair;
 * ``server.log`` — the honest-but-curious server's entire persisted state
-  (checksummed append-only log: encrypted bodies + index segments);
-* ``client.json`` — the client's counter/epoch state (no key material);
-* ``master.key``  — the master key, hex.  In a real deployment this file
-  would live in a vault/smartcard; the CLI keeps it beside the state for
-  demonstration and sets mode 0600.
+  (checksummed append-only log: encrypted bodies + index records), kept
+  by the generic :class:`~repro.core.persistence.DurableServer`;
+* ``client.json`` — the client's non-key state (counters, epoch; no key
+  material), written through ``export_state``/``import_state``;
+* ``master.key``  — the master key (and, for scheme 1, the ElGamal
+  trapdoor keypair), mode 0600.  In a real deployment this file would
+  live in a vault/smartcard.
+
+``--data-dir`` points the server log somewhere other than ``--home`` —
+e.g. a different disk for the bulky encrypted state while the small key
+and client files stay in the home directory.
 
 Everything in ``server.log`` is exactly what an adversarial server would
 see — inspect it with ``stats`` or a hex dumper to convince yourself no
@@ -33,58 +42,88 @@ import time
 
 from repro.core.documents import Document
 from repro.core.keys import MasterKey, keygen
-from repro.core.persistence import (PersistentScheme2Server,
-                                    export_client_state,
+from repro.core.persistence import (DurableServer, export_client_state,
                                     restore_client_state)
-from repro.core.registry import (available_schemes, make_scheme,
+from repro.core.registry import (available_schemes, make_scheme, make_server,
                                  scheme_description)
-from repro.core.scheme2 import Scheme2Client
 from repro.errors import ReproError
 from repro.net.channel import Channel
 from repro.obs.metrics import Metrics
 
-__all__ = ["build_parser", "cmd_compact", "cmd_init", "cmd_remove",
-           "cmd_schemes", "cmd_search", "cmd_serve", "cmd_stats",
-           "cmd_store", "main"]
+__all__ = ["build_parser", "cmd_compact", "cmd_export_state", "cmd_import_state",
+           "cmd_init", "cmd_remove", "cmd_schemes", "cmd_search", "cmd_serve",
+           "cmd_stats", "cmd_store", "main"]
 
-_CHAIN_LENGTH = 4096
+_CONFIG_FORMAT = "repro.store/1"
+_DEFAULT_CHAIN_LENGTH = 4096
+_DEFAULT_CAPACITY = 1024
+
+#: Structural options captured at ``init`` time, per scheme.  Everything
+#: else falls back to the registry builder's defaults.
+_INIT_OPTIONS = {
+    "scheme2": {"chain_length": _DEFAULT_CHAIN_LENGTH},
+    "scheme1": {"capacity": _DEFAULT_CAPACITY},
+}
 
 
 def _paths(home: str) -> dict[str, str]:
     return {
-        "server": os.path.join(home, "server.log"),
+        "config": os.path.join(home, "config.json"),
         "client": os.path.join(home, "client.json"),
         "key": os.path.join(home, "master.key"),
     }
 
 
-def _load_master_key(path: str) -> MasterKey:
+def _data_dir(args: argparse.Namespace) -> str:
+    data_dir = getattr(args, "data_dir", None)
+    return data_dir if data_dir else args.home
+
+
+def _load_config(home: str) -> dict:
+    path = _paths(home)["config"]
+    if not os.path.exists(path):
+        # Stores created before config.json existed were always scheme 2.
+        return {"format": _CONFIG_FORMAT, "scheme": "scheme2",
+                "options": {"chain_length": _DEFAULT_CHAIN_LENGTH}}
     with open(path) as fh:
-        payload = json.load(fh)
-    return MasterKey(k_m=bytes.fromhex(payload["k_m"]),
-                     k_w=bytes.fromhex(payload["k_w"]))
+        config = json.load(fh)
+    if config.get("format") != _CONFIG_FORMAT:
+        raise ReproError(f"unrecognized store config format in {path}")
+    return config
 
 
-def _open(home: str, metrics: Metrics | None = None
-          ) -> tuple[Scheme2Client, PersistentScheme2Server]:
+def _load_key_payload(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _open(home: str, data_dir: str, metrics: Metrics | None = None):
+    """Rebuild ``(client, durable_server, scheme_name)`` from disk."""
     paths = _paths(home)
     if not os.path.exists(paths["key"]):
         raise ReproError(f"{home} is not initialized (run `init` first)")
-    master_key = _load_master_key(paths["key"])
-    server = PersistentScheme2Server(paths["server"],
-                                     max_walk=_CHAIN_LENGTH)
-    # The client is built through the scheme registry: swapping the CLI to
-    # another registered scheme is a name change plus a persistence story.
-    client, _ = make_scheme("scheme2", master_key,
+    config = _load_config(home)
+    scheme = config["scheme"]
+    options = dict(config.get("options", {}))
+    payload = _load_key_payload(paths["key"])
+    master_key = MasterKey(k_m=bytes.fromhex(payload["k_m"]),
+                           k_w=bytes.fromhex(payload["k_w"]))
+    if "keypair" in payload:
+        from repro.crypto.elgamal import ElGamalKeyPair
+        options["keypair"] = ElGamalKeyPair.from_json(payload["keypair"])
+    server = make_server(scheme, data_dir=data_dir, **options)
+    # The client is built through the scheme registry with the SAME
+    # structural options recorded at init time.
+    client, _ = make_scheme(scheme, master_key,
                             channel=Channel(server, metrics=metrics),
-                            chain_length=_CHAIN_LENGTH)
+                            **options)
     if os.path.exists(paths["client"]):
         with open(paths["client"]) as fh:
             restore_client_state(client, fh.read())
-    return client, server
+    return client, server, scheme
 
 
-def _save_client(home: str, client: Scheme2Client) -> None:
+def _save_client(home: str, client) -> None:
     with open(_paths(home)["client"], "w") as fh:
         fh.write(export_client_state(client))
 
@@ -96,13 +135,21 @@ def cmd_init(args: argparse.Namespace) -> int:
         print(f"{args.home} already initialized", file=sys.stderr)
         return 1
     master_key = keygen()
+    payload = {"k_m": master_key.k_m.hex(), "k_w": master_key.k_w.hex()}
+    if args.scheme == "scheme1":
+        from repro.crypto.elgamal import generate_keypair
+        payload["keypair"] = generate_keypair().to_json()
     fd = os.open(paths["key"], os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o600)
     with os.fdopen(fd, "w") as fh:
-        json.dump({"k_m": master_key.k_m.hex(),
-                   "k_w": master_key.k_w.hex()}, fh)
-    client, _ = _open(args.home)
+        json.dump(payload, fh)
+    with open(paths["config"], "w") as fh:
+        json.dump({"format": _CONFIG_FORMAT, "scheme": args.scheme,
+                   "options": _INIT_OPTIONS.get(args.scheme, {})}, fh)
+    client, server, _ = _open(args.home, _data_dir(args))
     _save_client(args.home, client)
-    print(f"initialized encrypted store in {args.home}")
+    server.close()
+    print(f"initialized encrypted store in {args.home} "
+          f"(scheme: {args.scheme})")
     return 0
 
 
@@ -111,24 +158,31 @@ def _parse_keywords(raw: str) -> frozenset[str]:
 
 
 def cmd_store(args: argparse.Namespace) -> int:
-    client, _ = _open(args.home)
+    client, server, _ = _open(args.home, _data_dir(args))
     text = args.text if args.text is not None else sys.stdin.read()
     document = Document(args.id, text.encode("utf-8"),
                         _parse_keywords(args.keywords))
     client.add_documents([document])
     _save_client(args.home, client)
+    server.close()
+    counter = ""
+    if hasattr(client, "ctr"):
+        counter = (f", counter {client.ctr}/{client.chain_length}")
     print(f"stored document {args.id} "
-          f"({len(document.keywords)} keywords, counter "
-          f"{client.ctr}/{client.chain_length})")
+          f"({len(document.keywords)} keywords{counter})")
     return 0
 
 
 def cmd_search(args: argparse.Namespace) -> int:
-    client, server = _open(args.home)
+    client, server, _ = _open(args.home, _data_dir(args))
     result = client.search(args.keyword)
     _save_client(args.home, client)  # searches move the Opt-2 flag
-    print(f"{len(result.doc_ids)} match(es) for {args.keyword!r} "
-          f"(chain walk: {server.chain_steps_last_search} steps)")
+    server.close()
+    walk = ""
+    steps = getattr(server, "chain_steps_last_search", None)
+    if steps is not None:
+        walk = f" (chain walk: {steps} steps)"
+    print(f"{len(result.doc_ids)} match(es) for {args.keyword!r}{walk}")
     for doc_id, body in zip(result.doc_ids, result.documents):
         print(f"--- doc {doc_id} ---")
         print(body.decode("utf-8", errors="replace"))
@@ -136,24 +190,32 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 
 def cmd_remove(args: argparse.Namespace) -> int:
-    client, _ = _open(args.home)
+    client, server, scheme = _open(args.home, _data_dir(args))
+    if not hasattr(client, "remove_documents"):
+        print(f"error: scheme {scheme!r} does not support removal",
+              file=sys.stderr)
+        return 1
     document = Document(args.id, b"", _parse_keywords(args.keywords))
     client.remove_documents([document])
     _save_client(args.home, client)
+    server.close()
     print(f"removed document {args.id}")
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    client, server = _open(args.home)
-    paths = _paths(args.home)
+    client, server, scheme = _open(args.home, _data_dir(args))
+    log_path = os.path.join(_data_dir(args), "server.log")
+    print(f"scheme:             {scheme}")
     print(f"documents stored:   {len(server.documents)}")
     print(f"unique keywords:    {server.unique_keywords} (as opaque tags)")
-    print(f"update counter:     {client.ctr}/{client.chain_length} "
-          f"(epoch {client.epoch})")
-    print(f"server log size:    {os.path.getsize(paths['server'])} bytes")
-    print(f"dead log records:   {server._kv.dead_records} "
-          f"(run `compact` to reclaim)")
+    if hasattr(client, "ctr"):
+        print(f"update counter:     {client.ctr}/{client.chain_length} "
+              f"(epoch {client.epoch})")
+    print(f"server log size:    {os.path.getsize(log_path)} bytes")
+    print(f"live records:       {len(server.store)}")
+    print(f"dead log records:   {server.store.dead_records} "
+          f"(ratio {server.dead_ratio:.2f}; run `compact` to reclaim)")
     return 0
 
 
@@ -163,16 +225,43 @@ def cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_export_state(args: argparse.Namespace) -> int:
+    """Print the client's non-key state (counters, epoch …) as JSON."""
+    client, _, _ = _open(args.home, _data_dir(args))
+    state = export_client_state(client)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(state + "\n")
+        print(f"exported client state to {args.output}")
+    else:
+        print(state)
+    return 0
+
+
+def cmd_import_state(args: argparse.Namespace) -> int:
+    """Adopt client state exported elsewhere (same scheme and options)."""
+    client, _, _ = _open(args.home, _data_dir(args))
+    if args.input:
+        with open(args.input) as fh:
+            state = fh.read()
+    else:
+        state = sys.stdin.read()
+    restore_client_state(client, state)
+    _save_client(args.home, client)
+    print("imported client state")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve the encrypted store over TCP until interrupted."""
     from repro.net.tcp import TcpSseServer
 
-    _, server = _open(args.home)
+    _, server, scheme = _open(args.home, _data_dir(args))
     metrics = Metrics()
     tcp = TcpSseServer(server, host=args.host, port=args.port,
                        max_workers=args.workers, metrics=metrics)
     tcp.start()
-    print(f"serving {args.home} on {tcp.host}:{tcp.port} "
+    print(f"serving {args.home} ({scheme}) on {tcp.host}:{tcp.port} "
           f"({tcp._pool.size} workers; ctrl-C to stop)")
     try:
         while True:
@@ -180,6 +269,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\ndraining...", file=sys.stderr)
     finally:
+        # stop() drains in-flight requests, then close()s the durable
+        # handler: journal flushed, log compacted if worth it.
         tcp.stop(timeout=args.drain_timeout)
     if args.metrics:
         snapshot = metrics.render_text()
@@ -188,10 +279,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_compact(args: argparse.Namespace) -> int:
-    _, server = _open(args.home)
-    before = os.path.getsize(_paths(args.home)["server"])
+    _, server, _ = _open(args.home, _data_dir(args))
+    log_path = os.path.join(_data_dir(args), "server.log")
+    before = os.path.getsize(log_path)
     server.compact()
-    after = os.path.getsize(_paths(args.home)["server"])
+    after = os.path.getsize(log_path)
     print(f"compacted server log: {before} -> {after} bytes")
     return 0
 
@@ -199,11 +291,14 @@ def cmd_compact(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
-        description="Searchable-encrypted document store (Scheme 2)",
+        description="Searchable-encrypted document store (any scheme)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_init = sub.add_parser("init", help="create a new encrypted store")
+    p_init.add_argument("--scheme", default="scheme2",
+                        choices=available_schemes(),
+                        help="SSE scheme to deploy (default: scheme2)")
     p_init.set_defaults(fn=cmd_init)
 
     p_store = sub.add_parser("store", help="store one document")
@@ -233,6 +328,18 @@ def build_parser() -> argparse.ArgumentParser:
                                help="list registered SSE schemes")
     p_schemes.set_defaults(fn=cmd_schemes)
 
+    p_export = sub.add_parser(
+        "export-state",
+        help="export the client's non-key state as JSON")
+    p_export.add_argument("--output", help="write to file (default: stdout)")
+    p_export.set_defaults(fn=cmd_export_state)
+
+    p_import = sub.add_parser(
+        "import-state",
+        help="import client state exported by `export-state`")
+    p_import.add_argument("--input", help="read from file (default: stdin)")
+    p_import.set_defaults(fn=cmd_import_state)
+
     p_serve = sub.add_parser("serve",
                              help="serve the store over TCP (ctrl-C stops)")
     p_serve.add_argument("--host", default="127.0.0.1")
@@ -247,9 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.set_defaults(fn=cmd_serve)
 
     for p in (p_store, p_search, p_remove, p_stats, p_compact, p_init,
-              p_serve):
+              p_serve, p_export, p_import):
         p.add_argument("--home", default=os.path.expanduser("~/.repro-sse"),
                        help="store directory (default: ~/.repro-sse)")
+        p.add_argument("--data-dir", default=None,
+                       help="server log directory (default: --home)")
     return parser
 
 

@@ -12,6 +12,8 @@ Typical use::
 from repro.core.api import SearchResult, SseClient, SseServerHandler
 from repro.core.documents import Document, extract_keywords, normalize_keyword
 from repro.core.keys import MasterKey, keygen
+from repro.core.persistence import (DurableServer, export_client_state,
+                                    restore_client_state)
 from repro.core.queries import search_all, search_any
 from repro.core.registry import (available_schemes, make_scheme, make_server,
                                  register_scheme, scheme_description)
@@ -28,6 +30,7 @@ __all__ = [
     "BaseSseServer",
     "DEFAULT_CHAIN_LENGTH",
     "Document",
+    "DurableServer",
     "HardenedUpdater",
     "MasterKey",
     "Scheme1Client",
@@ -38,6 +41,7 @@ __all__ = [
     "SseClient",
     "SseServerHandler",
     "available_schemes",
+    "export_client_state",
     "extract_keywords",
     "group_keywords",
     "keygen",
@@ -47,6 +51,7 @@ __all__ = [
     "make_server",
     "normalize_keyword",
     "register_scheme",
+    "restore_client_state",
     "scheme_description",
     "search_all",
     "search_any",

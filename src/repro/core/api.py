@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.documents import Document
 from repro.errors import ParameterError
@@ -69,7 +69,16 @@ class SearchResult:
 
 
 class SseServerHandler(abc.ABC):
-    """Server side: a message handler bound to server-side state."""
+    """Server side: a message handler bound to server-side state.
+
+    Besides the message loop, every shipped server implements the
+    **snapshot protocol**: its whole state is expressible as a flat
+    iterable of ``(key, value)`` byte records in one namespaced keyspace
+    (document bodies under ``doc:``, index entries under scheme-specific
+    prefixes — see :mod:`repro.core.state`).  The generic
+    :class:`~repro.core.persistence.DurableServer` builds write-through
+    persistence for *any* scheme on top of exactly these two methods.
+    """
 
     @abc.abstractmethod
     def handle(self, message):
@@ -80,9 +89,38 @@ class SseServerHandler(abc.ABC):
     def unique_keywords(self) -> int:
         """Number of searchable representations stored (the paper's u)."""
 
+    def state_records(self) -> Iterator[tuple[bytes, bytes]]:
+        """Yield this server's entire state as (key, value) records.
+
+        Keys are namespaced byte strings; the snapshot is complete — a
+        fresh server fed these records through :meth:`load_state` answers
+        every message identically.  Volatile accelerations (plaintext
+        caches, leakage bookkeeping) are deliberately excluded.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the snapshot protocol"
+        )
+
+    def load_state(self, records: Iterable[tuple[bytes, bytes]]) -> None:
+        """Replace all server state with *records* from a prior snapshot."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the snapshot protocol"
+        )
+
 
 class SseClient(abc.ABC):
-    """Client side of a searchable symmetric encryption scheme."""
+    """Client side of a searchable symmetric encryption scheme.
+
+    Clients also speak the **state-export protocol**: whatever mutable
+    state a client keeps beyond its keys (update counters, plaintext
+    rebuild indexes) round-trips through :meth:`export_state` /
+    :meth:`import_state` as a JSON-safe dict, so a client process can be
+    restarted against a durable server.  ``STATE_FORMAT`` names the
+    per-scheme wire format; mixing states across schemes is rejected.
+    Key material never appears in an exported state.
+    """
+
+    STATE_FORMAT = "repro.client/1"
 
     def __init__(self, channel: Channel) -> None:
         self._channel = channel
@@ -103,6 +141,19 @@ class SseClient(abc.ABC):
     @abc.abstractmethod
     def search(self, keyword: str) -> SearchResult:
         """Trapdoor + Search: retrieve all documents containing *keyword*."""
+
+    def export_state(self) -> dict:
+        """Return the client's non-key state as a JSON-safe dict."""
+        return {"format": self.STATE_FORMAT}
+
+    def import_state(self, state: dict) -> None:
+        """Restore state previously produced by :meth:`export_state`."""
+        found = state.get("format") if isinstance(state, dict) else None
+        if found != self.STATE_FORMAT:
+            raise ParameterError(
+                f"client state format {found!r} does not match "
+                f"{self.STATE_FORMAT!r}"
+            )
 
     def close(self) -> None:
         """Release the client's transport (no-op for in-process channels)."""

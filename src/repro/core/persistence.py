@@ -1,194 +1,230 @@
-"""Durable Scheme 2 deployments: server state on disk, client state export.
+"""Generic write-through persistence for ANY scheme's server.
 
 The in-memory servers are ideal for tests and benchmarks; a real outsourced
-deployment needs the server to survive restarts and the thin client to
-carry its two integers (counter, epoch) between sessions.
+deployment (the paper's §6 PHR⁺ story) needs the server to survive restarts
+and the thin client to carry its counters between sessions.
 
-* :class:`PersistentScheme2Server` stores every searchable-representation
-  segment and every document body in a
-  :class:`~repro.storage.kvstore.LogKvStore` (checksummed append-only log
-  with crash recovery) and rebuilds its AVL index on open.  The on-disk
-  image contains exactly what a curious server could persist: tags,
-  encrypted segments, verifiers, ciphertext bodies.
-* :func:`export_client_state` / :func:`restore_client_state` round-trip
-  the Scheme 2 client's non-key state (counter, epoch, optimization flag)
-  as a small JSON blob.  The master key is intentionally NOT included —
-  key storage is the caller's problem (a password vault, a smartcard),
-  and serializing it casually is how keys leak.
+:class:`DurableServer` wraps any handler implementing the snapshot protocol
+of :class:`~repro.core.api.SseServerHandler` around any
+:class:`~repro.storage.kvstore.KvStore`:
+
+* **open**: if the store holds records, feed them through ``load_state``
+  (cold-start recovery); if the store is empty but the wrapped server
+  already has state, snapshot it in one batch;
+* **write-through**: after every handled message, drain the handler's
+  :class:`~repro.core.state.StateJournal` into the store as ONE batched
+  log append (one fsync per message, however many keywords it touched);
+* **observability**: bytes written, records written, flushes, compactions
+  and live/dead record gauges land in the shared
+  :class:`~repro.obs.metrics.Metrics` registry;
+* **close**: flush, then compact when enough of the log is dead.
+
+The wrapper knows nothing about schemes — no private imports, no index
+rebuild code.  Everything scheme-specific lives behind ``state_records`` /
+``load_state`` (see :mod:`repro.core.state` for the key namespaces).
+
+:func:`export_client_state` / :func:`restore_client_state` round-trip any
+client's non-key state (counters, epoch, rebuild indexes) as a small JSON
+blob.  The master key is intentionally NOT included — key storage is the
+caller's problem (a password vault, a smartcard), and serializing it
+casually is how keys leak.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import struct
 
-from repro.core.scheme1 import Scheme1Server
-from repro.core.scheme2 import Scheme2Client, Scheme2Server, _KeywordEntry
-from repro.errors import ParameterError, StorageError
-from repro.storage.docstore import EncryptedDocumentStore
-from repro.storage.kvstore import LogKvStore
+from repro.core.api import SseClient
+from repro.net.messages import Message
+from repro.net.session import is_read_message
+from repro.obs.metrics import Metrics, NULL_METRICS
+from repro.storage.kvstore import KvStore
 
-__all__ = ["PersistentScheme1Server", "PersistentScheme2Server",
-           "export_client_state", "restore_client_state"]
-
-_SEG_PREFIX = b"s2seg:"
-_S1_PREFIX = b"s1ent:"
+__all__ = ["DurableServer", "export_client_state", "restore_client_state"]
 
 
-def _segment_key(tag: bytes, index: int) -> bytes:
-    return _SEG_PREFIX + struct.pack(">I", index) + tag
+class DurableServer:
+    """Write-through durability for any snapshot-capable server handler.
 
+    Drop-in for the wrapped handler anywhere a ``handle(message)`` object
+    is expected (:class:`~repro.net.channel.Channel`,
+    :class:`~repro.net.tcp.TcpSseServer`); all other attributes —
+    instrumentation counters, ``documents``, ``unique_keywords`` —
+    delegate to the wrapped handler.
 
-def _encode_segment(blob: bytes, verifier: bytes) -> bytes:
-    return struct.pack(">I", len(blob)) + blob + verifier
-
-
-def _decode_segment(value: bytes) -> tuple[bytes, bytes]:
-    (blob_len,) = struct.unpack(">I", value[:4])
-    return value[4:4 + blob_len], value[4 + blob_len:]
-
-
-class PersistentScheme2Server(Scheme2Server):
-    """Scheme 2 server whose index and documents live in one log file.
-
-    >>> server = PersistentScheme2Server("/tmp/sse.log")  # doctest: +SKIP
+    Handlers whose mutations feed a :class:`StateJournal` (all shipped
+    schemes) get precise batched appends.  A journal-less handler that
+    still implements ``state_records`` falls back to mirror-diffing its
+    full snapshot after each write message — correct, just O(state).
     """
 
-    def __init__(self, path: str | os.PathLike, max_walk: int = 1024,
-                 cache_plaintext: bool = True) -> None:
-        super().__init__(max_walk=max_walk, cache_plaintext=cache_plaintext)
-        self._kv = LogKvStore(path)
-        self.documents = EncryptedDocumentStore(self._kv)
-        self._load_segments()
+    #: close() compacts when dead records exceed this fraction of live.
+    COMPACT_DEAD_RATIO = 0.25
 
-    def _load_segments(self) -> None:
-        """Rebuild the AVL index from persisted segments, in append order."""
-        keyed: list[tuple[int, bytes, bytes]] = []
-        for key in self._kv.keys():
-            if not key.startswith(_SEG_PREFIX):
-                continue
-            (index,) = struct.unpack(
-                ">I", key[len(_SEG_PREFIX):len(_SEG_PREFIX) + 4]
+    def __init__(self, handler, store: KvStore,
+                 metrics: Metrics | None = None) -> None:
+        self._inner = handler
+        self._store = store
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._journal = getattr(handler, "state_journal", None)
+        self._mirror: dict[bytes, bytes] | None = None
+        if self._journal is not None:
+            self._journal.enabled = True
+        if len(store):
+            handler.load_state(
+                (key, store.get(key)) for key in store.keys()
             )
-            tag = key[len(_SEG_PREFIX) + 4:]
-            value = self._kv.get(key)
-            if value is None:  # pragma: no cover - keys() is live
-                continue
-            keyed.append((index, tag, value))
-        for index, tag, value in sorted(keyed, key=lambda t: t[0]):
-            entry = self.index.get(tag)
-            if entry is None:
-                entry = _KeywordEntry()
-                self.index.insert(tag, entry)
-            if index != len(entry.segments):
-                raise StorageError(
-                    f"segment log has a gap for tag {tag.hex()} "
-                    f"(found {index}, expected {len(entry.segments)})"
-                )
-            entry.segments.append(_decode_segment(value))
+            if self._journal is not None:
+                # Everything the load journaled came FROM the store;
+                # writing it back would only duplicate the log.
+                self._journal.drain()
+        else:
+            snapshot = dict(handler.state_records())
+            if snapshot:
+                # Wrapping an already-populated in-memory server: make its
+                # current state the first durable batch.
+                self._write_batch(snapshot, set())
+            if self._journal is not None:
+                self._journal.drain()
+        if self._journal is None:
+            self._mirror = dict(handler.state_records())
+        self._update_gauges()
 
-    def _handle_store_entry(self, message):
-        """Persist each appended triple before acknowledging."""
-        fields = message.fields
-        reply = super()._handle_store_entry(message)
-        for i in range(0, len(fields), 3):
-            tag, blob, verifier = fields[i], fields[i + 1], fields[i + 2]
-            entry = self.index.get(tag)
-            # The in-memory append already happened; this triple's final
-            # position is the segment count minus the triples for the same
-            # tag at or after this field position.
-            index = len(entry.segments) - sum(
-                1 for j in range(i, len(fields), 3) if fields[j] == tag
-            )
-            self._kv.put(_segment_key(tag, index),
-                         _encode_segment(blob, verifier))
-        return reply
+    @property
+    def inner(self):
+        """The wrapped scheme server."""
+        return self._inner
 
-    def compact(self) -> None:
-        """Garbage-collect overwritten records in the backing log."""
-        self._kv.compact()
+    @property
+    def store(self) -> KvStore:
+        """The backing key-value store."""
+        return self._store
 
+    @property
+    def metrics(self) -> Metrics:
+        return self._metrics
 
-class PersistentScheme1Server(Scheme1Server):
-    """Scheme 1 server persisted to one log file.
+    @metrics.setter
+    def metrics(self, registry: Metrics) -> None:
+        # TcpSseServer swaps its registry into a handler carrying the
+        # no-op default; propagate so scheme counters land there too.
+        self._metrics = registry
+        if getattr(self._inner, "metrics", None) is NULL_METRICS:
+            self._inner.metrics = registry
 
-    Each keyword entry is ``(masked index, F(r))``; both change on every
-    update/patch, so the log naturally accumulates dead versions — run
-    :meth:`compact` periodically (the CLI exposes it).
-    """
+    def __getattr__(self, name: str):
+        # Everything not defined here (instrumentation counters, documents,
+        # unique_keywords, scheme attributes) belongs to the wrapped server.
+        return getattr(self._inner, name)
 
-    def __init__(self, path: str | os.PathLike, capacity: int,
-                 elgamal_modulus_bytes: int) -> None:
-        super().__init__(capacity=capacity,
-                         elgamal_modulus_bytes=elgamal_modulus_bytes)
-        self._kv = LogKvStore(path)
-        self.documents = EncryptedDocumentStore(self._kv)
-        self._load_entries()
+    # -- the message loop --------------------------------------------------
 
-    def _load_entries(self) -> None:
-        for key in self._kv.keys():
-            if not key.startswith(_S1_PREFIX):
-                continue
-            tag = key[len(_S1_PREFIX):]
-            value = self._kv.get(key)
-            if value is None:  # pragma: no cover - keys() is live
-                continue
-            (masked_len,) = struct.unpack(">I", value[:4])
-            masked = value[4:4 + masked_len]
-            fr = value[4 + masked_len:]
-            self.index.insert(tag, (masked, fr))
+    def handle(self, message: Message) -> Message:
+        """Handle one message, then persist whatever it changed.
 
-    def _persist(self, tag: bytes) -> None:
-        masked, fr = self.index.get(tag)
-        value = struct.pack(">I", len(masked)) + masked + fr
-        self._kv.put(_S1_PREFIX + tag, value)
+        The flush runs even when the handler raises: a batch that failed
+        halfway may already have mutated in-memory state, and disk must
+        follow memory, not the reply code.
+        """
+        try:
+            return self._inner.handle(message)
+        finally:
+            self._flush_after(message)
 
-    def _handle_store_entry(self, message):
-        reply = super()._handle_store_entry(message)
-        for i in range(0, len(message.fields), 3):
-            self._persist(message.fields[i])
-        return reply
+    def _flush_after(self, message: Message) -> None:
+        if self._journal is not None:
+            if self._journal.dirty:
+                upserts, deletes = self._journal.drain()
+                self._write_batch(upserts, deletes)
+        elif not is_read_message(message.type):
+            self.sync()
 
-    def _handle_update_patch(self, message):
-        reply = super()._handle_update_patch(message)
-        for i in range(0, len(message.fields), 3):
-            self._persist(message.fields[i])
-        return reply
-
-    def compact(self) -> None:
-        """Garbage-collect overwritten records in the backing log."""
-        self._kv.compact()
-
-
-def export_client_state(client: Scheme2Client) -> str:
-    """Serialize the client's non-key state to JSON."""
-    return json.dumps({
-        "format": "repro.scheme2.client/1",
-        "ctr": client._ctr,
-        "epoch": client._epoch,
-        "search_since_update": client._search_since_update,
-        "chain_length": client._chain_length,
-        "lazy_counter": client._lazy_counter,
-    }, sort_keys=True)
-
-
-def restore_client_state(client: Scheme2Client, state_json: str) -> None:
-    """Apply exported state to a freshly constructed client.
-
-    The client must have been constructed with the same master key and
-    chain length; mismatches are rejected rather than silently producing
-    trapdoors the server cannot use.
-    """
-    state = json.loads(state_json)
-    if state.get("format") != "repro.scheme2.client/1":
-        raise ParameterError("unrecognized client state format")
-    if state["chain_length"] != client._chain_length:
-        raise ParameterError(
-            "chain length mismatch between client and saved state"
+    def _write_batch(self, upserts: dict[bytes, bytes],
+                     deletes: set[bytes]) -> None:
+        n_bytes = self._store.apply_batch(upserts, deletes)
+        if self._mirror is not None:
+            for key in deletes:
+                self._mirror.pop(key, None)
+            self._mirror.update(upserts)
+        self._metrics.counter("storage_flushes_total").inc()
+        self._metrics.counter("storage_records_written_total").inc(
+            len(upserts) + len(deletes)
         )
-    client._ctr = int(state["ctr"])
-    client._epoch = int(state["epoch"])
-    client._search_since_update = bool(state["search_since_update"])
-    client._lazy_counter = bool(state["lazy_counter"])
-    client._chains.clear()
+        self._metrics.counter("storage_bytes_written_total").inc(n_bytes)
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        self._metrics.gauge("storage_live_records").set(len(self._store))
+        dead = getattr(self._store, "dead_records", None)
+        if dead is not None:
+            self._metrics.gauge("storage_dead_records").set(dead)
+
+    # -- maintenance -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Persist any pending journal entries now."""
+        if self._journal is not None and self._journal.dirty:
+            upserts, deletes = self._journal.drain()
+            self._write_batch(upserts, deletes)
+
+    def sync(self) -> int:
+        """Diff the full snapshot against the store and write the delta.
+
+        The safety net behind :meth:`flush`: correct for any handler,
+        including journal-less ones, at the cost of walking the whole
+        state.  Returns the number of records written.
+        """
+        snapshot = dict(self._inner.state_records())
+        previous = self._mirror if self._mirror is not None else {
+            key: self._store.get(key) for key in self._store.keys()
+        }
+        upserts = {
+            key: value for key, value in snapshot.items()
+            if previous.get(key) != value
+        }
+        deletes = {key for key in previous if key not in snapshot}
+        if self._journal is not None:
+            # The diff supersedes anything the journal buffered.
+            self._journal.drain()
+        if upserts or deletes:
+            self._write_batch(upserts, deletes)
+        return len(upserts) + len(deletes)
+
+    @property
+    def dead_ratio(self) -> float:
+        """Dead records as a fraction of live ones (compaction signal)."""
+        live = len(self._store)
+        dead = getattr(self._store, "dead_records", 0)
+        if not dead:
+            return 0.0
+        return dead / max(1, live)
+
+    def compact(self) -> None:
+        """Reclaim dead log space, if the store supports it."""
+        compactor = getattr(self._store, "compact", None)
+        if compactor is None:
+            return
+        compactor()
+        self._metrics.counter("storage_compactions_total").inc()
+        self._update_gauges()
+
+    def close(self) -> None:
+        """Flush pending changes; compact when enough of the log is dead."""
+        self.flush()
+        if self.dead_ratio >= self.COMPACT_DEAD_RATIO:
+            self.compact()
+
+
+def export_client_state(client: SseClient) -> str:
+    """Serialize any client's non-key state to a JSON string."""
+    return json.dumps(client.export_state(), sort_keys=True)
+
+
+def restore_client_state(client: SseClient, state_json: str) -> None:
+    """Restore a client from :func:`export_client_state` output.
+
+    The client must have been constructed with the same scheme and
+    structural parameters (e.g. chain length) as the exporter; mismatches
+    raise :class:`~repro.errors.ParameterError`.
+    """
+    client.import_state(json.loads(state_json))

@@ -28,6 +28,7 @@ parametrizing over :func:`available_schemes` pick it up automatically.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, NamedTuple
 
 from repro.core.keys import MasterKey, keygen
@@ -116,14 +117,29 @@ def make_scheme(name: str, master_key: MasterKey | None = None, *,
     return spec.build(master_key, channel, rng, dict(options))
 
 
-def make_server(name: str, *, seed: int | bytes | None = None, **options):
+def make_server(name: str, *, seed: int | bytes | None = None,
+                data_dir: str | os.PathLike | None = None, **options):
     """Build only the server handler (for serving over TCP).
 
     The client connecting to it must be built with the same structural
     options (and, for scheme 1, the same seed/keypair).
+
+    With ``data_dir`` the handler comes wrapped in a
+    :class:`~repro.core.persistence.DurableServer` over a
+    :class:`~repro.storage.kvstore.LogKvStore` at
+    ``<data_dir>/server.log`` — any scheme, write-through, recovered on
+    reopen.  The directory is created if missing.
     """
     _, server = make_scheme(name, channel=None, seed=seed, **options)
-    return server
+    if data_dir is None:
+        return server
+    from repro.core.persistence import DurableServer
+    from repro.storage.kvstore import LogKvStore
+
+    data_dir = os.fspath(data_dir)
+    os.makedirs(data_dir, exist_ok=True)
+    store = LogKvStore(os.path.join(data_dir, "server.log"))
+    return DurableServer(server, store)
 
 
 # -- builders ---------------------------------------------------------------

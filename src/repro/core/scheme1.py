@@ -34,12 +34,14 @@ from repro.core.api import SearchResult, SseClient
 from repro.core.documents import Document, normalize_keyword
 from repro.core.keys import MasterKey
 from repro.core.server import BaseSseServer, decode_doc_id, encode_doc_id
+from repro.core.state import pack_fields, unpack_fields
 from repro.crypto.authenc import AuthenticatedCipher
 from repro.crypto.bytesutil import xor_bytes
 from repro.crypto.elgamal import (ElGamalCiphertext, ElGamalKeyPair,
                                   generate_keypair)
 from repro.crypto.prg import prg_expand
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.ds.avl import AvlTree
 from repro.ds.bitset import BitsetIndex
 from repro.errors import CapacityError, ParameterError, ProtocolError
 from repro.net.channel import Channel
@@ -48,6 +50,8 @@ from repro.net.messages import Message, MessageType
 __all__ = ["Scheme1Server", "Scheme1Client", "group_keywords"]
 
 _ABSENT = b""  # wire marker: "no such tag on the server yet"
+
+_S1_PREFIX = b"s1:"  # durable-state namespace: tag -> masked ‖ F(r)
 
 
 def group_keywords(documents: Sequence[Document]) -> dict[str, list[int]]:
@@ -94,6 +98,10 @@ class Scheme1Server(BaseSseServer):
         if len(fr) != self._fr_len:
             raise ProtocolError("F(r) ciphertext has the wrong width")
 
+    def _insert_entry(self, tag: bytes, masked: bytes, fr: bytes) -> None:
+        self.index.insert(tag, (masked, fr))
+        self.state_journal.put(_S1_PREFIX + tag, pack_fields(masked, fr))
+
     def _handle_store_entry(self, message: Message) -> Message:
         """Initial upload: (tag, masked, F(r)) triples, batched."""
         fields = message.fields
@@ -102,7 +110,7 @@ class Scheme1Server(BaseSseServer):
         for i in range(0, len(fields), 3):
             tag, masked, fr = fields[i], fields[i + 1], fields[i + 2]
             self._validate_entry(masked, fr)
-            self.index.insert(tag, (masked, fr))
+            self._insert_entry(tag, masked, fr)
         return Message(MessageType.ACK)
 
     def _handle_update_request(self, message: Message) -> Message:
@@ -128,10 +136,10 @@ class Scheme1Server(BaseSseServer):
             self._validate_entry(patch, fr_new)
             entry = self.index.get(tag)
             if entry is None:
-                self.index.insert(tag, (patch, fr_new))
+                self._insert_entry(tag, patch, fr_new)
             else:
                 masked, _ = entry
-                self.index.insert(tag, (xor_bytes(masked, patch), fr_new))
+                self._insert_entry(tag, xor_bytes(masked, patch), fr_new)
         return Message(MessageType.ACK)
 
     def _handle_search_request(self, message: Message) -> Message:
@@ -154,6 +162,26 @@ class Scheme1Server(BaseSseServer):
         id_set = BitsetIndex.from_bytes(index_bytes, self.capacity)
         return self._documents_result(sorted(id_set))
 
+    # -- snapshot protocol (see repro.core.state) --------------------------
+
+    def _index_state_records(self):
+        for tag, (masked, fr) in self.index.items():
+            yield _S1_PREFIX + tag, pack_fields(masked, fr)
+
+    def _state_loaders(self):
+        loaders = super()._state_loaders()
+        loaders[_S1_PREFIX] = self._load_entry_record
+        return loaders
+
+    def _load_entry_record(self, key: bytes, value: bytes) -> None:
+        masked, fr = unpack_fields(value)
+        self._validate_entry(masked, fr)
+        self.index.insert(key[len(_S1_PREFIX):], (masked, fr))
+
+    def _clear_state(self) -> None:
+        super()._clear_state()
+        self.index = AvlTree()
+
 
 class Scheme1Client(SseClient):
     """Client side of Scheme 1.
@@ -162,6 +190,8 @@ class Scheme1Client(SseClient):
     bit-array width, i.e. the maximum document id the index can represent —
     a structural constant of the scheme (masks must align bit-for-bit).
     """
+
+    STATE_FORMAT = "repro.scheme1.client/1"
 
     def __init__(self, master_key: MasterKey, channel: Channel,
                  capacity: int, keypair: ElGamalKeyPair | None = None,

@@ -32,6 +32,7 @@ run with and without them.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -40,13 +41,16 @@ from repro.core.documents import Document
 from repro.core.keys import MasterKey
 from repro.core.scheme1 import group_keywords
 from repro.core.server import BaseSseServer, decode_doc_id, encode_doc_id
+from repro.core.state import pack_fields, unpack_fields
 from repro.crypto.authenc import AuthenticatedCipher
 from repro.crypto.chain import ChainWalker, HashChain
 from repro.crypto.hmac_sha256 import HMACSHA256
 from repro.crypto.prp import FeistelPrp
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.ds.avl import AvlTree
 from repro.ds.posting import decode_posting_list, encode_posting_list
-from repro.errors import (ChainExhaustedError, ParameterError, ProtocolError)
+from repro.errors import (ChainExhaustedError, ParameterError, ProtocolError,
+                          StorageError)
 from repro.net.channel import Channel
 from repro.net.messages import Message, MessageType
 
@@ -67,6 +71,16 @@ _SEGMENT_REMOVE = b"\x02"
 # Keyed template computed once: the verifier PRF runs inside the server's
 # chain-walk loop, once per visited chain position.
 _VERIFIER_TEMPLATE = HMACSHA256(_VERIFIER_LABEL)
+
+# Durable-state namespace: position(4, big-endian) ‖ tag -> blob ‖ verifier.
+# The position comes *before* the tag so a per-tag contiguity check is all
+# a load needs; append order within a tag is what removal tombstones rely
+# on, so it must survive the round-trip.
+_S2_PREFIX = b"s2:"
+
+
+def _segment_record_key(tag: bytes, position: int) -> bytes:
+    return _S2_PREFIX + struct.pack(">I", position) + tag
 
 
 def _verifier(key: bytes) -> bytes:
@@ -171,6 +185,10 @@ class Scheme2Server(BaseSseServer):
                 entry = _KeywordEntry()
                 self.index.insert(tag, entry)
             entry.segments.append((blob, verifier))
+            self.state_journal.put(
+                _segment_record_key(tag, len(entry.segments) - 1),
+                pack_fields(blob, verifier),
+            )
         return Message(MessageType.ACK)
 
     def _handle_search(self, message: Message) -> Message:
@@ -231,6 +249,52 @@ class Scheme2Server(BaseSseServer):
 
         return self._documents_result(sorted(doc_ids))
 
+    # -- snapshot protocol (see repro.core.state) --------------------------
+    # The Optimization 1 cache is volatile acceleration state and is
+    # deliberately NOT part of the snapshot: a restarted server simply
+    # re-decrypts segments on its first search.
+
+    def _index_state_records(self):
+        for tag, entry in self.index.items():
+            for position, (blob, verifier) in enumerate(entry.segments):
+                yield (_segment_record_key(tag, position),
+                       pack_fields(blob, verifier))
+
+    def _state_loaders(self):
+        loaders = super()._state_loaders()
+        loaders[_S2_PREFIX] = self._load_segment_record
+        return loaders
+
+    def _load_segment_record(self, key: bytes, value: bytes) -> None:
+        body = key[len(_S2_PREFIX):]
+        if len(body) < 5:
+            raise StorageError("malformed scheme-2 segment key")
+        (position,) = struct.unpack(">I", body[:4])
+        blob, verifier = unpack_fields(value)
+        self._loaded_segments.setdefault(body[4:], {})[position] = \
+            (blob, verifier)
+
+    def _clear_state(self) -> None:
+        super()._clear_state()
+        self.index = AvlTree()
+        self._loaded_segments: dict[bytes, dict[int, tuple[bytes, bytes]]] = {}
+
+    def _finish_load_state(self) -> None:
+        # Records can arrive in any order; replay each tag's segments in
+        # position order and insist the positions are gapless — a hole
+        # means the store lost an append tombstones may depend on.
+        for tag, by_position in self._loaded_segments.items():
+            entry = _KeywordEntry()
+            for expected, position in enumerate(sorted(by_position)):
+                if position != expected:
+                    raise StorageError(
+                        f"segment list for tag {tag.hex()} has a gap at "
+                        f"position {expected}"
+                    )
+                entry.segments.append(by_position[position])
+            self.index.insert(tag, entry)
+        self._loaded_segments = {}
+
 
 class Scheme2Client(SseClient):
     """Client side of Scheme 2.
@@ -244,6 +308,8 @@ class Scheme2Client(SseClient):
     :class:`ChainExhaustedError` escapes ``add_documents``; call
     :meth:`reinitialize_epoch` with the full document collection to re-key.
     """
+
+    STATE_FORMAT = "repro.scheme2.client/1"
 
     def __init__(self, master_key: MasterKey, channel: Channel,
                  chain_length: int = DEFAULT_CHAIN_LENGTH,
@@ -285,6 +351,33 @@ class Scheme2Client(SseClient):
     def updates_remaining(self) -> int:
         """Counter-advancing updates left before the chain is exhausted."""
         return self._chain_length - self._ctr
+
+    def export_state(self) -> dict:
+        """The §5.6 client state: counters and epoch, never key material."""
+        state = super().export_state()
+        state.update({
+            "ctr": self._ctr,
+            "epoch": self._epoch,
+            "search_since_update": self._search_since_update,
+            "chain_length": self._chain_length,
+            "lazy_counter": self._lazy_counter,
+        })
+        return state
+
+    def import_state(self, state: dict) -> None:
+        """Restore counters exported by a previous client instance."""
+        super().import_state(state)
+        chain_length = state.get("chain_length")
+        if chain_length != self._chain_length:
+            raise ParameterError(
+                f"stored state was produced with chain length "
+                f"{chain_length}, this client uses {self._chain_length}"
+            )
+        self._ctr = int(state["ctr"])
+        self._epoch = int(state["epoch"])
+        self._search_since_update = bool(state["search_since_update"])
+        self._lazy_counter = bool(state["lazy_counter"])
+        self._chains.clear()  # derived caches are rebuilt on demand
 
     # -- chain plumbing ---------------------------------------------------
 

@@ -11,6 +11,7 @@ and its O(log u) lookup (§5.1).
 from __future__ import annotations
 
 from repro.core.api import SseServerHandler
+from repro.core.state import SnapshotStateMixin, StateJournal
 from repro.ds.avl import AvlTree
 from repro.errors import ProtocolError
 from repro.net.messages import Message, MessageType
@@ -32,17 +33,24 @@ def decode_doc_id(data: bytes) -> int:
     return int.from_bytes(data, "big")
 
 
-class BaseSseServer(SseServerHandler):
+class BaseSseServer(SnapshotStateMixin, SseServerHandler):
     """Document storage plus a tag-keyed AVL index of searchable reps.
 
     Subclasses implement the scheme-specific message types; this base
     handles document upload/retrieval and keeps instrumentation counters
-    the benchmarks read (AVL comparisons, documents served).
+    the benchmarks read (AVL comparisons, documents served).  The
+    :class:`~repro.core.state.StateJournal` feeds the generic durable
+    wrapper; it is disabled (free) until a wrapper enables it.
     """
 
     def __init__(self, docstore: EncryptedDocumentStore | None = None,
                  metrics=None) -> None:
-        self.documents = docstore if docstore is not None else EncryptedDocumentStore()
+        self.state_journal = StateJournal()
+        if docstore is None:
+            docstore = EncryptedDocumentStore(journal=self.state_journal)
+        else:
+            docstore.journal = self.state_journal
+        self.documents = docstore
         self.index = AvlTree()
         # Observability registry.  Defaults to the shared no-op; a service
         # wrapper (TcpSseServer) that sees the default swaps in its own so

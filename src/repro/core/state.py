@@ -1,0 +1,169 @@
+"""Durable-state plumbing shared by every SSE server.
+
+Persistence used to be a per-scheme affair: a subclass per scheme reaching
+into private index internals.  This module is the generic replacement.  A
+server's whole state is a flat set of ``(key, value)`` byte records in one
+namespaced keyspace:
+
+=============  ====================================================
+prefix         contents
+=============  ====================================================
+``doc:``       encrypted document bodies (id in 8 big-endian bytes)
+``s1:``        Scheme 1 entries: tag -> masked index ‖ F(r)
+``s2:``        Scheme 2 segments: position(4) ‖ tag -> blob ‖ verifier
+``swp:``       SWP word ciphertexts: sequence(8) -> doc id ‖ word ct
+``goh:``       Goh per-document Bloom filters: doc id -> filter bits
+``cgko.a:``    CGKO node array: address(8) -> encrypted node
+``cgko.t:``    CGKO lookup table: tag -> masked head pointer
+``cm:``        Chang–Mitzenmacher masked rows: doc id -> row bits
+=============  ====================================================
+
+Because index entries and document bodies share one keyspace, a single
+:class:`~repro.storage.kvstore.KvStore` (and a single log file) holds
+everything the server knows — the durable layer never needs to understand
+a scheme's internals.
+
+Two pieces cooperate:
+
+* :class:`StateJournal` — a change buffer each server writes to at every
+  mutation site.  Disabled (and free) by default; the durable wrapper
+  enables it and drains it into the store after each handled message.
+* :class:`SnapshotStateMixin` — implements the
+  :class:`~repro.core.api.SseServerHandler` snapshot protocol
+  (``state_records`` / ``load_state``) from four small hooks a scheme
+  provides for its index records.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, Iterable, Iterator, Tuple
+
+from repro.errors import StorageError
+
+__all__ = ["StateJournal", "SnapshotStateMixin", "DOC_PREFIX",
+           "pack_fields", "unpack_fields"]
+
+DOC_PREFIX = b"doc:"
+
+
+def pack_fields(*fields: bytes) -> bytes:
+    """Concatenate byte fields with 4-byte length prefixes (invertible)."""
+    out = bytearray()
+    for field in fields:
+        out += struct.pack(">I", len(field))
+        out += field
+    return bytes(out)
+
+
+def unpack_fields(blob: bytes) -> list[bytes]:
+    """Invert :func:`pack_fields`."""
+    fields: list[bytes] = []
+    offset = 0
+    while offset < len(blob):
+        if offset + 4 > len(blob):
+            raise StorageError("truncated length prefix in state record")
+        (length,) = struct.unpack(">I", blob[offset:offset + 4])
+        offset += 4
+        if offset + length > len(blob):
+            raise StorageError("truncated field in state record")
+        fields.append(blob[offset:offset + length])
+        offset += length
+    return fields
+
+
+class StateJournal:
+    """Buffered upserts/deletes between two flush points.
+
+    Servers call :meth:`put` / :meth:`delete` at every state mutation;
+    while ``enabled`` is False (the default, i.e. no durable wrapper is
+    attached) both are no-ops, so purely in-memory servers pay nothing
+    and never accumulate memory.  ``put`` and ``delete`` of the same key
+    cancel: the journal always describes the *net* change since the last
+    :meth:`drain`.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._upserts: Dict[bytes, bytes] = {}
+        self._deletes: set[bytes] = set()
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Record that *key* now holds *value*."""
+        if not self.enabled:
+            return
+        key = bytes(key)
+        self._deletes.discard(key)
+        self._upserts[key] = bytes(value)
+
+    def delete(self, key: bytes) -> None:
+        """Record that *key* is gone."""
+        if not self.enabled:
+            return
+        key = bytes(key)
+        self._upserts.pop(key, None)
+        self._deletes.add(key)
+
+    @property
+    def dirty(self) -> bool:
+        """True when there are unflushed changes."""
+        return bool(self._upserts or self._deletes)
+
+    def drain(self) -> tuple[Dict[bytes, bytes], set[bytes]]:
+        """Return (upserts, deletes) accumulated so far and reset."""
+        upserts, deletes = self._upserts, self._deletes
+        self._upserts, self._deletes = {}, set()
+        return upserts, deletes
+
+
+class SnapshotStateMixin:
+    """Default implementation of the server snapshot protocol.
+
+    Assumes the host class has ``self.documents`` (an
+    :class:`~repro.storage.docstore.EncryptedDocumentStore`) and
+    ``self.state_journal``.  Schemes contribute their index records via
+    four hooks:
+
+    * :meth:`_index_state_records` — yield the index's records;
+    * :meth:`_state_loaders` — map each owned key prefix to a loader;
+    * :meth:`_clear_state` — drop all state before a load;
+    * :meth:`_finish_load_state` — rebuild order-dependent structures
+      after every record has been delivered.
+    """
+
+    def state_records(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield every (key, value) record of this server's state."""
+        yield from self.documents.records()
+        yield from self._index_state_records()
+
+    def load_state(self, records: Iterable[Tuple[bytes, bytes]]) -> None:
+        """Replace all state with *records* (the snapshot inverse)."""
+        self._clear_state()
+        loaders = self._state_loaders()
+        for key, value in records:
+            for prefix, load in loaders.items():
+                if key.startswith(prefix):
+                    load(key, value)
+                    break
+            else:
+                raise StorageError(
+                    f"state record in unknown namespace: {bytes(key[:12])!r}"
+                )
+        self._finish_load_state()
+
+    # -- scheme hooks ------------------------------------------------------
+
+    def _index_state_records(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield the scheme's index records (documents are handled here)."""
+        return iter(())
+
+    def _state_loaders(self) -> Dict[bytes, Callable[[bytes, bytes], None]]:
+        """Map key prefixes to per-record loaders."""
+        return {DOC_PREFIX: self.documents.load_record}
+
+    def _clear_state(self) -> None:
+        """Drop all server state ahead of a load."""
+        self.documents.clear()
+
+    def _finish_load_state(self) -> None:
+        """Hook for rebuilding order-dependent structures after a load."""

@@ -241,6 +241,12 @@ class TcpSseServer:
             self._accept_thread.join(timeout=timeout)
         self._pool.shutdown(timeout=timeout)
         self.sessions.close_all(join_timeout=timeout)
+        # With the pool drained nothing mutates the handler any more; a
+        # durable handler flushes its journal and compacts its log here,
+        # so killing the process after stop() loses nothing.
+        closer = getattr(self._handler, "close", None)
+        if callable(closer):
+            closer()
 
     def __enter__(self) -> "TcpSseServer":
         self.start()

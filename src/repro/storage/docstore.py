@@ -3,6 +3,12 @@
 The paper stores each document as a tuple ``(E_km(M_i), i)``.  The server
 never sees plaintext; this store keeps exactly those opaque tuples, keyed
 by document identifier, over any :class:`~repro.storage.kvstore.KvStore`.
+
+Keys live in the ``doc:`` namespace of the unified state keyspace (see
+:mod:`repro.core.state`), so document bodies and index entries can share
+one durable log.  When a :class:`~repro.core.state.StateJournal` is
+attached, every put/delete is mirrored into it — which is how *every*
+scheme's document mutations become durable without scheme-side code.
 """
 
 from __future__ import annotations
@@ -12,13 +18,15 @@ from typing import Iterator
 from repro.errors import ParameterError, StorageError
 from repro.storage.kvstore import KvStore, MemoryKvStore
 
-__all__ = ["EncryptedDocumentStore"]
+__all__ = ["EncryptedDocumentStore", "DOC_KEY_PREFIX"]
+
+DOC_KEY_PREFIX = b"doc:"
 
 
 def _doc_key(doc_id: int) -> bytes:
     if doc_id < 0:
         raise ParameterError("document ids must be non-negative")
-    return b"doc:" + doc_id.to_bytes(8, "big")
+    return DOC_KEY_PREFIX + doc_id.to_bytes(8, "big")
 
 
 class EncryptedDocumentStore:
@@ -30,12 +38,17 @@ class EncryptedDocumentStore:
     b'<ciphertext>'
     """
 
-    def __init__(self, backend: KvStore | None = None) -> None:
+    def __init__(self, backend: KvStore | None = None,
+                 journal=None) -> None:
         self._backend = backend if backend is not None else MemoryKvStore()
+        self.journal = journal
 
     def put(self, doc_id: int, ciphertext: bytes) -> None:
         """Store the encrypted body for *doc_id* (overwrites on update)."""
-        self._backend.put(_doc_key(doc_id), ciphertext)
+        key = _doc_key(doc_id)
+        self._backend.put(key, ciphertext)
+        if self.journal is not None:
+            self.journal.put(key, ciphertext)
 
     def get(self, doc_id: int) -> bytes:
         """Return the encrypted body; raises if the id is unknown."""
@@ -54,7 +67,11 @@ class EncryptedDocumentStore:
 
     def delete(self, doc_id: int) -> bool:
         """Remove a document; True if it existed."""
-        return self._backend.delete(_doc_key(doc_id))
+        key = _doc_key(doc_id)
+        existed = self._backend.delete(key)
+        if existed and self.journal is not None:
+            self.journal.delete(key)
+        return existed
 
     def __len__(self) -> int:
         return sum(1 for _ in self.ids())
@@ -62,7 +79,7 @@ class EncryptedDocumentStore:
     def ids(self) -> Iterator[int]:
         """Iterate over stored document ids."""
         for key in self._backend.keys():
-            if key.startswith(b"doc:"):
+            if key.startswith(DOC_KEY_PREFIX):
                 yield int.from_bytes(key[4:], "big")
 
     def total_bytes(self) -> int:
@@ -70,5 +87,31 @@ class EncryptedDocumentStore:
         return sum(
             len(self._backend.get(key) or b"")
             for key in self._backend.keys()
-            if key.startswith(b"doc:")
+            if key.startswith(DOC_KEY_PREFIX)
         )
+
+    # -- snapshot protocol plumbing ---------------------------------------
+
+    def records(self) -> Iterator[tuple[bytes, bytes]]:
+        """Yield every stored body as a raw ``doc:``-namespaced record."""
+        for key in self._backend.keys():
+            if key.startswith(DOC_KEY_PREFIX):
+                value = self._backend.get(key)
+                if value is not None:
+                    yield key, value
+
+    def load_record(self, key: bytes, value: bytes) -> None:
+        """Install one raw record produced by :meth:`records`."""
+        if not key.startswith(DOC_KEY_PREFIX) or len(key) != 12:
+            raise StorageError(f"malformed document record key {key!r}")
+        self._backend.put(key, value)
+        if self.journal is not None:
+            self.journal.put(key, value)
+
+    def clear(self) -> None:
+        """Drop every stored document (ahead of a snapshot load)."""
+        for key in list(self._backend.keys()):
+            if key.startswith(DOC_KEY_PREFIX):
+                self._backend.delete(key)
+                if self.journal is not None:
+                    self.journal.delete(key)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import io
 import os
 import struct
-from typing import Iterator, Protocol
+from typing import Iterable, Iterator, Mapping, Protocol
 
 from repro.crypto.sha256 import sha256
 from repro.errors import CorruptRecordError, ParameterError, StorageError
@@ -52,6 +52,11 @@ class KvStore(Protocol):
         """Iterate over live keys."""
         ...
 
+    def apply_batch(self, upserts: Mapping[bytes, bytes],
+                    deletes: Iterable[bytes]) -> int:
+        """Apply many changes at once; return the bytes written."""
+        ...
+
 
 class MemoryKvStore:
     """Dict-backed store (volatile)."""
@@ -81,9 +86,39 @@ class MemoryKvStore:
         """Iterate over live keys (insertion order)."""
         return iter(list(self._data.keys()))
 
+    def apply_batch(self, upserts: Mapping[bytes, bytes],
+                    deletes: Iterable[bytes]) -> int:
+        """Apply deletes then upserts; return an upsert byte count."""
+        n_bytes = 0
+        for key in deletes:
+            self._data.pop(bytes(key), None)
+        for key, value in upserts.items():
+            self.put(key, value)
+            n_bytes += len(key) + len(value)
+        return n_bytes
+
 
 def _checksum(payload: bytes) -> bytes:
     return sha256(payload)[:_CHECKSUM_LEN]
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync the directory containing *path*.
+
+    File data reaching the platter is not enough after a create or a
+    rename: the *directory entry* pointing at the file is metadata of the
+    parent directory, and unless that is synced too, a power failure can
+    resurrect the pre-rename file (or lose the new one entirely).
+    """
+    dirname = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(dirname, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _encode_record(flags: int, key: bytes, value: bytes) -> bytes:
@@ -111,6 +146,9 @@ class LogKvStore:
         else:
             with open(self._path, "wb") as fh:
                 fh.write(_MAGIC + bytes([_VERSION]))
+                fh.flush()
+                os.fsync(fh.fileno())
+            _fsync_dir(self._path)
             self._valid_length = len(_MAGIC) + 1
 
     def _recover(self) -> None:
@@ -198,6 +236,41 @@ class LogKvStore:
         """Iterate over live keys."""
         return iter(list(self._index.keys()))
 
+    def apply_batch(self, upserts: Mapping[bytes, bytes],
+                    deletes: Iterable[bytes]) -> int:
+        """Apply many changes with ONE append and ONE fsync.
+
+        Tombstones go first so that a key being both deleted and re-put
+        within the batch replays to its new value.  Returns the number of
+        log bytes written (0 when the batch is empty).
+        """
+        chunks: list[bytes] = []
+        dropped: list[bytes] = []
+        for key in deletes:
+            key = bytes(key)
+            if key in self._index:
+                chunks.append(_encode_record(_TOMBSTONE, key, b""))
+                dropped.append(key)
+        puts: dict[bytes, bytes] = {}
+        for key, value in upserts.items():
+            key, value = bytes(key), bytes(value)
+            if not key:
+                raise ParameterError("keys must be non-empty")
+            chunks.append(_encode_record(0, key, value))
+            puts[key] = value
+        if not chunks:
+            return 0
+        blob = b"".join(chunks)
+        self._append(blob)
+        for key in dropped:
+            del self._index[key]
+            self._dead_records += 2
+        for key, value in puts.items():
+            if key in self._index:
+                self._dead_records += 1
+            self._index[key] = value
+        return len(blob)
+
     @property
     def dead_records(self) -> int:
         """Count of overwritten/tombstoned records eligible for compaction."""
@@ -215,5 +288,6 @@ class LogKvStore:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_path, self._path)
+        _fsync_dir(self._path)
         self._valid_length = buffer.tell()
         self._dead_records = 0

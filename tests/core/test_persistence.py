@@ -1,15 +1,25 @@
-"""Durable Scheme 2: server survives restarts, client state round-trips."""
+"""Generic durability: any scheme's server survives restarts.
+
+The old persistence layer special-cased Scheme 2; these tests exercise the
+generic :class:`DurableServer` wrapper — first in depth on Scheme 2, then
+breadth-first across every registered scheme, then under injected crashes.
+"""
 
 import pytest
 
 from repro.core import Document, keygen
-from repro.core.persistence import (PersistentScheme2Server,
-                                    export_client_state,
+from repro.core.persistence import (DurableServer, export_client_state,
                                     restore_client_state)
-from repro.core.scheme2 import Scheme2Client
+from repro.core.registry import available_schemes, make_scheme, make_server
+from repro.core.scheme2 import Scheme2Client, Scheme2Server
 from repro.crypto.rng import HmacDrbg
-from repro.errors import ParameterError
+from repro.errors import CorruptRecordError, ParameterError
 from repro.net.channel import Channel
+from repro.storage.kvstore import LogKvStore
+
+
+def _server(log_path):
+    return DurableServer(Scheme2Server(max_walk=64), LogKvStore(log_path))
 
 
 def _client_for(server, master_key, rng_seed=1):
@@ -24,7 +34,7 @@ def log_path(tmp_path):
 
 class TestServerDurability:
     def test_search_after_restart(self, log_path, master_key):
-        server = PersistentScheme2Server(log_path, max_walk=64)
+        server = _server(log_path)
         client = _client_for(server, master_key)
         client.store([
             Document(0, b"first", frozenset({"k", "other"})),
@@ -33,7 +43,7 @@ class TestServerDurability:
         state = export_client_state(client)
 
         # Simulate a server restart: fresh process, same log file.
-        reopened = PersistentScheme2Server(log_path, max_walk=64)
+        reopened = _server(log_path)
         client2 = _client_for(reopened, master_key, rng_seed=2)
         restore_client_state(client2, state)
         result = client2.search("k")
@@ -41,53 +51,53 @@ class TestServerDurability:
         assert result.documents == [b"first", b"second"]
 
     def test_updates_across_restarts(self, log_path, master_key):
-        server = PersistentScheme2Server(log_path, max_walk=64)
+        server = _server(log_path)
         client = _client_for(server, master_key)
         client.store([Document(0, b"base", frozenset({"k"}))])
         client.search("k")
         state = export_client_state(client)
 
-        reopened = PersistentScheme2Server(log_path, max_walk=64)
+        reopened = _server(log_path)
         client2 = _client_for(reopened, master_key, rng_seed=3)
         restore_client_state(client2, state)
         client2.add_documents([Document(1, b"more", frozenset({"k"}))])
         assert client2.search("k").doc_ids == [0, 1]
 
         # And a third generation sees everything.
-        third = PersistentScheme2Server(log_path, max_walk=64)
+        third = _server(log_path)
         client3 = _client_for(third, master_key, rng_seed=4)
         restore_client_state(client3, export_client_state(client2))
         assert client3.search("k").doc_ids == [0, 1]
 
     def test_removal_survives_restart(self, log_path, master_key):
-        server = PersistentScheme2Server(log_path, max_walk=64)
+        server = _server(log_path)
         client = _client_for(server, master_key)
         doc = Document(0, b"gone", frozenset({"k"}))
         client.store([doc, Document(1, b"stays", frozenset({"k"}))])
         client.remove_documents([doc])
         state = export_client_state(client)
 
-        reopened = PersistentScheme2Server(log_path, max_walk=64)
+        reopened = _server(log_path)
         client2 = _client_for(reopened, master_key, rng_seed=5)
         restore_client_state(client2, state)
         assert client2.search("k").doc_ids == [1]
 
     def test_compaction_preserves_state(self, log_path, master_key):
-        server = PersistentScheme2Server(log_path, max_walk=64)
+        server = _server(log_path)
         client = _client_for(server, master_key)
         client.store([Document(0, b"d", frozenset({"k"}))])
         client.remove_documents([Document(0, b"d", frozenset({"k"}))])
         client.add_documents([Document(0, b"d2", frozenset({"k"}))])
         server.compact()
 
-        reopened = PersistentScheme2Server(log_path, max_walk=64)
+        reopened = _server(log_path)
         client2 = _client_for(reopened, master_key, rng_seed=6)
         restore_client_state(client2, export_client_state(client))
         result = client2.search("k")
         assert result.doc_ids == [0] and result.documents == [b"d2"]
 
     def test_on_disk_bytes_are_opaque(self, log_path, master_key):
-        server = PersistentScheme2Server(log_path, max_walk=64)
+        server = _server(log_path)
         client = _client_for(server, master_key)
         client.store([Document(0, b"super secret plaintext body",
                                frozenset({"confidential-keyword"}))])
@@ -95,10 +105,143 @@ class TestServerDurability:
         assert b"super secret" not in raw
         assert b"confidential" not in raw
 
+    def test_wrapping_populated_server_snapshots_it(self, log_path,
+                                                    master_key):
+        # An in-memory server that already holds state gets its state
+        # written out as the first durable batch.
+        inner = Scheme2Server(max_walk=64)
+        client = _client_for(inner, master_key)
+        client.store([Document(0, b"pre-existing", frozenset({"k"}))])
+        state = export_client_state(client)
+
+        DurableServer(inner, LogKvStore(log_path))  # snapshot on wrap
+
+        reopened = _server(log_path)
+        client2 = _client_for(reopened, master_key, rng_seed=7)
+        restore_client_state(client2, state)
+        assert client2.search("k").documents == [b"pre-existing"]
+
+    def test_delegates_scheme_attributes(self, log_path, master_key):
+        server = _server(log_path)
+        client = _client_for(server, master_key)
+        client.store([Document(0, b"x", frozenset({"k"}))])
+        client.search("k")
+        # Instrumentation attributes of the wrapped server stay reachable.
+        assert server.chain_steps_last_search == \
+            server.inner.chain_steps_last_search
+        assert server.unique_keywords == 1
+        assert len(server.documents) == 1
+
+
+# Structural options each scheme needs to stay small and fast in tests;
+# everything else uses the registry defaults.
+_SCHEME_TEST_OPTIONS = {
+    "scheme1": {"capacity": 32},
+    "scheme2": {"chain_length": 64},
+}
+
+# In the demo dictionary shipped by the registry, so the CM baseline
+# (which structurally requires a fixed public dictionary) participates.
+_KEYWORD = "sym:fever"
+
+
+class TestEveryScheme:
+    """The acceptance gate: every registered scheme round-trips disk."""
+
+    @pytest.mark.parametrize("scheme", available_schemes())
+    def test_roundtrip_store_restart_search(self, scheme, tmp_path,
+                                            elgamal_keypair):
+        options = dict(_SCHEME_TEST_OPTIONS.get(scheme, {}))
+        if scheme == "scheme1":
+            options["keypair"] = elgamal_keypair
+        data_dir = tmp_path / "store"
+        docs = [Document(i, b"body %d" % i, frozenset({_KEYWORD}))
+                for i in range(3)]
+
+        server = make_server(scheme, seed=11, data_dir=data_dir, **options)
+        client, _ = make_scheme(scheme, channel=Channel(server), seed=11,
+                                **options)
+        client.store(docs)
+        before = client.search(_KEYWORD)
+        state = export_client_state(client)
+        server.close()
+
+        # Restart: same directory, all-new objects; the same seed
+        # regenerates the same key material on the client side.
+        reopened = make_server(scheme, seed=11, data_dir=data_dir, **options)
+        client2, _ = make_scheme(scheme, channel=Channel(reopened), seed=11,
+                                 **options)
+        restore_client_state(client2, state)
+        after = client2.search(_KEYWORD)
+        assert after == before
+        assert sorted(after.doc_ids) == [0, 1, 2]
+
+    @pytest.mark.parametrize("scheme", available_schemes())
+    def test_updates_after_restart(self, scheme, tmp_path, elgamal_keypair):
+        options = dict(_SCHEME_TEST_OPTIONS.get(scheme, {}))
+        if scheme == "scheme1":
+            options["keypair"] = elgamal_keypair
+        data_dir = tmp_path / "store"
+
+        server = make_server(scheme, seed=13, data_dir=data_dir, **options)
+        client, _ = make_scheme(scheme, channel=Channel(server), seed=13,
+                                **options)
+        client.store([Document(0, b"first", frozenset({_KEYWORD}))])
+        state = export_client_state(client)
+        server.close()
+
+        reopened = make_server(scheme, seed=13, data_dir=data_dir, **options)
+        client2, _ = make_scheme(scheme, channel=Channel(reopened), seed=13,
+                                 **options)
+        restore_client_state(client2, state)
+        client2.add_documents([Document(1, b"second",
+                                        frozenset({_KEYWORD}))])
+        assert sorted(client2.search(_KEYWORD).doc_ids) == [0, 1]
+
+
+class TestCrashRecovery:
+    """Injected crashes against the generic wrapper (naive scheme: its
+    whole state is the document store, so damage maps 1:1 to records)."""
+
+    def _populate(self, data_dir, n):
+        server = make_server("naive", seed=3, data_dir=data_dir)
+        client, _ = make_scheme("naive", channel=Channel(server), seed=3)
+        for i in range(n):
+            # One message per document -> one log batch per document.
+            client.store([Document(i, b"body-%d" % i, frozenset({"k"}))])
+        server.close()
+
+    def _reopen(self, data_dir):
+        server = make_server("naive", seed=3, data_dir=data_dir)
+        client, _ = make_scheme("naive", channel=Channel(server), seed=3)
+        return client
+
+    def test_torn_tail_drops_only_the_last_write(self, tmp_path):
+        data_dir = tmp_path / "store"
+        self._populate(data_dir, 3)
+        log = data_dir / "server.log"
+        log.write_bytes(log.read_bytes()[:-5])  # tear the final record
+
+        client = self._reopen(data_dir)
+        assert sorted(client.search("k").doc_ids) == [0, 1]
+        # The store keeps working after recovery.
+        client.store([Document(9, b"fresh", frozenset({"k"}))])
+        assert sorted(self._reopen(data_dir).search("k").doc_ids) == [0, 1, 9]
+
+    def test_corrupt_record_mid_log_is_refused(self, tmp_path):
+        data_dir = tmp_path / "store"
+        self._populate(data_dir, 3)
+        log = data_dir / "server.log"
+        raw = bytearray(log.read_bytes())
+        raw[5 + 8] ^= 0xFF  # first record's flags byte: checksum mismatch
+        log.write_bytes(bytes(raw))
+
+        with pytest.raises(CorruptRecordError):
+            make_server("naive", seed=3, data_dir=data_dir)
+
 
 class TestClientState:
     def test_roundtrip(self, master_key):
-        server = Scheme2Client  # placeholder; we only need a client
         from repro.core import make_scheme2
 
         client, _, _ = make_scheme2(master_key, chain_length=64,
@@ -129,6 +272,13 @@ class TestClientState:
                                rng=HmacDrbg(11))
         with pytest.raises(ParameterError):
             restore_client_state(b, export_client_state(a))
+
+    def test_cross_scheme_state_rejected(self, tmp_path):
+        swp_client, _ = make_scheme("swp", seed=20)
+        goh_client, _ = make_scheme("goh", seed=21)
+        with pytest.raises(ParameterError):
+            restore_client_state(goh_client,
+                                 export_client_state(swp_client))
 
     def test_state_contains_no_key_material(self, master_key):
         from repro.core import make_scheme2

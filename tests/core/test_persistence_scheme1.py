@@ -3,12 +3,13 @@
 import pytest
 
 from repro.core import Document
-from repro.core.persistence import PersistentScheme1Server
-from repro.core.scheme1 import Scheme1Client
+from repro.core.persistence import DurableServer
+from repro.core.scheme1 import Scheme1Client, Scheme1Server
 from repro.crypto.elgamal import ElGamalKeyPair
 from repro.crypto.rng import HmacDrbg
 from repro.errors import ParameterError
 from repro.net.channel import Channel
+from repro.storage.kvstore import LogKvStore
 
 
 @pytest.fixture()
@@ -17,10 +18,11 @@ def log_path(tmp_path):
 
 
 def _server(log_path, elgamal_keypair):
-    return PersistentScheme1Server(
-        log_path, capacity=32,
+    inner = Scheme1Server(
+        capacity=32,
         elgamal_modulus_bytes=elgamal_keypair.public.modulus_bytes,
     )
+    return DurableServer(inner, LogKvStore(log_path))
 
 
 def _client(server, master_key, elgamal_keypair, seed):

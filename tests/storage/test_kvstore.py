@@ -132,3 +132,58 @@ class TestLogDurability:
         path = tmp_path / "kv.log"
         LogKvStore(path)
         assert os.path.getsize(path) == 5
+
+
+class TestApplyBatch:
+    def test_deletes_then_upserts(self, store):
+        store.put(b"old", b"1")
+        store.put(b"both", b"1")
+        store.apply_batch({b"both": b"2", b"new": b"3"}, {b"old"})
+        assert store.get(b"old") is None
+        assert store.get(b"both") == b"2"
+        assert store.get(b"new") == b"3"
+
+    def test_empty_batch_writes_nothing(self, store):
+        assert store.apply_batch({}, set()) == 0
+
+    def test_delete_of_absent_key_is_noop(self, store):
+        assert store.apply_batch({}, {b"ghost"}) == 0
+        assert b"ghost" not in store
+
+    def test_empty_keys_rejected_by_log(self, tmp_path):
+        store = LogKvStore(tmp_path / "kv.log")
+        with pytest.raises(ParameterError):
+            store.apply_batch({b"": b"v"}, set())
+
+    def test_batch_is_one_log_append(self, tmp_path):
+        path = tmp_path / "kv.log"
+        store = LogKvStore(path)
+        batched = store.apply_batch(
+            {b"a": b"1", b"b": b"2", b"c": b"3"}, set()
+        )
+        assert batched > 0
+        assert os.path.getsize(path) == 5 + batched
+
+        # Byte-identical to the same changes applied one put at a time.
+        path2 = tmp_path / "kv2.log"
+        store2 = LogKvStore(path2)
+        for key, value in ((b"a", b"1"), (b"b", b"2"), (b"c", b"3")):
+            store2.put(key, value)
+        assert path.read_bytes() == path2.read_bytes()
+
+    def test_batch_survives_reopen(self, tmp_path):
+        path = tmp_path / "kv.log"
+        store = LogKvStore(path)
+        store.put(b"stale", b"x")
+        store.apply_batch({b"fresh": b"y"}, {b"stale"})
+        reopened = LogKvStore(path)
+        assert reopened.get(b"stale") is None
+        assert reopened.get(b"fresh") == b"y"
+
+    def test_dead_record_accounting_matches_recovery(self, tmp_path):
+        path = tmp_path / "kv.log"
+        store = LogKvStore(path)
+        store.put(b"a", b"1")
+        store.put(b"b", b"1")
+        store.apply_batch({b"a": b"2"}, {b"b"})  # overwrite + tombstone
+        assert LogKvStore(path).dead_records == store.dead_records

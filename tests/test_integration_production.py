@@ -8,14 +8,14 @@ This is the deployment the README promises a downstream user.
 import pytest
 
 from repro.core.keys import keygen
-from repro.core.persistence import (PersistentScheme2Server,
-                                    export_client_state,
+from repro.core.persistence import (DurableServer, export_client_state,
                                     restore_client_state)
-from repro.core.scheme2 import Scheme2Client
+from repro.core.scheme2 import Scheme2Client, Scheme2Server
 from repro.crypto.rng import HmacDrbg
 from repro.net.channel import Channel
 from repro.net.tcp import TcpClientTransport, TcpSseServer
 from repro.phr import CorpusSpec, HealthRecordEntry, PhrPlus, generate_corpus
+from repro.storage.kvstore import LogKvStore
 
 
 @pytest.fixture()
@@ -24,7 +24,8 @@ def log_path(tmp_path):
 
 
 def _serve(log_path):
-    server_obj = PersistentScheme2Server(log_path, max_walk=256)
+    server_obj = DurableServer(Scheme2Server(max_walk=256),
+                               LogKvStore(log_path))
     tcp = TcpSseServer(server_obj)
     tcp.start()
     return server_obj, tcp

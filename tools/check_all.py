@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Lint check: ``__all__`` must match what each module actually defines.
 
-Two failure modes are caught across every module in ``src/repro``:
+Four failure modes are caught across every module in ``src/repro``:
 
 * a name listed in ``__all__`` that the module does not define
   (stale export — import * would raise AttributeError);
 * a public top-level class or function missing from ``__all__`` in a
-  module that declares one (silent API drift).
+  module that declares one (silent API drift);
+* the same name exported twice (copy-paste drift when lists grow);
+* an underscore-prefixed name in ``__all__`` (exporting something the
+  naming convention says is private is always a mistake).
 
 Exit status is the number of offending modules, so ``make lint`` fails
 loudly.  No third-party dependencies.
@@ -83,6 +86,14 @@ def check(path: Path) -> list[str]:
     if exported is None:
         return []
     problems = []
+    seen: set[str] = set()
+    for name in exported:
+        if name in seen:
+            problems.append(f"exports {name!r} more than once")
+        seen.add(name)
+        is_dunder = name.startswith("__") and name.endswith("__")
+        if name.startswith("_") and not is_dunder:
+            problems.append(f"exports underscore-private name {name!r}")
     available = defined_names(tree)
     star_imports = any(
         isinstance(node, ast.ImportFrom)
