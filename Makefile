@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test test-fast bench examples results clean
+.PHONY: install lint test test-fast bench bench-smoke examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,6 +20,12 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Tiny CI-sized runs of the key benches; emits benchmarks/BENCH_*.json.
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/bench_table1_search.py \
+		benchmarks/bench_concurrent_clients.py
 
 results: bench
 	@cat benchmarks/results.txt

@@ -12,6 +12,7 @@ mutex).  Reported straight from the server's metrics registry:
   handler* — > 1 is the proof that reads overlap.
 """
 
+import os
 import threading
 import time
 
@@ -23,10 +24,13 @@ from repro.net.channel import Channel
 from repro.net.messages import MessageType
 from repro.net.tcp import TcpClientTransport, TcpSseServer
 
+# REPRO_BENCH_SMOKE keeps the 8-client shape but trims the per-reader
+# workload so the CI smoke job finishes in seconds.
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 N_CLIENTS = 8
-N_SEARCHES_PER_READER = 24
-N_UPDATE_BATCHES = 8
-CHAIN_LENGTH = 256
+N_SEARCHES_PER_READER = 6 if _SMOKE else 24
+N_UPDATE_BATCHES = 4 if _SMOKE else 8
+CHAIN_LENGTH = 64 if _SMOKE else 256
 KEYWORDS = [f"kw{i}" for i in range(4)]
 
 
@@ -65,7 +69,8 @@ class _OverlapProbe:
                     self._active_searches -= 1
 
 
-def test_concurrent_clients_throughput(benchmark, master_key, report):
+def test_concurrent_clients_throughput(benchmark, master_key, report,
+                                       bench_json):
     scheme_server = make_server("scheme2", chain_length=CHAIN_LENGTH)
     probe = _OverlapProbe(scheme_server)
     tcp = TcpSseServer(probe, max_workers=N_CLIENTS)
@@ -151,5 +156,14 @@ def test_concurrent_clients_throughput(benchmark, master_key, report):
              "search p50 ms", "search p95 ms", "max overlap"],
             rows,
         ))
+        bench_json({"concurrency": {
+            "clients": N_CLIENTS,
+            "requests": int(total_requests),
+            "wall_s": wall,
+            "requests_per_s": total_requests / wall,
+            "search_p50_s": search_hist.p50,
+            "search_p95_s": search_hist.p95,
+            "max_overlap": probe.max_concurrent_searches,
+        }})
     finally:
         tcp.stop()

@@ -10,6 +10,8 @@ searches.  Two sweeps verify the two terms:
    chain steps must grow ≈ linearly in x while the log(u) term stays put.
 """
 
+import os
+
 import pytest
 
 from repro.bench.fits import best_fit
@@ -19,7 +21,10 @@ from repro.crypto.rng import HmacDrbg
 from repro.workloads.generator import WorkloadSpec, generate_collection
 from repro.workloads.ops import interleaved_stream
 
-_U_VALUES = [128, 256, 512, 1024, 2048]
+# REPRO_BENCH_SMOKE keeps the log-growth shape (4 doublings) but starts
+# the sweep small enough for a CI smoke job.
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+_U_VALUES = [16, 32, 64, 128, 256] if _SMOKE else [128, 256, 512, 1024, 2048]
 
 
 def _collection(u):
@@ -31,7 +36,8 @@ def _collection(u):
 
 
 def test_search_comparisons_logarithmic_in_u(benchmark, master_key,
-                                             elgamal_keypair, report):
+                                             elgamal_keypair, report,
+                                             bench_json):
     rows = []
     s1_comparisons = []
     s2_comparisons = []
@@ -74,12 +80,22 @@ def test_search_comparisons_logarithmic_in_u(benchmark, master_key,
            f"   [paper: O(log u)]")
     report(f"Scheme 2 best fit: {fit2.model} (R^2 = {fit2.r_squared:.4f})"
            f"   [paper: O(log u + l/2x)]")
+    bench_json({"comparisons_vs_u": {
+        "u_values": _U_VALUES,
+        "scheme1": s1_comparisons,
+        "scheme2": s2_comparisons,
+        "scheme1_fit": fit1.model,
+        "scheme2_fit": fit2.model,
+    }})
 
     # The log(u) signature, asserted two ways: sub-linear growth (a 16x
     # bigger index costs < 2x the comparisons) and additive growth per
-    # doubling consistent with +1 comparison.
+    # doubling consistent with +1 comparison.  The smoke sweep starts at
+    # u=16 where the constant term barely dampens the ratio — log2(256)/
+    # log2(16) alone is 2.0 — so the bound loosens there.
+    ratio_bound = 2.5 if _SMOKE else 2.0
     for series in (s1_comparisons, s2_comparisons):
-        assert series[-1] / series[0] < 2.0
+        assert series[-1] / series[0] < ratio_bound
         per_doubling = (series[-1] - series[0]) / 4  # 16x = 4 doublings
         assert 0.25 <= per_doubling <= 2.0
     assert fit2.model in ("O(log n)", "O(1)")
@@ -97,10 +113,11 @@ def test_scheme2_chain_walk_tracks_x(benchmark, master_key, report,
                                      lazy_counter):
     """The l/2x term: chain steps per search grow with x."""
     x_values = [1, 2, 4, 8]
+    chain_length = 128 if _SMOKE else 512
     rows = []
     walk_lengths = []
     for x in x_values:
-        client, server, _ = make_scheme2(master_key, chain_length=512,
+        client, server, _ = make_scheme2(master_key, chain_length=chain_length,
                                          lazy_counter=lazy_counter)
         client.store([Document(0, b"seed", frozenset({"k"}))])
         client.search("k")
@@ -135,7 +152,8 @@ def test_scheme2_chain_walk_tracks_x(benchmark, master_key, report,
         assert x - 1 <= steps <= x + 1
 
     # Timed leg: a search after x=8 un-searched updates (longest walk).
-    client, _, _ = make_scheme2(master_key, chain_length=4096,
+    client, _, _ = make_scheme2(master_key,
+                                chain_length=256 if _SMOKE else 4096,
                                 lazy_counter=False)
     client.store([Document(0, b"seed", frozenset({"k"}))])
     for i in range(8):

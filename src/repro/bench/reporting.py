@@ -1,14 +1,40 @@
-"""Paper-style table formatting for benchmark output.
+"""Paper-style table formatting and machine-readable benchmark output.
 
 Every bench prints its reproduction of a table or figure through these
-helpers so EXPERIMENTS.md can be assembled from captured stdout.
+helpers so EXPERIMENTS.md can be assembled from captured stdout.  Next to
+each module's human tables, :func:`write_bench_json` maintains a
+``BENCH_<name>.json`` document (throughput, latency quantiles, crypto op
+counts) so CI and regression tooling can diff runs without parsing text.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Sequence
 
-__all__ = ["format_table", "format_header"]
+__all__ = ["format_table", "format_header", "write_bench_json"]
+
+
+def write_bench_json(path: str, key: str, payload: dict) -> None:
+    """Merge *payload* under *key* into the JSON document at *path*.
+
+    The document maps test names to result objects; repeated writes for
+    the same key merge at the top level, so the timing section written by
+    the conftest hook and any op-count section written by the test itself
+    land in one entry.  A missing or corrupt file starts fresh.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        doc = {}
+    if not isinstance(doc, dict):
+        doc = {}
+    entry = doc.setdefault(key, {})
+    entry.update(payload)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def format_header(title: str) -> str:

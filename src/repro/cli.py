@@ -204,6 +204,17 @@ def cmd_remove(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    if args.live:
+        # Ask a running `serve` instance instead of opening the store —
+        # the whole point is a snapshot without touching the serving
+        # process or its lock on the log.
+        from repro.net.tcp import request_stats
+        if args.port is None:
+            print("error: stats --live requires --port", file=sys.stderr)
+            return 1
+        stats = request_stats(args.host, args.port)
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
     client, server, scheme = _open(args.home, _data_dir(args))
     log_path = os.path.join(_data_dir(args), "server.log")
     print(f"scheme:             {scheme}")
@@ -254,27 +265,68 @@ def cmd_import_state(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve the encrypted store over TCP until interrupted."""
+    import signal
+    import threading
+
     from repro.net.tcp import TcpSseServer
+    from repro.obs.opcount import OpCounter, install_recorder
+    from repro.obs.trace import Tracer
 
     _, server, scheme = _open(args.home, _data_dir(args))
     metrics = Metrics()
+    tracer = Tracer() if args.trace_jsonl else None
+    ops = previous_recorder = None
+    if args.count_ops:
+        ops = OpCounter()
+        previous_recorder = install_recorder(ops)
     tcp = TcpSseServer(server, host=args.host, port=args.port,
-                       max_workers=args.workers, metrics=metrics)
+                       max_workers=args.workers, metrics=metrics,
+                       tracer=tracer)
     tcp.start()
     print(f"serving {args.home} ({scheme}) on {tcp.host}:{tcp.port} "
           f"({tcp._pool.size} workers; ctrl-C to stop)")
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = None
+    if threading.current_thread() is threading.main_thread():
+        previous_sigterm = signal.signal(signal.SIGTERM, _terminate)
+    interval = args.metrics_interval
+    next_dump = time.monotonic() + interval if interval else None
     try:
         while True:
             time.sleep(0.5)
+            if next_dump is not None and time.monotonic() >= next_dump:
+                next_dump = time.monotonic() + interval
+                snapshot = metrics.render_text()
+                print(snapshot if snapshot else "(no requests served)")
+                sys.stdout.flush()
     except KeyboardInterrupt:
         print("\ndraining...", file=sys.stderr)
     finally:
-        # stop() drains in-flight requests, then close()s the durable
-        # handler: journal flushed, log compacted if worth it.
+        # Everything that must survive a shutdown happens HERE, not after
+        # the try block: the SIGTERM handler above turns a `kill` into
+        # KeyboardInterrupt precisely so this path runs.  stop() drains
+        # in-flight requests, then close()s the durable handler — journal
+        # flushed, log compacted if worth it — and only then do we emit
+        # the final metrics / op / trace snapshots.
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
         tcp.stop(timeout=args.drain_timeout)
-    if args.metrics:
-        snapshot = metrics.render_text()
-        print(snapshot if snapshot else "(no requests served)")
+        if previous_recorder is not None:
+            install_recorder(previous_recorder)
+        if args.metrics or interval:
+            snapshot = metrics.render_text()
+            print(snapshot if snapshot else "(no requests served)")
+        if ops is not None:
+            counts = ops.snapshot()
+            print("crypto ops: " + (json.dumps(counts, sort_keys=True)
+                                    if counts else "(none recorded)"))
+        if tracer is not None:
+            n = tracer.export_jsonl(args.trace_jsonl)
+            print(f"wrote {n} trace(s) to {args.trace_jsonl}",
+                  file=sys.stderr)
     return 0
 
 
@@ -319,6 +371,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_remove.set_defaults(fn=cmd_remove)
 
     p_stats = sub.add_parser("stats", help="store statistics")
+    p_stats.add_argument("--live", action="store_true",
+                         help="query a running `serve` instance over TCP")
+    p_stats.add_argument("--host", default="127.0.0.1",
+                         help="serve host for --live (default: 127.0.0.1)")
+    p_stats.add_argument("--port", type=int, default=None,
+                         help="serve port for --live")
     p_stats.set_defaults(fn=cmd_stats)
 
     p_compact = sub.add_parser("compact", help="compact the server log")
@@ -351,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds to wait for in-flight requests")
     p_serve.add_argument("--metrics", action="store_true",
                          help="print a metrics snapshot on shutdown")
+    p_serve.add_argument("--metrics-interval", type=float, default=0.0,
+                         help="also print the snapshot every N seconds")
+    p_serve.add_argument("--trace-jsonl", default=None,
+                         help="trace requests; write JSONL here on shutdown")
+    p_serve.add_argument("--count-ops", action="store_true",
+                         help="count crypto ops; print totals on shutdown")
     p_serve.set_defaults(fn=cmd_serve)
 
     for p in (p_store, p_search, p_remove, p_stats, p_compact, p_init,

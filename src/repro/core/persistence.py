@@ -38,6 +38,7 @@ from repro.core.api import SseClient
 from repro.net.messages import Message
 from repro.net.session import is_read_message
 from repro.obs.metrics import Metrics, NULL_METRICS
+from repro.obs.trace import span
 from repro.storage.kvstore import KvStore
 
 __all__ = ["DurableServer", "export_client_state", "restore_client_state"]
@@ -141,7 +142,9 @@ class DurableServer:
 
     def _write_batch(self, upserts: dict[bytes, bytes],
                      deletes: set[bytes]) -> None:
-        n_bytes = self._store.apply_batch(upserts, deletes)
+        with span("storage.flush", records=len(upserts) + len(deletes)) as sp:
+            n_bytes = self._store.apply_batch(upserts, deletes)
+            sp.set(bytes=n_bytes)
         if self._mirror is not None:
             for key in deletes:
                 self._mirror.pop(key, None)

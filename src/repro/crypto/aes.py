@@ -18,6 +18,7 @@ Implementation notes:
 from __future__ import annotations
 
 from repro.errors import ParameterError
+from repro.obs.opcount import record as _record_op
 
 __all__ = ["AES", "BLOCK_SIZE"]
 
@@ -132,6 +133,7 @@ class AES:
         """Encrypt one 16-byte block."""
         if len(block) != BLOCK_SIZE:
             raise ParameterError("AES operates on exactly 16-byte blocks")
+        _record_op("aes_block")
         state = [b ^ k for b, k in zip(block, self._round_keys[0])]
         for r in range(1, self._rounds):
             state = self._encrypt_round(state, self._round_keys[r])
@@ -145,6 +147,7 @@ class AES:
         """Decrypt one 16-byte block."""
         if len(block) != BLOCK_SIZE:
             raise ParameterError("AES operates on exactly 16-byte blocks")
+        _record_op("aes_block")
         state = [b ^ k for b, k in zip(block, self._round_keys[self._rounds])]
         state = self._inv_shift_rows(state)
         state = [_INV_SBOX[b] for b in state]

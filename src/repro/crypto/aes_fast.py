@@ -18,6 +18,7 @@ import struct
 
 from repro.crypto import aes as _reference
 from repro.errors import ParameterError
+from repro.obs.opcount import record as _record_op
 
 __all__ = ["FastAES"]
 
@@ -70,6 +71,7 @@ class FastAES:
         """Encrypt one 16-byte block via T-table rounds."""
         if len(block) != 16:
             raise ParameterError("AES operates on exactly 16-byte blocks")
+        _record_op("aes_block")
         w = self._round_words
         s0, s1, s2, s3 = struct.unpack(">4I", block)
         s0 ^= w[0][0]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.crypto.sha256 import SHA256
 from repro.errors import ChainExhaustedError, ParameterError
+from repro.obs.opcount import record as _record_op
 
 __all__ = ["chain_step", "HashChain", "ChainWalker", "STEP_LABEL"]
 
@@ -43,6 +44,7 @@ def chain_step(element: bytes) -> bytes:
     the usual assumptions and domain-separated from every other hash use
     in the library.
     """
+    _record_op("chain_step")
     h = _STEP_TEMPLATE.copy()
     h.update(element)
     return h.digest()

@@ -19,6 +19,7 @@ from repro.crypto.numtheory import (SchnorrGroup, generate_schnorr_group,
                                     invmod, rfc3526_group_1536)
 from repro.crypto.rng import RandomSource, SystemRandomSource
 from repro.errors import CryptoError, ParameterError
+from repro.obs.opcount import record as _record_op
 
 __all__ = ["ElGamalCiphertext", "ElGamalPublicKey", "ElGamalKeyPair",
            "generate_keypair", "DEFAULT_GROUP_BITS"]
@@ -73,6 +74,8 @@ class ElGamalPublicKey:
         """Encrypt a group element."""
         if not self.group.contains(m):
             raise ParameterError("plaintext must be a subgroup element")
+        _record_op("elgamal_encrypt")
+        _record_op("modexp", 2)
         k = self.group.random_exponent(rng)
         c1 = pow(self.group.g, k, self.group.p)
         c2 = (m * pow(self.y, k, self.group.p)) % self.group.p
@@ -103,6 +106,8 @@ class ElGamalKeyPair:
         group = self.public.group
         if not (0 < ciphertext.c1 < group.p and 0 < ciphertext.c2 < group.p):
             raise CryptoError("ciphertext components out of range")
+        _record_op("elgamal_decrypt")
+        _record_op("modexp")
         shared = pow(ciphertext.c1, self.x, group.p)
         return (ciphertext.c2 * invmod(shared, group.p)) % group.p
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.crypto.sha256 import SHA256, sha256
 from repro.errors import ParameterError
+from repro.obs.opcount import record as _record_op
 
 __all__ = ["HMACSHA256", "hmac_sha256"]
 
@@ -46,6 +47,7 @@ class HMACSHA256:
 
     def digest(self) -> bytes:
         """Return the 32-byte MAC of everything absorbed so far."""
+        _record_op("hmac")
         outer = SHA256(self._outer_key)
         outer.update(self._inner.digest())
         return outer.digest()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.crypto.hmac_sha256 import HMACSHA256
 from repro.errors import ParameterError
+from repro.obs.opcount import record as _record_op
 
 __all__ = ["Prf", "derive_key"]
 
@@ -44,6 +45,7 @@ class Prf:
 
     def evaluate(self, message: bytes) -> bytes:
         """Return the 32-byte PRF output on *message*."""
+        _record_op("prf_eval")
         mac = self._keyed.copy()
         mac.update(message)
         return mac.digest()

@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.crypto.hmac_sha256 import hmac_sha256
 from repro.crypto.prf import Prf
 from repro.errors import ParameterError
+from repro.obs.opcount import record as _record_op
 
 __all__ = ["prg_expand", "Prg", "hkdf_extract", "hkdf_expand", "hkdf"]
 
@@ -30,6 +31,7 @@ def prg_expand(seed: bytes, length: int) -> bytes:
         raise ParameterError("PRG output length must be non-negative")
     if not seed:
         raise ParameterError("PRG seed must be non-empty")
+    _record_op("prg_expand")
     prf = Prf(seed, label=b"repro.prg")
     out = bytearray()
     counter = 0

@@ -20,6 +20,7 @@ from repro.crypto.aes import AES, BLOCK_SIZE
 from repro.crypto.bytesutil import xor_bytes
 from repro.crypto.prf import Prf, derive_key
 from repro.errors import ParameterError
+from repro.obs.opcount import record as _record_op
 
 __all__ = ["BlockPrp", "FeistelPrp"]
 
@@ -66,6 +67,7 @@ class FeistelPrp:
 
     def _round_mask(self, round_index: int, data: bytes, width: int) -> bytes:
         """PRF-expand *data* to *width* bytes for one Feistel round."""
+        _record_op("feistel_round")
         prf = self._round_prfs[round_index]
         out = bytearray()
         counter = 0

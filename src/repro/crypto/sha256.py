@@ -12,6 +12,7 @@ import struct
 
 from repro.crypto.bytesutil import rotr32, shr32
 from repro.errors import ParameterError
+from repro.obs.opcount import record as _record_op
 
 __all__ = ["SHA256", "sha256"]
 
@@ -104,6 +105,7 @@ class SHA256:
         hash-chain walk and PRF evaluation in the library, so it is written
         for CPython speed rather than elegance.
         """
+        _record_op("sha256_compress")
         mask = _MASK32
         w = list(struct.unpack(">16I", block))
         append = w.append

@@ -14,11 +14,14 @@ channel is the measurement instrument of this reproduction:
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
 from repro.net.messages import Message
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.opcount import active_recorder, diff_counts as _diff
+from repro.obs.trace import span
 
 __all__ = ["NetworkModel", "TranscriptEntry", "ChannelStats", "Channel"]
 
@@ -75,11 +78,13 @@ class Channel:
     """
 
     def __init__(self, server_handler, model: NetworkModel | None = None,
-                 keep_transcript: bool = True, metrics=None) -> None:
+                 keep_transcript: bool = True, metrics=None,
+                 tracer=None) -> None:
         self._handler = server_handler
         self._model = model if model is not None else NetworkModel()
         self._keep_transcript = keep_transcript
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer = tracer
         self.stats = ChannelStats()
         self.transcript: list[TranscriptEntry] = []
 
@@ -89,7 +94,32 @@ class Channel:
         Messages cross the wire in serialized form and are re-parsed on each
         side, so any scheme relying on rich in-memory objects crossing the
         channel would fail loudly — the protocols must be fully byte-defined.
+
+        With a :class:`~repro.obs.trace.Tracer` attached, the channel mints
+        a trace ID, stamps it into the wire envelope (so a remote server
+        joins the same trace), and records a ``client.request`` span with
+        this thread's crypto-op delta attached.
         """
+        if self.tracer is None:
+            return self._exchange(message)
+        trace_id = self.tracer.mint()
+        trace = self.tracer.begin(trace_id, message.type.name)
+        message = dataclasses.replace(message, trace_id=trace_id)
+        try:
+            with self.tracer.activate(trace):
+                with span("client.request", type=message.type.name) as sp:
+                    ops = active_recorder()
+                    before = ops.thread_snapshot()
+                    reply = self._exchange(message)
+                    delta = _diff(ops.thread_snapshot(), before)
+                    if delta:
+                        sp.set(ops=delta)
+                    return reply
+        finally:
+            self.tracer.finish(trace)
+
+    def _exchange(self, message: Message) -> Message:
+        """The untraced request path (one serialize/handle/deserialize)."""
         request_bytes = message.serialize()
         delivered = Message.deserialize(request_bytes)
         self._record("client->server", delivered, len(request_bytes))

@@ -9,6 +9,13 @@ not Python object sizes.  Wire format::
 
 Fields are raw byte strings; structured payloads (ids, integers) are
 encoded by the scheme code before being placed in a field.
+
+Requests may optionally carry an 8-byte *trace ID* (see
+:mod:`repro.obs.trace`).  The envelope stays backward compatible: the high
+bit of the type tag — unused, since :class:`MessageType` values stop well
+below 128 — flags that the trace ID follows the 3-byte header.  Untraced
+messages serialize byte-for-byte as before, and the ID is excluded from
+equality so traced and untraced copies of a message compare equal.
 """
 
 from __future__ import annotations
@@ -19,7 +26,11 @@ from enum import IntEnum
 
 from repro.errors import ProtocolError
 
-__all__ = ["MessageType", "Message"]
+__all__ = ["MessageType", "Message", "TRACE_FLAG", "TRACE_ID_SIZE"]
+
+# High bit of the wire type tag: "an 8-byte trace ID follows the header".
+TRACE_FLAG = 0x80
+TRACE_ID_SIZE = 8
 
 
 class MessageType(IntEnum):
@@ -53,6 +64,10 @@ class MessageType(IntEnum):
     ACK = 40
     ERROR = 41
 
+    # Observability (served by the transport layer, not the schemes)
+    STATS_REQUEST = 42          # client -> server: live metrics snapshot?
+    STATS_RESULT = 43           # server -> client: (json_payload,)
+
 
 @dataclass(frozen=True)
 class Message:
@@ -60,22 +75,33 @@ class Message:
 
     type: MessageType
     fields: tuple[bytes, ...] = field(default_factory=tuple)
+    trace_id: bytes | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         for f in self.fields:
             if not isinstance(f, bytes):
                 raise ProtocolError("message fields must be bytes")
+        if self.trace_id is not None and len(self.trace_id) != TRACE_ID_SIZE:
+            raise ProtocolError(
+                f"trace id must be exactly {TRACE_ID_SIZE} bytes"
+            )
 
     @property
     def wire_size(self) -> int:
         """Exact size in bytes of the serialized message."""
-        return 3 + sum(4 + len(f) for f in self.fields)
+        trace = TRACE_ID_SIZE if self.trace_id is not None else 0
+        return 3 + trace + sum(4 + len(f) for f in self.fields)
 
     def serialize(self) -> bytes:
         """Encode to the canonical wire format."""
         if len(self.fields) > 0xFFFF:
             raise ProtocolError("too many fields in one message")
-        out = bytearray(struct.pack(">BH", int(self.type), len(self.fields)))
+        tag = int(self.type)
+        if self.trace_id is not None:
+            tag |= TRACE_FLAG
+        out = bytearray(struct.pack(">BH", tag, len(self.fields)))
+        if self.trace_id is not None:
+            out += self.trace_id
         for f in self.fields:
             out += struct.pack(">I", len(f))
             out += f
@@ -87,11 +113,18 @@ class Message:
         if len(data) < 3:
             raise ProtocolError("message too short")
         type_tag, count = struct.unpack(">BH", data[:3])
+        trace_id: bytes | None = None
+        offset = 3
+        if type_tag & TRACE_FLAG:
+            type_tag &= ~TRACE_FLAG
+            if len(data) < offset + TRACE_ID_SIZE:
+                raise ProtocolError("truncated trace id")
+            trace_id = data[offset:offset + TRACE_ID_SIZE]
+            offset += TRACE_ID_SIZE
         try:
             msg_type = MessageType(type_tag)
         except ValueError as exc:
             raise ProtocolError(f"unknown message type {type_tag}") from exc
-        offset = 3
         fields: list[bytes] = []
         for _ in range(count):
             if offset + 4 > len(data):
@@ -104,7 +137,7 @@ class Message:
             offset += length
         if offset != len(data):
             raise ProtocolError("trailing bytes after message")
-        return cls(type=msg_type, fields=tuple(fields))
+        return cls(type=msg_type, fields=tuple(fields), trace_id=trace_id)
 
     def expect(self, msg_type: MessageType, n_fields: int | None = None
                ) -> tuple[bytes, ...]:

@@ -30,6 +30,7 @@ from repro.errors import ProtocolError, RetryExhaustedError
 from repro.net.messages import Message, MessageType
 from repro.net.session import READ_MESSAGE_TYPES
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.trace import span
 
 __all__ = ["RetryPolicy", "RetryingTransport", "IDEMPOTENT_TYPES"]
 
@@ -130,7 +131,8 @@ class RetryingTransport:
                 last_exc = exc
             else:
                 try:
-                    return transport.handle(message)
+                    with span("transport.attempt", attempt=attempt):
+                        return transport.handle(message)
                 except Exception as exc:  # noqa: BLE001 - classified below
                     if not self._is_transport_failure(exc):
                         raise

@@ -50,6 +50,8 @@ READ_MESSAGE_TYPES = frozenset({
     MessageType.NAIVE_FETCH_ALL,
     MessageType.ACK,
     MessageType.ERROR,
+    MessageType.STATS_REQUEST,
+    MessageType.STATS_RESULT,
 })
 
 

@@ -39,6 +39,7 @@ in :class:`~repro.net.retry.RetryingTransport` for timeouts and backoff.
 
 from __future__ import annotations
 
+import json
 import os
 import socket
 import struct
@@ -50,9 +51,11 @@ from repro.net.messages import Message, MessageType
 from repro.net.session import (ReadWriteLock, SessionManager, WorkerPool,
                                is_read_message)
 from repro.obs.metrics import Metrics, NULL_METRICS
+from repro.obs.opcount import active_recorder, diff_counts
+from repro.obs.trace import NULL_TRACER, Span, current_trace, span
 
 __all__ = ["TcpSseServer", "TcpClientTransport", "send_frame", "recv_frame",
-           "DEFAULT_MAX_WORKERS"]
+           "request_stats", "DEFAULT_MAX_WORKERS"]
 
 _MAX_FRAME = 64 * 1024 * 1024  # refuse absurd frames rather than OOM
 
@@ -103,9 +106,11 @@ class TcpSseServer:
     def __init__(self, handler, host: str = "127.0.0.1", port: int = 0,
                  *, max_workers: int | None = None,
                  metrics: Metrics | None = None,
+                 tracer=None,
                  drain_timeout_s: float = 5.0) -> None:
         self._handler = handler
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer
         # Share the registry with the handler when it carries the default
         # no-op one, so scheme-level counters land beside the wire metrics.
         if getattr(handler, "metrics", None) is NULL_METRICS:
@@ -171,9 +176,10 @@ class TcpSseServer:
                     return
                 if frame is None:
                     return
+                received_s = time.perf_counter()
                 try:
                     reply = self._pool.submit(self._dispatch, frame,
-                                              session).result()
+                                              session, received_s).result()
                 except ReproError:
                     return  # pool shut down mid-request: drop the session
                 try:
@@ -183,18 +189,27 @@ class TcpSseServer:
         finally:
             self.sessions.close(session)
 
-    def _dispatch(self, frame: bytes, session) -> Message:
+    def _dispatch(self, frame: bytes, session, received_s: float) -> Message:
         started = time.perf_counter()
         type_name = "MALFORMED"
+        trace = None
+        tracer = self.tracer if self.tracer is not None else NULL_TRACER
         try:
             message = Message.deserialize(frame)
             type_name = message.type.name
-            if is_read_message(message.type):
-                guard = self._state_lock.read_locked()
-            else:
-                guard = self._state_lock.write_locked()
-            with guard:
-                reply = self._handler.handle(message)
+            if message.type is MessageType.STATS_REQUEST:
+                # Served by the transport layer itself, outside the scheme
+                # handler and outside the state lock: always answerable,
+                # even while a long write holds the index exclusively.
+                return self._stats_reply()
+            self.metrics.histogram("queue_wait_seconds").observe(
+                started - received_s)
+            if self.tracer is not None and message.trace_id is not None:
+                trace = tracer.begin(message.trace_id, type_name)
+                trace.add_span(Span("server.queue_wait", received_s,
+                                    started - received_s))
+            with tracer.activate(trace):
+                reply = self._handle_locked(message, type_name)
             session.requests_handled += 1
             return reply
         except ReproError as exc:
@@ -204,10 +219,64 @@ class TcpSseServer:
             return Message(MessageType.ERROR,
                            (type(exc).__name__.encode("utf-8"),))
         finally:
+            if trace is not None:
+                tracer.finish(trace)
             elapsed = time.perf_counter() - started
             self.metrics.counter("requests_total", type=type_name).inc()
             self.metrics.histogram("request_seconds",
                                    type=type_name).observe(elapsed)
+
+    def _handle_locked(self, message: Message, type_name: str) -> Message:
+        """Run the handler under the right lock side, measuring the waits."""
+        read = is_read_message(message.type)
+        mode = "read" if read else "write"
+        lock_started = time.perf_counter()
+        if read:
+            self._state_lock.acquire_read()
+            release = self._state_lock.release_read
+        else:
+            self._state_lock.acquire_write()
+            release = self._state_lock.release_write
+        waited = time.perf_counter() - lock_started
+        self.metrics.histogram("lock_wait_seconds", mode=mode).observe(waited)
+        trace = current_trace()
+        if trace is not None:
+            trace.add_span(Span("server.lock_wait", lock_started, waited,
+                                {"mode": mode}))
+        try:
+            with span("server.handle", type=type_name) as sp:
+                ops = active_recorder()
+                before = ops.thread_snapshot()
+                reply = self._handler.handle(message)
+                delta = diff_counts(ops.thread_snapshot(), before)
+                if delta:
+                    sp.set(ops=delta)
+                    for op, n in delta.items():
+                        self.metrics.counter("crypto_ops_total", op=op,
+                                             type=type_name).inc(n)
+            return reply
+        finally:
+            release()
+
+    def _stats_reply(self) -> Message:
+        """Assemble the STATS_RESULT payload: one JSON document."""
+        payload = {
+            "metrics": self.metrics.snapshot(),
+            "sessions": {"active": self.sessions.active_count,
+                         "opened": self.sessions.sessions_opened},
+            "pool": {"queue_depth": self._pool.queue_depth,
+                     "active_jobs": self._pool.active_jobs,
+                     "size": self._pool.size},
+            "ops": active_recorder().snapshot(),
+        }
+        if self.tracer is not None:
+            payload["traces"] = {
+                "active": [t.to_dict() for t in self.tracer.active_traces()],
+                "finished": len(self.tracer.finished_traces()),
+                "summary": self.tracer.summarize(),
+            }
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return Message(MessageType.STATS_RESULT, (body,))
 
     def stop(self, timeout: float | None = None) -> None:
         """Gracefully stop: refuse new connections, drain, close, join.
@@ -298,3 +367,17 @@ class TcpClientTransport:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def request_stats(host: str, port: int, timeout_s: float = 5.0) -> dict:
+    """Fetch a live stats snapshot from a running :class:`TcpSseServer`.
+
+    Opens a short-lived connection, sends one STATS_REQUEST, and returns
+    the decoded JSON payload (metrics, sessions, pool, crypto ops, and —
+    when the server traces — active/summarized traces).  This is what
+    ``repro-sse stats --live`` calls.
+    """
+    with TcpClientTransport(host, port, timeout_s=timeout_s) as transport:
+        reply = transport.handle(Message(MessageType.STATS_REQUEST))
+        (body,) = reply.expect(MessageType.STATS_RESULT, 1)
+        return json.loads(body.decode("utf-8"))

@@ -1,14 +1,30 @@
-"""Observability: wire-level metrics for the SSE service layer.
+"""Observability: metrics, request tracing, and crypto-op accounting.
 
 The paper measures protocols in rounds and bytes; a *deployment* of those
-protocols needs a second instrument — what the service is doing right now
-and how long requests take.  :mod:`repro.obs.metrics` provides the minimal
-registry the TCP layer, channel, and CLI share: counters, gauges, and
-latency histograms with a text snapshot formatter.
+protocols needs three more instruments:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and latency histograms
+  shared by the TCP layer, channel, and CLI, with a text snapshot
+  formatter;
+* :mod:`repro.obs.trace` — end-to-end request traces whose IDs travel
+  inside the wire envelope, with spans at every hop (client, transport
+  retries, server queue, lock, handler, storage flush);
+* :mod:`repro.obs.opcount` — exact crypto-operation counts (AES blocks,
+  PRF evaluations, modexps, ...) so the paper's Table 1 asymptotics can
+  be asserted instead of inferred from wall-clock noise.
+
+All three share the same design rule: the default is a null object whose
+overhead is a single global or thread-local read, so un-instrumented runs
+pay nothing.
 """
 
 from repro.obs.metrics import (Counter, Gauge, Histogram, Metrics,
                                NULL_METRICS, NullMetrics)
+from repro.obs.opcount import (NULL_OPS, NullOpCounter, OpCounter,
+                               active_recorder, count_ops, diff_counts,
+                               install_recorder, record)
+from repro.obs.trace import (NULL_TRACER, NullTracer, Span, Trace, Tracer,
+                             current_trace, span)
 
 __all__ = [
     "Counter",
@@ -17,4 +33,19 @@ __all__ = [
     "Metrics",
     "NULL_METRICS",
     "NullMetrics",
+    "NULL_OPS",
+    "NullOpCounter",
+    "OpCounter",
+    "active_recorder",
+    "count_ops",
+    "diff_counts",
+    "install_recorder",
+    "record",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_trace",
+    "span",
 ]

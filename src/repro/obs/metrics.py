@@ -46,7 +46,13 @@ def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
 def _format_labels(key: tuple[tuple[str, str], ...]) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    # Prometheus exposition escaping: backslash first, then quotes and
+    # newlines, so a value like `he said "\n"` stays one parseable line.
+    def esc(v: str) -> str:
+        return (v.replace("\\", "\\\\").replace('"', '\\"')
+                .replace("\n", "\\n"))
+
+    inner = ",".join(f'{k}="{esc(v)}"' for k, v in key)
     return "{" + inner + "}"
 
 

@@ -1,0 +1,194 @@
+"""Crypto operation accounting: count primitives, not seconds.
+
+The paper's headline claim is *computational* efficiency — Table 1 states
+search and update costs in cryptographic operations (PRF evaluations,
+block-cipher calls, exponentiations), not milliseconds.  Wall-clock numbers
+from the pure-Python substrate conflate interpreter overhead with protocol
+cost; an exact op count does not.  This module lets a benchmark (or the
+live server) ask "how many AES blocks / PRF evaluations / modexps did that
+search actually perform?" and assert the paper's asymptotics directly.
+
+Design, mirroring :mod:`repro.obs.metrics`:
+
+* **zero-overhead default** — primitives call :func:`record`
+  unconditionally; with the default :data:`NULL_OPS` recorder installed
+  that is one global read and a no-op method call, far below the cost of
+  any primitive being counted;
+* **thread awareness** — an :class:`OpCounter` keeps one plain dict per
+  recording thread (no lock on the hot path), so the service layer can
+  attribute the ops of one request to the worker thread that ran it via
+  :meth:`OpCounter.thread_snapshot` deltas;
+* **scoping** — :func:`count_ops` installs a fresh counter for a ``with``
+  block and restores the previous recorder on exit.
+
+Op names are short stable strings; the full vocabulary lives in
+``docs/observability.md``:
+
+``aes_block``, ``sha256_compress``, ``hmac``, ``prf_eval``, ``prg_expand``,
+``feistel_round``, ``chain_step``, ``modexp``, ``elgamal_encrypt``,
+``elgamal_decrypt``.
+
+Usage::
+
+    from repro.obs.opcount import count_ops
+
+    with count_ops() as ops:
+        client.search("flu")
+    print(ops.snapshot())   # {'prf_eval': 9, 'sha256_compress': 40, ...}
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["OpCounter", "NullOpCounter", "NULL_OPS", "count_ops",
+           "active_recorder", "install_recorder", "record", "diff_counts"]
+
+
+def diff_counts(after: dict[str, int], before: dict[str, int]
+                ) -> dict[str, int]:
+    """Ops performed between two snapshots (zero-count entries dropped).
+
+    Pairs with :meth:`OpCounter.thread_snapshot`: snapshot before and after
+    a request handler runs and the difference is that request's op bill.
+    """
+    return {op: n - before.get(op, 0) for op, n in after.items()
+            if n - before.get(op, 0) > 0}
+
+
+class OpCounter:
+    """Thread-aware operation counter.
+
+    Each recording thread owns a private dict (updated without locking);
+    :meth:`snapshot` merges all of them under a registry lock.  Counts are
+    monotonically increasing until :meth:`reset`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._per_thread: list[dict[str, int]] = []
+
+    def _thread_counts(self) -> dict[str, int]:
+        counts = getattr(self._local, "counts", None)
+        if counts is None:
+            counts = {}
+            self._local.counts = counts
+            with self._lock:
+                self._per_thread.append(counts)
+        return counts
+
+    def add(self, op: str, n: int = 1) -> None:
+        """Record *n* occurrences of operation *op* on this thread."""
+        counts = getattr(self._local, "counts", None)
+        if counts is None:
+            counts = self._thread_counts()
+        counts[op] = counts.get(op, 0) + n
+
+    def thread_snapshot(self) -> dict[str, int]:
+        """Copy of the *calling thread's* counts only.
+
+        The service layer takes one before and one after a handler runs;
+        the difference is exactly the ops that request performed, however
+        many other worker threads were recording concurrently.
+        """
+        return dict(self._thread_counts())
+
+    def snapshot(self) -> dict[str, int]:
+        """Merged counts across every thread that ever recorded."""
+        with self._lock:
+            per_thread = list(self._per_thread)
+        merged: dict[str, int] = {}
+        for counts in per_thread:
+            # Copy before iterating: the owning thread may still be writing.
+            for op, n in list(counts.items()):
+                merged[op] = merged.get(op, 0) + n
+        return merged
+
+    def get(self, op: str) -> int:
+        """Merged count for one operation (0 if never recorded)."""
+        return self.snapshot().get(op, 0)
+
+    def total(self) -> int:
+        """Sum of all counts across all ops and threads."""
+        return sum(self.snapshot().values())
+
+    def reset(self) -> None:
+        """Zero every thread's counts."""
+        with self._lock:
+            for counts in self._per_thread:
+                counts.clear()
+
+
+class NullOpCounter:
+    """Recorder that drops everything — the zero-overhead default."""
+
+    def add(self, op: str, n: int = 1) -> None:  # noqa: D102 - no-op
+        pass
+
+    def thread_snapshot(self) -> dict[str, int]:
+        """Always empty."""
+        return {}
+
+    def snapshot(self) -> dict[str, int]:
+        """Always empty."""
+        return {}
+
+    def get(self, op: str) -> int:
+        """Always zero."""
+        return 0
+
+    def total(self) -> int:
+        """Always zero."""
+        return 0
+
+    def reset(self) -> None:  # noqa: D102 - no-op
+        pass
+
+
+NULL_OPS = NullOpCounter()
+
+_active: OpCounter | NullOpCounter = NULL_OPS
+
+
+def active_recorder() -> OpCounter | NullOpCounter:
+    """The recorder every primitive currently reports to."""
+    return _active
+
+
+def install_recorder(recorder: OpCounter | NullOpCounter
+                     ) -> OpCounter | NullOpCounter:
+    """Install *recorder* globally; returns the previous one.
+
+    Installation is process-wide on purpose: crypto primitives run on
+    whatever thread calls them, and the recorder separates threads itself.
+    Prefer the :func:`count_ops` context manager for scoped use.
+    """
+    global _active
+    previous = _active
+    _active = recorder if recorder is not None else NULL_OPS
+    return previous
+
+
+def record(op: str, n: int = 1) -> None:
+    """Hot-path hook the crypto primitives call; no-op by default."""
+    _active.add(op, n)
+
+
+class count_ops:
+    """``with count_ops() as ops:`` — scoped operation accounting.
+
+    Installs a fresh :class:`OpCounter` (or the one passed in) for the
+    duration of the block and restores the previous recorder afterwards.
+    """
+
+    def __init__(self, counter: OpCounter | None = None) -> None:
+        self.counter = counter if counter is not None else OpCounter()
+        self._previous: OpCounter | NullOpCounter | None = None
+
+    def __enter__(self) -> OpCounter:
+        self._previous = install_recorder(self.counter)
+        return self.counter
+
+    def __exit__(self, *exc_info) -> None:
+        install_recorder(self._previous)

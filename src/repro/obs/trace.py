@@ -1,0 +1,331 @@
+"""End-to-end request tracing for the SSE service layer.
+
+A *trace* follows one protocol request across every hop it touches: the
+client's channel, the transport (including reconnect attempts), the
+server's worker queue, the read/write lock, the scheme handler, and the
+durable-storage flush.  Each hop records a *span* — a named, timed segment
+with optional attributes (message type, retry attempt, crypto op counts).
+
+Trace IDs are 8 opaque bytes minted by the client's
+:class:`~repro.net.channel.Channel` and carried inside the wire frame
+envelope (see :meth:`repro.net.messages.Message.serialize`), so the server
+side of a TCP deployment stitches its spans onto the same ID the client
+minted — export both sides' JSONL and join on ``trace_id``.
+
+Design notes, matching :mod:`repro.obs.metrics`:
+
+* **zero-overhead default** — components take ``tracer=None`` and skip
+  everything; the module-level :func:`span` helper costs one thread-local
+  read when no trace is active;
+* **thread-local propagation** — the active trace is bound to the current
+  thread (:func:`current_trace`), so deep layers (the durable server's
+  flush, the retry loop) attach spans without any plumbing;
+* **bounded retention** — finished traces live in a ring buffer
+  (default 256) so a long-running server cannot leak memory into its own
+  observability layer.
+
+Usage::
+
+    tracer = Tracer()
+    channel = Channel(transport, tracer=tracer)      # client side
+    server = TcpSseServer(handler, tracer=tracer)    # server side
+    client.search("flu")
+    for trace in tracer.finished_traces():
+        print(trace.trace_id, [s.name for s in trace.spans])
+    tracer.export_jsonl("traces.jsonl")
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import struct
+import threading
+import time
+from collections import deque
+
+from repro.errors import ParameterError
+
+__all__ = ["Span", "Trace", "Tracer", "NullTracer", "NULL_TRACER",
+           "TRACE_ID_SIZE", "current_trace", "span"]
+
+#: Wire width of a trace ID in bytes.
+TRACE_ID_SIZE = 8
+
+_thread = threading.local()  # .trace — the Trace active on this thread
+
+
+class Span:
+    """One named, timed segment of a trace."""
+
+    __slots__ = ("name", "start_s", "duration_s", "attrs")
+
+    def __init__(self, name: str, start_s: float, duration_s: float,
+                 attrs: dict | None = None) -> None:
+        self.name = name
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.attrs = attrs if attrs is not None else {}
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (used by JSONL export and STATS)."""
+        out = {"name": self.name, "start_s": self.start_s,
+               "duration_s": self.duration_s}
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, duration_s={self.duration_s:.6f}, "
+                f"attrs={self.attrs})")
+
+
+class Trace:
+    """All spans recorded for one request, keyed by its trace ID.
+
+    Spans may be appended from several threads (client thread plus server
+    worker in an in-process test); appends are lock-protected.  ``_refs``
+    counts how many components have begun-but-not-finished the trace so the
+    tracer retires it exactly once.
+    """
+
+    def __init__(self, trace_id: str, message_type: str) -> None:
+        self.trace_id = trace_id
+        self.message_type = message_type
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._refs = 0
+
+    def add_span(self, span_: Span) -> None:
+        """Append one completed span."""
+        with self._lock:
+            self.spans.append(span_)
+
+    def span_names(self) -> set[str]:
+        """The distinct span names recorded so far."""
+        with self._lock:
+            return {s.name for s in self.spans}
+
+    def find_spans(self, name: str) -> list[Span]:
+        """All spans with the given name, in recording order."""
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation of the whole trace."""
+        with self._lock:
+            spans = [s.to_dict() for s in self.spans]
+        return {"trace_id": self.trace_id,
+                "message_type": self.message_type,
+                "spans": spans}
+
+    def __repr__(self) -> str:
+        return (f"Trace({self.trace_id}, type={self.message_type}, "
+                f"spans={len(self.spans)})")
+
+
+def current_trace() -> Trace | None:
+    """The trace bound to the calling thread, if any."""
+    return getattr(_thread, "trace", None)
+
+
+class _SpanContext:
+    """Context manager measuring one span against the thread's trace.
+
+    When no trace is active the context is inert: entering costs one
+    thread-local read and nothing is recorded.
+    """
+
+    __slots__ = ("_name", "attrs", "_trace", "_start")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self._name = name
+        self.attrs = attrs
+        self._trace: Trace | None = None
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanContext":
+        self._trace = current_trace()
+        if self._trace is not None:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._trace is not None:
+            self._trace.add_span(Span(
+                self._name, self._start,
+                time.perf_counter() - self._start, self.attrs,
+            ))
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span (e.g. op-count deltas)."""
+        self.attrs.update(attrs)
+
+
+def span(name: str, **attrs) -> _SpanContext:
+    """``with span("server.handle", type=...):`` — record one timed span.
+
+    Attaches to whatever trace is active on the calling thread; a cheap
+    no-op otherwise, so deep layers (storage flush, retry loop) call it
+    unconditionally.
+    """
+    return _SpanContext(name, attrs)
+
+
+class _Activation:
+    """Binds a trace to the current thread for a ``with`` block."""
+
+    __slots__ = ("_trace", "_previous")
+
+    def __init__(self, trace: Trace | None) -> None:
+        self._trace = trace
+        self._previous: Trace | None = None
+
+    def __enter__(self) -> Trace | None:
+        self._previous = current_trace()
+        _thread.trace = self._trace
+        return self._trace
+
+    def __exit__(self, *exc_info) -> None:
+        _thread.trace = self._previous
+
+
+class Tracer:
+    """Mints trace IDs, tracks active traces, retains finished ones.
+
+    One tracer per process side (client or server) is typical; sharing a
+    single tracer across both sides of an in-process channel merges the
+    spans of each request into one trace object directly.
+    """
+
+    def __init__(self, max_finished: int = 256) -> None:
+        if max_finished < 1:
+            raise ParameterError("tracer must retain at least one trace")
+        self._lock = threading.Lock()
+        self._active: dict[str, Trace] = {}
+        self._finished: deque[Trace] = deque(maxlen=max_finished)
+        # 4 random bytes distinguish tracers across processes; 4 counter
+        # bytes distinguish requests within one.  Randomness is consumed
+        # once, at construction, keeping per-request work deterministic.
+        self._id_base = os.urandom(4)
+        self._id_counter = itertools.count(1)
+
+    def mint(self) -> bytes:
+        """A fresh 8-byte trace ID."""
+        return self._id_base + struct.pack(
+            ">I", next(self._id_counter) & 0xFFFFFFFF)
+
+    def begin(self, trace_id: bytes, message_type: str) -> Trace:
+        """Get or create the active trace for *trace_id*.
+
+        Each ``begin`` must be paired with one :meth:`finish`; the trace
+        retires when the last participant finishes.
+        """
+        key = trace_id.hex()
+        with self._lock:
+            trace = self._active.get(key)
+            if trace is None:
+                trace = Trace(key, message_type)
+                self._active[key] = trace
+            trace._refs += 1
+            return trace
+
+    def finish(self, trace: Trace) -> None:
+        """Release one participant's hold; retire the trace on the last."""
+        with self._lock:
+            trace._refs -= 1
+            if trace._refs <= 0 and trace.trace_id in self._active:
+                del self._active[trace.trace_id]
+                self._finished.append(trace)
+
+    def activate(self, trace: Trace | None) -> _Activation:
+        """Bind *trace* to the current thread for a ``with`` block."""
+        return _Activation(trace)
+
+    def active_traces(self) -> list[Trace]:
+        """Traces currently in flight."""
+        with self._lock:
+            return list(self._active.values())
+
+    def finished_traces(self) -> list[Trace]:
+        """The retained ring of completed traces, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def export_jsonl(self, destination) -> int:
+        """Write finished traces as JSON lines; returns the trace count.
+
+        *destination* is a path or a writable text file object.
+        """
+        traces = self.finished_traces()
+        if hasattr(destination, "write"):
+            for trace in traces:
+                destination.write(json.dumps(trace.to_dict(),
+                                             sort_keys=True) + "\n")
+        else:
+            with open(destination, "w") as fh:
+                for trace in traces:
+                    fh.write(json.dumps(trace.to_dict(),
+                                        sort_keys=True) + "\n")
+        return len(traces)
+
+    def summarize(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Per-message-type, per-span-name aggregate over finished traces.
+
+        Returns ``{message_type: {span_name: {"count", "total_s",
+        "mean_s", "max_s"}}}`` — the at-a-glance answer to "where does a
+        search spend its time?".
+        """
+        summary: dict[str, dict[str, dict[str, float]]] = {}
+        for trace in self.finished_traces():
+            by_span = summary.setdefault(trace.message_type, {})
+            for span_ in trace.to_dict()["spans"]:
+                row = by_span.setdefault(span_["name"], {
+                    "count": 0, "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0,
+                })
+                row["count"] += 1
+                row["total_s"] += span_["duration_s"]
+                row["max_s"] = max(row["max_s"], span_["duration_s"])
+        for by_span in summary.values():
+            for row in by_span.values():
+                row["mean_s"] = row["total_s"] / row["count"]
+        return summary
+
+
+class NullTracer:
+    """Drop-in no-op tracer for call sites that want one object anyway."""
+
+    def mint(self) -> bytes:
+        """A constant all-zero ID (never attached to a message)."""
+        return b"\x00" * TRACE_ID_SIZE
+
+    def begin(self, trace_id: bytes, message_type: str) -> None:
+        """No trace is created."""
+        return None
+
+    def finish(self, trace) -> None:  # noqa: D102 - no-op
+        pass
+
+    def activate(self, trace) -> _Activation:
+        """Binds nothing (clears any inherited trace for the block)."""
+        return _Activation(None)
+
+    def active_traces(self) -> list:
+        """Always empty."""
+        return []
+
+    def finished_traces(self) -> list:
+        """Always empty."""
+        return []
+
+    def export_jsonl(self, destination) -> int:
+        """Writes nothing."""
+        return 0
+
+    def summarize(self) -> dict:
+        """Always empty."""
+        return {}
+
+
+NULL_TRACER = NullTracer()

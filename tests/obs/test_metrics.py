@@ -114,6 +114,76 @@ class TestRegistry:
             t.join()
         assert counter.value == 8000
 
+    def test_label_values_escape_quotes_and_backslashes(self):
+        # Regression: a quote or backslash in a label value used to land
+        # verbatim in the exposition line, corrupting it for any parser.
+        m = Metrics()
+        m.counter("errors_total", detail='he said "no"').inc()
+        m.counter("paths_total", path="C:\\logs").inc()
+        m.counter("multiline_total", msg="a\nb").inc()
+        text = m.render_text()
+        assert 'detail="he said \\"no\\""' in text
+        assert 'path="C:\\\\logs"' in text
+        assert 'msg="a\\nb"' in text
+        # Every rendered line stays a single line.
+        assert all(line.count('"') % 2 == 0 for line in text.splitlines())
+
+    def test_escaped_labels_round_trip_distinct_instruments(self):
+        m = Metrics()
+        m.counter("x", v='a"b').inc()
+        m.counter("x", v="a\\b").inc(2)
+        snap = m.snapshot()
+        assert snap['x{v="a\\"b"}'] == 1
+        assert snap['x{v="a\\\\b"}'] == 2
+
+    def test_histogram_quantiles_after_window_wraparound(self):
+        # More samples than the default 4096-slot window: quantiles must
+        # reflect the most recent window, not the overwritten prefix.
+        h = Histogram()
+        for _ in range(5000):
+            h.observe(100000.0)
+        for v in range(1, 4097):
+            h.observe(float(v))
+        assert h.count == 5000 + 4096
+        assert h.max == 100000.0
+        assert h.p50 == pytest.approx(2048.0, rel=0.02)
+        assert h.p95 == pytest.approx(3891.0, rel=0.02)
+        assert h.quantile(1.0) == 4096.0
+
+    def test_concurrent_same_name_same_labels_single_instrument(self):
+        # Races on first-touch creation must still converge on ONE
+        # instrument per (name, labels) — otherwise increments vanish.
+        m = Metrics()
+        barrier = threading.Barrier(8)
+
+        def spin(i):
+            barrier.wait()
+            for _ in range(500):
+                m.counter("hits_total", route="/search").inc()
+                m.histogram("lat_seconds", route="/search").observe(0.001)
+
+        threads = [threading.Thread(target=spin, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("hits_total", route="/search").value == 4000
+        assert m.histogram("lat_seconds", route="/search").count == 4000
+        names = [(name, key) for name, key, _ in m.collect()]
+        assert len(names) == len(set(names)) == 2
+
+    def test_gauge_inc_dec_round_trip(self):
+        m = Metrics()
+        g = m.gauge("active_sessions")
+        for _ in range(100):
+            g.inc()
+        for _ in range(100):
+            g.dec()
+        assert g.value == 0
+        g.inc(2.5)
+        g.dec(2.5)
+        assert g.value == 0
+
 
 class TestNullMetrics:
     def test_all_operations_are_noops(self):

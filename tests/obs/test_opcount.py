@@ -1,0 +1,142 @@
+"""Crypto op accounting: recorder mechanics and primitive instrumentation."""
+
+import threading
+
+from repro.crypto.aes import AES
+from repro.crypto.hmac_sha256 import hmac_sha256
+from repro.crypto.prf import Prf
+from repro.crypto.sha256 import sha256
+from repro.obs.opcount import (NULL_OPS, NullOpCounter, OpCounter,
+                               active_recorder, count_ops, diff_counts,
+                               install_recorder, record)
+
+
+class TestOpCounter:
+    def test_add_and_snapshot(self):
+        ops = OpCounter()
+        ops.add("aes_block")
+        ops.add("aes_block", 4)
+        ops.add("prf_eval")
+        assert ops.snapshot() == {"aes_block": 5, "prf_eval": 1}
+        assert ops.get("aes_block") == 5
+        assert ops.get("never") == 0
+        assert ops.total() == 6
+
+    def test_reset_zeroes_everything(self):
+        ops = OpCounter()
+        ops.add("hmac", 3)
+        ops.reset()
+        assert ops.snapshot() == {}
+
+    def test_threads_record_separately_but_merge(self):
+        ops = OpCounter()
+        ops.add("main_op")
+        seen_in_thread = {}
+
+        def worker():
+            ops.add("thread_op", 7)
+            seen_in_thread.update(ops.thread_snapshot())
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        # The worker's thread-local view excludes the main thread's ops...
+        assert seen_in_thread == {"thread_op": 7}
+        assert ops.thread_snapshot() == {"main_op": 1}
+        # ...while the merged snapshot covers both.
+        assert ops.snapshot() == {"main_op": 1, "thread_op": 7}
+
+    def test_concurrent_recording_loses_nothing(self):
+        ops = OpCounter()
+
+        def spin():
+            for _ in range(1000):
+                ops.add("op")
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ops.get("op") == 8000
+
+
+class TestDiffCounts:
+    def test_delta_between_snapshots(self):
+        before = {"aes_block": 10, "hmac": 2}
+        after = {"aes_block": 15, "hmac": 2, "prf_eval": 3}
+        assert diff_counts(after, before) == {"aes_block": 5, "prf_eval": 3}
+
+    def test_empty_when_nothing_happened(self):
+        snap = {"aes_block": 10}
+        assert diff_counts(snap, dict(snap)) == {}
+
+
+class TestRecorderInstallation:
+    def test_null_is_the_default(self):
+        assert isinstance(active_recorder(), (NullOpCounter, OpCounter))
+
+    def test_install_returns_previous(self):
+        mine = OpCounter()
+        previous = install_recorder(mine)
+        try:
+            assert active_recorder() is mine
+            record("x")
+            assert mine.get("x") == 1
+        finally:
+            install_recorder(previous)
+
+    def test_count_ops_scopes_and_restores(self):
+        before = active_recorder()
+        with count_ops() as ops:
+            record("scoped_op", 2)
+        assert active_recorder() is before
+        assert ops.get("scoped_op") == 2
+
+    def test_null_recorder_drops_everything(self):
+        NULL_OPS.add("anything", 100)
+        assert NULL_OPS.snapshot() == {}
+        assert NULL_OPS.total() == 0
+
+
+class TestPrimitiveInstrumentation:
+    def test_aes_counts_blocks(self):
+        with count_ops() as ops:
+            AES(bytes(16)).encrypt_block(bytes(16))
+        assert ops.get("aes_block") == 1
+
+    def test_sha256_counts_compressions(self):
+        with count_ops() as ops:
+            sha256(b"x" * 200)  # 200 bytes + padding = 4 blocks
+        assert ops.get("sha256_compress") == 4
+
+    def test_hmac_and_prf_count(self):
+        with count_ops() as ops:
+            hmac_sha256(b"k" * 32, b"msg")
+            Prf(b"k" * 32).evaluate(b"msg")
+        assert ops.get("hmac") >= 2  # PRF is HMAC-based
+        assert ops.get("prf_eval") == 1
+
+    def test_uninstrumented_run_records_nothing(self):
+        with count_ops() as outer:
+            pass  # no crypto inside the scope
+        assert outer.snapshot() == {}
+
+
+class TestSearchOpProfiles:
+    """Sanity: a scheme 2 search bills PRF/chain work, not AES."""
+
+    def test_scheme2_server_search_ops(self, master_key):
+        from repro.core import Document
+        from repro.core.registry import make_scheme
+
+        client, server = make_scheme("scheme2", master_key, seed=7)
+        client.store([Document(0, b"body", frozenset({"flu"}))])
+        with count_ops() as ops:
+            result = client.search("flu")
+        assert result.doc_ids == [0]
+        counts = ops.snapshot()
+        # The search round trip evaluates PRFs (verifier + masks) and
+        # Feistel rounds; the only AES is the client decrypting the body.
+        assert counts.get("prf_eval", 0) > 0
+        assert counts.get("feistel_round", 0) > 0

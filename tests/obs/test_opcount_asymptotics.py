@@ -1,0 +1,56 @@
+"""Op counts expose the paper's asymptotics directly.
+
+Table 1's headline: Scheme 2 searches in time independent of the
+collection size (log u index lookup + walk over *matching* entries),
+while SWP scans every stored word.  Instead of timing — noisy on CI —
+we count crypto operations for the same workload at growing corpus
+sizes and assert the shapes.
+"""
+
+from repro.core import Document
+from repro.core.registry import make_scheme
+from repro.obs.opcount import count_ops
+
+CORPUS_SIZES = [32, 64, 128]
+
+
+def _corpus(n):
+    """n documents; "target" appears in exactly one of them."""
+    docs = [Document(i, b"filler body", frozenset({f"word{i}", f"pad{i}"}))
+            for i in range(n - 1)]
+    docs.append(Document(n - 1, b"the interesting one",
+                         frozenset({"target"})))
+    return docs
+
+
+def _search_ops(scheme_name, master_key, n):
+    client, _ = make_scheme(scheme_name, master_key, seed=n)
+    client.store(_corpus(n))
+    client.search("target")  # warm: Scheme 2's first search walks the chain
+    with count_ops() as ops:
+        result = client.search("target")
+    assert result.doc_ids == [n - 1]
+    return ops.total()
+
+
+def test_scheme2_search_ops_independent_of_corpus_size(master_key):
+    totals = [_search_ops("scheme2", master_key, n) for n in CORPUS_SIZES]
+    # 4x the corpus must not even reach 1.5x the ops: the only growth
+    # left is the log u index lookup, and tag lookups are not crypto.
+    assert totals[-1] / totals[0] < 1.5, totals
+
+
+def test_swp_search_ops_scale_linearly_with_corpus_size(master_key):
+    totals = [_search_ops("swp", master_key, n) for n in CORPUS_SIZES]
+    # The linear scan shows: 4x the corpus costs well over 2.5x the ops.
+    assert totals[-1] / totals[0] > 2.5, totals
+    # And each doubling roughly doubles the work (within 30%).
+    for small, big in zip(totals, totals[1:]):
+        assert 1.4 <= big / small <= 2.6, totals
+
+
+def test_scheme2_beats_swp_at_scale(master_key):
+    n = CORPUS_SIZES[-1]
+    s2 = _search_ops("scheme2", master_key, n)
+    swp = _search_ops("swp", master_key, n)
+    assert swp > 2 * s2, (s2, swp)

@@ -1,0 +1,175 @@
+"""Tracing core: spans, trace lifecycle, export, summaries."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.trace import (NULL_TRACER, NullTracer, Span, Trace,
+                             TRACE_ID_SIZE, Tracer, current_trace, span)
+
+
+class TestSpanAndTrace:
+    def test_span_to_dict_omits_empty_attrs(self):
+        s = Span("client.request", 1.0, 0.5)
+        assert s.to_dict() == {"name": "client.request", "start_s": 1.0,
+                               "duration_s": 0.5}
+        s2 = Span("server.handle", 1.0, 0.5, {"type": "ACK"})
+        assert s2.to_dict()["attrs"] == {"type": "ACK"}
+
+    def test_trace_collects_and_queries_spans(self):
+        t = Trace("aabb", "S2_SEARCH_REQUEST")
+        t.add_span(Span("a", 0.0, 0.1))
+        t.add_span(Span("b", 0.1, 0.2))
+        t.add_span(Span("a", 0.3, 0.1))
+        assert t.span_names() == {"a", "b"}
+        assert len(t.find_spans("a")) == 2
+        assert t.to_dict()["trace_id"] == "aabb"
+        assert len(t.to_dict()["spans"]) == 3
+
+
+class TestTracerLifecycle:
+    def test_mint_ids_are_unique_and_sized(self):
+        tracer = Tracer()
+        ids = {tracer.mint() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(len(i) == TRACE_ID_SIZE for i in ids)
+
+    def test_begin_finish_moves_trace_to_finished_ring(self):
+        tracer = Tracer()
+        trace = tracer.begin(tracer.mint(), "STORE_REQUEST")
+        assert tracer.active_traces() == [trace]
+        tracer.finish(trace)
+        assert tracer.active_traces() == []
+        assert tracer.finished_traces() == [trace]
+
+    def test_refcounted_begin_shares_one_trace(self):
+        # Client and server sides of one request each begin/finish; the
+        # trace retires only when the LAST participant finishes.
+        tracer = Tracer()
+        trace_id = tracer.mint()
+        client_side = tracer.begin(trace_id, "S2_SEARCH_REQUEST")
+        server_side = tracer.begin(trace_id, "S2_SEARCH_REQUEST")
+        assert client_side is server_side
+        tracer.finish(server_side)
+        assert tracer.active_traces() == [client_side]
+        tracer.finish(client_side)
+        assert tracer.finished_traces() == [client_side]
+
+    def test_finished_ring_is_bounded(self):
+        tracer = Tracer(max_finished=4)
+        for _ in range(10):
+            tracer.finish(tracer.begin(tracer.mint(), "ACK"))
+        assert len(tracer.finished_traces()) == 4
+
+    def test_rejects_zero_retention(self):
+        with pytest.raises(ParameterError):
+            Tracer(max_finished=0)
+
+
+class TestActivationAndSpans:
+    def test_span_is_inert_without_active_trace(self):
+        assert current_trace() is None
+        with span("anything", key="value") as s:
+            s.set(more="attrs")
+        assert current_trace() is None  # nothing recorded anywhere
+
+    def test_span_records_into_active_trace(self):
+        tracer = Tracer()
+        trace = tracer.begin(tracer.mint(), "STORE_REQUEST")
+        with tracer.activate(trace):
+            assert current_trace() is trace
+            with span("server.handle", type="STORE_REQUEST") as s:
+                s.set(ops={"hmac": 3})
+        assert current_trace() is None
+        (recorded,) = trace.find_spans("server.handle")
+        assert recorded.attrs == {"type": "STORE_REQUEST", "ops": {"hmac": 3}}
+        assert recorded.duration_s >= 0.0
+
+    def test_span_records_even_when_body_raises(self):
+        tracer = Tracer()
+        trace = tracer.begin(tracer.mint(), "STORE_REQUEST")
+        with tracer.activate(trace):
+            with pytest.raises(RuntimeError):
+                with span("transport.attempt", attempt=1):
+                    raise RuntimeError("connection reset")
+        assert trace.span_names() == {"transport.attempt"}
+
+    def test_activation_nests_and_restores(self):
+        tracer = Tracer()
+        outer = tracer.begin(tracer.mint(), "A")
+        inner = tracer.begin(tracer.mint(), "B")
+        with tracer.activate(outer):
+            with tracer.activate(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+
+    def test_activation_is_thread_local(self):
+        tracer = Tracer()
+        trace = tracer.begin(tracer.mint(), "A")
+        seen = []
+
+        def worker():
+            seen.append(current_trace())
+
+        with tracer.activate(trace):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen == [None]  # other threads see no trace
+
+
+class TestExportAndSummaries:
+    def _traced(self, tracer, message_type, spans):
+        trace = tracer.begin(tracer.mint(), message_type)
+        for name, duration in spans:
+            trace.add_span(Span(name, 0.0, duration))
+        tracer.finish(trace)
+        return trace
+
+    def test_export_jsonl_to_path_and_file_object(self, tmp_path):
+        tracer = Tracer()
+        self._traced(tracer, "S2_SEARCH_REQUEST", [("server.handle", 0.25)])
+        path = tmp_path / "traces.jsonl"
+        assert tracer.export_jsonl(str(path)) == 1
+        (line,) = path.read_text().splitlines()
+        doc = json.loads(line)
+        assert doc["message_type"] == "S2_SEARCH_REQUEST"
+        assert doc["spans"][0]["name"] == "server.handle"
+
+        buf = io.StringIO()
+        assert tracer.export_jsonl(buf) == 1
+        assert json.loads(buf.getvalue()) == doc
+
+    def test_summarize_aggregates_per_type_and_span(self):
+        tracer = Tracer()
+        self._traced(tracer, "S2_SEARCH_REQUEST",
+                     [("server.handle", 0.1), ("server.queue_wait", 0.01)])
+        self._traced(tracer, "S2_SEARCH_REQUEST", [("server.handle", 0.3)])
+        self._traced(tracer, "STORE_REQUEST", [("storage.flush", 0.05)])
+        summary = tracer.summarize()
+        handle = summary["S2_SEARCH_REQUEST"]["server.handle"]
+        assert handle["count"] == 2
+        assert handle["total_s"] == pytest.approx(0.4)
+        assert handle["mean_s"] == pytest.approx(0.2)
+        assert handle["max_s"] == pytest.approx(0.3)
+        assert summary["STORE_REQUEST"]["storage.flush"]["count"] == 1
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self, tmp_path):
+        n = NullTracer()
+        assert n.mint() == b"\x00" * TRACE_ID_SIZE
+        assert n.begin(b"\x00" * 8, "ACK") is None
+        n.finish(None)
+        with n.activate(None):
+            assert current_trace() is None
+        assert n.active_traces() == []
+        assert n.finished_traces() == []
+        assert n.export_jsonl(str(tmp_path / "x.jsonl")) == 0
+        assert n.summarize() == {}
+
+    def test_shared_singleton_exists(self):
+        assert isinstance(NULL_TRACER, NullTracer)

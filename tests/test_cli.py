@@ -144,3 +144,24 @@ class TestSubprocessInvocation:
             timeout=300,
         )
         assert result.returncode == 0
+
+
+class TestLiveStats:
+    def test_live_snapshot_from_running_server(self, capsys):
+        from repro.core.registry import make_server
+        from repro.net.tcp import TcpSseServer
+
+        with TcpSseServer(make_server("scheme2")) as tcp:
+            code, out, err = run(
+                ["stats", "--live", "--port", str(tcp.port)], capsys)
+        assert code == 0
+        stats = json.loads(out)
+        assert "metrics" in stats
+        # the stats connection itself is the one open session
+        assert stats["sessions"]["opened"] >= 1
+        assert stats["pool"]["size"] >= 1
+
+    def test_live_without_port_is_an_error(self, capsys):
+        code, out, err = run(["stats", "--live"], capsys)
+        assert code == 1
+        assert "--port" in err
