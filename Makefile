@@ -25,7 +25,8 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_table1_search.py \
-		benchmarks/bench_concurrent_clients.py
+		benchmarks/bench_concurrent_clients.py \
+		benchmarks/bench_batching.py
 
 results: bench
 	@cat benchmarks/results.txt

@@ -1,0 +1,199 @@
+"""The batch pipeline's three promises, measured and asserted.
+
+The wire-level batch envelope exists to amortize three per-message costs
+over a whole bulk operation:
+
+* **round trips** — a bulk load of n documents in batches of b costs
+  ceil(n/b) request/response rounds, not n;
+* **fsyncs** — the durable server drains its journal once per *frame*,
+  so each batch is ONE atomic log append (one fsync), not one per
+  document;
+* **crypto** — the client's bounded derivation caches make a repeat
+  (warm) search spend strictly fewer PRF evaluations and hash-chain
+  steps than the cold one.
+
+Each promise is an assertion here, not just a table row — regressing the
+batch pipeline fails the benchmark suite loudly.  Tables compare the
+batched path against a per-document sequential load on the same durable
+deployment, per scheme.
+"""
+
+import os
+import time
+
+from repro.bench.reporting import format_header, format_table
+from repro.core.persistence import DurableServer
+from repro.core.queries import search_all, search_any
+from repro.core.registry import make_scheme
+from repro.net.channel import Channel
+from repro.obs.metrics import Metrics
+from repro.obs.opcount import count_ops, diff_counts
+from repro.storage.kvstore import LogKvStore
+from repro.workloads.generator import WorkloadSpec, generate_collection
+
+# REPRO_BENCH_SMOKE keeps the shape (multi-keyword docs, several chunks)
+# but shrinks the corpus so CI finishes in seconds.
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+_N_DOCS = 24 if _SMOKE else 100
+_BATCH_SIZE = 8 if _SMOKE else 25
+_N_KEYWORDS = 8 if _SMOKE else 16
+
+
+def _collection():
+    return generate_collection(WorkloadSpec(
+        num_documents=_N_DOCS, unique_keywords=_N_KEYWORDS,
+        keywords_per_doc=4, doc_size_bytes=32, seed=4242,
+    ))
+
+
+def _chunks(documents):
+    return [documents[i:i + _BATCH_SIZE]
+            for i in range(0, len(documents), _BATCH_SIZE)]
+
+
+def _durable_deployment(master_key, tmp_path, label):
+    metrics = Metrics()
+    _, server = make_scheme("scheme2", master_key, seed=0x0F17,
+                            chain_length=256)
+    durable = DurableServer(server, LogKvStore(tmp_path / f"{label}.log"),
+                            metrics=metrics)
+    client, _ = make_scheme("scheme2", master_key,
+                            channel=Channel(durable), seed=0x0F17,
+                            chain_length=256)
+    return client, durable, metrics
+
+
+def _flushes(metrics):
+    return metrics.counter("storage_flushes_total").value
+
+
+def test_bulk_load_amortizes_rounds_and_fsyncs(benchmark, master_key,
+                                               report, bench_json,
+                                               tmp_path):
+    documents = _collection()
+    chunks = _chunks(documents)
+
+    client, durable, metrics = _durable_deployment(master_key, tmp_path,
+                                                   "batched")
+    t0 = time.perf_counter()
+    for chunk in chunks:
+        client.add_documents(chunk)
+    t_batched = time.perf_counter() - t0
+    batched_rounds = client.channel.stats.rounds
+    batched_flushes = _flushes(metrics)
+    durable.close()
+
+    client, durable, metrics = _durable_deployment(master_key, tmp_path,
+                                                   "sequential")
+    t0 = time.perf_counter()
+    for document in documents:
+        client.add_documents([document])
+    t_sequential = time.perf_counter() - t0
+    sequential_rounds = client.channel.stats.rounds
+    sequential_flushes = _flushes(metrics)
+    durable.close()
+
+    # The tentpole claim: O(1) rounds and O(1) fsyncs per BATCH, however
+    # many multi-keyword documents it carries.
+    assert batched_rounds == len(chunks)
+    assert batched_flushes == len(chunks)
+    assert sequential_rounds == len(documents)
+    assert sequential_flushes == len(documents)
+
+    report(format_header(
+        f"Bulk load, {len(documents)} docs (4 keywords each), "
+        f"batches of {_BATCH_SIZE} vs one-by-one [scheme2, durable]"
+    ))
+    report(format_table(
+        ["mode", "rounds", "fsyncs", "ms"],
+        [["batched", str(batched_rounds), str(batched_flushes),
+          f"{t_batched * 1e3:.1f}"],
+         ["sequential", str(sequential_rounds), str(sequential_flushes),
+          f"{t_sequential * 1e3:.1f}"]],
+    ))
+    bench_json({
+        "docs": len(documents), "batch_size": _BATCH_SIZE,
+        "batched": {"rounds": batched_rounds, "fsyncs": batched_flushes},
+        "sequential": {"rounds": sequential_rounds,
+                       "fsyncs": sequential_flushes},
+    })
+
+    def batched_load(tag=[0]):
+        tag[0] += 1
+        client, durable, _ = _durable_deployment(
+            master_key, tmp_path, f"timed-{tag[0]}")
+        for chunk in chunks:
+            client.add_documents(chunk)
+        durable.close()
+
+    benchmark.pedantic(batched_load, rounds=3, iterations=1)
+
+
+def test_multi_keyword_search_is_one_round(benchmark, master_key, report,
+                                           tmp_path):
+    documents = _collection()
+    client, durable, _ = _durable_deployment(master_key, tmp_path, "query")
+    for chunk in _chunks(documents):
+        client.add_documents(chunk)
+    keywords = sorted({kw for d in documents for kw in d.keywords})[:5]
+
+    rounds_before = client.channel.stats.rounds
+    conj = search_all(client, keywords)
+    disj = search_any(client, keywords)
+    rounds_spent = client.channel.stats.rounds - rounds_before
+    # One frame per query, however many terms it carries.
+    assert rounds_spent == 2
+    assert set(disj.doc_ids) >= set(conj.doc_ids)
+
+    report(format_header(
+        f"Multi-keyword search over {len(keywords)} terms [scheme2]"
+    ))
+    report(format_table(
+        ["query", "terms", "rounds", "matches"],
+        [["search_all", str(len(keywords)), "1", str(len(conj.doc_ids))],
+         ["search_any", str(len(keywords)), "1", str(len(disj.doc_ids))]],
+    ))
+    durable.close()
+
+    benchmark.pedantic(lambda: search_any(client, keywords),
+                       rounds=5, iterations=1)
+
+
+def test_warm_cache_spends_less_crypto(benchmark, master_key, report,
+                                       bench_json, tmp_path):
+    documents = _collection()
+    client, durable, _ = _durable_deployment(master_key, tmp_path, "warm")
+    for chunk in _chunks(documents):
+        client.add_documents(chunk)
+    keywords = sorted({kw for d in documents for kw in d.keywords})[:5]
+
+    with count_ops() as ops:
+        mark = ops.snapshot()
+        cold_results = [client.search(k) for k in keywords]
+        cold = diff_counts(ops.snapshot(), mark)
+        mark = ops.snapshot()
+        warm_results = [client.search(k) for k in keywords]
+        warm = diff_counts(ops.snapshot(), mark)
+
+    assert [r.doc_ids for r in warm_results] == [r.doc_ids
+                                                 for r in cold_results]
+    # The cache promise: repeating the same searches re-derives nothing,
+    # so the warm pass performs strictly fewer PRF evaluations and chain
+    # steps (what remains is the server's share of the walk).
+    assert warm.get("prf_eval", 0) < cold["prf_eval"]
+    assert warm.get("chain_step", 0) < cold["chain_step"]
+
+    rows = [[op, str(cold.get(op, 0)), str(warm.get(op, 0))]
+            for op in ("prf_eval", "chain_step", "aes_block", "hmac")
+            if op in cold or op in warm]
+    report(format_header(
+        f"Crypto ops, cold vs warm search of {len(keywords)} keywords "
+        f"[scheme2]"
+    ))
+    report(format_table(["op", "cold", "warm"], rows))
+    bench_json({"cold": cold, "warm": warm,
+                "cache": client.cache_stats()})
+    durable.close()
+
+    benchmark.pedantic(lambda: [client.search(k) for k in keywords],
+                       rounds=5, iterations=1)

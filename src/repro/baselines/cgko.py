@@ -86,6 +86,8 @@ class CgkoServer(SnapshotStateMixin, SseServerHandler):
 
     def handle(self, message: Message) -> Message:
         """Index uploads replace everything; search walks one list."""
+        if message.type == MessageType.BATCH_REQUEST:
+            return self.handle_batch(message)
         if message.type == MessageType.STORE_DOCUMENT:
             fields = message.fields
             if len(fields) % 2:
@@ -199,7 +201,7 @@ class CgkoClient(SseClient):
 
     STATE_FORMAT = "repro.cgko.client/1"
 
-    def __init__(self, master_key: MasterKey, channel: Channel,
+    def __init__(self, master_key: MasterKey, channel: Channel, *,
                  padding_factor: float = 1.25,
                  rng: RandomSource | None = None) -> None:
         super().__init__(channel)
@@ -240,8 +242,8 @@ class CgkoClient(SseClient):
     def _mask(self, keyword: str) -> bytes:
         return self._mask_prf.evaluate(keyword.encode("utf-8"))[:_TABLE_VALUE_SIZE]
 
-    def _rebuild_index(self) -> None:
-        """Sample fresh addresses/keys for every list and upload the array."""
+    def _index_message(self) -> Message:
+        """Sample fresh addresses/keys for every list; the upload message."""
         n_real = sum(len(ids) for ids in self._plain_index.values())
         n_total = max(8, int(n_real * self._padding_factor))
         # Distinct random addresses from a 2^63 space.
@@ -273,13 +275,17 @@ class CgkoClient(SseClient):
         for addr in free[cursor:]:
             fields.append(addr.to_bytes(8, "big"))
             fields.append(self._rng.random_bytes(_NODE_PLAIN_SIZE))
-        self._channel.request(
-            Message(MessageType.S1_STORE_ENTRY,
-                    tuple(fields) + tuple(table_fields))
-        ).expect(MessageType.ACK)
+        return Message(MessageType.S1_STORE_ENTRY,
+                       tuple(fields) + tuple(table_fields))
 
     def store(self, documents: Sequence[Document]) -> None:
-        """Upload documents and build the encrypted inverted index."""
+        """Upload documents and build the encrypted inverted index.
+
+        Document bodies and the rebuilt index travel in ONE batch frame,
+        so the server applies (and persists) the whole rebuild atomically
+        — a crash can never leave new documents visible without their
+        index entries.
+        """
         fields: list[bytes] = []
         for doc in documents:
             fields.append(encode_doc_id(doc.doc_id))
@@ -288,11 +294,13 @@ class CgkoClient(SseClient):
             ))
             for keyword in doc.keywords:
                 self._plain_index.setdefault(keyword, set()).add(doc.doc_id)
+        messages: list[Message] = []
         if fields:
-            self._channel.request(
-                Message(MessageType.STORE_DOCUMENT, tuple(fields))
-            ).expect(MessageType.ACK)
-        self._rebuild_index()
+            messages.append(
+                Message(MessageType.STORE_DOCUMENT, tuple(fields)))
+        messages.append(self._index_message())
+        for reply in self._channel.request_many(messages):
+            reply.expect(MessageType.ACK)
 
     def add_documents(self, documents: Sequence[Document]) -> None:
         """Updates trigger a full rebuild — the cost this baseline exists

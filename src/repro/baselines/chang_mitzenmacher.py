@@ -72,6 +72,8 @@ class CmServer(SnapshotStateMixin, SseServerHandler):
 
     def handle(self, message: Message) -> Message:
         """Store (id, body, masked row) triples; search opens one column."""
+        if message.type == MessageType.BATCH_REQUEST:
+            return self.handle_batch(message)
         if message.type == MessageType.STORE_DOCUMENT:
             return self._handle_store(message)
         if message.type == MessageType.CGKO_SEARCH_REQUEST:
@@ -153,7 +155,7 @@ class CmClient(SseClient):
 
     STATE_FORMAT = "repro.cm.client/1"
 
-    def __init__(self, master_key: MasterKey, channel: Channel,
+    def __init__(self, master_key: MasterKey, channel: Channel, *,
                  dictionary: Sequence[str],
                  rng: RandomSource | None = None) -> None:
         super().__init__(channel)
@@ -236,4 +238,5 @@ def make_cm(master_key: MasterKey, dictionary: Sequence[str],
     """Wire up the Chang–Mitzenmacher baseline over an instrumented channel."""
     server = CmServer(dictionary_size=len(dictionary))
     channel = Channel(server, model=model)
-    return CmClient(master_key, channel, dictionary, rng=rng), server, channel
+    return (CmClient(master_key, channel, dictionary=dictionary, rng=rng),
+            server, channel)

@@ -65,6 +65,8 @@ class GohServer(SnapshotStateMixin, SseServerHandler):
 
     def handle(self, message: Message) -> Message:
         """Store (id, body, filter) triples; search probes every filter."""
+        if message.type == MessageType.BATCH_REQUEST:
+            return self.handle_batch(message)
         if message.type == MessageType.STORE_DOCUMENT:
             return self._handle_store(message)
         if message.type == MessageType.GOH_SEARCH_REQUEST:
@@ -154,7 +156,7 @@ class GohClient(SseClient):
 
     STATE_FORMAT = "repro.goh.client/1"
 
-    def __init__(self, master_key: MasterKey, channel: Channel,
+    def __init__(self, master_key: MasterKey, channel: Channel, *,
                  expected_keywords_per_doc: int = 64,
                  false_positive_rate: float = DEFAULT_FP_RATE,
                  blind: bool = True,

@@ -65,6 +65,8 @@ class NaiveServer(SnapshotStateMixin, SseServerHandler):
 
     def handle(self, message: Message) -> Message:
         """STORE_DOCUMENT pairs in; NAIVE_FETCH_ALL returns the world."""
+        if message.type == MessageType.BATCH_REQUEST:
+            return self.handle_batch(message)
         if message.type == MessageType.STORE_DOCUMENT:
             fields = message.fields
             if len(fields) % 2:
@@ -87,7 +89,7 @@ class NaiveClient(SseClient):
 
     STATE_FORMAT = "repro.naive.client/1"
 
-    def __init__(self, master_key: MasterKey, channel: Channel,
+    def __init__(self, master_key: MasterKey, channel: Channel, *,
                  rng: RandomSource | None = None) -> None:
         super().__init__(channel)
         self._cipher = AuthenticatedCipher(

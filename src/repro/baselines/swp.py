@@ -67,6 +67,8 @@ class SwpServer(SnapshotStateMixin, SseServerHandler):
 
     def handle(self, message: Message) -> Message:
         """STORE_DOCUMENT pairs / word-list triples; linear-scan search."""
+        if message.type == MessageType.BATCH_REQUEST:
+            return self.handle_batch(message)
         if message.type == MessageType.STORE_DOCUMENT:
             return self._handle_store(message)
         if message.type == MessageType.SWP_SEARCH_REQUEST:
@@ -158,7 +160,7 @@ class SwpClient(SseClient):
 
     STATE_FORMAT = "repro.swp.client/1"
 
-    def __init__(self, master_key: MasterKey, channel: Channel,
+    def __init__(self, master_key: MasterKey, channel: Channel, *,
                  rng: RandomSource | None = None) -> None:
         super().__init__(channel)
         self._rng = rng if rng is not None else SystemRandomSource()

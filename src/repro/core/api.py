@@ -8,9 +8,13 @@ The paper's conventional-scheme skeleton (§3) — Keygen, Storage (DataStorage
   single ``handle(message)`` entry point (it is honest-but-curious: it runs
   the protocol faithfully but sees every byte).
 
-``SseClient`` is the user-facing surface: ``store``, ``search``,
-``add_documents``.  Implementations differ in how many rounds each call
-costs — exactly what Table 1 compares.
+``SseClient`` is the single user-facing surface: ``store``,
+``add_documents``, ``remove_documents``, ``search``, ``search_batch``,
+``export_state``, ``import_state``.  Implementations differ in how many
+rounds each call costs — exactly what Table 1 compares.  By convention
+every concrete client constructor takes its required collaborators
+(master key, channel) positionally and **every option keyword-only**, so
+adding an option never silently shifts an argument.
 """
 
 from __future__ import annotations
@@ -20,8 +24,13 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.documents import Document
-from repro.errors import ParameterError
+from repro.errors import ParameterError, ReproError
 from repro.net.channel import Channel
+from repro.net.messages import (Message, MessageType, pack_batch_result,
+                                unpack_batch)
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.opcount import active_recorder, diff_counts
+from repro.obs.trace import span
 
 __all__ = ["SseClient", "SseServerHandler", "SearchResult"]
 
@@ -84,6 +93,47 @@ class SseServerHandler(abc.ABC):
     def handle(self, message):
         """Process one protocol message and return the reply message."""
 
+    def handle_batch(self, message: Message) -> Message:
+        """Execute a ``BATCH_REQUEST``: every inner item, one reply frame.
+
+        Items run in order through :meth:`handle`.  A failing item is
+        answered in-position by an ``ERROR`` message carrying the error
+        class name — the remaining items still execute, so one bad item
+        never poisons the batch.  Under a service wrapper the whole batch
+        runs inside a single lock acquisition (classification happens in
+        ``repro.net.session``) and flushes as one journal append (see
+        ``repro.core.persistence``).
+
+        Observability: a ``server.batch`` span wraps the batch, each item
+        gets a ``server.batch_item`` span carrying its own crypto-op
+        delta, and the ``batch_items{side="server"}`` histogram records
+        the batch size.
+        """
+        inner = unpack_batch(message)
+        metrics = getattr(self, "metrics", None) or NULL_METRICS
+        metrics.histogram("batch_items", side="server").observe(len(inner))
+        replies: list[Message] = []
+        with span("server.batch", items=len(inner)):
+            for item in inner:
+                try:
+                    with span("server.batch_item",
+                              type=item.type.name) as sp:
+                        ops = active_recorder()
+                        before = ops.thread_snapshot()
+                        reply = self.handle(item)
+                        delta = diff_counts(ops.thread_snapshot(), before)
+                        if delta:
+                            sp.set(ops=delta)
+                except ReproError as exc:
+                    metrics.counter("batch_item_errors_total",
+                                    type=item.type.name).inc()
+                    replies.append(Message(
+                        MessageType.ERROR,
+                        (type(exc).__name__.encode("utf-8"),)))
+                else:
+                    replies.append(reply)
+        return pack_batch_result(replies)
+
     @property
     @abc.abstractmethod
     def unique_keywords(self) -> int:
@@ -138,9 +188,30 @@ class SseClient(abc.ABC):
     def add_documents(self, documents: Sequence[Document]) -> None:
         """MetadataStorage update: add new documents after initial storage."""
 
+    def remove_documents(self, documents: Sequence[Document]) -> None:
+        """Remove *documents* (bodies and index references) if supported.
+
+        Schemes whose update protocol cannot express removal (the static
+        baselines) inherit this default and raise ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support document removal"
+        )
+
     @abc.abstractmethod
     def search(self, keyword: str) -> SearchResult:
         """Trapdoor + Search: retrieve all documents containing *keyword*."""
+
+    def search_batch(self, keywords: Sequence[str]) -> list[SearchResult]:
+        """Search several keywords; results align with *keywords*.
+
+        This default issues one round-trip per keyword.  Batch-capable
+        clients (Scheme 1, Scheme 2) override it to ship every trapdoor
+        in a single ``BATCH_REQUEST`` frame — same results, one round.
+        Callers may rely on position *i* of the result answering
+        ``keywords[i]``.
+        """
+        return [self.search(keyword) for keyword in keywords]
 
     def export_state(self) -> dict:
         """Return the client's non-key state as a JSON-safe dict."""

@@ -1,0 +1,95 @@
+"""A small bounded LRU cache for client-side derived crypto values.
+
+Scheme clients re-derive the same per-keyword values — PRF tags, hash
+chains, trapdoors — on every call.  Those derivations are pure functions
+of (key material, epoch, counter, keyword), so a repeated search can skip
+them entirely.  :class:`BoundedCache` is the one cache type used for
+this: least-recently-used eviction with a hard entry cap (a client that
+searches a million distinct keywords must not grow without bound), and
+hit/miss counters the benchmarks read to prove warm searches are cheaper.
+
+Invalidation is the caller's job and is deliberately coarse:
+:meth:`BoundedCache.clear` on any event that changes the derivation
+inputs (epoch re-keying, counter advance, state import).  Entries keyed
+on ``(epoch, keyword)`` or ``(epoch, ctr, keyword)`` never need partial
+invalidation — a stale epoch or counter simply never gets looked up
+again and ages out of the LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, TypeVar
+
+from repro.errors import ParameterError
+
+__all__ = ["BoundedCache", "DEFAULT_CACHE_SIZE"]
+
+#: Default entry cap: plenty for a working set of hot keywords while
+#: bounding a client's memory at a few thousand small derived values.
+DEFAULT_CACHE_SIZE = 1024
+
+_V = TypeVar("_V")
+
+
+class BoundedCache:
+    """LRU-evicting mapping with a hard size cap and hit/miss counters.
+
+    Not thread-safe by design: clients are single-threaded protocol
+    drivers (the server side is where concurrency lives).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        if max_entries < 1:
+            raise ParameterError("cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default=None):
+        """Return the cached value (refreshing its recency), or *default*."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/refresh *key*, evicting the LRU entry past the cap."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], _V]) -> _V:
+        """Return the cached value, computing and storing it on a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self.put(key, value)
+            return value
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of size and counters, for stats displays and tests."""
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "max_entries": self.max_entries}

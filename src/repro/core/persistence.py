@@ -36,7 +36,7 @@ import json
 
 from repro.core.api import SseClient
 from repro.net.messages import Message
-from repro.net.session import is_read_message
+from repro.net.session import is_read_request
 from repro.obs.metrics import Metrics, NULL_METRICS
 from repro.obs.trace import span
 from repro.storage.kvstore import KvStore
@@ -123,9 +123,12 @@ class DurableServer:
     def handle(self, message: Message) -> Message:
         """Handle one message, then persist whatever it changed.
 
-        The flush runs even when the handler raises: a batch that failed
-        halfway may already have mutated in-memory state, and disk must
-        follow memory, not the reply code.
+        One *outer* message means one flush, so a ``BATCH_REQUEST``
+        costs exactly one journal drain and one fsync no matter how many
+        keyword entries it carried — the durability half of the batch
+        pipeline.  The flush runs even when the handler raises: a batch
+        that failed halfway may already have mutated in-memory state, and
+        disk must follow memory, not the reply code.
         """
         try:
             return self._inner.handle(message)
@@ -137,7 +140,7 @@ class DurableServer:
             if self._journal.dirty:
                 upserts, deletes = self._journal.drain()
                 self._write_batch(upserts, deletes)
-        elif not is_read_message(message.type):
+        elif not is_read_request(message):
             self.sync()
 
     def _write_batch(self, upserts: dict[bytes, bytes],

@@ -5,9 +5,14 @@ compose them on the *client*, which costs one SSE search per distinct term
 but leaks only the individual access patterns — the standard trade-off
 until dedicated conjunctive schemes.
 
-``search_all`` (conjunction) orders terms so the client can stop early on
-an empty intersection; ``search_any`` (disjunction) unions results and
-deduplicates bodies.
+Both composers ship every distinct term through the client's
+:meth:`~repro.core.api.SseClient.search_batch`, so the whole query costs
+the scheme's round count ONCE (one batch frame per protocol round), not
+once per term.  Result contracts, stable across schemes and releases:
+
+* the result's ``keyword`` label is the normalized distinct terms joined
+  with ``" AND "`` / ``" OR "`` in first-seen order;
+* ``doc_ids`` are ascending and ``documents`` align with them.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ def _validated(keywords: Sequence[str]) -> list[str]:
     terms = [normalize_keyword(w) for w in keywords]
     if not terms:
         raise ParameterError("boolean queries need at least one keyword")
-    # Deduplicate, preserving order (repeats add rounds, never results).
+    # Deduplicate, preserving order (repeats add bandwidth, never results).
     seen: set[str] = set()
     unique = []
     for term in terms:
@@ -35,17 +40,30 @@ def _validated(keywords: Sequence[str]) -> list[str]:
     return unique
 
 
+def _batched_search(client: SseClient,
+                    terms: Sequence[str]) -> list[SearchResult]:
+    """One search per term, batched when the client supports it.
+
+    Every :class:`SseClient` grows a ``search_batch`` (the base class
+    falls back to sequential searches), but duck-typed clients from
+    before the batching API get the same sequential fallback here.
+    """
+    search_batch = getattr(client, "search_batch", None)
+    if search_batch is None:
+        return [client.search(term) for term in terms]
+    return search_batch(terms)
+
+
 def search_all(client: SseClient, keywords: Sequence[str]) -> SearchResult:
     """Conjunction: documents containing *every* keyword.
 
-    Stops issuing queries as soon as the running intersection is empty, so
-    worst-case cost is one search per distinct term and best-case is one.
+    All terms travel in one batched query, so the conjunction costs the
+    scheme's per-search round count once regardless of term count.
     """
     terms = _validated(keywords)
     label = " AND ".join(terms)
     surviving: dict[int, bytes] | None = None
-    for term in terms:
-        result = client.search(term)
+    for result in _batched_search(client, terms):
         found = dict(zip(result.doc_ids, result.documents))
         if surviving is None:
             surviving = found
@@ -66,8 +84,7 @@ def search_any(client: SseClient, keywords: Sequence[str]) -> SearchResult:
     terms = _validated(keywords)
     label = " OR ".join(terms)
     merged: dict[int, bytes] = {}
-    for term in terms:
-        result = client.search(term)
+    for result in _batched_search(client, terms):
         for doc_id, body in zip(result.doc_ids, result.documents):
             merged.setdefault(doc_id, body)
     ids = sorted(merged)

@@ -243,7 +243,8 @@ def _build_cm(master_key, channel, rng, options):
     if channel is None:
         server = CmServer(dictionary_size=len(dictionary))
         channel = Channel(server)
-    return CmClient(master_key, channel, dictionary, rng=rng), server
+    return CmClient(master_key, channel, dictionary=dictionary,
+                    rng=rng), server
 
 
 def _build_naive(master_key, channel, rng, options):

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.api import SearchResult, SseClient
+from repro.core.cache import DEFAULT_CACHE_SIZE, BoundedCache
 from repro.core.documents import Document, normalize_keyword
 from repro.core.keys import MasterKey
 from repro.core.server import BaseSseServer, decode_doc_id, encode_doc_id
@@ -193,10 +194,11 @@ class Scheme1Client(SseClient):
 
     STATE_FORMAT = "repro.scheme1.client/1"
 
-    def __init__(self, master_key: MasterKey, channel: Channel,
+    def __init__(self, master_key: MasterKey, channel: Channel, *,
                  capacity: int, keypair: ElGamalKeyPair | None = None,
                  rng: RandomSource | None = None,
-                 decrypt_bodies: bool = True) -> None:
+                 decrypt_bodies: bool = True,
+                 cache_size: int = DEFAULT_CACHE_SIZE) -> None:
         super().__init__(channel)
         self._key = master_key
         self._rng = rng if rng is not None else SystemRandomSource()
@@ -208,6 +210,9 @@ class Scheme1Client(SseClient):
         # Search-only delegates (see repro.core.delegation) hold a dummy
         # k_m and set this False: searches return ids, bodies stay opaque.
         self._decrypt_bodies = decrypt_bodies
+        # PRF tags are pure functions of the (immutable) master key, so
+        # cached entries never go stale — the cap only bounds memory.
+        self._tag_cache = BoundedCache(cache_size)
 
     @property
     def capacity(self) -> int:
@@ -219,7 +224,16 @@ class Scheme1Client(SseClient):
         """The client's ElGamal keypair (private key never leaves here)."""
         return self._keypair
 
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/size snapshot of the keyword-tag cache."""
+        return {"tags": self._tag_cache.stats()}
+
     # -- helpers ---------------------------------------------------------
+
+    def _tag_for(self, keyword: str) -> bytes:
+        return self._tag_cache.get_or_compute(
+            keyword, lambda: self._key.tag_for(keyword)
+        )
 
     def _fresh_nonce(self) -> tuple[bytes, bytes]:
         """Draw r and return (r, serialized F(r))."""
@@ -244,17 +258,19 @@ class Scheme1Client(SseClient):
                     f"{self._capacity}"
                 )
 
-    def _upload_documents(self, documents: Sequence[Document]) -> None:
+    def _documents_message(self, documents: Sequence[Document]) -> Message:
         fields: list[bytes] = []
         for doc in documents:
             fields.append(encode_doc_id(doc.doc_id))
             fields.append(self._cipher.encrypt(
                 doc.data, associated_data=encode_doc_id(doc.doc_id)
             ))
-        reply = self._channel.request(
-            Message(MessageType.STORE_DOCUMENT, tuple(fields))
-        )
-        reply.expect(MessageType.ACK)
+        return Message(MessageType.STORE_DOCUMENT, tuple(fields))
+
+    def _send_expect_acks(self, messages: Sequence[Message]) -> None:
+        """Ship *messages* as one batch frame; every reply must be ACK."""
+        for reply in self._channel.request_many(messages):
+            reply.expect(MessageType.ACK)
 
     # -- public API ------------------------------------------------------
 
@@ -269,15 +285,18 @@ class Scheme1Client(SseClient):
         Decoy tags are drawn from the same 16-byte space as PRF outputs,
         so no real future keyword collides with one except with negligible
         probability.
+
+        Documents and index entries travel in ONE batch frame: one round
+        trip, one server lock, one fsync for the whole upload.
         """
         self._check_ids(documents)
-        self._upload_documents(documents)
+        messages = [self._documents_message(documents)]
         fields: list[bytes] = []
         grouped = group_keywords(documents)
         for keyword, ids in grouped.items():
             bitset = BitsetIndex(self._capacity, ids)
             nonce, fr = self._fresh_nonce()
-            fields.append(self._key.tag_for(keyword))
+            fields.append(self._tag_for(keyword))
             fields.append(self._mask(bitset, nonce))
             fields.append(fr)
         if pad_keywords_to is not None:
@@ -288,15 +307,20 @@ class Scheme1Client(SseClient):
                                          nonce))
                 fields.append(fr)
         if fields:
-            reply = self._channel.request(
-                Message(MessageType.S1_STORE_ENTRY, tuple(fields))
-            )
-            reply.expect(MessageType.ACK)
+            messages.append(Message(MessageType.S1_STORE_ENTRY,
+                                    tuple(fields)))
+        self._send_expect_acks(messages)
 
-    def _patch_keywords(self, grouped: dict[str, list[int]]) -> None:
-        """Run the Fig. 1 two-round masked-patch protocol on U(w) sets."""
+    def _patch_message(self, grouped: dict[str, list[int]]) -> Message:
+        """Fig. 1 round 1 (fetch F(r) per tag), then build the round-2 patch.
+
+        The returned ``S1_UPDATE_PATCH`` is NOT yet sent: callers batch it
+        with whatever else the operation ships (document bodies, deletes)
+        so round 2 costs one frame total.  All PRG masks for the touched
+        keywords are computed in this one pass.
+        """
         keywords = sorted(grouped)
-        tags = [self._key.tag_for(w) for w in keywords]
+        tags = [self._tag_for(w) for w in keywords]
 
         # Round 1: fetch F(r) for every touched keyword.
         reply = self._channel.request(
@@ -304,7 +328,7 @@ class Scheme1Client(SseClient):
         )
         fr_list = reply.expect(MessageType.S1_UPDATE_NONCE, len(tags))
 
-        # Round 2: the masked XOR patches.
+        # Round 2 payload: the masked XOR patches.
         fields: list[bytes] = []
         for keyword, tag, fr_bytes in zip(keywords, tags, fr_list):
             update_set = BitsetIndex(self._capacity, grouped[keyword])
@@ -316,25 +340,22 @@ class Scheme1Client(SseClient):
                     patch, prg_expand(old_nonce, self._masked_len)
                 )
             fields.extend((tag, patch, new_fr))
-        reply = self._channel.request(
-            Message(MessageType.S1_UPDATE_PATCH, tuple(fields))
-        )
-        reply.expect(MessageType.ACK)
+        return Message(MessageType.S1_UPDATE_PATCH, tuple(fields))
 
     def add_documents(self, documents: Sequence[Document]) -> None:
         """The Fig. 1 two-round update protocol (batched over keywords).
 
         U(w) bits are XOR deltas, so this same call *removes* a document
         from a keyword if it was already indexed — the toggle semantics of
-        the paper's I'(w) = I(w) ⊕ U(w).
+        the paper's I'(w) = I(w) ⊕ U(w).  Round 2 carries the document
+        bodies and the metadata patch in one batch frame.
         """
         self._check_ids(documents)
         grouped = group_keywords(documents)
-        if not grouped:
-            self._upload_documents(documents)
-            return
-        self._upload_documents(documents)
-        self._patch_keywords(grouped)
+        messages = [self._documents_message(documents)]
+        if grouped:
+            messages.append(self._patch_message(grouped))
+        self._send_expect_acks(messages)
 
     def remove_documents(self, documents: Sequence[Document]) -> None:
         """Remove documents from the index and delete their bodies.
@@ -342,17 +363,19 @@ class Scheme1Client(SseClient):
         Callers must supply each document's *full* keyword set (which the
         key holder can always reconstruct by fetching and decrypting it):
         the XOR patch clears exactly those bits, and any keyword left
-        unpatched would keep referencing the deleted body.
+        unpatched would keep referencing the deleted body.  The patch and
+        the body deletes ship as one atomic batch frame.
         """
         self._check_ids(documents)
         grouped = group_keywords(documents)
+        messages: list[Message] = []
         if grouped:
-            self._patch_keywords(grouped)
-        reply = self._channel.request(Message(
+            messages.append(self._patch_message(grouped))
+        messages.append(Message(
             MessageType.DELETE_DOCUMENT,
             tuple(encode_doc_id(doc.doc_id) for doc in documents),
         ))
-        reply.expect(MessageType.ACK)
+        self._send_expect_acks(messages)
 
     def refresh_masks(self, keywords: Sequence[str]) -> None:
         """Re-mask keywords without changing their contents (hardening).
@@ -366,23 +389,10 @@ class Scheme1Client(SseClient):
         """
         grouped = {normalize_keyword(w): [] for w in keywords}
         if grouped:
-            self._patch_keywords(grouped)
+            self._send_expect_acks([self._patch_message(grouped)])
 
-    def search(self, keyword: str) -> SearchResult:
-        """The Fig. 2 two-round search protocol."""
-        tag = self._key.tag_for(keyword)
-        reply = self._channel.request(
-            Message(MessageType.S1_SEARCH_REQUEST, (tag,))
-        )
-        (fr_bytes,) = reply.expect(MessageType.S1_SEARCH_NONCE, 1)
-        if fr_bytes == _ABSENT:
-            # The tag has no searchable representation: no document has ever
-            # carried this keyword.  One round spent, empty result.
-            return SearchResult(keyword, [], [])
-        nonce = self._decrypt_fr(fr_bytes)
-        result = self._channel.request(
-            Message(MessageType.S1_SEARCH_REVEAL, (tag, nonce))
-        )
+    def _parse_documents_result(self, keyword: str,
+                                result: Message) -> SearchResult:
         fields = result.expect(MessageType.DOCUMENTS_RESULT)
         doc_ids: list[int] = []
         documents: list[bytes] = []
@@ -396,3 +406,55 @@ class Scheme1Client(SseClient):
             else:
                 documents.append(fields[i + 1])  # opaque ciphertext
         return SearchResult(keyword, doc_ids, documents)
+
+    def search(self, keyword: str) -> SearchResult:
+        """The Fig. 2 two-round search protocol."""
+        tag = self._tag_for(keyword)
+        reply = self._channel.request(
+            Message(MessageType.S1_SEARCH_REQUEST, (tag,))
+        )
+        (fr_bytes,) = reply.expect(MessageType.S1_SEARCH_NONCE, 1)
+        if fr_bytes == _ABSENT:
+            # The tag has no searchable representation: no document has ever
+            # carried this keyword.  One round spent, empty result.
+            return SearchResult(keyword, [], [])
+        nonce = self._decrypt_fr(fr_bytes)
+        result = self._channel.request(
+            Message(MessageType.S1_SEARCH_REVEAL, (tag, nonce))
+        )
+        return self._parse_documents_result(keyword, result)
+
+    def search_batch(self, keywords: Sequence[str]) -> list[SearchResult]:
+        """Fig. 2 for many keywords in the scheme's two rounds, not 2·n.
+
+        Round 1 ships every tag in one batch frame; round 2 reveals the
+        nonces of the keywords that exist (absent keywords already have
+        their empty result and cost nothing further).  Results align
+        positionally with *keywords*.
+        """
+        if not keywords:
+            return []
+        tags = [self._tag_for(k) for k in keywords]
+        replies = self._channel.request_many([
+            Message(MessageType.S1_SEARCH_REQUEST, (tag,)) for tag in tags
+        ])
+        results: list[SearchResult | None] = [None] * len(keywords)
+        reveals: list[tuple[int, Message]] = []
+        for i, (keyword, tag, reply) in enumerate(
+                zip(keywords, tags, replies)):
+            (fr_bytes,) = reply.expect(MessageType.S1_SEARCH_NONCE, 1)
+            if fr_bytes == _ABSENT:
+                results[i] = SearchResult(keyword, [], [])
+            else:
+                nonce = self._decrypt_fr(fr_bytes)
+                reveals.append((i, Message(
+                    MessageType.S1_SEARCH_REVEAL, (tag, nonce)
+                )))
+        if reveals:
+            reveal_replies = self._channel.request_many(
+                [message for _, message in reveals]
+            )
+            for (i, _), result in zip(reveals, reveal_replies):
+                results[i] = self._parse_documents_result(keywords[i],
+                                                          result)
+        return results

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.api import SearchResult, SseClient
+from repro.core.cache import BoundedCache
 from repro.core.documents import Document
 from repro.core.keys import MasterKey
 from repro.core.scheme1 import group_keywords
@@ -307,15 +308,24 @@ class Scheme2Client(SseClient):
     ``lazy_counter`` enables Optimization 2.  When the chain runs out a
     :class:`ChainExhaustedError` escapes ``add_documents``; call
     :meth:`reinitialize_epoch` with the full document collection to re-key.
+
+    Bulk calls (``store``, ``add_documents``, ``remove_documents``,
+    ``search_batch``) ship everything in **one** ``BATCH_REQUEST`` frame —
+    one round-trip, one server lock, one fsync — and derived values (tags,
+    chains, trapdoors) live in bounded LRU caches so a warm search
+    recomputes nothing.  Cache keys include the epoch and counter, and the
+    caches are cleared outright on epoch change, counter advance, and
+    state import.
     """
 
     STATE_FORMAT = "repro.scheme2.client/1"
 
-    def __init__(self, master_key: MasterKey, channel: Channel,
+    def __init__(self, master_key: MasterKey, channel: Channel, *,
                  chain_length: int = DEFAULT_CHAIN_LENGTH,
                  lazy_counter: bool = True,
                  rng: RandomSource | None = None,
-                 decrypt_bodies: bool = True) -> None:
+                 decrypt_bodies: bool = True,
+                 cache_size: int = 1024) -> None:
         super().__init__(channel)
         if chain_length < 1:
             raise ParameterError("chain length must be at least 1")
@@ -330,7 +340,11 @@ class Scheme2Client(SseClient):
         self._ctr = 0
         self._search_since_update = True  # first update always advances
         self._epoch = 0
-        self._chains: dict[str, HashChain] = {}
+        # Derived-value caches, all keyed on the inputs that make the
+        # derivation unique (epoch, [ctr,] keyword) — see repro.core.cache.
+        self._tag_cache = BoundedCache(cache_size)
+        self._chain_cache = BoundedCache(cache_size)
+        self._trapdoor_cache = BoundedCache(cache_size)
 
     @property
     def ctr(self) -> int:
@@ -377,25 +391,55 @@ class Scheme2Client(SseClient):
         self._epoch = int(state["epoch"])
         self._search_since_update = bool(state["search_since_update"])
         self._lazy_counter = bool(state["lazy_counter"])
-        self._chains.clear()  # derived caches are rebuilt on demand
+        self._clear_derived_caches()  # rebuilt on demand
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/size snapshot of every derived-value cache."""
+        return {
+            "tags": self._tag_cache.stats(),
+            "chains": self._chain_cache.stats(),
+            "trapdoors": self._trapdoor_cache.stats(),
+        }
 
     # -- chain plumbing ---------------------------------------------------
+
+    def _clear_derived_caches(self) -> None:
+        self._tag_cache.clear()
+        self._chain_cache.clear()
+        self._trapdoor_cache.clear()
 
     def _tag_for(self, keyword: str) -> bytes:
         # The tag is epoch-scoped so re-initialization invalidates every
         # stale representation in one stroke.
-        material = self._epoch.to_bytes(4, "big") + keyword.encode("utf-8")
-        return self._key.keyword_tag_prf().evaluate_truncated(material, 16)
+        def compute() -> bytes:
+            material = self._epoch.to_bytes(4, "big") + keyword.encode("utf-8")
+            return self._key.keyword_tag_prf().evaluate_truncated(material, 16)
+
+        return self._tag_cache.get_or_compute((self._epoch, keyword), compute)
 
     def _chain_for(self, keyword: str) -> HashChain:
-        chain = self._chains.get(keyword)
-        if chain is None:
+        def compute() -> HashChain:
             seed = self._key.keyword_seed_prf().evaluate(
                 self._epoch.to_bytes(4, "big") + keyword.encode("utf-8")
             )
-            chain = HashChain(seed, self._chain_length)
-            self._chains[keyword] = chain
-        return chain
+            return HashChain(seed, self._chain_length)
+
+        return self._chain_cache.get_or_compute((self._epoch, keyword),
+                                                compute)
+
+    def _trapdoor_for(self, keyword: str) -> bytes:
+        """The trapdoor chain element f^(l-ctr)(seed_w), LRU-cached.
+
+        The cache key carries (epoch, ctr), so a counter advance simply
+        stops hitting old entries; :meth:`_advance_counter` additionally
+        clears the cache outright.
+        """
+        return self._trapdoor_cache.get_or_compute(
+            (self._epoch, self._ctr, keyword),
+            lambda: self._chain_for(keyword).element(
+                self._chain_length - self._ctr
+            ),
+        )
 
     def _segment_key(self, keyword: str, ctr: int) -> bytes:
         """k(w) at counter *ctr*: f^(l-ctr)(seed_w)."""
@@ -415,26 +459,31 @@ class Scheme2Client(SseClient):
             )
         self._ctr += 1
         self._search_since_update = False
+        self._trapdoor_cache.clear()  # old-counter trapdoors are stale now
         return self._ctr
 
     # -- document upload --------------------------------------------------
 
-    def _upload_documents(self, documents: Sequence[Document]) -> None:
+    def _documents_message(self, documents: Sequence[Document]) -> Message:
         fields: list[bytes] = []
         for doc in documents:
             fields.append(encode_doc_id(doc.doc_id))
             fields.append(self._cipher.encrypt(
                 doc.data, associated_data=encode_doc_id(doc.doc_id)
             ))
-        reply = self._channel.request(
-            Message(MessageType.STORE_DOCUMENT, tuple(fields))
-        )
-        reply.expect(MessageType.ACK)
+        return Message(MessageType.STORE_DOCUMENT, tuple(fields))
 
-    def _upload_metadata(self, grouped: dict[str, list[int]],
-                         remove: bool = False) -> None:
+    def _metadata_message(self, grouped: dict[str, list[int]],
+                          remove: bool = False) -> Message | None:
+        """Build the Fig. 3 triples for a whole document set in one pass.
+
+        The crypto is amortized across the batch: the counter advances
+        once, and each keyword costs one (cached) tag PRF, one chain
+        element off its (cached) hash chain, one segment encryption, and
+        one verifier — however many documents the batch carried.
+        """
         if not grouped:
-            return
+            return None
         ctr = self._advance_counter()
         fields: list[bytes] = []
         for keyword in sorted(grouped):
@@ -443,10 +492,17 @@ class Scheme2Client(SseClient):
             fields.append(_encrypt_segment(key, grouped[keyword],
                                            remove=remove))
             fields.append(_verifier(key))
-        reply = self._channel.request(
-            Message(MessageType.S2_STORE_ENTRY, tuple(fields))
-        )
-        reply.expect(MessageType.ACK)
+        return Message(MessageType.S2_STORE_ENTRY, tuple(fields))
+
+    def _upload(self, documents: Sequence[Document],
+                grouped: dict[str, list[int]]) -> None:
+        """Ship document bodies + metadata as one batch frame."""
+        messages = [self._documents_message(documents)]
+        metadata = self._metadata_message(grouped)
+        if metadata is not None:
+            messages.append(metadata)
+        for reply in self._channel.request_many(messages):
+            reply.expect(MessageType.ACK)
 
     # -- public API -------------------------------------------------------
 
@@ -461,35 +517,37 @@ class Scheme2Client(SseClient):
         ``\\x00``-prefixed namespace no user keyword can reach (user
         keywords are non-empty printable strings).
         """
-        self._upload_documents(documents)
         grouped: dict[str, list[int]] = dict(group_keywords(documents))
         if pad_keywords_to is not None:
             for i in range(max(0, pad_keywords_to - len(grouped))):
                 grouped[f"\x00decoy-{i}"] = []
-        self._upload_metadata(grouped)
+        self._upload(documents, grouped)
 
     def add_documents(self, documents: Sequence[Document]) -> None:
-        """The Fig. 3 single-message metadata update (plus doc upload)."""
-        self._upload_documents(documents)
-        self._upload_metadata(group_keywords(documents))
+        """The Fig. 3 metadata update, batched with the document upload."""
+        self._upload(documents, dict(group_keywords(documents)))
 
     def remove_documents(self, documents: Sequence[Document]) -> None:
         """Remove documents via tombstone segments (extension to the paper).
 
         Appends a REMOVE segment for each of the documents' keywords and
-        deletes the stored bodies.  Like Scheme 1 removal, the caller must
-        supply the full keyword sets; the server applies tombstones in
-        append order during search, so a later re-add of the same id wins.
-        One segment key covers the whole batch, exactly as for additions.
+        deletes the stored bodies, both in one batch frame.  Like Scheme 1
+        removal, the caller must supply the full keyword sets; the server
+        applies tombstones in append order during search, so a later
+        re-add of the same id wins.  One segment key covers the whole
+        batch, exactly as for additions.
         """
-        grouped = group_keywords(documents)
-        if grouped:
-            self._upload_metadata(grouped, remove=True)
-        reply = self._channel.request(Message(
+        messages: list[Message] = []
+        metadata = self._metadata_message(dict(group_keywords(documents)),
+                                          remove=True)
+        if metadata is not None:
+            messages.append(metadata)
+        messages.append(Message(
             MessageType.DELETE_DOCUMENT,
             tuple(encode_doc_id(doc.doc_id) for doc in documents),
         ))
-        reply.expect(MessageType.ACK)
+        for reply in self._channel.request_many(messages):
+            reply.expect(MessageType.ACK)
 
     def fake_update(self, keywords: Sequence[str]) -> None:
         """§5.7 fake update: refresh keywords without changing any index.
@@ -499,23 +557,17 @@ class Scheme2Client(SseClient):
         id-counts), so padding every update to a fixed keyword count hides
         which keywords a real update touched.
         """
-        grouped = {keyword: [] for keyword in keywords}
-        self._upload_metadata(grouped)
+        message = self._metadata_message({kw: [] for kw in keywords})
+        if message is not None:
+            self._channel.request(message).expect(MessageType.ACK)
 
-    def search(self, keyword: str) -> SearchResult:
-        """The Fig. 4 one-round search."""
-        if self._ctr == 0:
-            # Nothing has ever been stored under this epoch.
-            return SearchResult(keyword, [], [])
-        trapdoor_element = self._chain_for(keyword).element(
-            self._chain_length - self._ctr
-        )
-        reply = self._channel.request(
-            Message(MessageType.S2_SEARCH_REQUEST,
-                    (self._tag_for(keyword), trapdoor_element))
-        )
+    def _search_message(self, keyword: str) -> Message:
+        return Message(MessageType.S2_SEARCH_REQUEST,
+                       (self._tag_for(keyword), self._trapdoor_for(keyword)))
+
+    def _parse_search_reply(self, keyword: str, reply: Message
+                            ) -> SearchResult:
         fields = reply.expect(MessageType.DOCUMENTS_RESULT)
-        self._search_since_update = True
         doc_ids: list[int] = []
         documents: list[bytes] = []
         for i in range(0, len(fields), 2):
@@ -531,6 +583,30 @@ class Scheme2Client(SseClient):
                 documents.append(fields[i + 1])  # opaque ciphertext
         return SearchResult(keyword, doc_ids, documents)
 
+    def search(self, keyword: str) -> SearchResult:
+        """The Fig. 4 one-round search."""
+        if self._ctr == 0:
+            # Nothing has ever been stored under this epoch.
+            return SearchResult(keyword, [], [])
+        reply = self._channel.request(self._search_message(keyword))
+        self._search_since_update = True
+        return self._parse_search_reply(keyword, reply)
+
+    def search_batch(self, keywords: Sequence[str]) -> list[SearchResult]:
+        """Search many keywords in ONE round: all trapdoors, one frame.
+
+        Results align with *keywords*.  The whole batch runs under a
+        single read-lock acquisition on a concurrent server.
+        """
+        if self._ctr == 0:
+            return [SearchResult(keyword, [], []) for keyword in keywords]
+        replies = self._channel.request_many(
+            [self._search_message(keyword) for keyword in keywords]
+        )
+        self._search_since_update = True
+        return [self._parse_search_reply(keyword, reply)
+                for keyword, reply in zip(keywords, replies)]
+
     def reinitialize_epoch(self, documents: Sequence[Document]) -> None:
         """Re-key after chain exhaustion (§5.6, Optimization 2 discussion).
 
@@ -544,6 +620,5 @@ class Scheme2Client(SseClient):
         self._epoch += 1
         self._ctr = 0
         self._search_since_update = True
-        self._chains.clear()
-        self._upload_documents(documents)
-        self._upload_metadata(group_keywords(documents))
+        self._clear_derived_caches()
+        self._upload(documents, dict(group_keywords(documents)))

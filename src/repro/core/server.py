@@ -69,6 +69,8 @@ class BaseSseServer(SnapshotStateMixin, SseServerHandler):
     def handle(self, message: Message) -> Message:
         """Dispatch one protocol message."""
         self.metrics.counter("handled_total", type=message.type.name).inc()
+        if message.type == MessageType.BATCH_REQUEST:
+            return self.handle_batch(message)
         if message.type == MessageType.STORE_DOCUMENT:
             return self._handle_store_document(message)
         if message.type == MessageType.DELETE_DOCUMENT:

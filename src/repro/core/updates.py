@@ -20,6 +20,7 @@ next flush (exactly the trade-off batching always makes).
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from repro.core.api import SearchResult, SseClient
@@ -72,22 +73,32 @@ class HardenedUpdater:
         return self._client
 
     def add_document(self, document: Document) -> None:
-        """Queue a document; flushes automatically at the batch size."""
-        if self._pad:
-            unknown = document.keywords - self._universe
-            if unknown:
-                raise ParameterError(
-                    f"keywords outside the declared universe: "
-                    f"{sorted(unknown)[:3]}"
-                )
-        self._queue.append(document)
-        if len(self._queue) >= self._batch_size:
-            self.flush()
+        """Deprecated: use ``add_documents([document])``.
+
+        Kept as a shim for one release so pre-batching callers keep
+        working; it forwards to the plural API, which is where all
+        queueing and validation now lives.
+        """
+        warnings.warn(
+            "HardenedUpdater.add_document is deprecated; "
+            "use add_documents([...])",
+            DeprecationWarning, stacklevel=2,
+        )
+        self.add_documents([document])
 
     def add_documents(self, documents: Sequence[Document]) -> None:
-        """Queue several documents (may trigger multiple flushes)."""
+        """Queue documents; flushes automatically at each batch-size fill."""
         for document in documents:
-            self.add_document(document)
+            if self._pad:
+                unknown = document.keywords - self._universe
+                if unknown:
+                    raise ParameterError(
+                        f"keywords outside the declared universe: "
+                        f"{sorted(unknown)[:3]}"
+                    )
+            self._queue.append(document)
+            if len(self._queue) >= self._batch_size:
+                self.flush()
 
     def flush(self) -> int:
         """Push the queued batch (padded if configured); return batch size."""

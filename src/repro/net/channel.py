@@ -18,7 +18,9 @@ import dataclasses
 import time
 from dataclasses import dataclass, field
 
-from repro.net.messages import Message
+from repro.errors import ProtocolError
+from repro.net.messages import (Message, MessageType, pack_batch,
+                                unpack_batch_result)
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.opcount import active_recorder, diff_counts as _diff
 from repro.obs.trace import span
@@ -62,11 +64,28 @@ class ChannelStats:
     server_to_client_bytes: int = 0
     simulated_time_s: float = 0.0
     messages: int = 0
+    batches: int = 0            # BATCH_REQUEST frames sent
+    batched_messages: int = 0   # inner messages carried inside them
 
     @property
     def total_bytes(self) -> int:
         """Bytes moved in both directions."""
         return self.client_to_server_bytes + self.server_to_client_bytes
+
+
+def _is_batch_rejection(exc: ProtocolError) -> bool:
+    """Did the server *reject* the batch envelope (vs. fail mid-request)?
+
+    Only a rejection proves nothing was applied, so only a rejection may
+    trigger the sequential fallback.  Transport failures ("server closed
+    the connection", "died mid-frame", timeouts) leave the batch's effect
+    unknown and must propagate.
+    """
+    text = str(exc)
+    if "server closed the connection" in text or "died mid-frame" in text:
+        return False
+    return ("unsupported message type" in text
+            or "server rejected the request" in text)
 
 
 class Channel:
@@ -87,6 +106,8 @@ class Channel:
         self.tracer = tracer
         self.stats = ChannelStats()
         self.transcript: list[TranscriptEntry] = []
+        # Does the peer understand BATCH_REQUEST?  None = not yet probed.
+        self._peer_batch: bool | None = None
 
     def request(self, message: Message) -> Message:
         """Send *message*, return the server's reply; counts one round.
@@ -117,6 +138,66 @@ class Channel:
                     return reply
         finally:
             self.tracer.finish(trace)
+
+    def request_many(self, messages, *, raise_on_error: bool = True
+                     ) -> list[Message]:
+        """Ship N requests in one ``BATCH_REQUEST`` round-trip.
+
+        Returns the per-item replies, positionally.  One frame, one round,
+        one trace — the whole point of the batch pipeline.  Against a
+        pre-batch server the first attempt is rejected cleanly; the channel
+        remembers that and transparently degrades to sequential
+        :meth:`request` calls (then and on every later bulk call).  The
+        capability probe only ever falls back on a *rejection* — a
+        transport failure mid-batch propagates, because the server may
+        have applied some items and a blind replay could double-apply.
+
+        With ``raise_on_error`` (default) a per-item ``ERROR`` reply raises
+        :class:`ProtocolError` naming the failed item; pass ``False`` to
+        receive the raw replies and triage item-by-item.
+        """
+        messages = list(messages)
+        if not messages:
+            return []
+        # A single message needs no envelope: it keeps its own type on the
+        # wire (protocol-shape figures stay exact) and old servers keep
+        # working without even a capability probe.
+        if len(messages) == 1 or self._peer_batch is False:
+            return [self.request(m) for m in messages]
+        first_probe = self._peer_batch is None
+        try:
+            reply = self.request(pack_batch(messages))
+        except ProtocolError as exc:
+            if first_probe and _is_batch_rejection(exc):
+                self._peer_batch = False
+                return [self.request(m) for m in messages]
+            raise
+        self._peer_batch = True
+        replies = unpack_batch_result(reply, expected_count=len(messages))
+        self.stats.batches += 1
+        self.stats.batched_messages += len(messages)
+        self.metrics.histogram("batch_items", side="client").observe(
+            len(messages))
+        if self._keep_transcript:
+            # The envelope round was recorded by request(); the transcript
+            # additionally lists every inner message so protocol-shape
+            # assertions and the curious-server view stay message-typed.
+            for m in messages:
+                self.transcript.append(TranscriptEntry(
+                    "client->server", Message(m.type, m.fields),
+                    m.wire_size))
+            for r in replies:
+                self.transcript.append(TranscriptEntry(
+                    "server->client", r, r.wire_size))
+        if raise_on_error:
+            for index, (m, r) in enumerate(zip(messages, replies)):
+                if r.type is MessageType.ERROR:
+                    detail = (r.fields[0].decode("utf-8", "replace")
+                              if r.fields else "unknown")
+                    raise ProtocolError(
+                        f"batch item {index} ({m.type.name}) failed: "
+                        f"{detail}")
+        return list(replies)
 
     def _exchange(self, message: Message) -> Message:
         """The untraced request path (one serialize/handle/deserialize)."""

@@ -16,6 +16,14 @@ bit of the type tag — unused, since :class:`MessageType` values stop well
 below 128 — flags that the trace ID follows the 3-byte header.  Untraced
 messages serialize byte-for-byte as before, and the ID is excluded from
 equality so traced and untraced copies of a message compare equal.
+
+Bulk operations travel as a **batch envelope**: a ``BATCH_REQUEST`` whose
+fields are the serialized inner request messages, answered by a
+``BATCH_RESULT`` whose fields are the serialized per-item replies in the
+same positions.  One frame, one trace ID, one round.  A failed item is
+answered in-position by an ``ERROR`` message so one bad item never poisons
+the rest of the batch.  Batches do not nest, and inner messages never carry
+their own trace IDs — the envelope's ID covers every item.
 """
 
 from __future__ import annotations
@@ -26,7 +34,9 @@ from enum import IntEnum
 
 from repro.errors import ProtocolError
 
-__all__ = ["MessageType", "Message", "TRACE_FLAG", "TRACE_ID_SIZE"]
+__all__ = ["MessageType", "Message", "TRACE_FLAG", "TRACE_ID_SIZE",
+           "pack_batch", "pack_batch_result", "unpack_batch",
+           "unpack_batch_result", "batch_inner_types"]
 
 # High bit of the wire type tag: "an 8-byte trace ID follows the header".
 TRACE_FLAG = 0x80
@@ -67,6 +77,10 @@ class MessageType(IntEnum):
     # Observability (served by the transport layer, not the schemes)
     STATS_REQUEST = 42          # client -> server: live metrics snapshot?
     STATS_RESULT = 43           # server -> client: (json_payload,)
+
+    # Bulk transfer: N serialized inner messages in one frame
+    BATCH_REQUEST = 44          # client -> server: (inner_request_bytes)*
+    BATCH_RESULT = 45           # server -> client: (inner_reply_bytes)*
 
 
 @dataclass(frozen=True)
@@ -109,7 +123,22 @@ class Message:
 
     @classmethod
     def deserialize(cls, data: bytes) -> "Message":
-        """Decode from the wire format, validating structure exactly."""
+        """Decode from the wire format, validating structure exactly.
+
+        Every malformation — short frame, bad type tag, truncated or
+        oversized field, trailing garbage, or a non-bytes input — raises
+        :class:`~repro.errors.ProtocolError`; no bare ``struct.error`` or
+        ``IndexError`` ever escapes to callers parsing untrusted frames.
+        """
+        try:
+            return cls._deserialize(data)
+        except ProtocolError:
+            raise
+        except (struct.error, IndexError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed message frame: {exc}") from exc
+
+    @classmethod
+    def _deserialize(cls, data: bytes) -> "Message":
         if len(data) < 3:
             raise ProtocolError("message too short")
         type_tag, count = struct.unpack(">BH", data[:3])
@@ -152,3 +181,88 @@ class Message:
                 f"got {len(self.fields)}"
             )
         return self.fields
+
+
+# --- batch envelope -------------------------------------------------------
+
+# Nested batches would let one frame smuggle unbounded recursion past the
+# per-item accounting, so both pack and unpack reject them.
+_BATCH_TYPES = frozenset({MessageType.BATCH_REQUEST, MessageType.BATCH_RESULT})
+
+
+def _pack_envelope(envelope_type: MessageType,
+                   messages: "list[Message] | tuple[Message, ...]",
+                   trace_id: bytes | None) -> Message:
+    if not messages:
+        raise ProtocolError("a batch must carry at least one message")
+    fields = []
+    for inner in messages:
+        if inner.type in _BATCH_TYPES:
+            raise ProtocolError("batches do not nest")
+        if inner.trace_id is not None:
+            # The envelope's trace ID covers every item.
+            inner = Message(inner.type, inner.fields)
+        fields.append(inner.serialize())
+    return Message(envelope_type, tuple(fields), trace_id=trace_id)
+
+
+def _unpack_envelope(message: Message, envelope_type: MessageType
+                     ) -> tuple[Message, ...]:
+    fields = message.expect(envelope_type)
+    if not fields:
+        raise ProtocolError(f"empty {envelope_type.name} envelope")
+    inner = []
+    for item in fields:
+        parsed = Message.deserialize(item)
+        if parsed.type in _BATCH_TYPES:
+            raise ProtocolError("batches do not nest")
+        inner.append(parsed)
+    return tuple(inner)
+
+
+def pack_batch(messages, trace_id: bytes | None = None) -> Message:
+    """Wrap N request messages into one ``BATCH_REQUEST`` frame."""
+    return _pack_envelope(MessageType.BATCH_REQUEST, messages, trace_id)
+
+
+def pack_batch_result(replies, trace_id: bytes | None = None) -> Message:
+    """Wrap per-item replies (positionally) into one ``BATCH_RESULT``."""
+    return _pack_envelope(MessageType.BATCH_RESULT, replies, trace_id)
+
+
+def unpack_batch(message: Message) -> tuple[Message, ...]:
+    """Parse a ``BATCH_REQUEST`` into its inner request messages."""
+    return _unpack_envelope(message, MessageType.BATCH_REQUEST)
+
+
+def unpack_batch_result(message: Message,
+                        expected_count: int | None = None
+                        ) -> tuple[Message, ...]:
+    """Parse a ``BATCH_RESULT``; optionally check the item count matches."""
+    replies = _unpack_envelope(message, MessageType.BATCH_RESULT)
+    if expected_count is not None and len(replies) != expected_count:
+        raise ProtocolError(
+            f"batch result carries {len(replies)} replies, "
+            f"expected {expected_count}"
+        )
+    return replies
+
+
+def batch_inner_types(message: Message) -> tuple[MessageType, ...]:
+    """Peek the inner message types of a batch without full parsing.
+
+    Reads only the first byte of each item (masking the trace flag), so
+    lock classification of a large batch costs O(items), not O(bytes).
+    """
+    if message.type not in _BATCH_TYPES:
+        raise ProtocolError(f"not a batch envelope: {message.type.name}")
+    types = []
+    for item in message.fields:
+        if not item:
+            raise ProtocolError("empty batch item")
+        tag = item[0] & ~TRACE_FLAG
+        try:
+            types.append(MessageType(tag))
+        except ValueError as exc:
+            raise ProtocolError(f"unknown message type {tag}") from exc
+    return tuple(types)

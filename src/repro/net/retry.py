@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 from repro.errors import ProtocolError, RetryExhaustedError
 from repro.net.messages import Message, MessageType
-from repro.net.session import READ_MESSAGE_TYPES
+from repro.net.session import READ_MESSAGE_TYPES, is_read_request
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.trace import span
 
@@ -119,8 +119,16 @@ class RetryingTransport:
         return isinstance(exc, OSError)
 
     def handle(self, message: Message) -> Message:
-        """Send one request; reconnect/retry per policy if it is safe."""
-        retryable = message.type in IDEMPOTENT_TYPES
+        """Send one request; reconnect/retry per policy if it is safe.
+
+        Idempotency is judged per *request*, not per type tag: a
+        ``BATCH_REQUEST`` made only of reads (a multi-keyword search) is
+        retried like any search, while a batch with one mutating item is
+        treated as an unacknowledged update and never replayed.
+        """
+        retryable = (message.type in IDEMPOTENT_TYPES
+                     or (message.type is MessageType.BATCH_REQUEST
+                         and is_read_request(message)))
         attempts = self._policy.max_attempts if retryable else 1
         last_exc: Exception | None = None
         for attempt in range(1, attempts + 1):

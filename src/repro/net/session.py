@@ -16,7 +16,10 @@ Three pieces, each independently testable:
 
 The message-type classification lives here too: :func:`is_read_message`
 is the single source of truth for which protocol messages may share the
-read lock and which require exclusivity.
+read lock and which require exclusivity, and :func:`is_read_request`
+extends it to whole messages so a ``BATCH_REQUEST`` is classified by its
+*contents* — an all-search batch shares the read lock, a batch with any
+mutating item takes the write lock once for all of its items.
 """
 
 from __future__ import annotations
@@ -27,19 +30,19 @@ import socket as socket_module
 import threading
 import time
 
-from repro.errors import ParameterError, ServiceStoppedError
-from repro.net.messages import MessageType
+from repro.errors import ParameterError, ProtocolError, ServiceStoppedError
+from repro.net.messages import Message, MessageType, batch_inner_types
 from repro.obs.metrics import NULL_METRICS
 
 __all__ = ["ReadWriteLock", "WorkerPool", "Session", "SessionManager",
-           "is_read_message", "READ_MESSAGE_TYPES"]
+           "is_read_message", "is_read_request", "READ_MESSAGE_TYPES"]
 
 # Read-only protocol messages: searches and fetches.  Everything else
 # (document upload/delete, index updates) mutates server state and takes
 # the write lock.  S1's two search rounds are both reads — round 2 only
-# XOR-unmasks a stored entry.  ERROR/ACK never arrive as requests but are
-# classified as reads so a misbehaving client cannot grab the write lock
-# with a nonsense frame.
+# XOR-unmasks a stored entry.  ERROR/ACK/BATCH_RESULT never arrive as
+# requests but are classified as reads so a misbehaving client cannot grab
+# the write lock with a nonsense frame.
 READ_MESSAGE_TYPES = frozenset({
     MessageType.S1_SEARCH_REQUEST,
     MessageType.S1_SEARCH_REVEAL,
@@ -52,12 +55,30 @@ READ_MESSAGE_TYPES = frozenset({
     MessageType.ERROR,
     MessageType.STATS_REQUEST,
     MessageType.STATS_RESULT,
+    MessageType.BATCH_RESULT,
 })
 
 
 def is_read_message(message_type: MessageType) -> bool:
     """True if *message_type* may run under the shared read lock."""
     return message_type in READ_MESSAGE_TYPES
+
+
+def is_read_request(message: Message) -> bool:
+    """True if this whole request may run under the shared read lock.
+
+    A ``BATCH_REQUEST`` is a read only if *every* inner item is — one
+    mutating item means the batch takes the write lock once for all of
+    its items (that single acquisition is the point of batching).  An
+    unparsable batch classifies as a read: it will be rejected by the
+    handler anyway and must not grab exclusivity first.
+    """
+    if message.type is MessageType.BATCH_REQUEST:
+        try:
+            return all(is_read_message(t) for t in batch_inner_types(message))
+        except ProtocolError:
+            return True
+    return is_read_message(message.type)
 
 
 class ReadWriteLock:

@@ -49,7 +49,7 @@ import time
 from repro.errors import ProtocolError, ReproError
 from repro.net.messages import Message, MessageType
 from repro.net.session import (ReadWriteLock, SessionManager, WorkerPool,
-                               is_read_message)
+                               is_read_request)
 from repro.obs.metrics import Metrics, NULL_METRICS
 from repro.obs.opcount import active_recorder, diff_counts
 from repro.obs.trace import NULL_TRACER, Span, current_trace, span
@@ -227,8 +227,12 @@ class TcpSseServer:
                                    type=type_name).observe(elapsed)
 
     def _handle_locked(self, message: Message, type_name: str) -> Message:
-        """Run the handler under the right lock side, measuring the waits."""
-        read = is_read_message(message.type)
+        """Run the handler under the right lock side, measuring the waits.
+
+        A batch takes its lock **once** for all items: read if every inner
+        item is a read, write otherwise (see ``session.is_read_request``).
+        """
+        read = is_read_request(message)
         mode = "read" if read else "write"
         lock_started = time.perf_counter()
         if read:

@@ -24,8 +24,13 @@ from repro.errors import CorruptRecordError, ParameterError, StorageError
 __all__ = ["KvStore", "MemoryKvStore", "LogKvStore"]
 
 _MAGIC = b"RPKV"
-_VERSION = 1
+# v2 adds batch-atomicity framing (the _BATCH/_COMMIT flags below); v1
+# logs contain neither flag and recover identically under the v2 parser.
+_VERSION = 2
+_SUPPORTED_VERSIONS = frozenset({1, 2})
 _TOMBSTONE = 0x01
+_BATCH = 0x02    # member of a multi-record batch: apply only on commit
+_COMMIT = 0x04   # empty-key marker: the preceding batch members are durable
 _CHECKSUM_LEN = 8  # truncated SHA-256 is plenty for corruption detection
 
 
@@ -134,6 +139,14 @@ class LogKvStore:
     An in-memory index maps each live key to its latest value; ``open`` scans
     the log, stopping cleanly at a torn tail (the bytes after the last valid
     record are discarded on the next append).
+
+    Multi-record batches are **atomic**: :meth:`apply_batch` marks every
+    member record with the ``_BATCH`` flag and seals them with one
+    ``_COMMIT`` marker before the single fsync.  Recovery buffers batch
+    members and applies them only when their commit marker is intact — a
+    crash mid-batch (torn member, or members written but no commit) rolls
+    the whole batch back, so a durable server never reopens with half a
+    ``BATCH_REQUEST`` applied.
     """
 
     def __init__(self, path: str | os.PathLike) -> None:
@@ -151,16 +164,33 @@ class LogKvStore:
             _fsync_dir(self._path)
             self._valid_length = len(_MAGIC) + 1
 
+    def _apply_recovered(self, flags: int, key: bytes, value: bytes) -> None:
+        if flags & _TOMBSTONE:
+            if key in self._index:
+                self._dead_records += 1
+            self._index.pop(key, None)
+            self._dead_records += 1
+        else:
+            if key in self._index:
+                self._dead_records += 1
+            self._index[key] = value
+
     def _recover(self) -> None:
         with open(self._path, "rb") as fh:
             header = fh.read(len(_MAGIC) + 1)
             if header[:len(_MAGIC)] != _MAGIC:
                 raise StorageError(f"{self._path} is not a repro KV log")
-            if header[len(_MAGIC)] != _VERSION:
+            if header[len(_MAGIC)] not in _SUPPORTED_VERSIONS:
                 raise StorageError("unsupported KV log version")
-            offset = len(header)
+            # `cursor` tracks the raw file position; `offset` is the
+            # committed watermark the next append resumes at.  Batch
+            # members advance only the cursor — the watermark jumps past
+            # them when (and only when) their commit marker is intact, so
+            # an uncommitted batch is rolled back wholesale.
+            cursor = offset = len(header)
+            pending: list[tuple[int, bytes, bytes]] = []
             while True:
-                record_start = offset
+                record_start = cursor
                 head = fh.read(_CHECKSUM_LEN + 9)
                 if len(head) < _CHECKSUM_LEN + 9:
                     break  # clean EOF or torn header: stop here
@@ -182,16 +212,24 @@ class LogKvStore:
                         )
                     break  # corrupt final record == torn tail: drop it
                 key = body[:klen]
-                if flags & _TOMBSTONE:
-                    if key in self._index:
-                        self._dead_records += 1
-                    self._index.pop(key, None)
-                    self._dead_records += 1
+                cursor = record_start + _CHECKSUM_LEN + 9 + klen + vlen
+                if flags & _COMMIT:
+                    for member in pending:
+                        self._apply_recovered(*member)
+                    pending = []
+                    self._dead_records += 1  # the marker itself is overhead
+                    offset = cursor
+                elif flags & _BATCH:
+                    pending.append((flags & ~_BATCH, key, body[klen:]))
                 else:
-                    if key in self._index:
-                        self._dead_records += 1
-                    self._index[key] = body[klen:]
-                offset = record_start + _CHECKSUM_LEN + 9 + klen + vlen
+                    if pending:
+                        # A plain record can never follow open batch
+                        # members: appends always resume at the watermark.
+                        raise CorruptRecordError(
+                            f"unterminated batch before offset {record_start}"
+                        )
+                    self._apply_recovered(flags, key, body[klen:])
+                    offset = cursor
             self._valid_length = offset
 
     def _append(self, record: bytes) -> None:
@@ -238,28 +276,38 @@ class LogKvStore:
 
     def apply_batch(self, upserts: Mapping[bytes, bytes],
                     deletes: Iterable[bytes]) -> int:
-        """Apply many changes with ONE append and ONE fsync.
+        """Apply many changes with ONE append, ONE fsync — atomically.
 
         Tombstones go first so that a key being both deleted and re-put
-        within the batch replays to its new value.  Returns the number of
-        log bytes written (0 when the batch is empty).
+        within the batch replays to its new value.  A multi-record batch
+        is framed (``_BATCH`` members sealed by a ``_COMMIT`` marker) so
+        recovery applies it all or not at all; a single-record batch
+        needs no framing — one record is atomic by itself.  Returns the
+        number of log bytes written (0 when the batch is empty).
         """
-        chunks: list[bytes] = []
+        records: list[tuple[int, bytes, bytes]] = []
         dropped: list[bytes] = []
         for key in deletes:
             key = bytes(key)
             if key in self._index:
-                chunks.append(_encode_record(_TOMBSTONE, key, b""))
+                records.append((_TOMBSTONE, key, b""))
                 dropped.append(key)
         puts: dict[bytes, bytes] = {}
         for key, value in upserts.items():
             key, value = bytes(key), bytes(value)
             if not key:
                 raise ParameterError("keys must be non-empty")
-            chunks.append(_encode_record(0, key, value))
+            records.append((0, key, value))
             puts[key] = value
-        if not chunks:
+        if not records:
             return 0
+        if len(records) == 1:
+            chunks = [_encode_record(*records[0])]
+        else:
+            chunks = [_encode_record(flags | _BATCH, key, value)
+                      for flags, key, value in records]
+            chunks.append(_encode_record(_COMMIT, b"", b""))
+            self._dead_records += 1  # the commit marker is pure overhead
         blob = b"".join(chunks)
         self._append(blob)
         for key in dropped:

@@ -1,0 +1,113 @@
+"""BoundedCache: LRU eviction, counters, and the scheme-client wiring."""
+
+import pytest
+
+from repro.core.cache import DEFAULT_CACHE_SIZE, BoundedCache
+from repro.errors import ParameterError
+
+
+class TestBoundedCache:
+    def test_get_put_round_trip(self):
+        cache = BoundedCache(4)
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = BoundedCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh: "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency(self):
+        cache = BoundedCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # rewrite: "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_hit_miss_counters(self):
+        cache = BoundedCache(4)
+        cache.get("absent")
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("k")
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_get_or_compute(self):
+        cache = BoundedCache(4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_clear_keeps_counters(self):
+        cache = BoundedCache(4)
+        cache.put("k", 1)
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is None
+        assert cache.stats() == {"entries": 0, "hits": 1, "misses": 1,
+                                 "max_entries": 4}
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            BoundedCache(0)
+        with pytest.raises(ParameterError):
+            BoundedCache(-3)
+
+    def test_default_size(self):
+        assert BoundedCache().max_entries == DEFAULT_CACHE_SIZE
+
+
+class TestClientCacheWiring:
+    """Caches actually short-circuit repeated derivations on real clients."""
+
+    def test_scheme2_repeat_search_hits_cache(self, master_key, rng):
+        from repro.core import Document, make_scheme2
+
+        client, _, _ = make_scheme2(master_key, chain_length=64, rng=rng)
+        client.store([Document(0, b"a", frozenset({"flu"}))])
+        client.search("flu")
+        hits_before = client.cache_stats()["trapdoors"]["hits"]
+        client.search("flu")
+        assert client.cache_stats()["trapdoors"]["hits"] > hits_before
+
+    def test_scheme2_cache_cleared_on_import(self, master_key, rng):
+        from repro.core import Document, make_scheme2
+
+        client, _, _ = make_scheme2(master_key, chain_length=64, rng=rng)
+        client.store([Document(0, b"a", frozenset({"flu"}))])
+        client.search("flu")
+        state = client.export_state()
+        client.import_state(state)
+        assert client.cache_stats()["trapdoors"]["entries"] == 0
+
+    def test_scheme1_repeat_search_hits_tag_cache(self, master_key,
+                                                  elgamal_keypair, rng):
+        from repro.core import Document, make_scheme1
+
+        client, _, _ = make_scheme1(master_key, capacity=32,
+                                    keypair=elgamal_keypair, rng=rng)
+        client.store([Document(0, b"a", frozenset({"flu"}))])
+        client.search("flu")
+        hits_before = client.cache_stats()["tags"]["hits"]
+        client.search("flu")
+        assert client.cache_stats()["tags"]["hits"] > hits_before

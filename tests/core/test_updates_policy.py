@@ -20,11 +20,11 @@ class TestBatching:
         client, _, channel = deployment
         updater = HardenedUpdater(client, batch_size=3)
         channel.reset_stats()
-        updater.add_document(Document(0, b"a", frozenset({"k"})))
-        updater.add_document(Document(1, b"b", frozenset({"k"})))
+        updater.add_documents([Document(0, b"a", frozenset({"k"}))])
+        updater.add_documents([Document(1, b"b", frozenset({"k"}))])
         assert updater.pending == 2
         assert channel.stats.rounds == 0  # nothing sent yet
-        updater.add_document(Document(2, b"c", frozenset({"k"})))
+        updater.add_documents([Document(2, b"c", frozenset({"k"}))])
         assert updater.pending == 0
         assert updater.flushes == 1
         assert channel.stats.rounds > 0
@@ -32,14 +32,14 @@ class TestBatching:
     def test_explicit_flush(self, deployment):
         client, _, _ = deployment
         updater = HardenedUpdater(client, batch_size=100)
-        updater.add_document(Document(0, b"a", frozenset({"k"})))
+        updater.add_documents([Document(0, b"a", frozenset({"k"}))])
         assert updater.flush() == 1
         assert updater.flush() == 0  # idempotent when empty
 
     def test_search_flushes_first(self, deployment):
         client, _, _ = deployment
         updater = HardenedUpdater(client, batch_size=100)
-        updater.add_document(Document(0, b"a", frozenset({"k"})))
+        updater.add_documents([Document(0, b"a", frozenset({"k"}))])
         result = updater.search("k")
         assert result.doc_ids == [0]  # never stale
         assert updater.pending == 0
@@ -62,6 +62,13 @@ class TestBatching:
         with pytest.raises(ParameterError):
             HardenedUpdater(client, batch_size=0)
 
+    def test_add_document_shim_deprecated(self, deployment):
+        client, _, _ = deployment
+        updater = HardenedUpdater(client, batch_size=100)
+        with pytest.warns(DeprecationWarning):
+            updater.add_document(Document(0, b"a", frozenset({"k"})))
+        assert updater.pending == 1
+
 
 class TestPadding:
     def test_every_flush_covers_universe(self, deployment):
@@ -69,8 +76,8 @@ class TestPadding:
         updater = HardenedUpdater(client, batch_size=1,
                                   keyword_universe=_UNIVERSE)
         channel.reset_stats()
-        updater.add_document(Document(0, b"a", frozenset({"u1"})))
-        updater.add_document(Document(1, b"b", frozenset({"u2", "u3"})))
+        updater.add_documents([Document(0, b"a", frozenset({"u1"}))])
+        updater.add_documents([Document(1, b"b", frozenset({"u2", "u3"}))])
         observations = observe_updates(channel.transcript)
         # real + fake per flush → merge pairs; each round must show a
         # constant keyword count (the whole universe).
@@ -86,7 +93,7 @@ class TestPadding:
         client, _, _ = deployment
         updater = HardenedUpdater(client, batch_size=1,
                                   keyword_universe=_UNIVERSE)
-        updater.add_document(Document(0, b"a", frozenset(_UNIVERSE)))
+        updater.add_documents([Document(0, b"a", frozenset(_UNIVERSE))])
         assert updater.fake_updates_sent == 0
 
     def test_keywords_outside_universe_rejected(self, deployment):
@@ -94,7 +101,7 @@ class TestPadding:
         updater = HardenedUpdater(client, batch_size=2,
                                   keyword_universe=_UNIVERSE)
         with pytest.raises(ParameterError):
-            updater.add_document(Document(0, b"a", frozenset({"rogue"})))
+            updater.add_documents([Document(0, b"a", frozenset({"rogue"}))])
 
     def test_padding_requires_scheme2(self, master_key, elgamal_keypair,
                                       rng):
@@ -108,7 +115,7 @@ class TestPadding:
         client, _, _ = make_scheme1(master_key, capacity=32,
                                     keypair=elgamal_keypair, rng=rng)
         updater = HardenedUpdater(client, batch_size=2)
-        updater.add_document(Document(0, b"a", frozenset({"k"})))
+        updater.add_documents([Document(0, b"a", frozenset({"k"}))])
         assert updater.search("k").doc_ids == [0]
 
 

@@ -1,0 +1,256 @@
+"""Wire-level batching: envelope, capability fallback, lock class, fuzz."""
+
+import random
+
+import pytest
+
+from repro.core import Document
+from repro.errors import ProtocolError
+from repro.net.channel import Channel
+from repro.net.messages import (Message, MessageType, batch_inner_types,
+                                pack_batch, pack_batch_result, unpack_batch,
+                                unpack_batch_result)
+from repro.net.session import is_read_request
+
+
+def _sample_messages():
+    return [
+        Message(MessageType.STORE_DOCUMENT, (b"\x00" * 8, b"ciphertext")),
+        Message(MessageType.S2_SEARCH_REQUEST, (b"tag", b"trapdoor")),
+    ]
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        messages = _sample_messages()
+        envelope = pack_batch(messages)
+        assert envelope.type is MessageType.BATCH_REQUEST
+        inner = unpack_batch(Message.deserialize(envelope.serialize()))
+        assert list(inner) == messages
+
+    def test_result_round_trip(self):
+        replies = [Message(MessageType.ACK),
+                   Message(MessageType.ERROR, (b"ProtocolError",))]
+        envelope = pack_batch_result(replies)
+        decoded = unpack_batch_result(
+            Message.deserialize(envelope.serialize()), expected_count=2)
+        assert list(decoded) == replies
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ProtocolError):
+            pack_batch([])
+        with pytest.raises(ProtocolError):
+            unpack_batch(Message(MessageType.BATCH_REQUEST))
+
+    def test_batches_do_not_nest(self):
+        envelope = pack_batch(_sample_messages())
+        with pytest.raises(ProtocolError):
+            pack_batch([envelope])
+        crafted = Message(MessageType.BATCH_REQUEST,
+                          (envelope.serialize(),))
+        with pytest.raises(ProtocolError):
+            unpack_batch(crafted)
+
+    def test_inner_trace_ids_stripped(self):
+        # The envelope's trace ID covers every item; a stale inner ID
+        # must not survive onto the wire.
+        traced = Message(MessageType.ACK, (b"ok",), trace_id=b"\x07" * 8)
+        envelope = pack_batch([traced], trace_id=b"\x01" * 8)
+        (inner,) = unpack_batch(envelope)
+        assert inner.trace_id is None
+        assert envelope.trace_id == b"\x01" * 8
+
+    def test_result_count_mismatch_rejected(self):
+        envelope = pack_batch_result([Message(MessageType.ACK)])
+        with pytest.raises(ProtocolError):
+            unpack_batch_result(envelope, expected_count=2)
+
+    def test_inner_types_peek(self):
+        envelope = pack_batch(_sample_messages())
+        assert batch_inner_types(envelope) == (
+            MessageType.STORE_DOCUMENT, MessageType.S2_SEARCH_REQUEST)
+
+    def test_inner_types_rejects_non_batch(self):
+        with pytest.raises(ProtocolError):
+            batch_inner_types(Message(MessageType.ACK))
+
+    def test_inner_types_rejects_garbage_items(self):
+        with pytest.raises(ProtocolError):
+            batch_inner_types(Message(MessageType.BATCH_REQUEST, (b"",)))
+        with pytest.raises(ProtocolError):
+            batch_inner_types(Message(MessageType.BATCH_REQUEST,
+                                      (b"\xfe rubbish",)))
+
+
+class TestLockClassification:
+    def test_all_read_batch_is_read(self):
+        envelope = pack_batch([
+            Message(MessageType.S2_SEARCH_REQUEST, (b"t", b"w")),
+            Message(MessageType.S1_SEARCH_REQUEST, (b"t",)),
+        ])
+        assert is_read_request(envelope)
+
+    def test_any_write_item_makes_the_batch_a_write(self):
+        envelope = pack_batch([
+            Message(MessageType.S2_SEARCH_REQUEST, (b"t", b"w")),
+            Message(MessageType.STORE_DOCUMENT, (b"\x00" * 8, b"c")),
+        ])
+        assert not is_read_request(envelope)
+
+    def test_unparsable_batch_classified_read(self):
+        # A garbage envelope never reaches a handler's mutating path (it
+        # is rejected while parsing), so it must not grab exclusivity.
+        crafted = Message(MessageType.BATCH_REQUEST, (b"",))
+        assert is_read_request(crafted)
+
+    def test_plain_messages_keep_their_class(self):
+        assert is_read_request(
+            Message(MessageType.S2_SEARCH_REQUEST, (b"t", b"w")))
+        assert not is_read_request(
+            Message(MessageType.STORE_DOCUMENT, (b"\x00" * 8, b"c")))
+
+
+class TestMalformedFrameFuzz:
+    """Nothing but ProtocolError may escape frame parsing of hostile bytes."""
+
+    def _assert_only_protocol_errors(self, data: bytes) -> None:
+        try:
+            message = Message.deserialize(data)
+            if message.type in (MessageType.BATCH_REQUEST,
+                                MessageType.BATCH_RESULT):
+                unpack_batch_result(message) \
+                    if message.type is MessageType.BATCH_RESULT \
+                    else unpack_batch(message)
+                batch_inner_types(message)
+        except ProtocolError:
+            pass
+
+    def test_truncations(self):
+        wire = pack_batch(_sample_messages(),
+                          trace_id=b"\x42" * 8).serialize()
+        for cut in range(len(wire)):
+            self._assert_only_protocol_errors(wire[:cut])
+
+    def test_random_mutations(self):
+        wire = pack_batch(_sample_messages()).serialize()
+        rng = random.Random(0xBA7C4)
+        for _ in range(500):
+            mutated = bytearray(wire)
+            for _ in range(rng.randint(1, 4)):
+                mutated[rng.randrange(len(mutated))] = rng.randrange(256)
+            self._assert_only_protocol_errors(bytes(mutated))
+
+    def test_random_garbage(self):
+        rng = random.Random(0xF00D)
+        for length in (0, 1, 2, 3, 7, 64, 300):
+            for _ in range(50):
+                self._assert_only_protocol_errors(
+                    bytes(rng.randrange(256) for _ in range(length)))
+
+    def test_declared_length_overflow(self):
+        # A field header promising more bytes than the frame carries.
+        data = bytes([MessageType.BATCH_REQUEST.value]) + \
+            (1).to_bytes(2, "big") + (2 ** 31).to_bytes(4, "big") + b"x"
+        with pytest.raises(ProtocolError):
+            Message.deserialize(data)
+
+
+class _LegacyServer:
+    """A pre-batch server: real scheme, but BATCH_REQUEST is unknown."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def handle(self, message):
+        if message.type is MessageType.BATCH_REQUEST:
+            raise ProtocolError(
+                f"unsupported message type {message.type.name}")
+        return self._inner.handle(message)
+
+
+class TestRequestManyFallback:
+    def test_modern_server_batches(self, master_key, rng):
+        client, _, channel = __import__(
+            "repro.core", fromlist=["make_scheme2"]
+        ).make_scheme2(master_key, chain_length=64, rng=rng)
+        client.store([Document(0, b"a", frozenset({"flu"})),
+                      Document(1, b"b", frozenset({"flu", "rash"}))])
+        assert channel.stats.batches >= 1
+        assert channel.stats.batched_messages >= 2
+        assert channel._peer_batch is True
+        assert client.search("flu").doc_ids == [0, 1]
+
+    def test_legacy_server_degrades_transparently(self, master_key, rng):
+        from repro.core.scheme2 import Scheme2Client, Scheme2Server
+
+        server = Scheme2Server(max_walk=64)
+        channel = Channel(_LegacyServer(server))
+        client = Scheme2Client(master_key, channel, chain_length=64,
+                               rng=rng)
+        client.store([Document(0, b"a", frozenset({"flu"})),
+                      Document(1, b"b", frozenset({"flu", "rash"}))])
+        # The rejection was remembered: no batch ever succeeded, yet the
+        # documents made it over sequentially.
+        assert channel._peer_batch is False
+        assert channel.stats.batches == 0
+        assert client.search("flu").doc_ids == [0, 1]
+        # Later bulk calls skip the probe entirely and stay sequential.
+        batches_before = channel.stats.messages
+        results = client.search_batch(["flu", "rash"])
+        assert [r.doc_ids for r in results] == [[0, 1], [1]]
+        assert channel.stats.batches == 0
+        assert channel.stats.messages > batches_before
+
+    def test_mid_batch_transport_failure_propagates(self):
+        class DyingServer:
+            def handle(self, message):
+                raise ProtocolError("server closed the connection")
+
+        channel = Channel(DyingServer())
+        with pytest.raises(ProtocolError):
+            channel.request_many(_sample_messages())
+        # An ambiguous failure must NOT flip the capability bit: a blind
+        # sequential replay could double-apply whatever the server did.
+        assert channel._peer_batch is None
+
+    def test_item_error_raises_with_position(self, tmp_path, master_key):
+        from repro.core.registry import make_server
+
+        server = make_server("scheme2", data_dir=tmp_path)
+        channel = Channel(server)
+        bad = Message(MessageType.S2_SEARCH_REQUEST, (b"only-one-field",))
+        good = Message(MessageType.STORE_DOCUMENT, (b"\x00" * 8, b"c"))
+        with pytest.raises(ProtocolError, match="batch item 1"):
+            channel.request_many([good, bad])
+
+    def test_item_error_in_position_without_raise(self, tmp_path,
+                                                  master_key):
+        from repro.core.registry import make_server
+
+        server = make_server("scheme2", data_dir=tmp_path)
+        channel = Channel(server)
+        bad = Message(MessageType.S2_SEARCH_REQUEST, (b"only-one-field",))
+        good = Message(MessageType.STORE_DOCUMENT, (b"\x00" * 8, b"c"))
+        replies = channel.request_many([good, bad, good],
+                                       raise_on_error=False)
+        assert [r.type for r in replies] == [
+            MessageType.ACK, MessageType.ERROR, MessageType.ACK]
+
+    def test_single_message_needs_no_envelope(self, master_key, rng):
+        from repro.core import make_scheme2
+
+        client, _, channel = make_scheme2(master_key, chain_length=64,
+                                          rng=rng)
+        channel.reset_stats()
+        (reply,) = channel.request_many(
+            [Message(MessageType.STORE_DOCUMENT, (b"\x00" * 8, b"c"))])
+        assert reply.type is MessageType.ACK
+        assert channel.stats.batches == 0
+        # No probe happened: a lone message tells us nothing about the peer.
+        assert channel._peer_batch is None
+
+    def test_empty_request_many(self, master_key, rng):
+        from repro.core import make_scheme2
+
+        _, _, channel = make_scheme2(master_key, chain_length=64, rng=rng)
+        assert channel.request_many([]) == []

@@ -80,13 +80,21 @@ class TestEndToEndSpans:
                 "server.lock_wait", "server.handle"} <= search.span_names()
 
     def test_store_trace_includes_durable_flush(self, traced_round_trip):
+        # store() ships documents + metadata as ONE batch frame, so the
+        # flush (exactly one — that is the point) sits in the batch trace.
         tracer, _ = traced_round_trip
-        flushes = [s for t in tracer.finished_traces()
-                   if t.message_type in ("STORE_DOCUMENT", "S2_STORE_ENTRY")
-                   for s in t.find_spans("storage.flush")]
-        assert flushes  # every mutating request flushed durably
+        by_type = {t.message_type: t for t in tracer.finished_traces()}
+        batch = by_type["BATCH_REQUEST"]
+        flushes = batch.find_spans("storage.flush")
+        assert len(flushes) == 1  # one fsync for the whole upload
         assert all(f.attrs["records"] >= 1 for f in flushes)
         assert all(f.attrs["bytes"] > 0 for f in flushes)
+        # Per-item attribution: the batch span wraps one sub-span per
+        # inner message, each typed after its inner message.
+        assert batch.find_spans("server.batch")
+        item_types = {s.attrs["type"]
+                      for s in batch.find_spans("server.batch_item")}
+        assert item_types == {"STORE_DOCUMENT", "S2_STORE_ENTRY"}
 
     def test_handler_span_attributes_crypto_ops(self, traced_round_trip):
         # Acceptance: the search handler span carries nonzero PRF work.
@@ -100,10 +108,12 @@ class TestEndToEndSpans:
         assert "aes_block" not in ops
 
     def test_lock_wait_span_records_mode(self, traced_round_trip):
+        # The mutating batch takes the write lock ONCE for all its items;
+        # the search takes the read side.
         tracer, _ = traced_round_trip
         by_type = {t.message_type: t for t in tracer.finished_traces()}
         (store_wait,) = (
-            by_type["S2_STORE_ENTRY"].find_spans("server.lock_wait"))
+            by_type["BATCH_REQUEST"].find_spans("server.lock_wait"))
         (search_wait,) = (
             by_type["S2_SEARCH_REQUEST"].find_spans("server.lock_wait"))
         assert store_wait.attrs["mode"] == "write"

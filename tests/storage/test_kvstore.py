@@ -164,12 +164,43 @@ class TestApplyBatch:
         assert batched > 0
         assert os.path.getsize(path) == 5 + batched
 
-        # Byte-identical to the same changes applied one put at a time.
+        # Same live state as the same changes applied one put at a time
+        # (the logs differ on disk: the batch carries atomicity framing).
         path2 = tmp_path / "kv2.log"
         store2 = LogKvStore(path2)
         for key, value in ((b"a", b"1"), (b"b", b"2"), (b"c", b"3")):
             store2.put(key, value)
+        recovered = LogKvStore(path)
+        assert {k: recovered.get(k) for k in recovered.keys()} == \
+            {k: store2.get(k) for k in store2.keys()}
+
+    def test_single_record_batch_needs_no_framing(self, tmp_path):
+        # A one-record batch is atomic by itself, so its log bytes are
+        # identical to a plain put.
+        path = tmp_path / "kv.log"
+        LogKvStore(path).apply_batch({b"a": b"1"}, set())
+        path2 = tmp_path / "kv2.log"
+        LogKvStore(path2).put(b"a", b"1")
         assert path.read_bytes() == path2.read_bytes()
+
+    def test_torn_batch_rolls_back_entirely(self, tmp_path):
+        # Crash mid-batch: members on disk but the commit marker torn off.
+        # Recovery must drop the WHOLE batch, not replay a prefix.
+        path = tmp_path / "kv.log"
+        store = LogKvStore(path)
+        store.put(b"keep", b"0")
+        before = os.path.getsize(path)
+        store.apply_batch({b"a": b"1", b"b": b"2"}, set())
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-5])  # tear the commit marker
+        recovered = LogKvStore(path)
+        assert recovered.get(b"keep") == b"0"
+        assert recovered.get(b"a") is None
+        assert recovered.get(b"b") is None
+        # The torn members are dead space: the next append reclaims them.
+        recovered.put(b"later", b"3")
+        assert os.path.getsize(path) < before + (len(raw) - before)
+        assert LogKvStore(path).get(b"later") == b"3"
 
     def test_batch_survives_reopen(self, tmp_path):
         path = tmp_path / "kv.log"

@@ -11,6 +11,13 @@ Four failure modes are caught across every module in ``src/repro``:
 * an underscore-prefixed name in ``__all__`` (exporting something the
   naming convention says is private is always a mistake).
 
+One protocol-level check rides along: every :class:`MessageType` member
+must be referenced by name somewhere in ``src/repro`` outside the enum's
+own module.  A member nobody handles, sends, or explicitly rejects is an
+orphan — usually a wire type someone added without a dispatcher branch
+(unknown types are rejected generically, but a *known* type that no code
+touches is dead protocol surface).
+
 Exit status is the number of offending modules, so ``make lint`` fails
 loudly.  No third-party dependencies.
 """
@@ -107,6 +114,43 @@ def check(path: Path) -> list[str]:
     return problems
 
 
+_MESSAGES = SRC / "repro" / "net" / "messages.py"
+
+
+def message_type_members() -> list[str]:
+    tree = ast.parse(_MESSAGES.read_text(encoding="utf-8"))
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "MessageType":
+            return [n.targets[0].id for n in node.body
+                    if isinstance(n, ast.Assign)
+                    and isinstance(n.targets[0], ast.Name)]
+    raise SystemExit("check_all: MessageType enum not found")
+
+
+def referenced_message_types(path: Path) -> set[str]:
+    """Names X used as ``MessageType.X`` anywhere in the module."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    return {
+        node.attr for node in ast.walk(tree)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "MessageType"
+    }
+
+
+def check_message_types() -> list[str]:
+    referenced: set[str] = set()
+    for path in sorted(SRC.rglob("*.py")):
+        if path == _MESSAGES:
+            continue
+        referenced |= referenced_message_types(path)
+    return [
+        f"MessageType.{member} is never handled, sent, or rejected "
+        f"anywhere in src/repro"
+        for member in message_type_members() if member not in referenced
+    ]
+
+
 def main() -> int:
     bad = 0
     for path in sorted(SRC.rglob("*.py")):
@@ -116,10 +160,15 @@ def main() -> int:
             rel = path.relative_to(SRC.parent)
             for problem in problems:
                 print(f"{rel}: {problem}")
+    orphans = check_message_types()
+    for problem in orphans:
+        print(f"src/repro/net/messages.py: {problem}")
+    bad += bool(orphans)
     if bad:
-        print(f"check_all: {bad} module(s) with __all__ drift")
+        print(f"check_all: {bad} module(s) with export/protocol drift")
     else:
-        print("check_all: __all__ exports are consistent")
+        print("check_all: __all__ exports and MessageType coverage are "
+              "consistent")
     return bad
 
 
