@@ -7,6 +7,10 @@ PYTHON ?= python3
 install:
 	pip install -e . --no-build-isolation
 
+# Byte-compile everything, then run the repro-lint invariant suite
+# (lock discipline, crypto hygiene, exception taxonomy, protocol
+# exhaustiveness, __all__ surface, observability drift) — see
+# docs/static-analysis.md.  check_all.py is a shim over repro.analysis.
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples tools
 	$(PYTHON) tools/check_all.py

@@ -1,0 +1,38 @@
+"""``repro.analysis`` — AST-based invariant checkers for this repository.
+
+The service layer gives this codebase the failure surface of a real
+system: a writer-preferring RW lock around every scheme, per-frame
+fsyncs, a byte-defined wire protocol, and hand-rolled crypto where one
+stdlib ``random`` call or one logged key byte breaks the IND-CKA2 story.
+This package enforces those invariants mechanically on every run of
+``make lint`` / CI instead of re-discovering them in review:
+
+========================  ==============================================
+checker id                invariant
+========================  ==============================================
+``api-surface``           ``__all__`` matches real definitions
+``crypto-hygiene``        randomness flows from ``repro.crypto.rng``;
+                          constant-time tag compares; no secrets in
+                          errors/logs/repr/spans
+``exception-taxonomy``    net/core/storage raise ``repro.errors`` only
+``lock-discipline``       no blocking work under the session RW lock;
+                          consistent lock acquisition order
+``obs-drift``             metric/span names match
+                          ``docs/observability.md``
+``protocol-exhaustive``   every ``MessageType`` is tested, dispatched,
+                          and read/write-classified
+========================  ==============================================
+
+Entry points: the ``repro-lint`` console script, ``python -m
+repro.analysis``, or the :func:`repro.analysis.engine.run_checks` API.
+Suppress a single finding in place with ``# repro: allow(<check-id>)``
+(same line or the line above); grandfather whole classes of findings in
+``tools/analysis_baseline.json``.  See ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.engine import (Baseline, Checker, Finding, Project,
+                                   Report, all_checkers, checker,
+                                   run_checks)
+
+__all__ = ["Baseline", "Checker", "Finding", "Project", "Report",
+           "all_checkers", "checker", "run_checks"]

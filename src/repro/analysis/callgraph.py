@@ -1,0 +1,181 @@
+"""Lightweight intra-package call graph for the lock-discipline checker.
+
+This is deliberately a *static under-approximation*: only calls whose
+target can be resolved by name within ``src/repro`` are followed —
+
+* ``name(...)`` resolves through the module's ``from x import name``
+  imports or to a function defined in the same module;
+* ``self.method(...)`` resolves to a method of the same class;
+* ``mod.func(...)`` resolves through ``import repro.x as mod`` /
+  ``from repro import x``.
+
+Dynamic dispatch (``handler.handle(...)`` where ``handler`` is a
+constructor argument) is left unresolved on purpose: following it would
+flood the lock-discipline checker with every handler implementation,
+including ones the service layer intentionally runs under the write
+lock.  The checker therefore reasons about what the *service layer
+itself* does while holding a lock, plus everything reachable through
+statically-resolved helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import Project, SourceFile
+
+__all__ = ["FunctionInfo", "CallSite", "CallGraph", "build_call_graph"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the package."""
+
+    key: str                    # "module.Class.method" / "module.func"
+    module: str
+    qualname: str
+    class_name: str | None
+    node: ast.AST
+    source: SourceFile
+    calls: list["CallSite"] = field(default_factory=list)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, resolved if possible."""
+
+    node: ast.Call
+    line: int
+    label: str                  # human-readable callee ("os.fsync", ...)
+    target: str | None          # FunctionInfo.key when resolved in-package
+
+
+class _ModuleIndex:
+    """Per-module import table: local name -> dotted target."""
+
+    def __init__(self, source: SourceFile) -> None:
+        self.imports: dict[str, str] = {}
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.imports[local] = (alias.name if alias.asname
+                                           else alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+
+def _call_label(func: ast.expr) -> str:
+    """Readable dotted name for a call target expression."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif not parts:
+        return "<dynamic>"
+    return ".".join(reversed(parts))
+
+
+class CallGraph:
+    """Functions of a project plus their resolved call edges."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self._by_module_name: dict[tuple[str, str], str] = {}
+        self._methods: dict[tuple[str, str, str], str] = {}
+
+    def add(self, info: FunctionInfo) -> None:
+        self.functions[info.key] = info
+        if info.class_name is None:
+            self._by_module_name[(info.module, info.qualname)] = info.key
+        else:
+            name = info.qualname.rsplit(".", 1)[-1]
+            self._methods[(info.module, info.class_name, name)] = info.key
+
+    def resolve_function(self, module: str, name: str) -> str | None:
+        """A plain function *name* defined at top level of *module*."""
+        return self._by_module_name.get((module, name))
+
+    def resolve_method(self, module: str, class_name: str,
+                       name: str) -> str | None:
+        """Method *name* on *class_name* in *module*."""
+        return self._methods.get((module, class_name, name))
+
+
+def _collect_functions(source: SourceFile, graph: CallGraph) -> None:
+    module = source.module
+    if module is None:
+        return
+
+    def visit(body, prefix: str, class_name: str | None) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{node.name}"
+                graph.add(FunctionInfo(
+                    key=f"{module}.{qualname}", module=module,
+                    qualname=qualname, class_name=class_name,
+                    node=node, source=source))
+                # Nested defs keep the enclosing class for self-resolution.
+                visit(node.body, f"{qualname}.", class_name)
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, f"{node.name}.", node.name)
+
+    visit(source.tree.body, "", None)
+
+
+def _resolve_call(call: ast.Call, info: FunctionInfo, index: _ModuleIndex,
+                  graph: CallGraph) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        # Same-module function first, then a from-import of one.
+        target = graph.resolve_function(info.module, func.id)
+        if target is not None:
+            return target
+        dotted = index.imports.get(func.id)
+        if dotted and dotted.startswith("repro."):
+            module, _, name = dotted.rpartition(".")
+            return graph.resolve_function(module, name)
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        owner = func.value.id
+        if owner in ("self", "cls") and info.class_name is not None:
+            return graph.resolve_method(info.module, info.class_name,
+                                        func.attr)
+        dotted = index.imports.get(owner)
+        if dotted:
+            if not dotted.startswith("repro"):
+                return None
+            candidate = dotted if dotted.startswith("repro.") else None
+            if candidate is None:
+                return None
+            return graph.resolve_function(candidate, func.attr)
+    return None
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Index every function in ``src/repro`` and resolve its call sites."""
+    graph = CallGraph()
+    sources = [s for s in project.source_files() if s.module is not None]
+    for source in sources:
+        _collect_functions(source, graph)
+    for source in sources:
+        index = _ModuleIndex(source)
+        for info in list(graph.functions.values()):
+            if info.source is not source:
+                continue
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    info.calls.append(CallSite(
+                        node=node, line=node.lineno,
+                        label=_call_label(node.func),
+                        target=_resolve_call(node, info, index, graph)))
+    return graph

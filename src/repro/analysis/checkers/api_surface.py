@@ -1,0 +1,121 @@
+"""``api-surface``: ``__all__`` matches what each module actually defines.
+
+Ported from the original ``tools/check_all.py``; the four failure modes
+are unchanged:
+
+* a name in ``__all__`` the module never defines (stale export —
+  ``import *`` would raise ``AttributeError``);
+* a public top-level class/function missing from a declared ``__all__``
+  (silent API drift);
+* the same name exported twice (copy-paste drift);
+* an underscore-prefixed name in ``__all__`` (exporting something the
+  naming convention says is private).
+
+Modules that do not declare ``__all__`` are skipped — the check enforces
+consistency where a contract was stated, it does not demand a contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Project, SourceFile, checker
+
+__all__ = ["check_api_surface"]
+
+
+def _declared_all(tree: ast.Module) -> tuple[list[str], int] | None:
+    """(__all__ entries, line of the assignment), if declared."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    names = [elt.value for elt in value.elts
+                             if isinstance(elt, ast.Constant)]
+                    return names, node.lineno
+    return None
+
+
+def _public_definitions(tree: ast.Module) -> dict[str, int]:
+    """Top-level public def/class names and their definition lines."""
+    return {
+        node.name: node.lineno for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef))
+        and not node.name.startswith("_")
+    }
+
+
+def _defined_names(tree: ast.Module) -> set[str]:
+    """Every top-level binding: defs, classes, assignments, imports."""
+    names = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+    return names
+
+
+def _check_module(source: SourceFile) -> list[Finding]:
+    declared = _declared_all(source.tree)
+    if declared is None:
+        return []
+    exported, line = declared
+    findings = []
+
+    def finding(message: str, hint: str, at: int = line) -> None:
+        findings.append(Finding("api-surface", source.rel, at, message,
+                                hint=hint))
+
+    seen: set[str] = set()
+    for name in exported:
+        if name in seen:
+            finding(f"exports {name!r} more than once",
+                    "remove the duplicate __all__ entry")
+        seen.add(name)
+        is_dunder = name.startswith("__") and name.endswith("__")
+        if name.startswith("_") and not is_dunder:
+            finding(f"exports underscore-private name {name!r}",
+                    "rename it public or drop it from __all__")
+    available = _defined_names(source.tree)
+    star_imports = any(
+        isinstance(node, ast.ImportFrom)
+        and any(alias.name == "*" for alias in node.names)
+        for node in source.tree.body)
+    for name in exported:
+        if name not in available and not star_imports:
+            finding(f"exports {name!r} which is never defined",
+                    "delete the stale export or define the name")
+    for name, def_line in sorted(_public_definitions(source.tree).items()):
+        if name not in seen:
+            finding(f"defines public {name!r} missing from __all__",
+                    "add it to __all__ or prefix it with an underscore",
+                    at=def_line)
+    return findings
+
+
+@checker("api-surface",
+         "__all__ exports match real definitions: no stale, duplicate, "
+         "private, or missing entries")
+def check_api_surface(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for source in project.source_files():
+        findings.extend(_check_module(source))
+    return findings

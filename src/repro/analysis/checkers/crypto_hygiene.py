@@ -1,0 +1,203 @@
+"""``crypto-hygiene``: the leakage rules that keep IND-CKA2 honest.
+
+Four mechanical rules over ``repro.crypto``, ``repro.core`` and
+``repro.baselines`` (plus the interpolation rule over ``repro.net``,
+where wire errors are assembled):
+
+1. **no stdlib ``random``** — every random byte must flow from
+   :mod:`repro.crypto.rng` (``SystemRandomSource`` / ``HmacDrbg``).
+   ``random`` is a Mersenne twister: predictable outputs turn nonces and
+   masks into a break of the scheme, and a single stray call is invisible
+   in review;
+2. **no raw ``os.urandom`` outside ``repro/crypto/rng.py``** — the rng
+   module is the one place allowed to touch the OS entropy source, so
+   tests can swap in a deterministic DRBG everywhere else;
+3. **no ``==``/``!=`` on tag/MAC/digest values** — byte-string equality
+   short-circuits on the first mismatching byte, turning verification
+   into a timing oracle.  Use :func:`repro.crypto.bytesutil.ct_equal`;
+4. **no key/trapdoor material in exceptions, logs, ``repr`` or trace
+   attributes** — an interpolated key in an error message crosses the
+   wire inside an ERROR frame and lands in server logs, handing the
+   honest-but-curious server exactly what the security proof assumes it
+   never sees.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Project, SourceFile, checker
+
+__all__ = ["check_crypto_hygiene", "is_sensitive_name"]
+
+_SCOPES = ("src/repro/crypto/", "src/repro/core/", "src/repro/baselines/")
+_INTERPOLATION_SCOPES = _SCOPES + ("src/repro/net/",)
+_RNG_MODULE = "src/repro/crypto/rng.py"
+
+_COMPARED_NAMES = ("tag", "mac", "digest", "checksum")
+
+_LOG_CALLS = {"print", "debug", "info", "warning", "error", "exception",
+              "critical", "log"}
+
+
+def is_sensitive_name(name: str) -> bool:
+    """Does *name* look like key/trapdoor material (not a keyword)?"""
+    lowered = name.lower()
+    if "keyword" in lowered:
+        return False
+    return ("trapdoor" in lowered or "secret" in lowered
+            or "key" in lowered or lowered in ("k", "seed", "sk")
+            or lowered.startswith("k_"))
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The identifier a formatted expression ultimately names, if simple.
+
+    ``key`` / ``self._mac_key`` / ``key.hex()`` / ``key[:4]`` all resolve
+    to the underlying name; ``len(key)`` does not (leaking a length is
+    not leaking the key).
+    """
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in ("hex", "decode", "to_bytes"):
+        node = node.func.value
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _interpolated_sensitive(node: ast.expr) -> list[tuple[int, str]]:
+    """(line, name) for sensitive values formatted into *node*."""
+    hits = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.FormattedValue):
+            name = _terminal_name(sub.value)
+            if name and is_sensitive_name(name):
+                hits.append((sub.value.lineno, name))
+        elif isinstance(sub, ast.Call) \
+                and isinstance(sub.func, ast.Attribute) \
+                and sub.func.attr == "format":
+            for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                name = _terminal_name(arg)
+                if name and is_sensitive_name(name):
+                    hits.append((arg.lineno, name))
+        elif isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Mod):
+            for arg in ast.walk(sub.right):
+                name = _terminal_name(arg)
+                if name and is_sensitive_name(name):
+                    hits.append((arg.lineno, name))
+    return hits
+
+
+def _check_randomness(source: SourceFile, findings: list[Finding]) -> None:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    findings.append(Finding(
+                        "crypto-hygiene", source.rel, node.lineno,
+                        "stdlib 'random' imported in crypto-adjacent code",
+                        hint="use repro.crypto.rng (SystemRandomSource or "
+                             "a seeded HmacDrbg)"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                findings.append(Finding(
+                    "crypto-hygiene", source.rel, node.lineno,
+                    "stdlib 'random' imported in crypto-adjacent code",
+                    hint="use repro.crypto.rng (SystemRandomSource or "
+                         "a seeded HmacDrbg)"))
+        elif isinstance(node, ast.Call) and source.rel != _RNG_MODULE:
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id == "os" and func.attr == "urandom":
+                findings.append(Finding(
+                    "crypto-hygiene", source.rel, node.lineno,
+                    "raw os.urandom outside repro/crypto/rng.py",
+                    hint="take a RandomSource so tests can inject a "
+                         "deterministic DRBG"))
+
+
+def _check_comparisons(source: SourceFile, findings: list[Finding]) -> None:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left] + list(node.comparators)
+        # Comparing against None / a literal int is never a byte-string
+        # comparison, whatever the variable is called.
+        if any(isinstance(op, ast.Constant)
+               and not isinstance(op.value, (bytes, str))
+               for op in operands):
+            continue
+        for operand in operands:
+            name = _terminal_name(operand)
+            if name and any(part in name.lower()
+                            for part in _COMPARED_NAMES):
+                findings.append(Finding(
+                    "crypto-hygiene", source.rel, node.lineno,
+                    f"non-constant-time '=='/'!=' comparison on "
+                    f"{name!r}",
+                    hint="use repro.crypto.bytesutil.ct_equal for "
+                         "tag/MAC verification"))
+                break
+
+
+def _check_interpolation(source: SourceFile,
+                         findings: list[Finding]) -> None:
+    tree = source.tree
+
+    def flag(line: int, name: str, where: str) -> None:
+        findings.append(Finding(
+            "crypto-hygiene", source.rel, line,
+            f"key/trapdoor material {name!r} interpolated into {where}",
+            hint="never format secrets into strings; log lengths or "
+                 "redacted prefixes instead"))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            for line, name in _interpolated_sensitive(node.exc):
+                flag(line, name, "an exception message")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            callee = None
+            if isinstance(func, ast.Name):
+                callee = func.id
+            elif isinstance(func, ast.Attribute):
+                callee = func.attr
+            if callee in _LOG_CALLS:
+                for arg in node.args:
+                    for line, name in _interpolated_sensitive(arg):
+                        flag(line, name, f"a {callee}() call")
+            if callee in ("span", "Span", "set"):
+                values = [kw.value for kw in node.keywords]
+                values.extend(node.args)
+                for value in values:
+                    name = _terminal_name(value)
+                    if name and is_sensitive_name(name):
+                        flag(value.lineno, name, "a trace span attribute")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name in ("__repr__", "__str__"):
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Return) and stmt.value is not None:
+                    for line, name in _interpolated_sensitive(stmt.value):
+                        flag(line, name, f"{node.name}()")
+
+
+@checker("crypto-hygiene",
+         "randomness flows from repro.crypto.rng; constant-time tag "
+         "compares; no secrets in errors, logs, repr, or spans")
+def check_crypto_hygiene(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for source in project.source_files():
+        in_scope = source.rel.startswith(_SCOPES)
+        if in_scope:
+            _check_randomness(source, findings)
+            _check_comparisons(source, findings)
+        if in_scope or source.rel.startswith(_INTERPOLATION_SCOPES):
+            _check_interpolation(source, findings)
+    return findings

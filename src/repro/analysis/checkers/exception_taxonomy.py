@@ -1,0 +1,131 @@
+"""``exception-taxonomy``: service code raises the ``repro.errors`` tree.
+
+``repro.net``, ``repro.core`` and ``repro.storage`` form the service
+surface: whatever they raise either crosses the wire as an ERROR frame or
+decides a retry/rollback.  Both decisions dispatch on the exception
+class, so a stray ``ValueError`` silently falls outside the
+``except ReproError`` ladders in the TCP dispatcher and the retry
+transport — the connection dies instead of answering an ERROR frame.
+Three rules:
+
+1. every ``raise`` of a *builtin* exception class is flagged — use (or
+   subclass into) the :mod:`repro.errors` hierarchy.  The deliberate
+   exception is ``NotImplementedError``: it is Python's abstract-method
+   convention and marks an unsupported operation, not a runtime failure;
+2. bare ``except:`` is always flagged (it swallows ``KeyboardInterrupt``
+   and ``SystemExit``);
+3. ``except Exception`` / ``except BaseException`` is flagged unless the
+   handler *re-raises* (a bare ``raise`` somewhere in its body — the
+   classify-then-propagate pattern) or carries an
+   ``# repro: allow(exception-taxonomy)`` pragma with a justification.
+
+Re-raising a caught variable (``raise exc``) and exception chaining are
+always fine; only the construction of new builtin exceptions is policed.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+from repro.analysis.engine import Finding, Project, checker
+
+__all__ = ["check_exception_taxonomy"]
+
+_SCOPES = ("src/repro/net/", "src/repro/core/", "src/repro/storage/")
+
+#: Builtin exception classes, computed from the running interpreter so
+#: the list tracks the Python version.
+_BUILTIN_EXCEPTIONS = {
+    name for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+}
+
+_ALLOWED_BUILTINS = {"NotImplementedError"}
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """Class name for ``raise Name(...)`` / ``raise Name``; else None."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _is_reraise_of_caught(node: ast.Raise, caught: set[str]) -> bool:
+    """``raise exc`` where *exc* is a bound except-handler variable."""
+    return isinstance(node.exc, ast.Name) and node.exc.id in caught
+
+
+def _handler_names(node: ast.ExceptHandler) -> list[str]:
+    """The exception class names an except clause catches."""
+    if node.type is None:
+        return []
+    types = node.type.elts if isinstance(node.type, ast.Tuple) \
+        else [node.type]
+    names = []
+    for t in types:
+        if isinstance(t, ast.Name):
+            names.append(t.id)
+        elif isinstance(t, ast.Attribute):
+            names.append(t.attr)
+    return names
+
+
+def _has_bare_reraise(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@checker("exception-taxonomy",
+         "net/core/storage raise only the repro.errors hierarchy; no "
+         "bare except; broad except must re-raise or carry a pragma")
+def check_exception_taxonomy(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for source in project.source_files():
+        if not source.rel.startswith(_SCOPES):
+            continue
+        caught: set[str] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler) and node.name:
+                caught.add(node.name)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                if _is_reraise_of_caught(node, caught):
+                    continue
+                name = _raised_name(node)
+                if name in _BUILTIN_EXCEPTIONS \
+                        and name not in _ALLOWED_BUILTINS:
+                    findings.append(Finding(
+                        "exception-taxonomy", source.rel, node.lineno,
+                        f"raises builtin {name} instead of the "
+                        f"repro.errors hierarchy",
+                        hint="raise a ReproError subclass (they multiply "
+                             "inherit the builtin, so old callers still "
+                             "catch it)"))
+            elif isinstance(node, ast.ExceptHandler):
+                names = _handler_names(node)
+                if node.type is None:
+                    findings.append(Finding(
+                        "exception-taxonomy", source.rel, node.lineno,
+                        "bare 'except:' swallows KeyboardInterrupt and "
+                        "SystemExit",
+                        hint="catch the narrowest exception that can "
+                             "actually occur"))
+                elif any(name in _BROAD for name in names) \
+                        and not _has_bare_reraise(node):
+                    broad = next(n for n in names if n in _BROAD)
+                    findings.append(Finding(
+                        "exception-taxonomy", source.rel, node.lineno,
+                        f"broad 'except {broad}' without a re-raise",
+                        hint="narrow the catch, re-raise unhandled cases, "
+                             "or add '# repro: allow(exception-taxonomy)' "
+                             "with a justification"))
+    return findings

@@ -1,0 +1,243 @@
+"""``lock-discipline``: no blocking work while the session RW lock is held.
+
+The service layer's writer-preferring :class:`repro.net.session.ReadWriteLock`
+serializes every scheme mutation.  A blocking call inside a lock region is
+therefore a *service-wide* stall: a socket wait under the read lock parks
+every writer behind it; an ``fsync`` under the read lock defeats the whole
+point of classifying searches as shared.  This checker flags, statically:
+
+* **read regions** (``with lock.read_locked():`` bodies, or code following
+  ``lock.acquire_read()``): any reachable blocking operation — socket
+  send/recv/accept/connect, ``os.fsync`` / file ``flush``, ``time.sleep``,
+  condition/event waits, and heavy public-key crypto (ElGamal, modexp);
+* **write regions**: socket operations, sleeps, and waits.  Durability
+  writes (``fsync``/``flush``) are *allowed* under the write lock — one
+  fsync per mutating frame is the persistence design, see
+  ``docs/persistence.md``;
+* **lock-order inversions**: two lock-like attributes acquired in nested
+  ``with`` blocks in one order somewhere and the opposite order elsewhere
+  in the same module (the classic AB/BA deadlock shape).
+
+Reachability follows the statically-resolved intra-package call graph
+(:mod:`repro.analysis.callgraph`) to a bounded depth; dynamic dispatch
+(``self._handler.handle``) is intentionally not followed — the read/write
+classification of handler *content* is the protocol checker's job, this
+one polices the service layer and its resolvable helpers.
+
+Code following a bare ``acquire_read()``/``acquire_write()`` is treated as
+locked until the end of the enclosing function (the release usually hides
+in a ``finally``), which is conservative; prefer the ``with`` guards for
+precise regions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo, build_call_graph
+from repro.analysis.engine import Finding, Project, checker
+
+__all__ = ["check_lock_discipline", "classify_blocking_call"]
+
+_MAX_DEPTH = 6
+
+# Method names that block on I/O or scheduling no matter the receiver.
+_BLOCKING_METHODS = {
+    "sendall": "io", "recv": "io", "accept": "io", "connect": "io",
+    "recv_into": "io",
+    "fsync": "durability", "flush": "durability",
+    "sleep": "sleep", "wait": "wait",
+}
+
+# Fully-qualified (or well-known dotted) call labels.
+_BLOCKING_LABELS = {
+    "time.sleep": "sleep",
+    "os.fsync": "durability",
+    "os.fdatasync": "durability",
+    "socket.create_connection": "io",
+}
+
+# Heavy public-key work: milliseconds per call, so never under a shared
+# lock.  Matched on the terminal call name.
+_HEAVY_CRYPTO = {"elgamal_encrypt", "elgamal_decrypt", "modexp", "pow_mod"}
+
+#: Blocking categories that are still fine under the *write* lock:
+#: exactly one durable flush per mutating frame is the persistence design.
+_ALLOWED_UNDER_WRITE = {"durability"}
+
+
+def classify_blocking_call(call: ast.Call, label: str) -> str | None:
+    """Category of a directly-blocking call, or None if it isn't one."""
+    if label in _BLOCKING_LABELS:
+        return _BLOCKING_LABELS[label]
+    terminal = label.rsplit(".", 1)[-1]
+    if terminal in _HEAVY_CRYPTO:
+        return "crypto"
+    # 3-arg pow() is a modular exponentiation.
+    if isinstance(call.func, ast.Name) and call.func.id == "pow" \
+            and len(call.args) == 3:
+        return "crypto"
+    if isinstance(call.func, ast.Attribute) \
+            and terminal in _BLOCKING_METHODS:
+        return _BLOCKING_METHODS[terminal]
+    return None
+
+
+def _lock_guard_mode(node: ast.expr) -> str | None:
+    """'read'/'write' when *node* is ``x.read_locked()``/``x.write_locked()``."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr == "read_locked":
+            return "read"
+        if node.func.attr == "write_locked":
+            return "write"
+    return None
+
+
+def _acquire_mode(node: ast.AST) -> str | None:
+    """'read'/'write' when *node* is a bare ``x.acquire_read/write()`` call."""
+    if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+        func = node.value.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "acquire_read":
+                return "read"
+            if func.attr == "acquire_write":
+                return "write"
+    return None
+
+
+def _calls_in(info: FunctionInfo, nodes: list[ast.AST]) -> list:
+    """The function's call sites lexically inside any of *nodes*."""
+    spans = []
+    for node in nodes:
+        end = getattr(node, "end_lineno", None) or node.lineno
+        spans.append((node.lineno, end))
+    return [site for site in info.calls
+            if any(lo <= site.line <= hi for lo, hi in spans)]
+
+
+def _blocking_reachable(site, graph: CallGraph, depth: int,
+                        visited: set[str]) -> tuple[str, str] | None:
+    """(category, call-path) if *site* reaches a blocking primitive."""
+    category = classify_blocking_call(site.node, site.label)
+    if category is not None:
+        return category, site.label
+    if site.target is None or depth <= 0 or site.target in visited:
+        return None
+    visited.add(site.target)
+    callee = graph.functions.get(site.target)
+    if callee is None:
+        return None
+    for inner in callee.calls:
+        found = _blocking_reachable(inner, graph, depth - 1, visited)
+        if found is not None:
+            category, path = found
+            return category, f"{site.label} -> {path}"
+    return None
+
+
+def _check_regions(info: FunctionInfo, graph: CallGraph,
+                   findings: list[Finding]) -> None:
+    regions: list[tuple[str, list[ast.AST], int]] = []
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                mode = _lock_guard_mode(item.context_expr)
+                if mode is not None:
+                    regions.append((mode, list(node.body), node.lineno))
+        mode = _acquire_mode(node)
+        if mode is not None:
+            # Locked until the end of the function: the matching release
+            # is typically in a ``finally`` we cannot pair statically.
+            end = getattr(info.node, "end_lineno", node.lineno)
+            tail = ast.Module(body=[], type_ignores=[])
+            tail.lineno, tail.end_lineno = node.lineno + 1, end
+            regions.append((mode, [tail], node.lineno))
+    for mode, nodes, region_line in regions:
+        for site in _calls_in(info, nodes):
+            found = _blocking_reachable(site, graph, _MAX_DEPTH, set())
+            if found is None:
+                continue
+            category, path = found
+            if mode == "write" and category in _ALLOWED_UNDER_WRITE:
+                continue
+            via = f" via {path}" if "->" in path else ""
+            findings.append(Finding(
+                checker="lock-discipline",
+                path=info.source.rel, line=site.line,
+                message=(f"blocking {category} call {path.split(' -> ')[-1]}"
+                         f" while holding the {mode} lock"
+                         f" (region starts line {region_line}{via})"),
+                hint=("move the blocking work outside the lock region, or "
+                      "suppress with '# repro: allow(lock-discipline)' and "
+                      "a justification"),
+            ))
+
+
+_LOCKISH = ("lock", "cond", "mutex", "idle")
+
+
+def _lock_attr_name(node: ast.expr) -> str | None:
+    """Attribute name when *node* is ``with self.<lock-like-attr>:``."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        name = node.attr.lower()
+        if any(part in name for part in _LOCKISH):
+            return node.attr
+    return None
+
+
+def _check_lock_order(info: FunctionInfo,
+                      orders: dict[str, dict[tuple[str, str], int]]) -> None:
+    """Record nested (outer, inner) lock-attribute pairs per module."""
+    module_orders = orders.setdefault(info.module, {})
+
+    def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+        now_held = held
+        if isinstance(node, ast.With):
+            acquired = []
+            for item in node.items:
+                name = _lock_attr_name(item.context_expr)
+                if name is not None:
+                    acquired.append(name)
+            for name in acquired:
+                for outer in now_held:
+                    if outer != name:
+                        pair = (outer, name)
+                        module_orders.setdefault(pair, node.lineno)
+                now_held = now_held + (name,)
+            for child in node.body:
+                visit(child, now_held)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, now_held)
+
+    visit(info.node, ())
+
+
+@checker("lock-discipline",
+         "no blocking I/O, sleeps, or heavy crypto while the session "
+         "RW lock is held; no inverted lock acquisition order")
+def check_lock_discipline(project: Project) -> list[Finding]:
+    graph = build_call_graph(project)
+    findings: list[Finding] = []
+    orders: dict[str, dict[tuple[str, str], int]] = {}
+    for info in graph.functions.values():
+        _check_regions(info, graph, findings)
+        _check_lock_order(info, orders)
+    for module, pairs in orders.items():
+        for (outer, inner), line in sorted(pairs.items()):
+            if (inner, outer) in pairs and outer < inner:
+                other = pairs[(inner, outer)]
+                source = next((f.source for f in graph.functions.values()
+                               if f.module == module), None)
+                if source is None:
+                    continue
+                findings.append(Finding(
+                    checker="lock-discipline", path=source.rel,
+                    line=max(line, other),
+                    message=(f"locks {outer!r} and {inner!r} are acquired "
+                             f"in opposite orders (lines {line} and "
+                             f"{other}) — AB/BA deadlock risk"),
+                    hint="pick one acquisition order and use it everywhere",
+                ))
+    return findings

@@ -1,0 +1,128 @@
+"""``obs-drift``: metric and span names in code and docs agree.
+
+``docs/observability.md`` is the operator contract: dashboards, the
+benchmark JSON consumers, and the live-stats CLI all key on the metric
+and span names it tables.  Two drift directions are flagged:
+
+* a metric/span name *used in code* (``.counter("...")``,
+  ``.gauge(...)``, ``.histogram(...)``, ``span(...)``, ``Span(...)``)
+  that the doc's reference tables never mention — an undocumented
+  instrument nobody will find;
+* a name the doc tables declare that no code emits — a dashboard keyed
+  on it would silently read zeros forever.
+
+Doc names are read from the markdown tables whose first header cell is
+``name`` (metrics) or ``span`` (spans); a cell may list several names
+separated by ``/``.  Only literal first-argument names are collected
+from code — a dynamically-built name cannot be checked and is ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.engine import Finding, Project, checker
+
+__all__ = ["check_obs_drift", "doc_declared_names"]
+
+_DOC = "docs/observability.md"
+
+_METRIC_CALLS = {"counter", "gauge", "histogram"}
+_SPAN_CALLS = {"span", "Span"}
+
+_CELL_NAME = re.compile(r"`([a-z][a-z0-9_.]*)`")
+
+
+def _code_names(project: Project) -> tuple[dict[str, tuple[str, int]],
+                                           dict[str, tuple[str, int]]]:
+    """(metrics, spans): name -> first (path, line) using it."""
+    metrics: dict[str, tuple[str, int]] = {}
+    spans: dict[str, tuple[str, int]] = {}
+    for source in project.source_files():
+        if source.rel.startswith("src/repro/analysis/"):
+            continue
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in _METRIC_CALLS:
+                metrics.setdefault(first.value, (source.rel, node.lineno))
+            elif isinstance(func, ast.Name) and func.id in _SPAN_CALLS:
+                spans.setdefault(first.value, (source.rel, node.lineno))
+    return metrics, spans
+
+
+def doc_declared_names(text: str) -> tuple[dict[str, int], dict[str, int]]:
+    """(metric name -> line, span name -> line) from the doc's tables."""
+    metrics: dict[str, int] = {}
+    spans: dict[str, int] = {}
+    collecting: dict[str, int] | None = None
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            collecting = None
+            continue
+        cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+        if not cells:
+            continue
+        head = cells[0].strip("` ").lower()
+        if head == "name":
+            collecting = metrics
+            continue
+        if head == "span":
+            collecting = spans
+            continue
+        if set(head) <= {"-", ":", " "}:
+            continue  # the |---|---| separator row
+        if collecting is None:
+            continue
+        for name in _CELL_NAME.findall(cells[0]):
+            collecting.setdefault(name, number)
+    return metrics, spans
+
+
+@checker("obs-drift",
+         "metric and span names used in src/ appear in "
+         "docs/observability.md tables, and vice versa")
+def check_obs_drift(project: Project) -> list[Finding]:
+    doc_path = project.docs_dir / "observability.md"
+    if not doc_path.exists():
+        return []
+    doc_metrics, doc_spans = doc_declared_names(
+        doc_path.read_text(encoding="utf-8"))
+    code_metrics, code_spans = _code_names(project)
+    findings: list[Finding] = []
+    for name, (path, line) in sorted(code_metrics.items()):
+        if name not in doc_metrics:
+            findings.append(Finding(
+                "obs-drift", path, line,
+                f"metric {name!r} is emitted but missing from "
+                f"{_DOC}",
+                hint="add a row to the metric reference table"))
+    for name, (path, line) in sorted(code_spans.items()):
+        if name not in doc_spans:
+            findings.append(Finding(
+                "obs-drift", path, line,
+                f"span {name!r} is recorded but missing from {_DOC}",
+                hint="add a row to the span table"))
+    for name, line in sorted(doc_metrics.items()):
+        if name not in code_metrics:
+            findings.append(Finding(
+                "obs-drift", _DOC, line,
+                f"documented metric {name!r} is emitted nowhere in "
+                f"src/",
+                hint="delete the stale row or restore the instrument"))
+    for name, line in sorted(doc_spans.items()):
+        if name not in code_spans:
+            findings.append(Finding(
+                "obs-drift", _DOC, line,
+                f"documented span {name!r} is recorded nowhere in "
+                f"src/",
+                hint="delete the stale row or restore the span"))
+    return findings

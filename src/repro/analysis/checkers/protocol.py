@@ -1,0 +1,172 @@
+"""``protocol-exhaustive``: every wire message type is fully wired up.
+
+A :class:`repro.net.messages.MessageType` member that exists but is not
+handled is dead protocol surface — and one that is handled but never
+*classified* is worse: the session layer would fall through to the write
+lock silently, serializing searches (or, inverted, running a mutation
+under the shared read lock).  Three obligations per enum member:
+
+1. **serializer test** — the member is exercised somewhere under
+   ``tests/``: referenced as ``MessageType.X``, or covered by a
+   wholesale-iteration round-trip test (``list(MessageType)`` /
+   ``for ... in MessageType``) in ``tests/net/test_messages.py``;
+2. **dispatcher branch** — the member is referenced by name somewhere in
+   ``src/repro`` outside the enum's own module (a handler, sender, or an
+   explicit rejection) — the orphan check inherited from the original
+   ``tools/check_all.py``;
+3. **read/write classification** — the member appears in exactly one of
+   ``READ_MESSAGE_TYPES`` / ``WRITE_MESSAGE_TYPES`` in
+   ``repro.net.session`` (or is special-cased by name inside
+   ``is_read_request``, as ``BATCH_REQUEST`` is — it is classified by
+   its contents).  Membership in both sets is also an error.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.engine import Finding, Project, SourceFile, checker
+
+__all__ = ["check_protocol_exhaustive", "message_type_members"]
+
+_MESSAGES = "src/repro/net/messages.py"
+_SESSION = "src/repro/net/session.py"
+_SERIALIZER_TESTS = "tests/net/test_messages.py"
+
+_WHOLESALE = re.compile(
+    r"list\(\s*MessageType\s*\)|for\s+\w+\s+in\s+MessageType\b")
+
+
+def message_type_members(source: SourceFile) -> dict[str, int]:
+    """Enum member name -> definition line, from the messages module."""
+    for node in source.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "MessageType":
+            return {
+                stmt.targets[0].id: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, ast.Assign)
+                and isinstance(stmt.targets[0], ast.Name)
+            }
+    return {}
+
+
+def _referenced_members(source: SourceFile) -> set[str]:
+    """Names X used as ``MessageType.X`` anywhere in the module."""
+    return {
+        node.attr for node in ast.walk(source.tree)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "MessageType"
+    }
+
+
+def _frozenset_members(source: SourceFile, name: str) -> set[str] | None:
+    """``MessageType.X`` members of a module-level frozenset assignment."""
+    for node in source.tree.body:
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name) and t.id == name
+                        for t in node.targets):
+            return {
+                sub.attr for sub in ast.walk(node.value)
+                if isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "MessageType"
+            }
+    return None
+
+
+def _classifier_special_cases(source: SourceFile) -> set[str]:
+    """Members referenced inside ``is_read_request`` itself."""
+    for node in source.tree.body:
+        if isinstance(node, ast.FunctionDef) \
+                and node.name == "is_read_request":
+            return {
+                sub.attr for sub in ast.walk(node)
+                if isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "MessageType"
+            }
+    return set()
+
+
+@checker("protocol-exhaustive",
+         "every MessageType member has a serializer test, a dispatcher "
+         "branch, and an explicit read/write classification")
+def check_protocol_exhaustive(project: Project) -> list[Finding]:
+    messages = project.file(_MESSAGES)
+    if messages is None:
+        return []
+    members = message_type_members(messages)
+    if not members:
+        return []
+    findings: list[Finding] = []
+
+    dispatched: set[str] = set()
+    for source in project.source_files():
+        if source.rel != _MESSAGES:
+            dispatched |= _referenced_members(source)
+
+    test_texts = project.test_texts()
+    tested: set[str] = set()
+    wholesale = bool(test_texts.get(_SERIALIZER_TESTS)
+                     and _WHOLESALE.search(test_texts[_SERIALIZER_TESTS]))
+    for text in test_texts.values():
+        for member in members:
+            if f"MessageType.{member}" in text:
+                tested.add(member)
+
+    session = project.file(_SESSION)
+    read_set = _frozenset_members(session, "READ_MESSAGE_TYPES") \
+        if session is not None else None
+    write_set = _frozenset_members(session, "WRITE_MESSAGE_TYPES") \
+        if session is not None else None
+    special = _classifier_special_cases(session) \
+        if session is not None else set()
+
+    for member, line in sorted(members.items()):
+        if member not in dispatched:
+            findings.append(Finding(
+                "protocol-exhaustive", _MESSAGES, line,
+                f"MessageType.{member} is never handled, sent, or "
+                f"rejected anywhere in src/repro",
+                hint="add a dispatcher branch or delete the dead wire "
+                     "type"))
+        if member not in tested and not wholesale:
+            findings.append(Finding(
+                "protocol-exhaustive", _MESSAGES, line,
+                f"MessageType.{member} has no serializer test under "
+                f"tests/",
+                hint=f"reference MessageType.{member} in a round-trip "
+                     f"test, or keep the wholesale list(MessageType) "
+                     f"test in {_SERIALIZER_TESTS}"))
+        if read_set is None or write_set is None:
+            continue
+        in_read = member in read_set
+        in_write = member in write_set
+        if in_read and in_write:
+            findings.append(Finding(
+                "protocol-exhaustive", _SESSION, line,
+                f"MessageType.{member} is in both READ_MESSAGE_TYPES "
+                f"and WRITE_MESSAGE_TYPES",
+                hint="a message type must classify one way"))
+        elif not in_read and not in_write and member not in special:
+            findings.append(Finding(
+                "protocol-exhaustive", _SESSION, line,
+                f"MessageType.{member} is classified by neither "
+                f"READ_MESSAGE_TYPES nor WRITE_MESSAGE_TYPES",
+                hint="add it to exactly one set in repro/net/session.py "
+                     "so the lock side is a decision, not a default"))
+
+    if session is not None and read_set is None:
+        findings.append(Finding(
+            "protocol-exhaustive", _SESSION, 1,
+            "READ_MESSAGE_TYPES not found in repro/net/session.py",
+            hint="the read/write classification must stay statically "
+                 "parseable"))
+    if session is not None and write_set is None:
+        findings.append(Finding(
+            "protocol-exhaustive", _SESSION, 1,
+            "WRITE_MESSAGE_TYPES not found in repro/net/session.py",
+            hint="declare the mutating message types explicitly"))
+    return findings

@@ -1,0 +1,104 @@
+"""``repro-lint`` — run the invariant checker suite from the command line.
+
+Exit status is the number of unsuppressed findings (capped at 100), so
+``make lint`` and CI fail exactly when a finding is neither fixed,
+pragma'd, nor baselined.
+
+Common invocations::
+
+    repro-lint                         # human output, repo auto-detected
+    repro-lint --json                  # machine-readable (CI artifact)
+    repro-lint --checks lock-discipline,obs-drift
+    repro-lint --update-baseline       # grandfather current findings
+    repro-lint --list                  # show the registered checkers
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import (Baseline, Project, all_checkers,
+                                   run_checks)
+
+__all__ = ["build_parser", "find_repo_root", "main"]
+
+_BASELINE_RELPATH = Path("tools") / "analysis_baseline.json"
+
+
+def find_repo_root(start: Path | None = None) -> Path:
+    """Walk up from *start* (default: cwd) to the dir holding src/repro."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    raise SystemExit(
+        "repro-lint: cannot find a repository root (a directory "
+        "containing src/repro) above " + str(here))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checkers for the SSE repro "
+                    "(see docs/static-analysis.md)")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repository root (default: auto-detect "
+                             "from the working directory)")
+    parser.add_argument("--checks", default=None, metavar="ID[,ID...]",
+                        help="run only these checker ids")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable JSON report")
+    parser.add_argument("--output", type=Path, default=None,
+                        metavar="PATH",
+                        help="also write the JSON report to PATH")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        metavar="PATH",
+                        help="baseline file (default: "
+                             "tools/analysis_baseline.json under the "
+                             "root)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to absorb every "
+                             "currently-active finding, then exit 0")
+    parser.add_argument("--list", action="store_true", dest="list_checks",
+                        help="list the registered checkers and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_checks:
+        for chk in all_checkers():
+            print(f"{chk.id:<22} {chk.description}")
+        return 0
+    root = (args.root or find_repo_root()).resolve()
+    baseline_path = args.baseline if args.baseline is not None \
+        else root / _BASELINE_RELPATH
+    checks = None
+    if args.checks:
+        checks = [part.strip() for part in args.checks.split(",")
+                  if part.strip()]
+    try:
+        report = run_checks(Project(root), checks=checks,
+                            baseline=Baseline.load(baseline_path))
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        Baseline.dump(report.active + report.baselined, baseline_path)
+        print(f"repro-lint: baseline rewritten with "
+              f"{len(report.active) + len(report.baselined)} finding(s) "
+              f"at {baseline_path}")
+        return 0
+    if args.output is not None:
+        args.output.write_text(report.to_json() + "\n", encoding="utf-8")
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_human())
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,336 @@
+"""Core of the ``repro-lint`` static-analysis framework.
+
+The engine owns everything that is *not* checker-specific:
+
+* :class:`Project` — walks the source tree once, parses each file once
+  (per-file AST cache), and hands checkers a uniform view of ``src/``,
+  ``docs/`` and ``tests/``;
+* :class:`Finding` — one diagnostic: checker id, severity, file:line,
+  message, and a fix hint;
+* inline suppressions — ``# repro: allow(<check-id>)`` on the offending
+  line or on the line directly above silences exactly that checker there;
+* :class:`Baseline` — a committed JSON file of grandfathered findings
+  (matched by checker + file + message, *not* line numbers, so unrelated
+  edits do not resurrect them);
+* :class:`Report` — partitioned results (active / suppressed / baselined)
+  with human and JSON renderings; the process exit code is the number of
+  *active* findings.
+
+Checkers register through the :func:`checker` decorator and receive the
+:class:`Project`; they return a list of findings and never print.  See
+``docs/static-analysis.md`` for the invariant each shipped checker
+enforces and why it matters for the paper's security claims.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Finding", "SourceFile", "Project", "Checker", "checker",
+           "all_checkers", "run_checks", "Baseline", "Report",
+           "PRAGMA_PATTERN"]
+
+#: ``# repro: allow(check-id)`` — one or more comma-separated ids.
+PRAGMA_PATTERN = re.compile(r"#\s*repro:\s*allow\(([a-z0-9_\-, ]+)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a checker."""
+
+    checker: str
+    path: str          # repo-relative, posix separators
+    line: int
+    message: str
+    severity: str = "error"
+    hint: str = ""
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching (line numbers shift)."""
+        return (self.checker, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (the ``--json`` report format)."""
+        out = {"checker": self.checker, "path": self.path,
+               "line": self.line, "severity": self.severity,
+               "message": self.message}
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+    def format(self) -> str:
+        """``path:line: [checker] message`` with the hint appended."""
+        text = f"{self.path}:{self.line}: [{self.checker}] {self.message}"
+        if self.hint:
+            text += f" ({self.hint})"
+        return text
+
+
+class SourceFile:
+    """One parsed source file: text, lines, AST, and pragma map."""
+
+    def __init__(self, path: Path, root: Path) -> None:
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self._tree: ast.Module | None = None
+        self._pragmas: dict[int, set[str]] | None = None
+
+    @property
+    def tree(self) -> ast.Module:
+        """The module AST, parsed on first access and cached."""
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=str(self.path))
+        return self._tree
+
+    @property
+    def module(self) -> str | None:
+        """Dotted module name for files under ``src/``, else None."""
+        parts = Path(self.rel).parts
+        if parts[:1] != ("src",) or not self.rel.endswith(".py"):
+            return None
+        dotted = list(parts[1:])
+        dotted[-1] = dotted[-1][:-3]
+        if dotted[-1] == "__init__":
+            dotted.pop()
+        return ".".join(dotted)
+
+    def pragmas(self) -> dict[int, set[str]]:
+        """Map of line number -> suppressed checker ids on that line."""
+        if self._pragmas is None:
+            self._pragmas = {}
+            for number, line in enumerate(self.lines, start=1):
+                match = PRAGMA_PATTERN.search(line)
+                if match:
+                    ids = {part.strip() for part in match.group(1).split(",")
+                           if part.strip()}
+                    self._pragmas[number] = ids
+        return self._pragmas
+
+    def suppresses(self, checker_id: str, line: int) -> bool:
+        """True if a pragma on *line* or the line above allows *checker_id*."""
+        pragmas = self.pragmas()
+        for candidate in (line, line - 1):
+            if checker_id in pragmas.get(candidate, ()):
+                return True
+        return False
+
+
+class Project:
+    """A repository checkout as the checkers see it.
+
+    ``root`` is the repository root (the directory holding ``src/``).
+    Files are discovered once and parsed lazily; every checker shares the
+    same :class:`SourceFile` objects, so each file is read and parsed at
+    most once per run.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root).resolve()
+        self.src_dir = self.root / "src"
+        self.docs_dir = self.root / "docs"
+        self.tests_dir = self.root / "tests"
+        self._files: dict[str, SourceFile] = {}
+        paths = sorted(self.src_dir.rglob("*.py")) \
+            if self.src_dir.is_dir() else []
+        for path in paths:
+            if "__pycache__" in path.parts:
+                continue
+            source = SourceFile(path, self.root)
+            self._files[source.rel] = source
+
+    def source_files(self) -> list[SourceFile]:
+        """Every python file under ``src/``, sorted by path."""
+        return list(self._files.values())
+
+    def file(self, rel: str) -> SourceFile | None:
+        """Look up one source file by repo-relative posix path."""
+        return self._files.get(rel)
+
+    def test_texts(self) -> dict[str, str]:
+        """Raw text of every test file, keyed by repo-relative path."""
+        out = {}
+        if self.tests_dir.is_dir():
+            for path in sorted(self.tests_dir.rglob("*.py")):
+                if "__pycache__" in path.parts:
+                    continue
+                rel = path.relative_to(self.root).as_posix()
+                out[rel] = path.read_text(encoding="utf-8")
+        return out
+
+
+@dataclass(frozen=True)
+class Checker:
+    """A registered checker: stable id, one-line description, run()."""
+
+    id: str
+    description: str
+    run: object = field(compare=False)
+
+
+_REGISTRY: dict[str, Checker] = {}
+
+
+def checker(checker_id: str, description: str):
+    """Class/function decorator registering ``fn(project) -> [Finding]``."""
+    def register(fn):
+        if checker_id in _REGISTRY:
+            raise ValueError(f"duplicate checker id {checker_id!r}")
+        _REGISTRY[checker_id] = Checker(checker_id, description, fn)
+        return fn
+    return register
+
+
+def all_checkers() -> list[Checker]:
+    """Every registered checker, importing the built-in suite on demand."""
+    # Importing the package registers the six shipped checkers exactly once.
+    from repro.analysis import checkers as _builtin  # noqa: F401
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+class Baseline:
+    """Grandfathered findings committed alongside the code.
+
+    The file is JSON: ``{"version": 1, "findings": [{checker, path,
+    message}, ...]}``.  Matching consumes entries, so a baseline entry
+    silences exactly one occurrence — a second identical finding is
+    active and fails the run.
+    """
+
+    def __init__(self, entries: list[tuple[str, str, str]] | None = None
+                 ) -> None:
+        self._remaining: dict[tuple[str, str, str], int] = {}
+        for key in entries or []:
+            self._remaining[key] = self._remaining.get(key, 0) + 1
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not Path(path).exists():
+            return cls()
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = [(f["checker"], f["path"], f["message"])
+                   for f in payload.get("findings", [])]
+        return cls(entries)
+
+    @staticmethod
+    def dump(findings: list[Finding], path: Path) -> None:
+        """Write *findings* as the new baseline file (sorted, stable)."""
+        # Duplicate keys are kept: baseline matching is a multiset, one
+        # entry silences one occurrence.
+        entries = [
+            {"checker": checker_id, "path": rel, "message": message}
+            for checker_id, rel, message in sorted(
+                f.baseline_key for f in findings)
+        ]
+        payload = {"version": 1, "findings": entries}
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+
+    def absorbs(self, finding: Finding) -> bool:
+        """Consume one baseline entry matching *finding*, if any remain."""
+        count = self._remaining.get(finding.baseline_key, 0)
+        if count <= 0:
+            return False
+        self._remaining[finding.baseline_key] = count - 1
+        return True
+
+
+@dataclass
+class Report:
+    """Outcome of one run: findings partitioned by disposition."""
+
+    checkers: list[Checker]
+    active: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+
+    def _counts(self, checker_id: str) -> tuple[int, int, int]:
+        return tuple(
+            sum(1 for f in bucket if f.checker == checker_id)
+            for bucket in (self.active, self.suppressed, self.baselined)
+        )
+
+    @property
+    def exit_code(self) -> int:
+        """Number of active findings, capped to stay a valid exit status."""
+        return min(len(self.active), 100)
+
+    def format_human(self) -> str:
+        """Per-checker summary lines followed by every active finding."""
+        lines = []
+        width = max((len(c.id) for c in self.checkers), default=0)
+        for chk in self.checkers:
+            active, suppressed, baselined = self._counts(chk.id)
+            note = ""
+            if suppressed or baselined:
+                extras = []
+                if suppressed:
+                    extras.append(f"{suppressed} suppressed")
+                if baselined:
+                    extras.append(f"{baselined} baselined")
+                note = f"  ({', '.join(extras)})"
+            lines.append(f"repro-lint: {chk.id:<{width}}  "
+                         f"{active} finding(s){note}")
+        for finding in self.active:
+            lines.append(finding.format())
+        total = len(self.active)
+        if total:
+            lines.append(f"repro-lint: {total} unsuppressed finding(s)")
+        else:
+            lines.append("repro-lint: clean "
+                         f"({len(self.checkers)} checkers)")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report (the CI artifact format)."""
+        payload = {
+            "version": 1,
+            "checkers": [
+                {"id": c.id, "description": c.description,
+                 "active": self._counts(c.id)[0],
+                 "suppressed": self._counts(c.id)[1],
+                 "baselined": self._counts(c.id)[2]}
+                for c in self.checkers
+            ],
+            "findings": [f.to_dict() for f in self.active],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "exit_code": self.exit_code,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_checks(project: Project, checks: list[str] | None = None,
+               baseline: Baseline | None = None) -> Report:
+    """Run the (selected) checkers over *project* and partition findings."""
+    selected = all_checkers()
+    if checks is not None:
+        unknown = set(checks) - {c.id for c in selected}
+        if unknown:
+            raise ValueError(
+                f"unknown checker id(s): {', '.join(sorted(unknown))}")
+        selected = [c for c in selected if c.id in set(checks)]
+    baseline = baseline if baseline is not None else Baseline()
+    report = Report(checkers=selected)
+    for chk in selected:
+        findings = sorted(chk.run(project),
+                          key=lambda f: (f.path, f.line, f.message))
+        for finding in findings:
+            source = project.file(finding.path)
+            if source is not None and source.suppresses(finding.checker,
+                                                        finding.line):
+                report.suppressed.append(finding)
+            elif baseline.absorbs(finding):
+                report.baselined.append(finding)
+            else:
+                report.active.append(finding)
+    return report

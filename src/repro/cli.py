@@ -66,6 +66,11 @@ _CONFIG_FORMAT = "repro.store/1"
 _DEFAULT_CHAIN_LENGTH = 4096
 _DEFAULT_CAPACITY = 1024
 
+#: How often the serve loop wakes to check the metrics-dump schedule and
+#: the stop event.  The loop blocks on ``Event.wait``, not ``time.sleep``,
+#: so tests (and embedders) stop it promptly by setting the event.
+_SERVE_POLL_S = 0.5
+
 #: Structural options captured at ``init`` time, per scheme.  Everything
 #: else falls back to the registry builder's defaults.
 _INIT_OPTIONS = {
@@ -350,11 +355,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     previous_sigterm = None
     if threading.current_thread() is threading.main_thread():
         previous_sigterm = signal.signal(signal.SIGTERM, _terminate)
+    # An injectable stop event (args.stop_event) lets tests and embedders
+    # end the serve loop without signals; interactive runs still stop via
+    # KeyboardInterrupt/SIGTERM, which interrupt the wait on main thread.
+    stop = getattr(args, "stop_event", None)
+    if stop is None:
+        stop = threading.Event()
     interval = args.metrics_interval
     next_dump = time.monotonic() + interval if interval else None
     try:
-        while True:
-            time.sleep(0.5)
+        while not stop.wait(_SERVE_POLL_S):
             if next_dump is not None and time.monotonic() >= next_dump:
                 next_dump = time.monotonic() + interval
                 snapshot = metrics.render_text()

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.core.keys import MasterKey
 from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.errors import ParameterError
 
 __all__ = ["delegate_master_key", "SearchDelegate"]
 
@@ -40,7 +41,7 @@ class SearchDelegate:
 
     def __init__(self, sse_client) -> None:
         if getattr(sse_client, "_decrypt_bodies", True):
-            raise ValueError(
+            raise ParameterError(
                 "delegates must wrap a client built with "
                 "decrypt_bodies=False"
             )

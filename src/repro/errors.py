@@ -44,6 +44,14 @@ class ServiceStoppedError(ReproError):
     """An operation was attempted on a stopped or draining service."""
 
 
+class DeadlineError(ReproError, TimeoutError):
+    """A bounded wait (job result, drain, shutdown) ran out of time.
+
+    Inherits :class:`TimeoutError` so callers written against the builtin
+    keep working.
+    """
+
+
 class RetryExhaustedError(ProtocolError):
     """A retryable request failed on every attempt the policy allowed."""
 

@@ -18,7 +18,7 @@ import dataclasses
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ReproError
 from repro.net.messages import (Message, MessageType, pack_batch,
                                 unpack_batch_result)
 from repro.obs.metrics import NULL_METRICS
@@ -208,7 +208,10 @@ class Channel:
         started = time.perf_counter()
         try:
             reply = self._handler.handle(delivered)
-        except Exception:
+        except (ReproError, OSError):
+            # Protocol rejections and transport failures are the error
+            # classes a request can legitimately produce; anything else is
+            # a bug and propagates without touching the error counter.
             self.metrics.counter("errors_total",
                                  type=delivered.type.name).inc()
             raise

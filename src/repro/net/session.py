@@ -30,12 +30,14 @@ import socket as socket_module
 import threading
 import time
 
-from repro.errors import ParameterError, ProtocolError, ServiceStoppedError
+from repro.errors import (DeadlineError, ParameterError, ProtocolError,
+                          ServiceStoppedError)
 from repro.net.messages import Message, MessageType, batch_inner_types
 from repro.obs.metrics import NULL_METRICS
 
 __all__ = ["ReadWriteLock", "WorkerPool", "Session", "SessionManager",
-           "is_read_message", "is_read_request", "READ_MESSAGE_TYPES"]
+           "is_read_message", "is_read_request", "READ_MESSAGE_TYPES",
+           "WRITE_MESSAGE_TYPES"]
 
 # Read-only protocol messages: searches and fetches.  Everything else
 # (document upload/delete, index updates) mutates server state and takes
@@ -56,6 +58,27 @@ READ_MESSAGE_TYPES = frozenset({
     MessageType.STATS_REQUEST,
     MessageType.STATS_RESULT,
     MessageType.BATCH_RESULT,
+})
+
+# The mutating complement, declared explicitly rather than derived: a new
+# wire type must be *placed* in one of the two sets (the
+# ``protocol-exhaustive`` checker enforces the partition), so its lock
+# side is a reviewed decision instead of a silent fall-through to the
+# write lock.  BATCH_REQUEST belongs to neither — it is classified by its
+# contents in :func:`is_read_request`.  Server->client replies that never
+# legitimately arrive as requests (DOCUMENTS_RESULT, the S1 nonces) sit
+# here so a client replaying them upstream pays writer exclusivity rather
+# than sharing the read side with real searches.
+WRITE_MESSAGE_TYPES = frozenset({
+    MessageType.STORE_DOCUMENT,
+    MessageType.DOCUMENTS_RESULT,
+    MessageType.DELETE_DOCUMENT,
+    MessageType.S1_STORE_ENTRY,
+    MessageType.S1_UPDATE_REQUEST,
+    MessageType.S1_UPDATE_NONCE,
+    MessageType.S1_UPDATE_PATCH,
+    MessageType.S1_SEARCH_NONCE,
+    MessageType.S2_STORE_ENTRY,
 })
 
 
@@ -164,7 +187,7 @@ class _Job:
     def result(self, timeout: float | None = None):
         """Wait for completion; re-raise the job's exception if it failed."""
         if not self._done.wait(timeout):
-            raise TimeoutError("job did not complete in time")
+            raise DeadlineError("job did not complete in time")
         if self._exception is not None:
             raise self._exception
         return self._result
@@ -232,6 +255,10 @@ class WorkerPool:
             self._metrics.gauge("queue_depth").set(self._queued)
             try:
                 job._finish(result=fn(*args))
+            # Every exception, including KeyboardInterrupt on a worker,
+            # must reach the waiter blocked in _Job.result(); swallowing
+            # or narrowing it here would hang that caller forever.
+            # repro: allow(exception-taxonomy)
             except BaseException as exc:  # noqa: BLE001 - handed to waiter
                 job._finish(exception=exc)
             finally:

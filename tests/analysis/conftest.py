@@ -1,0 +1,28 @@
+"""Fixture helpers for the static-analysis tests.
+
+``make_project`` materializes a miniature repository checkout — a dict of
+repo-relative paths to (dedented) file bodies — under ``tmp_path`` and
+wraps it in an engine :class:`~repro.analysis.engine.Project`, so each
+checker test exercises exactly the tree shape it is about.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import Project
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    def build(files: dict[str, str], root: Path | None = None) -> Project:
+        base = root if root is not None else tmp_path
+        for rel, text in files.items():
+            path = base / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return Project(base)
+    return build

@@ -1,0 +1,479 @@
+"""One passing and one seeded-violation fixture per checker.
+
+Every test builds a miniature ``src/repro`` tree with ``make_project``
+and runs a single checker function directly, so a failure names the
+checker *and* the invariant that regressed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import (check_api_surface,
+                                     check_crypto_hygiene,
+                                     check_exception_taxonomy,
+                                     check_lock_discipline,
+                                     check_obs_drift,
+                                     check_protocol_exhaustive)
+
+
+class TestLockDiscipline:
+    def test_clean_read_region_passes(self, make_project):
+        project = make_project({"src/repro/svc/handler.py": """
+            class Handler:
+                def search(self):
+                    with self._lock.read_locked():
+                        return self._index.lookup()
+            """})
+        assert check_lock_discipline(project) == []
+
+    def test_fsync_under_read_lock_is_flagged(self, make_project):
+        project = make_project({"src/repro/svc/handler.py": """
+            import os
+
+            class Handler:
+                def search(self):
+                    with self._lock.read_locked():
+                        os.fsync(3)
+            """})
+        findings = check_lock_discipline(project)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path == "src/repro/svc/handler.py"
+        assert finding.line == 7
+        assert "os.fsync" in finding.message
+        assert "read lock" in finding.message
+
+    def test_transitive_blocking_call_is_found(self, make_project):
+        project = make_project({"src/repro/svc/handler.py": """
+            import time
+
+            def backoff():
+                time.sleep(0.5)
+
+            class Handler:
+                def search(self):
+                    with self._lock.read_locked():
+                        backoff()
+            """})
+        findings = check_lock_discipline(project)
+        assert len(findings) == 1
+        assert "backoff -> time.sleep" in findings[0].message
+        assert findings[0].line == 10  # the call site inside the region
+
+    def test_fsync_under_write_lock_is_the_design(self, make_project):
+        project = make_project({"src/repro/svc/handler.py": """
+            import os, time
+
+            class Handler:
+                def update(self):
+                    with self._lock.write_locked():
+                        os.fsync(3)
+            """})
+        assert check_lock_discipline(project) == []
+
+    def test_sleep_under_write_lock_is_flagged(self, make_project):
+        project = make_project({"src/repro/svc/handler.py": """
+            import time
+
+            class Handler:
+                def update(self):
+                    with self._lock.write_locked():
+                        time.sleep(1.0)
+            """})
+        findings = check_lock_discipline(project)
+        assert len(findings) == 1
+        assert "write lock" in findings[0].message
+
+    def test_bare_acquire_read_locks_rest_of_function(self, make_project):
+        project = make_project({"src/repro/svc/handler.py": """
+            import os
+
+            class Handler:
+                def search(self):
+                    self._lock.acquire_read()
+                    try:
+                        os.fsync(3)
+                    finally:
+                        self._lock.release_read()
+            """})
+        findings = check_lock_discipline(project)
+        assert len(findings) == 1
+        assert findings[0].line == 8
+
+    def test_lock_order_inversion_is_flagged(self, make_project):
+        project = make_project({"src/repro/svc/pool.py": """
+            class Pool:
+                def a(self):
+                    with self._lock:
+                        with self._cond:
+                            pass
+
+                def b(self):
+                    with self._cond:
+                        with self._lock:
+                            pass
+            """})
+        findings = check_lock_discipline(project)
+        assert len(findings) == 1
+        assert "opposite orders" in findings[0].message
+
+
+class TestCryptoHygiene:
+    def test_rng_flow_passes(self, make_project):
+        project = make_project({"src/repro/crypto/box.py": """
+            from repro.crypto.rng import SystemRandomSource
+
+            def nonce(rng):
+                return rng.random_bytes(8)
+            """})
+        assert check_crypto_hygiene(project) == []
+
+    def test_stdlib_random_is_flagged(self, make_project):
+        project = make_project({"src/repro/crypto/box.py": """
+            import random
+
+            def nonce():
+                return random.randbytes(8)
+            """})
+        findings = check_crypto_hygiene(project)
+        assert any("stdlib 'random'" in f.message for f in findings)
+
+    def test_urandom_outside_rng_module_is_flagged(self, make_project):
+        project = make_project({"src/repro/core/box.py": """
+            import os
+
+            def nonce():
+                return os.urandom(8)
+            """})
+        findings = check_crypto_hygiene(project)
+        assert len(findings) == 1
+        assert "os.urandom" in findings[0].message
+
+    def test_urandom_inside_rng_module_is_allowed(self, make_project):
+        project = make_project({"src/repro/crypto/rng.py": """
+            import os
+
+            def entropy():
+                return os.urandom(32)
+            """})
+        assert check_crypto_hygiene(project) == []
+
+    def test_tag_equality_is_flagged_ct_equal_is_not(self, make_project):
+        project = make_project({"src/repro/crypto/box.py": """
+            from repro.crypto.bytesutil import ct_equal
+
+            def verify_fast(tag, expected_tag):
+                return tag == expected_tag
+
+            def verify(tag, expected_tag):
+                return ct_equal(tag, expected_tag)
+            """})
+        findings = check_crypto_hygiene(project)
+        assert len(findings) == 1
+        assert findings[0].line == 5
+        assert "non-constant-time" in findings[0].message
+
+    def test_key_in_exception_message_is_flagged(self, make_project):
+        project = make_project({"src/repro/core/box.py": """
+            def check(master_key):
+                raise ValueError(f"bad key {master_key.hex()}")
+            """})
+        findings = check_crypto_hygiene(project)
+        assert len(findings) == 1
+        assert "master_key" in findings[0].message
+
+    def test_key_length_in_message_is_fine(self, make_project):
+        project = make_project({"src/repro/core/box.py": """
+            def check(master_key):
+                raise ValueError(f"key must be 32 bytes, got "
+                                 f"{len(master_key)}")
+            """})
+        assert check_crypto_hygiene(project) == []
+
+    def test_trapdoor_in_span_attribute_is_flagged(self, make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            from repro.obs.trace import span
+
+            def send(trapdoor):
+                with span("client.request", td=trapdoor):
+                    pass
+            """})
+        findings = check_crypto_hygiene(project)
+        assert len(findings) == 1
+        assert "trace span attribute" in findings[0].message
+
+
+class TestExceptionTaxonomy:
+    def test_repro_errors_pass(self, make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            from repro.errors import ProtocolError
+
+            def parse(frame):
+                if not frame:
+                    raise ProtocolError("empty frame")
+            """})
+        assert check_exception_taxonomy(project) == []
+
+    def test_builtin_raise_is_flagged(self, make_project):
+        project = make_project({"src/repro/storage/db.py": """
+            def get(key):
+                raise KeyError(key)
+            """})
+        findings = check_exception_taxonomy(project)
+        assert len(findings) == 1
+        assert "builtin KeyError" in findings[0].message
+
+    def test_not_implemented_error_is_the_abc_convention(self,
+                                                         make_project):
+        project = make_project({"src/repro/core/api.py": """
+            def snapshot():
+                raise NotImplementedError("no snapshot protocol")
+            """})
+        assert check_exception_taxonomy(project) == []
+
+    def test_outside_service_packages_is_out_of_scope(self, make_project):
+        project = make_project({"src/repro/bench/timing.py": """
+            def fit(xs):
+                raise ValueError("not enough samples")
+            """})
+        assert check_exception_taxonomy(project) == []
+
+    def test_bare_except_is_flagged(self, make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            def close(sock):
+                try:
+                    sock.close()
+                except:
+                    pass
+            """})
+        findings = check_exception_taxonomy(project)
+        assert len(findings) == 1
+        assert "bare 'except:'" in findings[0].message
+
+    def test_broad_except_without_reraise_is_flagged(self, make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            def run(fn):
+                try:
+                    fn()
+                except Exception:
+                    return None
+            """})
+        findings = check_exception_taxonomy(project)
+        assert len(findings) == 1
+        assert "broad 'except Exception'" in findings[0].message
+
+    def test_broad_except_with_reraise_passes(self, make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            def run(fn, known):
+                try:
+                    fn()
+                except Exception as exc:
+                    if not isinstance(exc, known):
+                        raise
+                    return None
+            """})
+        assert check_exception_taxonomy(project) == []
+
+    def test_reraising_a_caught_variable_passes(self, make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            from repro.errors import ProtocolError
+
+            def run(fn):
+                try:
+                    fn()
+                except ProtocolError as exc:
+                    raise exc
+            """})
+        assert check_exception_taxonomy(project) == []
+
+
+_MINI_MESSAGES = """
+    class MessageType:
+        SEARCH = 1
+        STORE = 2
+        BATCH = 3
+    """
+
+_MINI_SESSION = """
+    from repro.net.messages import MessageType
+
+    READ_MESSAGE_TYPES = frozenset({MessageType.SEARCH})
+    WRITE_MESSAGE_TYPES = frozenset({MessageType.STORE})
+
+    def is_read_request(message):
+        if message.type is MessageType.BATCH:
+            return False
+        return message.type in READ_MESSAGE_TYPES
+    """
+
+_MINI_DISPATCH = """
+    from repro.net.messages import MessageType
+
+    def handle(message):
+        if message.type is MessageType.SEARCH:
+            return None
+        if message.type is MessageType.STORE:
+            return None
+        if message.type is MessageType.BATCH:
+            return None
+    """
+
+_MINI_TESTS = """
+    from repro.net.messages import MessageType
+
+    def test_roundtrip():
+        for member in (MessageType.SEARCH, MessageType.STORE,
+                       MessageType.BATCH):
+            assert member
+    """
+
+
+class TestProtocolExhaustive:
+    def _files(self):
+        return {
+            "src/repro/net/messages.py": _MINI_MESSAGES,
+            "src/repro/net/session.py": _MINI_SESSION,
+            "src/repro/net/dispatch.py": _MINI_DISPATCH,
+            "tests/net/test_messages.py": _MINI_TESTS,
+        }
+
+    def test_fully_wired_tree_passes(self, make_project):
+        project = make_project(self._files())
+        assert check_protocol_exhaustive(project) == []
+
+    def test_unclassified_member_is_flagged(self, make_project):
+        files = self._files()
+        files["src/repro/net/messages.py"] = _MINI_MESSAGES + "    PING = 4\n"
+        files["src/repro/net/dispatch.py"] = _MINI_DISPATCH.replace(
+            "if message.type is MessageType.BATCH:",
+            "if message.type is MessageType.BATCH "
+            "or message.type is MessageType.PING:")
+        files["tests/net/test_messages.py"] = _MINI_TESTS.replace(
+            "MessageType.BATCH)", "MessageType.BATCH, MessageType.PING)")
+        project = make_project(files)
+        findings = check_protocol_exhaustive(project)
+        assert len(findings) == 1
+        assert "neither READ_MESSAGE_TYPES nor WRITE" in findings[0].message
+
+    def test_orphan_member_is_flagged(self, make_project):
+        files = self._files()
+        files["src/repro/net/messages.py"] = _MINI_MESSAGES + "    PING = 4\n"
+        project = make_project(files)
+        messages = {f.message for f in check_protocol_exhaustive(project)}
+        assert any("never handled" in m for m in messages)
+        assert any("no serializer test" in m for m in messages)
+
+    def test_wholesale_serializer_test_covers_members(self, make_project):
+        files = self._files()
+        files["tests/net/test_messages.py"] = """
+            from repro.net.messages import MessageType
+
+            def test_roundtrip():
+                for member in MessageType:
+                    assert member
+            """
+        project = make_project(files)
+        assert check_protocol_exhaustive(project) == []
+
+    def test_member_in_both_sets_is_flagged(self, make_project):
+        files = self._files()
+        files["src/repro/net/session.py"] = _MINI_SESSION.replace(
+            "WRITE_MESSAGE_TYPES = frozenset({MessageType.STORE})",
+            "WRITE_MESSAGE_TYPES = frozenset({MessageType.STORE, "
+            "MessageType.SEARCH})")
+        project = make_project(files)
+        findings = check_protocol_exhaustive(project)
+        assert len(findings) == 1
+        assert "both READ_MESSAGE_TYPES and WRITE" in findings[0].message
+
+
+class TestApiSurface:
+    def test_consistent_all_passes(self, make_project):
+        project = make_project({"src/repro/ok.py": """
+            __all__ = ["visible"]
+
+            def visible():
+                return 1
+
+            def _private():
+                return 2
+            """})
+        assert check_api_surface(project) == []
+
+    def test_stale_and_missing_exports_are_flagged(self, make_project):
+        project = make_project({"src/repro/bad.py": """
+            __all__ = ["ghost", "ghost", "_hidden"]
+
+            def orphan():
+                return 1
+            """})
+        messages = {f.message for f in check_api_surface(project)}
+        assert any("never defined" in m for m in messages)
+        assert any("more than once" in m for m in messages)
+        assert any("underscore-private" in m for m in messages)
+        assert any("missing from __all__" in m for m in messages)
+
+    def test_module_without_all_is_skipped(self, make_project):
+        project = make_project({"src/repro/free.py": """
+            def anything():
+                return 1
+            """})
+        assert check_api_surface(project) == []
+
+
+_MINI_DOC = """
+    # Observability
+
+    | name | kind |
+    |---|---|
+    | `requests_total` | counter |
+
+    | span | recorded by |
+    |---|---|
+    | `client.request` | Channel |
+    """
+
+_MINI_OBS_SRC = """
+    from repro.obs.trace import span
+
+    def record(metrics):
+        metrics.counter("requests_total", type="ACK").inc()
+        with span("client.request", type="ACK"):
+            pass
+    """
+
+
+class TestObsDrift:
+    def test_matching_code_and_doc_pass(self, make_project):
+        project = make_project({
+            "src/repro/svc/wire.py": _MINI_OBS_SRC,
+            "docs/observability.md": _MINI_DOC,
+        })
+        assert check_obs_drift(project) == []
+
+    def test_undocumented_metric_is_flagged(self, make_project):
+        project = make_project({
+            "src/repro/svc/wire.py": _MINI_OBS_SRC.replace(
+                '"requests_total"', '"surprise_total"'),
+            "docs/observability.md": _MINI_DOC,
+        })
+        messages = {f.message for f in check_obs_drift(project)}
+        assert any("'surprise_total' is emitted but missing" in m
+                   for m in messages)
+        assert any("'requests_total' is emitted nowhere" in m
+                   for m in messages)
+
+    def test_undocumented_span_is_flagged(self, make_project):
+        project = make_project({
+            "src/repro/svc/wire.py": _MINI_OBS_SRC.replace(
+                '"client.request"', '"client.mystery"'),
+            "docs/observability.md": _MINI_DOC,
+        })
+        messages = {f.message for f in check_obs_drift(project)}
+        assert any("'client.mystery' is recorded but missing" in m
+                   for m in messages)
+        assert any("'client.request' is recorded nowhere" in m
+                   for m in messages)
+
+    def test_missing_doc_skips_quietly(self, make_project):
+        project = make_project({"src/repro/svc/wire.py": _MINI_OBS_SRC})
+        assert check_obs_drift(project) == []

@@ -1,0 +1,245 @@
+"""Engine semantics: findings, pragmas, baselines, reports, and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.checkers import check_exception_taxonomy
+from repro.analysis.cli import find_repo_root, main
+from repro.analysis.engine import (Baseline, Finding, Project, all_checkers,
+                                   run_checks)
+
+_TWO_RAISES = """
+    def first():
+        raise KeyError("a")
+
+    def second():
+        raise IndexError("b")
+    """
+
+
+class TestFinding:
+    def test_format_includes_location_checker_and_hint(self):
+        finding = Finding("demo", "src/repro/x.py", 7, "broken",
+                          hint="fix it")
+        assert finding.format() == \
+            "src/repro/x.py:7: [demo] broken (fix it)"
+
+    def test_dict_round_trips_through_json(self):
+        finding = Finding("demo", "src/repro/x.py", 7, "broken",
+                          hint="fix it")
+        payload = json.loads(json.dumps(finding.to_dict()))
+        assert payload == {"checker": "demo", "path": "src/repro/x.py",
+                           "line": 7, "severity": "error",
+                           "message": "broken", "hint": "fix it"}
+
+    def test_baseline_key_ignores_the_line_number(self):
+        a = Finding("demo", "src/repro/x.py", 7, "broken")
+        b = Finding("demo", "src/repro/x.py", 99, "broken")
+        assert a.baseline_key == b.baseline_key
+
+
+class TestPragmas:
+    def test_pragma_on_the_line_silences_only_that_finding(self,
+                                                           make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            def first():
+                raise KeyError("a")  # repro: allow(exception-taxonomy)
+
+            def second():
+                raise IndexError("b")
+            """})
+        report = run_checks(project, checks=["exception-taxonomy"])
+        assert [f.line for f in report.suppressed] == [3]
+        assert [f.line for f in report.active] == [6]
+
+    def test_pragma_on_the_line_above_works(self, make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            def first():
+                # repro: allow(exception-taxonomy)
+                raise KeyError("a")
+            """})
+        report = run_checks(project, checks=["exception-taxonomy"])
+        assert report.active == []
+        assert len(report.suppressed) == 1
+
+    def test_pragma_two_lines_away_does_not_apply(self, make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            def first():
+                # repro: allow(exception-taxonomy)
+                # explanation continues
+                raise KeyError("a")
+            """})
+        report = run_checks(project, checks=["exception-taxonomy"])
+        assert len(report.active) == 1
+
+    def test_pragma_for_another_checker_does_not_apply(self, make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            def first():
+                raise KeyError("a")  # repro: allow(lock-discipline)
+            """})
+        report = run_checks(project, checks=["exception-taxonomy"])
+        assert len(report.active) == 1
+
+    def test_pragma_accepts_a_comma_separated_list(self, make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            def first():
+                raise KeyError("a")  # repro: allow(api-surface, exception-taxonomy)
+            """})
+        report = run_checks(project, checks=["exception-taxonomy"])
+        assert report.active == []
+
+
+class TestBaseline:
+    def test_baseline_silences_exactly_one_occurrence(self, make_project):
+        project = make_project({"src/repro/net/wire.py": _TWO_RAISES})
+        findings = check_exception_taxonomy(project)
+        key_error = next(f for f in findings if "KeyError" in f.message)
+        baseline = Baseline([key_error.baseline_key])
+        report = run_checks(project, checks=["exception-taxonomy"],
+                            baseline=baseline)
+        assert [f.message for f in report.baselined] == [key_error.message]
+        assert len(report.active) == 1
+        assert "IndexError" in report.active[0].message
+
+    def test_duplicate_findings_need_duplicate_entries(self, make_project):
+        project = make_project({"src/repro/net/wire.py": """
+            def first():
+                raise KeyError("a")
+
+            def second():
+                raise KeyError("a")
+            """})
+        findings = check_exception_taxonomy(project)
+        assert len(findings) == 2
+        baseline = Baseline([findings[0].baseline_key])
+        report = run_checks(project, checks=["exception-taxonomy"],
+                            baseline=baseline)
+        assert len(report.baselined) == 1
+        assert len(report.active) == 1
+
+    def test_baseline_survives_line_shifts(self, make_project, tmp_path):
+        project = make_project({"src/repro/net/wire.py": _TWO_RAISES})
+        findings = check_exception_taxonomy(project)
+        path = tmp_path / "baseline.json"
+        Baseline.dump(findings, path)
+        shifted = make_project(
+            {"src/repro/net/wire.py": "\n\n\n" + _TWO_RAISES},
+            root=tmp_path / "shifted")
+        report = run_checks(shifted, checks=["exception-taxonomy"],
+                            baseline=Baseline.load(path))
+        assert report.active == []
+        assert len(report.baselined) == 2
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert not baseline.absorbs(
+            Finding("demo", "src/repro/x.py", 1, "broken"))
+
+
+class TestReport:
+    def test_exit_code_counts_active_findings(self, make_project):
+        project = make_project({"src/repro/net/wire.py": _TWO_RAISES})
+        report = run_checks(project, checks=["exception-taxonomy"])
+        assert report.exit_code == 2
+
+    def test_human_output_has_per_checker_summaries(self, make_project):
+        project = make_project({"src/repro/net/wire.py": _TWO_RAISES})
+        report = run_checks(project)
+        text = report.format_human()
+        for chk in all_checkers():
+            assert f"repro-lint: {chk.id}" in text
+        assert "repro-lint: 2 unsuppressed finding(s)" in text
+
+    def test_clean_tree_reports_clean(self, make_project):
+        project = make_project({"src/repro/__init__.py": ""})
+        report = run_checks(project)
+        assert report.exit_code == 0
+        assert "repro-lint: clean" in report.format_human()
+
+    def test_unknown_checker_id_raises(self, make_project):
+        project = make_project({"src/repro/__init__.py": ""})
+        try:
+            run_checks(project, checks=["no-such-checker"])
+        except ValueError as exc:
+            assert "no-such-checker" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestCli:
+    def _tree(self, make_project, tmp_path, body=_TWO_RAISES):
+        make_project({"src/repro/net/wire.py": body}, root=tmp_path / "repo")
+        return tmp_path / "repo"
+
+    def test_exit_zero_on_clean_tree(self, make_project, tmp_path, capsys):
+        root = self._tree(make_project, tmp_path,
+                          body="def fine():\n    return 1\n")
+        assert main(["--root", str(root)]) == 0
+        assert "repro-lint: clean" in capsys.readouterr().out
+
+    def test_exit_code_is_the_finding_count(self, make_project, tmp_path,
+                                            capsys):
+        root = self._tree(make_project, tmp_path)
+        assert main(["--root", str(root)]) == 2
+        out = capsys.readouterr().out
+        assert "[exception-taxonomy]" in out
+
+    def test_json_report_lists_findings(self, make_project, tmp_path,
+                                        capsys):
+        root = self._tree(make_project, tmp_path)
+        assert main(["--root", str(root), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 2
+        assert len(payload["findings"]) == 2
+        checkers = {c["id"] for c in payload["checkers"]}
+        assert "exception-taxonomy" in checkers
+        assert "lock-discipline" in checkers
+
+    def test_output_flag_writes_the_artifact(self, make_project, tmp_path,
+                                             capsys):
+        root = self._tree(make_project, tmp_path)
+        artifact = tmp_path / "lint-report.json"
+        main(["--root", str(root), "--output", str(artifact)])
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["exit_code"] == 2
+
+    def test_checks_flag_restricts_the_run(self, make_project, tmp_path,
+                                           capsys):
+        root = self._tree(make_project, tmp_path)
+        assert main(["--root", str(root),
+                     "--checks", "lock-discipline"]) == 0
+        out = capsys.readouterr().out
+        assert "lock-discipline" in out
+        assert "exception-taxonomy" not in out
+
+    def test_unknown_checker_id_exits_two(self, make_project, tmp_path,
+                                          capsys):
+        root = self._tree(make_project, tmp_path)
+        assert main(["--root", str(root), "--checks", "bogus"]) == 2
+        assert "unknown checker id" in capsys.readouterr().err
+
+    def test_update_baseline_then_clean(self, make_project, tmp_path,
+                                        capsys):
+        root = self._tree(make_project, tmp_path)
+        assert main(["--root", str(root), "--update-baseline"]) == 0
+        baseline = json.loads(
+            (root / "tools" / "analysis_baseline.json")
+            .read_text(encoding="utf-8"))
+        assert len(baseline["findings"]) == 2
+        assert main(["--root", str(root)]) == 0
+        capsys.readouterr()
+
+    def test_list_prints_all_six_checkers(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for checker_id in ("api-surface", "crypto-hygiene",
+                           "exception-taxonomy", "lock-discipline",
+                           "obs-drift", "protocol-exhaustive"):
+            assert checker_id in out
+
+    def test_find_repo_root_walks_up(self, make_project, tmp_path):
+        root = self._tree(make_project, tmp_path)
+        nested = root / "src" / "repro" / "net"
+        assert find_repo_root(nested) == root.resolve()

@@ -1,0 +1,88 @@
+"""The shipped tree passes the full suite, and injected violations fail it.
+
+These are the acceptance tests for the lint gate itself: ``make lint``
+must exit 0 on the repository as committed (with an *empty* baseline —
+nothing is grandfathered), and must exit non-zero the moment a seeded
+violation lands in ``src/``.  The fsync-injection test pins the checker
+to the exact file:line of the injected call.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.checkers import check_lock_discipline
+from repro.analysis.cli import main
+from repro.analysis.engine import Baseline, Project, run_checks
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "tools" / "analysis_baseline.json"
+
+
+@pytest.fixture
+def repo_copy(tmp_path):
+    """A mutable copy of the real src/docs/tests trees."""
+    copy = tmp_path / "repo"
+    for part in ("src", "docs", "tests"):
+        shutil.copytree(REPO_ROOT / part, copy / part,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+    (copy / "tools").mkdir()
+    shutil.copy(BASELINE, copy / "tools" / "analysis_baseline.json")
+    return copy
+
+
+def test_shipped_tree_is_clean():
+    report = run_checks(Project(REPO_ROOT), baseline=Baseline.load(BASELINE))
+    assert report.active == [], "\n".join(
+        finding.format() for finding in report.active)
+
+
+def test_shipped_baseline_is_empty():
+    payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+    assert payload["findings"] == []
+
+
+def test_injected_fsync_in_read_locked_path_is_flagged(repo_copy):
+    tcp = repo_copy / "src" / "repro" / "net" / "tcp.py"
+    lines = tcp.read_text(encoding="utf-8").splitlines()
+    anchor = next(i for i, line in enumerate(lines)
+                  if "acquire_read()" in line)
+    indent = lines[anchor][:len(lines[anchor]) - len(lines[anchor].lstrip())]
+    lines.insert(anchor + 1, f"{indent}os.fsync(0)")
+    tcp.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    findings = check_lock_discipline(Project(repo_copy))
+    locations = [(f.path, f.line) for f in findings]
+    assert ("src/repro/net/tcp.py", anchor + 2) in locations
+    flagged = next(f for f in findings
+                   if (f.path, f.line) == ("src/repro/net/tcp.py",
+                                           anchor + 2))
+    assert "os.fsync" in flagged.message
+    assert "read lock" in flagged.message
+
+
+def test_injected_stdlib_random_fails_the_cli(repo_copy, capsys):
+    elgamal = repo_copy / "src" / "repro" / "crypto" / "elgamal.py"
+    elgamal.write_text("import random\n"
+                       + elgamal.read_text(encoding="utf-8"),
+                       encoding="utf-8")
+    code = main(["--root", str(repo_copy)])
+    out = capsys.readouterr().out
+    assert code != 0
+    assert "stdlib 'random'" in out
+    assert "src/repro/crypto/elgamal.py:1" in out
+
+
+def test_injected_builtin_raise_fails_the_cli(repo_copy, capsys):
+    session = repo_copy / "src" / "repro" / "net" / "session.py"
+    session.write_text(session.read_text(encoding="utf-8")
+                       + "\n\ndef _bad(value):\n"
+                         "    raise ValueError(value)\n",
+                       encoding="utf-8")
+    code = main(["--root", str(repo_copy)])
+    capsys.readouterr()
+    assert code != 0

@@ -146,6 +146,46 @@ class TestSubprocessInvocation:
         assert result.returncode == 0
 
 
+class TestServe:
+    def test_stop_event_ends_the_serve_loop(self, home, capsys):
+        """`serve` exits cleanly when the injected stop event is set."""
+        import threading
+
+        from repro.cli import build_parser, cmd_serve
+
+        run(["init", "--home", home], capsys)
+        args = build_parser().parse_args(
+            ["serve", "--home", home, "--port", "0"])
+        args.stop_event = threading.Event()
+        args.stop_event.set()  # first wait() returns immediately
+        code = cmd_serve(args)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving" in out
+
+    def test_stop_event_from_another_thread(self, home, capsys):
+        import threading
+
+        from repro.cli import build_parser, cmd_serve
+
+        run(["init", "--home", home], capsys)
+        args = build_parser().parse_args(
+            ["serve", "--home", home, "--port", "0"])
+        args.stop_event = threading.Event()
+        result = {}
+
+        def serve():
+            result["code"] = cmd_serve(args)
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        args.stop_event.set()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+        capsys.readouterr()
+
+
 class TestLiveStats:
     def test_live_snapshot_from_running_server(self, capsys):
         from repro.core.registry import make_server

@@ -1,176 +1,23 @@
 #!/usr/bin/env python3
-"""Lint check: ``__all__`` must match what each module actually defines.
+"""Thin shim over the :mod:`repro.analysis` checker suite.
 
-Four failure modes are caught across every module in ``src/repro``:
-
-* a name listed in ``__all__`` that the module does not define
-  (stale export — import * would raise AttributeError);
-* a public top-level class or function missing from ``__all__`` in a
-  module that declares one (silent API drift);
-* the same name exported twice (copy-paste drift when lists grow);
-* an underscore-prefixed name in ``__all__`` (exporting something the
-  naming convention says is private is always a mistake).
-
-One protocol-level check rides along: every :class:`MessageType` member
-must be referenced by name somewhere in ``src/repro`` outside the enum's
-own module.  A member nobody handles, sends, or explicitly rejects is an
-orphan — usually a wire type someone added without a dispatcher branch
-(unknown types are rejected generically, but a *known* type that no code
-touches is dead protocol surface).
-
-Exit status is the number of offending modules, so ``make lint`` fails
-loudly.  No third-party dependencies.
+Historically this file held the ``__all__`` export checks and the
+MessageType orphan check; both now live in the framework as the
+``api-surface`` and ``protocol-exhaustive`` checkers, alongside the rest
+of the suite (lock discipline, crypto hygiene, exception taxonomy,
+observability drift).  ``make lint`` still enters through here, so the
+muscle-memory entry point keeps working; any arguments are forwarded to
+``repro-lint`` (try ``--json`` or ``--list``).
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-
-def module_name(path: Path) -> str:
-    rel = path.relative_to(SRC).with_suffix("")
-    parts = list(rel.parts)
-    if parts[-1] == "__init__":
-        parts.pop()
-    return ".".join(parts)
-
-
-def declared_all(tree: ast.Module) -> list[str] | None:
-    for node in tree.body:
-        targets = []
-        if isinstance(node, ast.Assign):
-            targets = node.targets
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            targets = [node.target]
-        for target in targets:
-            if isinstance(target, ast.Name) and target.id == "__all__":
-                value = node.value
-                if isinstance(value, (ast.List, ast.Tuple)):
-                    return [elt.value for elt in value.elts
-                            if isinstance(elt, ast.Constant)]
-    return None
-
-
-def public_definitions(tree: ast.Module) -> set[str]:
-    """Top-level def/class names that do not start with an underscore."""
-    names = set()
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.ClassDef)):
-            if not node.name.startswith("_"):
-                names.add(node.name)
-    return names
-
-
-def defined_names(tree: ast.Module) -> set[str]:
-    """Every top-level binding: defs, classes, assignments, imports."""
-    names = set()
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.ClassDef)):
-            names.add(node.name)
-        elif isinstance(node, ast.Assign):
-            for target in node.targets:
-                for leaf in ast.walk(target):
-                    if isinstance(leaf, ast.Name):
-                        names.add(leaf.id)
-        elif isinstance(node, ast.AnnAssign):
-            if isinstance(node.target, ast.Name):
-                names.add(node.target.id)
-        elif isinstance(node, (ast.Import, ast.ImportFrom)):
-            for alias in node.names:
-                names.add((alias.asname or alias.name).split(".")[0])
-    return names
-
-
-def check(path: Path) -> list[str]:
-    tree = ast.parse(path.read_text(encoding="utf-8"))
-    exported = declared_all(tree)
-    if exported is None:
-        return []
-    problems = []
-    seen: set[str] = set()
-    for name in exported:
-        if name in seen:
-            problems.append(f"exports {name!r} more than once")
-        seen.add(name)
-        is_dunder = name.startswith("__") and name.endswith("__")
-        if name.startswith("_") and not is_dunder:
-            problems.append(f"exports underscore-private name {name!r}")
-    available = defined_names(tree)
-    star_imports = any(
-        isinstance(node, ast.ImportFrom)
-        and any(alias.name == "*" for alias in node.names)
-        for node in tree.body)
-    for name in exported:
-        if name not in available and not star_imports:
-            problems.append(f"exports {name!r} which is never defined")
-    for name in sorted(public_definitions(tree) - set(exported)):
-        problems.append(f"defines public {name!r} missing from __all__")
-    return problems
-
-
-_MESSAGES = SRC / "repro" / "net" / "messages.py"
-
-
-def message_type_members() -> list[str]:
-    tree = ast.parse(_MESSAGES.read_text(encoding="utf-8"))
-    for node in tree.body:
-        if isinstance(node, ast.ClassDef) and node.name == "MessageType":
-            return [n.targets[0].id for n in node.body
-                    if isinstance(n, ast.Assign)
-                    and isinstance(n.targets[0], ast.Name)]
-    raise SystemExit("check_all: MessageType enum not found")
-
-
-def referenced_message_types(path: Path) -> set[str]:
-    """Names X used as ``MessageType.X`` anywhere in the module."""
-    tree = ast.parse(path.read_text(encoding="utf-8"))
-    return {
-        node.attr for node in ast.walk(tree)
-        if isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "MessageType"
-    }
-
-
-def check_message_types() -> list[str]:
-    referenced: set[str] = set()
-    for path in sorted(SRC.rglob("*.py")):
-        if path == _MESSAGES:
-            continue
-        referenced |= referenced_message_types(path)
-    return [
-        f"MessageType.{member} is never handled, sent, or rejected "
-        f"anywhere in src/repro"
-        for member in message_type_members() if member not in referenced
-    ]
-
-
-def main() -> int:
-    bad = 0
-    for path in sorted(SRC.rglob("*.py")):
-        problems = check(path)
-        if problems:
-            bad += 1
-            rel = path.relative_to(SRC.parent)
-            for problem in problems:
-                print(f"{rel}: {problem}")
-    orphans = check_message_types()
-    for problem in orphans:
-        print(f"src/repro/net/messages.py: {problem}")
-    bad += bool(orphans)
-    if bad:
-        print(f"check_all: {bad} module(s) with export/protocol drift")
-    else:
-        print("check_all: __all__ exports and MessageType coverage are "
-              "consistent")
-    return bad
-
+from repro.analysis.cli import main  # noqa: E402 - needs the path above
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))
