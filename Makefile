@@ -26,10 +26,15 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Tiny CI-sized runs of the key benches; emits benchmarks/BENCH_*.json.
+# bench_batching runs twice: once against the in-process durable server
+# and once against a real 2-shard service behind the router.
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/bench_table1_search.py \
 		benchmarks/bench_concurrent_clients.py \
+		benchmarks/bench_batching.py \
+		benchmarks/bench_shard_scaling.py
+	REPRO_BENCH_SMOKE=1 REPRO_BENCH_SHARDS=2 $(PYTHON) -m pytest \
 		benchmarks/bench_batching.py
 
 results: bench

@@ -18,7 +18,7 @@ import time
 
 from repro.bench.reporting import format_header, format_table
 from repro.core import Document
-from repro.core.registry import make_scheme, make_server
+from repro.core.registry import make_client, make_server
 from repro.crypto.rng import HmacDrbg
 from repro.net.channel import Channel
 from repro.net.messages import MessageType
@@ -76,7 +76,7 @@ def test_concurrent_clients_throughput(benchmark, master_key, report,
     tcp = TcpSseServer(probe, max_workers=N_CLIENTS)
     tcp.start()
     try:
-        writer, _ = make_scheme(
+        writer = make_client(
             "scheme2", master_key,
             channel=Channel(TcpClientTransport(tcp.host, tcp.port)),
             chain_length=CHAIN_LENGTH, rng=HmacDrbg(0xA0))
@@ -91,7 +91,7 @@ def test_concurrent_clients_throughput(benchmark, master_key, report,
         def reader(index: int) -> None:
             try:
                 transport = TcpClientTransport(tcp.host, tcp.port)
-                client, _ = make_scheme(
+                client = make_client(
                     "scheme2", master_key, channel=Channel(transport),
                     chain_length=CHAIN_LENGTH, rng=HmacDrbg(0xB0 + index))
                 started.wait()

@@ -18,7 +18,8 @@ import time
 
 from repro.bench.reporting import format_header, format_table
 from repro.core.persistence import DurableServer
-from repro.core.registry import available_schemes, make_scheme
+from repro.core.registry import (available_schemes, make_client,
+                                 make_scheme)
 from repro.net.channel import Channel
 from repro.storage.kvstore import LogKvStore
 from repro.workloads.generator import (WorkloadSpec, generate_collection,
@@ -55,9 +56,8 @@ def _fresh_server(name, master_key, options):
 
 
 def _client_for(name, master_key, options, handler):
-    client, _ = make_scheme(name, master_key, channel=Channel(handler),
-                            seed=0x0F17, **dict(options))
-    return client
+    return make_client(name, master_key, channel=Channel(handler),
+                       seed=0x0F17, **dict(options))
 
 
 def test_write_through_overhead(benchmark, master_key, elgamal_keypair,

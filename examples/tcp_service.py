@@ -14,7 +14,7 @@ Usage::
 
 import threading
 
-from repro import Document, keygen, make_scheme, make_server
+from repro import Document, keygen, make_client, make_server
 from repro.crypto.rng import HmacDrbg
 from repro.net.channel import Channel
 from repro.net.retry import RetryingTransport, RetryPolicy
@@ -31,11 +31,11 @@ def main() -> None:
         print(f"serving scheme2 on {tcp.host}:{tcp.port}")
 
         # The writer seeds the store and appends while readers search.
-        with make_scheme(
+        with make_client(
             "scheme2", master_key,
             channel=Channel(TcpClientTransport(tcp.host, tcp.port)),
             chain_length=128, rng=HmacDrbg(1),
-        )[0] as writer:
+        ) as writer:
             writer.store([
                 Document(i, b"record %d" % i, frozenset({f"kw{i % 2}"}))
                 for i in range(6)
@@ -50,10 +50,10 @@ def main() -> None:
                     policy=RetryPolicy(max_attempts=3),
                     rng=HmacDrbg(100 + index),
                 )
-                client, _ = make_scheme("scheme2", master_key,
-                                        channel=Channel(transport),
-                                        chain_length=128,
-                                        rng=HmacDrbg(200 + index))
+                client = make_client("scheme2", master_key,
+                                     channel=Channel(transport),
+                                     chain_length=128,
+                                     rng=HmacDrbg(200 + index))
                 with client:
                     client._ctr = writer.ctr  # counter shared out-of-band
                     result = client.search(f"kw{index % 2}")

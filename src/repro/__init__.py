@@ -21,9 +21,10 @@ paper's tables and figures.
 """
 
 from repro.core import (Document, MasterKey, Scheme1Client, Scheme1Server,
-                        Scheme2Client, Scheme2Server, SearchResult,
-                        available_schemes, keygen, make_scheme, make_scheme1,
-                        make_scheme2, make_server)
+                        Scheme2Client, Scheme2Server, SchemeHandle,
+                        SearchResult, available_schemes, keygen, make_client,
+                        make_scheme, make_scheme1, make_scheme2, make_server,
+                        make_service)
 from repro.errors import ReproError
 
 __version__ = "0.1.0"
@@ -36,12 +37,15 @@ __all__ = [
     "Scheme1Server",
     "Scheme2Client",
     "Scheme2Server",
+    "SchemeHandle",
     "SearchResult",
     "__version__",
     "available_schemes",
     "keygen",
+    "make_client",
     "make_scheme",
     "make_scheme1",
     "make_scheme2",
     "make_server",
+    "make_service",
 ]

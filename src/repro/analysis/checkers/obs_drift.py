@@ -13,8 +13,12 @@ and span names it tables.  Two drift directions are flagged:
 
 Doc names are read from the markdown tables whose first header cell is
 ``name`` (metrics) or ``span`` (spans); a cell may list several names
-separated by ``/``.  Only literal first-argument names are collected
-from code — a dynamically-built name cannot be checked and is ignored.
+separated by ``/``.  ``docs/sharding.md`` documents the router's own
+instruments the same way, so its tables count too — a name declared in
+either doc satisfies the contract, and a name declared in either doc but
+emitted nowhere is stale.  Only literal first-argument names are
+collected from code — a dynamically-built name cannot be checked and is
+ignored.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ from repro.analysis.engine import Finding, Project, checker
 __all__ = ["check_obs_drift", "doc_declared_names"]
 
 _DOC = "docs/observability.md"
+#: Additional docs whose ``name``/``span`` tables join the contract.
+_EXTRA_DOCS = ("sharding.md",)
 
 _METRIC_CALLS = {"counter", "gauge", "histogram"}
 _SPAN_CALLS = {"span", "Span"}
@@ -94,34 +100,49 @@ def check_obs_drift(project: Project) -> list[Finding]:
     doc_path = project.docs_dir / "observability.md"
     if not doc_path.exists():
         return []
-    doc_metrics, doc_spans = doc_declared_names(
-        doc_path.read_text(encoding="utf-8"))
+    # name -> (doc rel-path, line); observability.md first so its rows win
+    # the "which doc declared it" attribution for duplicated names.
+    doc_metrics: dict[str, tuple[str, int]] = {}
+    doc_spans: dict[str, tuple[str, int]] = {}
+    for filename in ("observability.md",) + _EXTRA_DOCS:
+        path = project.docs_dir / filename
+        if not path.exists():
+            continue
+        metrics, spans = doc_declared_names(
+            path.read_text(encoding="utf-8"))
+        rel = f"docs/{filename}"
+        for name, line in metrics.items():
+            doc_metrics.setdefault(name, (rel, line))
+        for name, line in spans.items():
+            doc_spans.setdefault(name, (rel, line))
     code_metrics, code_spans = _code_names(project)
+    doc_list = " or ".join(["docs/observability.md"]
+                           + [f"docs/{extra}" for extra in _EXTRA_DOCS])
     findings: list[Finding] = []
     for name, (path, line) in sorted(code_metrics.items()):
         if name not in doc_metrics:
             findings.append(Finding(
                 "obs-drift", path, line,
                 f"metric {name!r} is emitted but missing from "
-                f"{_DOC}",
+                f"{doc_list}",
                 hint="add a row to the metric reference table"))
     for name, (path, line) in sorted(code_spans.items()):
         if name not in doc_spans:
             findings.append(Finding(
                 "obs-drift", path, line,
-                f"span {name!r} is recorded but missing from {_DOC}",
+                f"span {name!r} is recorded but missing from {doc_list}",
                 hint="add a row to the span table"))
-    for name, line in sorted(doc_metrics.items()):
+    for name, (rel, line) in sorted(doc_metrics.items()):
         if name not in code_metrics:
             findings.append(Finding(
-                "obs-drift", _DOC, line,
+                "obs-drift", rel, line,
                 f"documented metric {name!r} is emitted nowhere in "
                 f"src/",
                 hint="delete the stale row or restore the instrument"))
-    for name, line in sorted(doc_spans.items()):
+    for name, (rel, line) in sorted(doc_spans.items()):
         if name not in code_spans:
             findings.append(Finding(
-                "obs-drift", _DOC, line,
+                "obs-drift", rel, line,
                 f"documented span {name!r} is recorded nowhere in "
                 f"src/",
                 hint="delete the stale row or restore the span"))

@@ -18,7 +18,11 @@ under the shared read lock).  Three obligations per enum member:
    ``READ_MESSAGE_TYPES`` / ``WRITE_MESSAGE_TYPES`` in
    ``repro.net.session`` (or is special-cased by name inside
    ``is_read_request``, as ``BATCH_REQUEST`` is — it is classified by
-   its contents).  Membership in both sets is also an error.
+   its contents).  Membership in both sets is also an error;
+4. **routing decision** — the member keys ``BASE_ROUTES`` in
+   ``repro.net.shard``, so the scatter-gather router has a reviewed
+   answer for every wire type (a type missing from the table would fall
+   to a runtime default chosen by nobody).
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ __all__ = ["check_protocol_exhaustive", "message_type_members"]
 
 _MESSAGES = "src/repro/net/messages.py"
 _SESSION = "src/repro/net/session.py"
+_SHARD = "src/repro/net/shard.py"
 _SERIALIZER_TESTS = "tests/net/test_messages.py"
 
 _WHOLESALE = re.compile(
@@ -72,6 +77,27 @@ def _frozenset_members(source: SourceFile, name: str) -> set[str] | None:
                 if isinstance(sub, ast.Attribute)
                 and isinstance(sub.value, ast.Name)
                 and sub.value.id == "MessageType"
+            }
+    return None
+
+
+def _dict_key_members(source: SourceFile, name: str) -> set[str] | None:
+    """``MessageType.X`` keys of a module-level dict assignment
+    (plain or annotated)."""
+    for node in source.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        if any(isinstance(t, ast.Name) and t.id == name for t in targets) \
+                and isinstance(node.value, ast.Dict):
+            return {
+                key.attr for key in node.value.keys
+                if isinstance(key, ast.Attribute)
+                and isinstance(key.value, ast.Name)
+                and key.value.id == "MessageType"
             }
     return None
 
@@ -124,7 +150,19 @@ def check_protocol_exhaustive(project: Project) -> list[Finding]:
     special = _classifier_special_cases(session) \
         if session is not None else set()
 
+    shard = project.file(_SHARD)
+    routed = _dict_key_members(shard, "BASE_ROUTES") \
+        if shard is not None else None
+
     for member, line in sorted(members.items()):
+        if routed is not None and member not in routed:
+            findings.append(Finding(
+                "protocol-exhaustive", _SHARD, line,
+                f"MessageType.{member} has no routing decision in "
+                f"BASE_ROUTES",
+                hint="add the member to BASE_ROUTES in repro/net/shard.py "
+                     "— scatter routing must be a reviewed table entry, "
+                     "not a runtime default"))
         if member not in dispatched:
             findings.append(Finding(
                 "protocol-exhaustive", _MESSAGES, line,
@@ -169,4 +207,10 @@ def check_protocol_exhaustive(project: Project) -> list[Finding]:
             "protocol-exhaustive", _SESSION, 1,
             "WRITE_MESSAGE_TYPES not found in repro/net/session.py",
             hint="declare the mutating message types explicitly"))
+    if shard is not None and routed is None:
+        findings.append(Finding(
+            "protocol-exhaustive", _SHARD, 1,
+            "BASE_ROUTES not found in repro/net/shard.py",
+            hint="the routing table must stay a statically parseable "
+                 "module-level dict literal"))
     return findings

@@ -52,8 +52,8 @@ from repro.core.documents import Document
 from repro.core.keys import MasterKey, keygen
 from repro.core.persistence import (DurableServer, export_client_state,
                                     restore_client_state)
-from repro.core.registry import (available_schemes, make_scheme, make_server,
-                                 scheme_description)
+from repro.core.registry import (available_schemes, make_client, make_server,
+                                 make_service, scheme_description)
 from repro.errors import ReproError
 from repro.net.channel import Channel
 from repro.obs.metrics import Metrics
@@ -129,9 +129,9 @@ def _open(home: str, data_dir: str, metrics: Metrics | None = None):
         server.metrics = metrics  # storage + batch metrics share a registry
     # The client is built through the scheme registry with the SAME
     # structural options recorded at init time.
-    client, _ = make_scheme(scheme, master_key,
-                            channel=Channel(server, metrics=metrics),
-                            **options)
+    client = make_client(scheme, master_key,
+                         channel=Channel(server, metrics=metrics),
+                         **options)
     if os.path.exists(paths["client"]):
         with open(paths["client"]) as fh:
             restore_client_state(client, fh.read())
@@ -326,6 +326,40 @@ def cmd_import_state(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_sharded(args: argparse.Namespace, metrics: Metrics, tracer):
+    """Build the N-shard service for ``serve --shards N``."""
+    paths = _paths(args.home)
+    if not os.path.exists(paths["key"]):
+        raise ReproError(f"{args.home} is not initialized (run `init` first)")
+    config = _load_config(args.home)
+    scheme = config["scheme"]
+    options = dict(config.get("options", {}))
+    payload = _load_key_payload(paths["key"])
+    if "keypair" in payload:
+        from repro.crypto.elgamal import ElGamalKeyPair
+        options["keypair"] = ElGamalKeyPair.from_json(payload["keypair"])
+    data_dir = _data_dir(args)
+    single_log = os.path.join(data_dir, "server.log")
+    if os.path.exists(single_log):
+        from repro.storage.kvstore import LogKvStore
+
+        # There is no repartitioning path: a log written by a single
+        # server holds every tag, and splitting it would need the tag
+        # ring the data was NOT written under.  A header-only log (what
+        # `init` leaves behind) holds nothing and is safe to shard.
+        if len(LogKvStore(single_log)):
+            raise ReproError(
+                f"{single_log} holds single-server state; --shards "
+                "requires a fresh data dir (or keep serving it with "
+                "--shards 1)")
+    service = make_service(scheme, shards=args.shards, data_dir=data_dir,
+                           host=args.host, port=args.port,
+                           workers=args.workers, metrics=metrics,
+                           tracer=tracer, trace_shards=tracer is not None,
+                           **options)
+    return service, scheme
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve the encrypted store over TCP until interrupted."""
     import signal
@@ -335,19 +369,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.opcount import OpCounter, install_recorder
     from repro.obs.trace import Tracer
 
-    _, server, scheme = _open(args.home, _data_dir(args))
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
+        return 1
     metrics = Metrics()
     tracer = Tracer() if args.trace_jsonl else None
     ops = previous_recorder = None
     if args.count_ops:
         ops = OpCounter()
         previous_recorder = install_recorder(ops)
-    tcp = TcpSseServer(server, host=args.host, port=args.port,
-                       max_workers=args.workers, metrics=metrics,
-                       tracer=tracer)
-    tcp.start()
-    print(f"serving {args.home} ({scheme}) on {tcp.host}:{tcp.port} "
-          f"({tcp._pool.size} workers; ctrl-C to stop)")
+    if args.shards > 1:
+        tcp, scheme = _serve_sharded(args, metrics, tracer)
+        print(f"serving {args.home} ({scheme}) on {tcp.host}:{tcp.port} "
+              f"({args.shards} shards; ctrl-C to stop)")
+    else:
+        _, server, scheme = _open(args.home, _data_dir(args))
+        tcp = TcpSseServer(server, host=args.host, port=args.port,
+                           max_workers=args.workers, metrics=metrics,
+                           tracer=tracer)
+        tcp.start()
+        print(f"serving {args.home} ({scheme}) on {tcp.host}:{tcp.port} "
+              f"({tcp._pool.size} workers; ctrl-C to stop)")
 
     def _terminate(signum, frame):
         raise KeyboardInterrupt
@@ -481,6 +523,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="TCP port (default: ephemeral)")
     p_serve.add_argument("--workers", type=int, default=None,
                          help="worker pool size (default: min(8, cpu))")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="partition the tag space across N shard "
+                              "processes (default: 1, single server)")
     p_serve.add_argument("--drain-timeout", type=float, default=5.0,
                          help="seconds to wait for in-flight requests")
     p_serve.add_argument("--metrics", action="store_true",

@@ -15,7 +15,8 @@ from repro.core.keys import MasterKey, keygen
 from repro.core.persistence import (DurableServer, export_client_state,
                                     restore_client_state)
 from repro.core.queries import search_all, search_any
-from repro.core.registry import (available_schemes, make_scheme, make_server,
+from repro.core.registry import (SchemeHandle, available_schemes, make_client,
+                                 make_scheme, make_server, make_service,
                                  register_scheme, scheme_description)
 from repro.core.scheme1 import Scheme1Client, Scheme1Server, group_keywords
 from repro.core.scheme2 import (DEFAULT_CHAIN_LENGTH, Scheme2Client,
@@ -37,6 +38,7 @@ __all__ = [
     "Scheme1Server",
     "Scheme2Client",
     "Scheme2Server",
+    "SchemeHandle",
     "SearchResult",
     "SseClient",
     "SseServerHandler",
@@ -45,10 +47,12 @@ __all__ = [
     "extract_keywords",
     "group_keywords",
     "keygen",
+    "make_client",
     "make_scheme",
     "make_scheme1",
     "make_scheme2",
     "make_server",
+    "make_service",
     "normalize_keyword",
     "register_scheme",
     "restore_client_state",

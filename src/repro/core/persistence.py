@@ -33,6 +33,7 @@ casually is how keys leak.
 from __future__ import annotations
 
 import json
+import time
 
 from repro.core.api import SseClient
 from repro.net.messages import Message
@@ -145,9 +146,12 @@ class DurableServer:
 
     def _write_batch(self, upserts: dict[bytes, bytes],
                      deletes: set[bytes]) -> None:
+        flush_started = time.perf_counter()
         with span("storage.flush", records=len(upserts) + len(deletes)) as sp:
             n_bytes = self._store.apply_batch(upserts, deletes)
             sp.set(bytes=n_bytes)
+        self._metrics.histogram("storage_flush_seconds").observe(
+            time.perf_counter() - flush_started)
         if self._mirror is not None:
             for key in deletes:
                 self._mirror.pop(key, None)
@@ -219,6 +223,28 @@ class DurableServer:
         self.flush()
         if self.dead_ratio >= self.COMPACT_DEAD_RATIO:
             self.compact()
+
+    # -- lifecycle protocol (uniform with TcpSseServer / RouterServer) -----
+
+    def start(self) -> None:
+        """No-op: a durable server is live from construction."""
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Flush and (maybe) compact — :meth:`close` under the uniform
+        ``start()/stop()/stats()`` lifecycle, so routers and servers can
+        manage durable and plain handlers identically.  Idempotent."""
+        self.close()
+
+    def stats(self) -> dict:
+        """Storage-side snapshot: metric registry plus log health."""
+        return {
+            "metrics": self._metrics.snapshot(),
+            "storage": {
+                "live_records": len(self._store),
+                "dead_records": getattr(self._store, "dead_records", 0),
+                "dead_ratio": self.dead_ratio,
+            },
+        }
 
 
 def export_client_state(client: SseClient) -> str:

@@ -1,25 +1,35 @@
-"""Unified scheme registry: one constructor signature for every scheme.
+"""Unified scheme registry: the topology layer for every scheme.
 
 Before this module each scheme had its own ``make_*`` helper with its own
 signature, so every consumer (CLI, benchmarks, examples) hard-coded the
-wiring.  Now::
+wiring.  The registry exposes one constructor per *topology* instead::
 
-    from repro.core.registry import available_schemes, make_scheme
+    from repro.core.registry import make_client, make_scheme, make_service
 
-    client, server = make_scheme("scheme2", seed=7)          # in-process
-    client, _ = make_scheme("scheme2", master_key=key,       # remote
-                            channel=Channel(transport))
+    # in-process pair (tests, examples)
+    handle = make_scheme("scheme2", seed=7)
+    handle.client.search("flu"); handle.server.unique_keywords
+
+    # client only, against a remote server
+    client = make_client("scheme2", key, channel=Channel(transport), seed=7)
+
+    # server only (serve it over TCP); durable with data_dir
+    server = make_server("scheme2", seed=7, data_dir="/var/lib/sse")
+
+    # sharded scatter-gather deployment: N servers + a router
+    with make_service("scheme2", shards=4, seed=7) as service:
+        transport = TcpClientTransport(*service.addr)
 
 * ``seed`` makes every random choice (keygen, nonces, ElGamal primes)
-  deterministic — the same seed on both ends of a socket reconstructs the
-  same key material.
-* ``channel=None`` builds the server too and wires an in-process
-  :class:`~repro.net.channel.Channel`; a provided channel (e.g. over a
-  :class:`~repro.net.tcp.TcpClientTransport`) builds only the client and
-  returns ``None`` for the server, which lives elsewhere.
+  deterministic — the same seed on both ends of a socket (or on every
+  shard of a service) reconstructs the same key material.
+* :func:`make_scheme` returns a :class:`SchemeHandle` — a named tuple, so
+  existing ``client, server = make_scheme(...)`` unpacking keeps working.
+  Passing ``channel=`` to it is deprecated; call :func:`make_client`.
 * scheme-specific knobs (``capacity``, ``chain_length``,
   ``pad_results_to``, ``dictionary`` …) pass through as keyword options;
-  unknown options are rejected loudly.
+  unknown options are rejected loudly — and identically — by every
+  constructor, with the valid options named in the error.
 
 Adding a scheme is one :func:`register_scheme` call at the bottom of this
 module — the CLI (``--scheme``), ``benchmarks/conftest.py``, and any test
@@ -29,6 +39,7 @@ parametrizing over :func:`available_schemes` pick it up automatically.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Callable, NamedTuple
 
 from repro.core.keys import MasterKey, keygen
@@ -36,8 +47,9 @@ from repro.crypto.rng import RandomSource, default_rng
 from repro.errors import ParameterError
 from repro.net.channel import Channel
 
-__all__ = ["available_schemes", "make_scheme", "make_server",
-           "register_scheme", "scheme_description"]
+__all__ = ["SchemeHandle", "available_schemes", "make_client", "make_scheme",
+           "make_server", "make_service", "register_scheme",
+           "scheme_description"]
 
 # A small fixed vocabulary so the CM baseline (which structurally needs a
 # public dictionary) works out of the box; pass ``dictionary=`` for real use.
@@ -49,15 +61,35 @@ _DEMO_DICTIONARY = tuple(
 )
 
 
+class SchemeHandle(NamedTuple):
+    """What :func:`make_scheme` builds: a client and its in-process server.
+
+    A named tuple, so both styles work::
+
+        handle = make_scheme("scheme2", seed=7)
+        handle.client.search("flu")
+
+        client, server = make_scheme("scheme2", seed=7)  # legacy unpack
+
+    ``server`` is ``None`` only under the deprecated
+    ``make_scheme(channel=...)`` shim (the server lives elsewhere).
+    """
+
+    client: object
+    server: object | None
+
+
 class _SchemeSpec(NamedTuple):
     build: Callable
     description: str
+    options: tuple[str, ...]
 
 
 _REGISTRY: dict[str, _SchemeSpec] = {}
 
 
-def register_scheme(name: str, build: Callable, description: str) -> None:
+def register_scheme(name: str, build: Callable, description: str,
+                    options: tuple[str, ...] = ()) -> None:
     """Register *build(master_key, channel, rng, options) -> (client, server)*.
 
     ``channel`` is ``None`` when the builder must create the server and an
@@ -65,8 +97,11 @@ def register_scheme(name: str, build: Callable, description: str) -> None:
     client against the given channel and returns ``None`` for the server.
     Builders must ``pop`` the options they understand and raise
     :class:`ParameterError` on leftovers (use :func:`_reject_unknown`).
+    *options* declares the accepted option names — it makes rejection
+    errors name the valid choices and lets :func:`make_service` validate
+    *before* spawning shard processes.
     """
-    _REGISTRY[name] = _SchemeSpec(build, description)
+    _REGISTRY[name] = _SchemeSpec(build, description, tuple(options))
 
 
 def available_schemes() -> tuple[str, ...]:
@@ -88,25 +123,49 @@ def _lookup(name: str) -> _SchemeSpec:
 
 
 def _reject_unknown(name: str, options: dict) -> None:
-    if options:
-        raise ParameterError(
-            f"scheme {name!r} does not accept option(s): "
-            + ", ".join(sorted(options))
-        )
+    """Fail loudly on leftover options, naming the valid ones.
+
+    Every construction path — :func:`make_scheme`, :func:`make_client`,
+    :func:`make_server`, :func:`make_service` — funnels unknown-option
+    rejection through here, so the error is identical everywhere.
+    """
+    if not options:
+        return
+    spec = _REGISTRY.get(name)
+    valid = ", ".join(spec.options) if spec is not None and spec.options \
+        else "none"
+    raise ParameterError(
+        f"scheme {name!r} does not accept option(s): "
+        + ", ".join(sorted(options))
+        + f" (valid options: {valid})"
+    )
+
+
+def _check_options(name: str, options: dict) -> None:
+    """Eagerly reject unknown options against the registered declaration."""
+    spec = _lookup(name)
+    unknown = {key: options[key] for key in options
+               if key not in spec.options}
+    _reject_unknown(name, unknown)
 
 
 def make_scheme(name: str, master_key: MasterKey | None = None, *,
                 channel: Channel | None = None,
                 seed: int | bytes | None = None,
                 rng: RandomSource | None = None,
-                **options):
-    """Build ``(client, server)`` for any registered scheme.
+                **options) -> SchemeHandle:
+    """Build a :class:`SchemeHandle` (client + in-process server).
 
-    With ``channel=None`` the server is in-process and reachable through
-    ``client.channel``; with a caller-supplied channel (wrapping a TCP
-    transport, usually) the returned server is ``None``.  ``seed`` derives
-    both the RNG and, if absent, the master key deterministically.
+    ``seed`` derives both the RNG and, if absent, the master key
+    deterministically.  Passing ``channel=`` is deprecated — it builds
+    only the client (``handle.server is None``); call
+    :func:`make_client`, which says what it returns.
     """
+    if channel is not None:
+        warnings.warn(
+            "make_scheme(channel=...) is deprecated; use make_client(name, "
+            "master_key, channel=...) for the client-only topology",
+            DeprecationWarning, stacklevel=2)
     spec = _lookup(name)
     if rng is None:
         rng = default_rng(seed)
@@ -114,7 +173,33 @@ def make_scheme(name: str, master_key: MasterKey | None = None, *,
         raise ParameterError("pass either seed or rng, not both")
     if master_key is None:
         master_key = keygen(rng=rng)
-    return spec.build(master_key, channel, rng, dict(options))
+    return SchemeHandle(*spec.build(master_key, channel, rng, dict(options)))
+
+
+def make_client(name: str, master_key: MasterKey | None = None, *,
+                channel: Channel,
+                seed: int | bytes | None = None,
+                rng: RandomSource | None = None,
+                **options):
+    """Build only the client, against a caller-supplied channel.
+
+    The channel usually wraps a :class:`~repro.net.tcp.TcpClientTransport`
+    pointed at a served :func:`make_server` handler or a
+    :func:`make_service` router.  Structural options (and, for scheme 1,
+    the seed or keypair) must match the server side.
+    """
+    if channel is None:
+        raise ParameterError("make_client requires a channel; use "
+                             "make_scheme for an in-process pair")
+    spec = _lookup(name)
+    if rng is None:
+        rng = default_rng(seed)
+    elif seed is not None:
+        raise ParameterError("pass either seed or rng, not both")
+    if master_key is None:
+        master_key = keygen(rng=rng)
+    client, _ = spec.build(master_key, channel, rng, dict(options))
+    return client
 
 
 def make_server(name: str, *, seed: int | bytes | None = None,
@@ -140,6 +225,39 @@ def make_server(name: str, *, seed: int | bytes | None = None,
     os.makedirs(data_dir, exist_ok=True)
     store = LogKvStore(os.path.join(data_dir, "server.log"))
     return DurableServer(server, store)
+
+
+def make_service(name: str, *, shards: int = 2,
+                 data_dir: str | os.PathLike | None = None,
+                 seed: int | bytes | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 shard_mode: str = "process", workers: int | None = None,
+                 metrics=None, tracer=None, trace_shards: bool = False,
+                 **options):
+    """Start a sharded deployment: *shards* servers behind one router.
+
+    Returns a running :class:`~repro.net.shard.Service` — a typed handle
+    with ``addr`` (the router, where clients connect), per-shard
+    ``addresses``, aggregated ``stats()``, and ``stop()`` (also a context
+    manager).  The keyword-tag space is partitioned across the shards by
+    consistent hashing; each shard is a full scheme server, durable under
+    ``<data_dir>/shard-<i>/`` when *data_dir* is given, running in its
+    own process (``shard_mode="process"``, the default — own fsync path)
+    or its own thread (``"thread"``, for tests).
+
+    Every shard is built with the same *seed*, so scheme 1 needs either a
+    seed or an explicit ``keypair`` option for its ElGamal modulus to
+    match across the partition.  Unknown options are rejected here,
+    before any process spawns, with the same error :func:`make_scheme`
+    raises.
+    """
+    _check_options(name, options)
+    from repro.net.shard import start_service
+
+    return start_service(name, shards=shards, data_dir=data_dir, seed=seed,
+                         host=host, port=port, shard_mode=shard_mode,
+                         workers=workers, metrics=metrics, tracer=tracer,
+                         trace_shards=trace_shards, options=options)
 
 
 # -- builders ---------------------------------------------------------------
@@ -259,16 +377,23 @@ def _build_naive(master_key, channel, rng, options):
 
 
 register_scheme("scheme1", _build_scheme1,
-                "paper §5.2: O(log u) search, 2 rounds, XOR-patch updates")
+                "paper §5.2: O(log u) search, 2 rounds, XOR-patch updates",
+                options=("capacity", "keypair", "decrypt_bodies"))
 register_scheme("scheme2", _build_scheme2,
-                "paper §5.4: 1-round search, delta-sized chain updates")
+                "paper §5.4: 1-round search, delta-sized chain updates",
+                options=("chain_length", "lazy_counter", "cache_plaintext",
+                         "pad_results_to", "decrypt_bodies"))
 register_scheme("swp", _build_swp,
                 "Song–Wagner–Perrig sequential scan baseline")
 register_scheme("goh", _build_goh,
-                "Goh Z-IDX per-document Bloom filter baseline")
+                "Goh Z-IDX per-document Bloom filter baseline",
+                options=("expected_keywords_per_doc", "false_positive_rate",
+                         "blind"))
 register_scheme("cgko", _build_cgko,
-                "Curtmola et al. inverted-index baseline")
+                "Curtmola et al. inverted-index baseline",
+                options=("padding_factor",))
 register_scheme("cm", _build_cm,
-                "Chang–Mitzenmacher fixed-dictionary baseline")
+                "Chang–Mitzenmacher fixed-dictionary baseline",
+                options=("dictionary",))
 register_scheme("naive", _build_naive,
                 "download-everything strawman baseline")

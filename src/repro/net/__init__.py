@@ -6,11 +6,14 @@ from repro.net.messages import Message, MessageType
 from repro.net.retry import IDEMPOTENT_TYPES, RetryingTransport, RetryPolicy
 from repro.net.session import (READ_MESSAGE_TYPES, ReadWriteLock, Session,
                                SessionManager, WorkerPool, is_read_message)
+from repro.net.shard import (HashRing, RouterServer, Service, ShardRouter,
+                             start_service)
 from repro.net.tcp import TcpClientTransport, TcpSseServer
 
 __all__ = [
     "Channel",
     "ChannelStats",
+    "HashRing",
     "IDEMPOTENT_TYPES",
     "Message",
     "MessageType",
@@ -19,11 +22,15 @@ __all__ = [
     "ReadWriteLock",
     "RetryPolicy",
     "RetryingTransport",
+    "RouterServer",
+    "Service",
     "Session",
     "SessionManager",
+    "ShardRouter",
     "TcpClientTransport",
     "TcpSseServer",
     "TranscriptEntry",
     "WorkerPool",
     "is_read_message",
+    "start_service",
 ]

@@ -1,0 +1,826 @@
+"""Shard-per-core scatter-gather service: a router over N shard servers.
+
+One process behind one writer-preferring lock caps throughput at a single
+core (and a single fsync pipe).  This module partitions the keyword-tag
+space across N *shard* servers — each a full scheme instance with its own
+journal and its own fsync path — behind a *router* that ordinary clients
+connect to exactly as they would a single server.
+
+The partitioning is safe because trapdoor tags are deterministic per
+keyword: consistent hashing on the wire-level tag bytes routes every
+search and update for a keyword to the same shard, so per-keyword state
+(hash-chain segments, masked index rows) never straddles shards.  Document
+bodies are *replicated* (``STORE_DOCUMENT`` broadcasts) so whichever shard
+answers a search can serve the matching ciphertexts locally.  See
+``docs/sharding.md`` for the full routing table and the leakage argument.
+
+Pieces, bottom-up:
+
+* :class:`HashRing` — consistent hashing with virtual nodes; stable as
+  shard counts change, deterministic across processes.
+* Routing tables — one :class:`RouteKind` per :class:`MessageType`, with
+  per-scheme overrides (CGKO uploads its index wholesale, so its
+  ``S1_STORE_ENTRY`` must broadcast).  The tables are module-level
+  literals so ``repro-lint``'s ``protocol-exhaustive`` checker can verify
+  every wire type has a reviewed routing decision.
+* :class:`ShardRouter` — the handler object: plans each message into
+  per-shard parts, scatters them (concurrently, on a fanout pool),
+  gathers and merges the replies.  ``BATCH_REQUEST`` frames are split
+  into per-shard sub-batches and the per-item replies re-ordered into
+  the original positions.  Records ``router.scatter`` / ``shard.handle``
+  spans and ``router_*`` metrics.
+* :class:`RouterServer` — a :class:`~repro.net.tcp.TcpSseServer` serving
+  a router.  It skips the server-side read/write lock (the router holds
+  no scheme state; each shard enforces its own exclusivity) so a write
+  bound for one shard never convoys searches bound for the others, and
+  its ``stats()`` aggregates every shard's snapshot.
+* :class:`Service` — the typed deployment handle returned by
+  :func:`repro.core.registry.make_service`: shard workers (separate
+  processes by default, threads for tests) plus a started router, with
+  uniform ``addr`` / ``addresses`` / ``stats()`` / ``stop()``.
+
+Consistency contract: each shard serializes its own writers exactly like
+a single server; what sharding relaxes is *cross-shard* atomicity — a
+reader may observe a multi-shard batch half-applied.  Per-keyword
+ordering and read-your-writes for a single sequential client are
+preserved, which is what the schemes' protocols require.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import hashlib
+import json
+import signal
+import socket
+import threading
+import time
+
+from repro.errors import ParameterError, ProtocolError, ReproError
+from repro.net.messages import (Message, MessageType, pack_batch,
+                                pack_batch_result, unpack_batch,
+                                unpack_batch_result)
+from repro.net.session import WorkerPool
+from repro.net.tcp import (TcpSseServer, recv_frame, request_stats,
+                           send_frame)
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.trace import Span, current_trace, span
+
+__all__ = ["HashRing", "RouteKind", "BASE_ROUTES", "SCHEME_ROUTE_OVERRIDES",
+           "routes_for_scheme", "plan_message", "ShardRouter", "RouterServer",
+           "Service", "start_service"]
+
+#: Seconds a scatter waits for one shard's reply before declaring it dead.
+DEFAULT_GATHER_TIMEOUT_S = 30.0
+
+#: Seconds to wait for a shard worker process to report its address.
+_SHARD_START_TIMEOUT_S = 60.0
+
+
+class HashRing:
+    """Consistent hashing of tag bytes onto shard indexes.
+
+    Each shard owns ``points_per_shard`` pseudo-random points on a ring
+    (SHA-256 of a fixed label, so the mapping is identical in every
+    process that builds a ring with the same parameters); a tag belongs
+    to the shard owning the first point at or after the tag's own hash.
+    Virtual points keep the partition balanced and minimize movement when
+    the shard count changes.
+    """
+
+    def __init__(self, n_shards: int, *, points_per_shard: int = 64) -> None:
+        if n_shards < 1:
+            raise ParameterError("a hash ring needs at least one shard")
+        if points_per_shard < 1:
+            raise ParameterError("points_per_shard must be positive")
+        self.n_shards = n_shards
+        points = []
+        for shard in range(n_shards):
+            for point in range(points_per_shard):
+                label = b"repro-shard:%d:%d" % (shard, point)
+                points.append((hashlib.sha256(label).digest()[:8], shard))
+        points.sort()
+        self._keys = [key for key, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def owner(self, tag: bytes) -> int:
+        """The shard index owning *tag* (any byte string)."""
+        key = hashlib.sha256(tag).digest()[:8]
+        index = bisect.bisect_left(self._keys, key)
+        if index == len(self._keys):
+            index = 0  # wrap around the ring
+        return self._owners[index]
+
+
+class RouteKind(enum.Enum):
+    """How the router maps one message type onto shards."""
+
+    #: The whole message goes to the shard owning ``fields[0]`` (a tag).
+    TAG_FIELD0 = "tag-field0"
+    #: Fields come in (tag, x, y) triples; each triple goes to its tag's
+    #: shard and the per-shard ACKs merge into one.
+    SPLIT_TRIPLES = "split-triples"
+    #: Every field is an independent tag; per-shard replies reassemble
+    #: positionally (S1's update round 1).
+    SPLIT_FIELDS = "split-fields"
+    #: Replicate to every shard; all must succeed.
+    BROADCAST = "broadcast"
+    #: Deterministic single shard by hash of the whole payload — used for
+    #: full-replica reads (baseline searches spread across replicas) and
+    #: for reply types that only ever arrive from misbehaving clients, so
+    #: exactly one shard rejects them the way a single server would.
+    PIN = "pin"
+    #: Answered (or decomposed) by the router itself, never forwarded
+    #: verbatim.
+    ROUTER_LOCAL = "router-local"
+
+
+# The reviewed routing decision for every wire type.  repro-lint's
+# ``protocol-exhaustive`` checker fails if a MessageType member is missing
+# here, exactly like the read/write lock classification in session.py.
+BASE_ROUTES: dict[MessageType, RouteKind] = {
+    MessageType.STORE_DOCUMENT: RouteKind.BROADCAST,
+    MessageType.DOCUMENTS_RESULT: RouteKind.PIN,
+    MessageType.DELETE_DOCUMENT: RouteKind.BROADCAST,
+    MessageType.S1_STORE_ENTRY: RouteKind.SPLIT_TRIPLES,
+    MessageType.S1_UPDATE_REQUEST: RouteKind.SPLIT_FIELDS,
+    MessageType.S1_UPDATE_NONCE: RouteKind.PIN,
+    MessageType.S1_UPDATE_PATCH: RouteKind.SPLIT_TRIPLES,
+    MessageType.S1_SEARCH_REQUEST: RouteKind.TAG_FIELD0,
+    MessageType.S1_SEARCH_NONCE: RouteKind.PIN,
+    MessageType.S1_SEARCH_REVEAL: RouteKind.TAG_FIELD0,
+    MessageType.S2_STORE_ENTRY: RouteKind.SPLIT_TRIPLES,
+    MessageType.S2_SEARCH_REQUEST: RouteKind.TAG_FIELD0,
+    MessageType.SWP_SEARCH_REQUEST: RouteKind.PIN,
+    MessageType.GOH_SEARCH_REQUEST: RouteKind.PIN,
+    MessageType.CGKO_SEARCH_REQUEST: RouteKind.PIN,
+    MessageType.NAIVE_FETCH_ALL: RouteKind.PIN,
+    MessageType.ACK: RouteKind.PIN,
+    MessageType.ERROR: RouteKind.PIN,
+    MessageType.STATS_REQUEST: RouteKind.ROUTER_LOCAL,
+    MessageType.STATS_RESULT: RouteKind.PIN,
+    MessageType.BATCH_REQUEST: RouteKind.ROUTER_LOCAL,
+    MessageType.BATCH_RESULT: RouteKind.PIN,
+}
+
+# Per-scheme deviations from the base table.  CGKO's "index upload"
+# reuses S1_STORE_ENTRY as a *wholesale replacement* of an addr-keyed node
+# array whose linked lists straddle addresses — unsplittable, so every
+# shard keeps the full index (searches then PIN to spread read load
+# across the replicas).
+SCHEME_ROUTE_OVERRIDES: dict[str, dict[MessageType, RouteKind]] = {
+    "cgko": {MessageType.S1_STORE_ENTRY: RouteKind.BROADCAST},
+}
+
+
+def routes_for_scheme(scheme: str | None) -> dict[MessageType, RouteKind]:
+    """The effective routing table for *scheme* (None = base table)."""
+    routes = dict(BASE_ROUTES)
+    if scheme is not None:
+        routes.update(SCHEME_ROUTE_OVERRIDES.get(scheme, {}))
+    return routes
+
+
+# -- planning ---------------------------------------------------------------
+
+
+class _Plan:
+    """Per-shard parts of one message plus the reply-merge strategy."""
+
+    __slots__ = ("parts", "kind", "positions")
+
+    def __init__(self, parts: dict[int, Message], kind: RouteKind,
+                 positions: dict[int, list[int]] | None = None) -> None:
+        self.parts = parts
+        self.kind = kind
+        self.positions = positions
+
+    def merge(self, replies: dict[int, Message]) -> Message:
+        """Combine per-shard replies into the single-server reply."""
+        ordered = [replies[shard] for shard in sorted(replies)]
+        if self.kind is RouteKind.SPLIT_FIELDS:
+            return self._merge_positional(replies)
+        for reply in ordered:
+            if reply.type is MessageType.ERROR:
+                return reply
+        if self.kind in (RouteKind.SPLIT_TRIPLES, RouteKind.BROADCAST):
+            # Every participating shard acknowledged; collapse to the one
+            # ACK a single server would have sent.
+            return Message(MessageType.ACK)
+        return ordered[0]
+
+    def _merge_positional(self, replies: dict[int, Message]) -> Message:
+        assert self.positions is not None
+        total = sum(len(p) for p in self.positions.values())
+        fields: list[bytes | None] = [None] * total
+        reply_type: MessageType | None = None
+        for shard, positions in self.positions.items():
+            reply = replies[shard]
+            if reply.type is MessageType.ERROR:
+                return reply
+            if len(reply.fields) != len(positions):
+                raise ProtocolError(
+                    f"shard {shard} answered {len(reply.fields)} fields "
+                    f"for {len(positions)} tags")
+            reply_type = reply.type
+            for position, value in zip(positions, reply.fields):
+                fields[position] = value
+        if reply_type is None or any(f is None for f in fields):
+            raise ProtocolError("positional gather left holes in the reply")
+        return Message(reply_type, tuple(fields))
+
+
+def _pin_shard(ring: HashRing, message: Message) -> int:
+    """Deterministic shard for whole-message routing by payload hash."""
+    digest = hashlib.sha256()
+    digest.update(bytes([int(message.type)]))
+    for field in message.fields:
+        digest.update(hashlib.sha256(field).digest())
+    return ring.owner(digest.digest())
+
+
+def plan_message(routes: dict[MessageType, RouteKind], ring: HashRing,
+                 message: Message) -> _Plan:
+    """Split one message into per-shard parts.
+
+    Structurally malformed payloads (a triple-split message whose field
+    count is not a multiple of three, a tag-routed message with no
+    fields) are *pinned* whole to one shard so the scheme handler raises
+    exactly the error a single server would have raised.
+    """
+    kind = routes.get(message.type, RouteKind.PIN)
+    body = Message(message.type, message.fields)
+    if kind is RouteKind.TAG_FIELD0 and message.fields:
+        return _Plan({ring.owner(message.fields[0]): body}, kind)
+    if kind is RouteKind.BROADCAST:
+        return _Plan({shard: body for shard in range(ring.n_shards)}, kind)
+    if kind is RouteKind.SPLIT_TRIPLES and message.fields \
+            and len(message.fields) % 3 == 0:
+        groups: dict[int, list[bytes]] = {}
+        for i in range(0, len(message.fields), 3):
+            shard = ring.owner(message.fields[i])
+            groups.setdefault(shard, []).extend(message.fields[i:i + 3])
+        return _Plan(
+            {shard: Message(message.type, tuple(fields))
+             for shard, fields in groups.items()},
+            kind)
+    if kind is RouteKind.SPLIT_FIELDS and message.fields:
+        positions: dict[int, list[int]] = {}
+        grouped: dict[int, list[bytes]] = {}
+        for position, tag in enumerate(message.fields):
+            shard = ring.owner(tag)
+            positions.setdefault(shard, []).append(position)
+            grouped.setdefault(shard, []).append(tag)
+        return _Plan(
+            {shard: Message(message.type, tuple(fields))
+             for shard, fields in grouped.items()},
+            kind, positions)
+    # PIN, ROUTER_LOCAL leftovers, and every malformed shape above.
+    return _Plan({_pin_shard(ring, message): body}, RouteKind.PIN)
+
+
+# -- shard links ------------------------------------------------------------
+
+
+class _LocalLink:
+    """A shard backed by an in-process handler object (tests, embedding).
+
+    Messages still cross a serialize/deserialize boundary and handler
+    errors come back as ERROR messages — byte-faithful to what a TCP
+    shard would return.
+    """
+
+    def __init__(self, shard_id: int, handler) -> None:
+        self.shard_id = shard_id
+        self._handler = handler
+        self.addr = None
+
+    def call(self, message: Message) -> Message:
+        delivered = Message.deserialize(message.serialize())
+        try:
+            reply = self._handler.handle(delivered)
+        except ReproError as exc:
+            return Message(MessageType.ERROR,
+                           (type(exc).__name__.encode("utf-8"),))
+        return Message.deserialize(reply.serialize())
+
+    def stats(self) -> dict:
+        metrics = getattr(self._handler, "metrics", None)
+        snapshot = getattr(metrics, "snapshot", None)
+        return {"metrics": snapshot() if callable(snapshot) else {}}
+
+    def close(self) -> None:
+        pass
+
+
+class _TcpLink:
+    """A shard reached over TCP, with a small per-shard connection pool.
+
+    Transport failures (refused connection, reset, half-frame) surface as
+    :class:`ProtocolError` naming the shard — the router turns them into
+    clean per-item errors instead of hanging.
+    """
+
+    def __init__(self, shard_id: int, host: str, port: int,
+                 *, timeout_s: float = DEFAULT_GATHER_TIMEOUT_S) -> None:
+        self.shard_id = shard_id
+        self.addr = (host, port)
+        self._timeout_s = timeout_s
+        self._idle: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _checkout(self) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise ProtocolError(
+                    f"shard {self.shard_id} link is closed")
+            if self._idle:
+                return self._idle.pop()
+        return socket.create_connection(self.addr, timeout=self._timeout_s)
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if not self._closed:
+                self._idle.append(sock)
+                return
+        sock.close()
+
+    def call(self, message: Message) -> Message:
+        try:
+            sock = self._checkout()
+        except OSError as exc:
+            raise ProtocolError(
+                f"shard {self.shard_id} at {self.addr[0]}:{self.addr[1]} "
+                f"is unreachable: {exc}") from exc
+        try:
+            send_frame(sock, message.serialize())
+            frame = recv_frame(sock)
+        except (OSError, ProtocolError) as exc:
+            sock.close()
+            raise ProtocolError(
+                f"shard {self.shard_id} failed mid-request: {exc}") from exc
+        if frame is None:
+            sock.close()
+            raise ProtocolError(
+                f"shard {self.shard_id} closed the connection")
+        self._checkin(sock)
+        return Message.deserialize(frame)
+
+    def stats(self) -> dict:
+        return request_stats(self.addr[0], self.addr[1],
+                             timeout_s=self._timeout_s)
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for sock in idle:
+            sock.close()
+
+
+# -- the router -------------------------------------------------------------
+
+
+class ShardRouter:
+    """Scatter-gather front-end over N shard backends.
+
+    *backends* is a list whose entries are either ``(host, port)`` tuples
+    (TCP shards) or in-process handler objects.  The router itself holds
+    no scheme state: it plans, scatters on a fanout pool, gathers, and
+    merges.  Plug it into a :class:`~repro.net.channel.Channel` directly
+    or serve it with :class:`RouterServer`.
+    """
+
+    def __init__(self, backends, *, scheme: str | None = None,
+                 metrics=None, tracer=None,
+                 gather_timeout_s: float = DEFAULT_GATHER_TIMEOUT_S) -> None:
+        if not backends:
+            raise ParameterError("a router needs at least one shard")
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.tracer = tracer
+        self.scheme = scheme
+        self._routes = routes_for_scheme(scheme)
+        self._links = []
+        for index, backend in enumerate(backends):
+            if isinstance(backend, tuple):
+                host, port = backend
+                self._links.append(_TcpLink(index, host, port,
+                                            timeout_s=gather_timeout_s))
+            else:
+                self._links.append(_LocalLink(index, backend))
+        self.ring = HashRing(len(self._links))
+        self._gather_timeout_s = gather_timeout_s
+        self._fanout = WorkerPool(max(4, 2 * len(self._links)),
+                                  name="repro-router-fanout")
+        self._closed = False
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards behind this router."""
+        return len(self._links)
+
+    def handle(self, message: Message) -> Message:
+        """Route one request and merge the per-shard replies."""
+        if message.type is MessageType.BATCH_REQUEST:
+            return self._handle_batch(message)
+        if message.type is MessageType.STATS_REQUEST:
+            body = json.dumps({"shards": self.shard_stats()},
+                              sort_keys=True).encode("utf-8")
+            return Message(MessageType.STATS_RESULT, (body,))
+        plan = plan_message(self._routes, self.ring, message)
+        replies, failures = self._scatter(plan.parts, message.type.name,
+                                          message.trace_id)
+        if failures:
+            raise next(iter(failures.values()))
+        return plan.merge(replies)
+
+    def _handle_batch(self, message: Message) -> Message:
+        """Split a batch into per-shard sub-batches; gather positionally."""
+        inner = unpack_batch(message)
+        plans = [plan_message(self._routes, self.ring, item)
+                 for item in inner]
+        per_shard: dict[int, list[tuple[int, Message]]] = {}
+        for index, plan in enumerate(plans):
+            for shard, part in plan.parts.items():
+                per_shard.setdefault(shard, []).append((index, part))
+        envelopes: dict[int, Message] = {}
+        for shard, items in per_shard.items():
+            if len(items) == 1:
+                envelopes[shard] = items[0][1]
+            else:
+                envelopes[shard] = pack_batch([part for _, part in items])
+        gathered, failures = self._scatter(envelopes, "BATCH_REQUEST",
+                                           message.trace_id)
+        # Per item and per shard: the sub-reply, or the shard's failure.
+        item_replies: dict[int, dict[int, Message]] = {}
+        for shard, items in per_shard.items():
+            if shard in failures:
+                error = Message(
+                    MessageType.ERROR,
+                    (str(failures[shard]).encode("utf-8"),))
+                sub_replies = [error] * len(items)
+            elif len(items) == 1:
+                sub_replies = [gathered[shard]]
+            else:
+                sub_replies = list(unpack_batch_result(
+                    gathered[shard], expected_count=len(items)))
+            for (index, _), reply in zip(items, sub_replies):
+                item_replies.setdefault(index, {})[shard] = reply
+        replies: list[Message] = []
+        for index, plan in enumerate(plans):
+            try:
+                replies.append(plan.merge(item_replies[index]))
+            except ReproError as exc:
+                replies.append(Message(
+                    MessageType.ERROR,
+                    (type(exc).__name__.encode("utf-8"),)))
+        return pack_batch_result(replies, trace_id=message.trace_id)
+
+    def _scatter(self, parts: dict[int, Message], type_name: str,
+                 trace_id: bytes | None
+                 ) -> tuple[dict[int, Message], dict[int, ReproError]]:
+        """Send each part to its shard concurrently; gather every reply.
+
+        Returns ``(replies, failures)`` — a failed shard (dead process,
+        reset connection, timed-out gather) contributes a
+        :class:`ProtocolError` to *failures* instead of hanging the
+        request.
+        """
+        trace = current_trace()
+        replies: dict[int, Message] = {}
+        failures: dict[int, ReproError] = {}
+        self.metrics.histogram("router_fanout_shards",
+                               type=type_name).observe(len(parts))
+        with span("router.scatter", type=type_name, shards=len(parts)):
+            jobs = {}
+            for shard, part in sorted(parts.items()):
+                stamped = Message(part.type, part.fields, trace_id=trace_id)
+                jobs[shard] = self._fanout.submit(
+                    self._call_shard, self._links[shard], stamped,
+                    type_name, trace)
+            for shard, job in jobs.items():
+                try:
+                    replies[shard] = job.result(self._gather_timeout_s)
+                except ReproError as exc:
+                    failures[shard] = ProtocolError(
+                        f"shard {shard} failed handling {type_name}: {exc}")
+                    self.metrics.counter("router_shard_errors_total",
+                                         shard=str(shard)).inc()
+        return replies, failures
+
+    def _call_shard(self, link, message: Message, type_name: str,
+                    trace) -> Message:
+        started = time.perf_counter()
+        try:
+            return link.call(message)
+        finally:
+            if trace is not None:
+                trace.add_span(Span(
+                    "shard.handle", started,
+                    time.perf_counter() - started,
+                    {"shard": link.shard_id, "type": type_name}))
+
+    def shard_stats(self) -> list[dict]:
+        """One stats snapshot per shard (an error marker for dead ones)."""
+        out = []
+        for link in self._links:
+            entry: dict = {"shard": link.shard_id}
+            if link.addr is not None:
+                entry["addr"] = f"{link.addr[0]}:{link.addr[1]}"
+            try:
+                entry.update(link.stats())
+            except (ReproError, OSError) as exc:
+                entry["error"] = str(exc)
+            out.append(entry)
+        return out
+
+    def start(self) -> None:
+        """No-op (links connect lazily); present for lifecycle symmetry."""
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Shut the fanout pool and close every shard connection."""
+        if self._closed:
+            return
+        self._closed = True
+        self._fanout.shutdown(timeout=timeout)
+        for link in self._links:
+            link.close()
+
+    def close(self) -> None:
+        """Alias of :meth:`stop` for closeable-handler call sites."""
+        self.stop()
+
+
+class RouterServer(TcpSseServer):
+    """Serves a :class:`ShardRouter` over TCP with aggregated stats.
+
+    Two deviations from the base server:
+
+    * no router-level read/write lock — the router holds no scheme state
+      and every shard serializes its own writers, so a write scattering
+      to one shard must not convoy searches bound for the others;
+    * ``stats()`` appends every shard's snapshot under ``"shards"``.
+    """
+
+    def _handle_locked(self, message: Message, type_name: str) -> Message:
+        with span("server.handle", type=type_name):
+            return self._handler.handle(message)
+
+    def stats(self) -> dict:
+        payload = super().stats()
+        payload["shards"] = self._handler.shard_stats()
+        return payload
+
+
+# -- shard workers ----------------------------------------------------------
+
+
+def _shard_worker_main(spec: dict, conn) -> None:
+    """Entry point of one shard worker process.
+
+    Builds the scheme server (durable when a data dir is given), serves
+    it on an ephemeral port, reports the address up the pipe, then blocks
+    until the parent says stop (or dies, closing the pipe).
+    """
+    # Shutdown is coordinated by the parent over the pipe; a terminal
+    # Ctrl-C delivers SIGINT to the whole foreground process group, and
+    # without this the workers die mid-recv with raw KeyboardInterrupt
+    # tracebacks before the parent's stop sequence reaches them.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        from repro.core.registry import make_server
+        from repro.obs.trace import Tracer
+
+        server = make_server(spec["scheme"], seed=spec["seed"],
+                             data_dir=spec["data_dir"], **spec["options"])
+        tracer = Tracer() if spec.get("trace") else None
+        tcp = TcpSseServer(server, host=spec["host"], port=0,
+                           max_workers=spec.get("workers"), tracer=tracer)
+        tcp.start()
+    # A worker that dies silently at startup would hang the parent; every
+    # failure class must cross the pipe.
+    except Exception as exc:  # repro: allow(exception-taxonomy)
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", tcp.host, tcp.port))
+    try:
+        conn.recv()  # blocks until "stop" or parent death
+    except EOFError:
+        pass
+    tcp.stop()
+    try:
+        conn.send(("stopped",))
+    except OSError:  # pragma: no cover - parent already gone
+        pass
+    conn.close()
+
+
+class _ProcessShard:
+    """One shard in its own OS process (own interpreter, own fsync path)."""
+
+    mode = "process"
+
+    def __init__(self, index: int, spec: dict) -> None:
+        self.index = index
+        self._spec = spec
+        self._process = None
+        self._conn = None
+        self.addr: tuple[str, int] | None = None
+
+    def start(self) -> None:
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = context.Pipe()
+        self._process = context.Process(
+            target=_shard_worker_main, args=(self._spec, child_conn),
+            name=f"repro-shard-{self.index}", daemon=True)
+        self._process.start()
+        child_conn.close()
+        self._conn = parent_conn
+        if not parent_conn.poll(_SHARD_START_TIMEOUT_S):
+            self.stop(timeout=1.0)
+            raise ProtocolError(
+                f"shard {self.index} did not report ready in time")
+        status = parent_conn.recv()
+        if status[0] != "ready":
+            self._process.join(timeout=5.0)
+            raise ProtocolError(
+                f"shard {self.index} failed to start: {status[1]}")
+        self.addr = (status[1], status[2])
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._process is None:
+            return
+        if self._conn is not None:
+            try:
+                self._conn.send(("stop",))
+            except OSError:
+                pass
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():  # pragma: no cover - drain overran
+            self._process.terminate()
+            self._process.join(timeout=2.0)
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def kill(self) -> None:
+        """Hard-kill the worker (crash injection for tests)."""
+        if self._process is not None:
+            self._process.kill()
+            self._process.join(timeout=5.0)
+
+
+class _ThreadShard:
+    """One shard served in-process (fast tests, no pickling constraints)."""
+
+    mode = "thread"
+
+    def __init__(self, index: int, spec: dict) -> None:
+        self.index = index
+        self._spec = spec
+        self._tcp: TcpSseServer | None = None
+        self.addr: tuple[str, int] | None = None
+
+    def start(self) -> None:
+        from repro.core.registry import make_server
+        from repro.obs.trace import Tracer
+
+        spec = self._spec
+        server = make_server(spec["scheme"], seed=spec["seed"],
+                             data_dir=spec["data_dir"], **spec["options"])
+        tracer = Tracer() if spec.get("trace") else None
+        self._tcp = TcpSseServer(server, host=spec["host"], port=0,
+                                 max_workers=spec.get("workers"),
+                                 tracer=tracer)
+        self._tcp.start()
+        self.addr = self._tcp.addr
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._tcp is not None:
+            self._tcp.stop(timeout=timeout)
+
+    def kill(self) -> None:
+        self.stop(timeout=0.5)
+
+
+class Service:
+    """A running sharded deployment: N shard servers plus one router.
+
+    The typed handle :func:`repro.core.registry.make_service` returns —
+    carries the router's address, every shard's address, and the uniform
+    lifecycle protocol (``start()`` / ``stop()`` / ``addr`` /
+    ``stats()``) shared with the single-server classes.
+    """
+
+    def __init__(self, scheme: str, shards, router: RouterServer) -> None:
+        self.scheme = scheme
+        self._shards = list(shards)
+        self.router = router
+        self._stopped = False
+
+    @property
+    def addr(self) -> tuple[str, int]:
+        """The router's (host, port) — where clients connect."""
+        return self.router.addr
+
+    @property
+    def host(self) -> str:
+        return self.router.host
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    @property
+    def addresses(self) -> list[tuple[str, int] | None]:
+        """Per-shard (host, port) addresses."""
+        return [shard.addr for shard in self._shards]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def start(self) -> None:
+        """No-op: :func:`start_service` returns the service running."""
+
+    def stats(self) -> dict:
+        """The router's aggregated snapshot (includes per-shard stats)."""
+        return self.router.stats()
+
+    def kill_shard(self, index: int) -> None:
+        """Hard-kill one shard worker (crash injection for tests)."""
+        self._shards[index].kill()
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Stop the router first (drains clients), then every shard."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.router.stop(timeout=timeout)
+        for shard in self._shards:
+            shard.stop()
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_service(scheme: str, *, shards: int = 2,
+                  data_dir=None, seed: int | bytes | None = None,
+                  host: str = "127.0.0.1", port: int = 0,
+                  shard_mode: str = "process", workers: int | None = None,
+                  metrics=None, tracer=None, trace_shards: bool = False,
+                  options: dict | None = None) -> Service:
+    """Spawn *shards* scheme servers and a started router over them.
+
+    Use :func:`repro.core.registry.make_service`, which validates the
+    scheme name and options before any process is spawned.  Every shard
+    is built with the same *seed* so structural key material (Scheme 1's
+    ElGamal modulus) matches across the partition; with *data_dir* each
+    shard journals under ``<data_dir>/shard-<i>/``.
+    """
+    import os
+
+    if shards < 1:
+        raise ParameterError("a service needs at least one shard")
+    if shard_mode not in ("process", "thread"):
+        raise ParameterError("shard_mode must be 'process' or 'thread'")
+    shard_cls = _ProcessShard if shard_mode == "process" else _ThreadShard
+    list_spec = []
+    for index in range(shards):
+        shard_dir = None
+        if data_dir is not None:
+            shard_dir = os.path.join(os.fspath(data_dir), f"shard-{index}")
+        list_spec.append(shard_cls(index, {
+            "scheme": scheme, "seed": seed, "options": dict(options or {}),
+            "data_dir": shard_dir, "host": host, "workers": workers,
+            "trace": trace_shards,
+        }))
+    started = []
+    try:
+        for shard in list_spec:
+            shard.start()
+            started.append(shard)
+        # The router thread pool is I/O-bound (it blocks on shard sockets,
+        # not the CPU), so its size floors at 8 regardless of core count —
+        # DEFAULT_MAX_WORKERS alone would serialize the whole service on a
+        # small machine.
+        router = RouterServer(
+            ShardRouter([shard.addr for shard in started], scheme=scheme),
+            host=host, port=port, metrics=metrics, tracer=tracer,
+            max_workers=max(8, 2 * shards, workers or 0))
+        router.start()
+    except BaseException:
+        for shard in started:
+            shard.stop(timeout=2.0)
+        raise
+    return Service(scheme, started, router)

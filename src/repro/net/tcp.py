@@ -131,6 +131,11 @@ class TcpSseServer:
         self._stopped = False
 
     @property
+    def addr(self) -> tuple[str, int]:
+        """The bound (host, port) — the uniform lifecycle address."""
+        return (self.host, self.port)
+
+    @property
     def connections_served(self) -> int:
         """Total connections ever accepted (live sessions included)."""
         return self.sessions.sessions_opened
@@ -262,8 +267,13 @@ class TcpSseServer:
         finally:
             release()
 
-    def _stats_reply(self) -> Message:
-        """Assemble the STATS_RESULT payload: one JSON document."""
+    def stats(self) -> dict:
+        """The live stats snapshot, as a plain dict (lifecycle protocol).
+
+        The same payload a ``STATS_REQUEST`` receives over the wire —
+        subclasses extend it (:class:`~repro.net.shard.RouterServer`
+        appends every shard's snapshot).
+        """
         payload = {
             "metrics": self.metrics.snapshot(),
             "sessions": {"active": self.sessions.active_count,
@@ -279,7 +289,11 @@ class TcpSseServer:
                 "finished": len(self.tracer.finished_traces()),
                 "summary": self.tracer.summarize(),
             }
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return payload
+
+    def _stats_reply(self) -> Message:
+        """Assemble the STATS_RESULT payload: one JSON document."""
+        body = json.dumps(self.stats(), sort_keys=True).encode("utf-8")
         return Message(MessageType.STATS_RESULT, (body,))
 
     def stop(self, timeout: float | None = None) -> None:
@@ -316,10 +330,16 @@ class TcpSseServer:
         self.sessions.close_all(join_timeout=timeout)
         # With the pool drained nothing mutates the handler any more; a
         # durable handler flushes its journal and compacts its log here,
-        # so killing the process after stop() loses nothing.
-        closer = getattr(self._handler, "close", None)
-        if callable(closer):
-            closer()
+        # so killing the process after stop() loses nothing.  Handlers
+        # speaking the lifecycle protocol get stop(); plain closeables
+        # get close() — one call either way, no separate-close footgun.
+        stopper = getattr(self._handler, "stop", None)
+        if callable(stopper):
+            stopper()
+        else:
+            closer = getattr(self._handler, "close", None)
+            if callable(closer):
+                closer()
 
     def __enter__(self) -> "TcpSseServer":
         self.start()

@@ -326,6 +326,21 @@ _MINI_TESTS = """
             assert member
     """
 
+_MINI_SHARD = """
+    from repro.net.messages import MessageType
+
+    class RouteKind:
+        TAG_FIELD0 = 1
+        BROADCAST = 2
+        PIN = 3
+
+    BASE_ROUTES = {
+        MessageType.SEARCH: RouteKind.TAG_FIELD0,
+        MessageType.STORE: RouteKind.BROADCAST,
+        MessageType.BATCH: RouteKind.PIN,
+    }
+    """
+
 
 class TestProtocolExhaustive:
     def _files(self):
@@ -384,6 +399,34 @@ class TestProtocolExhaustive:
         findings = check_protocol_exhaustive(project)
         assert len(findings) == 1
         assert "both READ_MESSAGE_TYPES and WRITE" in findings[0].message
+
+    def test_fully_routed_table_passes(self, make_project):
+        files = self._files()
+        files["src/repro/net/shard.py"] = _MINI_SHARD
+        project = make_project(files)
+        assert check_protocol_exhaustive(project) == []
+
+    def test_member_without_routing_decision_is_flagged(self, make_project):
+        files = self._files()
+        files["src/repro/net/shard.py"] = _MINI_SHARD.replace(
+            "        MessageType.BATCH: RouteKind.PIN,\n", "")
+        project = make_project(files)
+        findings = check_protocol_exhaustive(project)
+        assert len(findings) == 1
+        assert "no routing decision" in findings[0].message
+        assert "BATCH" in findings[0].message
+
+    def test_dynamic_routing_table_is_flagged(self, make_project):
+        files = self._files()
+        files["src/repro/net/shard.py"] = """
+            from repro.net.messages import MessageType
+
+            BASE_ROUTES = dict.fromkeys(MessageType, None)
+            """
+        project = make_project(files)
+        findings = check_protocol_exhaustive(project)
+        assert any("statically parseable" in (f.hint or "")
+                   for f in findings)
 
 
 class TestApiSurface:

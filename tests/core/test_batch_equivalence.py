@@ -15,7 +15,8 @@ Three properties, each parametrized over every registered scheme:
 import pytest
 
 from repro.core import Document, keygen
-from repro.core.registry import available_schemes, make_scheme, make_server
+from repro.core.registry import (available_schemes, make_client,
+                                 make_scheme, make_server)
 from repro.crypto.rng import HmacDrbg
 from repro.net.channel import Channel
 
@@ -109,8 +110,8 @@ def test_torn_batch_recovers_to_pre_update_state(name, tmp_path,
 
     live_dir = tmp_path / "live"
     server = make_server(name, data_dir=live_dir, **opts)
-    client, _ = make_scheme(name, master_key, channel=Channel(server),
-                            rng=HmacDrbg(0xC11E), **opts)
+    client = make_client(name, master_key, channel=Channel(server),
+                         rng=HmacDrbg(0xC11E), **opts)
     client.store(_initial_documents())
     pre_bytes = (live_dir / "server.log").read_bytes()
     pre_state = sorted(server.state_records())

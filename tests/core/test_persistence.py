@@ -10,7 +10,8 @@ import pytest
 from repro.core import Document, keygen
 from repro.core.persistence import (DurableServer, export_client_state,
                                     restore_client_state)
-from repro.core.registry import available_schemes, make_scheme, make_server
+from repro.core.registry import (available_schemes, make_client,
+                                 make_scheme, make_server)
 from repro.core.scheme2 import Scheme2Client, Scheme2Server
 from repro.crypto.rng import HmacDrbg
 from repro.errors import CorruptRecordError, ParameterError
@@ -159,8 +160,8 @@ class TestEveryScheme:
                 for i in range(3)]
 
         server = make_server(scheme, seed=11, data_dir=data_dir, **options)
-        client, _ = make_scheme(scheme, channel=Channel(server), seed=11,
-                                **options)
+        client = make_client(scheme, channel=Channel(server), seed=11,
+                             **options)
         client.store(docs)
         before = client.search(_KEYWORD)
         state = export_client_state(client)
@@ -169,8 +170,8 @@ class TestEveryScheme:
         # Restart: same directory, all-new objects; the same seed
         # regenerates the same key material on the client side.
         reopened = make_server(scheme, seed=11, data_dir=data_dir, **options)
-        client2, _ = make_scheme(scheme, channel=Channel(reopened), seed=11,
-                                 **options)
+        client2 = make_client(scheme, channel=Channel(reopened), seed=11,
+                              **options)
         restore_client_state(client2, state)
         after = client2.search(_KEYWORD)
         assert after == before
@@ -184,15 +185,15 @@ class TestEveryScheme:
         data_dir = tmp_path / "store"
 
         server = make_server(scheme, seed=13, data_dir=data_dir, **options)
-        client, _ = make_scheme(scheme, channel=Channel(server), seed=13,
-                                **options)
+        client = make_client(scheme, channel=Channel(server), seed=13,
+                             **options)
         client.store([Document(0, b"first", frozenset({_KEYWORD}))])
         state = export_client_state(client)
         server.close()
 
         reopened = make_server(scheme, seed=13, data_dir=data_dir, **options)
-        client2, _ = make_scheme(scheme, channel=Channel(reopened), seed=13,
-                                 **options)
+        client2 = make_client(scheme, channel=Channel(reopened), seed=13,
+                              **options)
         restore_client_state(client2, state)
         client2.add_documents([Document(1, b"second",
                                         frozenset({_KEYWORD}))])
@@ -205,7 +206,7 @@ class TestCrashRecovery:
 
     def _populate(self, data_dir, n):
         server = make_server("naive", seed=3, data_dir=data_dir)
-        client, _ = make_scheme("naive", channel=Channel(server), seed=3)
+        client = make_client("naive", channel=Channel(server), seed=3)
         for i in range(n):
             # One message per document -> one log batch per document.
             client.store([Document(i, b"body-%d" % i, frozenset({"k"}))])
@@ -213,7 +214,7 @@ class TestCrashRecovery:
 
     def _reopen(self, data_dir):
         server = make_server("naive", seed=3, data_dir=data_dir)
-        client, _ = make_scheme("naive", channel=Channel(server), seed=3)
+        client = make_client("naive", channel=Channel(server), seed=3)
         return client
 
     def test_torn_tail_drops_only_the_last_write(self, tmp_path):

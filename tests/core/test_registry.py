@@ -3,7 +3,8 @@
 import pytest
 
 from repro.core import Document
-from repro.core.registry import (available_schemes, make_scheme, make_server,
+from repro.core.registry import (SchemeHandle, available_schemes, make_client,
+                                 make_scheme, make_server, make_service,
                                  scheme_description)
 from repro.errors import ParameterError
 from repro.net.channel import Channel
@@ -32,6 +33,25 @@ class TestCatalogue:
     def test_unknown_option_rejected(self):
         with pytest.raises(ParameterError, match="frobnicate"):
             make_scheme("scheme2", frobnicate=True)
+
+    def test_unknown_option_error_lists_valid_options(self):
+        with pytest.raises(ParameterError, match="valid options.*chain_length"):
+            make_scheme("scheme2", frobnicate=True)
+        with pytest.raises(ParameterError, match="valid options.*none"):
+            make_scheme("naive", frobnicate=True)
+
+    def test_rejection_identical_across_topologies(self):
+        """The same bad option produces the same message everywhere."""
+        messages = []
+        for factory in (
+            lambda: make_scheme("scheme2", frobnicate=True),
+            lambda: make_server("scheme2", frobnicate=True),
+            lambda: make_service("scheme2", shards=2, frobnicate=True),
+        ):
+            with pytest.raises(ParameterError) as exc_info:
+                factory()
+            messages.append(str(exc_info.value))
+        assert len(set(messages)) == 1, messages
 
 
 class TestFactory:
@@ -65,12 +85,37 @@ class TestFactory:
         from repro.core.scheme2 import Scheme2Server
 
         server = Scheme2Server(max_walk=64)
-        client, returned = make_scheme("scheme2", master_key,
-                                       channel=Channel(server),
-                                       chain_length=64, seed=3)
+        with pytest.deprecated_call():
+            client, returned = make_scheme("scheme2", master_key,
+                                           channel=Channel(server),
+                                           chain_length=64, seed=3)
         assert returned is None
         client.store([Document(0, b"x", frozenset({"kw"}))])
         assert server.unique_keywords == 1  # traffic reached our server
+
+    def test_make_scheme_returns_named_handle(self):
+        handle = make_scheme("scheme2", seed=5)
+        assert isinstance(handle, SchemeHandle)
+        assert handle.client is handle[0]
+        assert handle.server is handle[1]
+
+    def test_plain_make_scheme_does_not_warn(self, recwarn):
+        make_scheme("scheme2", seed=6)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_make_client_builds_client_only(self, master_key):
+        from repro.core.scheme2 import Scheme2Server
+
+        server = Scheme2Server(max_walk=64)
+        client = make_client("scheme2", master_key, channel=Channel(server),
+                             chain_length=64, seed=3)
+        client.store([Document(0, b"x", frozenset({"kw"}))])
+        assert client.search("kw").doc_ids == [0]
+
+    def test_make_client_requires_channel(self, master_key):
+        with pytest.raises(ParameterError, match="channel"):
+            make_client("scheme2", master_key, channel=None)
 
     def test_seed_makes_keys_deterministic(self):
         client_a, _ = make_scheme("scheme2", seed=42)

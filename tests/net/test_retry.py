@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Document
-from repro.core.registry import make_scheme
+from repro.core.registry import make_client
 from repro.crypto.rng import HmacDrbg
 from repro.errors import (ProtocolError, RetryExhaustedError)
 from repro.net.channel import Channel
@@ -161,9 +161,9 @@ class TestRetryingTransport:
         transport = RetryingTransport(
             lambda: flaky, policy=RetryPolicy(max_attempts=3),
             rng=HmacDrbg(5), sleep=sleeps.append)
-        client, _ = make_scheme("scheme2", master_key,
-                                channel=Channel(transport),
-                                chain_length=32, rng=rng)
+        client = make_client("scheme2", master_key,
+                             channel=Channel(transport),
+                             chain_length=32, rng=rng)
         client.store([Document(0, b"x", frozenset({"kw"}))])
         updates_applied = server.unique_keywords
         # Drop the reply of the *next* call (the search).

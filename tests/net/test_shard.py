@@ -1,0 +1,292 @@
+"""Scatter-gather sharding: routing, equivalence, lifecycle, crashes.
+
+The load-bearing property is the first test class: for EVERY registered
+scheme, a client talking to a router over N shards sees byte-identical
+results to the same client talking to one server — searches, batched
+searches (in order), and updates.  Nothing in the client changes; the
+topology is invisible.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.core import Document
+from repro.core.registry import (available_schemes, make_client, make_server,
+                                 make_service)
+from repro.errors import ParameterError, ReproError
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+from repro.net.shard import (HashRing, RouteKind, ShardRouter, plan_message,
+                             routes_for_scheme, start_service)
+from repro.net.tcp import TcpClientTransport, TcpSseServer
+
+# Keywords drawn from the registry's demo dictionary so the CM baseline
+# (which requires a fixed public dictionary) joins the parametrization.
+_KWS = ["sym:fever", "sym:cough", "med:aspirin", "cond:flu"]
+
+_DOCS = [
+    Document(0, b"note zero", frozenset({_KWS[0], _KWS[1]})),
+    Document(1, b"note one", frozenset({_KWS[1], _KWS[2]})),
+    Document(2, b"note two", frozenset({_KWS[0], _KWS[2], _KWS[3]})),
+]
+
+
+def _options(name, elgamal_keypair):
+    if name == "scheme1":
+        return {"capacity": 32, "keypair": elgamal_keypair}
+    if name == "scheme2":
+        return {"chain_length": 64}
+    return {}
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a, b = HashRing(4), HashRing(4)
+        tags = [b"tag-%d" % i for i in range(200)]
+        assert [a.owner(t) for t in tags] == [b.owner(t) for t in tags]
+
+    def test_every_shard_owns_a_fair_share(self):
+        ring = HashRing(4)
+        counts = collections.Counter(
+            ring.owner(b"kw-%d" % i) for i in range(2000))
+        assert set(counts) == {0, 1, 2, 3}
+        assert min(counts.values()) > 2000 / 4 / 3  # within 3x of fair
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.owner(b"x%d" % i) for i in range(50)} == {0}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            HashRing(0)
+        with pytest.raises(ParameterError):
+            HashRing(2, points_per_shard=0)
+
+
+class TestPlanMessage:
+    def setup_method(self):
+        self.ring = HashRing(3)
+        self.routes = routes_for_scheme("scheme2")
+
+    def test_search_follows_its_tag(self):
+        tag = b"some-prf-tag"
+        plan = plan_message(self.routes, self.ring,
+                            Message(MessageType.S2_SEARCH_REQUEST, (tag,)))
+        assert list(plan.parts) == [self.ring.owner(tag)]
+
+    def test_store_triples_split_by_leading_tag(self):
+        fields = []
+        for i in range(6):
+            fields += [b"tag-%d" % i, b"addr-%d" % i, b"payload-%d" % i]
+        plan = plan_message(self.routes, self.ring,
+                            Message(MessageType.S2_STORE_ENTRY,
+                                    tuple(fields)))
+        seen = set()
+        for shard, part in plan.parts.items():
+            assert len(part.fields) % 3 == 0
+            for j in range(0, len(part.fields), 3):
+                assert self.ring.owner(part.fields[j]) == shard
+                seen.add(part.fields[j])
+        assert seen == {b"tag-%d" % i for i in range(6)}
+
+    def test_document_bodies_broadcast(self):
+        plan = plan_message(self.routes, self.ring,
+                            Message(MessageType.STORE_DOCUMENT,
+                                    (b"id", b"body")))
+        assert set(plan.parts) == {0, 1, 2}
+
+    def test_malformed_triples_pin_to_one_shard(self):
+        # Field count not divisible by three: ship it whole to one shard
+        # so the scheme handler raises the same error a single server
+        # would; the router must not mask protocol bugs.
+        plan = plan_message(self.routes, self.ring,
+                            Message(MessageType.S2_STORE_ENTRY,
+                                    (b"a", b"b")))
+        assert len(plan.parts) == 1
+
+    def test_cgko_store_overridden_to_broadcast(self):
+        routes = routes_for_scheme("cgko")
+        plan = plan_message(routes, self.ring,
+                            Message(MessageType.S1_STORE_ENTRY,
+                                    (b"t", b"a", b"p")))
+        assert set(plan.parts) == {0, 1, 2}
+
+
+class TestShardedEqualsSingle:
+    """Acceptance gate: the topology is invisible to every scheme."""
+
+    @pytest.mark.parametrize("name", available_schemes())
+    def test_results_byte_identical(self, name, elgamal_keypair):
+        opts = _options(name, elgamal_keypair)
+        router = ShardRouter(
+            [make_server(name, seed=7, **opts) for _ in range(3)],
+            scheme=name)
+        single = make_server(name, seed=7, **opts)
+        sharded_client = make_client(name, channel=Channel(router),
+                                     seed=7, **opts)
+        single_client = make_client(name, channel=Channel(single),
+                                    seed=7, **opts)
+
+        sharded_client.store(_DOCS)
+        single_client.store(_DOCS)
+        for kw in _KWS + ["sym:rash"]:  # dictionary word with no matches
+            assert sharded_client.search(kw) == single_client.search(kw), kw
+
+        batch = [_KWS[2], "sym:rash", _KWS[0], _KWS[1]]
+        sharded_batch = sharded_client.search_batch(batch)
+        single_batch = single_client.search_batch(batch)
+        assert sharded_batch == single_batch  # including ordering
+        router.stop()
+
+    @pytest.mark.parametrize("name", available_schemes())
+    def test_updates_byte_identical(self, name, elgamal_keypair):
+        opts = _options(name, elgamal_keypair)
+        router = ShardRouter(
+            [make_server(name, seed=9, **opts) for _ in range(3)],
+            scheme=name)
+        single = make_server(name, seed=9, **opts)
+        sharded_client = make_client(name, channel=Channel(router),
+                                     seed=9, **opts)
+        single_client = make_client(name, channel=Channel(single),
+                                    seed=9, **opts)
+        sharded_client.store(_DOCS[:1])
+        single_client.store(_DOCS[:1])
+        late = Document(3, b"late note", frozenset({_KWS[1], _KWS[3]}))
+        try:
+            sharded_client.add_documents([late])
+        except NotImplementedError:
+            router.stop()
+            pytest.skip(f"{name} is a static scheme")
+        single_client.add_documents([late])
+        for kw in _KWS:
+            assert sharded_client.search(kw) == single_client.search(kw), kw
+        router.stop()
+
+
+class TestLifecycleProtocol:
+    """start()/stop()/addr/stats() behave uniformly across server kinds."""
+
+    def test_tcp_server_lifecycle(self):
+        server = make_server("scheme2", seed=1)
+        tcp = TcpSseServer(server)
+        tcp.start()
+        host, port = tcp.addr
+        assert (host, port) == (tcp.host, tcp.port)
+        assert isinstance(tcp.stats(), dict)
+        tcp.stop()
+        tcp.stop()  # idempotent
+
+    def test_durable_server_lifecycle(self, tmp_path):
+        durable = make_server("scheme2", seed=1, data_dir=tmp_path)
+        durable.start()
+        payload = durable.stats()
+        assert "storage" in payload
+        durable.stop()
+        durable.stop()  # idempotent
+
+    def test_tcp_stop_closes_durable_handler(self, tmp_path):
+        durable = make_server("scheme2", seed=2, data_dir=tmp_path)
+        client = make_client("scheme2", seed=2, channel=Channel(durable))
+        tcp = TcpSseServer(durable)
+        tcp.start()
+        client.store([Document(0, b"x", frozenset({"kw"}))])
+        tcp.stop()  # one call: drains TCP AND flushes/compacts the log
+        reopened = make_server("scheme2", seed=2, data_dir=tmp_path)
+        assert reopened.unique_keywords == 1
+        reopened.stop()
+
+    def test_service_lifecycle(self, tmp_path):
+        service = start_service("scheme2", shards=2, data_dir=tmp_path,
+                                seed=3, shard_mode="thread")
+        assert service.n_shards == 2
+        assert len(service.addresses) == 2
+        host, port = service.addr
+        assert port > 0
+        payload = service.stats()
+        assert len(payload["shards"]) == 2
+        service.stop()
+        service.stop()  # idempotent
+
+
+class TestService:
+    def test_durable_shards_survive_restart(self, tmp_path):
+        from repro.core.persistence import (export_client_state,
+                                            restore_client_state)
+        service = start_service("scheme2", shards=2, data_dir=tmp_path,
+                                seed=4, shard_mode="thread")
+        client = make_client(
+            "scheme2", seed=4,
+            channel=Channel(TcpClientTransport(*service.addr)))
+        client.store(_DOCS)
+        state = export_client_state(client)
+        before = [client.search(kw) for kw in _KWS]
+        client.close()
+        service.stop()
+
+        service = start_service("scheme2", shards=2, data_dir=tmp_path,
+                                seed=4, shard_mode="thread")
+        client = make_client(
+            "scheme2", seed=4,
+            channel=Channel(TcpClientTransport(*service.addr)))
+        restore_client_state(client, state)
+        after = [client.search(kw) for kw in _KWS]
+        assert after == before
+        client.close()
+        service.stop()
+
+    def test_stats_aggregate_per_shard_flushes(self, tmp_path):
+        service = start_service("scheme2", shards=2, data_dir=tmp_path,
+                                seed=5, shard_mode="thread")
+        client = make_client(
+            "scheme2", seed=5,
+            channel=Channel(TcpClientTransport(*service.addr)))
+        client.store(_DOCS)
+        payload = service.stats()
+        flushed = [
+            shard.get("metrics", {}).get("storage_flushes_total", 0)
+            for shard in payload["shards"]
+        ]
+        # The tag space of three documents spans both shards, and each
+        # shard fsyncs its own journal.
+        assert all(count > 0 for count in flushed), flushed
+        client.close()
+        service.stop()
+
+
+class TestKillOneShard:
+    def test_router_surfaces_clean_errors_without_hanging(self, tmp_path):
+        service = start_service("scheme2", shards=3, data_dir=tmp_path,
+                                seed=6, shard_mode="process")
+        try:
+            client = make_client(
+                "scheme2", seed=6,
+                channel=Channel(TcpClientTransport(*service.addr)))
+            many_kws = ["kw-%d" % i for i in range(12)]
+            docs = [Document(i, b"body-%d" % i, frozenset({kw}))
+                    for i, kw in enumerate(many_kws)]
+            client.store(docs)
+            assert all(client.search(kw).doc_ids == [i]
+                       for i, kw in enumerate(many_kws))
+
+            service.kill_shard(0)
+
+            outcomes = {"ok": 0, "error": 0}
+            for i, kw in enumerate(many_kws):
+                try:
+                    result = client.search(kw)
+                except ReproError:
+                    # Clean, typed failure for keywords on the dead shard
+                    # — never a hang, never a bare socket exception.
+                    outcomes["error"] += 1
+                else:
+                    assert result.doc_ids == [i]
+                    outcomes["ok"] += 1
+            # 12 keywords across 3 shards: both outcomes must occur.
+            assert outcomes["error"] > 0, outcomes
+            assert outcomes["ok"] > 0, outcomes
+            client.close()
+        finally:
+            service.stop()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Document
-from repro.core.registry import make_scheme, make_server
+from repro.core.registry import make_client, make_server
 from repro.errors import ProtocolError
 from repro.net.channel import Channel
 from repro.net.messages import Message, MessageType, TRACE_FLAG
@@ -62,8 +62,8 @@ def traced_round_trip(tmp_path, master_key):
             connect = lambda: TcpClientTransport(tcp.host, tcp.port)
             with RetryingTransport(connect) as transport:
                 channel = Channel(transport, tracer=tracer)
-                client, _ = make_scheme("scheme2", master_key,
-                                        channel=channel)
+                client = make_client("scheme2", master_key,
+                                     channel=channel)
                 client.store([Document(1, b"flu shot records",
                                        frozenset({"flu", "shot"}))])
                 result = client.search("flu")
@@ -123,8 +123,8 @@ class TestEndToEndSpans:
         handler = make_server("scheme2", data_dir=tmp_path)
         with TcpSseServer(handler) as tcp:
             with TcpClientTransport(tcp.host, tcp.port) as transport:
-                client, _ = make_scheme("scheme2", master_key,
-                                        channel=Channel(transport))
+                client = make_client("scheme2", master_key,
+                                     channel=Channel(transport))
                 client.store([Document(1, b"x", frozenset({"flu"}))])
                 assert client.search("flu").doc_ids == [1]
         # Nothing configured a tracer anywhere; nothing to assert beyond
@@ -138,8 +138,8 @@ class TestStatsExposition:
         with TcpSseServer(handler, tracer=tracer) as tcp:
             with TcpClientTransport(tcp.host, tcp.port) as transport:
                 channel = Channel(transport, tracer=tracer)
-                client, _ = make_scheme("scheme2", master_key,
-                                        channel=channel)
+                client = make_client("scheme2", master_key,
+                                     channel=channel)
                 client.store([Document(1, b"x", frozenset({"flu"}))])
                 client.search("flu")
             stats = request_stats(tcp.host, tcp.port)
