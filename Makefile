@@ -33,7 +33,8 @@ bench-smoke:
 		benchmarks/bench_table1_search.py \
 		benchmarks/bench_concurrent_clients.py \
 		benchmarks/bench_batching.py \
-		benchmarks/bench_shard_scaling.py
+		benchmarks/bench_shard_scaling.py \
+		benchmarks/bench_forward_privacy.py
 	REPRO_BENCH_SMOKE=1 REPRO_BENCH_SHARDS=2 $(PYTHON) -m pytest \
 		benchmarks/bench_batching.py
 

@@ -1,0 +1,118 @@
+"""FP — forward privacy's price, measured against Scheme 2.
+
+Scheme 3 buys forward-private updates (fresh one-time keys, unlinkable
+addresses) with two costs the paper's framework makes precise:
+
+* **updates** walk the per-keyword key chain from its far end, so a
+  single-document update pays O(chain remaining) hash steps where
+  Scheme 2 pays O(1) amortized (its lazy counter);
+* **first search after n updates** unrolls n epochs server-side (n-1
+  chain advances plus n index probes), then *folds* them into one record
+  — repeat searches at the same count are O(1).
+
+Each test lands its latency percentiles and crypto-op tallies in
+``BENCH_forward_privacy.json`` via the shared conftest hook; the unroll
+sweep below adds the measured step counts so the epoch-unroll cost model
+in docs/usage.md stays backed by numbers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.bench.reporting import format_header, format_table
+from repro.core import Document
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+_CHAIN = 128 if _SMOKE else 2048
+_UPDATE_ROUNDS = 8 if _SMOKE else 64
+_SEARCH_PREFILL = 4 if _SMOKE else 32
+_UNROLL_COUNTS = [1, 2, 4, 8] if _SMOKE else [1, 8, 32, 128]
+
+_SCHEMES = ["scheme2", "scheme3-fp"]
+
+
+def _fresh(scheme_factory, name, chain_length=_CHAIN):
+    return scheme_factory(name, chain_length=chain_length)
+
+
+@pytest.mark.parametrize("name", _SCHEMES)
+def test_single_document_update_latency(name, benchmark, scheme_factory,
+                                        report):
+    """One-document, one-keyword update; Scheme 3 pays the chain walk."""
+    client, _ = _fresh(scheme_factory, name)
+    client.store([Document(0, b"base", frozenset({"kw"}))])
+    counter = iter(range(1, _CHAIN - 2))
+    benchmark.pedantic(
+        lambda: client.add_documents(
+            [Document(next(counter), b"up", frozenset({"kw"}))]),
+        rounds=_UPDATE_ROUNDS, iterations=1)
+    report(f"{name}: single-document update benchmarked over "
+           f"{_UPDATE_ROUNDS} rounds (chain length {_CHAIN})")
+
+
+@pytest.mark.parametrize("name", _SCHEMES)
+def test_search_latency_after_updates(name, benchmark, scheme_factory,
+                                      report):
+    """Steady-state search after a burst of updates.
+
+    For Scheme 3 the first search folds the burst; the timed leg then
+    measures the folded steady state — the regime a read-heavy workload
+    lives in.  Scheme 2 walks its chain segments on every search.
+    """
+    client, _ = _fresh(scheme_factory, name)
+    client.store([Document(0, b"base", frozenset({"kw"}))])
+    for i in range(1, _SEARCH_PREFILL):
+        client.add_documents([Document(i, b"d", frozenset({"kw"}))])
+    first = client.search("kw")
+    assert sorted(first.doc_ids) == list(range(_SEARCH_PREFILL))
+    benchmark.pedantic(lambda: client.search("kw"),
+                       rounds=_UPDATE_ROUNDS, iterations=1)
+    report(f"{name}: search after {_SEARCH_PREFILL} updates benchmarked "
+           f"over {_UPDATE_ROUNDS} rounds")
+
+
+def test_epoch_unroll_cost_sweep(scheme_factory, bench_json, report):
+    """First-search cost grows linearly in the update count; the fold
+    makes the second search constant.  Measured, tabled, and written to
+    the bench JSON for the docs' cost model."""
+    rows = []
+    sweep: dict[str, dict] = {}
+    for count in _UNROLL_COUNTS:
+        client, server = _fresh(scheme_factory, "scheme3-fp")
+        client.store([Document(0, b"base", frozenset({"kw"}))])
+        for i in range(1, count):
+            client.add_documents([Document(i, b"d", frozenset({"kw"}))])
+
+        start = time.perf_counter()
+        result = client.search("kw")
+        first_s = time.perf_counter() - start
+        assert sorted(result.doc_ids) == list(range(count))
+        steps = server.unroll_steps_last_search
+        folded = server.entries_folded_last_search
+        assert steps == count - 1
+        assert folded == count
+
+        start = time.perf_counter()
+        client.search("kw")
+        repeat_s = time.perf_counter() - start
+        assert server.unroll_steps_last_search == 0
+        assert server.entries_folded_last_search == 0
+
+        rows.append([count, steps, folded,
+                     f"{first_s * 1e3:.3f}", f"{repeat_s * 1e3:.3f}"])
+        sweep[str(count)] = {
+            "unroll_steps": steps, "entries_folded": folded,
+            "first_search_s": first_s, "repeat_search_s": repeat_s,
+        }
+
+    report(format_header(
+        "Scheme 3 epoch unroll: first search pays per update, "
+        "fold makes repeats O(1)"))
+    report(format_table(
+        ["updates", "chain steps", "entries folded",
+         "first search (ms)", "repeat (ms)"], rows))
+    bench_json({"unroll_sweep": sweep}, key="epoch_unroll_cost")

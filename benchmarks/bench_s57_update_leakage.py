@@ -6,6 +6,12 @@ so the per-document leakage "goes asymptotically towards zero bits".
 Fake updates: padding every update to a constant keyword count closes the
 keyword-count side channel (its empirical entropy drops to zero) and
 flattens cross-update linkage.
+
+Forward privacy: a value-equality observer who knows which keyword each
+search stands for recovers essentially the whole update stream of
+Scheme 1/2 (update tags repeat search tags verbatim) and essentially none
+of Scheme 3's (fresh one-time addresses never repeat) — the acceptance
+numbers land in ``BENCH_s57_update_leakage.json``.
 """
 
 from repro.bench.reporting import format_header, format_table
@@ -13,7 +19,7 @@ from repro.core import Document, make_scheme2
 from repro.crypto.rng import HmacDrbg
 from repro.security.leakage import (attribution_entropy_bits,
                                     keyword_count_leak_bits, linkage_matrix,
-                                    observe_updates)
+                                    observe_updates, update_recovery_rate)
 
 _UNIVERSE = [f"leak-kw{i}" for i in range(8)]
 
@@ -109,3 +115,49 @@ def test_fake_updates_close_count_channel(benchmark, master_key, report):
     report(f"padded cross-round tag overlap values: {sorted(padded_overlaps)}")
 
     benchmark(lambda: keyword_count_leak_bits(plain_counts))
+
+
+def test_update_recovery_rate_across_schemes(benchmark, scheme_factory,
+                                             bench_json, report):
+    """The forward-privacy acceptance numbers.
+
+    Identical workload per scheme — interleaved single-document updates
+    and searches over the whole keyword universe — then the generic
+    value-equality linker from :mod:`repro.security.leakage` is applied
+    to the transcript.  Scheme 1/2 must lose ≥ 0.9 of the update stream;
+    Scheme 3 must lose ≤ 0.1 (in fact exactly 0).
+    """
+    configs = [
+        ("scheme1", {"capacity": 64}),
+        ("scheme2", {"chain_length": 512}),
+        ("scheme3-fp", {"chain_length": 512}),
+    ]
+    rates: dict[str, float] = {}
+    transcript = None
+    for name, options in configs:
+        rng = HmacDrbg(0x57F)
+        client, _ = scheme_factory(name, **options)
+        client.store(_random_docs(0, 2, rng))
+        for i in range(4):
+            client.add_documents(_random_docs(10 * (i + 1), 2, rng))
+            client.search(_UNIVERSE[i])
+        for kw in _UNIVERSE:
+            client.search(kw)
+        transcript = client.channel.transcript
+        rates[name] = update_recovery_rate(transcript)
+
+    report(format_header(
+        "§5.7 forward privacy: update stream recovered by a "
+        "value-equality linker"))
+    report(format_table(
+        ["scheme", "recovery rate"],
+        [[name, f"{rate:.3f}"] for name, rate in rates.items()],
+    ))
+
+    assert rates["scheme1"] >= 0.9
+    assert rates["scheme2"] >= 0.9
+    assert rates["scheme3-fp"] <= 0.1
+    bench_json({"update_recovery_rate": rates})
+
+    # Timed leg: the linker itself over the last (Scheme 3) transcript.
+    benchmark(lambda: update_recovery_rate(transcript))

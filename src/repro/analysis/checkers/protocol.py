@@ -23,6 +23,15 @@ under the shared read lock).  Three obligations per enum member:
    ``repro.net.shard``, so the scatter-gather router has a reviewed
    answer for every wire type (a type missing from the table would fall
    to a runtime default chosen by nobody).
+
+One obligation per *scheme registration*, same spirit:
+
+5. **capability descriptor** — every ``register_scheme(...)`` call in
+   ``repro.core.registry`` passes an explicit ``capabilities=`` keyword.
+   The descriptor is what the router, the durability layer, and the
+   conformance suite read instead of hard-coded per-scheme branches; a
+   registration without one reintroduces the implicit defaults this
+   refactor removed.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ __all__ = ["check_protocol_exhaustive", "message_type_members"]
 _MESSAGES = "src/repro/net/messages.py"
 _SESSION = "src/repro/net/session.py"
 _SHARD = "src/repro/net/shard.py"
+_REGISTRY = "src/repro/core/registry.py"
 _SERIALIZER_TESTS = "tests/net/test_messages.py"
 
 _WHOLESALE = re.compile(
@@ -102,6 +112,32 @@ def _dict_key_members(source: SourceFile, name: str) -> set[str] | None:
     return None
 
 
+def _undescribed_registrations(source: SourceFile
+                               ) -> list[tuple[str, int]]:
+    """``register_scheme(...)`` calls missing the ``capabilities`` keyword.
+
+    Returns ``(scheme_name, lineno)`` pairs; the name is the literal first
+    argument when it is a string constant, else a placeholder.
+    """
+    missing: list[tuple[str, int]] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else \
+            func.id if isinstance(func, ast.Name) else None
+        if name != "register_scheme":
+            continue
+        if any(kw.arg == "capabilities" for kw in node.keywords):
+            continue
+        scheme = "<dynamic>"
+        if node.args and isinstance(node.args[0], ast.Constant) \
+                and isinstance(node.args[0].value, str):
+            scheme = node.args[0].value
+        missing.append((scheme, node.lineno))
+    return missing
+
+
 def _classifier_special_cases(source: SourceFile) -> set[str]:
     """Members referenced inside ``is_read_request`` itself."""
     for node in source.tree.body:
@@ -118,7 +154,8 @@ def _classifier_special_cases(source: SourceFile) -> set[str]:
 
 @checker("protocol-exhaustive",
          "every MessageType member has a serializer test, a dispatcher "
-         "branch, and an explicit read/write classification")
+         "branch, and an explicit read/write classification; every "
+         "scheme registration carries a capability descriptor")
 def check_protocol_exhaustive(project: Project) -> list[Finding]:
     messages = project.file(_MESSAGES)
     if messages is None:
@@ -213,4 +250,15 @@ def check_protocol_exhaustive(project: Project) -> list[Finding]:
             "BASE_ROUTES not found in repro/net/shard.py",
             hint="the routing table must stay a statically parseable "
                  "module-level dict literal"))
+
+    registry = project.file(_REGISTRY)
+    if registry is not None:
+        for scheme, line in _undescribed_registrations(registry):
+            findings.append(Finding(
+                "protocol-exhaustive", _REGISTRY, line,
+                f"register_scheme({scheme!r}) passes no capability "
+                f"descriptor",
+                hint="pass capabilities=SchemeCapabilities(...) — the "
+                     "router, durability layer, and conformance suite "
+                     "read the descriptor instead of per-scheme branches"))
     return findings

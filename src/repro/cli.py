@@ -76,6 +76,7 @@ _SERVE_POLL_S = 0.5
 _INIT_OPTIONS = {
     "scheme2": {"chain_length": _DEFAULT_CHAIN_LENGTH},
     "scheme1": {"capacity": _DEFAULT_CAPACITY},
+    "scheme3-fp": {"chain_length": _DEFAULT_CHAIN_LENGTH},
 }
 
 

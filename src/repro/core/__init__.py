@@ -15,12 +15,14 @@ from repro.core.keys import MasterKey, keygen
 from repro.core.persistence import (DurableServer, export_client_state,
                                     restore_client_state)
 from repro.core.queries import search_all, search_any
-from repro.core.registry import (SchemeHandle, available_schemes, make_client,
-                                 make_scheme, make_server, make_service,
-                                 register_scheme, scheme_description)
+from repro.core.registry import (SchemeCapabilities, SchemeHandle,
+                                 available_schemes, make_client, make_scheme,
+                                 make_server, make_service, register_scheme,
+                                 scheme_capabilities, scheme_description)
 from repro.core.scheme1 import Scheme1Client, Scheme1Server, group_keywords
 from repro.core.scheme2 import (DEFAULT_CHAIN_LENGTH, Scheme2Client,
                                 Scheme2Server)
+from repro.core.scheme3 import Scheme3Client, Scheme3Server
 from repro.core.server import BaseSseServer
 from repro.core.updates import HardenedUpdater
 from repro.crypto.elgamal import ElGamalKeyPair
@@ -38,6 +40,9 @@ __all__ = [
     "Scheme1Server",
     "Scheme2Client",
     "Scheme2Server",
+    "Scheme3Client",
+    "Scheme3Server",
+    "SchemeCapabilities",
     "SchemeHandle",
     "SearchResult",
     "SseClient",
@@ -56,6 +61,7 @@ __all__ = [
     "normalize_keyword",
     "register_scheme",
     "restore_client_state",
+    "scheme_capabilities",
     "scheme_description",
     "search_all",
     "search_any",

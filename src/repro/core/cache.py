@@ -8,12 +8,20 @@ this: least-recently-used eviction with a hard entry cap (a client that
 searches a million distinct keywords must not grow without bound), and
 hit/miss counters the benchmarks read to prove warm searches are cheaper.
 
-Invalidation is the caller's job and is deliberately coarse:
-:meth:`BoundedCache.clear` on any event that changes the derivation
-inputs (epoch re-keying, counter advance, state import).  Entries keyed
-on ``(epoch, keyword)`` or ``(epoch, ctr, keyword)`` never need partial
-invalidation — a stale epoch or counter simply never gets looked up
-again and ages out of the LRU.
+Scoping is the cache's job, not the caller's.  Every cache is built with
+a *namespace* (which scheme and which derivation it serves) and carries a
+caller-supplied *epoch token*; both are folded into every lookup key.
+Callers advance the scope with :meth:`BoundedCache.set_epoch` whenever a
+derivation input changes (epoch re-keying, counter advance) — entries
+under the old token become unreachable and age out of the LRU.  Plain
+integer epochs used to be part of the caller-built keys, which collides
+the moment two clients of the same process count epochs independently:
+both reach epoch 1, and one client's bump could leave the other reading
+entries it never derived.  A scheme-supplied namespace plus an explicit
+token keyed per cache makes that collision structurally impossible.
+
+:meth:`BoundedCache.clear` remains for events that invalidate *every*
+scope at once (client state import).
 """
 
 from __future__ import annotations
@@ -35,26 +43,51 @@ _V = TypeVar("_V")
 class BoundedCache:
     """LRU-evicting mapping with a hard size cap and hit/miss counters.
 
-    Not thread-safe by design: clients are single-threaded protocol
-    drivers (the server side is where concurrency lives).
+    *namespace* names what this cache holds (e.g. ``"scheme2.trapdoors"``)
+    and *epoch* is the scheme-supplied scope token; both are composed into
+    every key so caches sharing a process can never serve each other's
+    entries.  Not thread-safe by design: clients are single-threaded
+    protocol drivers (the server side is where concurrency lives).
     """
 
-    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE, *,
+                 namespace: Hashable = None,
+                 epoch: Hashable = None) -> None:
         if max_entries < 1:
             raise ParameterError("cache needs room for at least one entry")
         self.max_entries = max_entries
+        self.namespace = namespace
+        self._epoch = epoch
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self.hits = 0
         self.misses = 0
+
+    @property
+    def epoch(self) -> Hashable:
+        """The current scope token (see :meth:`set_epoch`)."""
+        return self._epoch
+
+    def set_epoch(self, epoch: Hashable) -> None:
+        """Adopt a new scope token; other-token entries become unreachable.
+
+        Stale entries are not dropped eagerly — they simply never match a
+        lookup again and age out of the LRU, which is O(1) here versus
+        O(n) for a scan-and-delete.
+        """
+        self._epoch = epoch
+
+    def _scoped(self, key: Hashable) -> Hashable:
+        return (self.namespace, self._epoch, key)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        return self._scoped(key) in self._entries
 
     def get(self, key: Hashable, default=None):
         """Return the cached value (refreshing its recency), or *default*."""
+        key = self._scoped(key)
         try:
             value = self._entries[key]
         except KeyError:
@@ -66,6 +99,7 @@ class BoundedCache:
 
     def put(self, key: Hashable, value) -> None:
         """Insert/refresh *key*, evicting the LRU entry past the cap."""
+        key = self._scoped(key)
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
@@ -74,19 +108,20 @@ class BoundedCache:
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], _V]) -> _V:
         """Return the cached value, computing and storing it on a miss."""
+        scoped = self._scoped(key)
         try:
-            value = self._entries[key]
+            value = self._entries[scoped]
         except KeyError:
             self.misses += 1
             value = compute()
             self.put(key, value)
             return value
-        self._entries.move_to_end(key)
+        self._entries.move_to_end(scoped)
         self.hits += 1
         return value
 
     def clear(self) -> None:
-        """Drop every entry (hit/miss counters are kept)."""
+        """Drop every entry in every scope (hit/miss counters are kept)."""
         self._entries.clear()
 
     def stats(self) -> dict[str, int]:

@@ -40,6 +40,15 @@ class MasterKey:
         """PRF deriving per-keyword secrets (chain seeds, etc.)."""
         return Prf(self.k_w, label=b"repro.kwseed")
 
+    def update_chain_prf(self) -> Prf:
+        """PRF seeding Scheme 3's per-keyword update-key chains.
+
+        Domain-separated from :meth:`keyword_seed_prf` so forward-private
+        update keys never collide with Scheme 2 segment-key material even
+        when both schemes run off one master key.
+        """
+        return Prf(self.k_w, label=b"repro.s3.chain")
+
     def tag_for(self, keyword: str) -> bytes:
         """The searchable-representation identifier f_kw(w), truncated."""
         return self.keyword_tag_prf().evaluate_truncated(

@@ -25,11 +25,20 @@ wiring.  The registry exposes one constructor per *topology* instead::
   shard of a service) reconstructs the same key material.
 * :func:`make_scheme` returns a :class:`SchemeHandle` — a named tuple, so
   existing ``client, server = make_scheme(...)`` unpacking keeps working.
-  Passing ``channel=`` to it is deprecated; call :func:`make_client`.
 * scheme-specific knobs (``capacity``, ``chain_length``,
   ``pad_results_to``, ``dictionary`` …) pass through as keyword options;
   unknown options are rejected loudly — and identically — by every
   constructor, with the valid options named in the error.
+
+Every registration also declares a :class:`SchemeCapabilities` descriptor
+— the machine-readable contract the generic layers consume instead of
+hand-maintained per-scheme tables: shard routing deviations
+(:func:`repro.net.shard.routes_for_scheme`), durable-state namespaces,
+batch-amortization and removal support (the conformance matrix in
+``tests/core/test_conformance.py``), and the structural options the
+parametrized suites construct each scheme with.  ``repro-lint``'s
+``protocol-exhaustive`` checker fails any :func:`register_scheme` call
+that omits the descriptor.
 
 Adding a scheme is one :func:`register_scheme` call at the bottom of this
 module — the CLI (``--scheme``), ``benchmarks/conftest.py``, and any test
@@ -39,17 +48,19 @@ parametrizing over :func:`available_schemes` pick it up automatically.
 from __future__ import annotations
 
 import os
-import warnings
-from typing import Callable, NamedTuple
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, NamedTuple
 
 from repro.core.keys import MasterKey, keygen
 from repro.crypto.rng import RandomSource, default_rng
 from repro.errors import ParameterError
 from repro.net.channel import Channel
+from repro.net.messages import MessageType
+from repro.net.shard import RouteKind
 
-__all__ = ["SchemeHandle", "available_schemes", "make_client", "make_scheme",
-           "make_server", "make_service", "register_scheme",
-           "scheme_description"]
+__all__ = ["SchemeCapabilities", "SchemeHandle", "available_schemes",
+           "make_client", "make_scheme", "make_server", "make_service",
+           "register_scheme", "scheme_capabilities", "scheme_description"]
 
 # A small fixed vocabulary so the CM baseline (which structurally needs a
 # public dictionary) works out of the box; pass ``dictionary=`` for real use.
@@ -61,6 +72,41 @@ _DEMO_DICTIONARY = tuple(
 )
 
 
+@dataclass(frozen=True)
+class SchemeCapabilities:
+    """Machine-readable per-scheme contract for the generic layers.
+
+    One declaration here replaces a per-layer special case: the shard
+    router reads ``route_overrides``, the durable layer and snapshot
+    tests read ``state_prefixes``, the conformance matrix reads
+    ``batched_updates`` / ``supports_removal`` / ``test_options`` /
+    ``needs_keypair``, and the leakage benchmarks read
+    ``forward_private``.
+    """
+
+    #: What mutable client state updates maintain (documentation string,
+    #: e.g. ``"global counter"`` or ``"per-keyword counters"``).
+    update_state: str
+    #: Updates are unlinkable to keywords and past search tokens.
+    forward_private: bool = False
+    #: Bulk calls amortize crypto into single ``BATCH_REQUEST`` frames.
+    batched_updates: bool = False
+    #: ``remove_documents`` is implemented (not the ABC default raise).
+    supports_removal: bool = False
+    #: Deviations from :data:`repro.net.shard.BASE_ROUTES` — structural
+    #: exceptions only (e.g. CGKO's wholesale index re-upload).
+    route_overrides: Mapping[MessageType, RouteKind] = \
+        field(default_factory=dict)
+    #: Durable-state key namespaces this scheme's server owns, beyond the
+    #: shared ``doc:`` (see :mod:`repro.core.state`).
+    state_prefixes: tuple[bytes, ...] = ()
+    #: Scheme 1 only: the parametrized suites must inject a shared
+    #: ElGamal keypair so client and server moduli match.
+    needs_keypair: bool = False
+    #: Smallest structurally-valid options for fast parametrized tests.
+    test_options: Mapping[str, object] = field(default_factory=dict)
+
+
 class SchemeHandle(NamedTuple):
     """What :func:`make_scheme` builds: a client and its in-process server.
 
@@ -70,26 +116,25 @@ class SchemeHandle(NamedTuple):
         handle.client.search("flu")
 
         client, server = make_scheme("scheme2", seed=7)  # legacy unpack
-
-    ``server`` is ``None`` only under the deprecated
-    ``make_scheme(channel=...)`` shim (the server lives elsewhere).
     """
 
     client: object
-    server: object | None
+    server: object
 
 
 class _SchemeSpec(NamedTuple):
     build: Callable
     description: str
     options: tuple[str, ...]
+    capabilities: SchemeCapabilities
 
 
 _REGISTRY: dict[str, _SchemeSpec] = {}
 
 
 def register_scheme(name: str, build: Callable, description: str,
-                    options: tuple[str, ...] = ()) -> None:
+                    options: tuple[str, ...] = (), *,
+                    capabilities: SchemeCapabilities) -> None:
     """Register *build(master_key, channel, rng, options) -> (client, server)*.
 
     ``channel`` is ``None`` when the builder must create the server and an
@@ -99,9 +144,12 @@ def register_scheme(name: str, build: Callable, description: str,
     :class:`ParameterError` on leftovers (use :func:`_reject_unknown`).
     *options* declares the accepted option names — it makes rejection
     errors name the valid choices and lets :func:`make_service` validate
-    *before* spawning shard processes.
+    *before* spawning shard processes.  *capabilities* is the scheme's
+    :class:`SchemeCapabilities` descriptor; the ``protocol-exhaustive``
+    checker fails registrations that omit it.
     """
-    _REGISTRY[name] = _SchemeSpec(build, description, tuple(options))
+    _REGISTRY[name] = _SchemeSpec(build, description, tuple(options),
+                                  capabilities)
 
 
 def available_schemes() -> tuple[str, ...]:
@@ -112,6 +160,11 @@ def available_schemes() -> tuple[str, ...]:
 def scheme_description(name: str) -> str:
     """One-line description of a registered scheme."""
     return _lookup(name).description
+
+
+def scheme_capabilities(name: str) -> SchemeCapabilities:
+    """The :class:`SchemeCapabilities` descriptor of a registered scheme."""
+    return _lookup(name).capabilities
 
 
 def _lookup(name: str) -> _SchemeSpec:
@@ -150,22 +203,15 @@ def _check_options(name: str, options: dict) -> None:
 
 
 def make_scheme(name: str, master_key: MasterKey | None = None, *,
-                channel: Channel | None = None,
                 seed: int | bytes | None = None,
                 rng: RandomSource | None = None,
                 **options) -> SchemeHandle:
     """Build a :class:`SchemeHandle` (client + in-process server).
 
     ``seed`` derives both the RNG and, if absent, the master key
-    deterministically.  Passing ``channel=`` is deprecated — it builds
-    only the client (``handle.server is None``); call
-    :func:`make_client`, which says what it returns.
+    deterministically.  For a client against a remote server, call
+    :func:`make_client`.
     """
-    if channel is not None:
-        warnings.warn(
-            "make_scheme(channel=...) is deprecated; use make_client(name, "
-            "master_key, channel=...) for the client-only topology",
-            DeprecationWarning, stacklevel=2)
     spec = _lookup(name)
     if rng is None:
         rng = default_rng(seed)
@@ -173,7 +219,7 @@ def make_scheme(name: str, master_key: MasterKey | None = None, *,
         raise ParameterError("pass either seed or rng, not both")
     if master_key is None:
         master_key = keygen(rng=rng)
-    return SchemeHandle(*spec.build(master_key, channel, rng, dict(options)))
+    return SchemeHandle(*spec.build(master_key, None, rng, dict(options)))
 
 
 def make_client(name: str, master_key: MasterKey | None = None, *,
@@ -215,7 +261,7 @@ def make_server(name: str, *, seed: int | bytes | None = None,
     ``<data_dir>/server.log`` — any scheme, write-through, recovered on
     reopen.  The directory is created if missing.
     """
-    _, server = make_scheme(name, channel=None, seed=seed, **options)
+    _, server = make_scheme(name, seed=seed, **options)
     if data_dir is None:
         return server
     from repro.core.persistence import DurableServer
@@ -308,6 +354,22 @@ def _build_scheme2(master_key, channel, rng, options):
     return client, server
 
 
+def _build_scheme3(master_key, channel, rng, options):
+    from repro.core.scheme3 import (DEFAULT_CHAIN_LENGTH, Scheme3Client,
+                                    Scheme3Server)
+
+    chain_length = options.pop("chain_length", DEFAULT_CHAIN_LENGTH)
+    decrypt_bodies = options.pop("decrypt_bodies", True)
+    _reject_unknown("scheme3-fp", options)
+    server = None
+    if channel is None:
+        server = Scheme3Server(max_walk=chain_length)
+        channel = Channel(server)
+    client = Scheme3Client(master_key, channel, chain_length=chain_length,
+                           rng=rng, decrypt_bodies=decrypt_bodies)
+    return client, server
+
+
 def _build_swp(master_key, channel, rng, options):
     from repro.baselines.swp import SwpClient, SwpServer
 
@@ -378,22 +440,77 @@ def _build_naive(master_key, channel, rng, options):
 
 register_scheme("scheme1", _build_scheme1,
                 "paper §5.2: O(log u) search, 2 rounds, XOR-patch updates",
-                options=("capacity", "keypair", "decrypt_bodies"))
+                options=("capacity", "keypair", "decrypt_bodies"),
+                capabilities=SchemeCapabilities(
+                    update_state="per-tag masked arrays + nonces",
+                    batched_updates=True,
+                    supports_removal=True,
+                    state_prefixes=(b"s1:",),
+                    needs_keypair=True,
+                    test_options={"capacity": 32},
+                ))
 register_scheme("scheme2", _build_scheme2,
                 "paper §5.4: 1-round search, delta-sized chain updates",
                 options=("chain_length", "lazy_counter", "cache_plaintext",
-                         "pad_results_to", "decrypt_bodies"))
+                         "pad_results_to", "decrypt_bodies"),
+                capabilities=SchemeCapabilities(
+                    update_state="global update counter",
+                    batched_updates=True,
+                    supports_removal=True,
+                    state_prefixes=(b"s2:",),
+                    test_options={"chain_length": 64},
+                ))
+register_scheme("scheme3-fp", _build_scheme3,
+                "forward-private updates: fresh per-update keys, "
+                "epoch-unroll search",
+                options=("chain_length", "decrypt_bodies"),
+                capabilities=SchemeCapabilities(
+                    update_state="per-keyword update counters",
+                    forward_private=True,
+                    batched_updates=True,
+                    supports_removal=True,
+                    state_prefixes=(b"s3:", b"s3f:"),
+                    test_options={"chain_length": 64},
+                ))
 register_scheme("swp", _build_swp,
-                "Song–Wagner–Perrig sequential scan baseline")
+                "Song–Wagner–Perrig sequential scan baseline",
+                capabilities=SchemeCapabilities(
+                    update_state="none (append-only uploads)",
+                    state_prefixes=(b"swp:",),
+                ))
 register_scheme("goh", _build_goh,
                 "Goh Z-IDX per-document Bloom filter baseline",
                 options=("expected_keywords_per_doc", "false_positive_rate",
-                         "blind"))
+                         "blind"),
+                capabilities=SchemeCapabilities(
+                    update_state="none (per-document filters)",
+                    state_prefixes=(b"goh:",),
+                ))
 register_scheme("cgko", _build_cgko,
                 "Curtmola et al. inverted-index baseline",
-                options=("padding_factor",))
+                options=("padding_factor",),
+                capabilities=SchemeCapabilities(
+                    update_state="client-side plaintext index, full rebuild",
+                    batched_updates=True,
+                    # CGKO's "index upload" reuses S1_STORE_ENTRY as a
+                    # wholesale replacement of an addr-keyed node array
+                    # whose linked lists straddle addresses —
+                    # unsplittable, so every shard keeps the full index
+                    # (searches then PIN to spread read load).
+                    route_overrides={
+                        MessageType.S1_STORE_ENTRY: RouteKind.BROADCAST,
+                    },
+                    state_prefixes=(b"cgko.a:", b"cgko.t:"),
+                ))
 register_scheme("cm", _build_cm,
                 "Chang–Mitzenmacher fixed-dictionary baseline",
-                options=("dictionary",))
+                options=("dictionary",),
+                capabilities=SchemeCapabilities(
+                    update_state="none (fixed dictionary, masked rows)",
+                    state_prefixes=(b"cm:",),
+                ))
 register_scheme("naive", _build_naive,
-                "download-everything strawman baseline")
+                "download-everything strawman baseline",
+                capabilities=SchemeCapabilities(
+                    update_state="none (re-upload everything)",
+                ))

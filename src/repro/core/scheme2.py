@@ -313,9 +313,10 @@ class Scheme2Client(SseClient):
     ``search_batch``) ship everything in **one** ``BATCH_REQUEST`` frame —
     one round-trip, one server lock, one fsync — and derived values (tags,
     chains, trapdoors) live in bounded LRU caches so a warm search
-    recomputes nothing.  Cache keys include the epoch and counter, and the
-    caches are cleared outright on epoch change, counter advance, and
-    state import.
+    recomputes nothing.  Each cache is namespaced and scoped by a
+    scheme-supplied epoch token — (epoch) for tags and chains,
+    (epoch, ctr) for trapdoors — advanced on epoch change and counter
+    advance, and cleared outright on state import.
     """
 
     STATE_FORMAT = "repro.scheme2.client/1"
@@ -340,11 +341,15 @@ class Scheme2Client(SseClient):
         self._ctr = 0
         self._search_since_update = True  # first update always advances
         self._epoch = 0
-        # Derived-value caches, all keyed on the inputs that make the
-        # derivation unique (epoch, [ctr,] keyword) — see repro.core.cache.
-        self._tag_cache = BoundedCache(cache_size)
-        self._chain_cache = BoundedCache(cache_size)
-        self._trapdoor_cache = BoundedCache(cache_size)
+        # Derived-value caches, namespaced per derivation and scoped by
+        # scheme-supplied epoch tokens (trapdoors additionally by the
+        # counter) — see repro.core.cache.
+        self._tag_cache = BoundedCache(cache_size,
+                                       namespace="scheme2.tags", epoch=0)
+        self._chain_cache = BoundedCache(cache_size,
+                                         namespace="scheme2.chains", epoch=0)
+        self._trapdoor_cache = BoundedCache(
+            cache_size, namespace="scheme2.trapdoors", epoch=(0, 0))
 
     @property
     def ctr(self) -> int:
@@ -403,7 +408,14 @@ class Scheme2Client(SseClient):
 
     # -- chain plumbing ---------------------------------------------------
 
+    def _sync_cache_epochs(self) -> None:
+        """Point every cache at the current (epoch[, ctr]) scope tokens."""
+        self._tag_cache.set_epoch(self._epoch)
+        self._chain_cache.set_epoch(self._epoch)
+        self._trapdoor_cache.set_epoch((self._epoch, self._ctr))
+
     def _clear_derived_caches(self) -> None:
+        self._sync_cache_epochs()
         self._tag_cache.clear()
         self._chain_cache.clear()
         self._trapdoor_cache.clear()
@@ -415,7 +427,7 @@ class Scheme2Client(SseClient):
             material = self._epoch.to_bytes(4, "big") + keyword.encode("utf-8")
             return self._key.keyword_tag_prf().evaluate_truncated(material, 16)
 
-        return self._tag_cache.get_or_compute((self._epoch, keyword), compute)
+        return self._tag_cache.get_or_compute(keyword, compute)
 
     def _chain_for(self, keyword: str) -> HashChain:
         def compute() -> HashChain:
@@ -424,18 +436,17 @@ class Scheme2Client(SseClient):
             )
             return HashChain(seed, self._chain_length)
 
-        return self._chain_cache.get_or_compute((self._epoch, keyword),
-                                                compute)
+        return self._chain_cache.get_or_compute(keyword, compute)
 
     def _trapdoor_for(self, keyword: str) -> bytes:
         """The trapdoor chain element f^(l-ctr)(seed_w), LRU-cached.
 
-        The cache key carries (epoch, ctr), so a counter advance simply
-        stops hitting old entries; :meth:`_advance_counter` additionally
-        clears the cache outright.
+        The cache's scope token carries (epoch, ctr), so a counter
+        advance simply stops hitting old entries (see
+        :meth:`_advance_counter`).
         """
         return self._trapdoor_cache.get_or_compute(
-            (self._epoch, self._ctr, keyword),
+            keyword,
             lambda: self._chain_for(keyword).element(
                 self._chain_length - self._ctr
             ),
@@ -459,7 +470,8 @@ class Scheme2Client(SseClient):
             )
         self._ctr += 1
         self._search_since_update = False
-        self._trapdoor_cache.clear()  # old-counter trapdoors are stale now
+        # Old-counter trapdoors become unreachable under the new token.
+        self._trapdoor_cache.set_epoch((self._epoch, self._ctr))
         return self._ctr
 
     # -- document upload --------------------------------------------------

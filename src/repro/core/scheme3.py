@@ -1,0 +1,535 @@
+"""Scheme 3 — forward-private dynamic updates (extension to the paper).
+
+Scheme 1/2 updates reuse keyword-stable trapdoor material: every Scheme 2
+update for keyword w ships the same tag f_kw(w), so the honest-but-curious
+server links each update to a keyword — and to any past search for it — at
+insert time.  Following Etemad & Küpçü (*Efficient Dynamic Searchable
+Encryption with Forward Privacy*, see PAPERS.md), Scheme 3 removes that
+link using nothing beyond the existing crypto substrate.  Update number i
+for keyword w is keyed by a fresh element of a per-keyword hash chain
+
+    k_i(w) = f^(l-i)(seed_w),    seed_w = PRF(k_w, epoch ‖ w)
+
+and stored under the *address* f'(k_i(w)), a public PRF of the key itself.
+No two updates share a wire-visible value, and no update shares anything
+with a past search token: deriving k_{i+1} from k_i would mean walking the
+one-way chain backwards.
+
+* **Update** ships (address, ℰ_{k_i}(ids)) pairs — one fresh key per
+  keyword per bulk call, amortized across the batch exactly like
+  Scheme 2's triples.  The client keeps one small counter per keyword.
+* **Search** sends a constant-size token (k_n(w), n).  The server unrolls
+  backwards through the n update epochs: the address of k_n, then of
+  k_{n-1} = f(k_n), … down to k_1, decrypting each entry it finds and
+  replaying additions/tombstones in update order.
+* **Fold-on-search**: the server consolidates what a search revealed into
+  one record at the *newest* address and deletes the unrolled entries, so
+  repeating a search at count n costs O(1) instead of O(n).  Folding
+  makes search a mutating operation — it is classified as a write in
+  :mod:`repro.net.session` and the consolidated records are part of the
+  durable snapshot (``s3f:`` namespace, see :mod:`repro.core.state`).
+
+What still leaks: searching the same keyword twice at the same count
+repeats the token (search-pattern leakage, as in Scheme 1/2), and result
+sizes leak unless padded.  What no longer leaks: update-to-keyword and
+update-to-search correlations — measured head-to-head in
+``benchmarks/bench_s57_update_leakage.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+from repro.core.api import SearchResult, SseClient
+from repro.core.cache import BoundedCache
+from repro.core.documents import Document
+from repro.core.keys import MasterKey
+from repro.core.scheme1 import group_keywords
+from repro.core.server import BaseSseServer, decode_doc_id, encode_doc_id
+from repro.crypto.authenc import AuthenticatedCipher
+from repro.crypto.chain import ChainWalker, HashChain
+from repro.crypto.hmac_sha256 import HMACSHA256
+from repro.crypto.prp import FeistelPrp
+from repro.crypto.rng import RandomSource, SystemRandomSource
+from repro.ds.avl import AvlTree
+from repro.ds.posting import decode_posting_list, encode_posting_list
+from repro.errors import (ChainExhaustedError, ParameterError, ProtocolError,
+                          StorageError)
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+
+__all__ = ["Scheme3Server", "Scheme3Client", "DEFAULT_CHAIN_LENGTH",
+           "ADDRESS_SIZE"]
+
+DEFAULT_CHAIN_LENGTH = 1024
+
+#: Addresses are truncated like keyword tags: 16 bytes keeps the birthday
+#: bound negligible at any realistic update volume.
+ADDRESS_SIZE = 16
+
+_ADDRESS_LABEL = b"repro.s3.addr"
+# Entry framing markers, mirroring Scheme 2's segments: a REMOVE entry is
+# a tombstone that subtracts its ids when the server replays entries in
+# update order.  Both kinds are identically shaped ciphertext on the wire.
+_ENTRY_ADD = b"\x01"
+_ENTRY_REMOVE = b"\x02"
+
+# Keyed template computed once: the address PRF runs inside the server's
+# unroll loop, once per visited chain position.
+_ADDRESS_TEMPLATE = HMACSHA256(_ADDRESS_LABEL)
+
+# Durable-state namespaces.  Pending (not yet searched) entries are pure
+# key-value pairs; folded records additionally carry the update count they
+# consolidate, so a restarted server keeps its O(1) repeat searches.
+_S3_PENDING_PREFIX = b"s3:"
+_S3_FOLDED_PREFIX = b"s3f:"
+
+
+def _address(key: bytes) -> bytes:
+    """The storage address f'(k_i): a public PRF of the update key."""
+    mac = _ADDRESS_TEMPLATE.copy()
+    mac.update(key)
+    return mac.digest()[:ADDRESS_SIZE]
+
+
+def _encrypt_entry(key: bytes, doc_ids: list[int],
+                   remove: bool = False) -> bytes:
+    """ℰ_k(I_i(w)): posting list under the variable-length Feistel PRP."""
+    marker = _ENTRY_REMOVE if remove else _ENTRY_ADD
+    payload = marker + encode_posting_list(doc_ids)
+    return FeistelPrp(key).forward(payload)
+
+
+def _decrypt_entry(key: bytes, blob: bytes) -> tuple[bool, list[int]]:
+    """Invert :func:`_encrypt_entry`; returns (is_removal, ids)."""
+    payload = FeistelPrp(key).inverse(blob)
+    if payload[:1] not in (_ENTRY_ADD, _ENTRY_REMOVE):
+        raise ProtocolError("entry decrypted to an invalid framing")
+    return payload[:1] == _ENTRY_REMOVE, decode_posting_list(payload[1:])
+
+
+def _pack_folded(count: int, doc_ids: list[int]) -> bytes:
+    return struct.pack(">I", count) + encode_posting_list(doc_ids)
+
+
+def _unpack_folded(value: bytes) -> tuple[int, list[int]]:
+    if len(value) < 4:
+        raise StorageError("malformed scheme-3 folded record")
+    (count,) = struct.unpack(">I", value[:4])
+    return count, decode_posting_list(value[4:])
+
+
+class Scheme3Server(BaseSseServer):
+    """Server side of Scheme 3.
+
+    Holds two stores: *pending* entries (the AVL index, keyed by address —
+    uploaded but never yet unrolled by a search) and *folded* records
+    (one consolidated posting list per searched keyword, keyed by the
+    newest address the folding search reached).  The server cannot tell
+    which pending entries belong to the same keyword — that is the point —
+    so consolidation only ever happens when a search token authorizes the
+    unroll.
+
+    ``max_walk`` caps the backward unroll (normally the chain length l) so
+    a corrupted token cannot send the server into an unbounded walk.
+    """
+
+    def __init__(self, max_walk: int = DEFAULT_CHAIN_LENGTH) -> None:
+        super().__init__()
+        if max_walk < 1:
+            raise ParameterError("max_walk must be at least 1")
+        self.max_walk = max_walk
+        self._folded: dict[bytes, tuple[int, list[int]]] = {}
+        # Instrumentation for the forward-privacy benchmarks.
+        self.unroll_steps_last_search = 0
+        self.entries_folded_last_search = 0
+
+    @property
+    def unique_keywords(self) -> int:
+        """Upper bound on the paper's u: pending entries + folded records.
+
+        Unlike Scheme 1/2 the server cannot count true keywords — distinct
+        updates for one keyword are unlinkable until a search folds them,
+        which is precisely the forward-privacy property.  The overcount
+        shrinks as searches consolidate.
+        """
+        return len(self.index) + len(self._folded)
+
+    def _handle_scheme_message(self, message: Message) -> Message:
+        if message.type == MessageType.S3_STORE_ENTRY:
+            return self._handle_store_entry(message)
+        if message.type == MessageType.S3_SEARCH_REQUEST:
+            return self._handle_search(message)
+        return super()._handle_scheme_message(message)
+
+    def _handle_store_entry(self, message: Message) -> Message:
+        """Store (address, ℰ_k(I)) pairs; the server learns nothing else."""
+        fields = message.fields
+        if len(fields) % 2:
+            raise ProtocolError("S3_STORE_ENTRY fields come in pairs")
+        for i in range(0, len(fields), 2):
+            addr, blob = fields[i], fields[i + 1]
+            self.index.insert(addr, blob)
+            self.state_journal.put(_S3_PENDING_PREFIX + addr, blob)
+        return Message(MessageType.ACK)
+
+    def _handle_search(self, message: Message) -> Message:
+        """Unroll the update epochs backwards from the token, then fold.
+
+        The token element is the *newest* update key k_n; every earlier
+        key is some forward step f^j of it.  The walk visits each update
+        number once, newest first.  Hitting a folded record short-circuits
+        the walk: it consolidates everything at or below its count.
+        """
+        token, count_field = message.expect(MessageType.S3_SEARCH_REQUEST, 2)
+        if len(count_field) != 4:
+            raise ProtocolError("S3 search count travels as 4 bytes")
+        (count,) = struct.unpack(">I", count_field)
+        if not 1 <= count <= self.max_walk:
+            raise ProtocolError(
+                f"S3 search count {count} outside 1..{self.max_walk}"
+            )
+        self.searches_handled += 1
+        self.entries_folded_last_search = 0
+
+        walker = ChainWalker(token, count - 1)
+        element = walker.current
+        newest_addr: bytes | None = None
+        consumed: list[bytes] = []
+        decrypted: dict[int, tuple[bool, list[int]]] = {}
+        base_ids: set[int] = set()
+        stale_folded: bytes | None = None
+        already_folded = False
+        for number in range(count, 0, -1):
+            addr = _address(element)
+            if newest_addr is None:
+                newest_addr = addr
+            folded = self._folded.get(addr)
+            if folded is not None:
+                base_ids = set(folded[1])
+                if addr == newest_addr and not decrypted:
+                    already_folded = True  # repeat search, nothing newer
+                else:
+                    stale_folded = addr
+                break
+            blob = self._lookup_tag(addr)
+            if blob is not None:
+                decrypted[number] = _decrypt_entry(element, blob)
+                consumed.append(addr)
+            if number > 1:
+                element = walker.advance()
+        self.unroll_steps_last_search = walker.steps_taken
+        self.metrics.counter("s3_unroll_steps_total").inc(walker.steps_taken)
+
+        # Replay in update order so tombstones subtract from exactly the
+        # state the earlier entries (or the folded base) built.
+        doc_ids = set(base_ids)
+        for number in sorted(decrypted):
+            is_removal, ids = decrypted[number]
+            if is_removal:
+                doc_ids.difference_update(ids)
+            else:
+                doc_ids.update(ids)
+
+        if not already_folded:
+            for addr in consumed:
+                self.index.delete(addr)
+                self.state_journal.delete(_S3_PENDING_PREFIX + addr)
+            if stale_folded is not None:
+                del self._folded[stale_folded]
+                self.state_journal.delete(_S3_FOLDED_PREFIX + stale_folded)
+            ordered = sorted(doc_ids)
+            self._folded[newest_addr] = (count, ordered)
+            self.state_journal.put(_S3_FOLDED_PREFIX + newest_addr,
+                                   _pack_folded(count, ordered))
+            self.entries_folded_last_search = len(consumed)
+            self.metrics.counter("s3_entries_folded_total").inc(
+                len(consumed))
+
+        return self._documents_result(sorted(doc_ids))
+
+    # -- snapshot protocol (see repro.core.state) --------------------------
+    # Folded records ARE part of the snapshot: they carry per-keyword
+    # update counts the epoch unroll relies on for its O(1) repeats, and
+    # the pending entries they replaced are gone from the journal.
+
+    def _index_state_records(self):
+        for addr, blob in self.index.items():
+            yield _S3_PENDING_PREFIX + addr, blob
+        for addr, (count, ids) in self._folded.items():
+            yield _S3_FOLDED_PREFIX + addr, _pack_folded(count, ids)
+
+    def _state_loaders(self):
+        loaders = super()._state_loaders()
+        loaders[_S3_PENDING_PREFIX] = self._load_pending_record
+        loaders[_S3_FOLDED_PREFIX] = self._load_folded_record
+        return loaders
+
+    def _load_pending_record(self, key: bytes, value: bytes) -> None:
+        self.index.insert(key[len(_S3_PENDING_PREFIX):], value)
+
+    def _load_folded_record(self, key: bytes, value: bytes) -> None:
+        addr = key[len(_S3_FOLDED_PREFIX):]
+        if len(addr) != ADDRESS_SIZE:
+            raise StorageError("malformed scheme-3 folded key")
+        self._folded[addr] = _unpack_folded(value)
+
+    def _clear_state(self) -> None:
+        super()._clear_state()
+        self.index = AvlTree()
+        self._folded = {}
+
+
+class Scheme3Client(SseClient):
+    """Client side of Scheme 3.
+
+    Client state beyond the master key is one small integer per updated
+    keyword (how many updates it has seen this epoch) plus the epoch
+    number.  Per-keyword chains are derived, not stored:
+    seed_w = PRF(k_w, epoch ‖ w), so the client stays thin — but note the
+    exported state names the keywords it has updated.  That state is
+    client-private (it never crosses the wire); leaking it to the server
+    would of course void the forward-privacy argument.
+
+    When a keyword's chain runs out a :class:`ChainExhaustedError` escapes
+    the update call; call :meth:`reinitialize_epoch` with the full
+    document collection to re-key, exactly as for Scheme 2.
+
+    Bulk calls ship everything in one ``BATCH_REQUEST`` frame, and derived
+    chains live in a namespaced LRU cache scoped by the current epoch
+    (see :mod:`repro.core.cache`).
+    """
+
+    STATE_FORMAT = "repro.scheme3.client/1"
+
+    def __init__(self, master_key: MasterKey, channel: Channel, *,
+                 chain_length: int = DEFAULT_CHAIN_LENGTH,
+                 rng: RandomSource | None = None,
+                 decrypt_bodies: bool = True,
+                 cache_size: int = 1024) -> None:
+        super().__init__(channel)
+        if chain_length < 1:
+            raise ParameterError("chain length must be at least 1")
+        self._key = master_key
+        self._rng = rng if rng is not None else SystemRandomSource()
+        self._cipher = AuthenticatedCipher(master_key.k_m, rng=self._rng)
+        self._decrypt_bodies = decrypt_bodies
+        self._chain_length = chain_length
+        self._counts: dict[str, int] = {}
+        self._epoch = 0
+        self._chain_cache = BoundedCache(cache_size,
+                                         namespace="scheme3-fp.chains",
+                                         epoch=0)
+
+    @property
+    def chain_length(self) -> int:
+        """Updates each keyword supports per epoch (the chain length l)."""
+        return self._chain_length
+
+    @property
+    def epoch(self) -> int:
+        """Current chain epoch (bumped on re-initialization)."""
+        return self._epoch
+
+    @property
+    def update_counts(self) -> dict[str, int]:
+        """Per-keyword update counts this epoch (a copy)."""
+        return dict(self._counts)
+
+    def updates_remaining(self, keyword: str) -> int:
+        """Updates left for *keyword* before its chain is exhausted."""
+        return self._chain_length - self._counts.get(keyword, 0)
+
+    def export_state(self) -> dict:
+        """Per-keyword counters and epoch — never key material."""
+        state = super().export_state()
+        state.update({
+            "counts": dict(self._counts),
+            "epoch": self._epoch,
+            "chain_length": self._chain_length,
+        })
+        return state
+
+    def import_state(self, state: dict) -> None:
+        """Restore counters exported by a previous client instance."""
+        super().import_state(state)
+        chain_length = state.get("chain_length")
+        if chain_length != self._chain_length:
+            raise ParameterError(
+                f"stored state was produced with chain length "
+                f"{chain_length}, this client uses {self._chain_length}"
+            )
+        self._counts = {str(kw): int(n) for kw, n in state["counts"].items()}
+        self._epoch = int(state["epoch"])
+        self._chain_cache.set_epoch(self._epoch)
+        self._chain_cache.clear()  # rebuilt on demand
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/size snapshot of every derived-value cache."""
+        return {"chains": self._chain_cache.stats()}
+
+    # -- chain plumbing ---------------------------------------------------
+
+    def _chain_for(self, keyword: str) -> HashChain:
+        def compute() -> HashChain:
+            seed = self._key.update_chain_prf().evaluate(
+                self._epoch.to_bytes(4, "big") + keyword.encode("utf-8")
+            )
+            return HashChain(seed, self._chain_length)
+
+        return self._chain_cache.get_or_compute(keyword, compute)
+
+    def _metadata_message(self, grouped: dict[str, list[int]],
+                          remove: bool = False) -> Message | None:
+        """One fresh update key per keyword for the whole bulk call.
+
+        Counters commit only after every key derives cleanly, so a
+        mid-batch :class:`ChainExhaustedError` leaves the client state
+        untouched (nothing was sent either — the message never built).
+        """
+        if not grouped:
+            return None
+        fields: list[bytes] = []
+        advanced: dict[str, int] = {}
+        for keyword in sorted(grouped):
+            ctr = self._counts.get(keyword, 0) + 1
+            if ctr > self._chain_length:
+                raise ChainExhaustedError(
+                    f"update chain of length {self._chain_length} exhausted "
+                    f"for keyword {keyword!r}; call reinitialize_epoch() "
+                    f"to re-key"
+                )
+            key = self._chain_for(keyword).key_for_counter(ctr)
+            fields.append(_address(key))
+            fields.append(_encrypt_entry(key, grouped[keyword],
+                                         remove=remove))
+            advanced[keyword] = ctr
+        self._counts.update(advanced)
+        return Message(MessageType.S3_STORE_ENTRY, tuple(fields))
+
+    # -- document upload --------------------------------------------------
+
+    def _documents_message(self, documents: Sequence[Document]) -> Message:
+        fields: list[bytes] = []
+        for doc in documents:
+            fields.append(encode_doc_id(doc.doc_id))
+            fields.append(self._cipher.encrypt(
+                doc.data, associated_data=encode_doc_id(doc.doc_id)
+            ))
+        return Message(MessageType.STORE_DOCUMENT, tuple(fields))
+
+    def _upload(self, documents: Sequence[Document],
+                grouped: dict[str, list[int]]) -> None:
+        """Ship document bodies + metadata as one batch frame."""
+        messages = [self._documents_message(documents)]
+        metadata = self._metadata_message(grouped)
+        if metadata is not None:
+            messages.append(metadata)
+        for reply in self._channel.request_many(messages):
+            reply.expect(MessageType.ACK)
+
+    # -- public API -------------------------------------------------------
+
+    def store(self, documents: Sequence[Document]) -> None:
+        """Initial Storage: one document upload + one metadata message."""
+        self._upload(documents, dict(group_keywords(documents)))
+
+    def add_documents(self, documents: Sequence[Document]) -> None:
+        """Forward-private update: fresh addresses, batched upload."""
+        self._upload(documents, dict(group_keywords(documents)))
+
+    def remove_documents(self, documents: Sequence[Document]) -> None:
+        """Remove documents via tombstone entries, one batch frame.
+
+        Like Scheme 2 removal, the caller supplies the full keyword sets;
+        the server applies tombstones in update order during the search
+        unroll, so a later re-add of the same id wins.
+        """
+        messages: list[Message] = []
+        metadata = self._metadata_message(dict(group_keywords(documents)),
+                                          remove=True)
+        if metadata is not None:
+            messages.append(metadata)
+        messages.append(Message(
+            MessageType.DELETE_DOCUMENT,
+            tuple(encode_doc_id(doc.doc_id) for doc in documents),
+        ))
+        for reply in self._channel.request_many(messages):
+            reply.expect(MessageType.ACK)
+
+    def fake_update(self, keywords: Sequence[str]) -> None:
+        """Append empty entries for *keywords* (traffic-shaping decoys).
+
+        Indistinguishable from real updates by construction — every entry
+        already lands at a fresh unlinkable address — so fake updates here
+        only pad update *counts*, not correlations.
+        """
+        message = self._metadata_message({kw: [] for kw in keywords})
+        if message is not None:
+            self._channel.request(message).expect(MessageType.ACK)
+
+    def _search_message(self, keyword: str) -> Message:
+        count = self._counts[keyword]
+        token = self._chain_for(keyword).key_for_counter(count)
+        return Message(MessageType.S3_SEARCH_REQUEST,
+                       (token, struct.pack(">I", count)))
+
+    def _parse_search_reply(self, keyword: str, reply: Message
+                            ) -> SearchResult:
+        fields = reply.expect(MessageType.DOCUMENTS_RESULT)
+        doc_ids: list[int] = []
+        documents: list[bytes] = []
+        for i in range(0, len(fields), 2):
+            doc_ids.append(decode_doc_id(fields[i]))
+            if self._decrypt_bodies:
+                documents.append(self._cipher.decrypt(
+                    fields[i + 1], associated_data=fields[i]
+                ))
+            else:
+                documents.append(fields[i + 1])  # opaque ciphertext
+        return SearchResult(keyword, doc_ids, documents)
+
+    def search(self, keyword: str) -> SearchResult:
+        """One-round search: constant-size token, server-side unroll."""
+        if self._counts.get(keyword, 0) == 0:
+            # Never updated this epoch: answer locally, leak nothing.
+            return SearchResult(keyword, [], [])
+        reply = self._channel.request(self._search_message(keyword))
+        return self._parse_search_reply(keyword, reply)
+
+    def search_batch(self, keywords: Sequence[str]) -> list[SearchResult]:
+        """Search many keywords in ONE round: all tokens, one frame.
+
+        Keywords with no updates this epoch answer locally; the rest ship
+        together and results align with *keywords*.
+        """
+        results: list[SearchResult | None] = []
+        pending: list[int] = []
+        messages: list[Message] = []
+        for index, keyword in enumerate(keywords):
+            if self._counts.get(keyword, 0) == 0:
+                results.append(SearchResult(keyword, [], []))
+            else:
+                results.append(None)
+                pending.append(index)
+                messages.append(self._search_message(keyword))
+        if messages:
+            replies = self._channel.request_many(messages)
+            for index, reply in zip(pending, replies):
+                results[index] = self._parse_search_reply(
+                    keywords[index], reply)
+        return results
+
+    def reinitialize_epoch(self, documents: Sequence[Document]) -> None:
+        """Re-key after chain exhaustion.
+
+        Bumps the epoch (fresh seeds, fresh chains), resets every
+        per-keyword counter, and re-uploads the metadata of the supplied
+        collection.  Old-epoch entries become unreachable garbage on the
+        server, exactly as for Scheme 2.
+        """
+        self._epoch += 1
+        self._counts = {}
+        self._chain_cache.set_epoch(self._epoch)
+        self._upload(documents, dict(group_keywords(documents)))

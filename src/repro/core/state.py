@@ -11,6 +11,8 @@ prefix         contents
 ``doc:``       encrypted document bodies (id in 8 big-endian bytes)
 ``s1:``        Scheme 1 entries: tag -> masked index ‖ F(r)
 ``s2:``        Scheme 2 segments: position(4) ‖ tag -> blob ‖ verifier
+``s3:``        Scheme 3 pending entries: address -> encrypted posting blob
+``s3f:``       Scheme 3 folded records: address -> count(4) ‖ posting list
 ``swp:``       SWP word ciphertexts: sequence(8) -> doc id ‖ word ct
 ``goh:``       Goh per-document Bloom filters: doc id -> filter bits
 ``cgko.a:``    CGKO node array: address(8) -> encrypted node

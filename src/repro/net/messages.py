@@ -64,6 +64,10 @@ class MessageType(IntEnum):
     S2_STORE_ENTRY = 20         # tag, E_k(I), f'(k)  (one triple per update)
     S2_SEARCH_REQUEST = 21      # trapdoor (tag, chain element)
 
+    # Scheme 3 (forward-private dynamic; Etemad & Küpçü)
+    S3_STORE_ENTRY = 22         # (addr, E_k(I))* pairs, fresh key per update
+    S3_SEARCH_REQUEST = 23      # chain element k_n, update count n
+
     # Baselines
     SWP_SEARCH_REQUEST = 30
     GOH_SEARCH_REQUEST = 31

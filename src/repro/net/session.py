@@ -79,6 +79,11 @@ WRITE_MESSAGE_TYPES = frozenset({
     MessageType.S1_UPDATE_PATCH,
     MessageType.S1_SEARCH_NONCE,
     MessageType.S2_STORE_ENTRY,
+    # Scheme 3 searches fold the epochs they unroll into one consolidated
+    # record (see docs/protocols.md), so even S3_SEARCH_REQUEST mutates
+    # the index and pays writer exclusivity.
+    MessageType.S3_STORE_ENTRY,
+    MessageType.S3_SEARCH_REQUEST,
 })
 
 

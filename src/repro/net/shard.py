@@ -18,11 +18,13 @@ Pieces, bottom-up:
 
 * :class:`HashRing` — consistent hashing with virtual nodes; stable as
   shard counts change, deterministic across processes.
-* Routing tables — one :class:`RouteKind` per :class:`MessageType`, with
-  per-scheme overrides (CGKO uploads its index wholesale, so its
-  ``S1_STORE_ENTRY`` must broadcast).  The tables are module-level
-  literals so ``repro-lint``'s ``protocol-exhaustive`` checker can verify
-  every wire type has a reviewed routing decision.
+* Routing tables — one :class:`RouteKind` per :class:`MessageType` in
+  :data:`BASE_ROUTES` (a module-level literal so ``repro-lint``'s
+  ``protocol-exhaustive`` checker can verify every wire type has a
+  reviewed routing decision), merged with the ``route_overrides`` each
+  scheme declares in its :class:`~repro.core.registry.SchemeCapabilities`
+  descriptor (CGKO uploads its index wholesale, so its
+  ``S1_STORE_ENTRY`` must broadcast).
 * :class:`ShardRouter` — the handler object: plans each message into
   per-shard parts, scatters them (concurrently, on a fanout pool),
   gathers and merges the replies.  ``BATCH_REQUEST`` frames are split
@@ -67,9 +69,9 @@ from repro.net.tcp import (TcpSseServer, recv_frame, request_stats,
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.trace import Span, current_trace, span
 
-__all__ = ["HashRing", "RouteKind", "BASE_ROUTES", "SCHEME_ROUTE_OVERRIDES",
-           "routes_for_scheme", "plan_message", "ShardRouter", "RouterServer",
-           "Service", "start_service"]
+__all__ = ["HashRing", "RouteKind", "BASE_ROUTES", "routes_for_scheme",
+           "plan_message", "ShardRouter", "RouterServer", "Service",
+           "start_service"]
 
 #: Seconds a scatter waits for one shard's reply before declaring it dead.
 DEFAULT_GATHER_TIMEOUT_S = 30.0
@@ -152,6 +154,11 @@ BASE_ROUTES: dict[MessageType, RouteKind] = {
     MessageType.S1_SEARCH_REVEAL: RouteKind.TAG_FIELD0,
     MessageType.S2_STORE_ENTRY: RouteKind.SPLIT_TRIPLES,
     MessageType.S2_SEARCH_REQUEST: RouteKind.TAG_FIELD0,
+    # Scheme 3 addresses are unlinkable per update — the router cannot
+    # group one keyword's entries onto one shard, so entries replicate
+    # and each search pins to one full replica (which folds locally).
+    MessageType.S3_STORE_ENTRY: RouteKind.BROADCAST,
+    MessageType.S3_SEARCH_REQUEST: RouteKind.PIN,
     MessageType.SWP_SEARCH_REQUEST: RouteKind.PIN,
     MessageType.GOH_SEARCH_REQUEST: RouteKind.PIN,
     MessageType.CGKO_SEARCH_REQUEST: RouteKind.PIN,
@@ -164,21 +171,20 @@ BASE_ROUTES: dict[MessageType, RouteKind] = {
     MessageType.BATCH_RESULT: RouteKind.PIN,
 }
 
-# Per-scheme deviations from the base table.  CGKO's "index upload"
-# reuses S1_STORE_ENTRY as a *wholesale replacement* of an addr-keyed node
-# array whose linked lists straddle addresses — unsplittable, so every
-# shard keeps the full index (searches then PIN to spread read load
-# across the replicas).
-SCHEME_ROUTE_OVERRIDES: dict[str, dict[MessageType, RouteKind]] = {
-    "cgko": {MessageType.S1_STORE_ENTRY: RouteKind.BROADCAST},
-}
-
-
 def routes_for_scheme(scheme: str | None) -> dict[MessageType, RouteKind]:
-    """The effective routing table for *scheme* (None = base table)."""
+    """The effective routing table for *scheme* (None = base table).
+
+    Per-scheme deviations come from the ``route_overrides`` each scheme
+    declares in its registry capability descriptor — structural
+    exceptions only, reviewed next to the scheme's registration instead
+    of in a hand-maintained table here.  (Lazy import: the registry
+    imports this module for :class:`RouteKind`.)
+    """
     routes = dict(BASE_ROUTES)
     if scheme is not None:
-        routes.update(SCHEME_ROUTE_OVERRIDES.get(scheme, {}))
+        from repro.core.registry import scheme_capabilities
+
+        routes.update(scheme_capabilities(scheme).route_overrides)
     return routes
 
 

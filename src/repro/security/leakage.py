@@ -20,7 +20,13 @@ batch grows.  This module turns those claims into numbers:
   with batch size;
 * :func:`linkage_matrix` — cross-update tag overlap counts, flattened to
   uniform by fake updates that pad every update to the same keyword set
-  size.
+  size;
+* :func:`update_recovery_rate` — the forward-privacy measurement: how
+  much of the update stream a *value-equality linker* (an observer who
+  joins opaque wire values across messages, the strongest generic
+  passive attack) can attribute to searched keywords.  Scheme 1/2 update
+  tags repeat their search tags verbatim, so recovery is total; Scheme 3
+  addresses never repeat any wire value, so recovery is zero.
 """
 
 from __future__ import annotations
@@ -34,10 +40,25 @@ from repro.net.messages import MessageType
 
 __all__ = ["UpdateObservation", "observe_updates",
            "attribution_entropy_bits", "keyword_count_leak_bits",
-           "linkage_matrix"]
+           "linkage_matrix", "update_recovery_rate"]
 
-_UPDATE_TYPES = {MessageType.S1_UPDATE_PATCH, MessageType.S2_STORE_ENTRY,
-                 MessageType.S1_STORE_ENTRY}
+# Metadata-update messages and their wire layout: every *stride* fields
+# hold one (tag, payload, ...) group with the keyword-linkable value at
+# offset 0 and the encrypted payload at offset 1.  Scheme 1/2 ship
+# triples; Scheme 3 ships (address, payload) pairs.
+_UPDATE_STRIDES = {
+    MessageType.S1_STORE_ENTRY: 3,
+    MessageType.S1_UPDATE_PATCH: 3,
+    MessageType.S2_STORE_ENTRY: 3,
+    MessageType.S3_STORE_ENTRY: 2,
+}
+_UPDATE_TYPES = set(_UPDATE_STRIDES)
+
+# Search requests, for the cross-message linker in
+# :func:`update_recovery_rate`.
+_SEARCH_TYPES = {MessageType.S1_SEARCH_REQUEST,
+                 MessageType.S2_SEARCH_REQUEST,
+                 MessageType.S3_SEARCH_REQUEST}
 
 
 @dataclass(frozen=True)
@@ -59,18 +80,21 @@ def observe_updates(
 ) -> list[UpdateObservation]:
     """Extract every update observation from a channel transcript.
 
-    Both schemes send (tag, payload, extra) triples, so the tag is every
-    third field starting at 0 and the payload every third starting at 1.
+    Each update type lays out (tag, payload, ...) groups at a fixed
+    stride (see ``_UPDATE_STRIDES``): the keyword-linkable value is every
+    stride-th field starting at 0, the payload every stride-th starting
+    at 1.
     """
     observations: list[UpdateObservation] = []
     for entry in transcript:
         if entry.direction != "client->server":
             continue
-        if entry.message.type not in _UPDATE_TYPES:
+        stride = _UPDATE_STRIDES.get(entry.message.type)
+        if stride is None:
             continue
         fields = entry.message.fields
-        tags = tuple(fields[i] for i in range(0, len(fields), 3))
-        sizes = tuple(len(fields[i]) for i in range(1, len(fields), 3))
+        tags = tuple(fields[i] for i in range(0, len(fields), stride))
+        sizes = tuple(len(fields[i]) for i in range(1, len(fields), stride))
         observations.append(UpdateObservation(
             message_type=entry.message.type, tags=tags, payload_sizes=sizes,
         ))
@@ -126,3 +150,34 @@ def linkage_matrix(
         [len(tag_sets[i] & tag_sets[j]) for j in range(n)]
         for i in range(n)
     ]
+
+
+def update_recovery_rate(transcript: Sequence[TranscriptEntry]) -> float:
+    """Fraction of update entries a value-equality linker attributes.
+
+    Model: the honest-but-curious observer knows which keyword each
+    search request stands for (chosen-query / frequency knowledge — the
+    standard search-pattern assumption) and tries to attribute update
+    entries to keywords by joining opaque wire values across messages: an
+    update entry whose leading value reappears in any search request is
+    recovered.  No scheme-specific computation is applied — this is the
+    strongest *generic* passive linker.
+
+    Scheme 1/2 update tags are exactly the searched trapdoor tags, so a
+    workload that searches its keywords yields recovery ≈ 1.  Scheme 3
+    entries live at fresh one-time addresses sharing no bytes with any
+    token, so recovery is 0 — the forward-privacy property, measured.
+    """
+    searched: set[bytes] = set()
+    for entry in transcript:
+        if entry.direction != "client->server":
+            continue
+        if entry.message.type in _SEARCH_TYPES:
+            searched.update(entry.message.fields)
+    observations = observe_updates(transcript)
+    total = sum(obs.keyword_count for obs in observations)
+    if total == 0:
+        return 0.0
+    matched = sum(1 for obs in observations
+                  for tag in obs.tags if tag in searched)
+    return matched / total

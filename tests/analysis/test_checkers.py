@@ -428,6 +428,39 @@ class TestProtocolExhaustive:
         assert any("statically parseable" in (f.hint or "")
                    for f in findings)
 
+    def test_registrations_with_descriptors_pass(self, make_project):
+        files = self._files()
+        files["src/repro/core/registry.py"] = """
+            def register_scheme(name, build, description, options=(), *,
+                                capabilities):
+                pass
+
+            register_scheme("alpha", None, "first scheme",
+                            capabilities=object())
+            register_scheme("beta", None, "second scheme", ("opt",),
+                            capabilities=object())
+            """
+        project = make_project(files)
+        assert check_protocol_exhaustive(project) == []
+
+    def test_registration_without_descriptor_is_flagged(self, make_project):
+        files = self._files()
+        files["src/repro/core/registry.py"] = """
+            def register_scheme(name, build, description, options=(), *,
+                                capabilities=None):
+                pass
+
+            register_scheme("alpha", None, "described",
+                            capabilities=object())
+            register_scheme("beta", None, "undescribed")
+            """
+        project = make_project(files)
+        findings = check_protocol_exhaustive(project)
+        assert len(findings) == 1
+        assert "'beta'" in findings[0].message
+        assert "no capability descriptor" in findings[0].message
+        assert findings[0].path == "src/repro/core/registry.py"
+
 
 class TestApiSurface:
     def test_consistent_all_passes(self, make_project):

@@ -33,6 +33,28 @@ def master_key(rng):
     return keygen(rng=rng)
 
 
+@pytest.fixture(scope="session")
+def scheme_options(elgamal_keypair):
+    """Structural per-scheme options for suites parametrized over
+    ``available_schemes()``.
+
+    Options come from each scheme's capability descriptor
+    (``test_options``), with the shared session keypair injected where the
+    descriptor says one is needed — so a newly registered scheme joins
+    every parametrized suite without edits here.
+    """
+    from repro.core.registry import scheme_capabilities
+
+    def _options(name):
+        caps = scheme_capabilities(name)
+        options = dict(caps.test_options)
+        if caps.needs_keypair:
+            options["keypair"] = elgamal_keypair
+        return options
+
+    return _options
+
+
 @pytest.fixture()
 def sample_documents():
     """A tiny fixed collection with known keyword→id structure."""

@@ -16,22 +16,14 @@ import pytest
 
 from repro.core import Document, keygen
 from repro.core.registry import (available_schemes, make_client,
-                                 make_scheme, make_server)
+                                 make_scheme, make_server,
+                                 scheme_capabilities)
 from repro.crypto.rng import HmacDrbg
 from repro.net.channel import Channel
 
 # Keywords drawn from the CM demo dictionary so the fixed-dictionary
 # baseline can play too; doc ids stay below scheme 1's test capacity.
 _KW = ("sym:fever", "sym:flu", "sym:cough")
-_CAPACITY = 32
-
-
-def _options(name, elgamal_keypair):
-    if name == "scheme1":
-        return {"capacity": _CAPACITY, "keypair": elgamal_keypair}
-    if name == "scheme2":
-        return {"chain_length": 64}
-    return {}
 
 
 def _initial_documents():
@@ -61,11 +53,11 @@ def _run_workload(client):
 
 
 @pytest.mark.parametrize("name", available_schemes())
-def test_batched_and_sequential_state_identical(name, elgamal_keypair):
+def test_batched_and_sequential_state_identical(name, scheme_options):
     """The envelope changes framing, never content: twin deployments fed
     the same seed and workload — one batching, one forced to per-message
     fallback — must end in byte-identical server state."""
-    opts = _options(name, elgamal_keypair)
+    opts = scheme_options(name)
     batched_client, batched_server = make_scheme(name, seed=77, **opts)
     plain_client, plain_server = make_scheme(name, seed=77, **opts)
     plain_client.channel._peer_batch = False  # pre-batch peer, remembered
@@ -78,17 +70,17 @@ def test_batched_and_sequential_state_identical(name, elgamal_keypair):
     for got, want in zip(batched_answers, plain_answers):
         assert [r.doc_ids for r in got] == [r.doc_ids for r in want]
     assert plain_client.channel.stats.batches == 0
-    if name in ("scheme1", "scheme2", "cgko"):
-        # These schemes' bulk paths carry >1 message per round trip, so
-        # the batched twin really did exercise the envelope.  The other
-        # baselines pack each bulk call into a single frame already —
-        # nothing to batch.
+    if scheme_capabilities(name).batched_updates:
+        # Per its descriptor this scheme's bulk paths carry >1 message
+        # per round trip, so the batched twin really did exercise the
+        # envelope.  The other baselines pack each bulk call into a
+        # single frame already — nothing to batch.
         assert batched_client.channel.stats.batches >= 1
 
 
 @pytest.mark.parametrize("name", available_schemes())
-def test_search_batch_matches_sequential(name, elgamal_keypair):
-    opts = _options(name, elgamal_keypair)
+def test_search_batch_matches_sequential(name, scheme_options):
+    opts = scheme_options(name)
     client, _ = make_scheme(name, seed=99, **opts)
     client.store(_initial_documents())
     absent = "sym:xray"  # in the CM dictionary, matched by nothing
@@ -102,10 +94,10 @@ def test_search_batch_matches_sequential(name, elgamal_keypair):
 
 @pytest.mark.parametrize("name", available_schemes())
 def test_torn_batch_recovers_to_pre_update_state(name, tmp_path,
-                                                 elgamal_keypair):
+                                                 scheme_options):
     """Crash injection: tear the tail off the durable log mid-batch and
     the whole bulk update must vanish — atomic or not at all."""
-    opts = _options(name, elgamal_keypair)
+    opts = scheme_options(name)
     master_key = keygen(rng=HmacDrbg(0xD15C))
 
     live_dir = tmp_path / "live"

@@ -77,6 +77,54 @@ class TestBoundedCache:
         assert BoundedCache().max_entries == DEFAULT_CACHE_SIZE
 
 
+class TestScopedCache:
+    """Namespace + epoch scoping: entries are private to their scope."""
+
+    def test_namespaces_do_not_collide(self):
+        tags = BoundedCache(4, namespace="scheme2.tags")
+        chains = BoundedCache(4, namespace="scheme2.chains")
+        tags.put("flu", "tag-value")
+        chains.put("flu", "chain-value")
+        assert tags.get("flu") == "tag-value"
+        assert chains.get("flu") == "chain-value"
+
+    def test_epoch_change_makes_old_entries_unreachable(self):
+        cache = BoundedCache(4, namespace="x", epoch=0)
+        cache.put("k", "old")
+        cache.set_epoch(1)
+        assert cache.get("k") is None
+        cache.put("k", "new")
+        assert cache.get("k") == "new"
+
+    def test_integer_epochs_from_different_schemes_cannot_collide(self):
+        # The old global-integer keying let scheme A's epoch-3 entry
+        # answer scheme B's epoch-3 lookup; the namespace makes the
+        # scope token scheme-supplied and collision-free.
+        a = BoundedCache(4, namespace="scheme-a", epoch=3)
+        b = BoundedCache(4, namespace="scheme-b", epoch=3)
+        a.put("kw", "a-derivation")
+        assert b.get("kw") is None
+
+    def test_structured_epoch_tokens(self):
+        cache = BoundedCache(4, namespace="trapdoors", epoch=(0, 0))
+        cache.put("kw", "t0")
+        cache.set_epoch((0, 1))  # counter advanced within the epoch
+        assert cache.get("kw") is None
+        cache.set_epoch((0, 0))
+        assert cache.get("kw") == "t0"
+        assert cache.epoch == (0, 0)
+
+    def test_clear_drops_every_scope(self):
+        cache = BoundedCache(4, namespace="x", epoch=0)
+        cache.put("k", "old")
+        cache.set_epoch(1)
+        cache.put("k", "new")
+        cache.clear()
+        assert len(cache) == 0
+        cache.set_epoch(0)
+        assert cache.get("k") is None
+
+
 class TestClientCacheWiring:
     """Caches actually short-circuit repeated derivations on real clients."""
 
@@ -111,3 +159,22 @@ class TestClientCacheWiring:
         hits_before = client.cache_stats()["tags"]["hits"]
         client.search("flu")
         assert client.cache_stats()["tags"]["hits"] > hits_before
+
+    def test_scheme3_rekey_makes_cached_chains_unreachable(self, master_key,
+                                                           rng):
+        # Forward privacy must survive the LRU: after an epoch re-key the
+        # old epoch's chains may linger in memory but can never answer a
+        # lookup — the re-upload derives fresh ones (a cache miss).
+        from repro.core import Document
+        from repro.core.scheme3 import Scheme3Client, Scheme3Server
+        from repro.net.channel import Channel
+
+        client = Scheme3Client(master_key, Channel(Scheme3Server()),
+                               chain_length=64, rng=rng)
+        docs = [Document(0, b"a", frozenset({"flu"}))]
+        client.store(docs)
+        misses_before = client.cache_stats()["chains"]["misses"]
+        client.store(docs)  # same epoch: chain comes from the cache
+        assert client.cache_stats()["chains"]["misses"] == misses_before
+        client.reinitialize_epoch(docs)
+        assert client.cache_stats()["chains"]["misses"] > misses_before

@@ -134,13 +134,6 @@ class TestServerDurability:
         assert len(server.documents) == 1
 
 
-# Structural options each scheme needs to stay small and fast in tests;
-# everything else uses the registry defaults.
-_SCHEME_TEST_OPTIONS = {
-    "scheme1": {"capacity": 32},
-    "scheme2": {"chain_length": 64},
-}
-
 # In the demo dictionary shipped by the registry, so the CM baseline
 # (which structurally requires a fixed public dictionary) participates.
 _KEYWORD = "sym:fever"
@@ -151,10 +144,8 @@ class TestEveryScheme:
 
     @pytest.mark.parametrize("scheme", available_schemes())
     def test_roundtrip_store_restart_search(self, scheme, tmp_path,
-                                            elgamal_keypair):
-        options = dict(_SCHEME_TEST_OPTIONS.get(scheme, {}))
-        if scheme == "scheme1":
-            options["keypair"] = elgamal_keypair
+                                            scheme_options):
+        options = scheme_options(scheme)
         data_dir = tmp_path / "store"
         docs = [Document(i, b"body %d" % i, frozenset({_KEYWORD}))
                 for i in range(3)]
@@ -178,10 +169,8 @@ class TestEveryScheme:
         assert sorted(after.doc_ids) == [0, 1, 2]
 
     @pytest.mark.parametrize("scheme", available_schemes())
-    def test_updates_after_restart(self, scheme, tmp_path, elgamal_keypair):
-        options = dict(_SCHEME_TEST_OPTIONS.get(scheme, {}))
-        if scheme == "scheme1":
-            options["keypair"] = elgamal_keypair
+    def test_updates_after_restart(self, scheme, tmp_path, scheme_options):
+        options = scheme_options(scheme)
         data_dir = tmp_path / "store"
 
         server = make_server(scheme, seed=13, data_dir=data_dir, **options)

@@ -3,13 +3,15 @@
 import pytest
 
 from repro.core import Document
-from repro.core.registry import (SchemeHandle, available_schemes, make_client,
-                                 make_scheme, make_server, make_service,
-                                 scheme_description)
+from repro.core.registry import (SchemeCapabilities, SchemeHandle,
+                                 available_schemes, make_client, make_scheme,
+                                 make_server, make_service,
+                                 scheme_capabilities, scheme_description)
 from repro.errors import ParameterError
 from repro.net.channel import Channel
 
-EXPECTED_SCHEMES = {"cgko", "cm", "goh", "naive", "scheme1", "scheme2", "swp"}
+EXPECTED_SCHEMES = {"cgko", "cm", "goh", "naive", "scheme1", "scheme2",
+                    "scheme3-fp", "swp"}
 
 
 class TestCatalogue:
@@ -23,6 +25,23 @@ class TestCatalogue:
     def test_every_scheme_has_a_description(self):
         for name in available_schemes():
             assert scheme_description(name)
+
+    def test_every_scheme_has_a_capability_descriptor(self):
+        for name in available_schemes():
+            caps = scheme_capabilities(name)
+            assert isinstance(caps, SchemeCapabilities)
+            assert caps.update_state
+            for prefix in caps.state_prefixes:
+                assert isinstance(prefix, bytes)
+
+    def test_scheme3_is_the_only_forward_private_scheme(self):
+        forward = [name for name in available_schemes()
+                   if scheme_capabilities(name).forward_private]
+        assert forward == ["scheme3-fp"]
+
+    def test_unknown_scheme_has_no_capabilities(self):
+        with pytest.raises(ParameterError, match="unknown scheme"):
+            scheme_capabilities("nope")
 
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ParameterError, match="unknown scheme"):
@@ -58,7 +77,8 @@ class TestFactory:
     # scheme1 is exercised separately below (needs the shared keypair);
     # cm needs dictionary keywords, handled in its own test.
     @pytest.mark.parametrize("name",
-                             ["scheme2", "swp", "goh", "cgko", "naive"])
+                             ["scheme2", "scheme3-fp", "swp", "goh", "cgko",
+                              "naive"])
     def test_pair_round_trips_a_search(self, name, sample_documents,
                                        reference_search):
         client, server = make_scheme(name, seed=0xBEEF)
@@ -81,28 +101,21 @@ class TestFactory:
         client.store([Document(0, b"x", frozenset({"sym:fever"}))])
         assert client.search("sym:fever").doc_ids == [0]
 
-    def test_channel_injection_returns_no_server(self, master_key):
+    def test_make_scheme_rejects_channel_injection(self, master_key):
+        # The deprecated make_scheme(channel=...) shim is gone; the
+        # client-only topology is make_client's job.
         from repro.core.scheme2 import Scheme2Server
 
         server = Scheme2Server(max_walk=64)
-        with pytest.deprecated_call():
-            client, returned = make_scheme("scheme2", master_key,
-                                           channel=Channel(server),
-                                           chain_length=64, seed=3)
-        assert returned is None
-        client.store([Document(0, b"x", frozenset({"kw"}))])
-        assert server.unique_keywords == 1  # traffic reached our server
+        with pytest.raises(ParameterError, match="channel"):
+            make_scheme("scheme2", master_key, channel=Channel(server),
+                        chain_length=64, seed=3)
 
     def test_make_scheme_returns_named_handle(self):
         handle = make_scheme("scheme2", seed=5)
         assert isinstance(handle, SchemeHandle)
         assert handle.client is handle[0]
         assert handle.server is handle[1]
-
-    def test_plain_make_scheme_does_not_warn(self, recwarn):
-        make_scheme("scheme2", seed=6)
-        assert not [w for w in recwarn.list
-                    if issubclass(w.category, DeprecationWarning)]
 
     def test_make_client_builds_client_only(self, master_key):
         from repro.core.scheme2 import Scheme2Server

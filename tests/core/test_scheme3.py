@@ -1,0 +1,222 @@
+"""Scheme 3 (forward-private dynamic SSE): unit and wire-level tests.
+
+The property under test is *forward privacy*: nothing the server stores or
+sees before a search lets it link an update to a previously searched
+keyword.  Concretely: every update entry lands at a fresh one-time
+address, no wire value ever repeats across update messages, and search
+tokens share no bytes with past updates.  The satellite machinery —
+fold-on-search, tombstoned removals, chain exhaustion and epoch re-keying,
+client state export — is covered alongside.
+"""
+
+import struct
+
+import pytest
+
+from repro.core import Document
+from repro.core.scheme3 import Scheme3Client, Scheme3Server
+from repro.errors import ChainExhaustedError, ParameterError, ProtocolError
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+from repro.security.leakage import update_recovery_rate
+
+
+def _pair(master_key, rng, chain_length=64):
+    server = Scheme3Server(max_walk=chain_length)
+    client = Scheme3Client(master_key, Channel(server),
+                           chain_length=chain_length, rng=rng)
+    return client, server
+
+
+_DOCS = [
+    Document(0, b"alpha", frozenset({"fever", "flu"})),
+    Document(1, b"bravo", frozenset({"flu"})),
+    Document(2, b"charlie", frozenset({"fever", "rash"})),
+]
+
+
+class TestForwardPrivacyOnTheWire:
+    def test_no_wire_value_ever_repeats_across_updates(self, master_key,
+                                                       rng):
+        client, _ = _pair(master_key, rng)
+        client.store(_DOCS[:1])
+        client.add_documents(_DOCS[1:2])
+        client.add_documents(_DOCS[2:])
+        fields = []
+        for entry in client.channel.transcript:
+            if (entry.direction == "client->server"
+                    and entry.message.type is MessageType.S3_STORE_ENTRY):
+                fields.extend(entry.message.fields)
+        assert fields  # the updates really used the scheme-3 message
+        assert len(fields) == len(set(fields))
+
+    def test_search_tokens_disjoint_from_update_values(self, master_key,
+                                                       rng):
+        client, _ = _pair(master_key, rng)
+        client.store(_DOCS)
+        client.search("flu")
+        update_values, search_values = set(), set()
+        for entry in client.channel.transcript:
+            if entry.direction != "client->server":
+                continue
+            if entry.message.type is MessageType.S3_STORE_ENTRY:
+                update_values.update(entry.message.fields)
+            elif entry.message.type is MessageType.S3_SEARCH_REQUEST:
+                search_values.update(entry.message.fields)
+        assert search_values
+        assert not update_values & search_values
+
+    def test_update_recovery_rate_is_zero(self, master_key, rng):
+        client, _ = _pair(master_key, rng)
+        client.store(_DOCS[:1])
+        client.search("fever")
+        client.add_documents(_DOCS[1:])
+        for kw in ("fever", "flu", "rash"):
+            client.search(kw)
+        assert update_recovery_rate(client.channel.transcript) == 0.0
+
+    def test_scheme2_recovery_rate_is_total_by_contrast(self, master_key,
+                                                        rng):
+        # The measurement is meaningful because the non-forward-private
+        # scheme maxes it out under the same workload.
+        from repro.core.scheme2 import Scheme2Client, Scheme2Server
+
+        server = Scheme2Server(max_walk=64)
+        client = Scheme2Client(master_key, Channel(server), chain_length=64,
+                               rng=rng)
+        client.store(_DOCS[:1])
+        client.add_documents(_DOCS[1:])
+        for kw in ("fever", "flu", "rash"):
+            client.search(kw)
+        assert update_recovery_rate(client.channel.transcript) >= 0.9
+
+
+class TestSearchAndFold:
+    def test_search_unrolls_then_folds(self, master_key, rng):
+        client, server = _pair(master_key, rng)
+        client.store(_DOCS[:1])
+        client.add_documents(_DOCS[1:2])  # "flu" now has 2 update epochs
+
+        assert sorted(client.search("flu").doc_ids) == [0, 1]
+        # Two epochs unrolled = one chain advance; both entries folded.
+        assert server.unroll_steps_last_search == 1
+        assert server.entries_folded_last_search == 2
+
+        # Same count again: the folded record answers in zero steps.
+        assert sorted(client.search("flu").doc_ids) == [0, 1]
+        assert server.unroll_steps_last_search == 0
+        assert server.entries_folded_last_search == 0
+
+    def test_refold_after_new_updates_consumes_stale_fold(self, master_key,
+                                                          rng):
+        client, server = _pair(master_key, rng)
+        client.store(_DOCS[:1])
+        client.search("flu")  # fold at count 1
+        client.add_documents(_DOCS[1:2])
+        assert sorted(client.search("flu").doc_ids) == [0, 1]
+        # One advance reaches the stale fold; the walk stops there.
+        assert server.unroll_steps_last_search == 1
+        # The old fold is gone: only one folded record remains.
+        prefixes = [bytes(k[:4]) for k, _ in server.state_records()]
+        assert prefixes.count(b"s3f:") == 1
+
+    def test_removal_tombstones_are_applied(self, master_key, rng):
+        client, _ = _pair(master_key, rng)
+        client.store(_DOCS)
+        client.remove_documents([_DOCS[0]])
+        assert client.search("fever").doc_ids == [2]
+        assert client.search("flu").doc_ids == [1]
+
+    def test_never_updated_keyword_answers_locally(self, master_key, rng):
+        client, _ = _pair(master_key, rng)
+        client.store(_DOCS)
+        rounds_before = len(client.channel.transcript)
+        result = client.search("absent")
+        assert result.doc_ids == []
+        assert len(client.channel.transcript) == rounds_before  # no wire
+
+    def test_search_batch_aligns_and_mixes_local_answers(self, master_key,
+                                                         rng):
+        client, _ = _pair(master_key, rng)
+        client.store(_DOCS)
+        results = client.search_batch(["flu", "absent", "rash"])
+        assert [r.keyword for r in results] == ["flu", "absent", "rash"]
+        assert [sorted(r.doc_ids) for r in results] == [[0, 1], [], [2]]
+
+    def test_fake_updates_pad_counts_without_changing_answers(
+            self, master_key, rng):
+        client, _ = _pair(master_key, rng)
+        client.store(_DOCS[:1])
+        client.fake_update(["flu", "decoy"])  # one entry per keyword
+        assert client.update_counts["flu"] == 2
+        assert sorted(client.search("flu").doc_ids) == [0]
+        assert client.search("decoy").doc_ids == []
+
+
+class TestChainLifecycle:
+    def test_exhaustion_raises_before_any_state_changes(self, master_key,
+                                                        rng):
+        client, _ = _pair(master_key, rng, chain_length=2)
+        client.store([Document(0, b"x", frozenset({"kw"}))])
+        client.add_documents([Document(1, b"y", frozenset({"kw"}))])
+        assert client.updates_remaining("kw") == 0
+        counts_before = client.update_counts
+        with pytest.raises(ChainExhaustedError):
+            client.add_documents([Document(2, b"z", frozenset({"kw"}))])
+        assert client.update_counts == counts_before
+
+    def test_reinitialize_epoch_recovers_from_exhaustion(self, master_key,
+                                                         rng):
+        client, _ = _pair(master_key, rng, chain_length=2)
+        docs = [Document(0, b"x", frozenset({"kw"})),
+                Document(1, b"y", frozenset({"kw"}))]
+        client.store(docs[:1])
+        client.add_documents(docs[1:])
+        with pytest.raises(ChainExhaustedError):
+            client.add_documents([Document(2, b"z", frozenset({"kw"}))])
+
+        client.reinitialize_epoch(docs)
+        assert client.epoch == 1
+        assert client.updates_remaining("kw") == 1
+        assert sorted(client.search("kw").doc_ids) == [0, 1]
+        client.add_documents([Document(2, b"z", frozenset({"kw"}))])
+        assert sorted(client.search("kw").doc_ids) == [0, 1, 2]
+
+    def test_state_export_import_roundtrip(self, master_key, rng):
+        client, server = _pair(master_key, rng)
+        client.store(_DOCS)
+        client.reinitialize_epoch(_DOCS)
+        state = client.export_state()
+
+        fresh = Scheme3Client(master_key, Channel(server), chain_length=64)
+        fresh.import_state(state)
+        assert fresh.epoch == client.epoch
+        assert fresh.update_counts == client.update_counts
+        assert sorted(fresh.search("flu").doc_ids) == [0, 1]
+
+    def test_import_rejects_chain_length_mismatch(self, master_key, rng):
+        client, _ = _pair(master_key, rng)
+        other = Scheme3Client(master_key, client.channel, chain_length=128)
+        with pytest.raises(ParameterError):
+            other.import_state(client.export_state())
+
+
+class TestServerValidation:
+    def test_store_entry_fields_must_pair_up(self):
+        server = Scheme3Server()
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.S3_STORE_ENTRY, (b"odd",)))
+
+    def test_search_count_must_be_four_bytes(self):
+        server = Scheme3Server()
+        with pytest.raises(ProtocolError):
+            server.handle(Message(MessageType.S3_SEARCH_REQUEST,
+                                  (b"\x00" * 32, b"\x01")))
+
+    def test_search_count_must_be_within_walk_budget(self):
+        server = Scheme3Server(max_walk=8)
+        for count in (0, 9):
+            with pytest.raises(ProtocolError):
+                server.handle(Message(
+                    MessageType.S3_SEARCH_REQUEST,
+                    (b"\x00" * 32, struct.pack(">I", count))))

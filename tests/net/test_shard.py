@@ -34,14 +34,6 @@ _DOCS = [
 ]
 
 
-def _options(name, elgamal_keypair):
-    if name == "scheme1":
-        return {"capacity": 32, "keypair": elgamal_keypair}
-    if name == "scheme2":
-        return {"chain_length": 64}
-    return {}
-
-
 class TestHashRing:
     def test_deterministic_across_instances(self):
         a, b = HashRing(4), HashRing(4)
@@ -119,8 +111,8 @@ class TestShardedEqualsSingle:
     """Acceptance gate: the topology is invisible to every scheme."""
 
     @pytest.mark.parametrize("name", available_schemes())
-    def test_results_byte_identical(self, name, elgamal_keypair):
-        opts = _options(name, elgamal_keypair)
+    def test_results_byte_identical(self, name, scheme_options):
+        opts = scheme_options(name)
         router = ShardRouter(
             [make_server(name, seed=7, **opts) for _ in range(3)],
             scheme=name)
@@ -142,8 +134,8 @@ class TestShardedEqualsSingle:
         router.stop()
 
     @pytest.mark.parametrize("name", available_schemes())
-    def test_updates_byte_identical(self, name, elgamal_keypair):
-        opts = _options(name, elgamal_keypair)
+    def test_updates_byte_identical(self, name, scheme_options):
+        opts = scheme_options(name)
         router = ShardRouter(
             [make_server(name, seed=9, **opts) for _ in range(3)],
             scheme=name)
