@@ -2,7 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test test-fast bench bench-smoke examples results clean
+.PHONY: install lint test test-fast bench bench-smoke bench-gate \
+	bench-baselines examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -37,6 +38,22 @@ bench-smoke:
 		benchmarks/bench_forward_privacy.py
 	REPRO_BENCH_SMOKE=1 REPRO_BENCH_SHARDS=2 $(PYTHON) -m pytest \
 		benchmarks/bench_batching.py
+
+# The enforced regression gate: a fresh smoke run diffed against the
+# committed baselines under benchmarks/baselines/smoke (crypto-op
+# tallies gate; timing is informational).  `make bench-baselines`
+# re-records them after an intentional change.
+bench-gate: bench-smoke
+	$(PYTHON) -m repro.bench.diff --smoke --output bench-deltas.txt
+
+bench-baselines: bench-smoke
+	mkdir -p benchmarks/baselines/smoke
+	cp benchmarks/BENCH_table1_search.json \
+		benchmarks/BENCH_concurrent_clients.json \
+		benchmarks/BENCH_batching.json \
+		benchmarks/BENCH_shard_scaling.json \
+		benchmarks/BENCH_forward_privacy.json \
+		benchmarks/baselines/smoke/
 
 results: bench
 	@cat benchmarks/results.txt

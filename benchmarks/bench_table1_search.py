@@ -47,8 +47,11 @@ def test_search_comparisons_logarithmic_in_u(benchmark, master_key,
         # noisy (it depends where that tag happens to sit in the tree).
         probes = [f"kw{i:05d}" for i in range(0, u, max(1, u // 48))]
 
+        # Seed every client rng: the default SystemRandomSource makes op
+        # counts drift run to run, which the bench-diff gate would flag.
         c1, srv1, _ = make_scheme1(master_key, capacity=512,
-                                   keypair=elgamal_keypair)
+                                   keypair=elgamal_keypair,
+                                   rng=HmacDrbg(u))
         c1.store(documents)
         total = 0
         for probe in probes:
@@ -56,7 +59,8 @@ def test_search_comparisons_logarithmic_in_u(benchmark, master_key,
             total += srv1.index_comparisons_last_search
         s1_comparisons.append(total / len(probes))
 
-        c2, srv2, _ = make_scheme2(master_key, chain_length=16)
+        c2, srv2, _ = make_scheme2(master_key, chain_length=16,
+                                   rng=HmacDrbg(u))
         c2.store(documents)
         total = 0
         for probe in probes:
@@ -103,7 +107,7 @@ def test_search_comparisons_logarithmic_in_u(benchmark, master_key,
     # Timed leg: one Scheme 1 search at the largest u.
     documents = _collection(_U_VALUES[-1])
     c1, _, _ = make_scheme1(master_key, capacity=512,
-                            keypair=elgamal_keypair)
+                            keypair=elgamal_keypair, rng=HmacDrbg(0x51))
     c1.store(documents)
     benchmark(lambda: c1.search("kw00000"))
 
@@ -118,7 +122,8 @@ def test_scheme2_chain_walk_tracks_x(benchmark, master_key, report,
     walk_lengths = []
     for x in x_values:
         client, server, _ = make_scheme2(master_key, chain_length=chain_length,
-                                         lazy_counter=lazy_counter)
+                                         lazy_counter=lazy_counter,
+                                         rng=HmacDrbg(x))
         client.store([Document(0, b"seed", frozenset({"k"}))])
         client.search("k")
         new_docs = [Document(1 + i, b"x", frozenset({"k"}))
@@ -154,7 +159,7 @@ def test_scheme2_chain_walk_tracks_x(benchmark, master_key, report,
     # Timed leg: a search after x=8 un-searched updates (longest walk).
     client, _, _ = make_scheme2(master_key,
                                 chain_length=256 if _SMOKE else 4096,
-                                lazy_counter=False)
+                                lazy_counter=False, rng=HmacDrbg(0x52))
     client.store([Document(0, b"seed", frozenset({"k"}))])
     for i in range(8):
         client.add_documents([Document(1 + i, b"x", frozenset({"k"}))])

@@ -11,14 +11,21 @@ and span names it tables.  Two drift directions are flagged:
 * a name the doc tables declare that no code emits — a dashboard keyed
   on it would silently read zeros forever.
 
+The crypto-op vocabulary is part of the same contract: the per-op
+tallies in ``BENCH_<name>.json`` are the regression gate
+(``repro-bench-diff``), so an op recorded in code
+(``record("...")`` / ``_record_op("...")``) must appear in the doc's
+``op`` tables and vice versa — a renamed op would silently open a hole
+in the gate.
+
 Doc names are read from the markdown tables whose first header cell is
-``name`` (metrics) or ``span`` (spans); a cell may list several names
-separated by ``/``.  ``docs/sharding.md`` documents the router's own
-instruments the same way, so its tables count too — a name declared in
-either doc satisfies the contract, and a name declared in either doc but
-emitted nowhere is stale.  Only literal first-argument names are
-collected from code — a dynamically-built name cannot be checked and is
-ignored.
+``name`` (metrics), ``span`` (spans), or ``op`` (crypto ops); a cell may
+list several names separated by ``/``.  ``docs/sharding.md`` documents
+the router's own instruments the same way, so its tables count too — a
+name declared in either doc satisfies the contract, and a name declared
+in either doc but emitted nowhere is stale.  Only literal first-argument
+names are collected from code — a dynamically-built name cannot be
+checked and is ignored.
 """
 
 from __future__ import annotations
@@ -36,15 +43,20 @@ _EXTRA_DOCS = ("sharding.md",)
 
 _METRIC_CALLS = {"counter", "gauge", "histogram"}
 _SPAN_CALLS = {"span", "Span"}
+#: Bare-name calls that record one crypto op: ``record("hmac")`` and the
+#: ``from ... import record as _record_op`` idiom the crypto modules use.
+_OP_CALLS = {"record", "_record_op"}
 
 _CELL_NAME = re.compile(r"`([a-z][a-z0-9_.]*)`")
 
 
 def _code_names(project: Project) -> tuple[dict[str, tuple[str, int]],
+                                           dict[str, tuple[str, int]],
                                            dict[str, tuple[str, int]]]:
-    """(metrics, spans): name -> first (path, line) using it."""
+    """(metrics, spans, ops): name -> first (path, line) using it."""
     metrics: dict[str, tuple[str, int]] = {}
     spans: dict[str, tuple[str, int]] = {}
+    ops: dict[str, tuple[str, int]] = {}
     for source in project.source_files():
         if source.rel.startswith("src/repro/analysis/"):
             continue
@@ -61,13 +73,17 @@ def _code_names(project: Project) -> tuple[dict[str, tuple[str, int]],
                 metrics.setdefault(first.value, (source.rel, node.lineno))
             elif isinstance(func, ast.Name) and func.id in _SPAN_CALLS:
                 spans.setdefault(first.value, (source.rel, node.lineno))
-    return metrics, spans
+            elif isinstance(func, ast.Name) and func.id in _OP_CALLS:
+                ops.setdefault(first.value, (source.rel, node.lineno))
+    return metrics, spans, ops
 
 
-def doc_declared_names(text: str) -> tuple[dict[str, int], dict[str, int]]:
-    """(metric name -> line, span name -> line) from the doc's tables."""
+def doc_declared_names(text: str) -> tuple[dict[str, int], dict[str, int],
+                                           dict[str, int]]:
+    """(metric -> line, span -> line, op -> line) from the doc's tables."""
     metrics: dict[str, int] = {}
     spans: dict[str, int] = {}
+    ops: dict[str, int] = {}
     collecting: dict[str, int] | None = None
     for number, line in enumerate(text.splitlines(), start=1):
         stripped = line.strip()
@@ -84,17 +100,20 @@ def doc_declared_names(text: str) -> tuple[dict[str, int], dict[str, int]]:
         if head == "span":
             collecting = spans
             continue
+        if head == "op":
+            collecting = ops
+            continue
         if set(head) <= {"-", ":", " "}:
             continue  # the |---|---| separator row
         if collecting is None:
             continue
         for name in _CELL_NAME.findall(cells[0]):
             collecting.setdefault(name, number)
-    return metrics, spans
+    return metrics, spans, ops
 
 
 @checker("obs-drift",
-         "metric and span names used in src/ appear in "
+         "metric, span, and crypto-op names used in src/ appear in "
          "docs/observability.md tables, and vice versa")
 def check_obs_drift(project: Project) -> list[Finding]:
     doc_path = project.docs_dir / "observability.md"
@@ -104,18 +123,21 @@ def check_obs_drift(project: Project) -> list[Finding]:
     # the "which doc declared it" attribution for duplicated names.
     doc_metrics: dict[str, tuple[str, int]] = {}
     doc_spans: dict[str, tuple[str, int]] = {}
+    doc_ops: dict[str, tuple[str, int]] = {}
     for filename in ("observability.md",) + _EXTRA_DOCS:
         path = project.docs_dir / filename
         if not path.exists():
             continue
-        metrics, spans = doc_declared_names(
+        metrics, spans, ops = doc_declared_names(
             path.read_text(encoding="utf-8"))
         rel = f"docs/{filename}"
         for name, line in metrics.items():
             doc_metrics.setdefault(name, (rel, line))
         for name, line in spans.items():
             doc_spans.setdefault(name, (rel, line))
-    code_metrics, code_spans = _code_names(project)
+        for name, line in ops.items():
+            doc_ops.setdefault(name, (rel, line))
+    code_metrics, code_spans, code_ops = _code_names(project)
     doc_list = " or ".join(["docs/observability.md"]
                            + [f"docs/{extra}" for extra in _EXTRA_DOCS])
     findings: list[Finding] = []
@@ -132,6 +154,14 @@ def check_obs_drift(project: Project) -> list[Finding]:
                 "obs-drift", path, line,
                 f"span {name!r} is recorded but missing from {doc_list}",
                 hint="add a row to the span table"))
+    for name, (path, line) in sorted(code_ops.items()):
+        if name not in doc_ops:
+            findings.append(Finding(
+                "obs-drift", path, line,
+                f"crypto op {name!r} is recorded but missing from "
+                f"{doc_list}",
+                hint="add a row to the op vocabulary table — the "
+                     "bench-diff regression gate keys on op names"))
     for name, (rel, line) in sorted(doc_metrics.items()):
         if name not in code_metrics:
             findings.append(Finding(
@@ -146,4 +176,11 @@ def check_obs_drift(project: Project) -> list[Finding]:
                 f"documented span {name!r} is recorded nowhere in "
                 f"src/",
                 hint="delete the stale row or restore the span"))
+    for name, (rel, line) in sorted(doc_ops.items()):
+        if name not in code_ops:
+            findings.append(Finding(
+                "obs-drift", rel, line,
+                f"documented crypto op {name!r} is recorded nowhere "
+                f"in src/",
+                hint="delete the stale row or restore the op"))
     return findings

@@ -1,4 +1,11 @@
-"""Benchmark harness utilities: timing, complexity fits, table formatting."""
+"""Benchmark harness utilities: timing, fits, reporting, regression diffs.
+
+:mod:`repro.bench.diff` (the ``repro-bench-diff`` regression gate) is
+deliberately NOT re-exported here: it doubles as a ``python -m
+repro.bench.diff`` entry point, and importing it from the package
+``__init__`` would trip the runpy double-import warning on every CI run.
+Import it directly: ``from repro.bench.diff import diff_benches``.
+"""
 
 from repro.bench.fits import MODELS, FitResult, best_fit, fit_model
 from repro.bench.reporting import format_header, format_table

@@ -11,6 +11,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.metrics import nearest_rank
+
 __all__ = ["Measurement", "measure", "repeat_measure"]
 
 
@@ -30,6 +32,11 @@ def measure(fn: Callable[[], object]) -> Measurement:
 
 
 def repeat_measure(fn: Callable[[], object], repeats: int = 5) -> float:
-    """Median wall-clock seconds over *repeats* calls (discards values)."""
+    """Median wall-clock seconds over *repeats* calls (discards values).
+
+    The median is :func:`repro.obs.metrics.nearest_rank` at q=0.5 — the
+    same interpolation the metrics histograms and the bench JSON use, so
+    every percentile in the repo means the same thing.
+    """
     times = sorted(measure(fn).seconds for _ in range(repeats))
-    return times[len(times) // 2]
+    return nearest_rank(times, 0.5)

@@ -368,6 +368,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.net.tcp import TcpSseServer
     from repro.obs.opcount import OpCounter, install_recorder
+    from repro.obs.profile import (SamplingProfiler, format_span_table,
+                                   install_profiler)
     from repro.obs.trace import Tracer
 
     if args.shards < 1:
@@ -379,6 +381,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.count_ops:
         ops = OpCounter()
         previous_recorder = install_recorder(ops)
+    profiler = previous_profiler = None
+    if args.profile:
+        # Installed process-globally so PROFILE_REQUEST admin messages
+        # are answered live; the collapsed-stack file lands on shutdown.
+        profiler = SamplingProfiler(hz=args.profile_hz)
+        previous_profiler = install_profiler(profiler)
+        profiler.start()
     if args.shards > 1:
         tcp, scheme = _serve_sharded(args, metrics, tracer)
         print(f"serving {args.home} ({scheme}) on {tcp.host}:{tcp.port} "
@@ -427,6 +436,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tcp.stop(timeout=args.drain_timeout)
         if previous_recorder is not None:
             install_recorder(previous_recorder)
+        if profiler is not None:
+            profiler.stop()
+            install_profiler(previous_profiler)
+            if args.profile_out:
+                collapsed = profiler.collapsed()
+                with open(args.profile_out, "w") as fh:
+                    if collapsed:
+                        fh.write(collapsed + "\n")
+                print(f"wrote collapsed-stack profile to "
+                      f"{args.profile_out}", file=sys.stderr)
+            print(format_span_table(
+                {"span_self": profiler.span_self_times()}))
         if args.metrics or interval:
             snapshot = metrics.render_text()
             print(snapshot if snapshot else "(no requests served)")
@@ -535,6 +556,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also print the snapshot every N seconds")
     p_serve.add_argument("--trace-jsonl", default=None,
                          help="trace requests; write JSONL here on shutdown")
+    p_serve.add_argument("--profile", action="store_true",
+                         help="run the span-attributed sampling profiler "
+                              "(PROFILE admin messages answer live; "
+                              "summary printed on shutdown)")
+    p_serve.add_argument("--profile-hz", type=float, default=97.0,
+                         help="profiler sample rate (default 97)")
+    p_serve.add_argument("--profile-out", default=None,
+                         help="write the collapsed-stack (flamegraph) "
+                              "profile to this file on shutdown")
     p_serve.add_argument("--count-ops", action="store_true",
                          help="count crypto ops; print totals on shutdown")
     p_serve.set_defaults(fn=cmd_serve)

@@ -19,8 +19,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError, ReproError
-from repro.net.messages import (Message, MessageType, pack_batch,
-                                unpack_batch_result)
+from repro.net.messages import (ADMIN_MESSAGE_TYPES, Message, MessageType,
+                                pack_batch, unpack_batch_result)
 from repro.obs.metrics import NULL_METRICS
 from repro.obs.opcount import active_recorder, diff_counts as _diff
 from repro.obs.trace import span
@@ -131,10 +131,18 @@ class Channel:
                 with span("client.request", type=message.type.name) as sp:
                     ops = active_recorder()
                     before = ops.thread_snapshot()
+                    sent_before = self.stats.client_to_server_bytes
+                    recv_before = self.stats.server_to_client_bytes
                     reply = self._exchange(message)
                     delta = _diff(ops.thread_snapshot(), before)
                     if delta:
                         sp.set(ops=delta)
+                    sp.set(wire_bytes={
+                        "sent": self.stats.client_to_server_bytes
+                        - sent_before,
+                        "received": self.stats.server_to_client_bytes
+                        - recv_before,
+                    })
                     return reply
         finally:
             self.tracer.finish(trace)
@@ -204,6 +212,10 @@ class Channel:
         request_bytes = message.serialize()
         delivered = Message.deserialize(request_bytes)
         self._record("client->server", delivered, len(request_bytes))
+        if delivered.type not in ADMIN_MESSAGE_TYPES:
+            self.metrics.counter("bytes_sent_total",
+                                 type=delivered.type.name,
+                                 ).inc(len(request_bytes))
 
         started = time.perf_counter()
         try:
@@ -225,6 +237,10 @@ class Channel:
         reply_bytes = reply.serialize()
         returned = Message.deserialize(reply_bytes)
         self._record("server->client", returned, len(reply_bytes))
+        if returned.type not in ADMIN_MESSAGE_TYPES:
+            self.metrics.counter("bytes_received_total",
+                                 type=returned.type.name,
+                                 ).inc(len(reply_bytes))
 
         self.stats.rounds += 1
         self.stats.client_to_server_bytes += len(request_bytes)

@@ -35,8 +35,8 @@ from enum import IntEnum
 from repro.errors import ProtocolError
 
 __all__ = ["MessageType", "Message", "TRACE_FLAG", "TRACE_ID_SIZE",
-           "pack_batch", "pack_batch_result", "unpack_batch",
-           "unpack_batch_result", "batch_inner_types"]
+           "ADMIN_MESSAGE_TYPES", "pack_batch", "pack_batch_result",
+           "unpack_batch", "unpack_batch_result", "batch_inner_types"]
 
 # High bit of the wire type tag: "an 8-byte trace ID follows the header".
 TRACE_FLAG = 0x80
@@ -85,6 +85,22 @@ class MessageType(IntEnum):
     # Bulk transfer: N serialized inner messages in one frame
     BATCH_REQUEST = 44          # client -> server: (inner_request_bytes)*
     BATCH_RESULT = 45           # server -> client: (inner_reply_bytes)*
+
+    # Sampling-profiler admin pair, answered like STATS_REQUEST
+    PROFILE_REQUEST = 46        # client -> server: profile snapshot?
+    PROFILE_RESULT = 47         # server -> client: (json_payload,)
+
+
+#: Admin traffic served by the transport layer itself (stats/profile
+#: snapshots), never by a scheme handler.  Excluded from the
+#: ``bytes_sent_total`` / ``bytes_received_total`` bandwidth counters on
+#: every side, so fetching a snapshot never perturbs the numbers it
+#: reports — and a router's client-side totals stay exactly equal to the
+#: sums its shards report.
+ADMIN_MESSAGE_TYPES = frozenset({
+    MessageType.STATS_REQUEST, MessageType.STATS_RESULT,
+    MessageType.PROFILE_REQUEST, MessageType.PROFILE_RESULT,
+})
 
 
 @dataclass(frozen=True)

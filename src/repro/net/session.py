@@ -57,6 +57,8 @@ READ_MESSAGE_TYPES = frozenset({
     MessageType.ERROR,
     MessageType.STATS_REQUEST,
     MessageType.STATS_RESULT,
+    MessageType.PROFILE_REQUEST,
+    MessageType.PROFILE_RESULT,
     MessageType.BATCH_RESULT,
 })
 

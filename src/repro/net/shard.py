@@ -60,13 +60,14 @@ import threading
 import time
 
 from repro.errors import ParameterError, ProtocolError, ReproError
-from repro.net.messages import (Message, MessageType, pack_batch,
-                                pack_batch_result, unpack_batch,
+from repro.net.messages import (ADMIN_MESSAGE_TYPES, Message, MessageType,
+                                pack_batch, pack_batch_result, unpack_batch,
                                 unpack_batch_result)
 from repro.net.session import WorkerPool
 from repro.net.tcp import (TcpSseServer, recv_frame, request_stats,
                            send_frame)
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.profile import profile_snapshot
 from repro.obs.trace import Span, current_trace, span
 
 __all__ = ["HashRing", "RouteKind", "BASE_ROUTES", "routes_for_scheme",
@@ -169,6 +170,11 @@ BASE_ROUTES: dict[MessageType, RouteKind] = {
     MessageType.STATS_RESULT: RouteKind.PIN,
     MessageType.BATCH_REQUEST: RouteKind.ROUTER_LOCAL,
     MessageType.BATCH_RESULT: RouteKind.PIN,
+    # The profiler snapshot describes the answering *process*: the router
+    # answers for itself (per-shard profiles come from each shard's own
+    # admin port, like per-shard stats).
+    MessageType.PROFILE_REQUEST: RouteKind.ROUTER_LOCAL,
+    MessageType.PROFILE_RESULT: RouteKind.PIN,
 }
 
 def routes_for_scheme(scheme: str | None) -> dict[MessageType, RouteKind]:
@@ -435,6 +441,13 @@ class ShardRouter:
             body = json.dumps({"shards": self.shard_stats()},
                               sort_keys=True).encode("utf-8")
             return Message(MessageType.STATS_RESULT, (body,))
+        if message.type is MessageType.PROFILE_REQUEST:
+            # Router-local, like STATS: the snapshot describes this
+            # process.  (Over TCP the RouterServer already answers it
+            # pre-lock; this path serves in-process channel embeddings.)
+            body = json.dumps(profile_snapshot(),
+                              sort_keys=True).encode("utf-8")
+            return Message(MessageType.PROFILE_RESULT, (body,))
         plan = plan_message(self._routes, self.ring, message)
         replies, failures = self._scatter(plan.parts, message.type.name,
                                           message.trace_id)
@@ -519,14 +532,32 @@ class ShardRouter:
     def _call_shard(self, link, message: Message, type_name: str,
                     trace) -> Message:
         started = time.perf_counter()
+        reply: Message | None = None
         try:
-            return link.call(message)
+            reply = link.call(message)
+            return reply
         finally:
+            # Router-leg bandwidth, counted only for completed calls so
+            # the totals reconcile exactly with what the shards report
+            # (a shard counts a frame only once fully received/sent).
+            # Distinct names from the client-facing ``bytes_*_total``
+            # pair: the router's server half shares this registry.
+            if reply is not None \
+                    and message.type not in ADMIN_MESSAGE_TYPES:
+                self.metrics.counter(
+                    "router_bytes_sent_total",
+                    type=type_name).inc(message.wire_size)
+                self.metrics.counter(
+                    "router_bytes_received_total",
+                    type=reply.type.name).inc(reply.wire_size)
             if trace is not None:
+                attrs = {"shard": link.shard_id, "type": type_name}
+                if reply is not None:
+                    attrs["wire_bytes"] = {"sent": message.wire_size,
+                                           "received": reply.wire_size}
                 trace.add_span(Span(
                     "shard.handle", started,
-                    time.perf_counter() - started,
-                    {"shard": link.shard_id, "type": type_name}))
+                    time.perf_counter() - started, attrs))
 
     def shard_stats(self) -> list[dict]:
         """One stats snapshot per shard (an error marker for dead ones)."""
@@ -570,13 +601,26 @@ class RouterServer(TcpSseServer):
     * ``stats()`` appends every shard's snapshot under ``"shards"``.
     """
 
-    def _handle_locked(self, message: Message, type_name: str) -> Message:
-        with span("server.handle", type=type_name):
-            return self._handler.handle(message)
+    def _handle_locked(self, message: Message, type_name: str,
+                       request_bytes: int | None = None) -> Message:
+        with span("server.handle", type=type_name) as sp:
+            reply = self._handler.handle(message)
+            if request_bytes is not None:
+                sp.set(wire_bytes={"received": request_bytes,
+                                   "sent": reply.wire_size})
+            return reply
 
     def stats(self) -> dict:
         payload = super().stats()
         payload["shards"] = self._handler.shard_stats()
+        # The router's *client-side* (router->shard leg) rollups, beside
+        # the client-facing "wire" pair from the base class.
+        payload["router_wire"] = {
+            "bytes_sent_total":
+                self.metrics.total("router_bytes_sent_total"),
+            "bytes_received_total":
+                self.metrics.total("router_bytes_received_total"),
+        }
         return payload
 
 

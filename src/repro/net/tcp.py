@@ -47,15 +47,16 @@ import threading
 import time
 
 from repro.errors import ProtocolError, ReproError
-from repro.net.messages import Message, MessageType
+from repro.net.messages import ADMIN_MESSAGE_TYPES, Message, MessageType
 from repro.net.session import (ReadWriteLock, SessionManager, WorkerPool,
                                is_read_request)
 from repro.obs.metrics import Metrics, NULL_METRICS
 from repro.obs.opcount import active_recorder, diff_counts
+from repro.obs.profile import profile_snapshot
 from repro.obs.trace import NULL_TRACER, Span, current_trace, span
 
 __all__ = ["TcpSseServer", "TcpClientTransport", "send_frame", "recv_frame",
-           "request_stats", "DEFAULT_MAX_WORKERS"]
+           "request_stats", "request_profile", "DEFAULT_MAX_WORKERS"]
 
 _MAX_FRAME = 64 * 1024 * 1024  # refuse absurd frames rather than OOM
 
@@ -187,8 +188,13 @@ class TcpSseServer:
                                               session, received_s).result()
                 except ReproError:
                     return  # pool shut down mid-request: drop the session
+                payload = reply.serialize()
+                if reply.type not in ADMIN_MESSAGE_TYPES:
+                    self.metrics.counter(
+                        "bytes_sent_total",
+                        type=reply.type.name).inc(len(payload))
                 try:
-                    send_frame(session.socket, reply.serialize())
+                    send_frame(session.socket, payload)
                 except OSError:
                     return
         finally:
@@ -207,6 +213,13 @@ class TcpSseServer:
                 # handler and outside the state lock: always answerable,
                 # even while a long write holds the index exclusively.
                 return self._stats_reply()
+            if message.type is MessageType.PROFILE_REQUEST:
+                # Same transport-layer treatment: the profiler snapshot
+                # must be fetchable while the hot path it is profiling
+                # holds the state lock.
+                return self._profile_reply()
+            self.metrics.counter("bytes_received_total",
+                                 type=type_name).inc(len(frame))
             self.metrics.histogram("queue_wait_seconds").observe(
                 started - received_s)
             if self.tracer is not None and message.trace_id is not None:
@@ -214,7 +227,7 @@ class TcpSseServer:
                 trace.add_span(Span("server.queue_wait", received_s,
                                     started - received_s))
             with tracer.activate(trace):
-                reply = self._handle_locked(message, type_name)
+                reply = self._handle_locked(message, type_name, len(frame))
             session.requests_handled += 1
             return reply
         except ReproError as exc:
@@ -231,7 +244,8 @@ class TcpSseServer:
             self.metrics.histogram("request_seconds",
                                    type=type_name).observe(elapsed)
 
-    def _handle_locked(self, message: Message, type_name: str) -> Message:
+    def _handle_locked(self, message: Message, type_name: str,
+                       request_bytes: int | None = None) -> Message:
         """Run the handler under the right lock side, measuring the waits.
 
         A batch takes its lock **once** for all items: read if every inner
@@ -263,6 +277,9 @@ class TcpSseServer:
                     for op, n in delta.items():
                         self.metrics.counter("crypto_ops_total", op=op,
                                              type=type_name).inc(n)
+                if request_bytes is not None:
+                    sp.set(wire_bytes={"received": request_bytes,
+                                       "sent": reply.wire_size})
             return reply
         finally:
             release()
@@ -282,6 +299,14 @@ class TcpSseServer:
                      "active_jobs": self._pool.active_jobs,
                      "size": self._pool.size},
             "ops": active_recorder().snapshot(),
+            # Cross-label rollups of the per-type bandwidth counters —
+            # the shard/router reconciliation reads these directly.
+            "wire": {
+                "bytes_sent_total":
+                    self.metrics.total("bytes_sent_total"),
+                "bytes_received_total":
+                    self.metrics.total("bytes_received_total"),
+            },
         }
         if self.tracer is not None:
             payload["traces"] = {
@@ -295,6 +320,15 @@ class TcpSseServer:
         """Assemble the STATS_RESULT payload: one JSON document."""
         body = json.dumps(self.stats(), sort_keys=True).encode("utf-8")
         return Message(MessageType.STATS_RESULT, (body,))
+
+    def _profile_reply(self) -> Message:
+        """Assemble the PROFILE_RESULT payload from the global profiler.
+
+        ``{"enabled": false}`` when the process runs no profiler — the
+        message is always answerable, like STATS_REQUEST.
+        """
+        body = json.dumps(profile_snapshot(), sort_keys=True).encode("utf-8")
+        return Message(MessageType.PROFILE_RESULT, (body,))
 
     def stop(self, timeout: float | None = None) -> None:
         """Gracefully stop: refuse new connections, drain, close, join.
@@ -404,4 +438,18 @@ def request_stats(host: str, port: int, timeout_s: float = 5.0) -> dict:
     with TcpClientTransport(host, port, timeout_s=timeout_s) as transport:
         reply = transport.handle(Message(MessageType.STATS_REQUEST))
         (body,) = reply.expect(MessageType.STATS_RESULT, 1)
+        return json.loads(body.decode("utf-8"))
+
+
+def request_profile(host: str, port: int, timeout_s: float = 5.0) -> dict:
+    """Fetch the profiler snapshot from a running :class:`TcpSseServer`.
+
+    One PROFILE_REQUEST over a short-lived connection; the decoded JSON
+    carries ``enabled`` plus — when the serving process installed a
+    :class:`~repro.obs.profile.SamplingProfiler` (``serve --profile``) —
+    per-span self times and the collapsed-stack profile.
+    """
+    with TcpClientTransport(host, port, timeout_s=timeout_s) as transport:
+        reply = transport.handle(Message(MessageType.PROFILE_REQUEST))
+        (body,) = reply.expect(MessageType.PROFILE_RESULT, 1)
         return json.loads(body.decode("utf-8"))

@@ -11,7 +11,10 @@ protocols needs three more instruments:
   retries, server queue, lock, handler, storage flush);
 * :mod:`repro.obs.opcount` — exact crypto-operation counts (AES blocks,
   PRF evaluations, modexps, ...) so the paper's Table 1 asymptotics can
-  be asserted instead of inferred from wall-clock noise.
+  be asserted instead of inferred from wall-clock noise;
+* :mod:`repro.obs.profile` — a span-attributed sampling profiler that
+  answers "which code is hot *inside* a span", with collapsed-stack
+  (flamegraph) export and per-span self time.
 
 All three share the same design rule: the default is a null object whose
 overhead is a single global or thread-local read, so un-instrumented runs
@@ -19,10 +22,12 @@ pay nothing.
 """
 
 from repro.obs.metrics import (Counter, Gauge, Histogram, Metrics,
-                               NULL_METRICS, NullMetrics)
+                               NULL_METRICS, NullMetrics, nearest_rank)
 from repro.obs.opcount import (NULL_OPS, NullOpCounter, OpCounter,
                                active_recorder, count_ops, diff_counts,
                                install_recorder, record)
+from repro.obs.profile import (SamplingProfiler, active_profiler,
+                               install_profiler, profile_snapshot)
 from repro.obs.trace import (NULL_TRACER, NullTracer, Span, Trace, Tracer,
                              current_trace, span)
 
@@ -33,6 +38,7 @@ __all__ = [
     "Metrics",
     "NULL_METRICS",
     "NullMetrics",
+    "nearest_rank",
     "NULL_OPS",
     "NullOpCounter",
     "OpCounter",
@@ -41,6 +47,10 @@ __all__ = [
     "diff_counts",
     "install_recorder",
     "record",
+    "SamplingProfiler",
+    "active_profiler",
+    "install_profiler",
+    "profile_snapshot",
     "NULL_TRACER",
     "NullTracer",
     "Span",

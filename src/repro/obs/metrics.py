@@ -30,13 +30,31 @@ from typing import Iterable
 from repro.errors import ParameterError
 
 __all__ = ["Counter", "Gauge", "Histogram", "Metrics", "NullMetrics",
-           "NULL_METRICS"]
+           "NULL_METRICS", "nearest_rank"]
 
 # Histograms keep a bounded window of raw samples for quantiles.  Past the
 # cap, new observations overwrite the window round-robin: quantiles then
 # reflect the most recent _SAMPLE_CAP observations, which is what a live
 # dashboard wants anyway.  Count/sum/min/max always cover every sample.
 _SAMPLE_CAP = 4096
+
+
+def nearest_rank(ordered: list[float], q: float) -> float:
+    """Quantile ``q`` in [0, 1] of an already-sorted sample list.
+
+    Nearest-rank interpolation: ``ordered[round(q * (n - 1))]``, clamped
+    to the valid index range; 0.0 for an empty list.  This is the single
+    percentile definition shared by :class:`Histogram`,
+    ``repro.bench.timing``, and the benchmark conftest, so a p95 in a
+    ``BENCH_<name>.json`` means exactly what a p95 in ``stats()`` means
+    (pinned by ``tests/obs/test_metrics.py``).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ParameterError("quantile must be within [0, 1]")
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
 
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
@@ -144,14 +162,9 @@ class Histogram:
 
         Nearest-rank on the sorted window; 0.0 when nothing was observed.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ParameterError("quantile must be within [0, 1]")
         with self._lock:
             ordered = sorted(self._samples)
-        if not ordered:
-            return 0.0
-        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-        return ordered[rank]
+        return nearest_rank(ordered, q)
 
     @property
     def p50(self) -> float:
@@ -195,6 +208,26 @@ class Metrics:
     def counter(self, name: str, **labels: str) -> Counter:
         """Get or create the counter (name, labels)."""
         return self._get(Counter, name, labels)
+
+    def total(self, name: str) -> int:
+        """Sum of one counter's value across all of its label sets.
+
+        The cross-label rollup the bandwidth assertions need: e.g.
+        ``total("bytes_sent_total")`` over every ``{type=...}`` series.
+        Returns 0 for an unknown name; raises if *name* is registered as
+        a non-counter instrument.
+        """
+        with self._lock:
+            items = list(self._instruments.items())
+        total = 0
+        for (inst_name, _), inst in items:
+            if inst_name != name:
+                continue
+            if not isinstance(inst, Counter):
+                raise ParameterError(
+                    f"metric {name!r} is {type(inst).__name__}, not Counter")
+            total += inst.value
+        return total
 
     def gauge(self, name: str, **labels: str) -> Gauge:
         """Get or create the gauge (name, labels)."""
@@ -274,6 +307,10 @@ class NullMetrics:
 
     gauge = counter
     histogram = counter
+
+    def total(self, name: str) -> int:
+        """Always zero."""
+        return 0
 
     def collect(self):
         """No instruments, ever."""

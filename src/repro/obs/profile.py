@@ -1,0 +1,302 @@
+"""Span-attributed sampling profiler: where does wall time actually go?
+
+Tracing (:mod:`repro.obs.trace`) answers "how long did span X take";
+op accounting (:mod:`repro.obs.opcount`) answers "how many primitives ran".
+Neither answers "which *code* is hot inside a span" — the question every
+hot-path optimization on the ROADMAP starts from.  This module does, with
+a deterministic sampling profiler:
+
+* a background thread wakes on a fixed period (``1/hz`` seconds, no
+  randomization — run-to-run sample counts are stable for stable
+  workloads) and walks :func:`sys._current_frames`;
+* every sampled stack is attributed to the sampled thread's innermost
+  open span (via the span stacks :mod:`repro.obs.trace` maintains), so
+  per-span *self time* falls out of the sample counts;
+* aggregated stacks export in collapsed-stack ("flamegraph") format —
+  one ``frame;frame;frame count`` line per distinct stack, root first,
+  with the owning span as the root frame — ready for
+  ``flamegraph.pl`` / speedscope / inferno without any converter.
+
+Like the op recorder, the installed profiler is process-global
+(:func:`install_profiler` / :func:`active_profiler`): the TCP server
+answers ``PROFILE_REQUEST`` admin messages from whatever profiler the
+process runs, with zero constructor plumbing.  ``python -m repro.cli
+serve --profile`` starts one for the serving process.
+
+Usage::
+
+    profiler = SamplingProfiler(hz=97)
+    with profiler:
+        run_workload()
+    print(profiler.collapsed())          # flamegraph-format lines
+    profiler.span_self_times()           # {span: {"samples": n, "seconds": s}}
+
+Overhead: each sample walks every live thread's stack once — at the
+default 97 Hz that is well under 1% for the worker-pool sizes used here.
+Threads parked in ``queue.get`` / ``accept`` are filtered by the idle
+predicate so they do not drown the signal in wait frames.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+from repro.errors import ParameterError
+from repro.obs.trace import span_stacks
+
+__all__ = ["SamplingProfiler", "active_profiler", "format_span_table",
+           "install_profiler", "profile_snapshot"]
+
+#: Frames from these functions mean "parked, waiting for work" — samples
+#: whose leaf lands here carry no optimization signal and are tallied
+#: separately as idle instead of polluting the hot-stack output.
+_IDLE_LEAVES = frozenset({
+    "wait", "get", "accept", "recv", "recv_into", "select", "poll",
+    "_recv_exactly", "sleep", "_wait_for_tstate_lock", "join",
+})
+
+#: No span open on the sampled thread.
+_NO_SPAN = "(no span)"
+
+
+def _frame_label(frame) -> str:
+    """``module.function`` — stable across machines (no file paths)."""
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}.{frame.f_code.co_name}"
+
+
+class SamplingProfiler:
+    """Deterministic wall-clock sampler attributing samples to spans.
+
+    ``hz`` is the target sample rate; the sampler thread sleeps a fixed
+    ``1/hz`` period between walks (an :class:`threading.Event` wait, so
+    :meth:`stop` returns promptly).  ``max_stacks`` bounds the number of
+    *distinct* collapsed stacks retained — past it, new stacks collapse
+    into a ``(truncated)`` bucket so a pathological workload cannot grow
+    the profile without bound.
+    """
+
+    def __init__(self, hz: float = 97.0, *, max_stacks: int = 10_000,
+                 max_depth: int = 64) -> None:
+        if hz <= 0:
+            raise ParameterError("profiler rate must be positive")
+        if max_stacks < 1 or max_depth < 1:
+            raise ParameterError("profiler retention bounds must be positive")
+        self.hz = hz
+        self.period_s = 1.0 / hz
+        self._max_stacks = max_stacks
+        self._max_depth = max_depth
+        self._lock = threading.Lock()
+        # (span_name, (frame, frame, ...)) -> sample count; frames root
+        # first.  Idle samples count per span without a stack.
+        self._stacks: dict[tuple[str, tuple[str, ...]], int] = {}
+        self._span_samples: dict[str, int] = {}
+        self._idle_samples = 0
+        self.samples_total = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_s: float | None = None
+        self.wall_s = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True while the sampler thread is active."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start sampling (idempotent) and enable span-stack tracking."""
+        if self.running:
+            return
+        from repro.obs.trace import enable_span_tracking
+
+        enable_span_tracking(True)
+        self._stop.clear()
+        self._started_s = time.perf_counter()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-profiler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling and release span-stack tracking (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        if self._started_s is not None:
+            self.wall_s += time.perf_counter() - self._started_s
+            self._started_s = None
+        from repro.obs.trace import enable_span_tracking
+
+        enable_span_tracking(False)
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sampling -----------------------------------------------------------
+
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        while not self._stop.wait(self.period_s):
+            self._sample_once(own_ident)
+
+    def _sample_once(self, skip_ident: int) -> None:
+        spans = span_stacks()
+        frames = sys._current_frames()
+        samples: list[tuple[str, tuple[str, ...], bool]] = []
+        for ident, frame in frames.items():
+            if ident == skip_ident:
+                continue
+            idle = frame.f_code.co_name in _IDLE_LEAVES
+            stack: list[str] = []
+            depth = 0
+            while frame is not None and depth < self._max_depth:
+                stack.append(_frame_label(frame))
+                frame = frame.f_back
+                depth += 1
+            stack.reverse()
+            open_spans = spans.get(ident)
+            span_name = open_spans[-1] if open_spans else _NO_SPAN
+            samples.append((span_name, tuple(stack), idle))
+        del frames  # drop frame references promptly
+        with self._lock:
+            for span_name, stack, idle in samples:
+                self.samples_total += 1
+                if idle:
+                    self._idle_samples += 1
+                    continue
+                self._span_samples[span_name] = \
+                    self._span_samples.get(span_name, 0) + 1
+                key = (span_name, stack)
+                if key not in self._stacks \
+                        and len(self._stacks) >= self._max_stacks:
+                    key = (span_name, ("(truncated)",))
+                self._stacks[key] = self._stacks.get(key, 0) + 1
+
+    # -- reading results ----------------------------------------------------
+
+    def span_self_times(self) -> dict[str, dict[str, float]]:
+        """Per-span self time: busy samples whose innermost span it was.
+
+        ``{span: {"samples": n, "seconds": n * period}}``, sorted by
+        descending sample count.  Seconds are the standard sampling
+        estimate (count × period); idle (parked-thread) samples are
+        excluded entirely.
+        """
+        with self._lock:
+            counts = dict(self._span_samples)
+        return {
+            name: {"samples": count, "seconds": count * self.period_s}
+            for name, count in sorted(counts.items(),
+                                      key=lambda kv: -kv[1])
+        }
+
+    def collapsed(self, *, with_spans: bool = True) -> str:
+        """The profile in collapsed-stack (flamegraph) format.
+
+        One line per distinct stack: ``frame;frame;... count``, root
+        first.  With *with_spans* (default) the owning span name is
+        prepended as the root frame, so a flamegraph groups by span
+        before code — self-time per span is the width of its subtree.
+        """
+        with self._lock:
+            items = sorted(self._stacks.items())
+        lines = []
+        for (span_name, stack), count in items:
+            frames = (span_name,) + stack if with_spans else stack
+            lines.append(f"{';'.join(frames)} {count}")
+        return "\n".join(lines)
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary: rate, totals, span self times, hot stacks.
+
+        The payload a ``PROFILE_REQUEST`` admin message is answered with
+        (see :meth:`repro.net.tcp.TcpSseServer.stats`).
+        """
+        wall = self.wall_s
+        if self._started_s is not None:
+            wall += time.perf_counter() - self._started_s
+        with self._lock:
+            idle = self._idle_samples
+        return {
+            "hz": self.hz,
+            "running": self.running,
+            "wall_s": wall,
+            "samples_total": self.samples_total,
+            "idle_samples": idle,
+            "span_self": self.span_self_times(),
+            "collapsed": self.collapsed(),
+        }
+
+    def reset(self) -> None:
+        """Drop every sample collected so far (the rate is kept)."""
+        with self._lock:
+            self._stacks.clear()
+            self._span_samples.clear()
+            self._idle_samples = 0
+            self.samples_total = 0
+            self.wall_s = 0.0
+            if self._started_s is not None:
+                self._started_s = time.perf_counter()
+
+
+_active: SamplingProfiler | None = None
+
+
+def active_profiler() -> SamplingProfiler | None:
+    """The process-global profiler, if one is installed."""
+    return _active
+
+
+def install_profiler(profiler: SamplingProfiler | None
+                     ) -> SamplingProfiler | None:
+    """Install *profiler* process-globally; returns the previous one.
+
+    Installation is process-wide like the op recorder's: the TCP server
+    answers ``PROFILE_REQUEST`` from here, so embedding layers never
+    thread a profiler through constructors.  Pass ``None`` to uninstall.
+    """
+    global _active
+    previous = _active
+    _active = profiler
+    return previous
+
+
+def profile_snapshot() -> dict:
+    """The installed profiler's snapshot, or a disabled marker.
+
+    Always JSON-serializable — this is the ``PROFILE_RESULT`` payload.
+    """
+    profiler = _active
+    if profiler is None:
+        return {"enabled": False}
+    payload = profiler.snapshot()
+    payload["enabled"] = True
+    return payload
+
+
+def format_span_table(snapshot: dict) -> str:
+    """Human-readable per-span self-time table from a snapshot dict."""
+    if not snapshot.get("enabled", True):
+        return "(no profiler installed)"
+    rows = [f"{'span':<24} {'samples':>8} {'self_s':>10}"]
+    for name, row in snapshot.get("span_self", {}).items():
+        rows.append(f"{name:<24} {row['samples']:>8} "
+                    f"{row['seconds']:>10.3f}")
+    return "\n".join(rows)
+
+
+if __name__ == "__main__":  # pragma: no cover - debugging helper
+    with SamplingProfiler(hz=199) as profiler:
+        time.sleep(1.0)
+    print(json.dumps(profiler.snapshot(), indent=2))

@@ -48,12 +48,50 @@ from collections import deque
 from repro.errors import ParameterError
 
 __all__ = ["Span", "Trace", "Tracer", "NullTracer", "NULL_TRACER",
-           "TRACE_ID_SIZE", "current_trace", "span"]
+           "TRACE_ID_SIZE", "current_trace", "span",
+           "enable_span_tracking", "span_stack", "span_stacks"]
 
 #: Wire width of a trace ID in bytes.
 TRACE_ID_SIZE = 8
 
 _thread = threading.local()  # .trace — the Trace active on this thread
+
+# Cross-thread span visibility for the sampling profiler: every thread
+# with at least one open span keeps its stack of span names here, keyed
+# by thread ident — the same key :func:`sys._current_frames` uses, so
+# the profiler can join "what code is running" with "which span is it
+# in".  Entries are appended/popped only by the owning thread (the GIL
+# makes each mutation atomic); the profiler reads them best-effort.
+# Stacks are maintained whenever a trace is active, and — so profiling
+# works without tracing — whenever :func:`enable_span_tracking` turned
+# tracking on globally.
+_span_stacks: dict[int, list[str]] = {}
+_span_tracking = False
+
+
+def enable_span_tracking(enabled: bool) -> None:
+    """Maintain per-thread span stacks even for untraced requests.
+
+    The sampling profiler (:mod:`repro.obs.profile`) flips this on while
+    it runs so samples can be attributed to the active span without a
+    tracer attached.  Spans already opened keep their enter-time
+    decision; only new spans see the change.
+    """
+    global _span_tracking
+    _span_tracking = enabled
+
+
+def span_stack(thread_ident: int) -> tuple[str, ...]:
+    """The open-span names of one thread, outermost first (may be empty)."""
+    stack = _span_stacks.get(thread_ident)
+    # Copy defensively: the owning thread may push/pop concurrently.
+    return tuple(stack) if stack else ()
+
+
+def span_stacks() -> dict[int, tuple[str, ...]]:
+    """Snapshot of every thread's open-span stack, keyed by thread ident."""
+    return {ident: tuple(stack)
+            for ident, stack in list(_span_stacks.items()) if stack}
 
 
 class Span:
@@ -137,21 +175,37 @@ class _SpanContext:
     thread-local read and nothing is recorded.
     """
 
-    __slots__ = ("_name", "attrs", "_trace", "_start")
+    __slots__ = ("_name", "attrs", "_trace", "_start", "_stacked")
 
     def __init__(self, name: str, attrs: dict) -> None:
         self._name = name
         self.attrs = attrs
         self._trace: Trace | None = None
         self._start = 0.0
+        self._stacked = False
 
     def __enter__(self) -> "_SpanContext":
         self._trace = current_trace()
-        if self._trace is not None:
+        if self._trace is not None or _span_tracking:
             self._start = time.perf_counter()
+            ident = threading.get_ident()
+            stack = _span_stacks.get(ident)
+            if stack is None:
+                stack = _span_stacks[ident] = []
+            stack.append(self._name)
+            self._stacked = True
         return self
 
     def __exit__(self, *exc_info) -> None:
+        if self._stacked:
+            ident = threading.get_ident()
+            stack = _span_stacks.get(ident)
+            if stack:
+                stack.pop()
+                if not stack:
+                    # Drop the empty entry so idle/retired threads do not
+                    # accumulate in the registry for the process lifetime.
+                    _span_stacks.pop(ident, None)
         if self._trace is not None:
             self._trace.add_span(Span(
                 self._name, self._start,

@@ -279,6 +279,87 @@ class TestKillOneShard:
             # 12 keywords across 3 shards: both outcomes must occur.
             assert outcomes["error"] > 0, outcomes
             assert outcomes["ok"] > 0, outcomes
+
+            # stats() must keep answering with the shard down: the dead
+            # shard degrades to an error marker, live shards still report
+            # full snapshots.
+            payload = service.stats()
+            assert len(payload["shards"]) == 3
+            dead = [s for s in payload["shards"] if "error" in s]
+            live = [s for s in payload["shards"] if "error" not in s]
+            assert len(dead) == 1
+            assert dead[0]["shard"] == 0
+            assert isinstance(dead[0]["error"], str) and dead[0]["error"]
+            assert "metrics" not in dead[0]
+            assert len(live) == 2
+            for entry in live:
+                assert entry["shard"] in (1, 2)
+                assert "metrics" in entry
+                assert entry["wire"]["bytes_sent_total"] > 0
+            # shard_stats() is the same list the router payload embeds.
+            direct = service.router._handler.shard_stats()
+            assert [s["shard"] for s in direct] == [0, 1, 2]
+            assert sum("error" in s for s in direct) == 1
+            client.close()
+        finally:
+            service.stop()
+
+
+class TestWireBandwidth:
+    def test_per_shard_bytes_reconcile_with_router_legs(self, tmp_path):
+        service = start_service("scheme2", shards=2, data_dir=tmp_path,
+                                seed=11, shard_mode="thread")
+        try:
+            client = make_client(
+                "scheme2", seed=11,
+                channel=Channel(TcpClientTransport(*service.addr)))
+            client.store(_DOCS)
+            for kw in _KWS:
+                client.search(kw)
+            payload = service.stats()
+            router_wire = payload["router_wire"]
+            assert router_wire["bytes_sent_total"] > 0
+            assert router_wire["bytes_received_total"] > 0
+            # Every byte the router pushed to (got from) the shards is a
+            # byte some shard received (sent): only completed exchanges
+            # count, on both sides, so the totals reconcile exactly.
+            shard_sent = sum(s["wire"]["bytes_sent_total"]
+                             for s in payload["shards"])
+            shard_received = sum(s["wire"]["bytes_received_total"]
+                                 for s in payload["shards"])
+            assert shard_sent == router_wire["bytes_received_total"]
+            assert shard_received == router_wire["bytes_sent_total"]
+            # The tag space of three documents spans both shards.
+            assert all(s["wire"]["bytes_received_total"] > 0
+                       for s in payload["shards"])
+            # The client-facing leg counts too, and with distinct names:
+            # the router's own serving totals live under "wire".
+            assert payload["wire"]["bytes_received_total"] > 0
+            # Fetching snapshots is admin traffic — excluded everywhere —
+            # so observing the totals does not move them.
+            payload2 = service.stats()
+            assert payload2["router_wire"] == router_wire
+            assert payload2["wire"] == payload["wire"]
+            client.close()
+        finally:
+            service.stop()
+
+    def test_per_type_byte_counters_in_metrics(self, tmp_path):
+        service = start_service("scheme2", shards=2, data_dir=tmp_path,
+                                seed=12, shard_mode="thread")
+        try:
+            client = make_client(
+                "scheme2", seed=12,
+                channel=Channel(TcpClientTransport(*service.addr)))
+            client.store(_DOCS)
+            client.search(_KWS[0])
+            metrics = service.stats()["metrics"]
+            sent_types = {key for key in metrics
+                          if key.startswith("router_bytes_sent_total")}
+            assert any("S2_SEARCH_REQUEST" in key for key in sent_types)
+            assert not any("STATS" in key or "PROFILE" in key
+                           for key in metrics
+                           if key.startswith(("bytes_", "router_bytes_")))
             client.close()
         finally:
             service.stop()

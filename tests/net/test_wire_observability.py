@@ -1,0 +1,152 @@
+"""Wire bandwidth counters and the PROFILE admin message, end to end."""
+
+import time
+
+import pytest
+
+from repro.core import Document
+from repro.core.scheme2 import Scheme2Client, Scheme2Server
+from repro.net.channel import Channel
+from repro.net.messages import (ADMIN_MESSAGE_TYPES, Message, MessageType)
+from repro.net.tcp import (TcpClientTransport, TcpSseServer, request_profile,
+                           request_stats)
+from repro.obs.metrics import Metrics
+from repro.obs.profile import SamplingProfiler, install_profiler
+from repro.obs.trace import Tracer
+
+_DOCS = [Document(i, b"body-%d" % i, frozenset({"kw", "kw-%d" % i}))
+         for i in range(16)]
+
+
+@pytest.fixture()
+def tcp_pair(master_key, rng):
+    """Scheme-2 client/server over real TCP, separate metric registries."""
+    server_metrics = Metrics()
+    tcp = TcpSseServer(Scheme2Server(max_walk=64), metrics=server_metrics)
+    tcp.start()
+    transport = TcpClientTransport(tcp.host, tcp.port)
+    client_metrics = Metrics()
+    channel = Channel(transport, metrics=client_metrics)
+    client = Scheme2Client(master_key, channel, chain_length=64, rng=rng)
+    yield client, channel, tcp, client_metrics, server_metrics
+    transport.close()
+    tcp.stop()
+
+
+class TestAdminMessageSet:
+    def test_admin_set_is_exactly_the_stats_and_profile_pairs(self):
+        assert ADMIN_MESSAGE_TYPES == {
+            MessageType.STATS_REQUEST, MessageType.STATS_RESULT,
+            MessageType.PROFILE_REQUEST, MessageType.PROFILE_RESULT,
+        }
+
+    def test_profile_messages_round_trip(self):
+        # (Also covered by the wholesale round-trip in test_messages.py.)
+        for mtype in (MessageType.PROFILE_REQUEST,
+                      MessageType.PROFILE_RESULT):
+            message = Message(mtype, (b"payload",))
+            assert Message.deserialize(message.serialize()).type is mtype
+
+
+class TestBandwidthCounters:
+    def test_client_and_server_totals_mirror_exactly(self, tcp_pair):
+        client, channel, tcp, client_metrics, server_metrics = tcp_pair
+        client.store(_DOCS)
+        for _ in range(3):
+            assert client.search("kw").doc_ids == list(range(16))
+        assert client_metrics.total("bytes_sent_total") > 0
+        # Same frames, counted on both ends of the socket.
+        assert (client_metrics.total("bytes_sent_total")
+                == server_metrics.total("bytes_received_total"))
+        assert (client_metrics.total("bytes_received_total")
+                == server_metrics.total("bytes_sent_total"))
+
+    def test_stats_payload_carries_wire_totals(self, tcp_pair):
+        client, _, tcp, _, server_metrics = tcp_pair
+        client.store(_DOCS[:2])
+        wire = tcp.stats()["wire"]
+        assert wire["bytes_sent_total"] \
+            == server_metrics.total("bytes_sent_total") > 0
+        assert wire["bytes_received_total"] \
+            == server_metrics.total("bytes_received_total") > 0
+
+    def test_admin_traffic_never_counts(self, tcp_pair):
+        client, _, tcp, client_metrics, server_metrics = tcp_pair
+        client.store(_DOCS[:2])
+        before = (client_metrics.total("bytes_sent_total"),
+                  server_metrics.total("bytes_sent_total"))
+        for _ in range(3):
+            request_stats(tcp.host, tcp.port)
+            request_profile(tcp.host, tcp.port)
+        after = (client_metrics.total("bytes_sent_total"),
+                 server_metrics.total("bytes_sent_total"))
+        assert after == before
+        snapshot = server_metrics.snapshot()
+        assert not any(("STATS" in key or "PROFILE" in key)
+                       for key in snapshot if key.startswith("bytes_"))
+
+    def test_wire_bytes_land_on_spans(self, tcp_pair, master_key, rng):
+        client, channel, tcp, _, _ = tcp_pair
+        tracer = Tracer()
+        channel.tracer = tcp.tracer = tracer
+        client.store(_DOCS[:2])
+        client.search("kw")
+        finished = tracer.finished_traces()
+        assert finished
+        client_spans = [s for t in finished for s in t.find_spans(
+            "client.request") if "wire_bytes" in s.attrs]
+        assert client_spans
+        for s in client_spans:
+            assert s.attrs["wire_bytes"]["sent"] > 0
+            assert s.attrs["wire_bytes"]["received"] > 0
+
+
+class TestProfileOverTcp:
+    def test_unprofiled_server_reports_disabled(self, tcp_pair):
+        _, _, tcp, _, _ = tcp_pair
+        assert request_profile(tcp.host, tcp.port) == {"enabled": False}
+
+    def test_search_load_attributes_to_server_handle(self):
+        # SWP's search scans the whole corpus server-side, so under
+        # search load the profiler must rank server.handle as the top
+        # self-time span — the acceptance check for span attribution.
+        from repro.core.registry import make_client, make_server
+
+        tcp = TcpSseServer(make_server("swp", seed=3))
+        tcp.start()
+        transport = TcpClientTransport(tcp.host, tcp.port)
+        profiler = SamplingProfiler(hz=997)
+        previous = install_profiler(profiler)
+        try:
+            client = make_client("swp", seed=3,
+                                 channel=Channel(transport))
+            client.store([Document(i, b"b%d" % i,
+                                   frozenset({"kw-%d" % (i % 4)}))
+                          for i in range(200)])
+            profiler.start()
+            deadline = time.perf_counter() + 30.0
+            while time.perf_counter() < deadline:
+                client.search("kw-1")
+                if profiler.span_self_times().get(
+                        "server.handle", {}).get("samples", 0) >= 50:
+                    break
+            snap = request_profile(tcp.host, tcp.port)
+        finally:
+            profiler.stop()
+            install_profiler(previous)
+            transport.close()
+            tcp.stop()
+        assert snap["enabled"] is True
+        assert snap["samples_total"] > 0
+        # The corpus scan burns in the handler: the top self-time span
+        # of the whole profile is server.handle.
+        span_self = snap["span_self"]
+        assert span_self.get("server.handle", {}).get(
+            "samples", 0) >= 50, span_self
+        # (JSON transport sorts keys, so rank by count, not key order.)
+        assert max(span_self, key=lambda k: span_self[k]["samples"]) \
+            == "server.handle", span_self
+        handle_lines = [line for line in snap["collapsed"].splitlines()
+                        if line.startswith("server.handle;")]
+        assert handle_lines
+        assert any("handle" in line for line in handle_lines)

@@ -1,12 +1,14 @@
 """Metrics registry: counters, gauges, histograms, snapshot formatting."""
 
+import importlib.util
+import pathlib
 import threading
 
 import pytest
 
 from repro.errors import ParameterError
 from repro.obs.metrics import (Counter, Gauge, Histogram, Metrics,
-                               NULL_METRICS, NullMetrics)
+                               NULL_METRICS, NullMetrics, nearest_rank)
 
 
 class TestInstruments:
@@ -183,6 +185,87 @@ class TestRegistry:
         g.inc(2.5)
         g.dec(2.5)
         assert g.value == 0
+
+
+class TestCounterTotals:
+    def test_total_sums_across_label_sets(self):
+        m = Metrics()
+        m.counter("bytes_sent_total", type="ACK").inc(10)
+        m.counter("bytes_sent_total", type="SEARCH_RESULT").inc(32)
+        m.counter("bytes_sent_total").inc(1)
+        assert m.total("bytes_sent_total") == 43
+
+    def test_total_of_unknown_name_is_zero(self):
+        assert Metrics().total("never_registered_total") == 0
+
+    def test_total_rejects_non_counters(self):
+        m = Metrics()
+        m.gauge("queue_depth").set(3)
+        with pytest.raises(ParameterError):
+            m.total("queue_depth")
+
+    def test_null_metrics_total_is_zero(self):
+        assert NULL_METRICS.total("anything") == 0
+
+
+class TestPercentilePinning:
+    """One nearest-rank definition everywhere a percentile is computed.
+
+    The bench JSON (`benchmarks/conftest._percentile`), the metrics
+    histograms, and `repeat_measure`'s median must agree exactly — a p95
+    in a BENCH document is directly comparable to a p95 in `stats()`.
+    """
+
+    _VECTORS = [
+        ([10.0], [(0.0, 10.0), (0.5, 10.0), (1.0, 10.0)]),
+        # round() is banker's: rank round(0.5) == 0, so the even-length
+        # median is the LOWER middle value.
+        ([1.0, 2.0], [(0.0, 1.0), (0.5, 1.0), (1.0, 2.0)]),
+        ([1.0, 2.0, 3.0, 4.0], [(0.5, 3.0), (0.95, 4.0)]),
+        ([float(v) for v in range(1, 101)],
+         [(0.0, 1.0), (0.5, 51.0), (0.95, 95.0), (1.0, 100.0)]),
+    ]
+
+    def test_nearest_rank_pinned_values(self):
+        for ordered, expectations in self._VECTORS:
+            for q, expected in expectations:
+                assert nearest_rank(ordered, q) == expected, (ordered, q)
+        assert nearest_rank([], 0.5) == 0.0
+        with pytest.raises(ParameterError):
+            nearest_rank([1.0], 1.5)
+
+    def test_histogram_quantile_matches_nearest_rank(self):
+        for ordered, expectations in self._VECTORS:
+            h = Histogram()
+            for v in reversed(ordered):  # insertion order must not matter
+                h.observe(v)
+            for q, expected in expectations:
+                assert h.quantile(q) == expected
+
+    def test_bench_conftest_percentile_is_the_shared_helper(self):
+        conftest_path = (pathlib.Path(__file__).resolve().parents[2]
+                         / "benchmarks" / "conftest.py")
+        spec = importlib.util.spec_from_file_location(
+            "_bench_conftest_under_test", conftest_path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        for ordered, expectations in self._VECTORS:
+            for q, expected in expectations:
+                assert module._percentile(ordered, q) == expected
+
+    def test_repeat_measure_median_is_nearest_rank(self, monkeypatch):
+        from repro.bench import timing
+
+        samples = iter([0.5, 0.1, 0.9, 0.2, 0.4, 0.3])
+        monkeypatch.setattr(
+            timing, "measure",
+            lambda fn: timing.Measurement(seconds=next(samples),
+                                          value=fn()))
+        median = timing.repeat_measure(lambda: None, repeats=6)
+        # Even length: nearest_rank picks the value at round(0.5 * 5) = 2
+        # of the sorted samples, not the upper-middle times[n // 2].
+        assert median == nearest_rank(
+            sorted([0.5, 0.1, 0.9, 0.2, 0.4, 0.3]), 0.5) == 0.3
 
 
 class TestNullMetrics:

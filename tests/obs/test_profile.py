@@ -1,0 +1,235 @@
+"""Sampling profiler: lifecycle, span attribution, collapsed output."""
+
+import json
+import re
+import threading
+import time
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.profile import (SamplingProfiler, active_profiler,
+                               format_span_table, install_profiler,
+                               profile_snapshot)
+from repro.obs.trace import enable_span_tracking, span, span_stacks
+
+
+def _spin(seconds: float) -> int:
+    """Burn CPU in a Python frame whose name no idle predicate matches."""
+    deadline = time.perf_counter() + seconds
+    x = 0
+    while time.perf_counter() < deadline:
+        x = (x * 31 + 7) % 1000003
+    return x
+
+
+@pytest.fixture(autouse=True)
+def _tracking_off_after():
+    yield
+    enable_span_tracking(False)
+
+
+class TestParameters:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ParameterError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ParameterError):
+            SamplingProfiler(hz=-5)
+
+    def test_rejects_bad_retention_bounds(self):
+        with pytest.raises(ParameterError):
+            SamplingProfiler(max_stacks=0)
+        with pytest.raises(ParameterError):
+            SamplingProfiler(max_depth=0)
+
+    def test_period_is_inverse_rate(self):
+        assert SamplingProfiler(hz=50).period_s == pytest.approx(0.02)
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        prof = SamplingProfiler(hz=200)
+        assert not prof.running
+        prof.start()
+        prof.start()  # idempotent
+        assert prof.running
+        prof.stop()
+        prof.stop()  # idempotent
+        assert not prof.running
+        assert prof.wall_s > 0
+
+    def test_context_manager(self):
+        with SamplingProfiler(hz=200) as prof:
+            assert prof.running
+        assert not prof.running
+
+    def test_start_enables_span_tracking_stop_disables(self):
+        prof = SamplingProfiler(hz=200)
+        prof.start()
+        try:
+            with span("tracked.during"):
+                assert any("tracked.during" in stack
+                           for stack in span_stacks().values())
+        finally:
+            prof.stop()
+        # Tracking released: a new span no longer registers.
+        with span("untracked.after"):
+            assert not any("untracked.after" in stack
+                           for stack in span_stacks().values())
+
+    def test_reset_drops_samples(self):
+        prof = SamplingProfiler(hz=100)
+        enable_span_tracking(True)
+        with span("reset.me"):
+            prof._sample_once(skip_ident=-1)
+        assert prof.samples_total > 0
+        prof.reset()
+        assert prof.samples_total == 0
+        assert prof.span_self_times() == {}
+        assert prof.collapsed() == ""
+
+
+class TestSampling:
+    """Deterministic checks driving _sample_once directly (no thread)."""
+
+    def test_sample_attributes_innermost_span(self):
+        prof = SamplingProfiler(hz=10)
+        enable_span_tracking(True)
+        with span("outer.span"):
+            with span("inner.span"):
+                prof._sample_once(skip_ident=-1)
+        times = prof.span_self_times()
+        assert times["inner.span"]["samples"] >= 1
+        assert "outer.span" not in times  # self time, not cumulative
+        assert times["inner.span"]["seconds"] == pytest.approx(
+            times["inner.span"]["samples"] * prof.period_s)
+
+    def test_sample_without_span_lands_in_no_span_bucket(self):
+        prof = SamplingProfiler(hz=10)
+        prof._sample_once(skip_ident=-1)
+        assert prof.span_self_times().get("(no span)", {}).get(
+            "samples", 0) >= 1
+
+    def test_collapsed_format_and_span_root(self):
+        prof = SamplingProfiler(hz=10)
+        enable_span_tracking(True)
+        with span("fmt.span"):
+            prof._sample_once(skip_ident=-1)
+        lines = prof.collapsed().splitlines()
+        assert lines
+        # Every line: semicolon-joined frames, space, integer count.
+        assert all(re.fullmatch(r"\S.* \d+", line) for line in lines)
+        mine = [line for line in lines if line.startswith("fmt.span;")]
+        assert mine, lines
+        # Root-first: this module's test frame appears inside the stack,
+        # labelled module.function.
+        assert any("test_profile" in line for line in mine)
+
+    def test_collapsed_without_spans_drops_root(self):
+        prof = SamplingProfiler(hz=10)
+        enable_span_tracking(True)
+        with span("root.span"):
+            prof._sample_once(skip_ident=-1)
+        assert not any(line.startswith("root.span;")
+                       for line in prof.collapsed(
+                           with_spans=False).splitlines())
+
+    def test_max_stacks_overflows_into_truncated_bucket(self):
+        prof = SamplingProfiler(hz=10, max_stacks=1)
+        enable_span_tracking(True)
+
+        def depth_one():
+            prof._sample_once(skip_ident=-1)
+
+        with span("bounded.span"):
+            prof._sample_once(skip_ident=-1)  # claims the only slot
+            depth_one()  # distinct stack: must truncate, not grow
+        collapsed = prof.collapsed()
+        assert "(truncated)" in collapsed
+        assert prof.span_self_times()["bounded.span"]["samples"] >= 2
+
+    def test_idle_leaf_counts_as_idle_not_busy(self):
+        prof = SamplingProfiler(hz=500)
+        parked = threading.Event()
+        release = threading.Event()
+
+        def park():
+            parked.set()
+            release.wait(timeout=10)  # leaf co_name "wait" -> idle
+
+        worker = threading.Thread(target=park, daemon=True)
+        worker.start()
+        try:
+            assert parked.wait(timeout=5)
+            time.sleep(0.01)  # let the worker actually enter wait()
+            prof._sample_once(skip_ident=threading.get_ident())
+            snap = prof.snapshot()
+            assert snap["idle_samples"] >= 1
+            assert not any("park" in line
+                           for line in prof.collapsed().splitlines())
+        finally:
+            release.set()
+            worker.join(timeout=5)
+
+
+class TestBackgroundThread:
+    def test_profiles_a_hot_span_end_to_end(self):
+        prof = SamplingProfiler(hz=500)
+        prof.start()
+        try:
+            deadline = time.perf_counter() + 10.0
+            while time.perf_counter() < deadline:
+                with span("hot.loop"):
+                    _spin(0.05)
+                if prof.span_self_times().get("hot.loop", {}).get(
+                        "samples", 0) >= 3:
+                    break
+        finally:
+            prof.stop()
+        times = prof.span_self_times()
+        assert times.get("hot.loop", {}).get("samples", 0) >= 3, times
+        assert any(line.startswith("hot.loop;")
+                   for line in prof.collapsed().splitlines())
+
+    def test_snapshot_is_json_safe(self):
+        prof = SamplingProfiler(hz=500)
+        with prof:
+            with span("snap.span"):
+                _spin(0.02)
+        snap = prof.snapshot()
+        decoded = json.loads(json.dumps(snap))
+        assert decoded["hz"] == 500
+        assert decoded["running"] is False
+        assert decoded["wall_s"] > 0
+        assert set(decoded) >= {"samples_total", "idle_samples",
+                                "span_self", "collapsed"}
+
+
+class TestGlobalInstallation:
+    def test_install_returns_previous_and_snapshot_reflects_it(self):
+        previous = install_profiler(None)
+        try:
+            assert profile_snapshot() == {"enabled": False}
+            prof = SamplingProfiler(hz=100)
+            enable_span_tracking(True)
+            with span("global.span"):
+                prof._sample_once(skip_ident=-1)
+            assert install_profiler(prof) is None
+            assert active_profiler() is prof
+            snap = profile_snapshot()
+            assert snap["enabled"] is True
+            assert "global.span" in snap["span_self"]
+            assert install_profiler(None) is prof
+        finally:
+            install_profiler(previous)
+
+    def test_format_span_table(self):
+        assert format_span_table(
+            {"enabled": False}) == "(no profiler installed)"
+        prof = SamplingProfiler(hz=100)
+        enable_span_tracking(True)
+        with span("table.span"):
+            prof._sample_once(skip_ident=-1)
+        table = format_span_table(prof.snapshot())
+        assert "span" in table.splitlines()[0]
+        assert "table.span" in table

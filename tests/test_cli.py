@@ -163,6 +163,29 @@ class TestServe:
         assert code == 0
         assert "serving" in out
 
+    def test_serve_profile_writes_span_table_and_collapsed_file(
+            self, home, capsys, tmp_path):
+        import threading
+
+        from repro.cli import build_parser, cmd_serve
+        from repro.obs.profile import active_profiler
+
+        run(["init", "--home", home], capsys)
+        out_path = tmp_path / "profile.collapsed"
+        args = build_parser().parse_args(
+            ["serve", "--home", home, "--port", "0",
+             "--profile", "--profile-hz", "251",
+             "--profile-out", str(out_path)])
+        args.stop_event = threading.Event()
+        args.stop_event.set()
+        code = cmd_serve(args)
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "span" in captured.out  # the self-time table header
+        assert out_path.exists()
+        assert "collapsed-stack" in captured.err
+        assert active_profiler() is None  # uninstalled on shutdown
+
     def test_stop_event_from_another_thread(self, home, capsys):
         import threading
 
