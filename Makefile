@@ -35,7 +35,8 @@ bench-smoke:
 		benchmarks/bench_concurrent_clients.py \
 		benchmarks/bench_batching.py \
 		benchmarks/bench_shard_scaling.py \
-		benchmarks/bench_forward_privacy.py
+		benchmarks/bench_forward_privacy.py \
+		benchmarks/bench_tenant_capacity.py
 	REPRO_BENCH_SMOKE=1 REPRO_BENCH_SHARDS=2 $(PYTHON) -m pytest \
 		benchmarks/bench_batching.py
 
@@ -53,6 +54,7 @@ bench-baselines: bench-smoke
 		benchmarks/BENCH_batching.json \
 		benchmarks/BENCH_shard_scaling.json \
 		benchmarks/BENCH_forward_privacy.json \
+		benchmarks/BENCH_tenant_capacity.json \
 		benchmarks/baselines/smoke/
 
 results: bench

@@ -1,0 +1,164 @@
+"""Tenant capacity curve: one sharded service, a Zipf fleet of tenants.
+
+The multi-tenant redesign rests on a capacity claim: one sharded
+service can hold *many* tenants — each with its own HKDF key domain,
+session handshake, quota and metric labels — without the tenancy layer
+itself becoming the bottleneck.  This bench measures that directly.
+For each fleet size a fresh 2-shard service (thread mode — every data
+point pays identical topology cost) is loaded with a
+:func:`~repro.workloads.tenants.synthesize_tenants` fleet: corpus sizes
+and search rates both Zipf-distributed over tenant rank, every tenant
+speaking through its own handshaken TCP client with its own derived
+master key.  The capacity curve is fleet size versus fleet-wide search
+latency percentiles and sustained request rate.
+
+Attribution is part of the claim, not an extra: the JSON records, for
+the largest fleet, every tenant's crypto-op bill (client-side ops the
+simulator attributes per tenant — in this SSE design the client performs
+the workload-scaling crypto — plus the service's own tenant-labeled
+``crypto_ops_total`` rollup) and wire bytes (the tenant-labeled
+``bytes_*_total`` pair, cross-checked against each client's channel byte
+counts) — the per-tenant bill a real operator would meter from.
+
+Results land in ``BENCH_tenant_capacity.json``.  ``REPRO_BENCH_SMOKE=1``
+runs one small fleet; the full run sweeps 25/50/100 tenants, so the
+recorded curve covers the 100-tenant point the design targets.
+"""
+
+import os
+import re
+
+from repro.bench.reporting import format_header, format_table
+from repro.core.registry import make_client, make_service
+from repro.net.channel import Channel
+from repro.net.tcp import TcpClientTransport
+from repro.tenancy import TenantDirectory
+from repro.workloads import run_simulation, synthesize_tenants
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+TENANT_COUNTS = (8,) if _SMOKE else (25, 50, 100)
+SHARDS = 2
+# Fleet-wide totals, split across tenants by Zipf rank — the whale
+# tenant holds ~15-40% of this, the tail tenants one document each.
+TOTAL_DOCUMENTS = 64 if _SMOKE else 384
+TOTAL_SEARCHES = 48 if _SMOKE else 256
+CHAIN_LENGTH = 32
+_SEED = 0x7E4A
+
+_TENANT_LABEL = re.compile(r'tenant="([^"]+)"')
+
+
+def _per_tenant(metrics: dict, *names: str) -> dict[str, float]:
+    """Roll a snapshot's tenant-labeled series up into {tenant: total}."""
+    totals: dict[str, float] = {}
+    for key, value in metrics.items():
+        if not key.startswith(names):
+            continue
+        match = _TENANT_LABEL.search(key)
+        if match and isinstance(value, (int, float)):
+            totals[match.group(1)] = totals.get(match.group(1), 0) + value
+    return totals
+
+
+def _run_fleet(tmp_path, count: int) -> dict:
+    profiles = synthesize_tenants(count, total_documents=TOTAL_DOCUMENTS,
+                                  total_searches=TOTAL_SEARCHES)
+    directory = TenantDirectory()
+    for profile in profiles:
+        directory.add(profile.tenant_id)
+    service = make_service("scheme2", shards=SHARDS, shard_mode="thread",
+                           tenants=directory, seed=_SEED,
+                           data_dir=tmp_path / f"fleet-{count}",
+                           chain_length=CHAIN_LENGTH)
+    try:
+        def client_for(profile):
+            tenant = directory.tenant(profile.tenant_id)
+            transport = TcpClientTransport(service.host, service.port)
+            client = make_client("scheme2", channel=Channel(transport),
+                                 tenant=tenant, chain_length=CHAIN_LENGTH,
+                                 seed=_SEED)
+            return client.open(tenant.tenant_id, tenant.token)
+
+        report = run_simulation(profiles, client_for, seed=_SEED)
+        metrics = service.stats()["metrics"]
+    finally:
+        service.stop()
+
+    summary = report.summary()
+    assert summary["errors"] == 0, f"fleet of {count}: {summary}"
+    assert summary["tenants"] == count
+
+    server_crypto_ops = _per_tenant(metrics, "crypto_ops_total")
+    wire_bytes = _per_tenant(metrics, "bytes_sent_total",
+                             "bytes_received_total")
+    # Every tenant must appear in the service-side attribution maps —
+    # that IS the per-tenant metering claim.
+    for profile in profiles:
+        assert profile.tenant_id in server_crypto_ops, profile.tenant_id
+        assert profile.tenant_id in wire_bytes, profile.tenant_id
+    summary["throughput_rps"] = (
+        (summary["searches"] + summary["documents"])
+        / summary["wall_seconds"])
+    return {
+        "summary": summary,
+        "per_tenant": {
+            p.tenant_id: {
+                "documents": report.tenants[p.tenant_id].documents_stored,
+                "searches": report.tenants[p.tenant_id].searches,
+                "client_crypto_ops":
+                    sum(report.tenants[p.tenant_id].crypto_ops.values()),
+                "server_crypto_ops": server_crypto_ops[p.tenant_id],
+                "server_wire_bytes": wire_bytes[p.tenant_id],
+                "client_wire_bytes":
+                    report.tenants[p.tenant_id].bytes_sent
+                    + report.tenants[p.tenant_id].bytes_received,
+            }
+            for p in profiles
+        },
+    }
+
+
+def test_tenant_capacity_curve(report, bench_json, tmp_path):
+    results = {count: _run_fleet(tmp_path, count)
+               for count in TENANT_COUNTS}
+
+    report(format_header(
+        f"Tenant capacity — Zipf fleets on a {SHARDS}-shard service "
+        f"({TOTAL_DOCUMENTS} docs / {TOTAL_SEARCHES} searches fleet-wide, "
+        f"scheme2, thread shards)"))
+    report(format_table(
+        ["tenants", "docs", "searches", "wall s", "req/s",
+         "p50 ms", "p95 ms", "p99 ms"],
+        [[str(count), str(s["documents"]), str(s["searches"]),
+          f"{s['wall_seconds']:.2f}", f"{s['throughput_rps']:.0f}",
+          f"{s['search_p50_ms']:.1f}", f"{s['search_p95_ms']:.1f}",
+          f"{s['search_p99_ms']:.1f}"]
+         for count, s in ((c, r["summary"])
+                          for c, r in sorted(results.items()))],
+    ))
+
+    largest = max(TENANT_COUNTS)
+    bench_json({
+        "smoke": _SMOKE,
+        "shards": SHARDS,
+        "total_documents": TOTAL_DOCUMENTS,
+        "total_searches": TOTAL_SEARCHES,
+        "capacity_curve": {
+            str(count): result["summary"]
+            for count, result in results.items()
+        },
+        # The full per-tenant bill for the largest fleet: Zipf-skewed
+        # crypto-op and wire-byte attribution, tenant by tenant.
+        "per_tenant_attribution": results[largest]["per_tenant"],
+    })
+
+    for count, result in results.items():
+        assert result["summary"]["searches"] > 0
+        # The whale (rank 0) must out-bill the tail's last tenant in
+        # every attribution currency — the Zipf skew is visible in the
+        # per-tenant metering, not just in the workload definition.
+        per_tenant = result["per_tenant"]
+        whale = per_tenant["tenant-0000"]
+        tail = per_tenant[f"tenant-{count - 1:04d}"]
+        assert whale["client_crypto_ops"] > tail["client_crypto_ops"]
+        assert whale["server_wire_bytes"] > tail["server_wire_bytes"]

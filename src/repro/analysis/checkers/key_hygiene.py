@@ -1,0 +1,93 @@
+"""``key-hygiene``: the operator master secret stays inside ``repro.tenancy``.
+
+Multi-tenant key domains rest on one containment rule: every tenant key
+is derived from the operator master secret by :mod:`repro.tenancy.derive`,
+and nothing outside that package ever sees the raw secret or re-runs the
+derivation itself.  A second call site computing ``HKDF(ikm, ...)`` with
+its own label scheme would silently fork the key hierarchy — two modules
+could derive *different* keys for the same tenant, or worse, the *same*
+key for different tenants.  Two mechanical rules over ``src/``:
+
+1. **no HKDF outside the tenancy package** — any reference to
+   ``hkdf_extract`` / ``hkdf_expand`` (imported or attribute-qualified)
+   outside ``src/repro/tenancy/`` and the defining module
+   ``src/repro/crypto/prg.py`` is a finding.  Other modules consume
+   *derived* keys (:class:`~repro.core.keys.MasterKey`, tenant tokens),
+   never the derivation primitives;
+2. **no reaching into the secret** — accessing the private raw-material
+   attributes of :class:`~repro.tenancy.OperatorSecret` (``_ikm``,
+   ``_prk``) outside the tenancy package is a finding.  The public
+   surface (``fingerprint``, ``tenant_master_key``, ``tenant_token``,
+   ``to_hex`` for operator-side persistence) is the whole contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Project, SourceFile, checker
+
+__all__ = ["check_key_hygiene"]
+
+_TENANCY_SCOPE = "src/repro/tenancy/"
+#: Where the primitives themselves live (definition, not consumption).
+_HKDF_HOME = "src/repro/crypto/prg.py"
+
+_HKDF_NAMES = ("hkdf_extract", "hkdf_expand")
+_SECRET_ATTRS = ("_ikm", "_prk")
+
+
+def _check_hkdf_references(source: SourceFile,
+                           findings: list[Finding]) -> None:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in _HKDF_NAMES:
+                    findings.append(Finding(
+                        "key-hygiene", source.rel, node.lineno,
+                        f"HKDF primitive '{alias.name}' imported outside "
+                        f"repro.tenancy",
+                        hint="derive tenant keys through "
+                             "OperatorSecret / TenantDirectory instead "
+                             "of re-running the KDF"))
+        elif isinstance(node, ast.Name) and node.id in _HKDF_NAMES:
+            findings.append(Finding(
+                "key-hygiene", source.rel, node.lineno,
+                f"HKDF primitive '{node.id}' referenced outside "
+                f"repro.tenancy",
+                hint="derive tenant keys through OperatorSecret / "
+                     "TenantDirectory instead of re-running the KDF"))
+        elif isinstance(node, ast.Attribute) and node.attr in _HKDF_NAMES:
+            findings.append(Finding(
+                "key-hygiene", source.rel, node.lineno,
+                f"HKDF primitive '{node.attr}' referenced outside "
+                f"repro.tenancy",
+                hint="derive tenant keys through OperatorSecret / "
+                     "TenantDirectory instead of re-running the KDF"))
+
+
+def _check_secret_attributes(source: SourceFile,
+                             findings: list[Finding]) -> None:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Attribute) \
+                and node.attr in _SECRET_ATTRS:
+            findings.append(Finding(
+                "key-hygiene", source.rel, node.lineno,
+                f"raw operator secret material '.{node.attr}' accessed "
+                f"outside repro.tenancy",
+                hint="use the OperatorSecret public surface "
+                     "(tenant_master_key / tenant_token / fingerprint)"))
+
+
+@checker("key-hygiene",
+         "the operator master secret and its HKDF derivation are "
+         "consumed only inside repro.tenancy")
+def check_key_hygiene(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for source in project.source_files():
+        if source.rel.startswith(_TENANCY_SCOPE):
+            continue
+        if source.rel != _HKDF_HOME:
+            _check_hkdf_references(source, findings)
+        _check_secret_attributes(source, findings)
+    return findings

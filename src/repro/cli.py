@@ -60,7 +60,8 @@ from repro.obs.metrics import Metrics
 
 __all__ = ["build_parser", "cmd_compact", "cmd_export_state", "cmd_import_state",
            "cmd_init", "cmd_load", "cmd_remove", "cmd_schemes", "cmd_search",
-           "cmd_serve", "cmd_stats", "cmd_store", "main"]
+           "cmd_serve", "cmd_stats", "cmd_store", "cmd_tenant_add",
+           "cmd_tenant_list", "cmd_tenant_quota", "main"]
 
 _CONFIG_FORMAT = "repro.store/1"
 _DEFAULT_CHAIN_LENGTH = 4096
@@ -109,6 +110,20 @@ def _load_config(home: str) -> dict:
 def _load_key_payload(path: str) -> dict:
     with open(path) as fh:
         return json.load(fh)
+
+
+def _store_options(home: str) -> tuple[str, dict]:
+    """(scheme, structural options incl. keypair) recorded at init time."""
+    paths = _paths(home)
+    if not os.path.exists(paths["key"]):
+        raise ReproError(f"{home} is not initialized (run `init` first)")
+    config = _load_config(home)
+    options = dict(config.get("options", {}))
+    payload = _load_key_payload(paths["key"])
+    if "keypair" in payload:
+        from repro.crypto.elgamal import ElGamalKeyPair
+        options["keypair"] = ElGamalKeyPair.from_json(payload["keypair"])
+    return config["scheme"], options
 
 
 def _open(home: str, data_dir: str, metrics: Metrics | None = None):
@@ -327,18 +342,19 @@ def cmd_import_state(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tenants_directory(args: argparse.Namespace):
+    """The TenantDirectory behind ``serve --tenants``, or None."""
+    path = getattr(args, "tenants", None)
+    if not path:
+        return None
+    from repro.tenancy import TenantDirectory
+
+    return TenantDirectory.load(path)
+
+
 def _serve_sharded(args: argparse.Namespace, metrics: Metrics, tracer):
     """Build the N-shard service for ``serve --shards N``."""
-    paths = _paths(args.home)
-    if not os.path.exists(paths["key"]):
-        raise ReproError(f"{args.home} is not initialized (run `init` first)")
-    config = _load_config(args.home)
-    scheme = config["scheme"]
-    options = dict(config.get("options", {}))
-    payload = _load_key_payload(paths["key"])
-    if "keypair" in payload:
-        from repro.crypto.elgamal import ElGamalKeyPair
-        options["keypair"] = ElGamalKeyPair.from_json(payload["keypair"])
+    scheme, options = _store_options(args.home)
     data_dir = _data_dir(args)
     single_log = os.path.join(data_dir, "server.log")
     if os.path.exists(single_log):
@@ -357,7 +373,7 @@ def _serve_sharded(args: argparse.Namespace, metrics: Metrics, tracer):
                            host=args.host, port=args.port,
                            workers=args.workers, metrics=metrics,
                            tracer=tracer, trace_shards=tracer is not None,
-                           **options)
+                           tenants=_tenants_directory(args), **options)
     return service, scheme
 
 
@@ -393,13 +409,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving {args.home} ({scheme}) on {tcp.host}:{tcp.port} "
               f"({args.shards} shards; ctrl-C to stop)")
     else:
-        _, server, scheme = _open(args.home, _data_dir(args))
+        directory = _tenants_directory(args)
+        if directory is not None:
+            # Tenant-aware: one gateway of per-tenant backends over one
+            # shared log; no client is needed to serve.
+            scheme, options = _store_options(args.home)
+            server = make_server(scheme, data_dir=_data_dir(args),
+                                 tenants=directory, **options)
+        else:
+            _, server, scheme = _open(args.home, _data_dir(args))
         tcp = TcpSseServer(server, host=args.host, port=args.port,
                            max_workers=args.workers, metrics=metrics,
                            tracer=tracer)
         tcp.start()
+        suffix = f"; {len(directory.ids())} tenants" \
+            if directory is not None else ""
         print(f"serving {args.home} ({scheme}) on {tcp.host}:{tcp.port} "
-              f"({tcp._pool.size} workers; ctrl-C to stop)")
+              f"({tcp._pool.size} workers{suffix}; ctrl-C to stop)")
 
     def _terminate(signum, frame):
         raise KeyboardInterrupt
@@ -459,6 +485,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
             n = tracer.export_jsonl(args.trace_jsonl)
             print(f"wrote {n} trace(s) to {args.trace_jsonl}",
                   file=sys.stderr)
+    return 0
+
+
+def _tenant_quota_from_args(args: argparse.Namespace):
+    from repro.tenancy import TenantQuota
+
+    return TenantQuota(max_documents=args.max_documents,
+                       max_qps=args.max_qps, burst=args.burst)
+
+
+def cmd_tenant_add(args: argparse.Namespace) -> int:
+    """Register a tenant in the config file; print its session token."""
+    from repro.tenancy import TenantDirectory
+
+    if os.path.exists(args.config):
+        directory = TenantDirectory.load(args.config)
+    else:
+        directory = TenantDirectory()
+    tenant = directory.add(args.id, _tenant_quota_from_args(args))
+    directory.save(args.config)
+    print(f"added tenant {args.id!r} to {args.config}")
+    # The token is derived, not stored: re-print it any time with
+    # another `tenant add` of the same id (idempotent re-registration).
+    print(f"auth token: {tenant.token.hex()}")
+    return 0
+
+
+def cmd_tenant_list(args: argparse.Namespace) -> int:
+    """List registered tenants and their quotas."""
+    from repro.tenancy import TenantDirectory
+
+    directory = TenantDirectory.load(args.config)
+    print(f"operator fingerprint: {directory.fingerprint}")
+    for tenant_id in directory.ids():
+        quota = directory.quota(tenant_id)
+        docs = quota.max_documents if quota.max_documents is not None \
+            else "unlimited"
+        qps = quota.max_qps if quota.max_qps is not None else "unlimited"
+        print(f"{tenant_id:<24} max_documents={docs} max_qps={qps}")
+    return 0
+
+
+def cmd_tenant_quota(args: argparse.Namespace) -> int:
+    """Replace a registered tenant's quota."""
+    from repro.tenancy import TenantDirectory
+
+    directory = TenantDirectory.load(args.config)
+    directory.set_quota(args.id, _tenant_quota_from_args(args))
+    directory.save(args.config)
+    print(f"updated quota for tenant {args.id!r}")
     return 0
 
 
@@ -567,7 +643,36 @@ def build_parser() -> argparse.ArgumentParser:
                               "profile to this file on shutdown")
     p_serve.add_argument("--count-ops", action="store_true",
                          help="count crypto ops; print totals on shutdown")
+    p_serve.add_argument("--tenants", default=None,
+                         help="tenants config JSON (see `tenant add`); "
+                              "serves every tenant behind SESSION_OPEN "
+                              "auth with per-tenant quotas")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_tenant = sub.add_parser(
+        "tenant", help="manage a multi-tenant config file")
+    tenant_sub = p_tenant.add_subparsers(dest="tenant_command",
+                                         required=True)
+    t_add = tenant_sub.add_parser(
+        "add", help="register a tenant; prints its session token")
+    t_add.add_argument("id", help="tenant id ([A-Za-z0-9._-], max 64)")
+    t_add.set_defaults(fn=cmd_tenant_add)
+    t_list = tenant_sub.add_parser("list", help="list registered tenants")
+    t_list.set_defaults(fn=cmd_tenant_list)
+    t_quota = tenant_sub.add_parser(
+        "quota", help="replace a registered tenant's quota")
+    t_quota.add_argument("id")
+    t_quota.set_defaults(fn=cmd_tenant_quota)
+    for t in (t_add, t_quota):
+        t.add_argument("--max-documents", type=int, default=None,
+                       help="cap on live documents (default: unlimited)")
+        t.add_argument("--max-qps", type=float, default=None,
+                       help="sustained request rate (default: unlimited)")
+        t.add_argument("--burst", type=float, default=None,
+                       help="token-bucket depth (default: max(1, qps))")
+    for t in (t_add, t_list, t_quota):
+        t.add_argument("--config", required=True,
+                       help="tenants config JSON file (created by `add`)")
 
     for p in (p_store, p_load, p_search, p_remove, p_stats, p_compact,
               p_init, p_serve, p_export, p_import):

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.documents import Document
-from repro.errors import ParameterError, ReproError
+from repro.errors import AuthError, ParameterError, ProtocolError, ReproError
 from repro.net.channel import Channel
 from repro.net.messages import (Message, MessageType, pack_batch_result,
                                 unpack_batch)
@@ -174,11 +174,47 @@ class SseClient(abc.ABC):
 
     def __init__(self, channel: Channel) -> None:
         self._channel = channel
+        #: Tenant id bound by :meth:`open`; None on legacy sessions.
+        self.tenant: str | None = None
 
     @property
     def channel(self) -> Channel:
         """The instrumented channel to this client's server."""
         return self._channel
+
+    def open(self, tenant_id: str, token: bytes) -> "SseClient":
+        """Perform the ``SESSION_OPEN`` handshake for *tenant_id*.
+
+        Binds this client's connection to the tenant's namespace on a
+        tenant-aware server.  Returns ``self`` so the handshake composes
+        with the context manager::
+
+            with make_client(...) as client:
+                client.open("alice", token)
+                ...
+
+        A rejected handshake raises :class:`~repro.errors.AuthError` —
+        terminal, never retried (see :mod:`repro.net.retry`).
+        """
+        request = Message(MessageType.SESSION_OPEN,
+                          (tenant_id.encode("utf-8"), bytes(token)))
+        try:
+            reply = self._channel.request(request)
+        except ProtocolError as exc:
+            # Over TCP the server's AuthError arrives as an ERROR reply
+            # carrying the class name; surface it as the real type.
+            if "AuthError" in str(exc):
+                raise AuthError(
+                    f"session rejected for tenant {tenant_id!r}") from exc
+            raise
+        fields = reply.expect(MessageType.SESSION_ACCEPT, 1)
+        accepted = fields[0].decode("utf-8")
+        if accepted != tenant_id:
+            raise ProtocolError(
+                f"server accepted tenant {accepted!r}, "
+                f"expected {tenant_id!r}")
+        self.tenant = tenant_id
+        return self
 
     @abc.abstractmethod
     def store(self, documents: Sequence[Document]) -> None:

@@ -64,18 +64,24 @@ class DurableServer:
     COMPACT_DEAD_RATIO = 0.25
 
     def __init__(self, handler, store: KvStore,
-                 metrics: Metrics | None = None) -> None:
+                 metrics: Metrics | None = None, *,
+                 key_prefix: bytes = b"") -> None:
         self._inner = handler
         self._store = store
         self._metrics = metrics if metrics is not None else NULL_METRICS
+        # Namespace wrapper around every persisted key (``t:<id>:`` in
+        # multi-tenant deployments): applied on write, stripped on load,
+        # and used to filter recovery/sync to this wrapper's own slice —
+        # several DurableServers can then share one journal/snapshot
+        # store without ever mixing records.
+        self._prefix = bytes(key_prefix)
         self._journal = getattr(handler, "state_journal", None)
         self._mirror: dict[bytes, bytes] | None = None
         if self._journal is not None:
             self._journal.enabled = True
-        if len(store):
-            handler.load_state(
-                (key, store.get(key)) for key in store.keys()
-            )
+        own_records = self._own_records() if len(store) else {}
+        if own_records:
+            handler.load_state(own_records.items())
             if self._journal is not None:
                 # Everything the load journaled came FROM the store;
                 # writing it back would only duplicate the log.
@@ -91,6 +97,15 @@ class DurableServer:
         if self._journal is None:
             self._mirror = dict(handler.state_records())
         self._update_gauges()
+
+    def _own_records(self) -> dict[bytes, bytes]:
+        """This wrapper's slice of the store, prefixes stripped."""
+        strip = len(self._prefix)
+        return {
+            key[strip:]: self._store.get(key)
+            for key in self._store.keys()
+            if key.startswith(self._prefix)
+        }
 
     @property
     def inner(self):
@@ -147,8 +162,14 @@ class DurableServer:
     def _write_batch(self, upserts: dict[bytes, bytes],
                      deletes: set[bytes]) -> None:
         flush_started = time.perf_counter()
+        stored_upserts = upserts
+        stored_deletes = deletes
+        if self._prefix:
+            stored_upserts = {self._prefix + key: value
+                              for key, value in upserts.items()}
+            stored_deletes = {self._prefix + key for key in deletes}
         with span("storage.flush", records=len(upserts) + len(deletes)) as sp:
-            n_bytes = self._store.apply_batch(upserts, deletes)
+            n_bytes = self._store.apply_batch(stored_upserts, stored_deletes)
             sp.set(bytes=n_bytes)
         self._metrics.histogram("storage_flush_seconds").observe(
             time.perf_counter() - flush_started)
@@ -185,9 +206,8 @@ class DurableServer:
         state.  Returns the number of records written.
         """
         snapshot = dict(self._inner.state_records())
-        previous = self._mirror if self._mirror is not None else {
-            key: self._store.get(key) for key in self._store.keys()
-        }
+        previous = (self._mirror if self._mirror is not None
+                    else self._own_records())
         upserts = {
             key: value for key, value in snapshot.items()
             if previous.get(key) != value

@@ -23,8 +23,10 @@ wiring.  The registry exposes one constructor per *topology* instead::
 * ``seed`` makes every random choice (keygen, nonces, ElGamal primes)
   deterministic — the same seed on both ends of a socket (or on every
   shard of a service) reconstructs the same key material.
-* :func:`make_scheme` returns a :class:`SchemeHandle` — a named tuple, so
-  existing ``client, server = make_scheme(...)`` unpacking keeps working.
+* :func:`make_scheme` returns a :class:`SchemeHandle` — sequence-
+  compatible, so existing ``client, server = make_scheme(...)``
+  unpacking keeps working; ``tenant=`` / ``tenants=`` keywords scope any
+  constructor to a tenant key domain (see ``docs/multitenancy.md``).
 * scheme-specific knobs (``capacity``, ``chain_length``,
   ``pad_results_to``, ``dictionary`` …) pass through as keyword options;
   unknown options are rejected loudly — and identically — by every
@@ -107,19 +109,35 @@ class SchemeCapabilities:
     test_options: Mapping[str, object] = field(default_factory=dict)
 
 
-class SchemeHandle(NamedTuple):
+@dataclass(frozen=True)
+class SchemeHandle:
     """What :func:`make_scheme` builds: a client and its in-process server.
 
-    A named tuple, so both styles work::
+    Sequence-compatible with the named tuple it used to be, so both
+    styles keep working::
 
         handle = make_scheme("scheme2", seed=7)
         handle.client.search("flu")
 
         client, server = make_scheme("scheme2", seed=7)  # legacy unpack
+
+    ``tenant`` records which tenant's key domain the pair was built in
+    (via the ``tenant=`` keyword); ``None`` outside multi-tenant use.
+    It deliberately does not participate in unpacking.
     """
 
     client: object
     server: object
+    tenant: str | None = None
+
+    def __iter__(self):
+        return iter((self.client, self.server))
+
+    def __getitem__(self, index):
+        return (self.client, self.server)[index]
+
+    def __len__(self) -> int:
+        return 2
 
 
 class _SchemeSpec(NamedTuple):
@@ -202,14 +220,36 @@ def _check_options(name: str, options: dict) -> None:
     _reject_unknown(name, unknown)
 
 
+def _resolve_tenant(tenant, master_key: MasterKey | None
+                    ) -> tuple[str | None, MasterKey | None]:
+    """Normalize the ``tenant=`` keyword into (tenant id, master key).
+
+    Accepts a tenant id string or a :class:`~repro.tenancy.Tenant`
+    binding; a binding also supplies the tenant's HKDF-derived master
+    key when the caller did not pass one explicitly.
+    """
+    if tenant is None:
+        return None, master_key
+    from repro.tenancy import Tenant, validate_tenant_id
+
+    if isinstance(tenant, Tenant):
+        if master_key is None:
+            master_key = tenant.master_key
+        return tenant.tenant_id, master_key
+    return validate_tenant_id(tenant), master_key
+
+
 def make_scheme(name: str, master_key: MasterKey | None = None, *,
                 seed: int | bytes | None = None,
                 rng: RandomSource | None = None,
-                **options) -> SchemeHandle:
+                tenant=None, **options) -> SchemeHandle:
     """Build a :class:`SchemeHandle` (client + in-process server).
 
     ``seed`` derives both the RNG and, if absent, the master key
-    deterministically.  For a client against a remote server, call
+    deterministically.  ``tenant`` (an id string or a
+    :class:`~repro.tenancy.Tenant` binding) stamps the handle with the
+    tenant the pair belongs to; a binding also derives the tenant's
+    master key.  For a client against a remote server, call
     :func:`make_client`.
     """
     spec = _lookup(name)
@@ -217,22 +257,29 @@ def make_scheme(name: str, master_key: MasterKey | None = None, *,
         rng = default_rng(seed)
     elif seed is not None:
         raise ParameterError("pass either seed or rng, not both")
+    tenant_id, master_key = _resolve_tenant(tenant, master_key)
     if master_key is None:
         master_key = keygen(rng=rng)
-    return SchemeHandle(*spec.build(master_key, None, rng, dict(options)))
+    client, server = spec.build(master_key, None, rng, dict(options))
+    return SchemeHandle(client, server, tenant=tenant_id)
 
 
 def make_client(name: str, master_key: MasterKey | None = None, *,
                 channel: Channel,
                 seed: int | bytes | None = None,
                 rng: RandomSource | None = None,
-                **options):
+                tenant=None, **options):
     """Build only the client, against a caller-supplied channel.
 
     The channel usually wraps a :class:`~repro.net.tcp.TcpClientTransport`
     pointed at a served :func:`make_server` handler or a
     :func:`make_service` router.  Structural options (and, for scheme 1,
     the seed or keypair) must match the server side.
+
+    Passing ``tenant=`` as a :class:`~repro.tenancy.Tenant` binding
+    derives the tenant's master key; the caller still performs the
+    session handshake (``client.open(tenant_id, token)``) — building a
+    client never talks to the server.
     """
     if channel is None:
         raise ParameterError("make_client requires a channel; use "
@@ -242,6 +289,7 @@ def make_client(name: str, master_key: MasterKey | None = None, *,
         rng = default_rng(seed)
     elif seed is not None:
         raise ParameterError("pass either seed or rng, not both")
+    _, master_key = _resolve_tenant(tenant, master_key)
     if master_key is None:
         master_key = keygen(rng=rng)
     client, _ = spec.build(master_key, channel, rng, dict(options))
@@ -249,7 +297,8 @@ def make_client(name: str, master_key: MasterKey | None = None, *,
 
 
 def make_server(name: str, *, seed: int | bytes | None = None,
-                data_dir: str | os.PathLike | None = None, **options):
+                data_dir: str | os.PathLike | None = None,
+                tenants=None, **options):
     """Build only the server handler (for serving over TCP).
 
     The client connecting to it must be built with the same structural
@@ -260,7 +309,19 @@ def make_server(name: str, *, seed: int | bytes | None = None,
     :class:`~repro.storage.kvstore.LogKvStore` at
     ``<data_dir>/server.log`` — any scheme, write-through, recovered on
     reopen.  The directory is created if missing.
+
+    With ``tenants`` (a :class:`~repro.tenancy.TenantDirectory` or its
+    ``to_config()`` dict) the handler is a
+    :class:`~repro.tenancy.TenantGateway`: one backend per tenant, each
+    journaling under its own ``t:<id>:`` prefix in ONE shared log, with
+    ``SESSION_OPEN`` authentication and per-tenant quota admission.
+    Clients that skip the handshake map to the default tenant for one
+    release (with a ``DeprecationWarning``).
     """
+    _check_options(name, options)
+    if tenants is not None:
+        return _make_tenant_gateway(name, tenants, seed=seed,
+                                    data_dir=data_dir, options=options)
     _, server = make_scheme(name, seed=seed, **options)
     if data_dir is None:
         return server
@@ -273,13 +334,46 @@ def make_server(name: str, *, seed: int | bytes | None = None,
     return DurableServer(server, store)
 
 
+def _make_tenant_gateway(name: str, tenants, *, seed, data_dir, options):
+    """A :class:`~repro.tenancy.TenantGateway` over per-tenant backends.
+
+    Durable deployments share ONE ``LogKvStore`` across all tenants —
+    each backend's :class:`~repro.core.persistence.DurableServer` writes
+    under the tenant's ``t:<id>:`` key prefix and recovers only its own
+    slice, so the journal/snapshot never mixes tenants.
+    """
+    from repro.tenancy import (TenantDirectory, TenantGateway,
+                               tenant_state_prefix)
+
+    directory = tenants if isinstance(tenants, TenantDirectory) \
+        else TenantDirectory.from_config(tenants)
+    store = None
+    if data_dir is not None:
+        from repro.storage.kvstore import LogKvStore
+
+        data_dir = os.fspath(data_dir)
+        os.makedirs(data_dir, exist_ok=True)
+        store = LogKvStore(os.path.join(data_dir, "server.log"))
+
+    def build_backend(tenant_id: str):
+        _, server = make_scheme(name, seed=seed, **options)
+        if store is None:
+            return server
+        from repro.core.persistence import DurableServer
+
+        return DurableServer(server, store,
+                             key_prefix=tenant_state_prefix(tenant_id))
+
+    return TenantGateway(directory, build_backend)
+
+
 def make_service(name: str, *, shards: int = 2,
                  data_dir: str | os.PathLike | None = None,
                  seed: int | bytes | None = None,
                  host: str = "127.0.0.1", port: int = 0,
                  shard_mode: str = "process", workers: int | None = None,
                  metrics=None, tracer=None, trace_shards: bool = False,
-                 **options):
+                 tenants=None, **options):
     """Start a sharded deployment: *shards* servers behind one router.
 
     Returns a running :class:`~repro.net.shard.Service` — a typed handle
@@ -296,6 +390,12 @@ def make_service(name: str, *, shards: int = 2,
     match across the partition.  Unknown options are rejected here,
     before any process spawns, with the same error :func:`make_scheme`
     raises.
+
+    ``tenants`` (a :class:`~repro.tenancy.TenantDirectory` or its config
+    dict) makes the whole service tenant-aware: the router answers the
+    ``SESSION_OPEN`` handshake and admits per-tenant rate quotas; every
+    shard runs a :class:`~repro.tenancy.TenantGateway` keeping tenant
+    state disjoint.
     """
     _check_options(name, options)
     from repro.net.shard import start_service
@@ -303,7 +403,8 @@ def make_service(name: str, *, shards: int = 2,
     return start_service(name, shards=shards, data_dir=data_dir, seed=seed,
                          host=host, port=port, shard_mode=shard_mode,
                          workers=workers, metrics=metrics, tracer=tracer,
-                         trace_shards=trace_shards, options=options)
+                         trace_shards=trace_shards, tenants=tenants,
+                         options=options)
 
 
 # -- builders ---------------------------------------------------------------

@@ -18,6 +18,9 @@ prefix         contents
 ``cgko.a:``    CGKO node array: address(8) -> encrypted node
 ``cgko.t:``    CGKO lookup table: tag -> masked head pointer
 ``cm:``        Chang–Mitzenmacher masked rows: doc id -> row bits
+``t:<id>:``    tenant namespace wrapped around ALL of the above by the
+               durable layer in multi-tenant deployments (see
+               :func:`repro.tenancy.tenant_state_prefix`)
 =============  ====================================================
 
 Because index entries and document bodies share one keyspace, a single

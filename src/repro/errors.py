@@ -44,6 +44,19 @@ class ServiceStoppedError(ReproError):
     """An operation was attempted on a stopped or draining service."""
 
 
+class AuthError(ReproError):
+    """A session handshake presented an unknown tenant or a bad token.
+
+    Deliberately terminal: transports must never treat an authentication
+    rejection as a transient failure and retry it (see
+    :mod:`repro.net.retry`).
+    """
+
+
+class QuotaExceededError(ReproError):
+    """A tenant's admission quota (documents or request rate) was hit."""
+
+
 class DeadlineError(ReproError, TimeoutError):
     """A bounded wait (job result, drain, shutdown) ran out of time.
 

@@ -90,6 +90,11 @@ class MessageType(IntEnum):
     PROFILE_REQUEST = 46        # client -> server: profile snapshot?
     PROFILE_RESULT = 47         # server -> client: (json_payload,)
 
+    # Tenant session handshake (answered by the transport layer before
+    # any scheme handler runs; see docs/multitenancy.md)
+    SESSION_OPEN = 48           # client -> server: (tenant_id, auth_token)
+    SESSION_ACCEPT = 49         # server -> client: (tenant_id,)
+
 
 #: Admin traffic served by the transport layer itself (stats/profile
 #: snapshots), never by a scheme handler.  Excluded from the

@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.errors import ProtocolError, RetryExhaustedError
+from repro.errors import AuthError, ProtocolError, RetryExhaustedError
 from repro.net.messages import Message, MessageType
 from repro.net.session import READ_MESSAGE_TYPES, is_read_request
 from repro.obs.metrics import NULL_METRICS
@@ -111,6 +111,13 @@ class RetryingTransport:
 
     @staticmethod
     def _is_transport_failure(exc: Exception) -> bool:
+        # An authentication rejection (a SESSION_OPEN presenting a bad
+        # tenant or token) is terminal by definition: re-sending the same
+        # credentials cannot succeed, and — mirroring the capability-probe
+        # rule in Channel.request_many — an ambiguous failure must never
+        # be promoted into a retry that hammers the auth endpoint.
+        if isinstance(exc, AuthError):
+            return False
         # Server ERROR replies arrive as ProtocolError with the server's
         # exception name; those are deterministic rejections, not flakes.
         if isinstance(exc, ProtocolError):

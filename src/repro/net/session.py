@@ -60,6 +60,13 @@ READ_MESSAGE_TYPES = frozenset({
     MessageType.PROFILE_REQUEST,
     MessageType.PROFILE_RESULT,
     MessageType.BATCH_RESULT,
+    # The tenant handshake is answered by the transport layer before any
+    # scheme handler runs; it never touches index state, and classifying
+    # it as a read keeps it in RetryingTransport's idempotent set so a
+    # handshake lost to a dropped connection is safely re-sent (an *auth
+    # rejection*, by contrast, is terminal — see repro.net.retry).
+    MessageType.SESSION_OPEN,
+    MessageType.SESSION_ACCEPT,
 })
 
 # The mutating complement, declared explicitly rather than derived: a new
@@ -311,6 +318,9 @@ class Session:
         self.requests_handled = 0
         self.errors = 0
         self.thread: threading.Thread | None = None
+        # Tenant id bound by a successful SESSION_OPEN handshake; None
+        # until then (legacy connections stay None for their lifetime).
+        self.tenant: str | None = None
 
     def close_socket(self) -> None:
         """Force-close the session's socket (idempotent)."""

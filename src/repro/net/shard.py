@@ -59,7 +59,8 @@ import socket
 import threading
 import time
 
-from repro.errors import ParameterError, ProtocolError, ReproError
+from repro.errors import (AuthError, ParameterError, ProtocolError,
+                          QuotaExceededError, ReproError)
 from repro.net.messages import (ADMIN_MESSAGE_TYPES, Message, MessageType,
                                 pack_batch, pack_batch_result, unpack_batch,
                                 unpack_batch_result)
@@ -67,6 +68,7 @@ from repro.net.session import WorkerPool
 from repro.net.tcp import (TcpSseServer, recv_frame, request_stats,
                            send_frame)
 from repro.obs.metrics import NULL_METRICS
+from repro.obs.opcount import active_recorder, diff_counts
 from repro.obs.profile import profile_snapshot
 from repro.obs.trace import Span, current_trace, span
 
@@ -170,6 +172,10 @@ BASE_ROUTES: dict[MessageType, RouteKind] = {
     MessageType.STATS_RESULT: RouteKind.PIN,
     MessageType.BATCH_REQUEST: RouteKind.ROUTER_LOCAL,
     MessageType.BATCH_RESULT: RouteKind.PIN,
+    # The tenant handshake authenticates against the router's directory;
+    # shard sessions are opened lazily by the router's own links.
+    MessageType.SESSION_OPEN: RouteKind.ROUTER_LOCAL,
+    MessageType.SESSION_ACCEPT: RouteKind.PIN,
     # The profiler snapshot describes the answering *process*: the router
     # answers for itself (per-shard profiles come from each shard's own
     # admin port, like per-shard stats).
@@ -308,10 +314,13 @@ class _LocalLink:
         self._handler = handler
         self.addr = None
 
-    def call(self, message: Message) -> Message:
+    def call(self, message: Message, tenant: str | None = None) -> Message:
         delivered = Message.deserialize(message.serialize())
         try:
-            reply = self._handler.handle(delivered)
+            if tenant is not None and hasattr(self._handler, "handle_as"):
+                reply = self._handler.handle_as(tenant, delivered)
+            else:
+                reply = self._handler.handle(delivered)
         except ReproError as exc:
             return Message(MessageType.ERROR,
                            (type(exc).__name__.encode("utf-8"),))
@@ -335,33 +344,67 @@ class _TcpLink:
     """
 
     def __init__(self, shard_id: int, host: str, port: int,
-                 *, timeout_s: float = DEFAULT_GATHER_TIMEOUT_S) -> None:
+                 *, timeout_s: float = DEFAULT_GATHER_TIMEOUT_S,
+                 token_for=None) -> None:
         self.shard_id = shard_id
         self.addr = (host, port)
         self._timeout_s = timeout_s
-        self._idle: list[socket.socket] = []
+        # Connections are pooled per tenant: a socket that performed a
+        # SESSION_OPEN handshake is bound to that tenant's namespace on
+        # the shard and must never carry another tenant's traffic.  Key
+        # None holds legacy (un-handshaken) connections.
+        self._idle: dict[str | None, list[socket.socket]] = {}
+        self._token_for = token_for
         self._lock = threading.Lock()
         self._closed = False
 
-    def _checkout(self) -> socket.socket:
+    def _handshake(self, sock: socket.socket, tenant: str) -> None:
+        if self._token_for is None:
+            raise ProtocolError(
+                f"shard {self.shard_id} link has no tenant directory; "
+                f"cannot open a {tenant!r} session")
+        request = Message(MessageType.SESSION_OPEN,
+                          (tenant.encode("utf-8"), self._token_for(tenant)))
+        send_frame(sock, request.serialize())
+        frame = recv_frame(sock)
+        if frame is None:
+            raise ProtocolError("connection closed during the handshake")
+        reply = Message.deserialize(frame)
+        if reply.type is MessageType.ERROR:
+            detail = reply.fields[0].decode("utf-8", "replace") \
+                if reply.fields else "ERROR"
+            raise ProtocolError(f"session rejected: {detail}")
+        reply.expect(MessageType.SESSION_ACCEPT, 1)
+
+    def _checkout(self, tenant: str | None) -> socket.socket:
         with self._lock:
             if self._closed:
                 raise ProtocolError(
                     f"shard {self.shard_id} link is closed")
-            if self._idle:
-                return self._idle.pop()
-        return socket.create_connection(self.addr, timeout=self._timeout_s)
+            pool = self._idle.get(tenant)
+            if pool:
+                return pool.pop()
+        sock = socket.create_connection(self.addr, timeout=self._timeout_s)
+        if tenant is not None:
+            try:
+                self._handshake(sock, tenant)
+            except (OSError, ProtocolError) as exc:
+                sock.close()
+                raise ProtocolError(
+                    f"shard {self.shard_id} refused the {tenant!r} "
+                    f"session: {exc}") from exc
+        return sock
 
-    def _checkin(self, sock: socket.socket) -> None:
+    def _checkin(self, sock: socket.socket, tenant: str | None) -> None:
         with self._lock:
             if not self._closed:
-                self._idle.append(sock)
+                self._idle.setdefault(tenant, []).append(sock)
                 return
         sock.close()
 
-    def call(self, message: Message) -> Message:
+    def call(self, message: Message, tenant: str | None = None) -> Message:
         try:
-            sock = self._checkout()
+            sock = self._checkout(tenant)
         except OSError as exc:
             raise ProtocolError(
                 f"shard {self.shard_id} at {self.addr[0]}:{self.addr[1]} "
@@ -377,7 +420,7 @@ class _TcpLink:
             sock.close()
             raise ProtocolError(
                 f"shard {self.shard_id} closed the connection")
-        self._checkin(sock)
+        self._checkin(sock, tenant)
         return Message.deserialize(frame)
 
     def stats(self) -> dict:
@@ -386,10 +429,11 @@ class _TcpLink:
 
     def close(self) -> None:
         with self._lock:
-            idle, self._idle = self._idle, []
+            pools, self._idle = self._idle, {}
             self._closed = True
-        for sock in idle:
-            sock.close()
+        for pool in pools.values():
+            for sock in pool:
+                sock.close()
 
 
 # -- the router -------------------------------------------------------------
@@ -406,20 +450,31 @@ class ShardRouter:
     """
 
     def __init__(self, backends, *, scheme: str | None = None,
-                 metrics=None, tracer=None,
+                 metrics=None, tracer=None, directory=None, clock=None,
                  gather_timeout_s: float = DEFAULT_GATHER_TIMEOUT_S) -> None:
         if not backends:
             raise ParameterError("a router needs at least one shard")
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.tracer = tracer
         self.scheme = scheme
+        # Tenant directory (repro.tenancy.TenantDirectory) when this
+        # router fronts a multi-tenant service: SESSION_OPEN handshakes
+        # authenticate here, qps admission happens here (exactly once —
+        # shard gateways run with enforce_qps=False), and the links mint
+        # per-tenant shard sessions from the directory's tokens.
+        self._directory = directory
+        self._clock = clock
+        self._buckets: dict[str, object] = {}
+        self._buckets_lock = threading.Lock()
+        token_for = directory.token if directory is not None else None
         self._routes = routes_for_scheme(scheme)
         self._links = []
         for index, backend in enumerate(backends):
             if isinstance(backend, tuple):
                 host, port = backend
                 self._links.append(_TcpLink(index, host, port,
-                                            timeout_s=gather_timeout_s))
+                                            timeout_s=gather_timeout_s,
+                                            token_for=token_for))
             else:
                 self._links.append(_LocalLink(index, backend))
         self.ring = HashRing(len(self._links))
@@ -433,8 +488,80 @@ class ShardRouter:
         """Number of shards behind this router."""
         return len(self._links)
 
+    # -- tenant sessions ---------------------------------------------------
+
+    def open_session(self, tenant_id: str, token: bytes) -> str:
+        """Authenticate a ``SESSION_OPEN``; returns the bound tenant id."""
+        if self._directory is None:
+            raise ProtocolError(
+                "service is not tenant-aware; SESSION_OPEN rejected")
+        return self._directory.authenticate(tenant_id, token)
+
+    def accept_session(self, message: Message) -> tuple[Message, str]:
+        """Process a ``SESSION_OPEN`` message into (reply, tenant id)."""
+        fields = message.expect(MessageType.SESSION_OPEN, 2)
+        try:
+            tenant_id = fields[0].decode("utf-8")
+        except UnicodeDecodeError:
+            raise AuthError("session authentication failed") from None
+        verified = self.open_session(tenant_id, fields[1])
+        return (Message(MessageType.SESSION_ACCEPT, (fields[0],)), verified)
+
+    def connect(self):
+        """A per-connection facade for in-process ``Channel`` use."""
+        from repro.tenancy.gateway import SessionConnection
+
+        return SessionConnection(self)
+
+    def _bucket_for(self, tenant_id: str):
+        with self._buckets_lock:
+            if tenant_id not in self._buckets:
+                self._buckets[tenant_id] = \
+                    self._directory.quota(tenant_id).bucket(self._clock)
+            return self._buckets[tenant_id]
+
+    def _admit(self, tenant_id: str, message: Message) -> None:
+        """Charge the tenant's rate quota for one (inner) request.
+
+        Only qps is admitted at the router: the document cap needs the
+        tenant's live document count, which lives on the shards — and
+        ``STORE_DOCUMENT`` broadcasts, so every shard's gateway holds the
+        full per-tenant count and enforces the cap consistently.
+        """
+        if message.type in ADMIN_MESSAGE_TYPES:
+            return
+        bucket = self._bucket_for(tenant_id)
+        if bucket is not None and not bucket.try_take(1.0):
+            self.metrics.counter("quota_rejections_total",
+                                 tenant=tenant_id, reason="rate").inc()
+            raise QuotaExceededError(
+                f"tenant {tenant_id} exceeded its request rate quota")
+
+    def handle_as(self, tenant_id: str, message: Message) -> Message:
+        """Route one request inside the authenticated tenant's namespace."""
+        if self._directory is None or tenant_id not in self._directory:
+            raise AuthError("session authentication failed")
+        if message.type is MessageType.BATCH_REQUEST:
+            return self._handle_batch(message, tenant=tenant_id)
+        if message.type in ADMIN_MESSAGE_TYPES:
+            return self.handle(message)
+        self._admit(tenant_id, message)
+        plan = plan_message(self._routes, self.ring, message)
+        replies, failures = self._scatter(plan.parts, message.type.name,
+                                          message.trace_id, tenant=tenant_id)
+        if failures:
+            raise next(iter(failures.values()))
+        return plan.merge(replies)
+
+    # -- request handling --------------------------------------------------
+
     def handle(self, message: Message) -> Message:
         """Route one request and merge the per-shard replies."""
+        if message.type is MessageType.SESSION_OPEN:
+            # Router-local (see BASE_ROUTES): per-connection binding is
+            # done by the serving layer (RouterServer sessions, or a
+            # ``connect()`` facade for in-process channels).
+            return self.accept_session(message)[0]
         if message.type is MessageType.BATCH_REQUEST:
             return self._handle_batch(message)
         if message.type is MessageType.STATS_REQUEST:
@@ -455,13 +582,29 @@ class ShardRouter:
             raise next(iter(failures.values()))
         return plan.merge(replies)
 
-    def _handle_batch(self, message: Message) -> Message:
-        """Split a batch into per-shard sub-batches; gather positionally."""
+    def _handle_batch(self, message: Message,
+                      tenant: str | None = None) -> Message:
+        """Split a batch into per-shard sub-batches; gather positionally.
+
+        On a tenant session every inner item is admitted against the
+        rate quota first; rejected items answer in-position with an
+        ``ERROR`` and never reach a shard.
+        """
         inner = unpack_batch(message)
-        plans = [plan_message(self._routes, self.ring, item)
-                 for item in inner]
+        rejected: dict[int, Message] = {}
+        if tenant is not None:
+            for index, item in enumerate(inner):
+                try:
+                    self._admit(tenant, item)
+                except QuotaExceededError as exc:
+                    rejected[index] = Message(
+                        MessageType.ERROR,
+                        (type(exc).__name__.encode("ascii"),))
+        plans = {index: plan_message(self._routes, self.ring, item)
+                 for index, item in enumerate(inner)
+                 if index not in rejected}
         per_shard: dict[int, list[tuple[int, Message]]] = {}
-        for index, plan in enumerate(plans):
+        for index, plan in plans.items():
             for shard, part in plan.parts.items():
                 per_shard.setdefault(shard, []).append((index, part))
         envelopes: dict[int, Message] = {}
@@ -471,7 +614,7 @@ class ShardRouter:
             else:
                 envelopes[shard] = pack_batch([part for _, part in items])
         gathered, failures = self._scatter(envelopes, "BATCH_REQUEST",
-                                           message.trace_id)
+                                           message.trace_id, tenant=tenant)
         # Per item and per shard: the sub-reply, or the shard's failure.
         item_replies: dict[int, dict[int, Message]] = {}
         for shard, items in per_shard.items():
@@ -488,9 +631,12 @@ class ShardRouter:
             for (index, _), reply in zip(items, sub_replies):
                 item_replies.setdefault(index, {})[shard] = reply
         replies: list[Message] = []
-        for index, plan in enumerate(plans):
+        for index in range(len(inner)):
+            if index in rejected:
+                replies.append(rejected[index])
+                continue
             try:
-                replies.append(plan.merge(item_replies[index]))
+                replies.append(plans[index].merge(item_replies[index]))
             except ReproError as exc:
                 replies.append(Message(
                     MessageType.ERROR,
@@ -498,7 +644,7 @@ class ShardRouter:
         return pack_batch_result(replies, trace_id=message.trace_id)
 
     def _scatter(self, parts: dict[int, Message], type_name: str,
-                 trace_id: bytes | None
+                 trace_id: bytes | None, tenant: str | None = None
                  ) -> tuple[dict[int, Message], dict[int, ReproError]]:
         """Send each part to its shard concurrently; gather every reply.
 
@@ -518,7 +664,7 @@ class ShardRouter:
                 stamped = Message(part.type, part.fields, trace_id=trace_id)
                 jobs[shard] = self._fanout.submit(
                     self._call_shard, self._links[shard], stamped,
-                    type_name, trace)
+                    type_name, trace, tenant)
             for shard, job in jobs.items():
                 try:
                     replies[shard] = job.result(self._gather_timeout_s)
@@ -530,13 +676,29 @@ class ShardRouter:
         return replies, failures
 
     def _call_shard(self, link, message: Message, type_name: str,
-                    trace) -> Message:
+                    trace, tenant: str | None = None) -> Message:
         started = time.perf_counter()
         reply: Message | None = None
+        # Thread-mode shards run on this fanout thread, so any scheme
+        # crypto they perform lands on its op recorder; attributing the
+        # delta here gives sharded deployments the same per-tenant
+        # ``crypto_ops_total`` accounting a single server produces.
+        # (Process-mode links only move bytes — their delta is zero and
+        # the shard workers count their own ops shard-side.)
+        ops = active_recorder()
+        before = ops.thread_snapshot()
         try:
-            reply = link.call(message)
+            reply = link.call(message, tenant=tenant)
             return reply
         finally:
+            delta = diff_counts(ops.thread_snapshot(), before)
+            if delta:
+                op_labels = {"type": type_name}
+                if tenant is not None:
+                    op_labels["tenant"] = tenant
+                for op, n in delta.items():
+                    self.metrics.counter("crypto_ops_total", op=op,
+                                         **op_labels).inc(n)
             # Router-leg bandwidth, counted only for completed calls so
             # the totals reconcile exactly with what the shards report
             # (a shard counts a frame only once fully received/sent).
@@ -544,12 +706,17 @@ class ShardRouter:
             # pair: the router's server half shares this registry.
             if reply is not None \
                     and message.type not in ADMIN_MESSAGE_TYPES:
+                sent_labels = {"type": type_name}
+                recv_labels = {"type": reply.type.name}
+                if tenant is not None:
+                    sent_labels["tenant"] = tenant
+                    recv_labels["tenant"] = tenant
                 self.metrics.counter(
                     "router_bytes_sent_total",
-                    type=type_name).inc(message.wire_size)
+                    **sent_labels).inc(message.wire_size)
                 self.metrics.counter(
                     "router_bytes_received_total",
-                    type=reply.type.name).inc(reply.wire_size)
+                    **recv_labels).inc(reply.wire_size)
             if trace is not None:
                 attrs = {"shard": link.shard_id, "type": type_name}
                 if reply is not None:
@@ -602,9 +769,31 @@ class RouterServer(TcpSseServer):
     """
 
     def _handle_locked(self, message: Message, type_name: str,
-                       request_bytes: int | None = None) -> Message:
+                       request_bytes: int | None = None, *,
+                       tenant: str | None = None) -> Message:
         with span("server.handle", type=type_name) as sp:
-            reply = self._handler.handle(message)
+            if tenant is not None:
+                sp.set(tenant=tenant)
+            ops = active_recorder()
+            before = ops.thread_snapshot()
+            if tenant is not None:
+                reply = self._handler.handle_as(tenant, message)
+            else:
+                reply = self._handler.handle(message)
+            # Thread-mode shards run inside this process, so any scheme
+            # crypto they perform lands on this thread's op recorder —
+            # attributing it here keeps per-tenant crypto accounting
+            # uniform across single-server and sharded deployments.
+            # (Process-mode shards count their own ops shard-side.)
+            delta = diff_counts(ops.thread_snapshot(), before)
+            if delta:
+                sp.set(ops=delta)
+                op_labels = {"type": type_name}
+                if tenant is not None:
+                    op_labels["tenant"] = tenant
+                for op, n in delta.items():
+                    self.metrics.counter("crypto_ops_total", op=op,
+                                         **op_labels).inc(n)
             if request_bytes is not None:
                 sp.set(wire_bytes={"received": request_bytes,
                                    "sent": reply.wire_size})
@@ -644,7 +833,13 @@ def _shard_worker_main(spec: dict, conn) -> None:
         from repro.obs.trace import Tracer
 
         server = make_server(spec["scheme"], seed=spec["seed"],
-                             data_dir=spec["data_dir"], **spec["options"])
+                             data_dir=spec["data_dir"],
+                             tenants=spec.get("tenants_config"),
+                             **spec["options"])
+        if spec.get("tenants_config") is not None:
+            # The router admits each request's rate quota exactly once;
+            # double-charging it here would halve every tenant's qps.
+            server.enforce_qps = False
         tracer = Tracer() if spec.get("trace") else None
         tcp = TcpSseServer(server, host=spec["host"], port=0,
                            max_workers=spec.get("workers"), tracer=tracer)
@@ -744,7 +939,11 @@ class _ThreadShard:
 
         spec = self._spec
         server = make_server(spec["scheme"], seed=spec["seed"],
-                             data_dir=spec["data_dir"], **spec["options"])
+                             data_dir=spec["data_dir"],
+                             tenants=spec.get("tenants_config"),
+                             **spec["options"])
+        if spec.get("tenants_config") is not None:
+            server.enforce_qps = False  # the router admits qps once
         tracer = Tracer() if spec.get("trace") else None
         self._tcp = TcpSseServer(server, host=spec["host"], port=0,
                                  max_workers=spec.get("workers"),
@@ -829,7 +1028,7 @@ def start_service(scheme: str, *, shards: int = 2,
                   host: str = "127.0.0.1", port: int = 0,
                   shard_mode: str = "process", workers: int | None = None,
                   metrics=None, tracer=None, trace_shards: bool = False,
-                  options: dict | None = None) -> Service:
+                  tenants=None, options: dict | None = None) -> Service:
     """Spawn *shards* scheme servers and a started router over them.
 
     Use :func:`repro.core.registry.make_service`, which validates the
@@ -837,6 +1036,13 @@ def start_service(scheme: str, *, shards: int = 2,
     is built with the same *seed* so structural key material (Scheme 1's
     ElGamal modulus) matches across the partition; with *data_dir* each
     shard journals under ``<data_dir>/shard-<i>/``.
+
+    *tenants* (a :class:`~repro.tenancy.TenantDirectory` or its
+    ``to_config()`` dict) makes the whole service tenant-aware: the
+    router authenticates ``SESSION_OPEN`` and admits per-tenant rate
+    quotas, every shard runs a :class:`~repro.tenancy.TenantGateway`
+    keeping per-tenant state disjoint, and the config crosses the
+    process-spawn boundary as plain JSON.
     """
     import os
 
@@ -844,6 +1050,14 @@ def start_service(scheme: str, *, shards: int = 2,
         raise ParameterError("a service needs at least one shard")
     if shard_mode not in ("process", "thread"):
         raise ParameterError("shard_mode must be 'process' or 'thread'")
+    directory = None
+    tenants_config = None
+    if tenants is not None:
+        from repro.tenancy import TenantDirectory
+
+        directory = tenants if isinstance(tenants, TenantDirectory) \
+            else TenantDirectory.from_config(tenants)
+        tenants_config = directory.to_config()
     shard_cls = _ProcessShard if shard_mode == "process" else _ThreadShard
     list_spec = []
     for index in range(shards):
@@ -853,7 +1067,7 @@ def start_service(scheme: str, *, shards: int = 2,
         list_spec.append(shard_cls(index, {
             "scheme": scheme, "seed": seed, "options": dict(options or {}),
             "data_dir": shard_dir, "host": host, "workers": workers,
-            "trace": trace_shards,
+            "trace": trace_shards, "tenants_config": tenants_config,
         }))
     started = []
     try:
@@ -865,7 +1079,8 @@ def start_service(scheme: str, *, shards: int = 2,
         # DEFAULT_MAX_WORKERS alone would serialize the whole service on a
         # small machine.
         router = RouterServer(
-            ShardRouter([shard.addr for shard in started], scheme=scheme),
+            ShardRouter([shard.addr for shard in started], scheme=scheme,
+                        directory=directory),
             host=host, port=port, metrics=metrics, tracer=tracer,
             max_workers=max(8, 2 * shards, workers or 0))
         router.start()

@@ -192,13 +192,42 @@ class TcpSseServer:
                 if reply.type not in ADMIN_MESSAGE_TYPES:
                     self.metrics.counter(
                         "bytes_sent_total",
-                        type=reply.type.name).inc(len(payload))
+                        **self._tenant_labels(session,
+                                              type=reply.type.name)
+                    ).inc(len(payload))
                 try:
                     send_frame(session.socket, payload)
                 except OSError:
                     return
         finally:
             self.sessions.close(session)
+
+    @staticmethod
+    def _tenant_labels(session, **labels) -> dict:
+        """Metric labels for this request: add ``tenant`` once bound."""
+        tenant = getattr(session, "tenant", None)
+        if tenant is not None:
+            labels["tenant"] = tenant
+        return labels
+
+    def _open_session(self, message: Message, session) -> Message:
+        """Answer a ``SESSION_OPEN`` handshake, binding the session.
+
+        Runs outside the state lock — authentication touches no index
+        state — but *inside* the metrics/trace accounting, unlike the
+        admin snapshots: the handshake is real protocol traffic.
+        """
+        fields = message.expect(MessageType.SESSION_OPEN, 2)
+        opener = getattr(self._handler, "open_session", None)
+        if opener is None:
+            raise ProtocolError(
+                "server is not tenant-aware; SESSION_OPEN rejected")
+        try:
+            tenant_id = fields[0].decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError("tenant id must be valid UTF-8") from None
+        session.tenant = opener(tenant_id, fields[1])
+        return Message(MessageType.SESSION_ACCEPT, (fields[0],))
 
     def _dispatch(self, frame: bytes, session, received_s: float) -> Message:
         started = time.perf_counter()
@@ -218,16 +247,23 @@ class TcpSseServer:
                 # must be fetchable while the hot path it is profiling
                 # holds the state lock.
                 return self._profile_reply()
-            self.metrics.counter("bytes_received_total",
-                                 type=type_name).inc(len(frame))
+            self.metrics.counter(
+                "bytes_received_total",
+                **self._tenant_labels(session, type=type_name)
+            ).inc(len(frame))
             self.metrics.histogram("queue_wait_seconds").observe(
                 started - received_s)
             if self.tracer is not None and message.trace_id is not None:
                 trace = tracer.begin(message.trace_id, type_name)
                 trace.add_span(Span("server.queue_wait", received_s,
                                     started - received_s))
-            with tracer.activate(trace):
-                reply = self._handle_locked(message, type_name, len(frame))
+            if message.type is MessageType.SESSION_OPEN:
+                reply = self._open_session(message, session)
+            else:
+                with tracer.activate(trace):
+                    reply = self._handle_locked(message, type_name,
+                                                len(frame),
+                                                tenant=session.tenant)
             session.requests_handled += 1
             return reply
         except ReproError as exc:
@@ -240,12 +276,15 @@ class TcpSseServer:
             if trace is not None:
                 tracer.finish(trace)
             elapsed = time.perf_counter() - started
-            self.metrics.counter("requests_total", type=type_name).inc()
+            self.metrics.counter(
+                "requests_total",
+                **self._tenant_labels(session, type=type_name)).inc()
             self.metrics.histogram("request_seconds",
                                    type=type_name).observe(elapsed)
 
     def _handle_locked(self, message: Message, type_name: str,
-                       request_bytes: int | None = None) -> Message:
+                       request_bytes: int | None = None, *,
+                       tenant: str | None = None) -> Message:
         """Run the handler under the right lock side, measuring the waits.
 
         A batch takes its lock **once** for all items: read if every inner
@@ -268,15 +307,24 @@ class TcpSseServer:
                                 {"mode": mode}))
         try:
             with span("server.handle", type=type_name) as sp:
+                if tenant is not None:
+                    sp.set(tenant=tenant)
                 ops = active_recorder()
                 before = ops.thread_snapshot()
-                reply = self._handler.handle(message)
+                if tenant is not None \
+                        and hasattr(self._handler, "handle_as"):
+                    reply = self._handler.handle_as(tenant, message)
+                else:
+                    reply = self._handler.handle(message)
                 delta = diff_counts(ops.thread_snapshot(), before)
                 if delta:
                     sp.set(ops=delta)
+                    op_labels = {"type": type_name}
+                    if tenant is not None:
+                        op_labels["tenant"] = tenant
                     for op, n in delta.items():
                         self.metrics.counter("crypto_ops_total", op=op,
-                                             type=type_name).inc(n)
+                                             **op_labels).inc(n)
                 if request_bytes is not None:
                     sp.set(wire_bytes={"received": request_bytes,
                                        "sent": reply.wire_size})

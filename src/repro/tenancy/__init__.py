@@ -1,0 +1,22 @@
+"""Multi-tenant key domains, session auth, and quotas.
+
+See ``docs/multitenancy.md`` for the full design: HKDF key-domain
+derivation off one operator secret, the ``SESSION_OPEN`` /
+``SESSION_ACCEPT`` handshake, ``t:<id>:`` state-prefix isolation, and
+token-bucket quota admission.
+"""
+
+from repro.tenancy.derive import (OperatorSecret, TENANT_LABEL,
+                                  tenant_state_prefix, validate_tenant_id)
+from repro.tenancy.gateway import (DEFAULT_TENANT, TENANTS_CONFIG_FORMAT,
+                                   SessionConnection, Tenant,
+                                   TenantDirectory, TenantGateway)
+from repro.tenancy.quota import UNLIMITED, TenantQuota, TokenBucket
+
+__all__ = [
+    "OperatorSecret", "TENANT_LABEL",
+    "tenant_state_prefix", "validate_tenant_id",
+    "Tenant", "TenantDirectory", "TenantGateway", "SessionConnection",
+    "DEFAULT_TENANT", "TENANTS_CONFIG_FORMAT",
+    "TenantQuota", "TokenBucket", "UNLIMITED",
+]

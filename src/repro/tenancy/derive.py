@@ -1,0 +1,132 @@
+"""Per-tenant key domains derived from one operator master secret.
+
+A multi-tenant deployment holds exactly one long-term secret — the
+*operator master secret* — and derives every tenant-facing key from it
+with HKDF (RFC 5869) over the repo's from-scratch HMAC-SHA256.  Each
+derivation is bound to the tenant id through the expand ``info`` label
+``b"repro.tenant." + tenant_id``, so
+
+* no tenant's :class:`~repro.core.keys.MasterKey` is computable from any
+  other tenant's key material (HKDF expand outputs under distinct infos
+  are independent PRF outputs), and
+* the per-tenant *auth token* presented in the ``SESSION_OPEN``
+  handshake is a plain HKDF output too — verifying it is one derivation
+  plus a constant-time compare, with no token database to protect.
+
+The raw secret (``OperatorSecret._ikm``) is consumed **only** inside
+this module; the ``key-hygiene`` repro-lint rule enforces that every
+other layer goes through :meth:`OperatorSecret.tenant_master_key` /
+:meth:`OperatorSecret.tenant_token` instead of touching the input keying
+material or the HKDF primitives directly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.keys import MasterKey
+from repro.crypto.bytesutil import ct_equal
+from repro.crypto.prg import hkdf_expand, hkdf_extract
+from repro.crypto.rng import SystemRandomSource
+from repro.errors import ParameterError
+
+__all__ = ["OperatorSecret", "TENANT_LABEL",
+           "validate_tenant_id", "tenant_state_prefix"]
+
+#: Domain-separation label prefixed to every per-tenant derivation info.
+TENANT_LABEL = b"repro.tenant."
+
+#: Fixed extract salt; a constant is fine because the IKM is uniform.
+_EXTRACT_SALT = b"repro.tenant.hkdf.salt"
+
+#: Tenant ids are path/prefix-safe: no colon (it delimits the ``t:<id>:``
+#: state prefix), no NUL, and short enough to embed in wire messages.
+_TENANT_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_MIN_SECRET_LEN = 16
+
+
+def validate_tenant_id(tenant_id: str) -> str:
+    """Return *tenant_id* if well-formed, else raise ParameterError."""
+    if not isinstance(tenant_id, str) or not _TENANT_ID.match(tenant_id):
+        raise ParameterError(
+            "tenant id must be 1-64 characters of [A-Za-z0-9._-] "
+            "starting with an alphanumeric")
+    return tenant_id
+
+
+def tenant_state_prefix(tenant_id: str) -> bytes:
+    """The ``t:<id>:`` namespace prefix wrapped around a tenant's records.
+
+    Applied by :class:`~repro.core.persistence.DurableServer` at the
+    key-value boundary, *outside* the per-scheme prefixes (``s1:``,
+    ``cgko.a:``, ...), so one shared journal/snapshot store never mixes
+    tenants (see ``repro.core.state`` for the namespace table).
+    """
+    return b"t:" + validate_tenant_id(tenant_id).encode("ascii") + b":"
+
+
+class OperatorSecret:
+    """The single long-term secret of a multi-tenant operator.
+
+    Everything tenant-scoped — master keys, auth tokens — is an HKDF
+    derivation off this secret; the secret itself never leaves this
+    class except through :meth:`to_hex` (for the tenants config file).
+    """
+
+    def __init__(self, material: bytes) -> None:
+        if not isinstance(material, (bytes, bytearray)) \
+                or len(material) < _MIN_SECRET_LEN:
+            raise ParameterError(
+                f"operator secret needs at least {_MIN_SECRET_LEN} bytes")
+        self._ikm = bytes(material)
+        self._prk = hkdf_extract(_EXTRACT_SALT, self._ikm)
+
+    @classmethod
+    def generate(cls, rng=None) -> "OperatorSecret":
+        """Sample a fresh 32-byte secret (OS randomness by default)."""
+        rng = rng if rng is not None else SystemRandomSource()
+        return cls(rng.random_bytes(32))
+
+    @classmethod
+    def from_hex(cls, text: str) -> "OperatorSecret":
+        """Rebuild from the hex form stored in a tenants config file."""
+        try:
+            return cls(bytes.fromhex(text))
+        except ValueError as exc:
+            raise ParameterError("operator secret is not valid hex") from exc
+
+    def to_hex(self) -> str:
+        """Hex form for persistence in a tenants config file."""
+        return self._ikm.hex()
+
+    @property
+    def fingerprint(self) -> str:
+        """A short non-secret identifier for logs and config sanity checks."""
+        return hkdf_expand(self._prk, TENANT_LABEL + b"\x00fingerprint",
+                           8).hex()
+
+    def _expand(self, tenant_id: str, role: bytes, length: int) -> bytes:
+        # info = "repro.tenant." + id + NUL + role; tenant ids cannot
+        # contain NUL, so (id, role) pairs map to distinct infos.
+        info = (TENANT_LABEL + validate_tenant_id(tenant_id).encode("ascii")
+                + b"\x00" + role)
+        return hkdf_expand(self._prk, info, length)
+
+    def tenant_master_key(self, tenant_id: str) -> MasterKey:
+        """The tenant's scheme master key K = (k_m, k_w)."""
+        okm = self._expand(tenant_id, b"master", 64)
+        return MasterKey(k_m=okm[:32], k_w=okm[32:])
+
+    def tenant_token(self, tenant_id: str) -> bytes:
+        """The tenant's 32-byte session auth token."""
+        return self._expand(tenant_id, b"token", 32)
+
+    def verify_token(self, tenant_id: str, token: bytes) -> bool:
+        """Constant-time check of a presented session token."""
+        if not isinstance(token, (bytes, bytearray)):
+            return False
+        return ct_equal(self.tenant_token(tenant_id), bytes(token))
+
+    def __repr__(self) -> str:
+        return f"OperatorSecret(fingerprint={self.fingerprint})"

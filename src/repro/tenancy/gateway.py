@@ -1,0 +1,401 @@
+"""Tenant directory and the tenant-scoped server gateway.
+
+:class:`TenantDirectory` is the operator's view: which tenants exist,
+their quotas, and (via the operator secret) their derived keys and
+session tokens.  :class:`TenantGateway` is the server-side enforcement
+point: it owns one backend scheme server per tenant, authenticates
+``SESSION_OPEN`` handshakes, admits requests against per-tenant quotas,
+and routes every message to the authenticated tenant's backend so no
+request can ever touch another tenant's state.
+
+Legacy clients that never perform the handshake keep working for one
+release: :meth:`TenantGateway.handle` maps them to the *default tenant*
+and emits a ``DeprecationWarning`` once per gateway.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+from repro.errors import (AuthError, ParameterError, ProtocolError,
+                          QuotaExceededError)
+from repro.net.messages import (ADMIN_MESSAGE_TYPES, Message, MessageType,
+                                pack_batch, pack_batch_result, unpack_batch,
+                                unpack_batch_result)
+from repro.obs.metrics import NULL_METRICS
+from repro.tenancy.derive import OperatorSecret, validate_tenant_id
+from repro.tenancy.quota import TenantQuota
+
+__all__ = ["Tenant", "TenantDirectory", "TenantGateway",
+           "SessionConnection", "DEFAULT_TENANT", "TENANTS_CONFIG_FORMAT"]
+
+#: The tenant implicit sessions map to during the deprecation window.
+DEFAULT_TENANT = "default"
+
+#: Format tag of the JSON tenants config (see ``repro tenant add``).
+TENANTS_CONFIG_FORMAT = "repro.tenants/1"
+
+
+class Tenant:
+    """One tenant as seen through a directory: id, keys, token, quota."""
+
+    __slots__ = ("tenant_id", "_directory")
+
+    def __init__(self, tenant_id: str, directory: "TenantDirectory") -> None:
+        self.tenant_id = tenant_id
+        self._directory = directory
+
+    @property
+    def master_key(self):
+        """The tenant's derived scheme master key."""
+        return self._directory.master_key(self.tenant_id)
+
+    @property
+    def token(self) -> bytes:
+        """The tenant's session auth token."""
+        return self._directory.token(self.tenant_id)
+
+    @property
+    def quota(self) -> TenantQuota:
+        """The tenant's admission quota."""
+        return self._directory.quota(self.tenant_id)
+
+    def __repr__(self) -> str:
+        return f"Tenant({self.tenant_id!r})"
+
+
+class TenantDirectory:
+    """Registered tenants, their quotas, and the operator secret."""
+
+    def __init__(self, operator: OperatorSecret | None = None) -> None:
+        self._operator = operator if operator is not None \
+            else OperatorSecret.generate()
+        self._quotas: dict[str, TenantQuota] = {}
+
+    @property
+    def fingerprint(self) -> str:
+        """The operator secret's non-secret fingerprint."""
+        return self._operator.fingerprint
+
+    def add(self, tenant_id: str, quota: TenantQuota | None = None
+            ) -> Tenant:
+        """Register (or re-register) a tenant; returns its binding."""
+        tenant_id = validate_tenant_id(tenant_id)
+        self._quotas[tenant_id] = quota if quota is not None else TenantQuota()
+        return Tenant(tenant_id, self)
+
+    def set_quota(self, tenant_id: str, quota: TenantQuota) -> None:
+        """Replace a registered tenant's quota."""
+        self._require(tenant_id)
+        self._quotas[tenant_id] = quota
+
+    def ids(self) -> tuple[str, ...]:
+        """All registered tenant ids, sorted."""
+        return tuple(sorted(self._quotas))
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._quotas
+
+    def _require(self, tenant_id: str) -> str:
+        if tenant_id not in self._quotas:
+            raise ParameterError(f"unknown tenant: {tenant_id}")
+        return tenant_id
+
+    def tenant(self, tenant_id: str) -> Tenant:
+        """Binding for a registered tenant (ParameterError if unknown)."""
+        return Tenant(self._require(tenant_id), self)
+
+    def quota(self, tenant_id: str) -> TenantQuota:
+        """The tenant's quota (ParameterError if unknown)."""
+        return self._quotas[self._require(tenant_id)]
+
+    def master_key(self, tenant_id: str):
+        """Derived master key of a registered tenant."""
+        return self._operator.tenant_master_key(self._require(tenant_id))
+
+    def token(self, tenant_id: str) -> bytes:
+        """Session auth token of a registered tenant."""
+        return self._operator.tenant_token(self._require(tenant_id))
+
+    def authenticate(self, tenant_id: str, token: bytes) -> str:
+        """Verify a handshake; returns the tenant id or raises AuthError.
+
+        Unknown tenant and bad token collapse into one indistinguishable
+        rejection so the handshake cannot be used to enumerate tenants.
+        """
+        try:
+            validate_tenant_id(tenant_id)
+        except ParameterError:
+            raise AuthError("session authentication failed") from None
+        if tenant_id not in self._quotas \
+                or not self._operator.verify_token(tenant_id, token):
+            raise AuthError("session authentication failed")
+        return tenant_id
+
+    def to_config(self) -> dict:
+        """JSON-safe config: operator secret (hex) plus quotas."""
+        return {
+            "format": TENANTS_CONFIG_FORMAT,
+            "operator_secret": self._operator.to_hex(),
+            "tenants": {tid: quota.to_dict()
+                        for tid, quota in sorted(self._quotas.items())},
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "TenantDirectory":
+        """Rebuild a directory from :meth:`to_config` output."""
+        if config.get("format") != TENANTS_CONFIG_FORMAT:
+            raise ParameterError(
+                f"unsupported tenants config format: {config.get('format')!r}")
+        directory = cls(OperatorSecret.from_hex(config["operator_secret"]))
+        for tenant_id, quota in config.get("tenants", {}).items():
+            directory.add(tenant_id, TenantQuota.from_dict(quota))
+        return directory
+
+    @classmethod
+    def load(cls, path: str) -> "TenantDirectory":
+        """Read a tenants config file from disk."""
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_config(json.load(fh))
+
+    def save(self, path: str) -> None:
+        """Write the tenants config file (overwrites)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_config(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+class SessionConnection:
+    """Per-connection facade for in-process channels.
+
+    Mirrors what a TCP session does: a ``SESSION_OPEN`` binds the
+    connection to a tenant, and every later message is resolved against
+    that tenant.  Unopened connections fall through to the target's
+    legacy default-tenant shim.  Works over any handler exposing
+    ``accept_session`` / ``handle`` / ``handle_as`` — the gateway here
+    and :class:`~repro.net.shard.ShardRouter` both qualify.
+    """
+
+    def __init__(self, target) -> None:
+        self._target = target
+        self.tenant: str | None = None
+
+    def handle(self, message: Message) -> Message:
+        if message.type is MessageType.SESSION_OPEN:
+            reply, tenant_id = self._target.accept_session(message)
+            self.tenant = tenant_id
+            return reply
+        if self.tenant is None:
+            return self._target.handle(message)
+        return self._target.handle_as(self.tenant, message)
+
+    def close(self) -> None:
+        """Connections hold no resources; the target outlives them."""
+
+
+class TenantGateway:
+    """Routes every request to the authenticated tenant's backend.
+
+    *build_backend* is called once per tenant id and must return a
+    scheme server handler (typically durable, journaling under the
+    tenant's ``t:<id>:`` prefix).  ``enforce_qps`` is switched off on
+    shard workers, where the router already admitted the request once.
+    """
+
+    def __init__(self, directory: TenantDirectory, build_backend, *,
+                 metrics=None, clock=None, default_tenant: str =
+                 DEFAULT_TENANT, enforce_qps: bool = True) -> None:
+        self.directory = directory
+        self.default_tenant = validate_tenant_id(default_tenant)
+        self.enforce_qps = enforce_qps
+        self._build = build_backend
+        self._clock = clock
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._backends: dict[str, object] = {}
+        self._buckets: dict[str, object] = {}
+        self._warned_default = False
+        if self.default_tenant not in directory:
+            directory.add(self.default_tenant)
+        for tenant_id in directory.ids():
+            self._ensure_backend(tenant_id)
+
+    @property
+    def metrics(self):
+        """The gateway's metrics registry."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        # The TCP server propagates its registry into the handler the
+        # same way DurableServer does; forward it to every backend that
+        # accepts one so storage/handler metrics land in one registry.
+        self._metrics = registry
+        for backend in self._backends.values():
+            if hasattr(backend, "metrics"):
+                backend.metrics = registry
+
+    def _ensure_backend(self, tenant_id: str):
+        if tenant_id not in self._backends:
+            self._backends[tenant_id] = self._build(tenant_id)
+            self._buckets[tenant_id] = \
+                self.directory.quota(tenant_id).bucket(self._clock)
+        return self._backends[tenant_id]
+
+    def backend(self, tenant_id: str):
+        """The tenant's backend handler (ParameterError if unknown)."""
+        self.directory.tenant(tenant_id)
+        return self._ensure_backend(tenant_id)
+
+    def tenants(self) -> tuple[str, ...]:
+        """Tenant ids with instantiated backends."""
+        return tuple(sorted(self._backends))
+
+    # -- session handshake -------------------------------------------------
+
+    def open_session(self, tenant_id: str, token: bytes) -> str:
+        """Authenticate a handshake; returns the bound tenant id."""
+        verified = self.directory.authenticate(tenant_id, token)
+        self._ensure_backend(verified)
+        return verified
+
+    def accept_session(self, message: Message) -> tuple[Message, str]:
+        """Process a ``SESSION_OPEN`` message into (reply, tenant id)."""
+        fields = message.expect(MessageType.SESSION_OPEN, 2)
+        try:
+            tenant_id = fields[0].decode("utf-8")
+        except UnicodeDecodeError:
+            raise AuthError("session authentication failed") from None
+        verified = self.open_session(tenant_id, fields[1])
+        return (Message(MessageType.SESSION_ACCEPT, (fields[0],)), verified)
+
+    # -- request handling --------------------------------------------------
+
+    def handle(self, message: Message) -> Message:
+        """Legacy entry point: implicit sessions map to the default tenant.
+
+        This shim exists for one release; explicit ``SESSION_OPEN``
+        handshakes (or :meth:`connect`) are the supported path.
+        """
+        if message.type is MessageType.SESSION_OPEN:
+            return self.accept_session(message)[0]
+        if message.type not in ADMIN_MESSAGE_TYPES \
+                and not self._warned_default:
+            self._warned_default = True
+            warnings.warn(
+                "implicit sessions against a tenant-aware server are "
+                "deprecated and map to the default tenant; perform a "
+                "SESSION_OPEN handshake (SseClient.open) instead",
+                DeprecationWarning, stacklevel=2)
+        return self.handle_as(self.default_tenant, message)
+
+    def handle_as(self, tenant_id: str, message: Message) -> Message:
+        """Handle *message* inside the authenticated tenant's namespace."""
+        if tenant_id not in self._backends:
+            raise AuthError("session authentication failed")
+        backend = self._backends[tenant_id]
+        if message.type in ADMIN_MESSAGE_TYPES:
+            return backend.handle(message)
+        if message.type is MessageType.BATCH_REQUEST:
+            return self._handle_batch(tenant_id, backend, message)
+        self._admit(tenant_id, backend, message, admitted_stores=[0])
+        return backend.handle(message)
+
+    def _handle_batch(self, tenant_id: str, backend,
+                      message: Message) -> Message:
+        """Admit each batch item; rejections answer in-position.
+
+        Admitted items are re-packed into one sub-batch so the backend
+        still sees a single envelope (one lock, one journal flush).
+        """
+        inner = unpack_batch(message)
+        admitted_stores = [0]
+        verdicts: list[str | None] = []
+        for item in inner:
+            try:
+                self._admit(tenant_id, backend, item,
+                            admitted_stores=admitted_stores)
+                verdicts.append(None)
+            except QuotaExceededError as exc:
+                verdicts.append(type(exc).__name__)
+        admitted = [item for item, v in zip(inner, verdicts) if v is None]
+        if not admitted:
+            replies: list[Message] = []
+        else:
+            sub = pack_batch(admitted, trace_id=message.trace_id)
+            replies = list(unpack_batch_result(backend.handle(sub),
+                                               expected_count=len(admitted)))
+        out: list[Message] = []
+        for verdict in verdicts:
+            if verdict is None:
+                out.append(replies.pop(0))
+            else:
+                out.append(Message(MessageType.ERROR,
+                                   (verdict.encode("ascii"),)))
+        return pack_batch_result(out, trace_id=message.trace_id)
+
+    def _admit(self, tenant_id: str, backend, message: Message,
+               *, admitted_stores: list[int]) -> None:
+        """Charge quotas for one (inner) message; raise when over."""
+        if message.type in ADMIN_MESSAGE_TYPES:
+            return
+        bucket = self._buckets.get(tenant_id)
+        if self.enforce_qps and bucket is not None \
+                and not bucket.try_take(1.0):
+            self._count_rejection(tenant_id, "rate")
+            raise QuotaExceededError(
+                f"tenant {tenant_id} exceeded its request rate quota")
+        if message.type is MessageType.STORE_DOCUMENT:
+            quota = self.directory.quota(tenant_id)
+            if quota.max_documents is not None:
+                if len(message.fields) % 2:
+                    raise ProtocolError(
+                        "STORE_DOCUMENT fields must come in pairs")
+                new_docs = len(message.fields) // 2
+                live = len(backend.documents)
+                if live + admitted_stores[0] + new_docs \
+                        > quota.max_documents:
+                    self._count_rejection(tenant_id, "documents")
+                    raise QuotaExceededError(
+                        f"tenant {tenant_id} exceeded its document quota "
+                        f"({quota.max_documents})")
+                admitted_stores[0] += new_docs
+
+    def _count_rejection(self, tenant_id: str, reason: str) -> None:
+        self._metrics.counter("quota_rejections_total", tenant=tenant_id,
+                              reason=reason).inc()
+
+    # -- embedding / lifecycle ---------------------------------------------
+
+    def connect(self) -> SessionConnection:
+        """A per-connection facade for in-process ``Channel`` use."""
+        return SessionConnection(self)
+
+    def stats(self) -> dict:
+        """Per-tenant occupancy and quota snapshot."""
+        tenants = {}
+        for tenant_id, backend in sorted(self._backends.items()):
+            docstore = getattr(backend, "documents", None)
+            tenants[tenant_id] = {
+                "documents": len(docstore) if docstore is not None else 0,
+                "quota": self.directory.quota(tenant_id).to_dict(),
+            }
+        return {"tenants": tenants}
+
+    def start(self) -> None:
+        """Start every backend that distinguishes start from construction."""
+        for backend in self._backends.values():
+            if hasattr(backend, "start"):
+                backend.start()
+
+    def stop(self) -> None:
+        """Stop every backend (flushes durable state)."""
+        for backend in self._backends.values():
+            if hasattr(backend, "stop"):
+                backend.stop()
+
+    def close(self) -> None:
+        """Close every backend; the shared store closes with the last."""
+        for backend in self._backends.values():
+            if hasattr(backend, "close"):
+                backend.close()

@@ -1,0 +1,117 @@
+"""Per-tenant admission quotas: document caps and token-bucket rates.
+
+Quotas are *admission* control: a request over quota is rejected before
+it reaches the scheme handler, surfaced as
+:class:`~repro.errors.QuotaExceededError` — per item inside a batch, so
+one over-quota store never poisons the admitted items around it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["TenantQuota", "TokenBucket", "UNLIMITED"]
+
+#: Sentinel meaning "no limit" in config files (JSON null also works).
+UNLIMITED = None
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Limits for one tenant; ``None`` in any slot means unlimited.
+
+    * ``max_documents`` — cap on live documents (checked at admission
+      against the tenant's current count plus stores already admitted in
+      the same batch).
+    * ``max_qps`` — sustained request rate, enforced by a token bucket.
+    * ``burst`` — bucket depth; defaults to ``max(1, max_qps)`` so a
+      tenant can always issue at least one request after an idle period.
+    """
+
+    max_documents: int | None = None
+    max_qps: float | None = None
+    burst: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_documents is not None and self.max_documents < 0:
+            raise ParameterError("max_documents must be >= 0")
+        if self.max_qps is not None and self.max_qps <= 0:
+            raise ParameterError("max_qps must be positive")
+        if self.burst is not None and self.burst <= 0:
+            raise ParameterError("burst must be positive")
+
+    def bucket(self, clock=None) -> "TokenBucket | None":
+        """A fresh token bucket for this quota, or None if unlimited."""
+        if self.max_qps is None:
+            return None
+        burst = self.burst if self.burst is not None \
+            else max(1.0, float(self.max_qps))
+        return TokenBucket(self.max_qps, burst, clock=clock)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form for the tenants config file."""
+        return {"max_documents": self.max_documents,
+                "max_qps": self.max_qps, "burst": self.burst}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantQuota":
+        """Rebuild from :meth:`to_dict` output (unknown keys rejected)."""
+        unknown = set(data) - {"max_documents", "max_qps", "burst"}
+        if unknown:
+            raise ParameterError(
+                f"unknown quota keys: {', '.join(sorted(unknown))}")
+        return cls(max_documents=data.get("max_documents"),
+                   max_qps=data.get("max_qps"), burst=data.get("burst"))
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill up to ``burst``.
+
+    The clock is injectable so tests (and the Hypothesis quota suite)
+    can step time deterministically.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=None) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ParameterError("token bucket rate and burst must be > 0")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = self._burst
+        self._last = self._clock()
+        self._lock = threading.Lock()
+
+    @property
+    def rate(self) -> float:
+        """Sustained refill rate in tokens per second."""
+        return self._rate
+
+    @property
+    def burst(self) -> float:
+        """Bucket depth (maximum tokens held)."""
+        return self._burst
+
+    def tokens(self) -> float:
+        """Current token level (after refill; mainly for tests/stats)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take *n* tokens if available; False (no debt) otherwise."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False

@@ -4,11 +4,17 @@ from repro.workloads.generator import (WorkloadSpec, generate_collection,
                                        keyword_universe)
 from repro.workloads.ops import Operation, gp_day_stream, interleaved_stream
 from repro.workloads.replay import ReplayStats, replay
+from repro.workloads.tenants import (SimulationReport, TenantProfile,
+                                     TenantStats, run_simulation,
+                                     synthesize_tenants, tenant_corpus)
 from repro.workloads.zipf import ZipfSampler
 
 __all__ = [
     "Operation",
     "ReplayStats",
+    "SimulationReport",
+    "TenantProfile",
+    "TenantStats",
     "WorkloadSpec",
     "ZipfSampler",
     "generate_collection",
@@ -16,4 +22,7 @@ __all__ = [
     "interleaved_stream",
     "keyword_universe",
     "replay",
+    "run_simulation",
+    "synthesize_tenants",
+    "tenant_corpus",
 ]

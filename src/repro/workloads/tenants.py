@@ -1,0 +1,282 @@
+"""Synthetic multi-tenant traffic: Zipf-skewed fleets of small clients.
+
+Real multi-tenant services are dominated by their *distribution*: a few
+big tenants hold most of the documents and issue most of the requests,
+followed by a long tail of tiny ones.  :func:`synthesize_tenants` builds
+that shape — corpus sizes and arrival rates both Zipf-distributed over
+the tenant ranks — and :func:`run_simulation` drives the whole fleet
+against any deployment (in-process gateway, TCP server, sharded
+service), interleaving tenants' requests the way concurrent arrivals
+would land, and reporting per-tenant latency/byte/document summaries.
+
+``benchmarks/bench_tenant_capacity.py`` uses this module to sweep the
+tenants x docs x qps space into a capacity curve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.documents import Document
+from repro.crypto.rng import HmacDrbg, RandomSource
+from repro.errors import ParameterError, QuotaExceededError, ReproError
+from repro.obs.opcount import active_recorder, diff_counts
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = ["TenantProfile", "TenantStats", "SimulationReport",
+           "synthesize_tenants", "tenant_corpus", "run_simulation"]
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """Shape of one synthetic tenant's data and traffic."""
+
+    tenant_id: str
+    #: Documents the tenant uploads in the store phase.
+    num_documents: int
+    #: Searches the tenant issues in the query phase (its arrival rate).
+    searches: int
+    #: Keyword universe/doc shape — small by default; the interesting
+    #: dimension here is the tenant count, not the per-tenant corpus.
+    unique_keywords: int = 8
+    keywords_per_doc: int = 3
+    doc_size_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_documents < 1:
+            raise ParameterError("a tenant needs at least one document")
+        if self.searches < 0:
+            raise ParameterError("searches must be >= 0")
+        if not 1 <= self.keywords_per_doc <= self.unique_keywords:
+            raise ParameterError(
+                "need 1 <= keywords_per_doc <= unique_keywords")
+
+
+def synthesize_tenants(count: int, *, total_documents: int = 512,
+                       total_searches: int = 256, zipf_s: float = 1.0,
+                       min_documents: int = 1, prefix: str = "tenant",
+                       ) -> list[TenantProfile]:
+    """Zipf-shaped fleet: tenant rank k gets ~P_zipf(k) of docs and qps.
+
+    The first-ranked tenant is the whale; the tail tenants each hold
+    ``min_documents`` and search once.  Totals are approximate (rounding
+    per rank), deterministic, and independent of any RNG.
+    """
+    if count < 1:
+        raise ParameterError("need at least one tenant")
+    sampler = ZipfSampler(count, zipf_s)
+    profiles = []
+    for rank in range(count):
+        share = sampler.probability(rank)
+        profiles.append(TenantProfile(
+            tenant_id=f"{prefix}-{rank:04d}",
+            num_documents=max(min_documents,
+                              round(total_documents * share)),
+            searches=max(1, round(total_searches * share)),
+        ))
+    return profiles
+
+
+def tenant_corpus(profile: TenantProfile,
+                  rng: RandomSource) -> list[Document]:
+    """The tenant's document collection (its own keyword universe)."""
+    universe = [f"{profile.tenant_id}:kw{i:03d}"
+                for i in range(profile.unique_keywords)]
+    sampler = ZipfSampler(profile.unique_keywords)
+    documents = []
+    for doc_id in range(profile.num_documents):
+        keywords = {universe[doc_id % profile.unique_keywords]}
+        while len(keywords) < profile.keywords_per_doc:
+            keywords.add(universe[sampler.sample(rng)])
+        documents.append(Document(
+            doc_id=doc_id,
+            data=rng.random_bytes(profile.doc_size_bytes),
+            keywords=frozenset(keywords),
+        ))
+    return documents
+
+
+@dataclass
+class TenantStats:
+    """What one tenant experienced during a simulation."""
+
+    tenant_id: str
+    documents_stored: int = 0
+    searches: int = 0
+    results: int = 0
+    quota_rejections: int = 0
+    errors: int = 0
+    store_seconds: float = 0.0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    search_latencies_s: list[float] = field(default_factory=list)
+    #: Client-side crypto op counts (op name -> count) attributed to this
+    #: tenant — populated only while a :func:`repro.obs.opcount.count_ops`
+    #: scope is active, empty otherwise.
+    crypto_ops: dict[str, int] = field(default_factory=dict)
+
+
+def _attribute_ops(stats: TenantStats, before: dict[str, int]) -> None:
+    """Charge the thread's crypto ops since *before* to one tenant.
+
+    The simulator is single-threaded, so the recorder's per-thread delta
+    between two points belongs entirely to the tenant whose request ran
+    between them.  Under the default null recorder both snapshots are
+    empty and this is free.
+    """
+    for op, count in diff_counts(
+            active_recorder().thread_snapshot(), before).items():
+        stats.crypto_ops[op] = stats.crypto_ops.get(op, 0) + count
+
+
+def _is_quota_rejection(exc: ReproError) -> bool:
+    # In-process deployments raise QuotaExceededError directly; over TCP
+    # it arrives as a ProtocolError carrying the server's class name.
+    return isinstance(exc, QuotaExceededError) \
+        or "QuotaExceededError" in str(exc)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+@dataclass
+class SimulationReport:
+    """Fleet-wide outcome of :func:`run_simulation`."""
+
+    tenants: dict[str, TenantStats]
+    wall_seconds: float = 0.0
+
+    @property
+    def search_latencies_s(self) -> list[float]:
+        out: list[float] = []
+        for stats in self.tenants.values():
+            out.extend(stats.search_latencies_s)
+        return out
+
+    def latency_percentile(self, q: float) -> float:
+        """Fleet-wide search latency percentile (q in [0, 1])."""
+        return _percentile(self.search_latencies_s, q)
+
+    def summary(self) -> dict:
+        """JSON-safe rollup for bench emission."""
+        latencies = self.search_latencies_s
+        return {
+            "tenants": len(self.tenants),
+            "documents": sum(s.documents_stored
+                             for s in self.tenants.values()),
+            "searches": len(latencies),
+            "quota_rejections": sum(s.quota_rejections
+                                    for s in self.tenants.values()),
+            "errors": sum(s.errors for s in self.tenants.values()),
+            "bytes_sent": sum(s.bytes_sent for s in self.tenants.values()),
+            "bytes_received": sum(s.bytes_received
+                                  for s in self.tenants.values()),
+            "crypto_ops": sum(sum(s.crypto_ops.values())
+                              for s in self.tenants.values()),
+            "wall_seconds": self.wall_seconds,
+            "search_p50_ms": 1e3 * self.latency_percentile(0.50),
+            "search_p95_ms": 1e3 * self.latency_percentile(0.95),
+            "search_p99_ms": 1e3 * self.latency_percentile(0.99),
+        }
+
+
+def run_simulation(profiles: list[TenantProfile], client_for, *,
+                   store_batch: int = 32, seed: int = 2010,
+                   ) -> SimulationReport:
+    """Drive every tenant's store + search traffic; return the report.
+
+    *client_for(profile)* returns a ready (handshaken, if the target is
+    tenant-aware) :class:`~repro.core.api.SseClient` for the tenant; the
+    simulator closes it when done.  The store phase uploads each
+    tenant's corpus in ``store_batch`` chunks; the query phase
+    deterministically interleaves all tenants' searches — Zipf-skewed
+    keyword choice per tenant — so concurrent-looking arrival order hits
+    the service the way a real fleet would.
+
+    Per-item quota rejections (:class:`QuotaExceededError` or its wire
+    ``ERROR`` form) are *counted, not raised*: an over-quota tenant is an
+    expected outcome of a capacity run, not a failed simulation.
+    """
+    rng = HmacDrbg(seed)
+    report = SimulationReport(tenants={
+        p.tenant_id: TenantStats(p.tenant_id) for p in profiles})
+    started = time.perf_counter()
+    clients: dict[str, object] = {}
+    corpora: dict[str, list[Document]] = {}
+    try:
+        for profile in profiles:
+            clients[profile.tenant_id] = client_for(profile)
+            corpora[profile.tenant_id] = tenant_corpus(profile, rng)
+        # Store phase: per-tenant batched uploads.
+        for profile in profiles:
+            stats = report.tenants[profile.tenant_id]
+            client = clients[profile.tenant_id]
+            corpus = corpora[profile.tenant_id]
+            store_started = time.perf_counter()
+            ops_before = active_recorder().thread_snapshot()
+            for base in range(0, len(corpus), store_batch):
+                chunk = corpus[base:base + store_batch]
+                try:
+                    client.add_documents(chunk)
+                    stats.documents_stored += len(chunk)
+                except ReproError as exc:
+                    if _is_quota_rejection(exc):
+                        stats.quota_rejections += 1
+                    else:
+                        stats.errors += 1
+            _attribute_ops(stats, ops_before)
+            stats.store_seconds = time.perf_counter() - store_started
+        # Query phase: one global, deterministically shuffled arrival
+        # order across all tenants.
+        arrivals: list[tuple[TenantProfile, str]] = []
+        for profile in profiles:
+            universe = [f"{profile.tenant_id}:kw{i:03d}"
+                        for i in range(profile.unique_keywords)]
+            kw_sampler = ZipfSampler(profile.unique_keywords)
+            for _ in range(profile.searches):
+                arrivals.append(
+                    (profile, universe[kw_sampler.sample(rng)]))
+        for index in range(len(arrivals) - 1, 0, -1):
+            other = rng.randint_below(index + 1)
+            arrivals[index], arrivals[other] = \
+                arrivals[other], arrivals[index]
+        for profile, keyword in arrivals:
+            stats = report.tenants[profile.tenant_id]
+            client = clients[profile.tenant_id]
+            search_started = time.perf_counter()
+            ops_before = active_recorder().thread_snapshot()
+            try:
+                result = client.search(keyword)
+            except ReproError as exc:
+                if _is_quota_rejection(exc):
+                    stats.quota_rejections += 1
+                else:
+                    stats.errors += 1
+                continue
+            finally:
+                _attribute_ops(stats, ops_before)
+            stats.search_latencies_s.append(
+                time.perf_counter() - search_started)
+            stats.searches += 1
+            stats.results += len(result)
+        for profile in profiles:
+            channel_stats = getattr(clients[profile.tenant_id].channel,
+                                    "stats", None)
+            if channel_stats is not None:
+                stats = report.tenants[profile.tenant_id]
+                stats.bytes_sent = channel_stats.client_to_server_bytes
+                stats.bytes_received = channel_stats.server_to_client_bytes
+    finally:
+        for client in clients.values():
+            try:
+                client.close()
+            except (ReproError, OSError):  # pragma: no cover - teardown
+                pass
+    report.wall_seconds = time.perf_counter() - started
+    return report

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.analysis.checkers import (check_api_surface,
                                      check_crypto_hygiene,
                                      check_exception_taxonomy,
+                                     check_key_hygiene,
                                      check_lock_discipline,
                                      check_obs_drift,
                                      check_protocol_exhaustive)
@@ -200,6 +201,86 @@ class TestCryptoHygiene:
         findings = check_crypto_hygiene(project)
         assert len(findings) == 1
         assert "trace span attribute" in findings[0].message
+
+
+class TestKeyHygiene:
+    def test_clean_tree_passes(self, make_project):
+        project = make_project({
+            # the defining module is exempt from the reference rule
+            "src/repro/crypto/prg.py": """
+                def hkdf_extract(salt, ikm):
+                    return b""
+
+                def hkdf_expand(prk, info, length):
+                    return b""
+                """,
+            # the tenancy package is the one legitimate consumer
+            "src/repro/tenancy/derive.py": """
+                from repro.crypto.prg import hkdf_expand, hkdf_extract
+
+                class OperatorSecret:
+                    def __init__(self, ikm):
+                        self._ikm = ikm
+                        self._prk = hkdf_extract(b"repro.tenant", ikm)
+
+                    def tenant_master_key(self, tenant_id):
+                        return hkdf_expand(
+                            self._prk,
+                            b"repro.tenant." + tenant_id.encode(), 32)
+                """,
+            # everyone else consumes derived keys only
+            "src/repro/core/registry.py": """
+                def make_scheme(name, tenant=None):
+                    key = tenant.master_key() if tenant else None
+                    return key
+                """,
+        })
+        assert check_key_hygiene(project) == []
+
+    def test_hkdf_import_outside_tenancy_is_flagged(self, make_project):
+        project = make_project({"src/repro/core/keys.py": """
+            from repro.crypto.prg import hkdf_expand
+
+            def fork_the_hierarchy(prk, tenant_id):
+                return hkdf_expand(prk, tenant_id.encode(), 32)
+            """})
+        findings = check_key_hygiene(project)
+        assert findings
+        assert all(f.checker == "key-hygiene" for f in findings)
+        assert any("imported outside" in f.message for f in findings)
+        # the fixture body opens with a blank line, so the import is line 2
+        assert any(f.line == 2 for f in findings)
+
+    def test_attribute_qualified_hkdf_is_flagged(self, make_project):
+        project = make_project({"src/repro/net/tcp.py": """
+            from repro.crypto import prg
+
+            def rekey(prk):
+                return prg.hkdf_expand(prk, b"conn", 32)
+            """})
+        findings = check_key_hygiene(project)
+        assert len(findings) == 1
+        assert "hkdf_expand" in findings[0].message
+
+    def test_reaching_into_the_operator_secret_is_flagged(
+            self, make_project):
+        project = make_project({"src/repro/cli.py": """
+            def dump(directory):
+                return directory._operator._ikm.hex()
+            """})
+        findings = check_key_hygiene(project)
+        assert len(findings) == 1
+        assert "_ikm" in findings[0].message
+        assert "public surface" in (findings[0].hint or "")
+
+    def test_tenancy_package_itself_is_exempt(self, make_project):
+        project = make_project({"src/repro/tenancy/gateway.py": """
+            from repro.crypto.prg import hkdf_expand
+
+            def derive(secret, tenant_id):
+                return hkdf_expand(secret._prk, tenant_id.encode(), 32)
+            """})
+        assert check_key_hygiene(project) == []
 
 
 class TestExceptionTaxonomy:

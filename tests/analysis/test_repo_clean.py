@@ -86,3 +86,18 @@ def test_injected_builtin_raise_fails_the_cli(repo_copy, capsys):
     code = main(["--root", str(repo_copy)])
     capsys.readouterr()
     assert code != 0
+
+
+def test_injected_hkdf_call_site_fails_the_cli(repo_copy, capsys):
+    registry = repo_copy / "src" / "repro" / "core" / "registry.py"
+    registry.write_text(
+        registry.read_text(encoding="utf-8")
+        + "\n\ndef _fork_key_hierarchy(prk, tenant_id):\n"
+          "    from repro.crypto.prg import hkdf_expand\n"
+          "    return hkdf_expand(prk, tenant_id.encode(), 32)\n",
+        encoding="utf-8")
+    code = main(["--root", str(repo_copy)])
+    out = capsys.readouterr().out
+    assert code != 0
+    assert "hkdf_expand" in out
+    assert "src/repro/core/registry.py" in out

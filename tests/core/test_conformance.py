@@ -140,6 +140,27 @@ class TestConformance:
             with pytest.raises(NotImplementedError):
                 client.remove_documents([_DOCS[1]])
 
+    def test_tenant_scoped_deployment_isolates_tenants(self, name,
+                                                       scheme_options):
+        """Every scheme runs tenant-scoped through the gateway with no
+        per-scheme code: two tenants store different documents under the
+        same keywords and each search sees only its own."""
+        from repro.tenancy import TenantDirectory
+
+        opts = scheme_options(name)
+        directory = TenantDirectory()
+        gateway = make_server(name, tenants=directory, seed=45, **opts)
+        clients = {}
+        for tid, docs in (("alice", _DOCS[:2]), ("bob", _DOCS[2:])):
+            tenant = directory.add(tid)
+            client = make_client(name, channel=Channel(gateway.connect()),
+                                 tenant=tenant, seed=45, **opts)
+            client.open(tid, tenant.token)
+            client.store(docs)
+            clients[tid] = client
+        assert _search_all(clients["alice"]) == [[0, 1], [0], []]
+        assert _search_all(clients["bob"]) == [[], [2], [2]]
+
     def test_forward_private_schemes_hide_update_correlations(
             self, name, scheme_options):
         """Descriptor honesty for ``forward_private``: after interleaved

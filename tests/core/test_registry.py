@@ -144,3 +144,50 @@ class TestFactory:
     def test_make_server_rejects_unknown(self):
         with pytest.raises(ParameterError, match="unknown scheme"):
             make_server("nope")
+
+
+class TestTenantScoping:
+    def test_handle_records_the_tenant(self):
+        assert make_scheme("scheme2", seed=5).tenant is None
+        handle = make_scheme("scheme2", seed=5, tenant="acme")
+        assert handle.tenant == "acme"
+        # still sequence-compatible
+        client, server = handle
+        assert client is handle.client and server is handle.server
+
+    def test_invalid_tenant_id_rejected(self):
+        with pytest.raises(ParameterError):
+            make_scheme("scheme2", seed=5, tenant="not:valid")
+
+    def test_tenant_binding_derives_the_master_key(self):
+        from repro.tenancy import TenantDirectory
+
+        directory = TenantDirectory()
+        acme = directory.add("acme")
+        a, _ = make_scheme("scheme2", seed=5, tenant=acme)
+        b, _ = make_scheme("scheme2", seed=6, tenant=acme)
+        other, _ = make_scheme("scheme2", seed=5,
+                               tenant=directory.add("other"))
+        # the key comes from the directory's HKDF domain, not the seed
+        assert a._key == b._key
+        assert a._key != other._key
+
+    def test_make_client_accepts_the_binding(self):
+        from repro.tenancy import TenantDirectory
+
+        directory = TenantDirectory()
+        acme = directory.add("acme")
+        gateway = make_server("scheme2", tenants=directory)
+        client = make_client("scheme2",
+                             channel=Channel(gateway.connect()),
+                             tenant=acme, seed=7)
+        client.open("acme", acme.token)
+        client.store([Document(0, b"x", frozenset({"kw"}))])
+        assert client.search("kw").doc_ids == [0]
+
+    def test_tenants_keyword_rejects_unknown_options_uniformly(self):
+        from repro.tenancy import TenantDirectory
+
+        with pytest.raises(ParameterError, match="frobnicate"):
+            make_server("scheme2", tenants=TenantDirectory(),
+                        frobnicate=True)

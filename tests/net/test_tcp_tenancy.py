@@ -1,0 +1,198 @@
+"""Tenant sessions over real transports: TCP, the sharded service,
+and the retry layer's auth-rejection guarantee."""
+
+import pytest
+
+from repro.core import Document
+from repro.core.registry import make_client, make_server, make_service
+from repro.crypto.rng import HmacDrbg
+from repro.errors import AuthError, ProtocolError
+from repro.net.channel import Channel
+from repro.net.messages import Message, MessageType
+from repro.net.retry import RetryPolicy, RetryingTransport
+from repro.net.tcp import TcpClientTransport, TcpSseServer
+from repro.obs.metrics import Metrics
+from repro.obs.opcount import count_ops
+from repro.tenancy import TenantDirectory, TenantQuota
+
+_OPTS = {"chain_length": 64}
+
+
+def _tcp_client(tcp, tenant, seed=21):
+    transport = TcpClientTransport(tcp.host, tcp.port)
+    client = make_client("scheme2", channel=Channel(transport),
+                         tenant=tenant, seed=seed, **_OPTS)
+    client.open(tenant.tenant_id, tenant.token)
+    return client, transport
+
+
+class TestTcpSessions:
+    def test_handshake_binds_the_connection(self):
+        directory = TenantDirectory()
+        alice, bob = directory.add("alice"), directory.add("bob")
+        gateway = make_server("scheme2", tenants=directory, **_OPTS)
+        with TcpSseServer(gateway) as tcp:
+            ca, ta = _tcp_client(tcp, alice)
+            cb, tb = _tcp_client(tcp, bob)
+            ca.add_documents(
+                [Document(1, b"alice doc", frozenset({"flu"}))])
+            cb.add_documents(
+                [Document(1, b"bob doc", frozenset({"flu"}))])
+            assert ca.search("flu").documents == [b"alice doc"]
+            assert cb.search("flu").documents == [b"bob doc"]
+            ta.close()
+            tb.close()
+
+    def test_rejected_handshake_is_an_auth_error(self):
+        directory = TenantDirectory()
+        directory.add("alice")
+        gateway = make_server("scheme2", tenants=directory, **_OPTS)
+        with TcpSseServer(gateway) as tcp:
+            with TcpClientTransport(tcp.host, tcp.port) as transport:
+                client = make_client("scheme2", channel=Channel(transport),
+                                     seed=21, **_OPTS)
+                with pytest.raises(AuthError):
+                    client.open("alice", b"\x00" * 32)
+                with pytest.raises(AuthError):
+                    client.open("nobody", b"\x00" * 32)
+
+    def test_untenanted_server_rejects_the_handshake(self):
+        server = make_server("scheme2", seed=21, **_OPTS)
+        with TcpSseServer(server) as tcp:
+            with TcpClientTransport(tcp.host, tcp.port) as transport:
+                client = make_client("scheme2", channel=Channel(transport),
+                                     seed=21, **_OPTS)
+                # over TCP the server's rejection arrives as an ERROR
+                # frame carrying only the exception class name
+                with pytest.raises(ProtocolError,
+                                   match="rejected the request"):
+                    client.open("alice", b"\x00" * 32)
+
+    def test_wire_metrics_carry_the_tenant_label(self):
+        directory = TenantDirectory()
+        alice = directory.add("alice")
+        gateway = make_server("scheme2", tenants=directory, **_OPTS)
+        metrics = Metrics()
+        with TcpSseServer(gateway, metrics=metrics) as tcp:
+            client, transport = _tcp_client(tcp, alice)
+            client.add_documents(
+                [Document(1, b"doc", frozenset({"flu"}))])
+            client.search("flu")
+            transport.close()
+        snapshot = metrics.snapshot()
+        labeled = [key for key in snapshot if 'tenant="alice"' in key]
+        assert any(key.startswith("requests_total") for key in labeled)
+        assert any(key.startswith("bytes_sent_total") for key in labeled)
+        assert any(key.startswith("bytes_received_total")
+                   for key in labeled)
+
+
+class TestShardedService:
+    def test_quotas_enforced_through_the_router(self, tmp_path):
+        directory = TenantDirectory()
+        alice = directory.add("alice", TenantQuota(max_documents=2))
+        bob = directory.add("bob")
+        service = make_service("scheme2", shards=2, shard_mode="thread",
+                              tenants=directory, seed=23,
+                              data_dir=tmp_path / "svc", **_OPTS)
+        try:
+            ca, ta = _tcp_client(service, alice)
+            cb, tb = _tcp_client(service, bob)
+            ca.add_documents(
+                [Document(0, b"a0", frozenset({"flu"})),
+                 Document(1, b"a1", frozenset({"flu"}))])
+            with pytest.raises(ProtocolError, match="QuotaExceededError"):
+                ca.add_documents(
+                    [Document(2, b"a2", frozenset({"flu"}))])
+            # bob is unthrottled and unaffected by alice's rejection
+            cb.add_documents(
+                [Document(0, b"b0", frozenset({"flu"}))])
+            assert sorted(ca.search("flu").doc_ids) == [0, 1]
+            assert cb.search("flu").documents == [b"b0"]
+            ta.close()
+            tb.close()
+        finally:
+            service.stop()
+
+    def test_router_attributes_tenants_in_its_metrics(self, tmp_path):
+        directory = TenantDirectory()
+        alice = directory.add("alice")
+        service = make_service("scheme2", shards=2, shard_mode="thread",
+                              tenants=directory, seed=23,
+                              data_dir=tmp_path / "svc", **_OPTS)
+        try:
+            # crypto-op attribution needs a live op recorder: the server
+            # threads inherit the process-global recorder installed here
+            with count_ops():
+                client, transport = _tcp_client(service, alice)
+                client.add_documents(
+                    [Document(0, b"doc", frozenset({"flu"}))])
+                client.search("flu")
+                transport.close()
+                metrics = service.stats()["metrics"]
+        finally:
+            service.stop()
+        labeled = [key for key in metrics if 'tenant="alice"' in key]
+        assert any(key.startswith("requests_total") for key in labeled)
+        assert any(key.startswith("crypto_ops_total") for key in labeled)
+
+
+class _AuthRejectingTransport:
+    """Rejects every SESSION_OPEN like a server-side directory would."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def handle(self, message):
+        self.calls += 1
+        if message.type is MessageType.SESSION_OPEN:
+            raise AuthError("session authentication failed")
+        return Message(MessageType.ACK)
+
+    def close(self):
+        pass
+
+
+class TestRetryNeverRetriesAuthRejections:
+    def test_auth_rejection_is_terminal(self):
+        """SESSION_OPEN is in the idempotent set (a handshake lost to a
+        dropped connection is safely re-sent), but an *auth rejection*
+        must never be re-sent — retrying fixed credentials cannot
+        succeed and only hammers the auth endpoint."""
+        inner = _AuthRejectingTransport()
+        sleeps: list[float] = []
+        transport = RetryingTransport(
+            lambda: inner, policy=RetryPolicy(max_attempts=5),
+            rng=HmacDrbg(3), sleep=sleeps.append)
+        with pytest.raises(AuthError):
+            transport.handle(Message(MessageType.SESSION_OPEN,
+                                     (b"alice", b"\x00" * 32)))
+        assert inner.calls == 1
+        assert transport.attempts_last_request == 1
+        assert sleeps == []
+
+    def test_transport_failure_mid_handshake_is_still_retried(self):
+        class _FlakyOnce:
+            def __init__(self):
+                self.calls = 0
+
+            def handle(self, message):
+                self.calls += 1
+                if self.calls == 1:
+                    raise ProtocolError("server closed the connection")
+                return Message(MessageType.SESSION_ACCEPT,
+                               (message.fields[0],))
+
+            def close(self):
+                pass
+
+        inner = _FlakyOnce()
+        sleeps: list[float] = []
+        transport = RetryingTransport(
+            lambda: inner, policy=RetryPolicy(max_attempts=3),
+            rng=HmacDrbg(3), sleep=sleeps.append)
+        reply = transport.handle(Message(MessageType.SESSION_OPEN,
+                                         (b"alice", b"\x00" * 32)))
+        assert reply.type is MessageType.SESSION_ACCEPT
+        assert inner.calls == 2
+        assert len(sleeps) == 1

@@ -1,0 +1,1 @@
+"""Multi-tenant key domains, session auth, and quota tests."""

@@ -1,0 +1,26 @@
+"""Tiered Hypothesis settings profiles for the tenancy suites.
+
+One place to tune example budgets, so a slow CI box edits one file
+rather than every suite.  Tiers, fastest service first:
+
+- ``QUICK_SETTINGS``: 20 examples — fast validation properties
+- ``SLOW_SETTINGS``: 50 examples — I/O-bound properties
+- ``STANDARD_SETTINGS``: 100 examples — regular pure-python properties
+- ``STATE_MACHINE_SETTINGS``: stateful machines; examples deliberately
+  modest because every step drives real scheme crypto through a live
+  gateway (matching the budget of ``tests/core/test_stateful.py``)
+- ``DETERMINISM_SETTINGS``: 500 examples — derivation/canonical-form
+  properties, which are cheap and where a collision would be fatal
+
+``deadline=None`` throughout: the suites time whole deployments, and
+per-example deadlines only add flakiness under load.
+"""
+
+from hypothesis import settings
+
+DETERMINISM_SETTINGS = settings(max_examples=500, deadline=None)
+STANDARD_SETTINGS = settings(max_examples=100, deadline=None)
+SLOW_SETTINGS = settings(max_examples=50, deadline=None)
+QUICK_SETTINGS = settings(max_examples=20, deadline=None)
+STATE_MACHINE_SETTINGS = settings(max_examples=10, stateful_step_count=12,
+                                  deadline=None)

@@ -1,0 +1,297 @@
+"""The tenant gateway: auth, isolation, quotas, legacy shim, config."""
+
+import warnings
+
+import pytest
+
+from repro.core import Document
+from repro.core.persistence import (export_client_state,
+                                    restore_client_state)
+from repro.core.registry import make_client, make_scheme, make_server
+from repro.errors import (AuthError, ParameterError, ProtocolError,
+                          QuotaExceededError)
+from repro.core.server import encode_doc_id
+from repro.net.channel import Channel
+from repro.net.messages import (Message, MessageType, pack_batch,
+                                unpack_batch_result)
+from repro.obs.metrics import Metrics
+from repro.tenancy import (DEFAULT_TENANT, TenantDirectory, TenantGateway,
+                           TenantQuota)
+
+from tests.tenancy.test_quota import FakeClock
+
+_OPTS = {"chain_length": 64}
+
+
+def _gateway(directory, **kwargs) -> TenantGateway:
+    def build(tenant_id):
+        return make_scheme("scheme2", seed=5, **_OPTS).server
+
+    return TenantGateway(directory, build, **kwargs)
+
+
+def _client(gateway, tenant):
+    client = make_client("scheme2", channel=Channel(gateway.connect()),
+                         tenant=tenant, seed=9, **_OPTS)
+    return client.open(tenant.tenant_id, tenant.token)
+
+
+class TestDirectory:
+    def test_unknown_tenant_and_bad_token_are_indistinguishable(self):
+        directory = TenantDirectory()
+        tenant = directory.add("acme")
+        with pytest.raises(AuthError) as unknown:
+            directory.authenticate("ghost", tenant.token)
+        with pytest.raises(AuthError) as bad_token:
+            directory.authenticate("acme", b"\x00" * 32)
+        with pytest.raises(AuthError) as bad_id:
+            directory.authenticate("not:valid", tenant.token)
+        assert str(unknown.value) == str(bad_token.value) \
+            == str(bad_id.value)
+
+    def test_config_roundtrip_preserves_keys_and_quotas(self, tmp_path):
+        directory = TenantDirectory()
+        directory.add("acme", TenantQuota(max_documents=7, max_qps=2.0))
+        directory.add("blue")
+        path = str(tmp_path / "tenants.json")
+        directory.save(path)
+        clone = TenantDirectory.load(path)
+        assert clone.ids() == directory.ids()
+        assert clone.quota("acme") == directory.quota("acme")
+        assert clone.master_key("acme") == directory.master_key("acme")
+        assert clone.token("blue") == directory.token("blue")
+
+    def test_from_config_rejects_foreign_formats(self):
+        with pytest.raises(ParameterError):
+            TenantDirectory.from_config({"format": "something/else"})
+
+
+class TestIsolation:
+    def test_same_keyword_never_crosses_tenants(self):
+        directory = TenantDirectory()
+        alice, bob = directory.add("alice"), directory.add("bob")
+        gateway = _gateway(directory)
+        ca, cb = _client(gateway, alice), _client(gateway, bob)
+        ca.add_documents([Document(1, b"alice doc", frozenset({"flu"}))])
+        cb.add_documents([Document(1, b"bob doc", frozenset({"flu"}))])
+        assert ca.search("flu").documents == [b"alice doc"]
+        assert cb.search("flu").documents == [b"bob doc"]
+
+    def test_bad_token_rejected_before_any_traffic(self):
+        directory = TenantDirectory()
+        directory.add("alice")
+        gateway = _gateway(directory)
+        client = make_client("scheme2", channel=Channel(gateway.connect()),
+                             seed=9, **_OPTS)
+        with pytest.raises(AuthError):
+            client.open("alice", b"\x00" * 32)
+
+    def test_client_state_roundtrip_stays_in_its_tenant(self):
+        directory = TenantDirectory()
+        alice, bob = directory.add("alice"), directory.add("bob")
+        gateway = _gateway(directory)
+        ca, cb = _client(gateway, alice), _client(gateway, bob)
+        ca.add_documents([Document(1, b"alice doc", frozenset({"flu"}))])
+        cb.add_documents([Document(2, b"bob doc", frozenset({"flu"}))])
+
+        state = export_client_state(ca)
+        fresh = make_client("scheme2", channel=Channel(gateway.connect()),
+                            tenant=alice, seed=77, **_OPTS)
+        restore_client_state(fresh, state)
+        fresh.open("alice", alice.token)
+        assert fresh.search("flu").documents == [b"alice doc"]
+
+    def test_alices_state_in_bobs_session_reads_nothing(self):
+        """Keys and namespace must BOTH match: a client holding alice's
+        key state but authenticated as bob sees bob's namespace through
+        alice's PRFs — nothing."""
+        directory = TenantDirectory()
+        alice, bob = directory.add("alice"), directory.add("bob")
+        gateway = _gateway(directory)
+        ca, cb = _client(gateway, alice), _client(gateway, bob)
+        ca.add_documents([Document(1, b"alice doc", frozenset({"flu"}))])
+        cb.add_documents([Document(2, b"bob doc", frozenset({"flu"}))])
+
+        crossed = make_client("scheme2",
+                              channel=Channel(gateway.connect()),
+                              tenant=alice, seed=78, **_OPTS)
+        restore_client_state(crossed, export_client_state(ca))
+        crossed.open("bob", bob.token)
+        assert crossed.search("flu").documents == []
+
+
+class TestLegacyShim:
+    def test_implicit_session_maps_to_default_tenant_and_warns_once(self):
+        directory = TenantDirectory()
+        gateway = _gateway(directory)
+        legacy = make_client("scheme2", channel=Channel(gateway),
+                             seed=9, **_OPTS)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy.add_documents([Document(1, b"old", frozenset({"kw"}))])
+            legacy.search("kw")
+        assert [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+        # once per gateway, not per request
+        with warnings.catch_warnings(record=True) as again:
+            warnings.simplefilter("always")
+            legacy.search("kw")
+        assert not [w for w in again
+                    if issubclass(w.category, DeprecationWarning)]
+        assert DEFAULT_TENANT in gateway.tenants()
+        assert gateway.stats()["tenants"][DEFAULT_TENANT]["documents"] == 1
+
+    def test_default_tenant_is_isolated_from_named_tenants(self):
+        directory = TenantDirectory()
+        alice = directory.add("alice")
+        gateway = _gateway(directory)
+        ca = _client(gateway, alice)
+        ca.add_documents([Document(1, b"alice doc", frozenset({"flu"}))])
+        legacy = make_client("scheme2", channel=Channel(gateway),
+                             seed=9, **_OPTS)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert legacy.search("flu").documents == []
+
+
+class TestQuotas:
+    def test_document_cap_is_exact_across_batches(self):
+        directory = TenantDirectory()
+        alice = directory.add("alice", TenantQuota(max_documents=3))
+        metrics = Metrics()
+        gateway = _gateway(directory, metrics=metrics)
+        client = _client(gateway, alice)
+        client.add_documents([
+            Document(i, b"d%d" % i, frozenset({"kw"})) for i in range(3)])
+        with pytest.raises(ProtocolError, match="QuotaExceededError"):
+            client.add_documents([Document(9, b"x", frozenset({"kw"}))])
+        # the admitted three are intact, the fourth never landed
+        assert sorted(client.search("kw").doc_ids) == [0, 1, 2]
+        assert metrics.total("quota_rejections_total") == 1
+
+    def test_batch_admission_is_per_item(self):
+        directory = TenantDirectory()
+        alice = directory.add("alice", TenantQuota(max_documents=2))
+        metrics = Metrics()
+        gateway = _gateway(directory, metrics=metrics)
+        gateway.open_session(alice.tenant_id, alice.token)
+        # one envelope of 4 single-document stores: 2 admitted, 2
+        # rejected in-position while the admitted ones still land
+        stores = [Message(MessageType.STORE_DOCUMENT,
+                          (encode_doc_id(i), b"d%d" % i))
+                  for i in range(4)]
+        reply = gateway.handle_as("alice", pack_batch(stores))
+        replies = list(unpack_batch_result(reply, expected_count=4))
+        assert [r.type for r in replies] == [
+            MessageType.ACK, MessageType.ACK,
+            MessageType.ERROR, MessageType.ERROR]
+        assert replies[2].fields[0] == b"QuotaExceededError"
+        assert gateway.stats()["tenants"]["alice"]["documents"] == 2
+        assert metrics.counter("quota_rejections_total", tenant="alice",
+                               reason="documents").value == 2
+
+    def test_multi_document_store_is_admitted_whole_or_not_at_all(self):
+        directory = TenantDirectory()
+        alice = directory.add("alice", TenantQuota(max_documents=2))
+        gateway = _gateway(directory)
+        client = _client(gateway, alice)
+        # add_documents packs all three into one STORE_DOCUMENT message;
+        # admission is per message, so nothing lands
+        with pytest.raises(ProtocolError, match="QuotaExceededError"):
+            client.add_documents([
+                Document(i, b"d%d" % i, frozenset({"kw"}))
+                for i in range(3)])
+        assert gateway.stats()["tenants"]["alice"]["documents"] == 0
+
+    def test_rate_quota_refills_with_the_clock(self):
+        clock = FakeClock()
+        directory = TenantDirectory()
+        alice = directory.add("alice",
+                              TenantQuota(max_qps=1.0, burst=4.0))
+        metrics = Metrics()
+        gateway = _gateway(directory, metrics=metrics, clock=clock)
+        client = _client(gateway, alice)  # the handshake is not charged
+        # the upload batch is two wire messages (metadata + store): the
+        # burst of 4 leaves 2 tokens for searches.  Keywords are
+        # distinct and known to the client — a repeat or never-uploaded
+        # keyword would be answered locally without touching the wire.
+        client.add_documents([Document(
+            1, b"d", frozenset({"kw0", "kw1", "kw2", "kw3"}))])
+        client.search("kw0")
+        client.search("kw1")
+        # single in-process requests surface the rejection as the real
+        # exception; only batch items are flattened to ERROR frames
+        with pytest.raises(QuotaExceededError):
+            client.search("kw2")
+        clock.advance(1.0)  # one token back at 1 qps
+        client.search("kw3")
+        assert metrics.counter("quota_rejections_total", tenant="alice",
+                               reason="rate").value == 1
+
+    def test_enforce_qps_off_admits_everything(self):
+        clock = FakeClock()
+        directory = TenantDirectory()
+        alice = directory.add("alice", TenantQuota(max_qps=1.0))
+        gateway = _gateway(directory, clock=clock, enforce_qps=False)
+        client = _client(gateway, alice)
+        client.add_documents([Document(
+            1, b"d", frozenset({f"kw{i}" for i in range(5)}))])
+        for i in range(5):
+            client.search(f"kw{i}")
+
+    def test_admin_messages_are_never_charged(self):
+        clock = FakeClock()
+        directory = TenantDirectory()
+        alice = directory.add("alice", TenantQuota(max_qps=1.0, burst=1.0))
+        metrics = Metrics()
+        gateway = _gateway(directory, clock=clock, metrics=metrics)
+        client = _client(gateway, alice)
+        client.search("kw")  # bucket now empty
+        # an admin message passes admission untouched: it reaches the
+        # backend (which may not support it) instead of being rejected
+        with pytest.raises(ProtocolError, match="unsupported"):
+            gateway.handle_as(
+                "alice", Message(MessageType.STATS_REQUEST, ()))
+        assert metrics.total("quota_rejections_total") == 0
+
+
+class TestRegistryIntegration:
+    def test_make_server_tenants_builds_a_gateway(self):
+        directory = TenantDirectory()
+        directory.add("acme")
+        gateway = make_server("scheme2", tenants=directory, **_OPTS)
+        assert isinstance(gateway, TenantGateway)
+        assert "acme" in gateway.tenants()
+
+    def test_make_server_tenants_accepts_a_config_dict(self):
+        directory = TenantDirectory()
+        directory.add("acme", TenantQuota(max_documents=5))
+        gateway = make_server("scheme2", tenants=directory.to_config(),
+                              **_OPTS)
+        assert gateway.directory.quota("acme").max_documents == 5
+
+    def test_durable_tenants_share_one_store_without_mixing(self,
+                                                            tmp_path):
+        directory = TenantDirectory()
+        alice, bob = directory.add("alice"), directory.add("bob")
+        data_dir = tmp_path / "multi"
+        gateway = make_server("scheme2", tenants=directory, seed=5,
+                              data_dir=data_dir, **_OPTS)
+        ca, cb = _client(gateway, alice), _client(gateway, bob)
+        ca.add_documents([Document(1, b"alice doc", frozenset({"flu"}))])
+        cb.add_documents([Document(1, b"bob doc", frozenset({"flu"}))])
+        states = {c.tenant: export_client_state(c) for c in (ca, cb)}
+        gateway.close()
+        assert (data_dir / "server.log").exists()
+
+        reopened = make_server("scheme2", tenants=directory, seed=5,
+                               data_dir=data_dir, **_OPTS)
+        for tenant, expected in (
+                (alice, b"alice doc"), (bob, b"bob doc")):
+            fresh = make_client("scheme2",
+                                channel=Channel(reopened.connect()),
+                                tenant=tenant, seed=80, **_OPTS)
+            restore_client_state(fresh, states[tenant.tenant_id])
+            fresh.open(tenant.tenant_id, tenant.token)
+            assert fresh.search("flu").documents == [expected]
+        reopened.close()

@@ -1,0 +1,94 @@
+"""Quota descriptors and the token bucket, against a fake clock."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.tenancy import UNLIMITED, TenantQuota, TokenBucket
+from tests.tenancy.settings import STANDARD_SETTINGS
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTenantQuota:
+    def test_defaults_are_unlimited(self):
+        quota = TenantQuota()
+        assert quota.max_documents is UNLIMITED
+        assert quota.max_qps is UNLIMITED
+        assert quota.bucket(FakeClock()) is None
+
+    def test_dict_roundtrip(self):
+        quota = TenantQuota(max_documents=10, max_qps=2.0, burst=5.0)
+        assert TenantQuota.from_dict(quota.to_dict()) == quota
+        assert TenantQuota.from_dict(TenantQuota().to_dict()) == \
+            TenantQuota()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ParameterError):
+            TenantQuota.from_dict({"max_documents": 1, "max_qbs": 2})
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_documents": -1},
+        {"max_qps": 0.0}, {"max_qps": -2.0},
+        {"max_qps": 1.0, "burst": 0.0},
+    ])
+    def test_invalid_shapes_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            TenantQuota(**kwargs)
+
+    def test_idle_tenant_can_always_send_one_request(self):
+        # Sub-1 qps still gets a bucket deep enough for one request.
+        bucket = TenantQuota(max_qps=0.25).bucket(FakeClock())
+        assert bucket.burst == 1.0
+        assert bucket.try_take(1.0)
+
+
+class TestTokenBucket:
+    def test_burst_defaults_to_rate(self):
+        clock = FakeClock()
+        bucket = TenantQuota(max_qps=3.0).bucket(clock)
+        assert [bucket.try_take(1.0) for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_refill_is_continuous_and_capped(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            assert bucket.try_take(1.0)
+        assert not bucket.try_take(1.0)
+        clock.advance(0.5)  # one token back at 2/s
+        assert bucket.try_take(1.0)
+        assert not bucket.try_take(1.0)
+        clock.advance(60.0)  # refill caps at the burst size
+        assert [bucket.try_take(1.0) for _ in range(5)] == \
+            [True] * 4 + [False]
+
+    @STANDARD_SETTINGS
+    @given(takes=st.lists(st.integers(min_value=1, max_value=3),
+                          min_size=1, max_size=30),
+           gaps=st.lists(st.floats(min_value=0.0, max_value=2.0,
+                                   allow_nan=False), min_size=30,
+                         max_size=30))
+    def test_exact_accounting_against_a_model(self, takes, gaps):
+        """The bucket admits exactly what the arithmetic model admits."""
+        clock = FakeClock()
+        rate, burst = 2.0, 5.0
+        bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+        tokens = burst
+        for take, gap in zip(takes, gaps):
+            clock.advance(gap)
+            tokens = min(burst, tokens + gap * rate)
+            expected = tokens >= take
+            assert bucket.try_take(float(take)) == expected
+            if expected:
+                tokens -= take

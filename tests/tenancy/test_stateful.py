@@ -1,0 +1,231 @@
+"""Stateful tenancy properties, for every registered scheme.
+
+Two families of machine:
+
+* ``TenantIsolationMachine`` — two tenants drive the *same* gateway
+  with overlapping keyword universes while a per-tenant dict-of-sets
+  model checks every search.  Any cross-tenant leak — a foreign doc id,
+  a foreign body, state bleeding through an export/restore cycle — is a
+  model mismatch.  One machine is generated per ``available_schemes()``
+  entry, so a newly registered scheme is covered without edits here.
+
+* ``QuotaAccountingMachine`` — interleaved store batches from two
+  tenants against an arithmetic model of the token bucket and document
+  cap.  The model repeats the bucket's exact float operations in the
+  same order, so admission must agree bit-for-bit, rejection by
+  rejection.
+"""
+
+import re
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, rule
+
+from repro.core import Document
+from repro.core.persistence import (export_client_state,
+                                    restore_client_state)
+from repro.core.registry import (available_schemes, make_client,
+                                 make_scheme, make_server,
+                                 scheme_capabilities)
+from repro.core.server import encode_doc_id
+from repro.crypto.rng import HmacDrbg
+from repro.errors import QuotaExceededError
+from repro.net.channel import Channel
+from repro.net.messages import (Message, MessageType, pack_batch,
+                                unpack_batch_result)
+from repro.tenancy import TenantDirectory, TenantGateway, TenantQuota
+
+from tests.tenancy.settings import STATE_MACHINE_SETTINGS
+from tests.tenancy.test_quota import FakeClock
+
+# Drawn from the registry's demo dictionary so the fixed-dictionary CM
+# baseline participates without per-scheme options.
+_KEYWORDS = ["sym:fever", "sym:flu", "sym:cough", "sym:rash"]
+_TENANTS = ("alice", "bob")
+
+_KEYPAIR = None
+
+
+def _scheme_options(name):
+    """Module-level mirror of the ``scheme_options`` fixture (stateful
+    TestCases cannot take fixtures)."""
+    global _KEYPAIR
+    caps = scheme_capabilities(name)
+    options = dict(caps.test_options)
+    if caps.needs_keypair:
+        if _KEYPAIR is None:
+            from repro.crypto.elgamal import generate_keypair
+            _KEYPAIR = generate_keypair(bits=256, rng=HmacDrbg(0x5EED))
+        options["keypair"] = _KEYPAIR
+    return options
+
+
+class TenantIsolationMachine(RuleBasedStateMachine):
+    """Two tenants, one gateway, one shared keyword universe."""
+
+    scheme_name: str = ""
+
+    def __init__(self):
+        super().__init__()
+        options = _scheme_options(self.scheme_name)
+        directory = TenantDirectory()
+        self.gateway = make_server(self.scheme_name, tenants=directory,
+                                   seed=7, **options)
+        self.clients = {}
+        for tid in _TENANTS:
+            tenant = directory.add(tid)
+            self.clients[tid] = self._fresh_client(tenant)
+        self.directory = directory
+        self.options = options
+        self.model = {tid: {kw: set() for kw in _KEYWORDS}
+                      for tid in _TENANTS}
+        self.bodies = {tid: {} for tid in _TENANTS}
+        self.next_id = {tid: 0 for tid in _TENANTS}
+
+    def _fresh_client(self, tenant):
+        client = make_client(self.scheme_name,
+                             channel=Channel(self.gateway.connect()),
+                             tenant=tenant, seed=11,
+                             **getattr(self, "options",
+                                       _scheme_options(self.scheme_name)))
+        return client.open(tenant.tenant_id, tenant.token)
+
+    @rule(which=st.sampled_from(_TENANTS),
+          keyword_mask=st.integers(min_value=1, max_value=15))
+    def add_document(self, which, keyword_mask):
+        keywords = frozenset(
+            kw for i, kw in enumerate(_KEYWORDS) if keyword_mask & (1 << i))
+        doc_id = self.next_id[which]
+        self.next_id[which] += 1
+        body = b"%s-body-%d" % (which.encode(), doc_id)
+        self.clients[which].add_documents(
+            [Document(doc_id, body, keywords)])
+        for kw in keywords:
+            self.model[which][kw].add(doc_id)
+        self.bodies[which][doc_id] = body
+
+    @rule(which=st.sampled_from(_TENANTS),
+          index=st.integers(min_value=0, max_value=3))
+    def search_matches_own_model(self, which, index):
+        keyword = _KEYWORDS[index]
+        result = self.clients[which].search(keyword)
+        assert result.doc_ids == sorted(self.model[which][keyword])
+        for doc_id, body in zip(result.doc_ids, result.documents):
+            assert body == self.bodies[which][doc_id]
+
+    @rule(which=st.sampled_from(_TENANTS))
+    def reconnect_with_exported_state(self, which):
+        """A client round-trip through export/restore stays in-tenant."""
+        state = export_client_state(self.clients[which])
+        fresh = make_client(self.scheme_name,
+                            channel=Channel(self.gateway.connect()),
+                            tenant=self.directory.tenant(which), seed=13,
+                            **self.options)
+        restore_client_state(fresh, state)
+        fresh.open(which, self.directory.token(which))
+        self.clients[which] = fresh
+
+
+def _register_isolation_machines():
+    for name in available_schemes():
+        machine = type(f"TenantIsolation_{name}",
+                       (TenantIsolationMachine,), {"scheme_name": name})
+        testcase = machine.TestCase
+        testcase.settings = STATE_MACHINE_SETTINGS
+        suffix = re.sub(r"[^A-Za-z0-9]", "_", name)
+        globals()[f"TestTenantIsolation_{suffix}"] = testcase
+
+
+_register_isolation_machines()
+
+
+_QUOTAS = {
+    "alice": TenantQuota(max_documents=6, max_qps=2.0, burst=3.0),
+    "bob": TenantQuota(max_documents=4, max_qps=1.0, burst=2.0),
+}
+
+
+class QuotaAccountingMachine(RuleBasedStateMachine):
+    """Exact admission accounting under interleaved tenant batches.
+
+    The model replays :class:`TokenBucket`'s float arithmetic in the
+    same operation order, so every verdict — admit, rate reject, doc
+    reject — must match exactly, including the rule that a
+    document-rejected item still consumed its rate token.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.clock = FakeClock()
+        directory = TenantDirectory()
+        for tid, quota in _QUOTAS.items():
+            directory.add(tid, quota)
+        self.gateway = TenantGateway(
+            directory,
+            lambda tid: make_scheme("scheme2", seed=5,
+                                    chain_length=64).server,
+            clock=self.clock)
+        self.tokens = {tid: _QUOTAS[tid].bucket(self.clock).burst
+                       for tid in _QUOTAS}
+        self.last = {tid: 0.0 for tid in _QUOTAS}
+        self.docs = {tid: 0 for tid in _QUOTAS}
+        self.next_id = 0
+
+    def _model_take(self, tid) -> bool:
+        quota = _QUOTAS[tid]
+        elapsed = max(0.0, self.clock.now - self.last[tid])
+        self.last[tid] = self.clock.now
+        burst = quota.burst if quota.burst is not None else quota.max_qps
+        self.tokens[tid] = min(burst,
+                               self.tokens[tid] + elapsed * quota.max_qps)
+        if self.tokens[tid] >= 1.0:
+            self.tokens[tid] -= 1.0
+            return True
+        return False
+
+    @rule(tid=st.sampled_from(sorted(_QUOTAS)),
+          size=st.integers(min_value=1, max_value=4))
+    def send_store_batch(self, tid, size):
+        stores = []
+        for _ in range(size):
+            stores.append(Message(
+                MessageType.STORE_DOCUMENT,
+                (encode_doc_id(self.next_id), b"body")))
+            self.next_id += 1
+        expected = []
+        admitted = 0
+        for _ in stores:
+            if not self._model_take(tid):
+                expected.append(MessageType.ERROR)
+            elif self.docs[tid] + admitted + 1 > _QUOTAS[tid].max_documents:
+                expected.append(MessageType.ERROR)
+            else:
+                expected.append(MessageType.ACK)
+                admitted += 1
+        if size == 1:
+            # single messages skip the batch envelope and raise instead
+            # of answering an in-position ERROR frame
+            try:
+                reply = self.gateway.handle_as(tid, stores[0])
+                got = [reply.type]
+            except QuotaExceededError:
+                got = [MessageType.ERROR]
+        else:
+            reply = self.gateway.handle_as(tid, pack_batch(stores))
+            got = [r.type for r in
+                   unpack_batch_result(reply, expected_count=size)]
+        assert got == expected
+        self.docs[tid] += admitted
+
+    @rule(gap=st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+    def advance_time(self, gap):
+        self.clock.advance(gap)
+
+    @rule(tid=st.sampled_from(sorted(_QUOTAS)))
+    def stored_documents_agree(self, tid):
+        stats = self.gateway.stats()["tenants"][tid]
+        assert stats["documents"] == self.docs[tid]
+
+
+TestQuotaAccounting = QuotaAccountingMachine.TestCase
+TestQuotaAccounting.settings = STATE_MACHINE_SETTINGS

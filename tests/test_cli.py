@@ -209,6 +209,107 @@ class TestServe:
         capsys.readouterr()
 
 
+class TestTenantCommands:
+    @pytest.fixture()
+    def config(self, tmp_path):
+        return str(tmp_path / "tenants.json")
+
+    def test_add_prints_a_token_and_persists_the_quota(self, config,
+                                                       capsys):
+        from repro.tenancy import TenantDirectory
+
+        code, out, _ = run(["tenant", "add", "alice", "--config", config,
+                            "--max-documents", "10", "--max-qps", "2.5"],
+                           capsys)
+        assert code == 0
+        assert f"added tenant 'alice' to {config}" in out
+        token_line = [ln for ln in out.splitlines()
+                      if ln.startswith("auth token: ")]
+        assert len(token_line) == 1
+        token = token_line[0].removeprefix("auth token: ")
+        bytes.fromhex(token)  # a real hex token, not a placeholder
+
+        directory = TenantDirectory.load(config)
+        assert "alice" in directory
+        quota = directory.quota("alice")
+        assert quota.max_documents == 10
+        assert quota.max_qps == 2.5
+        assert directory.token("alice").hex() == token
+
+    def test_readd_is_idempotent_and_reprints_the_same_token(self, config,
+                                                             capsys):
+        _, first, _ = run(["tenant", "add", "alice", "--config", config],
+                          capsys)
+        code, second, _ = run(["tenant", "add", "alice",
+                               "--config", config], capsys)
+        assert code == 0
+
+        def token(out):
+            return [ln for ln in out.splitlines()
+                    if ln.startswith("auth token: ")][0]
+
+        # derived, not stored: re-adding re-prints the same token
+        assert token(first) == token(second)
+
+    def test_list_shows_fingerprint_and_quota_rows(self, config, capsys):
+        run(["tenant", "add", "alice", "--config", config,
+             "--max-documents", "10"], capsys)
+        run(["tenant", "add", "bob", "--config", config], capsys)
+        code, out, _ = run(["tenant", "list", "--config", config], capsys)
+        assert code == 0
+        lines = out.splitlines()
+        assert lines[0].startswith("operator fingerprint: ")
+        assert any(ln.startswith("alice")
+                   and "max_documents=10" in ln for ln in lines)
+        assert any(ln.startswith("bob")
+                   and "max_documents=unlimited" in ln
+                   and "max_qps=unlimited" in ln for ln in lines)
+
+    def test_quota_update_round_trips(self, config, capsys):
+        from repro.tenancy import TenantDirectory
+
+        run(["tenant", "add", "alice", "--config", config], capsys)
+        code, out, _ = run(["tenant", "quota", "alice", "--config", config,
+                            "--max-qps", "5"], capsys)
+        assert code == 0
+        assert "updated quota for tenant 'alice'" in out
+        assert TenantDirectory.load(config).quota("alice").max_qps == 5.0
+
+    def test_quota_for_unknown_tenant_fails(self, config, capsys):
+        run(["tenant", "add", "alice", "--config", config], capsys)
+        code, _, err = run(["tenant", "quota", "ghost", "--config", config,
+                            "--max-qps", "5"], capsys)
+        assert code == 1
+        assert "error:" in err and "ghost" in err
+
+    def test_invalid_tenant_id_rejected(self, config, capsys):
+        code, _, err = run(["tenant", "add", "not:valid",
+                            "--config", config], capsys)
+        assert code == 1
+        assert "error:" in err
+        assert not os.path.exists(config)  # nothing half-written
+
+    def test_serve_with_tenants_reports_the_tenant_count(self, home,
+                                                         tmp_path, capsys):
+        import threading
+
+        from repro.cli import build_parser, cmd_serve
+
+        config = str(tmp_path / "tenants.json")
+        run(["init", "--home", home], capsys)
+        run(["tenant", "add", "alice", "--config", config], capsys)
+        run(["tenant", "add", "bob", "--config", config], capsys)
+        args = build_parser().parse_args(
+            ["serve", "--home", home, "--port", "0", "--tenants", config])
+        args.stop_event = threading.Event()
+        args.stop_event.set()
+        code = cmd_serve(args)
+        out = capsys.readouterr().out
+        assert code == 0
+        # alice + bob + the auto-registered legacy default tenant
+        assert "3 tenants" in out
+
+
 class TestLiveStats:
     def test_live_snapshot_from_running_server(self, capsys):
         from repro.core.registry import make_server

@@ -1,0 +1,155 @@
+"""The multi-tenant traffic synthesizer and fleet simulator."""
+
+import pytest
+
+from repro.core.registry import make_client, make_scheme
+from repro.errors import ParameterError
+from repro.net.channel import Channel
+from repro.obs.opcount import count_ops
+from repro.crypto.rng import HmacDrbg
+from repro.tenancy import TenantDirectory, TenantGateway, TenantQuota
+from repro.workloads import run_simulation, synthesize_tenants
+from repro.workloads.tenants import TenantProfile, tenant_corpus
+
+
+class TestSynthesizeTenants:
+    def test_shape_and_determinism(self):
+        fleet = synthesize_tenants(10, total_documents=100,
+                                   total_searches=50)
+        assert [p.tenant_id for p in fleet] == \
+            [f"tenant-{i:04d}" for i in range(10)]
+        assert fleet == synthesize_tenants(10, total_documents=100,
+                                           total_searches=50)
+
+    def test_zipf_skew_is_monotone_over_rank(self):
+        fleet = synthesize_tenants(20, total_documents=400,
+                                   total_searches=200)
+        docs = [p.num_documents for p in fleet]
+        assert docs == sorted(docs, reverse=True)
+        # a real whale and a long tail
+        assert docs[0] > 10 * docs[-1]
+        searches = [p.searches for p in fleet]
+        assert searches == sorted(searches, reverse=True)
+
+    def test_every_tenant_participates(self):
+        for profile in synthesize_tenants(50, total_documents=64,
+                                          total_searches=32):
+            assert profile.num_documents >= 1
+            assert profile.searches >= 1
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ParameterError):
+            synthesize_tenants(0)
+        with pytest.raises(ParameterError):
+            TenantProfile("t", num_documents=0, searches=1)
+        with pytest.raises(ParameterError):
+            TenantProfile("t", num_documents=1, searches=1,
+                          unique_keywords=2, keywords_per_doc=3)
+
+
+class TestTenantCorpus:
+    def test_corpus_matches_the_profile(self):
+        profile = TenantProfile("acme", num_documents=12, searches=1,
+                                unique_keywords=4, keywords_per_doc=2,
+                                doc_size_bytes=32)
+        corpus = tenant_corpus(profile, HmacDrbg(7))
+        assert len(corpus) == 12
+        for doc in corpus:
+            assert len(doc.data) == 32
+            assert len(doc.keywords) == 2
+            assert all(kw.startswith("acme:kw") for kw in doc.keywords)
+
+    def test_every_keyword_in_the_universe_is_used(self):
+        profile = TenantProfile("acme", num_documents=8, searches=1,
+                                unique_keywords=4, keywords_per_doc=1)
+        corpus = tenant_corpus(profile, HmacDrbg(7))
+        used = set().union(*(doc.keywords for doc in corpus))
+        assert used == {f"acme:kw{i:03d}" for i in range(4)}
+
+
+def _gateway(directory):
+    return TenantGateway(
+        directory,
+        lambda tid: make_scheme("scheme2", seed=5,
+                                chain_length=64).server)
+
+
+def _client_factory(gateway, directory):
+    def client_for(profile):
+        tenant = directory.tenant(profile.tenant_id)
+        client = make_client("scheme2",
+                             channel=Channel(gateway.connect()),
+                             tenant=tenant, seed=9, chain_length=64)
+        return client.open(tenant.tenant_id, tenant.token)
+
+    return client_for
+
+
+class TestRunSimulation:
+    def test_fleet_against_an_in_process_gateway(self):
+        profiles = synthesize_tenants(5, total_documents=20,
+                                      total_searches=10)
+        directory = TenantDirectory()
+        for profile in profiles:
+            directory.add(profile.tenant_id)
+        gateway = _gateway(directory)
+        report = run_simulation(
+            profiles, _client_factory(gateway, directory), seed=11)
+        summary = report.summary()
+        assert summary["errors"] == 0
+        assert summary["quota_rejections"] == 0
+        assert summary["tenants"] == 5
+        assert summary["documents"] == \
+            sum(p.num_documents for p in profiles)
+        assert summary["searches"] == sum(p.searches for p in profiles)
+        assert summary["bytes_sent"] > 0
+        # server-side stored documents agree tenant by tenant
+        stats = gateway.stats()["tenants"]
+        for profile in profiles:
+            assert stats[profile.tenant_id]["documents"] == \
+                profile.num_documents
+
+    def test_quota_rejections_are_counted_not_raised(self):
+        profiles = synthesize_tenants(3, total_documents=30,
+                                      total_searches=6)
+        directory = TenantDirectory()
+        for profile in profiles:
+            directory.add(profile.tenant_id,
+                          TenantQuota(max_documents=2))
+        gateway = _gateway(directory)
+        report = run_simulation(
+            profiles, _client_factory(gateway, directory), seed=11)
+        summary = report.summary()
+        assert summary["errors"] == 0
+        assert summary["quota_rejections"] > 0
+        for profile in profiles:
+            assert gateway.stats()["tenants"][profile.tenant_id][
+                "documents"] <= 2
+
+    def test_crypto_ops_attributed_per_tenant(self):
+        profiles = synthesize_tenants(4, total_documents=24,
+                                      total_searches=8)
+        directory = TenantDirectory()
+        for profile in profiles:
+            directory.add(profile.tenant_id)
+        gateway = _gateway(directory)
+        with count_ops():
+            report = run_simulation(
+                profiles, _client_factory(gateway, directory), seed=11)
+        ops = {tid: sum(stats.crypto_ops.values())
+               for tid, stats in report.tenants.items()}
+        assert all(total > 0 for total in ops.values())
+        # the whale's bill dwarfs the tail's
+        assert ops["tenant-0000"] > ops["tenant-0003"]
+
+    def test_without_an_op_recorder_attribution_is_empty(self):
+        profiles = synthesize_tenants(2, total_documents=4,
+                                      total_searches=2)
+        directory = TenantDirectory()
+        for profile in profiles:
+            directory.add(profile.tenant_id)
+        gateway = _gateway(directory)
+        report = run_simulation(
+            profiles, _client_factory(gateway, directory), seed=11)
+        assert all(stats.crypto_ops == {}
+                   for stats in report.tenants.values())
