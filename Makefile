@@ -2,8 +2,8 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test test-fast bench bench-smoke bench-gate \
-	bench-baselines examples results clean
+.PHONY: install lint lint-report test test-fast bench bench-smoke \
+	bench-gate bench-baselines examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,13 @@ install:
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples tools
 	$(PYTHON) tools/check_all.py
+
+# Lint plus the secret-flow leakage-surface inventory (sources, sinks,
+# sanitizers, and suppressed defined-leakage flows per module) written
+# to leakage-surface.json; CI uploads it as a build artifact.
+lint-report:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --json \
+		--output lint-report.json --report leakage-surface.json
 
 test:
 	$(PYTHON) -m pytest tests/

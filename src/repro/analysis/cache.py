@@ -1,0 +1,111 @@
+"""On-disk result cache so ``make lint`` is sub-second on unchanged trees.
+
+The full suite parses every source file and runs a whole-program taint
+fixpoint — cheap enough to keep in CI, but noticeable on every local
+``make lint``.  The cache keys one JSON blob (the complete report plus
+the leakage-surface payload) on a fingerprint over:
+
+* ``(path, size, mtime_ns)`` of every analyzed input: ``src/**/*.py``,
+  ``docs/*.md`` (obs-drift reads them), ``tests/**/*.py``
+  (protocol-exhaustive reads them), and the baseline file;
+* the checker-suite version (:data:`repro.analysis.engine.ANALYSIS_VERSION`);
+* the selected checker ids.
+
+Any edit to an analyzed file — including the checkers themselves, which
+live under ``src/`` — changes the fingerprint and forces a fresh run.
+``repro-lint --no-cache`` bypasses reads; writes are atomic-ish (write
+then replace) and a corrupt or unreadable cache file is treated as a
+miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.engine import ANALYSIS_VERSION, Report
+
+__all__ = ["AnalysisCache", "CACHE_RELPATH"]
+
+#: Where the cache lives, relative to the repository root (gitignored).
+CACHE_RELPATH = Path("tools") / ".analysis_cache.json"
+
+
+def _stat_lines(root: Path) -> list[str]:
+    """One ``rel|size|mtime_ns`` line per analyzed input file, sorted."""
+    lines: list[str] = []
+    groups = [
+        (root / "src", "**/*.py"),
+        (root / "docs", "*.md"),
+        (root / "tests", "**/*.py"),
+    ]
+    for base, pattern in groups:
+        if not base.is_dir():
+            continue
+        for path in sorted(base.glob(pattern)):
+            if "__pycache__" in path.parts or not path.is_file():
+                continue
+            stat = path.stat()
+            rel = path.relative_to(root).as_posix()
+            lines.append(f"{rel}|{stat.st_size}|{stat.st_mtime_ns}")
+    return lines
+
+
+class AnalysisCache:
+    """Load/store one cached run keyed by a tree fingerprint."""
+
+    def __init__(self, root: Path, path: Path | None = None) -> None:
+        self.root = Path(root)
+        self.path = path if path is not None else self.root / CACHE_RELPATH
+
+    def fingerprint(self, checks: list[str] | None,
+                    baseline_path: Path) -> str:
+        digest = hashlib.sha256()
+        digest.update(f"analysis-version:{ANALYSIS_VERSION}\n".encode())
+        selected = ",".join(sorted(checks)) if checks is not None else "*"
+        digest.update(f"checks:{selected}\n".encode())
+        baseline = Path(baseline_path)
+        if baseline.exists():
+            stat = baseline.stat()
+            digest.update(
+                f"baseline|{stat.st_size}|{stat.st_mtime_ns}\n".encode())
+        else:
+            digest.update(b"baseline|absent\n")
+        for line in _stat_lines(self.root):
+            digest.update(line.encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def load(self, fingerprint: str) -> tuple[Report, dict | None] | None:
+        """The cached (report, surface) for *fingerprint*, else None."""
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("fingerprint") != fingerprint:
+            return None
+        try:
+            report = Report.from_payload(payload["report"])
+        except (KeyError, TypeError):
+            return None
+        return report, payload.get("surface")
+
+    def store(self, fingerprint: str, report: Report,
+              surface: dict | None) -> None:
+        payload = {
+            "version": 1,
+            "fingerprint": fingerprint,
+            "report": report.to_payload(),
+            "surface": surface,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            temp = self.path.with_suffix(".json.tmp")
+            temp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(temp, self.path)
+        except OSError:
+            # A read-only checkout just runs uncached.
+            return

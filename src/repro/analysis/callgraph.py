@@ -1,21 +1,29 @@
-"""Lightweight intra-package call graph for the lock-discipline checker.
+"""Intra-package call graph for the lock-discipline and secret-flow checkers.
 
 This is deliberately a *static under-approximation*: only calls whose
 target can be resolved by name within ``src/repro`` are followed —
 
 * ``name(...)`` resolves through the module's ``from x import name``
-  imports or to a function defined in the same module;
+  imports (including ``from x import y as z`` aliases) or to a function
+  or class defined in the same module;
+* ``ClassName(...)`` resolves to the class's ``__init__`` and records the
+  constructed class on the call site, so dataflow can type the result;
 * ``self.method(...)`` resolves to a method of the same class;
-* ``mod.func(...)`` resolves through ``import repro.x as mod`` /
-  ``from repro import x``.
+* ``mod.func(...)`` / ``a.b.c.func(...)`` resolve through ``import
+  repro.x as mod`` / ``import repro.a.b.c`` by walking the dotted chain;
+* ``self.attr.method(...)`` resolves one attribute level deep when the
+  class assigns ``self.attr = SomeClass(...)`` anywhere in its body;
+* ``obj.method(...)`` falls back to the *unique-method* rule: if exactly
+  one class in the package defines ``method`` and the name cannot be
+  confused with a builtin container/IO method, the call resolves there.
 
-Dynamic dispatch (``handler.handle(...)`` where ``handler`` is a
-constructor argument) is left unresolved on purpose: following it would
-flood the lock-discipline checker with every handler implementation,
-including ones the service layer intentionally runs under the write
-lock.  The checker therefore reasons about what the *service layer
-itself* does while holding a lock, plus everything reachable through
-statically-resolved helpers.
+Dynamic dispatch beyond those rules (``handler.handle(...)`` where
+``handler`` is a constructor argument of unknowable type) is left
+unresolved on purpose: following it would flood the lock-discipline
+checker with every handler implementation, including ones the service
+layer intentionally runs under the write lock.  Unresolved call sites
+are *counted* — :meth:`CallGraph.stats` feeds the ``callgraph`` block of
+the ``repro-lint --json`` report so resolution regressions are visible.
 """
 
 from __future__ import annotations
@@ -25,7 +33,26 @@ from dataclasses import dataclass, field
 
 from repro.analysis.engine import Project, SourceFile
 
-__all__ = ["FunctionInfo", "CallSite", "CallGraph", "build_call_graph"]
+__all__ = ["FunctionInfo", "CallSite", "CallGraph", "build_call_graph",
+           "UNIQUE_METHOD_DENYLIST"]
+
+#: Method names the unique-method fallback must never claim: anything a
+#: builtin container/string/file/lock also answers to would misresolve
+#: every ``list.append`` / ``dict.get`` in the package to whatever class
+#: happens to define the name once.
+UNIQUE_METHOD_DENYLIST = frozenset(
+    name
+    for obj in (list, dict, set, frozenset, tuple, str, bytes, bytearray,
+                int, float)
+    for name in dir(obj)
+) | frozenset({
+    "close", "flush", "read", "write", "readline", "seek", "tell",
+    "send", "sendall", "recv", "recv_into", "connect", "accept", "bind",
+    "listen", "acquire", "release", "wait", "notify", "notify_all",
+    "start", "run", "stop", "submit", "result", "cancel", "put", "get",
+    "get_nowait", "put_nowait", "fileno", "open", "set", "clear",
+    "is_set", "serialize", "deserialize", "handle", "name",
+})
 
 
 @dataclass
@@ -49,6 +76,12 @@ class CallSite:
     line: int
     label: str                  # human-readable callee ("os.fsync", ...)
     target: str | None          # FunctionInfo.key when resolved in-package
+    construct: tuple[str, str] | None = None  # (module, class) instantiated
+
+    @property
+    def resolved(self) -> bool:
+        """Did resolution find an in-package target or constructed class?"""
+        return self.target is not None or self.construct is not None
 
 
 class _ModuleIndex:
@@ -59,9 +92,13 @@ class _ModuleIndex:
         for node in ast.walk(source.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    local = alias.asname or alias.name.split(".")[0]
-                    self.imports[local] = (alias.name if alias.asname
-                                           else alias.name.split(".")[0])
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        # ``import a.b.c`` binds ``a``; the attribute walk
+                        # in _resolve_call supplies the rest of the chain.
+                        first = alias.name.split(".")[0]
+                        self.imports.setdefault(first, first)
             elif isinstance(node, ast.ImportFrom) and node.module \
                     and node.level == 0:
                 for alias in node.names:
@@ -85,21 +122,50 @@ def _call_label(func: ast.expr) -> str:
     return ".".join(reversed(parts))
 
 
+def _dotted_parts(func: ast.expr) -> list[str] | None:
+    """``["a", "b", "method"]`` for ``a.b.method`` rooted at a Name."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
 class CallGraph:
     """Functions of a project plus their resolved call edges."""
 
     def __init__(self) -> None:
         self.functions: dict[str, FunctionInfo] = {}
+        self.modules: set[str] = set()
+        self.classes: set[tuple[str, str]] = set()
+        #: (module, class, attr) -> (module, class) for ``self.attr =
+        #: SomeClass(...)`` assignments, enabling one-level chains.
+        self.attr_types: dict[tuple[str, str, str], tuple[str, str]] = {}
         self._by_module_name: dict[tuple[str, str], str] = {}
         self._methods: dict[tuple[str, str, str], str] = {}
+        self._method_owners: dict[str, set[tuple[str, str]]] = {}
+        self.total_calls = 0
+        self.resolved_calls = 0
 
     def add(self, info: FunctionInfo) -> None:
         self.functions[info.key] = info
+        self.modules.add(info.module)
         if info.class_name is None:
             self._by_module_name[(info.module, info.qualname)] = info.key
         else:
             name = info.qualname.rsplit(".", 1)[-1]
             self._methods[(info.module, info.class_name, name)] = info.key
+            self._method_owners.setdefault(name, set()).add(
+                (info.module, info.class_name))
+
+    def add_class(self, module: str, name: str) -> None:
+        self.classes.add((module, name))
+        self.modules.add(module)
 
     def resolve_function(self, module: str, name: str) -> str | None:
         """A plain function *name* defined at top level of *module*."""
@@ -109,6 +175,57 @@ class CallGraph:
                        name: str) -> str | None:
         """Method *name* on *class_name* in *module*."""
         return self._methods.get((module, class_name, name))
+
+    def resolve_unique_method(self, name: str) -> str | None:
+        """The single in-package definition of method *name*, if unambiguous.
+
+        Denied for names a builtin type also answers to (``append``,
+        ``get``, ...): misresolving every ``list.append`` to the one class
+        that defines ``append`` would poison both reachability and taint.
+        """
+        if name in UNIQUE_METHOD_DENYLIST:
+            return None
+        owners = self._method_owners.get(name)
+        if owners is None or len(owners) != 1:
+            return None
+        module, class_name = next(iter(owners))
+        return self._methods[(module, class_name, name)]
+
+    def resolve_symbol(self, dotted: str) -> tuple[str | None,
+                                                   tuple[str, str] | None]:
+        """Resolve a fully-dotted path to (function key, constructed class).
+
+        Splits *dotted* at the longest known module prefix; the remainder
+        is a top-level function (``repro.net.messages.pack_batch``) or a
+        class (``repro.crypto.prf.Prf`` — resolves to its ``__init__``
+        when one exists, and reports the class either way).
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            if module not in self.modules:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1:
+                key = self.resolve_function(module, rest[0])
+                if key is not None:
+                    return key, None
+                if (module, rest[0]) in self.classes:
+                    return (self.resolve_method(module, rest[0], "__init__"),
+                            (module, rest[0]))
+            elif len(rest) == 2 and (module, rest[0]) in self.classes:
+                return self.resolve_method(module, rest[0], rest[1]), None
+            return None, None
+        return None, None
+
+    def stats(self) -> dict[str, int]:
+        """Resolution counters for the ``--json`` report."""
+        return {
+            "functions": len(self.functions),
+            "call_sites": self.total_calls,
+            "resolved": self.resolved_calls,
+            "unresolved": self.total_calls - self.resolved_calls,
+        }
 
 
 def _collect_functions(source: SourceFile, graph: CallGraph) -> None:
@@ -127,38 +244,103 @@ def _collect_functions(source: SourceFile, graph: CallGraph) -> None:
                 # Nested defs keep the enclosing class for self-resolution.
                 visit(node.body, f"{qualname}.", class_name)
             elif isinstance(node, ast.ClassDef):
+                graph.add_class(module, node.name)
                 visit(node.body, f"{node.name}.", node.name)
 
     visit(source.tree.body, "", None)
 
 
-def _resolve_call(call: ast.Call, info: FunctionInfo, index: _ModuleIndex,
-                  graph: CallGraph) -> str | None:
+def _resolve_constructed(call: ast.Call, module: str, index: _ModuleIndex,
+                         graph: CallGraph) -> tuple[str, str] | None:
+    """(module, class) when *call* instantiates a known in-package class."""
     func = call.func
     if isinstance(func, ast.Name):
-        # Same-module function first, then a from-import of one.
+        if (module, func.id) in graph.classes:
+            return (module, func.id)
+        dotted = index.imports.get(func.id)
+        if dotted:
+            _, constructed = graph.resolve_symbol(dotted)
+            return constructed
+        return None
+    parts = _dotted_parts(func)
+    if parts and parts[0] in index.imports:
+        dotted = ".".join([index.imports[parts[0]]] + parts[1:])
+        _, constructed = graph.resolve_symbol(dotted)
+        return constructed
+    return None
+
+
+def _collect_attr_types(graph: CallGraph,
+                        indexes: dict[str, _ModuleIndex]) -> None:
+    """Record ``self.attr = SomeClass(...)`` assignments class-wide."""
+    for info in graph.functions.values():
+        if info.class_name is None:
+            continue
+        index = indexes[info.source.rel]
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Assign) \
+                    or not isinstance(node.value, ast.Call):
+                continue
+            constructed = _resolve_constructed(node.value, info.module,
+                                               index, graph)
+            if constructed is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    graph.attr_types[(info.module, info.class_name,
+                                      target.attr)] = constructed
+
+
+def _resolve_call(call: ast.Call, info: FunctionInfo, index: _ModuleIndex,
+                  graph: CallGraph) -> tuple[str | None,
+                                             tuple[str, str] | None]:
+    """(target function key, constructed class) for one call site."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        # Same-module function, then class, then a from-import of either.
         target = graph.resolve_function(info.module, func.id)
         if target is not None:
-            return target
+            return target, None
+        constructed = _resolve_constructed(call, info.module, index, graph)
+        if constructed is not None:
+            module, class_name = constructed
+            return (graph.resolve_method(module, class_name, "__init__"),
+                    constructed)
         dotted = index.imports.get(func.id)
         if dotted and dotted.startswith("repro."):
-            module, _, name = dotted.rpartition(".")
-            return graph.resolve_function(module, name)
-        return None
-    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            return graph.resolve_symbol(dotted)
+        return None, None
+    if not isinstance(func, ast.Attribute):
+        return None, None
+    if isinstance(func.value, ast.Name):
         owner = func.value.id
         if owner in ("self", "cls") and info.class_name is not None:
-            return graph.resolve_method(info.module, info.class_name,
-                                        func.attr)
-        dotted = index.imports.get(owner)
-        if dotted:
-            if not dotted.startswith("repro"):
-                return None
-            candidate = dotted if dotted.startswith("repro.") else None
-            if candidate is None:
-                return None
-            return graph.resolve_function(candidate, func.attr)
-    return None
+            target = graph.resolve_method(info.module, info.class_name,
+                                          func.attr)
+            if target is not None:
+                return target, None
+    parts = _dotted_parts(func)
+    if parts is not None and parts[0] in index.imports:
+        dotted = ".".join([index.imports[parts[0]]] + parts[1:])
+        if dotted.startswith("repro"):
+            target, constructed = graph.resolve_symbol(dotted)
+            if target is not None or constructed is not None:
+                return target, constructed
+    # self.attr.method(): one attribute level through the recorded type.
+    if isinstance(func.value, ast.Attribute) \
+            and isinstance(func.value.value, ast.Name) \
+            and func.value.value.id == "self" and info.class_name is not None:
+        typed = graph.attr_types.get(
+            (info.module, info.class_name, func.value.attr))
+        if typed is not None:
+            target = graph.resolve_method(typed[0], typed[1], func.attr)
+            if target is not None:
+                return target, None
+    # Last resort: the method name is defined exactly once in the package.
+    target = graph.resolve_unique_method(func.attr)
+    return target, None
 
 
 def build_call_graph(project: Project) -> CallGraph:
@@ -167,15 +349,23 @@ def build_call_graph(project: Project) -> CallGraph:
     sources = [s for s in project.source_files() if s.module is not None]
     for source in sources:
         _collect_functions(source, graph)
+    indexes = {s.rel: _ModuleIndex(s) for s in sources}
+    _collect_attr_types(graph, indexes)
     for source in sources:
-        index = _ModuleIndex(source)
+        index = indexes[source.rel]
         for info in list(graph.functions.values()):
             if info.source is not source:
                 continue
             for node in ast.walk(info.node):
                 if isinstance(node, ast.Call):
-                    info.calls.append(CallSite(
+                    target, constructed = _resolve_call(node, info, index,
+                                                        graph)
+                    site = CallSite(
                         node=node, line=node.lineno,
                         label=_call_label(node.func),
-                        target=_resolve_call(node, info, index, graph)))
+                        target=target, construct=constructed)
+                    info.calls.append(site)
+                    graph.total_calls += 1
+                    if site.resolved:
+                        graph.resolved_calls += 1
     return graph

@@ -1,4 +1,4 @@
-"""The built-in checker suite; importing this package registers all seven.
+"""The built-in checker suite; importing this package registers all eight.
 
 Each module self-registers through :func:`repro.analysis.engine.checker`,
 so the registry is populated exactly once however the suite is entered
@@ -14,8 +14,10 @@ from repro.analysis.checkers.key_hygiene import check_key_hygiene
 from repro.analysis.checkers.lock_discipline import check_lock_discipline
 from repro.analysis.checkers.obs_drift import check_obs_drift
 from repro.analysis.checkers.protocol import check_protocol_exhaustive
+from repro.analysis.checkers.secret_flow import (build_leakage_surface,
+                                                 check_secret_flow)
 
-__all__ = ["check_api_surface", "check_crypto_hygiene",
-           "check_exception_taxonomy", "check_key_hygiene",
-           "check_lock_discipline", "check_obs_drift",
-           "check_protocol_exhaustive"]
+__all__ = ["build_leakage_surface", "check_api_surface",
+           "check_crypto_hygiene", "check_exception_taxonomy",
+           "check_key_hygiene", "check_lock_discipline", "check_obs_drift",
+           "check_protocol_exhaustive", "check_secret_flow"]

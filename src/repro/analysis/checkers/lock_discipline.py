@@ -34,12 +34,20 @@ from __future__ import annotations
 
 import ast
 
-from repro.analysis.callgraph import CallGraph, FunctionInfo, build_call_graph
+from repro.analysis.callgraph import CallGraph, FunctionInfo
 from repro.analysis.engine import Finding, Project, checker
 
 __all__ = ["check_lock_discipline", "classify_blocking_call"]
 
 _MAX_DEPTH = 6
+
+# ReadWriteLock's own acquire/release/guard entry points: never treated
+# as blocking work inside a region (their internal condition waits are
+# the acquisition protocol itself).
+_LOCK_PRIMITIVES = {
+    "acquire_read", "acquire_write", "release_read", "release_write",
+    "read_locked", "write_locked",
+}
 
 # Method names that block on I/O or scheduling no matter the receiver.
 _BLOCKING_METHODS = {
@@ -154,6 +162,13 @@ def _check_regions(info: FunctionInfo, graph: CallGraph,
             regions.append((mode, [tail], node.lineno))
     for mode, nodes, region_line in regions:
         for site in _calls_in(info, nodes):
+            # The RW-lock primitives themselves wait on their internal
+            # condition by construction — that is how acquisition works,
+            # not blocking work performed while holding the lock.  (The
+            # read/write branches of a dispatch function otherwise flag
+            # each other once the call graph resolves ``self._lock.x``.)
+            if site.label.rsplit(".", 1)[-1] in _LOCK_PRIMITIVES:
+                continue
             found = _blocking_reachable(site, graph, _MAX_DEPTH, set())
             if found is None:
                 continue
@@ -218,7 +233,7 @@ def _check_lock_order(info: FunctionInfo,
          "no blocking I/O, sleeps, or heavy crypto while the session "
          "RW lock is held; no inverted lock acquisition order")
 def check_lock_discipline(project: Project) -> list[Finding]:
-    graph = build_call_graph(project)
+    graph = project.call_graph()
     findings: list[Finding] = []
     orders: dict[str, dict[tuple[str, str], int]] = {}
     for info in graph.functions.values():

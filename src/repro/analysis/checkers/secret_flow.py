@@ -1,0 +1,231 @@
+"""``secret-flow``: no key material reaches a server-visible surface.
+
+The paper's security argument is that the server observes *only* the
+intended leakage — search and access patterns.  ``crypto-hygiene`` and
+``key-hygiene`` pattern-match identifier names at single sites, which
+misses exactly the dangerous case: a ``MasterKey``-derived value flowing
+through two helper functions into a span attribute, metric label, journal
+record or wire field ships silently.  This checker runs a real
+interprocedural taint analysis (:mod:`repro.analysis.dataflow`) over the
+statically-resolved call graph and reports every *path* from a secret
+source to a leakage sink.
+
+**Sources** (values the honest-but-curious server must never see):
+``MasterKey`` halves ``k_m``/``k_w`` and values returned by ``keygen`` /
+``tenant_master_key``; ``OperatorSecret`` raw material (``_ikm`` /
+``_prk``); PRF and update-chain outputs (full-width ``Prf.evaluate``,
+``derive_key``, chain elements — these *are* keys); tenant session
+tokens; trapdoor secrets derived from any of the above.
+
+**Sinks** (server- or operator-visible surfaces): wire serialization
+(anything constructed in or passed into :mod:`repro.net.messages`),
+journal / ``KvStore`` writes, log/``print``/exception/``repr``
+interpolation, trace span attributes and metric labels.
+
+**Sanitizers** (cut the flow — by-design public transforms):
+authenticated/ElGamal/block encryption (the ciphertext is what the wire
+is *for*); truncated PRF tags (``tag_for`` / ``evaluate_truncated`` — a
+16-byte non-invertible identifier is the published searchable
+representation, exactly like ``OperatorSecret.fingerprint``); ``ct_equal``
+and ``verify_token`` (booleans); decryption (the output is data the
+client owns, not key material).
+
+Flows that are the *scheme's defined leakage* — e.g. Scheme 2's trapdoor
+element or Scheme 3's constant-size search token crossing the wire — are
+suppressed in place with ``# repro: allow(secret-flow)`` plus a
+justification; the suppressed flows still appear in the machine-readable
+leakage-surface report (``repro-lint --report``), which is the sink
+inventory the ``repro.attacks`` red-team harness consumes as ground
+truth.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import (DataflowResult, Flow, TaintSpec,
+                                     analyze_taint)
+from repro.analysis.engine import ANALYSIS_VERSION, Finding, Project, checker
+
+__all__ = ["check_secret_flow", "build_leakage_surface", "SECRET_FLOW_SPEC"]
+
+#: The declarative policy.  Terminal call names / attribute names — the
+#: dataflow engine resolves receivers where it can and treats the rest
+#: conservatively.
+SECRET_FLOW_SPEC = TaintSpec(
+    source_calls={
+        "keygen": "master key (keygen output)",
+        "tenant_master_key": "tenant-derived master key",
+        "tenant_token": "tenant session token",
+        "derive_key": "PRF-derived key",
+        "evaluate": "full-width PRF output",
+    },
+    source_attrs={
+        "k_m": "master key half 'k_m'",
+        "k_w": "master key half 'k_w'",
+        "_ikm": "operator secret raw material",
+        "_prk": "operator secret raw material",
+    },
+    sanitizers=frozenset({
+        # Authenticated / ElGamal / block encryption: ciphertext is public.
+        "encrypt", "encrypt_nonce", "encrypt_element", "encrypt_block",
+        # Decryption output is the client's own data, not key material.
+        "decrypt", "decrypt_nonce", "decrypt_element", "decrypt_block",
+        # Non-invertible truncated identifiers (published by design).
+        "tag_for", "evaluate_truncated", "fingerprint",
+        # One-shot HMAC tags: non-invertible w.r.t. the key; the full-width
+        # tag is Goh's published trapdoor representation.
+        "hmac_sha256",
+        # Keystream application IS the stream cipher here: every xor_bytes
+        # in the tree pads with a PRF/CTR keystream, so the output is
+        # ciphertext (SWP word ciphertexts, CTR mode).
+        "ctr_xcrypt", "xor_bytes",
+        # Boolean verdicts.
+        "ct_equal", "verify_token",
+    }),
+    sink_calls={
+        "put": "store write",
+        "apply_batch": "store write",
+        "serialize": "wire serialization",
+    },
+    sink_modules={
+        "repro.net.messages": "wire serialization",
+        "repro.storage.kvstore": "store write",
+        "repro.storage.docstore": "store write",
+    },
+    label_sinks={
+        "span": "span attribute",
+        "set": "span attribute",
+        "counter": "metric label",
+        "gauge": "metric label",
+        "histogram": "metric label",
+    },
+    log_calls=frozenset({
+        "print", "debug", "info", "warning", "error", "exception",
+        "critical", "log",
+    }),
+    barriers=frozenset({
+        "len", "isinstance", "issubclass", "range", "type", "bool",
+        "hasattr", "callable", "id",
+        # Plain field reads in call form: same rule as attribute reads —
+        # a handle's fields are not tracked through its taint.
+        "getattr",
+    }),
+)
+
+
+def _analyze(project: Project) -> DataflowResult:
+    """Run (once per Project) and memoize the taint analysis."""
+    cached = getattr(project, "_secret_flow_result", None)
+    if cached is None:
+        cached = analyze_taint(project, SECRET_FLOW_SPEC)
+        project._secret_flow_result = cached
+    return cached
+
+
+def _compact_path(flow: Flow) -> str:
+    """``keys.py:37 -> scheme2.py:345 -> ...`` — the hop chain."""
+    hops = []
+    for step in flow.steps:
+        location = step.split(": ", 1)[0]
+        short = location.rsplit("/", 1)[-1]
+        if not hops or hops[-1] != short:
+            hops.append(short)
+    return " -> ".join(hops)
+
+
+@checker("secret-flow",
+         "interprocedural taint: no MasterKey/OperatorSecret-derived "
+         "value reaches the wire, stores, logs, spans, or metric labels "
+         "unsanitized")
+def check_secret_flow(project: Project) -> list[Finding]:
+    result = _analyze(project)
+    findings: list[Finding] = []
+    reported: set[tuple] = set()
+    for flow in result.flows:
+        sink = flow.sink
+        identity = (sink.path, sink.line, sink.kind, sink.label,
+                    flow.taint.origin)
+        if identity in reported:
+            continue
+        reported.add(identity)
+        findings.append(Finding(
+            checker="secret-flow",
+            path=sink.path,
+            line=sink.line,
+            message=(f"{flow.taint.origin} reaches {sink.kind} "
+                     f"[{sink.label}] via {_compact_path(flow)}"),
+            hint=("cut the flow with an approved sanitizer (authenticated "
+                  "encryption, truncated tag, fingerprint), or justify "
+                  "the defined leakage with '# repro: allow(secret-flow)'"),
+            trace=flow.steps,
+        ))
+    return findings
+
+
+def build_leakage_surface(project: Project) -> dict:
+    """The machine-readable sink/sanitizer inventory per module.
+
+    This is the ``repro-lint --report leakage-surface.json`` artifact: for
+    every module, each syntactic sink site (whether or not a tainted flow
+    reaches it), each sanitizer application, and each taint source; every
+    secret flow appears under its sink with the full step path and
+    whether an inline pragma marks it as the scheme's defined leakage.
+    The future ``repro.attacks`` package consumes this as the ground-truth
+    enumeration of what the implementation exposes.
+    """
+    result = _analyze(project)
+    flows_by_sink: dict[tuple, list[Flow]] = {}
+    for flow in result.flows:
+        key = (flow.sink.path, flow.sink.line, flow.sink.kind,
+               flow.sink.label)
+        flows_by_sink.setdefault(key, []).append(flow)
+
+    def suppressed(path: str, line: int) -> bool:
+        source = project.file(path)
+        return source is not None and source.suppresses("secret-flow", line)
+
+    modules: dict[str, dict] = {}
+
+    def module_entry(module: str) -> dict:
+        return modules.setdefault(module, {"sources": [], "sanitizers": [],
+                                           "sinks": []})
+
+    for site in result.source_sites:
+        module_entry(site.module)["sources"].append(
+            {"line": site.line, "path": site.path, "origin": site.origin})
+    for site in result.sanitizer_sites:
+        module_entry(site.module)["sanitizers"].append(
+            {"line": site.line, "path": site.path, "name": site.name})
+    flow_count = suppressed_count = 0
+    kind_counts: dict[str, int] = {}
+    for site in result.sink_sites:
+        key = (site.path, site.line, site.kind, site.label)
+        entry = {"line": site.line, "path": site.path, "kind": site.kind,
+                 "callee": site.label, "flows": []}
+        for flow in flows_by_sink.get(key, []):
+            is_suppressed = suppressed(site.path, site.line)
+            entry["flows"].append({
+                "origin": flow.taint.origin,
+                "steps": list(flow.steps),
+                "suppressed": is_suppressed,
+            })
+            flow_count += 1
+            if is_suppressed:
+                suppressed_count += 1
+        kind_counts[site.kind] = kind_counts.get(site.kind, 0) + 1
+        module_entry(site.module)["sinks"].append(entry)
+
+    return {
+        "version": 1,
+        "analysis_version": ANALYSIS_VERSION,
+        "callgraph": project.call_graph().stats(),
+        "modules": {name: modules[name] for name in sorted(modules)},
+        "summary": {
+            "modules": len(modules),
+            "sink_sites": len(result.sink_sites),
+            "sanitizer_sites": len(result.sanitizer_sites),
+            "source_sites": len(result.source_sites),
+            "flows": flow_count,
+            "suppressed_flows": suppressed_count,
+            "sinks_by_kind": dict(sorted(kind_counts.items())),
+        },
+    }

@@ -4,11 +4,17 @@ Exit status is the number of unsuppressed findings (capped at 100), so
 ``make lint`` and CI fail exactly when a finding is neither fixed,
 pragma'd, nor baselined.
 
+Results are cached on disk (``tools/.analysis_cache.json``) keyed by the
+size+mtime of every analyzed file plus the checker-suite version, so a
+re-run on an unchanged tree is sub-second; ``--no-cache`` forces a fresh
+analysis.
+
 Common invocations::
 
     repro-lint                         # human output, repo auto-detected
     repro-lint --json                  # machine-readable (CI artifact)
     repro-lint --checks lock-discipline,obs-drift
+    repro-lint --report leakage-surface.json   # secret-flow sink inventory
     repro-lint --update-baseline       # grandfather current findings
     repro-lint --list                  # show the registered checkers
 """
@@ -16,9 +22,11 @@ Common invocations::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.engine import (Baseline, Project, all_checkers,
                                    run_checks)
 
@@ -53,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output", type=Path, default=None,
                         metavar="PATH",
                         help="also write the JSON report to PATH")
+    parser.add_argument("--report", type=Path, default=None,
+                        metavar="PATH",
+                        help="write the secret-flow leakage-surface "
+                             "inventory (sinks/sanitizers/flows per "
+                             "module) to PATH")
     parser.add_argument("--baseline", type=Path, default=None,
                         metavar="PATH",
                         help="baseline file (default: "
@@ -61,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline to absorb every "
                              "currently-active finding, then exit 0")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the on-disk "
+                             "analysis cache")
     parser.add_argument("--list", action="store_true", dest="list_checks",
                         help="list the registered checkers and exit")
     return parser
@@ -79,18 +95,48 @@ def main(argv: list[str] | None = None) -> int:
     if args.checks:
         checks = [part.strip() for part in args.checks.split(",")
                   if part.strip()]
-    try:
-        report = run_checks(Project(root), checks=checks,
-                            baseline=Baseline.load(baseline_path))
-    except ValueError as exc:
-        print(f"repro-lint: {exc}", file=sys.stderr)
-        return 2
+
+    cache = AnalysisCache(root)
+    fingerprint = None
+    report = surface = None
+    if not args.no_cache:
+        try:
+            fingerprint = cache.fingerprint(checks, baseline_path)
+        except OSError:
+            fingerprint = None
+        if fingerprint is not None:
+            cached = cache.load(fingerprint)
+            if cached is not None:
+                report, surface = cached
+
+    if report is None:
+        project = Project(root)
+        try:
+            report = run_checks(project, checks=checks,
+                                baseline=Baseline.load(baseline_path))
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        if any(chk.id == "secret-flow" for chk in report.checkers):
+            from repro.analysis.checkers import build_leakage_surface
+            surface = build_leakage_surface(project)
+        if fingerprint is not None:
+            cache.store(fingerprint, report, surface)
+
     if args.update_baseline:
         Baseline.dump(report.active + report.baselined, baseline_path)
         print(f"repro-lint: baseline rewritten with "
               f"{len(report.active) + len(report.baselined)} finding(s) "
               f"at {baseline_path}")
         return 0
+    if args.report is not None:
+        if surface is None:
+            print("repro-lint: --report needs the secret-flow checker "
+                  "in the selected set", file=sys.stderr)
+            return 2
+        args.report.write_text(
+            json.dumps(surface, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
     if args.output is not None:
         args.output.write_text(report.to_json() + "\n", encoding="utf-8")
     if args.json:

@@ -1,0 +1,694 @@
+"""Interprocedural secret-taint dataflow over the cached ASTs.
+
+The engine behind the ``secret-flow`` checker.  It is a whole-program,
+flow-sensitive-per-function, context-insensitive taint analysis:
+
+* **per-function def-use** — each function body is interpreted over a
+  taint environment (variable → :class:`Taint`), statement by statement,
+  loop bodies twice so loop-carried taint converges;
+* **function summaries** — what a function *returns* (tainted or not)
+  and which ``self.<attr>`` fields it taints are recorded and consumed
+  at resolved call sites;
+* **fixpoint propagation** — passing a tainted argument into a resolved
+  callee taints the callee's parameter (argument→parameter edge); the
+  callee's return taint flows back to the call expression (return-value
+  edge).  Parameter/attribute/return facts are set-once and monotone, so
+  the global iteration terminates.
+
+Taint *sources*, *sanitizers* and *sinks* are declarative
+(:class:`TaintSpec`) — the policy lives with the ``secret-flow`` checker,
+this module only knows how to push facts around.  Every taint fact
+carries its provenance as ``file:line: what`` steps, so a finding can
+print the complete source→…→sink path.
+
+Known under-approximations (deliberate, mirroring the call graph):
+closures do not capture outer taint, ``*args``/``**kwargs`` fan-out is
+not modeled, and dynamic dispatch beyond the call-graph rules drops
+edges.  Over-approximations: container taint is coarse (one tainted
+element taints the container, and any read from a tainted container is
+tainted) and branches union.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.analysis.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.analysis.engine import Project
+
+__all__ = ["Taint", "TaintSpec", "TupleTaint", "SinkSite", "Flow",
+           "SanitizerSite", "SourceSite", "DataflowResult",
+           "analyze_taint"]
+
+_MAX_PASSES = 8
+_MAX_STEPS = 12
+
+
+@dataclass(frozen=True)
+class Taint:
+    """A secret-carrying value: where it came from and how it got here."""
+
+    origin: str                 # e.g. "master key half 'k_w'"
+    steps: tuple[str, ...]      # "src/...:NN: <what happened>" per hop
+
+    def extend(self, step: str) -> "Taint":
+        if len(self.steps) >= _MAX_STEPS:
+            return self
+        return Taint(self.origin, self.steps + (step,))
+
+
+@dataclass(frozen=True)
+class TaintSpec:
+    """Declarative policy: what is secret, what launders, what leaks."""
+
+    source_calls: Mapping[str, str]      # terminal callee name -> origin
+    source_attrs: Mapping[str, str]      # attribute name -> origin
+    sanitizers: frozenset                # terminal names cutting taint
+    sink_calls: Mapping[str, str]        # terminal name -> sink kind
+    sink_modules: Mapping[str, str]      # resolved module -> sink kind
+    label_sinks: Mapping[str, str]       # keyword-args-only sinks
+    log_calls: frozenset                 # log/print style sinks
+    barriers: frozenset                  # unresolved calls that never carry
+
+
+@dataclass(frozen=True)
+class SinkSite:
+    """One syntactic sink location (inventoried whether or not tainted)."""
+
+    kind: str
+    label: str                  # callee label or construct name
+    module: str
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class SanitizerSite:
+    name: str
+    module: str
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class SourceSite:
+    origin: str
+    module: str
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A complete secret flow: taint provenance ending at a sink."""
+
+    taint: Taint
+    sink: SinkSite
+
+    @property
+    def steps(self) -> tuple[str, ...]:
+        sink_step = (f"{self.sink.path}:{self.sink.line}: "
+                     f"reaches {self.sink.kind} [{self.sink.label}]")
+        return self.taint.steps + (sink_step,)
+
+
+@dataclass
+class DataflowResult:
+    """Everything the checker and the leakage-surface report consume."""
+
+    flows: list[Flow] = field(default_factory=list)
+    sink_sites: list[SinkSite] = field(default_factory=list)
+    sanitizer_sites: list[SanitizerSite] = field(default_factory=list)
+    source_sites: list[SourceSite] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class TupleTaint:
+    """Element-wise taint for a literal tuple/list value.
+
+    Keeping per-element taints across returns and unpacking assignments
+    stops ``client, server, scheme = _open(...)`` from smearing the
+    client's taint onto the scheme *name* — the single most common
+    false-positive shape in handle-returning factories.  Any use other
+    than unpacking collapses to the join of the elements.
+    """
+
+    elements: tuple["Taint | None", ...]
+
+    def collapse(self) -> Taint | None:
+        return _join(*self.elements)
+
+
+def _collapse(taint: "Taint | TupleTaint | None") -> Taint | None:
+    return taint.collapse() if isinstance(taint, TupleTaint) else taint
+
+
+def _join(*taints: "Taint | TupleTaint | None") -> Taint | None:
+    """First (shortest-path preferred) taint among *taints*."""
+    best = None
+    for taint in taints:
+        taint = _collapse(taint)
+        if taint is None:
+            continue
+        if best is None or len(taint.steps) < len(best.steps):
+            best = taint
+    return best
+
+
+def _param_names(info: FunctionInfo) -> list[str]:
+    args = info.node.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    return names
+
+
+class _Analyzer:
+    """One pass over one function body with the current global facts."""
+
+    def __init__(self, engine: "_Engine", info: FunctionInfo,
+                 collect: bool) -> None:
+        self.engine = engine
+        self.info = info
+        self.collect = collect
+        self.spec = engine.spec
+        self.graph = engine.graph
+        self.sites = {id(site.node): site for site in info.calls}
+        self.env: dict[str, Taint] = {}
+        params = _param_names(info)
+        for name in params:
+            taint = engine.param_taint.get((info.key, name))
+            if taint is not None:
+                self.env[name] = taint
+        self.returns: Taint | TupleTaint | None = None
+
+    # -- helpers ---------------------------------------------------------
+
+    def _loc(self, node: ast.AST) -> str:
+        return f"{self.info.source.rel}:{node.lineno}"
+
+    def _is_self(self, node: ast.expr) -> bool:
+        return (isinstance(node, ast.Name) and node.id in ("self", "cls")
+                and self.info.class_name is not None)
+
+    def _eval_return(self, node: ast.expr) -> Taint | TupleTaint | None:
+        """Evaluate a return expression, keeping tuple elements apart."""
+        if isinstance(node, (ast.Tuple, ast.List)):
+            elements = tuple(_collapse(self.eval(e)) for e in node.elts)
+            if any(e is not None for e in elements):
+                return TupleTaint(elements)
+            return None
+        result = self.eval(node)
+        if isinstance(result, TupleTaint):
+            return result
+        return result
+
+    def _merge_returns(self, taint: Taint | TupleTaint | None) -> None:
+        if taint is None:
+            return
+        old = self.returns
+        if isinstance(taint, TupleTaint) and (
+                old is None or (isinstance(old, TupleTaint)
+                                and len(old.elements)
+                                == len(taint.elements))):
+            if old is None:
+                self.returns = taint
+            else:
+                self.returns = TupleTaint(tuple(
+                    _join(a, b) for a, b
+                    in zip(old.elements, taint.elements)))
+            return
+        self.returns = _join(old, taint)
+
+    # -- statements ------------------------------------------------------
+
+    def run_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes are separate FunctionInfos
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = getattr(node, "value", None)
+            taint = self.eval(value) if value is not None else None
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                self.assign(target, taint, value,
+                            keep=isinstance(node, ast.AugAssign))
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                taint = self._eval_return(node.value)
+                self._merge_returns(taint)
+                collapsed = _collapse(taint)
+                if self.collect and collapsed is not None \
+                        and self.info.qualname.rsplit(".", 1)[-1] \
+                        in ("__repr__", "__str__"):
+                    self.engine.flow(collapsed, SinkSite(
+                        kind="repr", label=self.info.qualname,
+                        module=self.info.module,
+                        path=self.info.source.rel, line=node.lineno))
+        elif isinstance(node, ast.Raise):
+            if node.exc is not None:
+                taint = _collapse(self.eval(node.exc))
+                if self.collect and taint is not None:
+                    self.engine.flow(taint, SinkSite(
+                        kind="exception", label="raise",
+                        module=self.info.module,
+                        path=self.info.source.rel, line=node.lineno))
+        elif isinstance(node, ast.For):
+            iter_taint = _collapse(self.eval(node.iter))
+            self.assign(node.target, iter_taint, None)
+            for _ in range(2):       # loop-carried taint needs two trips
+                self.run_body(node.body)
+            self.run_body(node.orelse)
+        elif isinstance(node, ast.While):
+            self.eval(node.test)
+            for _ in range(2):
+                self.run_body(node.body)
+            self.run_body(node.orelse)
+        elif isinstance(node, ast.If):
+            self.eval(node.test)
+            self.run_body(node.body)
+            self.run_body(node.orelse)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                taint = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, taint, None)
+            self.run_body(node.body)
+        elif isinstance(node, ast.Try):
+            self.run_body(node.body)
+            for handler in node.handlers:
+                self.run_body(handler.body)
+            self.run_body(node.orelse)
+            self.run_body(node.finalbody)
+        elif isinstance(node, ast.Expr):
+            self.eval(node.value)
+        elif isinstance(node, ast.Assert):
+            self.eval(node.test)
+            if node.msg is not None:
+                self.eval(node.msg)
+        elif isinstance(node, (ast.Delete, ast.Pass, ast.Break,
+                               ast.Continue, ast.Import, ast.ImportFrom,
+                               ast.Global, ast.Nonlocal)):
+            return
+
+    def assign(self, target: ast.expr, taint: Taint | None,
+               value: ast.expr | None, keep: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            if taint is not None:
+                self.env[target.id] = _join(self.env.get(target.id), taint) \
+                    if keep else taint
+            elif not keep:
+                self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements = None
+            if isinstance(value, (ast.Tuple, ast.List)) \
+                    and len(value.elts) == len(target.elts):
+                elements = [self.eval(e) for e in value.elts]
+            elif isinstance(taint, TupleTaint) \
+                    and len(taint.elements) == len(target.elts):
+                elements = list(taint.elements)
+            for position, sub in enumerate(target.elts):
+                sub_taint = elements[position] if elements is not None \
+                    else _collapse(taint)
+                self.assign(sub, sub_taint, None)
+        elif isinstance(target, ast.Attribute):
+            taint = _collapse(taint)
+            if self._is_self(target.value) and taint is not None:
+                self.engine.taint_attr(
+                    self.info.module, self.info.class_name, target.attr,
+                    taint.extend(f"{self._loc(target)}: stored in "
+                                 f"self.{target.attr}"))
+        elif isinstance(target, ast.Subscript):
+            # d[k] = secret taints the container variable itself.
+            self.eval(target.slice)
+            base = target.value
+            taint = _collapse(taint)
+            if taint is not None and isinstance(base, ast.Name):
+                self.env[base.id] = _join(self.env.get(base.id), taint)
+            elif taint is not None and isinstance(base, ast.Attribute) \
+                    and self._is_self(base.value):
+                self.engine.taint_attr(
+                    self.info.module, self.info.class_name, base.attr,
+                    taint.extend(f"{self._loc(target)}: stored in "
+                                 f"self.{base.attr}[...]"))
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, taint, None)
+
+    # -- expressions -----------------------------------------------------
+
+    def eval(self, node: ast.expr | None) -> Taint | None:
+        if node is None or isinstance(node, ast.Constant):
+            return None
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            origin = self.spec.source_attrs.get(node.attr)
+            if origin is not None:
+                return Taint(origin, (f"{self._loc(node)}: source "
+                                      f".{node.attr} ({origin})",))
+            if self._is_self(node.value):
+                return self.engine.attr_taint.get(
+                    (self.info.module, self.info.class_name, node.attr))
+            # Field reads on non-self receivers do not inherit the base's
+            # taint: a scheme handle *holds* key material but its counters
+            # and stats are not key material.  Secrets crossing object
+            # fields are caught inside the storing class (self.X writes
+            # and reads above) — a deliberate under-approximation, same
+            # philosophy as the call graph.
+            return None
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        if isinstance(node, ast.BinOp):
+            return _join(self.eval(node.left), self.eval(node.right))
+        if isinstance(node, ast.BoolOp):
+            return _join(*[self.eval(v) for v in node.values])
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.Compare):
+            self.eval(node.left)
+            for comparator in node.comparators:
+                self.eval(comparator)
+            return None              # comparisons yield booleans
+        if isinstance(node, ast.JoinedStr):
+            return _join(*[self.eval(v) for v in node.values])
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value)
+        if isinstance(node, ast.Subscript):
+            self.eval(node.slice)
+            return self.eval(node.value)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return _join(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return _join(*[self.eval(e) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            parts = [self.eval(k) for k in node.keys if k is not None]
+            parts += [self.eval(v) for v in node.values]
+            return _join(*parts)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            for generator in node.generators:
+                self.assign(generator.target, self.eval(generator.iter),
+                            None)
+                for condition in generator.ifs:
+                    self.eval(condition)
+            if isinstance(node, ast.DictComp):
+                return _join(self.eval(node.key), self.eval(node.value))
+            return self.eval(node.elt)
+        if isinstance(node, ast.Await):
+            return self.eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval(node.value)
+            self.assign(node.target, taint, None)
+            return taint
+        if isinstance(node, ast.Lambda):
+            # A lambda carries the taint its body would produce — the
+            # common shape is ``cache.get_or_compute(k, lambda: secret())``
+            # where the callee invokes it and returns the result.
+            return _collapse(self.eval(node.body))
+        return None
+
+    def _callback_taint(self, node: ast.expr) -> Taint | None:
+        """Return taint carried by a function *reference* passed as an
+        argument: ``cache.get_or_compute(k, compute)`` yields whatever
+        the nested/module-level ``compute`` returns."""
+        if not isinstance(node, ast.Name):
+            return None
+        for key in (f"{self.info.key}.{node.id}",
+                    f"{self.info.module}.{node.id}"):
+            info = self.graph.functions.get(key)
+            if info is not None:
+                result = _collapse(self.engine.returns.get(key))
+                if result is not None:
+                    return result.extend(
+                        f"{self._loc(node)}: callback {info.qualname}()")
+                return None
+        return None
+
+    def call(self, node: ast.Call) -> Taint | None:
+        site = self.sites.get(id(node))
+        label = site.label if site is not None else "<dynamic>"
+        terminal = label.rsplit(".", 1)[-1]
+        # Source/sanitizer matching honors aliased imports: the policy
+        # names the function, not whatever ``import ... as`` called it.
+        if site is not None and site.target is not None:
+            resolved = site.target.rsplit(".", 1)[-1]
+            if resolved in self.spec.sanitizers \
+                    or resolved in self.spec.source_calls:
+                terminal = resolved
+
+        receiver = None
+        if isinstance(node.func, ast.Attribute):
+            receiver = _collapse(self.eval(node.func.value))
+        # Callables passed as arguments — lambdas and references to
+        # nested/module-level functions — contribute what they would
+        # *return* to the result of THIS call (``get_or_compute(k, f)``).
+        # They are kept out of the positional/keyword taints so the
+        # provenance stays with the call site instead of polluting the
+        # callee's shared (context-insensitive) summary: scheme 1's tag
+        # cache must not inherit scheme 2's trapdoor taint just because
+        # both go through ``BoundedCache.get_or_compute``.
+        arg_taints: list[Taint | None] = []
+        callback_taints: list[Taint | None] = []
+        for arg in node.args:
+            taint = _collapse(self.eval(arg))
+            if isinstance(arg, ast.Lambda):
+                arg_taints.append(None)
+                callback_taints.append(taint)
+            else:
+                arg_taints.append(taint)
+                callback_taints.append(self._callback_taint(arg))
+        kw_taints: dict[str | None, Taint | None] = {}
+        for kw in node.keywords:
+            taint = _collapse(self.eval(kw.value))
+            if isinstance(kw.value, ast.Lambda):
+                kw_taints[kw.arg] = None
+                callback_taints.append(taint)
+            else:
+                kw_taints[kw.arg] = taint
+                callback_taints.append(self._callback_taint(kw.value))
+
+        sank = self._check_sinks(node, site, label, terminal, arg_taints,
+                                 kw_taints)
+        if sank:
+            # The sink is the endpoint of the flow: whatever comes out of
+            # a Message(...) / put(...) / span(...) was already reported
+            # (or pragma-justified) HERE — re-flagging the same payload
+            # in every transport helper it passes through is noise.
+            return None
+
+        if terminal in self.spec.sanitizers:
+            if self.collect:
+                self.engine.result.sanitizer_sites.append(SanitizerSite(
+                    name=terminal, module=self.info.module,
+                    path=self.info.source.rel, line=node.lineno))
+            return None
+
+        origin = self.spec.source_calls.get(terminal)
+        if origin is not None:
+            if self.collect:
+                self.engine.result.source_sites.append(SourceSite(
+                    origin=origin, module=self.info.module,
+                    path=self.info.source.rel, line=node.lineno))
+            return Taint(origin, (f"{self._loc(node)}: source "
+                                  f"{terminal}() ({origin})",))
+
+        if site is not None and site.target is not None:
+            callee = self.graph.functions.get(site.target)
+            if callee is not None:
+                self._push_args(node, callee, receiver, arg_taints,
+                                kw_taints)
+                result = self.engine.returns.get(site.target)
+                step = (f"{self._loc(node)}: returned by "
+                        f"{callee.qualname}()")
+                if site.construct is not None:
+                    # A constructed instance carries whatever secrets its
+                    # arguments do (its fields are read via attr taint).
+                    result = _join(result, receiver, *arg_taints,
+                                   *kw_taints.values())
+                if isinstance(result, TupleTaint) \
+                        and not any(callback_taints):
+                    return TupleTaint(tuple(
+                        e.extend(step) if e is not None else None
+                        for e in result.elements))
+                result = _join(result, *callback_taints)
+                if result is not None:
+                    return result.extend(step)
+                return None
+        if site is not None and site.construct is not None:
+            return _join(receiver, *arg_taints, *kw_taints.values(),
+                         *callback_taints)
+
+        # Unresolved call: argument taint conservatively passes through to
+        # the result, but *receiver* taint deliberately does not — an
+        # object holding a secret in a field (a scheme client, a server
+        # handle) does not make every method result secret, and joining
+        # the receiver would taint the entire program through any handle
+        # that ever saw key material.  Invoking a tainted *callable* (a
+        # callback parameter bound to a secret-producing function) does
+        # yield its taint.
+        if terminal in self.spec.barriers:
+            return None
+        callee_taint = self.env.get(node.func.id) \
+            if isinstance(node.func, ast.Name) else None
+        return _join(callee_taint, *arg_taints, *kw_taints.values(),
+                     *callback_taints)
+
+    def _push_args(self, node: ast.Call, callee: FunctionInfo,
+                   receiver: Taint | None, arg_taints: list[Taint | None],
+                   kw_taints: dict[str | None, Taint | None]) -> None:
+        """Argument→parameter taint edges into a resolved callee."""
+        params = _param_names(callee)
+        positional = list(params)
+        if callee.class_name is not None and positional \
+                and positional[0] in ("self", "cls"):
+            if receiver is not None:
+                self.engine.taint_param(
+                    callee.key, positional[0],
+                    receiver.extend(f"{self._loc(node)}: receiver of "
+                                    f"{callee.qualname}()"))
+            positional = positional[1:]
+        for position, taint in enumerate(arg_taints):
+            if taint is None or position >= len(positional):
+                continue
+            self.engine.taint_param(
+                callee.key, positional[position],
+                taint.extend(f"{self._loc(node)}: passed to "
+                             f"{callee.qualname}({positional[position]}=…)"))
+        for name, taint in kw_taints.items():
+            if taint is None or name is None or name not in params:
+                continue
+            self.engine.taint_param(
+                callee.key, name,
+                taint.extend(f"{self._loc(node)}: passed to "
+                             f"{callee.qualname}({name}=…)"))
+
+    def _check_sinks(self, node: ast.Call, site: CallSite | None,
+                     label: str, terminal: str,
+                     arg_taints: list[Taint | None],
+                     kw_taints: dict[str | None, Taint | None]) -> bool:
+        """Classify this call as a sink; True if it is one.
+
+        Classification runs in EVERY pass (the caller cuts taint at sink
+        sites, and that must hold during propagation too); recording
+        sites/flows only happens in the collect pass.
+        """
+        kind = None
+        sink_label = label
+        resolved = site is not None and site.resolved
+        if resolved:
+            # A resolved callee is classified by the module it lives in,
+            # so e.g. BoundedCache.put (an in-memory LRU) is not mistaken
+            # for a durable KvStore.put just because the names collide.
+            target_module = None
+            if site.construct is not None:
+                target_module = site.construct[0]
+                sink_label = site.construct[1]
+            elif site.target is not None:
+                callee = self.graph.functions.get(site.target)
+                target_module = callee.module if callee else None
+            if target_module is not None:
+                kind = self.spec.sink_modules.get(target_module)
+        else:
+            kind = self.spec.sink_calls.get(terminal)
+            if kind is None and terminal in self.spec.log_calls:
+                kind = "log"
+        label_kind = self.spec.label_sinks.get(terminal)
+        if not self.collect:
+            return kind is not None or label_kind is not None
+
+        if kind is not None:
+            sink = SinkSite(kind=kind, label=sink_label,
+                            module=self.info.module,
+                            path=self.info.source.rel, line=node.lineno)
+            self.engine.result.sink_sites.append(sink)
+            for taint in list(arg_taints) + list(kw_taints.values()):
+                if taint is not None:
+                    self.engine.flow(taint, sink)
+        if label_kind is not None:
+            sink = SinkSite(kind=label_kind, label=sink_label,
+                            module=self.info.module,
+                            path=self.info.source.rel, line=node.lineno)
+            self.engine.result.sink_sites.append(sink)
+            for taint in kw_taints.values():
+                if taint is not None:
+                    self.engine.flow(taint, sink)
+        return kind is not None or label_kind is not None
+
+
+class _Engine:
+    """Global fixpoint state shared by every per-function analyzer."""
+
+    def __init__(self, graph: CallGraph, spec: TaintSpec) -> None:
+        self.graph = graph
+        self.spec = spec
+        self.param_taint: dict[tuple[str, str], Taint] = {}
+        self.attr_taint: dict[tuple[str, str, str], Taint] = {}
+        self.returns: dict[str, Taint | TupleTaint] = {}
+        self.changed = False
+        self.result = DataflowResult()
+        self._seen_flows: set[tuple] = set()
+
+    # Facts are set-once: the first taint wins, so the fixpoint is
+    # monotone and terminates (finite params × attrs × functions).
+    def taint_param(self, key: str, param: str, taint: Taint) -> None:
+        if (key, param) not in self.param_taint:
+            self.param_taint[(key, param)] = taint
+            self.changed = True
+
+    def taint_attr(self, module: str, class_name: str, attr: str,
+                   taint: Taint) -> None:
+        if (module, class_name, attr) not in self.attr_taint:
+            self.attr_taint[(module, class_name, attr)] = taint
+            self.changed = True
+
+    def set_returns(self, key: str,
+                    taint: Taint | TupleTaint | None) -> None:
+        if taint is not None and key not in self.returns:
+            self.returns[key] = taint
+            self.changed = True
+
+    def flow(self, taint: Taint, sink: SinkSite) -> None:
+        identity = (sink.path, sink.line, sink.kind, sink.label,
+                    taint.origin, taint.steps[0] if taint.steps else "")
+        if identity in self._seen_flows:
+            return
+        self._seen_flows.add(identity)
+        self.result.flows.append(Flow(taint=taint, sink=sink))
+
+    def run_pass(self, collect: bool) -> None:
+        for info in self.graph.functions.values():
+            analyzer = _Analyzer(self, info, collect)
+            analyzer.run_body(getattr(info.node, "body", []))
+            self.set_returns(info.key, analyzer.returns)
+
+
+def analyze_taint(project: Project, spec: TaintSpec) -> DataflowResult:
+    """Run the whole-program taint analysis and return every flow/site."""
+    engine = _Engine(project.call_graph(), spec)
+    for _ in range(_MAX_PASSES):
+        engine.changed = False
+        engine.run_pass(collect=False)
+        if not engine.changed:
+            break
+    engine.run_pass(collect=True)
+    engine.result.flows.sort(
+        key=lambda f: (f.sink.path, f.sink.line, f.taint.origin))
+    engine.result.sink_sites = sorted(
+        set(engine.result.sink_sites),
+        key=lambda s: (s.path, s.line, s.kind, s.label))
+    engine.result.sanitizer_sites = sorted(
+        set(engine.result.sanitizer_sites),
+        key=lambda s: (s.path, s.line, s.name))
+    engine.result.source_sites = sorted(
+        set(engine.result.source_sites),
+        key=lambda s: (s.path, s.line, s.origin))
+    return engine.result

@@ -32,7 +32,12 @@ from pathlib import Path
 
 __all__ = ["Finding", "SourceFile", "Project", "Checker", "checker",
            "all_checkers", "run_checks", "Baseline", "Report",
-           "PRAGMA_PATTERN"]
+           "PRAGMA_PATTERN", "ANALYSIS_VERSION"]
+
+#: Bumped whenever checker semantics change; part of the on-disk result
+#: cache key, so a new checker version invalidates stale cached reports
+#: even if no analyzed file changed.
+ANALYSIS_VERSION = 2
 
 #: ``# repro: allow(check-id)`` — one or more comma-separated ids.
 PRAGMA_PATTERN = re.compile(r"#\s*repro:\s*allow\(([a-z0-9_\-, ]+)\)")
@@ -48,6 +53,11 @@ class Finding:
     message: str
     severity: str = "error"
     hint: str = ""
+    #: Optional step-by-step evidence ("file:line: what happened" per
+    #: step) — the secret-flow checker records the full source→…→sink
+    #: path here.  Not part of the baseline key: traces carry line
+    #: numbers, which shift under unrelated edits.
+    trace: tuple[str, ...] = ()
 
     @property
     def baseline_key(self) -> tuple[str, str, str]:
@@ -61,6 +71,8 @@ class Finding:
                "message": self.message}
         if self.hint:
             out["hint"] = self.hint
+        if self.trace:
+            out["trace"] = list(self.trace)
         return out
 
     def format(self) -> str:
@@ -136,6 +148,7 @@ class Project:
         self.src_dir = self.root / "src"
         self.docs_dir = self.root / "docs"
         self.tests_dir = self.root / "tests"
+        self._call_graph = None
         self._files: dict[str, SourceFile] = {}
         paths = sorted(self.src_dir.rglob("*.py")) \
             if self.src_dir.is_dir() else []
@@ -152,6 +165,18 @@ class Project:
     def file(self, rel: str) -> SourceFile | None:
         """Look up one source file by repo-relative posix path."""
         return self._files.get(rel)
+
+    def call_graph(self):
+        """The intra-package call graph, built once and shared.
+
+        Both interprocedural checkers (lock-discipline, secret-flow) walk
+        the same graph; memoizing it here keeps a full-suite run to one
+        construction and lets the CLI surface resolution statistics.
+        """
+        if self._call_graph is None:
+            from repro.analysis.callgraph import build_call_graph
+            self._call_graph = build_call_graph(self)
+        return self._call_graph
 
     def test_texts(self) -> dict[str, str]:
         """Raw text of every test file, keyed by repo-relative path."""
@@ -252,6 +277,10 @@ class Report:
     active: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
     baselined: list[Finding] = field(default_factory=list)
+    #: Run metadata keyed by producer — currently ``{"callgraph":
+    #: {functions, call_sites, resolved, unresolved}}`` whenever an
+    #: interprocedural checker built the graph.
+    stats: dict = field(default_factory=dict)
 
     def _counts(self, checker_id: str) -> tuple[int, int, int]:
         return tuple(
@@ -306,7 +335,38 @@ class Report:
             "baselined": [f.to_dict() for f in self.baselined],
             "exit_code": self.exit_code,
         }
+        payload.update(self.stats)
         return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_payload(self) -> dict:
+        """The parsed form of :meth:`to_json` (cache storage format)."""
+        return json.loads(self.to_json())
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Report":
+        """Rebuild a report from :meth:`to_payload` output.
+
+        ``run`` callables are not serializable, so reconstructed checkers
+        carry ``run=None`` — fine for rendering, which never re-runs them.
+        """
+        def finding(entry: dict) -> Finding:
+            return Finding(checker=entry["checker"], path=entry["path"],
+                           line=entry["line"], message=entry["message"],
+                           severity=entry.get("severity", "error"),
+                           hint=entry.get("hint", ""),
+                           trace=tuple(entry.get("trace", ())))
+
+        stats = {key: value for key, value in payload.items()
+                 if key not in ("version", "checkers", "findings",
+                                "suppressed", "baselined", "exit_code")}
+        return cls(
+            checkers=[Checker(c["id"], c["description"], None)
+                      for c in payload["checkers"]],
+            active=[finding(f) for f in payload["findings"]],
+            suppressed=[finding(f) for f in payload["suppressed"]],
+            baselined=[finding(f) for f in payload["baselined"]],
+            stats=stats,
+        )
 
 
 def run_checks(project: Project, checks: list[str] | None = None,
@@ -333,4 +393,6 @@ def run_checks(project: Project, checks: list[str] | None = None,
                 report.baselined.append(finding)
             else:
                 report.active.append(finding)
+    if project._call_graph is not None:
+        report.stats["callgraph"] = project._call_graph.stats()
     return report

@@ -311,7 +311,10 @@ class CgkoClient(SseClient):
         """One round, O(|D(w)|) server work."""
         keyword = normalize_keyword(keyword)
         reply = self._channel.request(
-            Message(MessageType.CGKO_SEARCH_REQUEST,
+            # Revealing the per-keyword tag and mask IS the CGKO search
+            # protocol: the pair lets the server unlock exactly the lists
+            # for this keyword (defined leakage, CGKO'06 Section 4).
+            Message(MessageType.CGKO_SEARCH_REQUEST,  # repro: allow(secret-flow)
                     (self._tag(keyword), self._mask(keyword)))
         )
         fields = reply.expect(MessageType.DOCUMENTS_RESULT)

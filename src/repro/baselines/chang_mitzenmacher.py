@@ -217,7 +217,10 @@ class CmClient(SseClient):
         position = self._positions.get(keyword)
         if position is None:
             raise UnknownKeywordError(keyword)
-        reply = self._channel.request(Message(
+        # Handing over the column key s_i IS the Chang–Mitzenmacher search
+        # protocol: the server recomputes the masked bit of every row for
+        # this one dictionary position (defined leakage of the scheme).
+        reply = self._channel.request(Message(  # repro: allow(secret-flow)
             MessageType.CGKO_SEARCH_REQUEST,
             (position.to_bytes(4, "big"), self._position_key(position)),
         ))

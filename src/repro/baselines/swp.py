@@ -209,7 +209,10 @@ class SwpClient(SseClient):
         keyword = normalize_keyword(keyword)
         x = self._pre_encrypt(keyword)
         reply = self._channel.request(
-            Message(MessageType.SWP_SEARCH_REQUEST, (x, self._check_key(x)))
+            # Revealing (X_w, k_w) IS the SWP search protocol: the server
+            # re-derives the check part for every word ciphertext and
+            # learns which positions match (defined leakage, SWP'00 §4.4).
+            Message(MessageType.SWP_SEARCH_REQUEST, (x, self._check_key(x)))  # repro: allow(secret-flow)
         )
         fields = reply.expect(MessageType.DOCUMENTS_RESULT)
         doc_ids: list[int] = []

@@ -574,7 +574,11 @@ class Scheme2Client(SseClient):
             self._channel.request(message).expect(MessageType.ACK)
 
     def _search_message(self, keyword: str) -> Message:
-        return Message(MessageType.S2_SEARCH_REQUEST,
+        # Releasing the chain element f^(l-ctr)(seed_w) IS the Scheme 2
+        # search protocol: the server hashes forward from it to recover
+        # this keyword's segment keys and nothing else (the paper's
+        # defined trapdoor leakage, §5.4).
+        return Message(MessageType.S2_SEARCH_REQUEST,  # repro: allow(secret-flow)
                        (self._tag_for(keyword), self._trapdoor_for(keyword)))
 
     def _parse_search_reply(self, keyword: str, reply: Message

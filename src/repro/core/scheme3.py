@@ -472,7 +472,10 @@ class Scheme3Client(SseClient):
     def _search_message(self, keyword: str) -> Message:
         count = self._counts[keyword]
         token = self._chain_for(keyword).key_for_counter(count)
-        return Message(MessageType.S3_SEARCH_REQUEST,
+        # Releasing the constant-size chain token IS the Scheme 3 search
+        # protocol: the server walks the update chain from it and decrypts
+        # exactly this keyword's entries (the paper's defined trapdoor).
+        return Message(MessageType.S3_SEARCH_REQUEST,  # repro: allow(secret-flow)
                        (token, struct.pack(">I", count)))
 
     def _parse_search_reply(self, keyword: str, reply: Message

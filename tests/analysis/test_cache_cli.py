@@ -1,0 +1,189 @@
+"""The on-disk result cache, the CLI wiring, and baseline determinism.
+
+``make lint`` runs the whole suite on every invocation, so an unchanged
+tree must be a cache hit (one JSON read, no re-analysis) and any relevant
+edit — source, docs, tests, baseline, checker version — must be a miss.
+The CLI tests drive ``main()`` end to end against a miniature repository:
+cached and uncached runs must emit byte-identical reports, ``--report``
+must produce the leakage-surface artifact, and ``--update-baseline`` must
+write deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.cache import CACHE_RELPATH, AnalysisCache
+from repro.analysis.cli import main
+from repro.analysis.engine import Baseline, Finding, Project, run_checks
+
+LEAKY = """
+from repro.core.keys import keygen
+
+def fetch(key):
+    return b"v:" + key
+
+def run(store):
+    master = keygen()
+    store.put(b"k", fetch(master))
+"""
+
+CLEAN = """
+def fetch(store, key):
+    return store.get(key)
+"""
+
+
+@pytest.fixture
+def mini_repo(make_project, tmp_path):
+    make_project({"src/repro/svc/app.py": CLEAN})
+    return tmp_path
+
+
+def _bump_mtime(path):
+    stat = path.stat()
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+
+
+class TestAnalysisCache:
+    def test_round_trip(self, mini_repo):
+        project = Project(mini_repo)
+        report = run_checks(project, baseline=Baseline())
+        cache = AnalysisCache(mini_repo)
+        fingerprint = cache.fingerprint(None, mini_repo / "tools" / "b.json")
+        cache.store(fingerprint, report, {"version": 1})
+        loaded = cache.load(fingerprint)
+        assert loaded is not None
+        cached_report, surface = loaded
+        assert cached_report.to_json() == report.to_json()
+        assert cached_report.exit_code == report.exit_code
+        assert surface == {"version": 1}
+
+    def test_fingerprint_is_stable_and_mtime_sensitive(self, mini_repo):
+        cache = AnalysisCache(mini_repo)
+        baseline = mini_repo / "tools" / "b.json"
+        first = cache.fingerprint(None, baseline)
+        assert cache.fingerprint(None, baseline) == first
+        _bump_mtime(mini_repo / "src" / "repro" / "svc" / "app.py")
+        assert cache.fingerprint(None, baseline) != first
+
+    def test_fingerprint_keys_on_selected_checks(self, mini_repo):
+        cache = AnalysisCache(mini_repo)
+        baseline = mini_repo / "tools" / "b.json"
+        assert cache.fingerprint(["secret-flow"], baseline) \
+            != cache.fingerprint(None, baseline)
+
+    def test_wrong_fingerprint_and_corrupt_file_miss(self, mini_repo):
+        cache = AnalysisCache(mini_repo)
+        report = run_checks(Project(mini_repo), baseline=Baseline())
+        cache.store("abc", report, None)
+        assert cache.load("something-else") is None
+        cache.path.write_text("{not json", encoding="utf-8")
+        assert cache.load("abc") is None
+
+
+class TestCliCache:
+    def test_second_run_hits_the_cache_with_identical_output(
+            self, mini_repo, capsys):
+        code_first = main(["--root", str(mini_repo), "--json"])
+        first = capsys.readouterr().out
+        assert (mini_repo / CACHE_RELPATH).exists()
+        marker = json.loads((mini_repo / CACHE_RELPATH).read_text())
+        code_second = main(["--root", str(mini_repo), "--json"])
+        second = capsys.readouterr().out
+        # The cache file was not rewritten (same payload), and the two
+        # runs emit byte-identical reports with the same exit code.
+        assert json.loads((mini_repo / CACHE_RELPATH).read_text()) == marker
+        assert (code_first, first) == (code_second, second)
+
+    def test_no_cache_skips_reads_and_writes(self, mini_repo, capsys):
+        main(["--root", str(mini_repo), "--json", "--no-cache"])
+        assert not (mini_repo / CACHE_RELPATH).exists()
+
+    def test_source_edit_invalidates(self, mini_repo, capsys):
+        main(["--root", str(mini_repo), "--json"])
+        capsys.readouterr()
+        app = mini_repo / "src" / "repro" / "svc" / "app.py"
+        app.write_text(LEAKY, encoding="utf-8")
+        code = main(["--root", str(mini_repo), "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert any(f["checker"] == "secret-flow"
+                   for f in report["findings"])
+
+    def test_json_reports_callgraph_resolution_counts(self, mini_repo,
+                                                      capsys):
+        main(["--root", str(mini_repo), "--json", "--no-cache"])
+        report = json.loads(capsys.readouterr().out)
+        stats = report["callgraph"]
+        assert set(stats) == {"functions", "call_sites", "resolved",
+                              "unresolved"}
+        assert stats["call_sites"] \
+            == stats["resolved"] + stats["unresolved"]
+
+
+class TestCliReport:
+    def test_report_writes_leakage_surface(self, mini_repo, tmp_path,
+                                           capsys):
+        out = tmp_path / "leakage-surface.json"
+        main(["--root", str(mini_repo), "--json", "--report", str(out)])
+        capsys.readouterr()
+        surface = json.loads(out.read_text(encoding="utf-8"))
+        assert surface["version"] == 1
+        assert "summary" in surface and "modules" in surface
+
+    def test_report_is_served_from_cache_too(self, mini_repo, tmp_path,
+                                             capsys):
+        main(["--root", str(mini_repo), "--json"])     # prime the cache
+        out = tmp_path / "surface.json"
+        main(["--root", str(mini_repo), "--json", "--report", str(out)])
+        capsys.readouterr()
+        assert json.loads(out.read_text())["version"] == 1
+
+    def test_report_requires_secret_flow_in_selection(self, mini_repo,
+                                                      tmp_path, capsys):
+        out = tmp_path / "surface.json"
+        code = main(["--root", str(mini_repo), "--checks", "api-surface",
+                     "--report", str(out)])
+        capsys.readouterr()
+        assert code == 2
+        assert not out.exists()
+
+
+class TestBaselineDeterminism:
+    def test_dump_is_sorted_and_idempotent(self, tmp_path):
+        findings = [
+            Finding(checker="z-check", path="src/b.py", line=9,
+                    message="zulu"),
+            Finding(checker="a-check", path="src/a.py", line=3,
+                    message="alpha"),
+            Finding(checker="a-check", path="src/a.py", line=3,
+                    message="alpha"),
+        ]
+        path = tmp_path / "baseline.json"
+        Baseline.dump(findings, path)
+        first = path.read_bytes()
+        Baseline.dump(list(reversed(findings)), path)
+        assert path.read_bytes() == first    # order-independent bytes
+        payload = json.loads(first)
+        keys = [(f["checker"], f["path"], f["message"])
+                for f in payload["findings"]]
+        assert keys == sorted(keys)
+        assert len(keys) == 3                # duplicates kept (multiset)
+
+    def test_update_baseline_writes_deterministically(self, mini_repo,
+                                                      capsys):
+        app = mini_repo / "src" / "repro" / "svc" / "app.py"
+        app.write_text(LEAKY, encoding="utf-8")
+        baseline = mini_repo / "tools" / "analysis_baseline.json"
+        assert main(["--root", str(mini_repo), "--update-baseline"]) == 0
+        first = baseline.read_bytes()
+        assert main(["--root", str(mini_repo), "--no-cache",
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert baseline.read_bytes() == first
+        # And the baselined tree now lints clean.
+        assert main(["--root", str(mini_repo), "--no-cache"]) == 0

@@ -1,0 +1,164 @@
+"""Call-graph resolution: aliases, attr chains, constructors, stats.
+
+The taint analysis is only as good as the edges under it, so each
+resolution rule gets a pinned fixture: ``from x import y as z`` aliases,
+single-level ``self.attr.method()`` chains through inferred attribute
+types, class construction, the unique-method fallback (and its denylist),
+and the resolution statistics surfaced in ``repro-lint --json``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import build_call_graph
+
+
+def _graph(make_project, files):
+    return build_call_graph(make_project(files))
+
+
+def _targets(graph, caller_key):
+    return {site.target for site in graph.functions[caller_key].calls
+            if site.target is not None}
+
+
+class TestImportResolution:
+    def test_plain_from_import(self, make_project):
+        graph = _graph(make_project, {
+            "src/repro/a.py": "def helper():\n    pass\n",
+            "src/repro/b.py": ("from repro.a import helper\n"
+                               "def run():\n    helper()\n"),
+        })
+        assert "repro.a.helper" in _targets(graph, "repro.b.run")
+
+    def test_aliased_from_import(self, make_project):
+        graph = _graph(make_project, {
+            "src/repro/a.py": "def helper():\n    pass\n",
+            "src/repro/b.py": ("from repro.a import helper as h\n"
+                               "def run():\n    h()\n"),
+        })
+        assert "repro.a.helper" in _targets(graph, "repro.b.run")
+
+    def test_aliased_module_import(self, make_project):
+        graph = _graph(make_project, {
+            "src/repro/crypto/prf.py": "def derive():\n    pass\n",
+            "src/repro/b.py": ("import repro.crypto.prf as prf\n"
+                               "def run():\n    prf.derive()\n"),
+        })
+        assert "repro.crypto.prf.derive" in _targets(graph, "repro.b.run")
+
+    def test_dotted_module_import(self, make_project):
+        graph = _graph(make_project, {
+            "src/repro/crypto/prf.py": "def derive():\n    pass\n",
+            "src/repro/b.py": ("import repro.crypto.prf\n"
+                               "def run():\n"
+                               "    repro.crypto.prf.derive()\n"),
+        })
+        assert "repro.crypto.prf.derive" in _targets(graph, "repro.b.run")
+
+
+class TestReceiverResolution:
+    def test_self_method(self, make_project):
+        graph = _graph(make_project, {
+            "src/repro/a.py": """
+class C:
+    def one(self):
+        self.two()
+
+    def two(self):
+        pass
+""",
+        })
+        assert "repro.a.C.two" in _targets(graph, "repro.a.C.one")
+
+    def test_constructor_resolves_to_init(self, make_project):
+        graph = _graph(make_project, {
+            "src/repro/a.py": """
+class Chain:
+    def __init__(self, seed):
+        self.seed = seed
+
+def make(seed):
+    return Chain(seed)
+""",
+        })
+        info = graph.functions["repro.a.make"]
+        site = next(s for s in info.calls if s.label == "Chain")
+        assert site.target == "repro.a.Chain.__init__"
+        assert site.construct == ("repro.a", "Chain")
+
+    def test_self_attr_method_chain(self, make_project):
+        graph = _graph(make_project, {
+            "src/repro/cachemod.py": """
+class Cache:
+    def lookup(self, key):
+        pass
+""",
+            "src/repro/svc.py": """
+from repro.cachemod import Cache
+
+class Service:
+    def __init__(self):
+        self._cache = Cache()
+
+    def get(self, key):
+        return self._cache.lookup(key)
+""",
+        })
+        assert graph.attr_types[("repro.svc", "Service", "_cache")] \
+            == ("repro.cachemod", "Cache")
+        assert "repro.cachemod.Cache.lookup" \
+            in _targets(graph, "repro.svc.Service.get")
+
+    def test_unique_method_fallback(self, make_project):
+        graph = _graph(make_project, {
+            "src/repro/a.py": """
+class Walker:
+    def key_for_counter(self, ctr):
+        pass
+""",
+            "src/repro/b.py": ("def run(walker):\n"
+                               "    walker.key_for_counter(3)\n"),
+        })
+        assert "repro.a.Walker.key_for_counter" \
+            in _targets(graph, "repro.b.run")
+
+    def test_unique_method_denylist_blocks_common_names(self,
+                                                        make_project):
+        # Exactly one in-repo class defines ``put``, but the name is so
+        # generic (dict/queue/KvStore protocols) that resolving every
+        # bare ``x.put`` to it would poison the taint analysis.
+        graph = _graph(make_project, {
+            "src/repro/a.py": """
+class Store:
+    def put(self, k, v):
+        pass
+""",
+            "src/repro/b.py": "def run(q):\n    q.put(1)\n",
+        })
+        assert _targets(graph, "repro.b.run") == set()
+
+    def test_ambiguous_method_is_not_resolved(self, make_project):
+        graph = _graph(make_project, {
+            "src/repro/a.py": ("class A:\n"
+                               "    def walk(self):\n        pass\n"),
+            "src/repro/b.py": ("class B:\n"
+                               "    def walk(self):\n        pass\n"),
+            "src/repro/c.py": "def run(x):\n    x.walk()\n",
+        })
+        assert _targets(graph, "repro.c.run") == set()
+
+
+class TestStats:
+    def test_stats_count_resolution(self, make_project):
+        graph = _graph(make_project, {
+            "src/repro/a.py": "def helper():\n    pass\n",
+            "src/repro/b.py": ("from repro.a import helper\n"
+                               "def run():\n"
+                               "    helper()\n"
+                               "    unknown_external()\n"),
+        })
+        stats = graph.stats()
+        assert stats["functions"] == 2
+        assert stats["call_sites"] == 2
+        assert stats["resolved"] == 1
+        assert stats["unresolved"] == 1

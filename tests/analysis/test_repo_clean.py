@@ -15,7 +15,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.checkers import check_lock_discipline
+from repro.analysis.checkers import (build_leakage_surface,
+                                     check_lock_discipline)
 from repro.analysis.cli import main
 from repro.analysis.engine import Baseline, Project, run_checks
 
@@ -86,6 +87,46 @@ def test_injected_builtin_raise_fails_the_cli(repo_copy, capsys):
     code = main(["--root", str(repo_copy)])
     capsys.readouterr()
     assert code != 0
+
+
+def test_injected_secret_log_two_hops_fails_the_cli(repo_copy, capsys):
+    registry = repo_copy / "src" / "repro" / "core" / "registry.py"
+    original = registry.read_text(encoding="utf-8")
+    registry.write_text(
+        original
+        + "\n\nfrom repro.crypto.prf import derive_key as _dk\n\n"
+          "def _debug_key(master):\n"
+          "    return _dk(master, b\"debug\")\n\n"
+          "def _dump_key(master):\n"
+          "    print(\"key\", _debug_key(master))\n",
+        encoding="utf-8")
+    sink_line = len(original.splitlines()) + 9  # the print(...) call
+    code = main(["--root", str(repo_copy), "--no-cache"])
+    out = capsys.readouterr().out
+    assert code != 0
+    assert "[secret-flow]" in out
+    assert f"src/repro/core/registry.py:{sink_line}" in out
+
+
+def test_shipped_leakage_surface_inventories_defined_leakage():
+    """The 5 pragma'd trapdoor releases — and only those — have flows."""
+    surface = build_leakage_surface(Project(REPO_ROOT))
+    with_flows = {
+        name: [flow for sink in module["sinks"] for flow in sink["flows"]]
+        for name, module in surface["modules"].items()
+        if any(sink["flows"] for sink in module["sinks"])
+    }
+    assert set(with_flows) == {
+        "repro.baselines.swp",
+        "repro.baselines.cgko",
+        "repro.baselines.chang_mitzenmacher",
+        "repro.core.scheme2",
+        "repro.core.scheme3",
+    }
+    for flows in with_flows.values():
+        assert all(flow["suppressed"] for flow in flows)
+    assert surface["summary"]["flows"] == sum(
+        len(flows) for flows in with_flows.values())
 
 
 def test_injected_hkdf_call_site_fails_the_cli(repo_copy, capsys):
